@@ -1,0 +1,193 @@
+// ABL — ablations for the design choices DESIGN.md calls out.
+//
+//  A. Power-of-two quantization (Fig. 3's "smallest power of two >= low")
+//     versus tracking low(t) exactly: quantization is what caps changes at
+//     log2(B_A) per stage; exact tracking re-negotiates on every envelope
+//     move.
+//  B. Utilization-window size W: larger windows end stages later (fewer
+//     certified stages, fewer changes) but loosen the local-utilization
+//     guarantee's granularity.
+//  C. Service discipline for the multi-session algorithm: two conceptual
+//     channels versus the Remark's FIFO-combined service (same worst-case
+//     delay bound, better mean delay).
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "core/high_tracker.h"
+#include "core/low_tracker.h"
+#include "core/multi_phased.h"
+#include "core/single_session.h"
+#include "sim/engine_multi.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+using namespace bwalloc;
+
+// Fig. 3 with the quantization removed: B_on = ceil(low(t)) exactly.
+class ExactLevelAllocator final : public SingleSessionAllocator {
+ public:
+  explicit ExactLevelAllocator(const SingleSessionParams& params)
+      : params_(params),
+        low_(params.offline_delay()),
+        high_(params.window, params.offline_utilization(),
+              params.max_bandwidth) {
+    params_.Validate();
+  }
+
+  Bandwidth OnSlot(Time now, Bits arrivals, Bits queue) override {
+    if (!started_) {
+      started_ = true;
+      state_stage_ = true;
+      low_.StartStage(now);
+      high_.StartStage(now);
+      level_ = Bandwidth::Zero();
+    }
+    if (!state_stage_) {
+      return queue > 0 ? Bandwidth::FromBitsPerSlot(params_.max_bandwidth)
+                       : Bandwidth::Zero();
+    }
+    const Ratio low = low_.LowAt(now);
+    high_.RecordArrivals(now, arrivals);
+    const Ratio high = high_.HighAt();
+    low_.RecordArrivals(arrivals);
+    if (high < low || Ratio(params_.max_bandwidth, 1) < low) {
+      ++stages_;
+      state_stage_ = false;
+      return queue > 0 ? Bandwidth::FromBitsPerSlot(params_.max_bandwidth)
+                       : Bandwidth::Zero();
+    }
+    if (!low.is_zero() && level_ < low) {
+      // ceil(low) in fixed point: the un-quantized ladder.
+      const Int128 raw = (static_cast<Int128>(low.num())
+                          << Bandwidth::kShift) +
+                         low.den() - 1;
+      level_ =
+          Bandwidth::FromRaw(static_cast<std::int64_t>(raw / low.den()));
+    }
+    return level_;
+  }
+
+  void OnServed(Time now, Bits /*served*/, Bits queue_after) override {
+    if (!state_stage_ && queue_after == 0) {
+      state_stage_ = true;
+      low_.StartStage(now + 1);
+      high_.StartStage(now + 1);
+      level_ = Bandwidth::Zero();
+    }
+  }
+
+  std::int64_t stages() const override { return stages_; }
+
+ private:
+  SingleSessionParams params_;
+  LowTracker low_;
+  HighTracker high_;
+  bool started_ = false;
+  bool state_stage_ = false;
+  Bandwidth level_;
+  std::int64_t stages_ = 0;
+};
+
+constexpr Bits kBa = 256;
+constexpr Time kDa = 16;
+constexpr Time kHorizon = 8000;
+
+SingleSessionParams ParamsWithW(Time w) {
+  SingleSessionParams p;
+  p.max_bandwidth = kBa;
+  p.max_delay = kDa;
+  p.min_utilization = Ratio(1, 6);
+  p.window = w;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const auto trace =
+      SingleSessionWorkload("mixed", kBa, kDa / 2, kHorizon, 404);
+  SingleEngineOptions opt;
+  opt.drain_slots = 2 * kDa;
+  opt.utilization_scan_window = 8 + 5 * (kDa / 2);
+
+  std::printf("== ABL-A: power-of-two quantization vs exact tracking ==\n\n");
+  {
+    Table table({"ladder", "changes", "stages", "max delay",
+                 "global util"});
+    {
+      SingleSessionOnline alg(ParamsWithW(8));
+      const SingleRunResult r = RunSingleSession(trace, alg, opt);
+      table.AddRow({"powers of two (Fig.3)", Table::Num(r.changes),
+                    Table::Num(r.stages), Table::Num(r.delay.max_delay()),
+                    Table::Num(r.global_utilization, 3)});
+    }
+    {
+      ExactLevelAllocator alg(ParamsWithW(8));
+      const SingleRunResult r = RunSingleSession(trace, alg, opt);
+      table.AddRow({"exact ceil(low)", Table::Num(r.changes),
+                    Table::Num(r.stages), Table::Num(r.delay.max_delay()),
+                    Table::Num(r.global_utilization, 3)});
+    }
+    table.PrintAscii(std::cout);
+    std::printf(
+        "\nQuantization is load-bearing twice over: the exact ladder "
+        "re-negotiates on\nevery envelope move, AND it loses the delay "
+        "guarantee — Claim 2's induction\nneeds the geometric level "
+        "structure (each level at least doubles), so exact\ntracking can "
+        "exceed D_A.\n\n");
+  }
+
+  std::printf("== ABL-B: utilization window W ==\n\n");
+  {
+    Table table({"W", "changes", "stages", "max delay", "local util",
+                 "global util"});
+    for (const Time w : {Time{8}, Time{16}, Time{32}, Time{64}}) {
+      SingleSessionOnline alg(ParamsWithW(w));
+      SingleEngineOptions wopt = opt;
+      wopt.utilization_scan_window = w + 5 * (kDa / 2);
+      const SingleRunResult r = RunSingleSession(trace, alg, wopt);
+      table.AddRow({Table::Num(w), Table::Num(r.changes),
+                    Table::Num(r.stages), Table::Num(r.delay.max_delay()),
+                    Table::Num(r.worst_best_window_utilization, 3),
+                    Table::Num(r.global_utilization, 3)});
+    }
+    table.PrintAscii(std::cout);
+    std::printf("\nLarger W certifies fewer stages (the running minimum "
+                "forgives short lulls), trading\nchange count against "
+                "utilization granularity — the paper's 'W should not be "
+                "too large'.\n\n");
+  }
+
+  std::printf("== ABL-C: two-channel vs FIFO-combined service (Remark) "
+              "==\n\n");
+  {
+    Table table({"discipline", "max delay", "mean delay", "p99 delay",
+                 "local changes"});
+    const std::int64_t k = 8;
+    const auto traces = MultiSessionWorkload(
+        MultiWorkloadKind::kRotatingHotspot, k, 16 * k, 8, kHorizon, 405);
+    for (const bool fifo : {false, true}) {
+      MultiSessionParams p;
+      p.sessions = k;
+      p.offline_bandwidth = 16 * k;
+      p.offline_delay = 8;
+      PhasedMulti sys(p, fifo ? ServiceDiscipline::kFifoCombined
+                              : ServiceDiscipline::kTwoChannel);
+      MultiEngineOptions mopt;
+      mopt.drain_slots = 32;
+      const MultiRunResult r = RunMultiSession(traces, sys, mopt);
+      table.AddRow({fifo ? "fifo-combined" : "two-channel",
+                    Table::Num(r.delay.max_delay()),
+                    Table::Num(r.delay.MeanDelay(), 2),
+                    Table::Num(r.delay.Percentile(0.99)),
+                    Table::Num(r.local_changes)});
+    }
+    table.PrintAscii(std::cout);
+    std::printf("\nFIFO keeps the worst-case bound (the Remark) and "
+                "improves typical delay;\nallocation decisions — and hence "
+                "change counts — are identical.\n");
+  }
+  return 0;
+}

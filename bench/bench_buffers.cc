@@ -1,0 +1,89 @@
+// BUF — buffer sizing and data loss (extension; the paper's "fourth
+// parameter"). Claim 2 bounds the online algorithm's queue by B_on * D_A,
+// so a buffer of B_A * D_A bits provably loses nothing. Sweep the buffer
+// size and measure the loss rate of each allocation policy: the online
+// algorithm's loss hits zero exactly at its Claim 2 knee, while slower
+// policies keep losing far beyond it.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "baseline/exp_smoothing.h"
+#include "baseline/per_arrival.h"
+#include "baseline/static_alloc.h"
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Bits kBa = 64;
+constexpr Time kDa = 16;
+constexpr Time kHorizon = 12000;
+
+double LossPct(const SingleRunResult& r) {
+  return r.total_arrivals == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(r.dropped) /
+                   static_cast<double>(r.total_arrivals);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  const auto trace = SingleSessionWorkload("pareto", kBa, kDa / 2, kHorizon,
+                                           888);
+  const Bits claim2 = kBa * kDa;  // 1024 bits
+
+  Table table({"buffer (bits)", "vs Claim2", "online loss %",
+               "online peak q", "ewma loss %", "static-mean loss %"});
+
+  for (const Bits buffer : {claim2 / 8, claim2 / 4, claim2 / 2, claim2,
+                            2 * claim2}) {
+    SingleEngineOptions opt;
+    opt.drain_slots = 4 * kDa;
+    opt.buffer_capacity = buffer;
+
+    SingleSessionParams p;
+    p.max_bandwidth = kBa;
+    p.max_delay = kDa;
+    p.min_utilization = Ratio(1, 6);
+    p.window = 8;
+    SingleSessionOnline online(p);
+    const SingleRunResult ro = RunSingleSession(trace, online, opt);
+
+    ExpSmoothingAllocator ewma(10, 50, kDa);
+    const SingleRunResult re = RunSingleSession(trace, ewma, opt);
+
+    StaticAllocator mean_alloc = MakeStaticMean(trace);
+    SingleEngineOptions long_opt = opt;
+    long_opt.drain_slots = kHorizon;
+    const SingleRunResult rs = RunSingleSession(trace, mean_alloc, long_opt);
+
+    table.AddRow({Table::Num(buffer),
+                  Table::Num(static_cast<double>(buffer) /
+                                 static_cast<double>(claim2),
+                             2),
+                  Table::Num(LossPct(ro), 3), Table::Num(ro.peak_queue),
+                  Table::Num(LossPct(re), 3), Table::Num(LossPct(rs), 3)});
+  }
+
+  std::printf("== BUF: loss vs buffer size (Claim 2 sizing rule) ==\n");
+  std::printf("pareto workload, B_A=%lld, D_A=%lld; Claim 2 buffer = B_A * "
+              "D_A = %lld bits\n\n",
+              static_cast<long long>(kBa), static_cast<long long>(kDa),
+              static_cast<long long>(claim2));
+  table.PrintAscii(std::cout);
+  artifacts.Save("buffers", table);
+  std::printf(
+      "\nExpected shape: the online column reaches 0%% loss at (or before) "
+      "the Claim 2\nbuffer and its peak queue never exceeds it; reactive "
+      "heuristics still lose there,\nand the static mean-rate reservation "
+      "loses at every realistic buffer — queue\nbounds are an algorithmic "
+      "property, not a provisioning constant.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// FIG1 — Figure 1 reproduction: "An example of bandwidth demand."
+//
+// The paper motivates dynamic allocation with a sketch of bursty,
+// unpredictable per-session demand. This bench characterizes every traffic
+// source in the workload suite (each shaped to the feasibility envelope of
+// B_O = 64 bits/slot, D_O = 8 slots) and renders a Figure-1-style ASCII
+// demand curve for the bursty ones.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "analysis/table.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+
+using namespace bwalloc;
+
+constexpr Bits kBo = 64;
+constexpr Time kDo = 8;
+constexpr Time kHorizon = 8000;
+constexpr std::uint64_t kSeed = 1998;  // PODC '98
+
+double Mean(const std::vector<Bits>& t) {
+  return static_cast<double>(std::accumulate(t.begin(), t.end(), Bits{0})) /
+         static_cast<double>(t.size());
+}
+
+double Autocorr1(const std::vector<Bits>& t) {
+  const double mean = Mean(t);
+  double num = 0;
+  double den = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double d = static_cast<double>(t[i]) - mean;
+    den += d * d;
+    if (i + 1 < t.size()) {
+      num += d * (static_cast<double>(t[i + 1]) - mean);
+    }
+  }
+  return den == 0 ? 0.0 : num / den;
+}
+
+void Sparkline(const std::string& name, const std::vector<Bits>& trace,
+               Time from, Time len) {
+  // 8-level ASCII demand curve over `len` slots, bucketed by 4.
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  Bits peak = 1;
+  std::vector<Bits> buckets;
+  for (Time t = from; t < from + len; t += 4) {
+    Bits sum = 0;
+    for (Time u = t; u < t + 4 && u < from + len; ++u) {
+      sum += trace[static_cast<std::size_t>(u)];
+    }
+    buckets.push_back(sum);
+    peak = std::max(peak, sum);
+  }
+  std::printf("%-9s |", name.c_str());
+  for (const Bits b : buckets) {
+    const auto lvl = static_cast<std::size_t>((b * 7) / peak);
+    std::printf("%s", kLevels[lvl]);
+  }
+  std::printf("|  (4-slot buckets, peak %lld bits)\n",
+              static_cast<long long>(peak));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== FIG1: bandwidth demand characterization ==\n");
+  std::printf("sources shaped to the (B_O=%lld, D_O=%lld) feasibility "
+              "envelope; horizon %lld slots, seed %llu\n\n",
+              static_cast<long long>(kBo), static_cast<long long>(kDo),
+              static_cast<long long>(kHorizon),
+              static_cast<unsigned long long>(kSeed));
+
+  Table table({"workload", "mean b/slot", "peak b/slot", "peak/mean",
+               "active slots %", "autocorr(1)"});
+  const auto suite = SingleSessionSuite(kBo, kDo, kHorizon, kSeed);
+  for (const NamedTrace& w : suite) {
+    const double mean = Mean(w.trace);
+    const Bits peak = *std::max_element(w.trace.begin(), w.trace.end());
+    const auto active = std::count_if(w.trace.begin(), w.trace.end(),
+                                      [](Bits b) { return b > 0; });
+    table.AddRow({w.name, Table::Num(mean, 2),
+                  Table::Num(static_cast<std::int64_t>(peak)),
+                  Table::Num(static_cast<double>(peak) / std::max(mean, 1e-9),
+                             2),
+                  Table::Num(100.0 * static_cast<double>(active) /
+                                 static_cast<double>(w.trace.size()),
+                             1),
+                  Table::Num(Autocorr1(w.trace), 3)});
+  }
+  table.PrintAscii(std::cout);
+
+  std::printf("\nFigure-1-style demand curves (slots 0..1023):\n\n");
+  for (const NamedTrace& w : suite) {
+    if (w.name == "cbr") continue;  // flat by construction
+    Sparkline(w.name, w.trace, 0, 1024);
+  }
+  std::printf(
+      "\nReading: constant-rate reservation is hopeless for every source "
+      "but cbr —\nexactly the paper's Figure 1 argument for dynamic "
+      "allocation.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// FRONT — the renegotiation-rate / utilization frontier (the evaluation
+// methodology of the cited experimental work [GKT95, ACHM96], applied to
+// this paper's algorithm).
+//
+// Every dynamic-allocation policy has a knob trading changes against
+// tracking quality: the online algorithm's utilization window W, the
+// periodic heuristic's renegotiation period, the EWMA heuristic's
+// hysteresis band. Sweep each knob at a fixed delay target and print the
+// frontier each policy traces in (changes per kslot, global utilization)
+// space, with the clairvoyant greedy as the reference point.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "baseline/exp_smoothing.h"
+#include "baseline/periodic.h"
+#include "core/single_session.h"
+#include "offline/offline_single.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Bits kBa = 256;
+constexpr Time kDa = 32;  // D_O = 16
+constexpr Time kHorizon = 20000;
+
+double PerKslot(std::int64_t changes, Time horizon) {
+  return 1000.0 * static_cast<double>(changes) /
+         static_cast<double>(horizon);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  const auto trace =
+      SingleSessionWorkload("mixed", kBa, kDa / 2, kHorizon, 606);
+  SingleEngineOptions opt;
+  opt.drain_slots = 4 * kDa;
+
+  Table table({"policy", "knob", "changes/kslot", "global util",
+               "max delay", "within D_A"});
+
+  for (const Time w : {Time{16}, Time{32}, Time{64}, Time{128}, Time{256}}) {
+    SingleSessionParams p;
+    p.max_bandwidth = kBa;
+    p.max_delay = kDa;
+    p.min_utilization = Ratio(1, 6);
+    p.window = w;
+    SingleSessionOnline alg(p);
+    const SingleRunResult r = RunSingleSession(trace, alg, opt);
+    table.AddRow({"online (Fig.3)", "W=" + Table::Num(w),
+                  Table::Num(PerKslot(r.changes, r.horizon), 2),
+                  Table::Num(r.global_utilization, 3),
+                  Table::Num(r.delay.max_delay()),
+                  r.delay.max_delay() <= kDa ? "yes" : "NO"});
+  }
+
+  for (const Time period : {kDa / 2, kDa, 2 * kDa, 4 * kDa, 8 * kDa}) {
+    PeriodicAllocator alg(period, 130, kDa);
+    const SingleRunResult r = RunSingleSession(trace, alg, opt);
+    table.AddRow({"periodic [GKT95]", "T=" + Table::Num(period),
+                  Table::Num(PerKslot(r.changes, r.horizon), 2),
+                  Table::Num(r.global_utilization, 3),
+                  Table::Num(r.delay.max_delay()),
+                  r.delay.max_delay() <= kDa ? "yes" : "NO"});
+  }
+
+  for (const std::int64_t band : {0, 25, 50, 100, 200}) {
+    ExpSmoothingAllocator alg(10, band, kDa);
+    const SingleRunResult r = RunSingleSession(trace, alg, opt);
+    table.AddRow({"ewma [ACHM96]", "band=" + Table::Num(band) + "%",
+                  Table::Num(PerKslot(r.changes, r.horizon), 2),
+                  Table::Num(r.global_utilization, 3),
+                  Table::Num(r.delay.max_delay()),
+                  r.delay.max_delay() <= kDa ? "yes" : "NO"});
+  }
+
+  {
+    OfflineParams off;
+    off.max_bandwidth = kBa;
+    off.delay = kDa / 2;
+    off.utilization = Ratio(1, 2);
+    off.window = kDa;
+    const OfflineSchedule s = GreedyMinChangeSchedule(trace, off);
+    if (s.feasible) {
+      const ScheduleCheck check = ValidateSchedule(trace, s);
+      table.AddRow({"offline greedy", "-",
+                    Table::Num(PerKslot(s.changes(), s.horizon), 2),
+                    Table::Num(check.global_utilization, 3),
+                    Table::Num(check.max_delay), "yes"});
+    }
+  }
+
+  std::printf("== FRONT: changes-vs-utilization frontier at delay target "
+              "D_A=%lld ==\n",
+              static_cast<long long>(kDa));
+  std::printf("workload 'mixed', B_A=%lld, %lld slots; each policy swept "
+              "over its own knob\n\n",
+              static_cast<long long>(kBa),
+              static_cast<long long>(kHorizon));
+  table.PrintAscii(std::cout);
+  artifacts.Save("frontier", table);
+  std::printf(
+      "\nExpected shape: the online rows trace the outer frontier — at any "
+      "given change\nbudget they deliver equal-or-better utilization while "
+      "never breaking the delay\ntarget, which the periodic rows do as "
+      "soon as their period stretches; the\nclairvoyant point shows how "
+      "much headroom clairvoyance is worth.\n");
+  return 0;
+}

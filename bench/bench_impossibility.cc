@@ -1,0 +1,95 @@
+// IMPOSS — the paper's stated impossibility (Section 1.1, Remark): an
+// online algorithm restricted to the SAME delay and utilization as the
+// offline must make unboundedly many changes, so some slack is necessary.
+//
+// Demonstration: a sawtooth adversary alternates between a high plateau
+// and near-silence. A no-slack tracker (delay D_O and utilization U_O
+// enforced exactly, here the per-arrival allocator at delay D_O, whose
+// idle allocation must drop to preserve utilization) pays ~2 changes per
+// sawtooth edge — linear in the horizon — while the slack-equipped Fig. 3
+// algorithm pays log-many changes per certified stage, and the offline
+// change requirement per cycle stays constant. The ratio
+// no-slack/offline grows with the horizon; online-with-slack/offline
+// stays flat.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "baseline/per_arrival.h"
+#include "core/single_session.h"
+#include "offline/offline_single.h"
+#include "sim/engine_single.h"
+#include "traffic/shaper.h"
+#include "traffic/sources.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Bits kBa = 64;
+constexpr Time kDa = 16;  // D_O = 8
+constexpr Time kW = 16;  // 2 D_O (offline feasibility, DESIGN.md)
+
+std::vector<Bits> Sawtooth(Time horizon) {
+  SawtoothSource src(/*low=*/1, /*high=*/48, /*low_len=*/64, /*high_len=*/32);
+  return src.Generate(horizon);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  Table table({"horizon", "cycles", "no-slack chg", "online chg",
+               "offline lb", "no-slack / lb", "online / lb"});
+
+  for (const Time horizon : {Time{768}, Time{1536}, Time{3072}, Time{6144},
+                             Time{12288}}) {
+    const auto trace = Sawtooth(horizon);
+
+    PerArrivalAllocator no_slack(kDa / 2);  // offline-tight delay D_O
+    SingleEngineOptions opt;
+    opt.drain_slots = 2 * kDa;
+    const SingleRunResult rn = RunSingleSession(trace, no_slack, opt);
+
+    SingleSessionParams p;
+    p.max_bandwidth = kBa;
+    p.max_delay = kDa;
+    p.min_utilization = Ratio(1, 6);
+    p.window = kW;
+    SingleSessionOnline online(p);
+    const SingleRunResult ro = RunSingleSession(trace, online, opt);
+
+    OfflineParams off;
+    off.max_bandwidth = kBa;
+    off.delay = kDa / 2;
+    off.utilization = Ratio(1, 2);
+    off.window = kW;
+    const std::int64_t lb =
+        std::max<std::int64_t>(1, EnvelopeStageLowerBound(trace, off));
+
+    table.AddRow({Table::Num(horizon), Table::Num(horizon / 96),
+                  Table::Num(rn.changes), Table::Num(ro.changes),
+                  Table::Num(lb),
+                  Table::Num(static_cast<double>(rn.changes) /
+                                 static_cast<double>(lb),
+                             2),
+                  Table::Num(static_cast<double>(ro.changes) /
+                                 static_cast<double>(lb),
+                             2)});
+  }
+
+  std::printf("== IMPOSS: why online algorithms need slack ==\n");
+  std::printf("sawtooth adversary (1 <-> 48 bits/slot), B_A=%lld, D_A=%lld, "
+              "U_A=1/6, W=%lld\n\n",
+              static_cast<long long>(kBa), static_cast<long long>(kDa),
+              static_cast<long long>(kW));
+  table.PrintAscii(std::cout);
+  artifacts.Save("impossibility", table);
+  std::printf(
+      "\nExpected shape (Section 1.1 Remark): the tight-tracking no-slack "
+      "policy pays\nchanges per sawtooth edge, so its column grows linearly "
+      "with the horizon while\nits ratio to the offline requirement stays "
+      "large; the slack-equipped Fig. 3\nalgorithm's ratio is flat and "
+      "small — slack buys a bounded competitive ratio.\n");
+  return 0;
+}

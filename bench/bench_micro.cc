@@ -1,0 +1,112 @@
+// MICRO — data-structure and engine throughput microbenchmarks
+// (google-benchmark): the O(log n) hull envelope versus the naive scan,
+// queue operations, and end-to-end simulator slot rates.
+#include <benchmark/benchmark.h>
+
+#include "core/single_session.h"
+#include "offline/offline_single.h"
+#include "sim/bit_queue.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+#include "util/envelope.h"
+#include "util/rng.h"
+
+namespace {
+using namespace bwalloc;
+
+void BM_EnvelopeHullAppendQuery(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Bits> increments;
+  for (std::int64_t i = 0; i < n; ++i) {
+    increments.push_back(rng.Bernoulli(0.2) ? rng.UniformInt(0, 200) : 0);
+  }
+  for (auto _ : state) {
+    MaxSlopeEnvelope env;
+    std::int64_t y = 0;
+    Ratio out(0, 1);
+    for (std::int64_t x = 0; x < n; ++x) {
+      env.Append(x, y);
+      out = env.MaxSlopeTo(x + 8, y);
+      y += increments[static_cast<std::size_t>(x)];
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EnvelopeHullAppendQuery)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_EnvelopeNaiveAppendQuery(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Bits> increments;
+  for (std::int64_t i = 0; i < n; ++i) {
+    increments.push_back(rng.Bernoulli(0.2) ? rng.UniformInt(0, 200) : 0);
+  }
+  for (auto _ : state) {
+    std::vector<EnvelopePoint> pts;
+    std::int64_t y = 0;
+    Ratio out(0, 1);
+    for (std::int64_t x = 0; x < n; ++x) {
+      pts.push_back({x, y});
+      out = NaiveMaxSlope(pts, x + 8, y);
+      y += increments[static_cast<std::size_t>(x)];
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EnvelopeNaiveAppendQuery)->Arg(1024)->Arg(4096);
+
+void BM_BitQueueEnqueueServe(benchmark::State& state) {
+  const Bandwidth bw = Bandwidth::FromDouble(6.5);
+  for (auto _ : state) {
+    BitQueue q;
+    DelayHistogram hist;
+    Bits out = 0;
+    for (Time t = 0; t < 4096; ++t) {
+      q.Enqueue(t, (t * 13) % 17);
+      out += q.ServeSlot(t, bw, &hist);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BitQueueEnqueueServe);
+
+void BM_SingleSessionEngineSlots(benchmark::State& state) {
+  SingleSessionParams p;
+  p.max_bandwidth = 256;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  const auto trace = SingleSessionWorkload("mixed", 256, 8, 16384, 7);
+  for (auto _ : state) {
+    SingleSessionOnline alg(p);
+    const SingleRunResult r = RunSingleSession(trace, alg);
+    benchmark::DoNotOptimize(r.changes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SingleSessionEngineSlots);
+
+void BM_OfflineGreedySchedule(benchmark::State& state) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 4096, 9);
+  OfflineParams off;
+  off.max_bandwidth = 64;
+  off.delay = 8;
+  off.utilization = Ratio(1, 2);
+  off.window = 8;
+  for (auto _ : state) {
+    const OfflineSchedule s = GreedyMinChangeSchedule(trace, off);
+    benchmark::DoNotOptimize(s.feasible);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OfflineGreedySchedule);
+
+}  // namespace
+
+BENCHMARK_MAIN();

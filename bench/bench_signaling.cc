@@ -1,0 +1,84 @@
+// SIG — renegotiation signalling ablation (extension; Section 1's
+// motivation for counting changes: a change invokes software in every
+// switch on the path and takes time to commit).
+//
+// Sweep the path length: each switch adds commit latency and per-change
+// cost. Uncompensated, the Fig. 3 algorithm's delay bound erodes by up to
+// 2x the commit latency; the latency-compensated parameters (tightened
+// D_A) restore it at the price of more changes. The cost column prices
+// each signalling round at the path's per-change cost.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "core/single_session.h"
+#include "net/path.h"
+#include "net/signaling.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Bits kBa = 256;
+constexpr Time kDa = 32;  // D_O = 16
+constexpr Time kHorizon = 12000;
+
+SingleSessionParams Params() {
+  SingleSessionParams p;
+  p.max_bandwidth = kBa;
+  p.max_delay = kDa;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 16;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  const auto trace = SingleSessionWorkload("mixed", kBa, kDa / 2, kHorizon,
+                                           777);
+  SingleEngineOptions opt;
+  opt.drain_slots = 4 * kDa;
+
+  Table table({"path hops", "commit latency", "variant", "max delay",
+               "D_A", "changes", "signal rounds", "signal cost"});
+
+  for (const std::int64_t hops : {0, 2, 4, 8}) {
+    const NetworkPath path = NetworkPath::Uniform(hops, 1, 25.0);
+    for (const bool compensated : {false, true}) {
+      if (compensated && hops == 0) continue;
+      SingleSessionParams p = Params();
+      if (compensated) {
+        p = MakeLatencyCompensatedParams(p, path.SignalingLatency());
+      }
+      SignalingAdapter adapter(std::make_unique<SingleSessionOnline>(p),
+                               path);
+      const SingleRunResult r = RunSingleSession(trace, adapter, opt);
+      table.AddRow(
+          {Table::Num(hops), Table::Num(path.SignalingLatency()),
+           compensated ? "compensated" : "naive",
+           Table::Num(r.delay.max_delay()), Table::Num(kDa),
+           Table::Num(r.changes), Table::Num(adapter.signaling_rounds()),
+           Table::Num(static_cast<double>(adapter.signaling_rounds()) *
+                          path.ChangeCost(),
+                      0)});
+    }
+  }
+
+  std::printf("== SIG: renegotiation latency on a multi-switch path ==\n");
+  std::printf("workload 'mixed', B_A=%lld, D_A=%lld, U_A=1/6; 1 slot + 25 "
+              "cost units per switch\n\n",
+              static_cast<long long>(kBa), static_cast<long long>(kDa));
+  table.PrintAscii(std::cout);
+  artifacts.Save("signaling", table);
+  std::printf(
+      "\nExpected shape: the naive rows drift past D_A as the path grows; "
+      "the\ncompensated rows stay within D_A by tightening the internal "
+      "deadline to\nD_A - 2S, paying a modest change-count premium — the "
+      "practical answer to the\npaper's 'changes take time' observation.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// THM14 — Theorem 14 reproduction: the phased multi-session algorithm is a
+// (4 B_O, 2 D_O)-algorithm whose change count is at most 3k times any
+// offline (B_O, D_O)-algorithm's.
+//
+// Sweep k on the rotating-hotspot workload (the regime where a static
+// offline split fails, Lemma 13) and report the online's per-stage change
+// count against the 3k budget, the ratio against the constructive greedy
+// offline, and the resource/delay guarantees.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "core/multi_phased.h"
+#include "offline/offline_multi.h"
+#include "sim/engine_multi.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Time kDo = 8;
+constexpr Time kHorizon = 8000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  Table table({"k", "3k budget", "chg/stage", "online chg", "offline chg",
+               "ratio", "max delay (<=16)", "peak reg/B_O", "peak ovf/B_O"});
+
+  for (const std::int64_t k : {2, 4, 8, 16, 32}) {
+    const Bits bo = 16 * k;  // constant per-session share across the sweep
+    const auto traces = MultiSessionWorkload(
+        MultiWorkloadKind::kRotatingHotspot, k, bo, kDo, kHorizon,
+        static_cast<std::uint64_t>(100 + k));
+
+    MultiSessionParams p;
+    p.sessions = k;
+    p.offline_bandwidth = bo;
+    p.offline_delay = kDo;
+    PhasedMulti sys(p);
+    MultiEngineOptions opt;
+    opt.drain_slots = 4 * kDo;
+    const MultiRunResult r = RunMultiSession(traces, sys, opt);
+
+    const MultiOfflineSchedule offline = GreedyMultiSchedule(traces, bo, kDo);
+    const std::int64_t off_changes =
+        offline.feasible ? std::max<std::int64_t>(1, offline.local_changes())
+                         : -1;
+    const double per_stage =
+        static_cast<double>(r.local_changes) /
+        static_cast<double>(std::max<std::int64_t>(1, r.stages + 1));
+    const double ratio =
+        off_changes > 0
+            ? static_cast<double>(r.local_changes) /
+                  static_cast<double>(off_changes)
+            : -1.0;
+
+    table.AddRow({Table::Num(k), Table::Num(3 * k),
+                  Table::Num(per_stage, 1), Table::Num(r.local_changes),
+                  Table::Num(off_changes), Table::Num(ratio, 2),
+                  Table::Num(r.delay.max_delay()),
+                  Table::Num(r.peak_regular_allocation.ToDouble() /
+                                 static_cast<double>(bo),
+                             2),
+                  Table::Num(r.peak_overflow_allocation.ToDouble() /
+                                 static_cast<double>(bo),
+                             2)});
+  }
+
+  std::printf("== THM14: phased multi-session, changes vs 3k ==\n");
+  std::printf("rotating-hotspot workload, B_O = 16k, D_O=%lld, %lld slots\n\n",
+              static_cast<long long>(kDo),
+              static_cast<long long>(kHorizon));
+  table.PrintAscii(std::cout);
+  artifacts.Save("thm14_phased", table);
+  std::printf(
+      "\nExpected shape (Theorem 14): 'chg/stage' scales linearly with k "
+      "and stays\nunder ~4k (our per-variable counting of the paper's 3k "
+      "events); delay <= 2 D_O = 16;\npeak regular <= 2 B_O (+k/B_O "
+      "transient), peak overflow <= 2 B_O (Lemma 10).\n");
+  return 0;
+}

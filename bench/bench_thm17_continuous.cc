@@ -1,0 +1,87 @@
+// THM17 — Theorem 17 reproduction: the continuous multi-session algorithm
+// is a (5 B_O, 2 D_O)-algorithm with at most 3k times the offline changes —
+// head-to-head with the phased algorithm on the same inputs (the paper
+// presents continuous as "more natural to implement" at the price of one
+// extra B_O of overflow headroom).
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "core/multi_continuous.h"
+#include "core/multi_phased.h"
+#include "offline/offline_multi.h"
+#include "sim/engine_multi.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Time kDo = 8;
+constexpr Time kHorizon = 8000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  Table table({"k", "algo", "chg/stage", "ratio vs offline",
+               "max delay (<=16)", "mean delay", "peak ovf/B_O",
+               "budget"});
+
+  for (const std::int64_t k : {2, 4, 8, 16, 32}) {
+    const Bits bo = 16 * k;
+    const auto traces = MultiSessionWorkload(
+        MultiWorkloadKind::kRotatingHotspot, k, bo, kDo, kHorizon,
+        static_cast<std::uint64_t>(200 + k));
+    const MultiOfflineSchedule offline = GreedyMultiSchedule(traces, bo, kDo);
+    const std::int64_t off_changes =
+        offline.feasible ? std::max<std::int64_t>(1, offline.local_changes())
+                         : 1;
+
+    MultiSessionParams p;
+    p.sessions = k;
+    p.offline_bandwidth = bo;
+    p.offline_delay = kDo;
+
+    for (const bool continuous : {false, true}) {
+      MultiEngineOptions opt;
+      opt.drain_slots = 4 * kDo;
+      MultiRunResult r;
+      if (continuous) {
+        ContinuousMulti sys(p);
+        r = RunMultiSession(traces, sys, opt);
+      } else {
+        PhasedMulti sys(p);
+        r = RunMultiSession(traces, sys, opt);
+      }
+      const double per_stage =
+          static_cast<double>(r.local_changes) /
+          static_cast<double>(std::max<std::int64_t>(1, r.stages + 1));
+      table.AddRow(
+          {Table::Num(k), continuous ? "continuous" : "phased",
+           Table::Num(per_stage, 1),
+           Table::Num(static_cast<double>(r.local_changes) /
+                          static_cast<double>(off_changes),
+                      2),
+           Table::Num(r.delay.max_delay()),
+           Table::Num(r.delay.MeanDelay(), 2),
+           Table::Num(r.peak_overflow_allocation.ToDouble() /
+                          static_cast<double>(bo),
+                      2),
+           continuous ? "5 B_O" : "4 B_O"});
+    }
+  }
+
+  std::printf("== THM17: continuous vs phased multi-session ==\n");
+  std::printf("rotating-hotspot workload, B_O = 16k, D_O=%lld, %lld slots\n\n",
+              static_cast<long long>(kDo),
+              static_cast<long long>(kHorizon));
+  table.PrintAscii(std::cout);
+  artifacts.Save("thm17_continuous", table);
+  std::printf(
+      "\nExpected shape (Theorem 17): both algorithms live in the O(k) "
+      "changes-per-stage\nregime and meet delay 2 D_O = 16; the continuous "
+      "variant's overflow channel may\nreach 3 B_O (Lemma 16) where the "
+      "phased stays within 2 B_O (Lemma 10).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// THM7 — Theorem 7 reproduction: the modified single-session algorithm's
+// change count per stage is O(log(1/U_O)) — independent of B_A — versus the
+// base algorithm's O(log B_A).
+//
+// Sweep U_A at two very different B_A values and report the worst per-stage
+// change count of both variants. The paper's claim is the shape: the base
+// column moves with log2(B_A); the modified column moves with log2(1/U_O)
+// and is flat across B_A.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+#include "util/power_of_two.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Time kDa = 16;
+constexpr Time kW = 8;
+constexpr Time kHorizon = 6000;
+
+std::int64_t WorstPerStage(const SingleSessionParams& p,
+                           SingleSessionOnline::Variant variant) {
+  std::int64_t worst = 0;
+  for (const std::uint64_t seed : {21ULL, 22ULL}) {
+    for (const char* name : {"onoff", "pareto", "mmpp", "mixed"}) {
+      const auto trace = SingleSessionWorkload(
+          name, p.offline_bandwidth(), p.offline_delay(), kHorizon, seed);
+      SingleSessionOnline alg(p, variant);
+      SingleEngineOptions opt;
+      opt.drain_slots = 2 * kDa;
+      RunSingleSession(trace, alg, opt);
+      worst = std::max(worst, alg.max_changes_in_any_stage());
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  Table table({"U_A", "log2(1/U_O)", "B_A", "log2(B_A)", "base chg/stage",
+               "modified chg/stage"});
+
+  for (const std::int64_t inv_ua : {6, 12, 24, 48}) {
+    for (const Bits ba : {Bits{64}, Bits{2048}}) {
+      SingleSessionParams p;
+      p.max_bandwidth = ba;
+      p.max_delay = kDa;
+      p.min_utilization = Ratio(1, inv_ua);
+      p.window = kW;
+      // U_O = 3/inv_ua; log2(1/U_O) = log2(inv_ua/3).
+      const std::int64_t base =
+          WorstPerStage(p, SingleSessionOnline::Variant::kBase);
+      const std::int64_t modified =
+          WorstPerStage(p, SingleSessionOnline::Variant::kModified);
+      table.AddRow({"1/" + Table::Num(inv_ua),
+                    Table::Num(CeilLog2((inv_ua + 2) / 3)),
+                    Table::Num(ba), Table::Num(CeilLog2(ba)),
+                    Table::Num(base), Table::Num(modified)});
+    }
+  }
+
+  std::printf("== THM7: O(log 1/U_O) changes per stage, independent of B_A "
+              "==\n");
+  std::printf("D_A=%lld, W=%lld; worst case over 4 bursty workloads x 2 "
+              "seeds\n\n",
+              static_cast<long long>(kDa), static_cast<long long>(kW));
+  table.PrintAscii(std::cout);
+  artifacts.Save("thm7_modified", table);
+  std::printf(
+      "\nExpected shape (Theorem 7): 'modified' stays flat across the 32x "
+      "B_A jump and\ngrows down the rows with log2(1/U_O) (+O(1)); 'base' "
+      "is only bounded by the\nlarger l_A + 3 (bursts let the ladder skip "
+      "levels, so its measured value can sit\nbelow the bound).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// TIGHT — the paper's tightness claims (Section 1.1 / Section 2 closing
+// remarks):
+//   * under GLOBAL utilization, every online algorithm is
+//     Omega(log B_A)-competitive, so the Fig. 3 algorithm's O(log B_A) is
+//     tight — the ladder-pumping adaptive adversary forces the full ladder
+//     in every stage;
+//   * under LOCAL utilization, high(t)/low(t) = O(1/U_O) once a window
+//     fits, so NO adversary can force more than O(log 1/U_O) changes per
+//     stage — the same pump saturates at a short ladder, which is exactly
+//     why the Theorem 7 variant exists.
+//
+// The adversary sends just above the online algorithm's current allocation
+// (so no power-of-two level is skipped) and goes silent once the ladder
+// saturates, collapsing the stage.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/artifact.h"
+#include "analysis/table.h"
+#include "core/multi_phased.h"
+#include "core/single_session.h"
+#include "offline/offline_single.h"
+#include "sim/adaptive.h"
+#include "traffic/adversaries.h"
+#include "util/power_of_two.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Time kDa = 16;  // D_O = 8
+constexpr Time kW = 16;  // 2 D_O (offline feasibility, DESIGN.md)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArtifacts artifacts(argc, argv);
+  Table table({"B_A", "l_A", "variant", "chg/stage", "online chg",
+               "greedy chg", "ratio vs greedy"});
+
+  struct Config {
+    const char* name;
+    SingleSessionOnline::Variant variant;
+    SingleSessionOnline::UtilizationMode mode;
+  };
+  const Config configs[] = {
+      {"base/global", SingleSessionOnline::Variant::kBase,
+       SingleSessionOnline::UtilizationMode::kGlobal},
+      {"base/local", SingleSessionOnline::Variant::kBase,
+       SingleSessionOnline::UtilizationMode::kLocal},
+      {"modified/local", SingleSessionOnline::Variant::kModified,
+       SingleSessionOnline::UtilizationMode::kLocal},
+  };
+
+  for (const Bits ba : {Bits{16}, Bits{32}, Bits{64}, Bits{128},
+                        Bits{256}}) {
+    for (const Config& config : configs) {
+      const bool global =
+          config.mode == SingleSessionOnline::UtilizationMode::kGlobal;
+      SingleSessionParams p;
+      p.max_bandwidth = ba;
+      p.max_delay = kDa;
+      p.min_utilization = Ratio(1, 6);
+      p.window = kW;
+
+      // Plenty of slots for many pump/collapse cycles.
+      const Time horizon = 6000;
+      LadderPumpAdversary adversary(ba, kDa / 2);
+      SingleSessionOnline online(p, config.variant, config.mode);
+      SingleEngineOptions opt;
+      opt.drain_slots = 2 * kDa;
+      const AdaptiveRunResult r =
+          RunAdaptiveSingleSession(adversary, online, horizon, opt);
+
+      OfflineParams off;
+      off.max_bandwidth = p.offline_bandwidth();
+      off.delay = p.offline_delay();
+      off.utilization = p.offline_utilization();
+      off.window = p.window;
+      off.global_utilization = global;
+      const OfflineSchedule greedy = GreedyMinChangeSchedule(r.trace, off);
+      const std::int64_t greedy_changes =
+          greedy.feasible ? std::max<std::int64_t>(1, greedy.changes()) : -1;
+
+      const double per_stage =
+          static_cast<double>(r.run.changes) /
+          static_cast<double>(std::max<std::int64_t>(1, r.run.stages));
+      table.AddRow(
+          {Table::Num(ba), Table::Num(CeilLog2(ba)),
+           config.name, Table::Num(per_stage, 1),
+           Table::Num(r.run.changes), Table::Num(greedy_changes),
+           Table::Num(greedy_changes > 0
+                          ? static_cast<double>(r.run.changes) /
+                                static_cast<double>(greedy_changes)
+                          : -1.0,
+                      2)});
+    }
+  }
+
+  std::printf("== TIGHT: where the log B_A ratio is achieved — and where "
+              "it can't be ==\n");
+  std::printf("ladder-pump adaptive adversary, D_A=%lld, U_A=1/6, W=%lld\n\n",
+              static_cast<long long>(kDa), static_cast<long long>(kW));
+  table.PrintAscii(std::cout);
+  artifacts.Save("tightness_single", table);
+  std::printf(
+      "\nExpected shape: against the pump, BOTH base variants pay the "
+      "full ladder —\n'chg/stage' grows with l_A = log2(B_A) (the lower "
+      "bound is realized; under local\nwindows the ladder fits inside the "
+      "first-W grace period where high(t) is still\nunbounded). Only the "
+      "Theorem 7 modified variant, which holds B_A through that\ngrace "
+      "period, stays flat — the adversary cannot extract more than "
+      "O(log 1/U_O)\nfrom it at any B_A.\n");
+
+  // ---- multi-session tightness: the share hunter vs the 3k budget -------
+  Table multi({"k", "3k budget", "chg/stage", "stages", "max delay",
+               "<= 2 D_O"});
+  for (const std::int64_t k : {2, 4, 8, 16}) {
+    MultiSessionParams p;
+    p.sessions = k;
+    p.offline_bandwidth = 16 * k;
+    p.offline_delay = 8;
+    PhasedMulti sys(p);
+    ShareHunterAdversary adversary(p.offline_bandwidth, p.offline_delay);
+    MultiEngineOptions opt;
+    opt.drain_slots = 32;
+    const MultiAdaptiveRunResult r =
+        RunAdaptiveMultiSession(adversary, sys, 8000, opt);
+    const double per_stage =
+        static_cast<double>(r.run.local_changes) /
+        static_cast<double>(std::max<std::int64_t>(1, r.run.stages + 1));
+    multi.AddRow({Table::Num(k), Table::Num(3 * k),
+                  Table::Num(per_stage, 1), Table::Num(r.run.stages),
+                  Table::Num(r.run.delay.max_delay()),
+                  Table::Num(2 * p.offline_delay)});
+  }
+  std::printf("\n== TIGHT (multi): share-hunter adversary vs the 3k "
+              "budget ==\n\n");
+  multi.PrintAscii(std::cout);
+  artifacts.Save("tightness_multi", multi);
+  std::printf(
+      "\nExpected shape: the hunter always overloads the currently "
+      "smallest share, so\n'chg/stage' scales linearly with k and sits "
+      "near the 3k regime — Lemma 12's\nbudget is what an adversary can "
+      "actually extract, while the delay bound holds.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Adversarial demo: watch the stage machinery of Figure 3 work.
+//
+// A sawtooth adversary alternates plateaus; the demo prints a slot-level
+// annotated trace of one grow/collapse cycle — the envelope values low(t)
+// and high(t), the power-of-two ladder, the stage-ending crossover, and the
+// RESET — then summarizes how many offline changes the run certified.
+#include <cstdio>
+
+#include "core/single_session.h"
+#include "sim/bit_queue.h"
+#include "traffic/sources.h"
+
+using namespace bwalloc;
+
+namespace {
+
+// Narrates the stage machinery through the library's StageObserver hook.
+class Narrator final : public StageObserver {
+ public:
+  void OnStageStart(Time ts) override {
+    std::printf("%4lld | stage starts: envelopes reset, ladder at 0\n",
+                static_cast<long long>(ts));
+  }
+  void OnLevelChange(Time t, Bits from, Bits to) override {
+    std::printf("%4lld | ladder %lld -> %lld (smallest 2^j >= low(t))\n",
+                static_cast<long long>(t), static_cast<long long>(from),
+                static_cast<long long>(to));
+  }
+  void OnStageCertified(Time t, std::int64_t index) override {
+    std::printf("%4lld | high(t) < low(t): stage #%lld certified — the "
+                "offline changed too\n",
+                static_cast<long long>(t), static_cast<long long>(index));
+  }
+  void OnResetDrain(Time t) override {
+    std::printf("%4lld | RESET: serve at B_A until the queue drains\n",
+                static_cast<long long>(t));
+  }
+};
+
+}  // namespace
+
+int main() {
+  SingleSessionParams params;
+  params.max_bandwidth = 64;
+  params.max_delay = 16;  // D_O = 8
+  params.min_utilization = Ratio(1, 6);
+  params.window = 8;
+
+  SawtoothSource source(/*low=*/1, /*high=*/40, /*low_len=*/48,
+                        /*high_len=*/24);
+  const std::vector<Bits> trace = source.Generate(400);
+
+  SingleSessionOnline algorithm(params);
+  Narrator narrator;
+  algorithm.SetObserver(&narrator);
+  BitQueue queue;
+
+  std::printf("slot | event (first 200 slots narrated via StageObserver)\n");
+  std::printf("-----+--------------------------------------------------\n");
+  for (Time t = 0; t < static_cast<Time>(trace.size()); ++t) {
+    if (t == 200) algorithm.SetObserver(nullptr);  // quiet the tail
+    const Bits in = trace[static_cast<std::size_t>(t)];
+    queue.Enqueue(t, in);
+    const Bandwidth bw = algorithm.OnSlot(t, in, queue.size());
+    const Bits served = queue.ServeSlot(t, bw, nullptr);
+    algorithm.OnServed(t, served, queue.size());
+  }
+
+  std::printf("\nSummary over %zu slots:\n", trace.size());
+  std::printf("  certified stages (offline changes forced): %lld\n",
+              static_cast<long long>(algorithm.stages()));
+  std::printf("  worst per-stage online changes           : %lld "
+              "(Lemma 1 bound: l_A + 3 = %d)\n",
+              static_cast<long long>(algorithm.max_changes_in_any_stage()),
+              params.levels() + 3);
+  std::printf(
+      "\nEach sawtooth collapse drives high(t) below low(t): no single "
+      "bandwidth value\ncould have served the whole stage, so the offline "
+      "must have changed too —\nthat certificate is what makes the "
+      "O(log B_A) competitive ratio possible.\n");
+  return 0;
+}

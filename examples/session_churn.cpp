@@ -1,0 +1,73 @@
+// Session churn scenario (extension): an access gateway where subscribers
+// dial in and hang up continuously — the paper's multi-session model with
+// dynamic membership. Every join/leave re-divides the regular channel
+// (B_O / k_current) via a RESET, and a departing subscriber's queued bits
+// still make their deadline.
+#include <cstdio>
+
+#include "core/dynamic_gateway.h"
+#include "util/rng.h"
+
+using namespace bwalloc;
+
+int main() {
+  const Bits uplink = 256;  // B_O bits/slot
+  const Time sla = 12;      // D_O slots
+
+  DynamicGateway gateway(uplink, sla);
+  Rng rng(2026);
+
+  std::vector<std::int64_t> subscribers;
+  for (int i = 0; i < 6; ++i) subscribers.push_back(gateway.Join());
+
+  std::int64_t joins = 6;
+  std::int64_t leaves = 0;
+  Bits sent = 0;
+  const Time horizon = 30000;
+  for (Time t = 0; t < horizon; ++t) {
+    const double per_subscriber =
+        0.55 * static_cast<double>(uplink) /
+        static_cast<double>(subscribers.size());
+    for (const std::int64_t s : subscribers) {
+      const Bits in = rng.Poisson(per_subscriber);
+      gateway.Arrive(t, s, in);
+      sent += in;
+    }
+    if (rng.Bernoulli(0.004) && subscribers.size() > 3) {
+      gateway.Leave(subscribers.back());
+      subscribers.pop_back();
+      ++leaves;
+    } else if (rng.Bernoulli(0.004) && subscribers.size() < 12) {
+      subscribers.push_back(gateway.Join());
+      ++joins;
+    }
+    gateway.Step(t);
+  }
+  for (Time t = horizon; t < horizon + 4 * sla; ++t) gateway.Step(t);
+
+  std::printf("Access gateway under churn (%lld slots):\n",
+              static_cast<long long>(horizon));
+  std::printf("  subscribers now        : %lld (joins %lld, leaves %lld)\n",
+              static_cast<long long>(gateway.active_sessions()),
+              static_cast<long long>(joins), static_cast<long long>(leaves));
+  std::printf("  bits sent / delivered  : %lld / %lld\n",
+              static_cast<long long>(sent),
+              static_cast<long long>(gateway.delay().total_bits()));
+  std::printf("  max delay              : %lld slots (SLA envelope 3 D_O = "
+              "%lld under churn)\n",
+              static_cast<long long>(gateway.delay().max_delay()),
+              static_cast<long long>(3 * sla));
+  std::printf("  p99 / mean delay       : %lld / %.2f slots\n",
+              static_cast<long long>(gateway.delay().Percentile(0.99)),
+              gateway.delay().MeanDelay());
+  std::printf("  allocation changes     : %lld (%lld membership resets, "
+              "%lld overload stages)\n",
+              static_cast<long long>(gateway.allocation_changes()),
+              static_cast<long long>(gateway.membership_resets()),
+              static_cast<long long>(gateway.stages()));
+  std::printf(
+      "\nEvery join/leave re-divides the pool without touching in-flight "
+      "bits; overload\nstages stay rare because churn already re-fits the "
+      "shares to the population.\n");
+  return 0;
+}

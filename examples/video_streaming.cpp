@@ -1,0 +1,93 @@
+// Video streaming scenario (Section 1: "even video communication involves
+// a variable requirement of bandwidth (due to compression)").
+//
+// A VBR video stream (GoP structure + scene changes) is carried over a
+// network that bills for reserved bandwidth-time AND for every
+// renegotiation. Compare what the user pays under each allocation policy
+// at three different renegotiation prices.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/cost_model.h"
+#include "analysis/table.h"
+#include "baseline/exp_smoothing.h"
+#include "baseline/per_arrival.h"
+#include "baseline/static_alloc.h"
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+using namespace bwalloc;
+
+namespace {
+
+struct Candidate {
+  const char* name;
+  SingleRunResult result;
+};
+
+}  // namespace
+
+int main() {
+  const Bits ba = 512;
+  const Time da = 24;  // lip-sync budget in slots
+  const auto stream = SingleSessionWorkload("video", ba, da / 2,
+                                            /*horizon=*/30000, /*seed=*/9);
+
+  SingleEngineOptions options;
+  options.drain_slots = 4 * da;
+  options.utilization_scan_window = 12 + 5 * (da / 2);
+
+  std::vector<Candidate> candidates;
+  {
+    StaticAllocator alloc = MakeStaticPeak(stream, da);
+    candidates.push_back(
+        {"static-peak", RunSingleSession(stream, alloc, options)});
+  }
+  {
+    PerArrivalAllocator alloc(da);
+    candidates.push_back(
+        {"per-frame renegotiation", RunSingleSession(stream, alloc, options)});
+  }
+  {
+    ExpSmoothingAllocator alloc(15, 40, da);
+    candidates.push_back(
+        {"ewma+hysteresis", RunSingleSession(stream, alloc, options)});
+  }
+  {
+    SingleSessionParams p;
+    p.max_bandwidth = ba;
+    p.max_delay = da;
+    p.min_utilization = Ratio(1, 6);
+    p.window = 12;
+    SingleSessionOnline alloc(p);
+    candidates.push_back(
+        {"online (Fig.3)", RunSingleSession(stream, alloc, options)});
+  }
+
+  Table table({"policy", "max delay", "changes", "reserved Mbit",
+               "cost: free chg", "cost: 1k/chg", "cost: 10k/chg"});
+  for (const Candidate& c : candidates) {
+    const CostModel free_changes{1.0, 0.0};
+    const CostModel cheap{1.0, 1000.0};
+    const CostModel pricey{1.0, 10000.0};
+    table.AddRow({c.name, Table::Num(c.result.delay.max_delay()),
+                  Table::Num(c.result.changes),
+                  Table::Num(c.result.total_allocated_bits / 1e6, 2),
+                  Table::Num(free_changes.Cost(c.result) / 1e6, 2),
+                  Table::Num(cheap.Cost(c.result) / 1e6, 2),
+                  Table::Num(pricey.Cost(c.result) / 1e6, 2)});
+  }
+
+  std::printf("VBR video over a billed network: B_A=%lld bits/slot, "
+              "delay budget %lld slots\n\n",
+              static_cast<long long>(ba), static_cast<long long>(da));
+  table.PrintAscii(std::cout);
+  std::printf(
+      "\nAs renegotiation gets pricier (left to right), per-frame "
+      "renegotiation goes\nfrom optimal to ruinous; the static reservation "
+      "wastes bandwidth at every price;\nthe online algorithm stays near "
+      "the cheapest column throughout — the paper's\npitch for minimizing "
+      "changes subject to latency and utilization.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Cross-seed aggregation: mean / stddev / min / max / normal-approximation
+// confidence intervals for repeated experiment runs, so the benches can
+// report "ratio = 5.3 ± 0.4 over 20 seeds" instead of single draws.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+class SampleStats {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (const double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // Sample standard deviation (n-1 denominator).
+  double StdDev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double mean = Mean();
+    double ss = 0;
+    for (const double v : samples_) ss += (v - mean) * (v - mean);
+    return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+  }
+
+  double Min() const {
+    BW_REQUIRE(!samples_.empty(), "Min of empty sample set");
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    BW_REQUIRE(!samples_.empty(), "Max of empty sample set");
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Half-width of the normal-approximation 95% confidence interval of the
+  // mean (0 for fewer than two samples).
+  double Ci95() const {
+    if (samples_.size() < 2) return 0.0;
+    return 1.96 * StdDev() /
+           std::sqrt(static_cast<double>(samples_.size()));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace bwalloc

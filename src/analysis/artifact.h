@@ -1,0 +1,39 @@
+// Bench artifact output: every bench binary prints ASCII tables for
+// humans; pass a directory as the first command-line argument and each
+// table is also written there as CSV for plotting:
+//
+//   ./build/bench/bench_thm6_single out/   ->  out/thm6_ratios.csv, ...
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/table.h"
+
+namespace bwalloc {
+
+class BenchArtifacts {
+ public:
+  BenchArtifacts(int argc, char** argv) {
+    if (argc > 1) dir_ = argv[1];
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+
+  // Writes `<dir>/<name>.csv` when an output directory was given; always a
+  // no-op otherwise. Throws on I/O failure.
+  void Save(const std::string& name, const Table& table) const {
+    if (dir_.empty()) return;
+    const std::string path = dir_ + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write artifact: " + path);
+    table.PrintCsv(out);
+    if (!out) throw std::runtime_error("short artifact write: " + path);
+  }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,35 @@
+#include "analysis/competitive.h"
+
+#include <algorithm>
+
+namespace bwalloc {
+
+CompetitiveRow CompareSingle(const std::string& workload,
+                             const std::vector<Bits>& trace,
+                             const SingleRunResult& online,
+                             const OfflineParams& offline_params,
+                             double theory_bound, Time delay_bound) {
+  CompetitiveRow row;
+  row.workload = workload;
+  row.online_changes = online.changes;
+  row.offline_lower = EnvelopeStageLowerBound(trace, offline_params);
+  const OfflineSchedule greedy =
+      GreedyMinChangeSchedule(trace, offline_params);
+  row.offline_greedy = greedy.feasible ? greedy.changes() : -1;
+  row.ratio_vs_lower =
+      static_cast<double>(online.changes) /
+      static_cast<double>(std::max<std::int64_t>(1, row.offline_lower));
+  row.ratio_vs_greedy =
+      row.offline_greedy < 0
+          ? 0.0
+          : static_cast<double>(online.changes) /
+                static_cast<double>(
+                    std::max<std::int64_t>(1, row.offline_greedy));
+  row.theory_bound = theory_bound;
+  row.max_delay = online.delay.max_delay();
+  row.delay_bound = delay_bound;
+  row.utilization = online.worst_best_window_utilization;
+  return row;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,35 @@
+// Competitive-ratio report helpers: bundle an online run against the
+// offline comparators into the row every theorem bench prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "offline/offline_single.h"
+#include "sim/run_result.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct CompetitiveRow {
+  std::string workload;
+  std::int64_t online_changes = 0;
+  std::int64_t offline_lower = 0;   // Lemma 1 / Lemma 13 stage bound
+  std::int64_t offline_greedy = 0;  // constructive schedule's changes
+  double ratio_vs_lower = 0.0;      // online / max(1, lower bound)
+  double ratio_vs_greedy = 0.0;     // online / max(1, greedy)
+  double theory_bound = 0.0;        // the theorem's multiplicative bound
+  Time max_delay = 0;
+  Time delay_bound = 0;
+  double utilization = 0.0;
+};
+
+// Assemble the single-session comparison (runs the offline comparators).
+CompetitiveRow CompareSingle(const std::string& workload,
+                             const std::vector<Bits>& trace,
+                             const SingleRunResult& online,
+                             const OfflineParams& offline_params,
+                             double theory_bound, Time delay_bound);
+
+}  // namespace bwalloc

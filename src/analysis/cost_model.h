@@ -1,0 +1,28 @@
+// Session cost model (Section 1: "pricing may depend on bandwidth
+// consumption … this would translate also to the price of a bandwidth
+// change"). Cost = bandwidth_price * total allocated bandwidth-time
+//             + change_price   * number of allocation changes.
+// Used by the examples to make the three-way tradeoff concrete in money.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/run_result.h"
+
+namespace bwalloc {
+
+struct CostModel {
+  double bandwidth_price_per_bitslot = 1.0;
+  double change_price = 0.0;
+
+  double Cost(double total_allocated_bits, std::int64_t changes) const {
+    return bandwidth_price_per_bitslot * total_allocated_bits +
+           change_price * static_cast<double>(changes);
+  }
+
+  double Cost(const SingleRunResult& r) const {
+    return Cost(r.total_allocated_bits, r.changes);
+  }
+};
+
+}  // namespace bwalloc

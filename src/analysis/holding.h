@@ -1,0 +1,64 @@
+// Allocation holding-time statistics.
+//
+// The paper builds on [SK94] ("an empirical evaluation of virtual circuit
+// holding times"): how long an allocation survives before the next
+// renegotiation is the operational face of the change count. This turns a
+// per-slot allocation trace into the distribution of constant-allocation
+// run lengths.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class HoldingTimeStats {
+ public:
+  // Build from a per-slot allocation trace (e.g.
+  // SingleRunResult::allocation_trace).
+  explicit HoldingTimeStats(const std::vector<Bandwidth>& allocation_trace) {
+    Time run = 0;
+    for (std::size_t t = 0; t < allocation_trace.size(); ++t) {
+      if (t == 0 || allocation_trace[t] == allocation_trace[t - 1]) {
+        ++run;
+      } else {
+        runs_.push_back(run);
+        run = 1;
+      }
+    }
+    if (run > 0) runs_.push_back(run);
+    std::sort(runs_.begin(), runs_.end());
+  }
+
+  std::int64_t holdings() const {
+    return static_cast<std::int64_t>(runs_.size());
+  }
+
+  double MeanHolding() const {
+    if (runs_.empty()) return 0.0;
+    Time total = 0;
+    for (const Time r : runs_) total += r;
+    return static_cast<double>(total) / static_cast<double>(runs_.size());
+  }
+
+  // p in [0, 1]; p = 0.5 is the median holding time.
+  Time Percentile(double p) const {
+    BW_REQUIRE(p >= 0.0 && p <= 1.0, "Percentile: p out of range");
+    if (runs_.empty()) return 0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(runs_.size() - 1) + 0.5);
+    return runs_[std::min(idx, runs_.size() - 1)];
+  }
+
+  Time MinHolding() const { return runs_.empty() ? 0 : runs_.front(); }
+  Time MaxHolding() const { return runs_.empty() ? 0 : runs_.back(); }
+
+ private:
+  std::vector<Time> runs_;  // sorted run lengths
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,219 @@
+#include "analysis/json.h"
+
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back() == '1') out_ += ',';
+    needs_comma_.back() = '1';
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  needs_comma_.push_back('0');
+}
+
+void JsonWriter::EndObject() {
+  BW_CHECK(!needs_comma_.empty(), "JsonWriter: unbalanced EndObject");
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  needs_comma_.push_back('0');
+}
+
+void JsonWriter::EndArray() {
+  BW_CHECK(!needs_comma_.empty(), "JsonWriter: unbalanced EndArray");
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(const std::string& v) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Value(const char* v) { Value(std::string(v)); }
+
+void JsonWriter::Value(std::int64_t v) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteDelay(JsonWriter& w, const DelayHistogram& delay) {
+  w.BeginObject();
+  w.Key("max");
+  w.Value(delay.max_delay());
+  w.Key("mean");
+  w.Value(delay.MeanDelay());
+  w.Key("p50");
+  w.Value(delay.Percentile(0.5));
+  w.Key("p99");
+  w.Value(delay.Percentile(0.99));
+  w.Key("bits");
+  w.Value(delay.total_bits());
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ToJson(const SingleRunResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("horizon");
+  w.Value(result.horizon);
+  w.Key("arrivals");
+  w.Value(result.total_arrivals);
+  w.Key("delivered");
+  w.Value(result.total_delivered);
+  w.Key("dropped");
+  w.Value(result.dropped);
+  w.Key("final_queue");
+  w.Value(result.final_queue);
+  w.Key("peak_queue");
+  w.Value(result.peak_queue);
+  w.Key("changes");
+  w.Value(result.changes);
+  w.Key("stages");
+  w.Value(result.stages);
+  w.Key("global_utilization");
+  w.Value(result.global_utilization);
+  w.Key("local_utilization");
+  w.Value(result.worst_best_window_utilization);
+  w.Key("allocated_bits");
+  w.Value(result.total_allocated_bits);
+  w.Key("peak_allocation");
+  w.Value(result.peak_allocation.ToDouble());
+  w.Key("delay");
+  WriteDelay(w, result.delay);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ToJson(const MultiRunResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("horizon");
+  w.Value(result.horizon);
+  w.Key("sessions");
+  w.Value(result.sessions);
+  w.Key("arrivals");
+  w.Value(result.total_arrivals);
+  w.Key("delivered");
+  w.Value(result.total_delivered);
+  w.Key("final_queue");
+  w.Value(result.final_queue);
+  w.Key("local_changes");
+  w.Value(result.local_changes);
+  w.Key("global_changes");
+  w.Value(result.global_changes);
+  w.Key("stages");
+  w.Value(result.stages);
+  w.Key("global_stages");
+  w.Value(result.global_stages);
+  w.Key("global_utilization");
+  w.Value(result.global_utilization);
+  w.Key("peak_total_allocation");
+  w.Value(result.peak_total_allocation.ToDouble());
+  w.Key("delay");
+  WriteDelay(w, result.delay);
+  w.Key("per_session_max_delay");
+  w.BeginArray();
+  for (const DelayHistogram& h : result.per_session_delay) {
+    w.Value(h.max_delay());
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ToJson(const OfflineSchedule& schedule) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("feasible");
+  w.Value(schedule.feasible);
+  w.Key("proven_optimal");
+  w.Value(schedule.proven_optimal);
+  w.Key("horizon");
+  w.Value(schedule.horizon);
+  w.Key("changes");
+  w.Value(schedule.changes());
+  w.Key("pieces");
+  w.BeginArray();
+  for (const SchedulePiece& p : schedule.pieces) {
+    w.BeginObject();
+    w.Key("start");
+    w.Value(p.start);
+    w.Key("bandwidth");
+    w.Value(p.bandwidth.ToDouble());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,93 @@
+// Service-level conformance report: turns a run's delay histogram and
+// utilization measurements into pass/fail against the contract the user
+// bought — the operational counterpart of the theorems' guarantees, used
+// by the examples and the CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/run_result.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct SlaContract {
+  Time max_delay = 0;              // every bit within this many slots
+  Time p99_delay = 0;              // 0 disables the percentile clause
+  double min_local_utilization = 0.0;   // 0 disables
+  double min_global_utilization = 0.0;  // 0 disables
+};
+
+struct SlaClause {
+  std::string name;
+  double measured = 0.0;
+  double bound = 0.0;
+  bool satisfied = false;
+};
+
+struct SlaReport {
+  std::vector<SlaClause> clauses;
+  bool Conformant() const {
+    for (const SlaClause& c : clauses) {
+      if (!c.satisfied) return false;
+    }
+    return true;
+  }
+};
+
+inline SlaReport EvaluateSla(const SingleRunResult& run,
+                             const SlaContract& contract) {
+  SlaReport report;
+  report.clauses.push_back(
+      {"max delay", static_cast<double>(run.delay.max_delay()),
+       static_cast<double>(contract.max_delay),
+       run.delay.max_delay() <= contract.max_delay});
+  if (contract.p99_delay > 0) {
+    const Time p99 = run.delay.Percentile(0.99);
+    report.clauses.push_back({"p99 delay", static_cast<double>(p99),
+                              static_cast<double>(contract.p99_delay),
+                              p99 <= contract.p99_delay});
+  }
+  if (contract.min_local_utilization > 0) {
+    report.clauses.push_back(
+        {"local utilization", run.worst_best_window_utilization,
+         contract.min_local_utilization,
+         run.worst_best_window_utilization >=
+             contract.min_local_utilization - 1e-12});
+  }
+  if (contract.min_global_utilization > 0) {
+    report.clauses.push_back(
+        {"global utilization", run.global_utilization,
+         contract.min_global_utilization,
+         run.global_utilization >=
+             contract.min_global_utilization - 1e-12});
+  }
+  return report;
+}
+
+inline SlaReport EvaluateSla(const MultiRunResult& run,
+                             const SlaContract& contract) {
+  SlaReport report;
+  report.clauses.push_back(
+      {"max delay", static_cast<double>(run.delay.max_delay()),
+       static_cast<double>(contract.max_delay),
+       run.delay.max_delay() <= contract.max_delay});
+  if (contract.p99_delay > 0) {
+    const Time p99 = run.delay.Percentile(0.99);
+    report.clauses.push_back({"p99 delay", static_cast<double>(p99),
+                              static_cast<double>(contract.p99_delay),
+                              p99 <= contract.p99_delay});
+  }
+  if (contract.min_global_utilization > 0) {
+    report.clauses.push_back(
+        {"global utilization", run.global_utilization,
+         contract.min_global_utilization,
+         run.global_utilization >=
+             contract.min_global_utilization - 1e-12});
+  }
+  return report;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,80 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  BW_REQUIRE(!columns_.empty(), "Table: need at least one column");
+}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  BW_REQUIRE(cells.size() == columns_.size(),
+             "Table::AddRow: cell count mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::Num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::PrintAscii(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      for (std::size_t p = 0; p < width[c] + 2; ++p) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_row(columns_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace bwalloc

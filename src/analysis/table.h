@@ -1,0 +1,33 @@
+// Minimal table builder for the bench binaries: aligned ASCII output (what
+// EXPERIMENTS.md quotes) plus CSV for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bwalloc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string Num(std::int64_t v);
+  static std::string Num(int v) { return Num(static_cast<std::int64_t>(v)); }
+  static std::string Num(double v, int precision = 3);
+
+  void PrintAscii(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,47 @@
+#include "analysis/tuner.h"
+
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "util/assert.h"
+
+namespace bwalloc {
+
+TuneResult TuneWindow(const std::vector<Bits>& trace,
+                      const SingleSessionParams& base, Time max_window) {
+  BW_REQUIRE(max_window >= base.max_delay / 2,
+             "TuneWindow: max_window must be >= D_O");
+  TuneResult result;
+
+  const double target = base.min_utilization.ToDouble();
+  for (Time w = base.max_delay / 2; w <= max_window; w *= 2) {
+    SingleSessionParams p = base;
+    p.window = w;
+    p.Validate();
+    SingleSessionOnline alg(p);
+    SingleEngineOptions opt;
+    opt.drain_slots = 2 * p.max_delay;
+    opt.utilization_scan_window = w + 5 * p.offline_delay();
+    const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+    TunePoint point;
+    point.window = w;
+    point.changes = r.changes;
+    point.stages = r.stages;
+    point.max_delay = r.delay.max_delay();
+    point.local_utilization = r.worst_best_window_utilization;
+    point.global_utilization = r.global_utilization;
+    result.sweep.push_back(point);
+
+    // Larger windows mean fewer certified stages and fewer changes
+    // (ablation ABL-B), so prefer the largest W that still clears the
+    // utilization target and the delay bound.
+    if (point.local_utilization >= target - 1e-12 &&
+        point.max_delay <= p.max_delay) {
+      result.recommended_window = w;
+      result.found = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,41 @@
+// Window tuner: the practical answer to the paper's "when choosing the
+// parameter W, we would not like it to be too large … on the other hand it
+// should be large enough".
+//
+// Given a representative trace and the service targets, sweep candidate
+// utilization windows, run the Fig. 3 algorithm on each, and return the
+// sweep plus the recommendation: the largest W (fewest changes — see
+// ablation ABL-B) whose measured local utilization still clears the
+// target.
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+#include "sim/run_result.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct TunePoint {
+  Time window = 0;
+  std::int64_t changes = 0;
+  std::int64_t stages = 0;
+  Time max_delay = 0;
+  double local_utilization = 0.0;
+  double global_utilization = 0.0;
+};
+
+struct TuneResult {
+  std::vector<TunePoint> sweep;   // one point per candidate window
+  Time recommended_window = 0;    // 0 if no candidate met the target
+  bool found = false;
+};
+
+// `base` supplies B_A, D_A and U_A; its window field is ignored. Candidates
+// are D_O, 2 D_O, 4 D_O, ... up to `max_window` (doubling), clipped to at
+// least D_O.
+TuneResult TuneWindow(const std::vector<Bits>& trace,
+                      const SingleSessionParams& base, Time max_window);
+
+}  // namespace bwalloc

@@ -1,0 +1,56 @@
+// Exponential-smoothing heuristic in the spirit of [ACHM96] (Afek, Cohen,
+// Haalman, Mansour: "Dynamic bandwidth allocation"): track an EWMA of the
+// arrival rate and renegotiate only when the current allocation drifts out
+// of a hysteresis band around the estimate — the practical knob-based
+// answer to the change-count / tracking-quality tradeoff this paper
+// formalizes.
+#pragma once
+
+#include "sim/engine_single.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class ExpSmoothingAllocator final : public SingleSessionAllocator {
+ public:
+  // alpha_percent in (0, 100]: EWMA weight of the newest slot.
+  // band_percent >= 0: renegotiate when the estimate (plus the drain term)
+  // leaves [current/(1+band), current*(1+band)].
+  ExpSmoothingAllocator(std::int64_t alpha_percent, std::int64_t band_percent,
+                        Time target_delay)
+      : alpha_percent_(alpha_percent),
+        band_percent_(band_percent),
+        target_delay_(target_delay) {
+    BW_REQUIRE(alpha_percent >= 1 && alpha_percent <= 100,
+               "ExpSmoothingAllocator: alpha must be in [1, 100]%");
+    BW_REQUIRE(band_percent >= 0, "ExpSmoothingAllocator: band must be >= 0");
+    BW_REQUIRE(target_delay >= 1,
+               "ExpSmoothingAllocator: delay must be >= 1");
+  }
+
+  Bandwidth OnSlot(Time /*now*/, Bits arrivals, Bits queue) override {
+    // ewma <- (1 - a) * ewma + a * arrivals, in raw fixed point.
+    ewma_raw_ = (ewma_raw_ * (100 - alpha_percent_) +
+                 Bandwidth::FromBitsPerSlot(arrivals).raw() * alpha_percent_) /
+                100;
+    const Bandwidth drain = Bandwidth::CeilDiv(queue, target_delay_);
+    Bandwidth want = Bandwidth::FromRaw(ewma_raw_);
+    if (drain > want) want = drain;
+
+    const std::int64_t lo = current_.raw() * 100 / (100 + band_percent_);
+    const std::int64_t hi = current_.raw() * (100 + band_percent_) / 100;
+    if (want.raw() < lo || want.raw() > hi) current_ = want;
+    return current_;
+  }
+
+ private:
+  std::int64_t alpha_percent_;
+  std::int64_t band_percent_;
+  Time target_delay_;
+  std::int64_t ewma_raw_ = 0;
+  Bandwidth current_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,60 @@
+// Per-arrival dynamic allocation — Figure 2(c): re-negotiate bandwidth for
+// essentially every message. Each slot the allocation is re-set to the
+// exact rate the current backlog's deadlines require (bit arriving at a
+// must leave by a + target_delay); with bursty input this changes nearly
+// every slot ("the high number of changes would be a burden on the
+// network, and makes such a scheme completely unrealistic").
+#pragma once
+
+#include <deque>
+
+#include "sim/engine_single.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class PerArrivalAllocator final : public SingleSessionAllocator {
+ public:
+  explicit PerArrivalAllocator(Time target_delay)
+      : target_delay_(target_delay) {
+    BW_REQUIRE(target_delay >= 1, "PerArrivalAllocator: delay must be >= 1");
+  }
+
+  Bandwidth OnSlot(Time now, Bits arrivals, Bits /*queue*/) override {
+    if (arrivals > 0) backlog_.push_back({now, arrivals});
+    // Exact requirement: every prefix of the FIFO backlog must drain by its
+    // last chunk's deadline.
+    Bandwidth need;
+    Bits cum = 0;
+    for (const Chunk& c : backlog_) {
+      cum += c.bits;
+      const Time slots_left = c.arrival + target_delay_ - now + 1;
+      BW_CHECK(slots_left >= 1, "per-arrival allocator missed a deadline");
+      const Bandwidth rate = Bandwidth::CeilDiv(cum, slots_left);
+      if (rate > need) need = rate;
+    }
+    return need;
+  }
+
+  void OnServed(Time /*now*/, Bits served, Bits /*queue_after*/) override {
+    while (served > 0 && !backlog_.empty()) {
+      Chunk& head = backlog_.front();
+      const Bits take = head.bits < served ? head.bits : served;
+      head.bits -= take;
+      served -= take;
+      if (head.bits == 0) backlog_.pop_front();
+    }
+  }
+
+ private:
+  struct Chunk {
+    Time arrival;
+    Bits bits;
+  };
+  Time target_delay_;
+  std::deque<Chunk> backlog_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,52 @@
+// Periodic renegotiation — the RCBR-style heuristic of [GKT95]
+// ("Grossglauser, Keshav, Tse: a simple efficient service for multiple
+// time-scale traffic"), one of the experimental schemes the paper cites as
+// limiting changes "by requiring that the modification be done
+// periodically". Every `period` slots the allocation is re-set to the
+// recent average arrival rate times a safety margin, plus a term that
+// drains the standing backlog within the target delay.
+#pragma once
+
+#include "sim/engine_single.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class PeriodicAllocator final : public SingleSessionAllocator {
+ public:
+  // margin_percent: 100 = exact average; 125 = 25% headroom.
+  PeriodicAllocator(Time period, std::int64_t margin_percent,
+                    Time target_delay)
+      : period_(period),
+        margin_percent_(margin_percent),
+        target_delay_(target_delay) {
+    BW_REQUIRE(period >= 1, "PeriodicAllocator: period must be >= 1");
+    BW_REQUIRE(margin_percent >= 100,
+               "PeriodicAllocator: margin must be >= 100%");
+    BW_REQUIRE(target_delay >= 1, "PeriodicAllocator: delay must be >= 1");
+  }
+
+  Bandwidth OnSlot(Time now, Bits arrivals, Bits queue) override {
+    window_bits_ += arrivals;
+    if (now % period_ == 0) {
+      const Bandwidth avg = Bandwidth::FromRaw(
+          (Bandwidth::FromBitsPerSlot(window_bits_).raw() / period_) *
+          margin_percent_ / 100);
+      const Bandwidth drain = Bandwidth::CeilDiv(queue, target_delay_);
+      current_ = avg > drain ? avg : drain;
+      window_bits_ = 0;
+    }
+    return current_;
+  }
+
+ private:
+  Time period_;
+  std::int64_t margin_percent_;
+  Time target_delay_;
+  Bits window_bits_ = 0;
+  Bandwidth current_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,24 @@
+#include "baseline/static_alloc.h"
+
+#include "offline/offline_single.h"
+
+namespace bwalloc {
+
+StaticAllocator MakeStaticPeak(const std::vector<Bits>& trace, Time delay) {
+  const Ratio need = MinimalStaticBandwidth(trace, delay);
+  const Int128 raw = (static_cast<Int128>(need.num())
+                        << Bandwidth::kShift) +
+                       need.den() - 1;
+  return StaticAllocator(
+      Bandwidth::FromRaw(static_cast<std::int64_t>(raw / need.den())));
+}
+
+StaticAllocator MakeStaticMean(const std::vector<Bits>& trace) {
+  BW_REQUIRE(!trace.empty(), "MakeStaticMean: empty trace");
+  Bits total = 0;
+  for (const Bits b : trace) total += b;
+  return StaticAllocator(
+      Bandwidth::CeilDiv(total, static_cast<Time>(trace.size())));
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,36 @@
+// Static allocators — the two extremes of Figure 2(a)/(b).
+//
+// StaticAllocator holds one bandwidth value forever (zero changes).
+// Convenience factories pick the two interesting values for a known trace:
+// the minimal delay-feasible static rate (Fig. 2(a): short delay, low
+// utilization) and the mean arrival rate (Fig. 2(b): high utilization,
+// long delay).
+#pragma once
+
+#include <vector>
+
+#include "sim/engine_single.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class StaticAllocator final : public SingleSessionAllocator {
+ public:
+  explicit StaticAllocator(Bandwidth bw) : bw_(bw) {}
+  Bandwidth OnSlot(Time /*now*/, Bits /*arrivals*/, Bits /*queue*/) override {
+    return bw_;
+  }
+
+ private:
+  Bandwidth bw_;
+};
+
+// Minimal static bandwidth with delay <= `delay` on `trace` (Fig. 2(a)).
+StaticAllocator MakeStaticPeak(const std::vector<Bits>& trace, Time delay);
+
+// Mean arrival rate of `trace`, rounded up (Fig. 2(b)).
+StaticAllocator MakeStaticMean(const std::vector<Bits>& trace);
+
+}  // namespace bwalloc

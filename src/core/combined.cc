@@ -1,0 +1,180 @@
+#include "core/combined.h"
+
+#include "util/power_of_two.h"
+
+namespace bwalloc {
+
+CombinedOnline::CombinedOnline(const CombinedParams& params,
+                               ServiceDiscipline discipline)
+    : params_(params),
+      channels_(params.sessions, discipline),
+      low_tracker_(params.offline_delay),
+      // While no full W-window fits in the global stage, high(t) is
+      // unbounded; 2 B_O caps B_on's range (low <= B_O within a stage on
+      // feasible input, so B_on <= 2 B_O).
+      high_tracker_(params.window, params.offline_utilization,
+                    2 * params.offline_bandwidth) {
+  params_.Validate();
+}
+
+bool CombinedOnline::RegularOverloaded(std::int64_t i) const {
+  const Int128 lhs = static_cast<Int128>(channels_.regular_queue_size(i))
+                       << Bandwidth::kShift;
+  const Int128 rhs = static_cast<Int128>(channels_.regular_bw(i).raw()) *
+                       params_.offline_delay;
+  return lhs > rhs;
+}
+
+void CombinedOnline::StartGlobalStage(Time ts) {
+  low_tracker_.StartStage(ts);
+  high_tracker_.StartStage(ts);
+  b_on_ = 0;  // nothing has arrived this stage: reserve nothing
+}
+
+void CombinedOnline::StartLocalStage(Time now, bool shunt_regular) {
+  // Overflow allocations are recomputed wholesale below; pending
+  // continuous-inner leases would double-subtract.
+  reductions_.clear();
+  share_ = Bandwidth::FromBitsPerSlot(b_on_) / params_.sessions;
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (shunt_regular && channels_.regular_queue_size(i) > 0) {
+      channels_.MoveRegularToOverflow(i);
+    }
+    if (channels_.overflow_queue_size(i) > 0) {
+      channels_.SetOverflow(
+          i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                params_.offline_delay));
+    } else {
+      channels_.SetOverflow(i, Bandwidth::Zero());
+    }
+    channels_.SetRegular(i, share_);
+  }
+  next_phase_ = now + params_.offline_delay;
+}
+
+void CombinedOnline::PhaseBoundary(Time now) {
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!RegularOverloaded(i)) {
+      channels_.SetOverflow(i, Bandwidth::Zero());
+    } else {
+      channels_.SetRegular(i, channels_.regular_bw(i) + share_);
+      channels_.MoveRegularToOverflow(i);
+      channels_.SetOverflow(
+          i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                params_.offline_delay));
+    }
+  }
+  const Bandwidth cap = Bandwidth::FromBitsPerSlot(2 * b_on_);
+  if (channels_.TotalRegular() > cap) {
+    ++completed_local_stages_;
+    StartLocalStage(now, /*shunt_regular=*/true);
+  }
+}
+
+void CombinedOnline::ShuntWithLease(Time now, std::int64_t i) {
+  const Bits q = channels_.regular_queue_size(i);
+  if (q == 0) return;
+  channels_.MoveRegularToOverflow(i);
+  const Bandwidth lease = Bandwidth::CeilDiv(q, params_.offline_delay);
+  channels_.AddOverflow(i, lease);
+  reductions_[now + params_.offline_delay].push_back({i, lease});
+}
+
+void CombinedOnline::ContinuousTest(Time now, std::int64_t i) {
+  if (!RegularOverloaded(i)) return;
+  channels_.SetRegular(i, channels_.regular_bw(i) + share_);
+  ShuntWithLease(now, i);
+  const Bandwidth cap = Bandwidth::FromBitsPerSlot(2 * b_on_);
+  if (channels_.TotalRegular() > cap) {
+    ++completed_local_stages_;
+    StartLocalStage(now, /*shunt_regular=*/true);
+  }
+}
+
+void CombinedOnline::ApplyReductions(Time now) {
+  const auto it = reductions_.find(now);
+  if (it == reductions_.end()) return;
+  for (const Reduction& r : it->second) {
+    channels_.AddOverflow(r.session, Bandwidth::Zero() - r.amount);
+  }
+  reductions_.erase(it);
+}
+
+void CombinedOnline::GlobalReset(Time now) {
+  reductions_.clear();
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    channels_.DrainSessionInto(i, global_queue_);
+    channels_.SetOverflow(i, Bandwidth::Zero());
+  }
+  if (global_queue_.size() > peak_global_queue_) {
+    peak_global_queue_ = global_queue_.size();
+  }
+  ++completed_global_stages_;
+  ++completed_local_stages_;  // the local stage ends with the global one
+  // A new global stage begins immediately (next slot in slotted time).
+  StartGlobalStage(now + 1);
+  StartLocalStage(now, /*shunt_regular=*/false);
+}
+
+void CombinedOnline::Step(Time now, std::span<const Bits> arrivals) {
+  BW_REQUIRE(static_cast<std::int64_t>(arrivals.size()) == params_.sessions,
+             "CombinedOnline::Step: arrival vector size mismatch");
+  if (!started_) {
+    started_ = true;
+    StartGlobalStage(now);
+    StartLocalStage(now, /*shunt_regular=*/false);
+  }
+
+  Bits total_in = 0;
+  for (const Bits a : arrivals) total_in += a;
+
+  // Global envelopes over the aggregate stream (same conventions as the
+  // single-session algorithm: low excludes slot-t arrivals, high includes).
+  bool global_reset = false;
+  {
+    const Ratio low = low_tracker_.LowAt(now);
+    high_tracker_.RecordArrivals(now, total_in);
+    const Ratio high = high_tracker_.HighAt();
+    low_tracker_.RecordArrivals(total_in);
+
+    if (high < low || Ratio(params_.offline_bandwidth, 1) < low) {
+      GlobalReset(now);
+      global_reset = true;
+    } else if (!low.is_zero()) {
+      const Bits level = CeilPowerOfTwoAtLeast(low);
+      if (level > b_on_) {
+        b_on_ = level;
+        ++completed_local_stages_;
+        StartLocalStage(now, /*shunt_regular=*/true);
+      }
+    }
+  }
+
+  // Inner multi-session machinery.
+  if (params_.continuous_inner) {
+    if (!global_reset) ApplyReductions(now);
+    for (std::int64_t i = 0; i < params_.sessions; ++i) {
+      channels_.Enqueue(i, now, arrivals[static_cast<std::size_t>(i)]);
+      if (!global_reset && arrivals[static_cast<std::size_t>(i)] > 0) {
+        ContinuousTest(now, i);
+      }
+    }
+  } else {
+    if (!global_reset && now == next_phase_) {
+      PhaseBoundary(now);
+      if (now == next_phase_) next_phase_ = now + params_.offline_delay;
+    }
+    for (std::int64_t i = 0; i < params_.sessions; ++i) {
+      channels_.Enqueue(i, now, arrivals[static_cast<std::size_t>(i)]);
+    }
+  }
+  channels_.ServeSlot(now);
+
+  // Global overflow channel: 2 B_O while draining a GLOBAL RESET's queue.
+  global_bw_ = global_queue_.empty()
+                   ? Bandwidth::Zero()
+                   : Bandwidth::FromBitsPerSlot(2 * params_.offline_bandwidth);
+  global_delivered_ += global_queue_.ServeSlot(now, global_bw_, &global_delay_);
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,120 @@
+// The combined algorithm (Section 4): k sessions, shared dynamic total
+// bandwidth, per-session delay bound and aggregate utilization bound.
+//
+// Structure: GLOBAL stages x LOCAL stages.
+//
+//   * Global trackers run the single-session envelopes (low/high) over the
+//     AGGREGATE arrival stream with the offline parameters (D_O, U_O).
+//     B_on — the smallest power of two >= low(t) — tracks the offline
+//     server's total bandwidth and plays the role of B_O inside the
+//     multi-session machinery. B_on is monotone within a global stage, so
+//     global changes per global stage <= log2(2 B_O) (and every completed
+//     global stage certifies one offline change of total bandwidth).
+//   * A local stage is one stage of the multi-session algorithm — phased
+//     (Fig. 4) or continuous (Fig. 5), per CombinedParams — run with
+//     parameter B_on. It ends when (1) a GLOBAL RESET starts, (2) B_on
+//     changes, or (3) the total regular allocation exceeds 2 B_on. Every
+//     completed local stage certifies one offline per-session change; the
+//     online pays O(k) local changes per local stage.
+//   * GLOBAL RESET (high < low): every session queue is shunted into a
+//     global overflow queue served by a dedicated channel of size 2 B_O,
+//     and — unlike the single-session RESET — a new global stage starts
+//     immediately.
+//
+// Resource bounds: regular channel <= 2 B_on <= 4 B_O, session overflow
+// channel <= 2 B_on <= ~2 B_O in steady state, global overflow channel
+// 2 B_O, for a total within B_A = 7 B_O. Delay <= 2 D_O; utilization
+// >= U_O / 3. Section 4 of the paper is a sketch; DESIGN.md records the
+// interpretation choices.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/high_tracker.h"
+#include "core/low_tracker.h"
+#include "core/params.h"
+#include "sim/bit_queue.h"
+#include "sim/engine_multi.h"
+#include "sim/session_channels.h"
+#include "util/fixed_point.h"
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class CombinedOnline final : public MultiSessionSystem {
+ public:
+  explicit CombinedOnline(
+      const CombinedParams& params,
+      ServiceDiscipline discipline = ServiceDiscipline::kTwoChannel);
+
+  void Step(Time now, std::span<const Bits> arrivals) override;
+  const SessionChannels& channels() const override { return channels_; }
+
+  // Completed local stages (offline per-session-change lower bound).
+  std::int64_t stages() const override { return completed_local_stages_; }
+  // Completed global stages (offline total-change lower bound).
+  std::int64_t global_stages() const override {
+    return completed_global_stages_;
+  }
+
+  // The inner channels (4 B_on phased / 5 B_on continuous) + 2 B_O (global
+  // overflow channel): the reserved total whose transitions are the
+  // "global changes".
+  Bandwidth DeclaredTotalBandwidth() const override {
+    return Bandwidth::FromBitsPerSlot(
+        (params_.continuous_inner ? 5 : 4) * b_on_ +
+        2 * params_.offline_bandwidth);
+  }
+
+  Bandwidth ExtraAllocatedBandwidth() const override { return global_bw_; }
+  Bits ExtraQueuedBits() const override { return global_queue_.size(); }
+  Bits ExtraDeliveredBits() const override { return global_delivered_; }
+  const DelayHistogram* ExtraDelayHistogram() const override {
+    return &global_delay_;
+  }
+
+  // Introspection for tests.
+  Bits b_on() const { return b_on_; }
+  Bits peak_global_queue() const { return peak_global_queue_; }
+
+ private:
+  void StartGlobalStage(Time ts);
+  void StartLocalStage(Time now, bool shunt_regular);
+  void PhaseBoundary(Time now);
+  void ContinuousTest(Time now, std::int64_t i);
+  void ShuntWithLease(Time now, std::int64_t i);
+  void ApplyReductions(Time now);
+  bool RegularOverloaded(std::int64_t i) const;
+  void GlobalReset(Time now);
+
+  CombinedParams params_;
+  SessionChannels channels_;
+  LowTracker low_tracker_;
+  HighTracker high_tracker_;
+
+  Bits b_on_ = 0;          // current power-of-two total-bandwidth estimate
+  Bandwidth share_;        // B_on / k
+  Time next_phase_ = 0;
+  bool started_ = false;
+
+  BitQueue global_queue_;  // GLOBAL RESET overflow queue
+  Bandwidth global_bw_;    // 2 B_O while the global queue is non-empty
+  Bits global_delivered_ = 0;
+  DelayHistogram global_delay_;
+  Bits peak_global_queue_ = 0;
+
+  std::int64_t completed_local_stages_ = 0;
+  std::int64_t completed_global_stages_ = 0;
+
+  // Continuous-inner lease timers (Fig. 5's REDUCE).
+  struct Reduction {
+    std::int64_t session;
+    Bandwidth amount;
+  };
+  std::map<Time, std::vector<Reduction>> reductions_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,156 @@
+#include "core/dynamic_gateway.h"
+
+namespace bwalloc {
+
+DynamicGateway::DynamicGateway(Bits offline_bandwidth, Time offline_delay)
+    : offline_bandwidth_(offline_bandwidth), offline_delay_(offline_delay) {
+  BW_REQUIRE(offline_bandwidth >= 1, "DynamicGateway: B_O must be >= 1");
+  BW_REQUIRE(offline_delay >= 1, "DynamicGateway: D_O must be >= 1");
+  two_b_o_ = Bandwidth::FromBitsPerSlot(2 * offline_bandwidth);
+}
+
+std::int64_t DynamicGateway::Join() {
+  // Reuse a fully-drained departed slot if one exists.
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    Session& s = sessions_[i];
+    if (!s.active && !s.departing && s.regular.empty() &&
+        s.overflow.empty()) {
+      s = Session{};
+      s.active = true;
+      membership_dirty_ = true;
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  sessions_.emplace_back();
+  sessions_.back().active = true;
+  membership_dirty_ = true;
+  return static_cast<std::int64_t>(sessions_.size()) - 1;
+}
+
+void DynamicGateway::Leave(std::int64_t session) {
+  auto& s = sessions_.at(static_cast<std::size_t>(session));
+  BW_REQUIRE(s.active, "Leave: session is not active");
+  s.active = false;
+  s.departing = !s.regular.empty() || !s.overflow.empty();
+  membership_dirty_ = true;
+}
+
+void DynamicGateway::Arrive(Time now, std::int64_t session, Bits bits) {
+  auto& s = sessions_.at(static_cast<std::size_t>(session));
+  BW_REQUIRE(s.active, "Arrive: session is not active");
+  s.regular.Enqueue(now, bits);
+}
+
+std::int64_t DynamicGateway::active_sessions() const {
+  std::int64_t n = 0;
+  for (const Session& s : sessions_) n += s.active ? 1 : 0;
+  return n;
+}
+
+Bits DynamicGateway::queued_bits() const {
+  Bits q = 0;
+  for (const Session& s : sessions_) {
+    q += s.regular.size() + s.overflow.size();
+  }
+  return q;
+}
+
+Bandwidth DynamicGateway::TotalRegular() const {
+  Bandwidth sum;
+  for (const Session& s : sessions_) sum += s.regular_bw;
+  return sum;
+}
+
+Bandwidth DynamicGateway::TotalOverflow() const {
+  Bandwidth sum;
+  for (const Session& s : sessions_) sum += s.overflow_bw;
+  return sum;
+}
+
+void DynamicGateway::SetRegular(Session& s, Bandwidth bw) {
+  if (s.regular_bw != bw) ++change_counter_;
+  s.regular_bw = bw;
+}
+
+void DynamicGateway::SetOverflow(Session& s, Bandwidth bw) {
+  if (s.overflow_bw != bw) ++change_counter_;
+  s.overflow_bw = bw;
+}
+
+bool DynamicGateway::RegularOverloaded(const Session& s) const {
+  const Int128 lhs = static_cast<Int128>(s.regular.size())
+                     << Bandwidth::kShift;
+  const Int128 rhs =
+      static_cast<Int128>(s.regular_bw.raw()) * offline_delay_;
+  return lhs > rhs;
+}
+
+void DynamicGateway::Reset(Time now) {
+  const std::int64_t k = active_sessions();
+  const Bandwidth share =
+      k > 0 ? Bandwidth::FromBitsPerSlot(offline_bandwidth_) / k
+            : Bandwidth::Zero();
+  for (Session& s : sessions_) {
+    if (s.active) {
+      SetRegular(s, share);
+    } else {
+      SetRegular(s, Bandwidth::Zero());
+      // A departing session's backlog drains through its overflow channel.
+      if (s.departing) {
+        s.regular.DrainInto(s.overflow);
+        SetOverflow(s, Bandwidth::CeilDiv(s.overflow.size(),
+                                          offline_delay_));
+      }
+    }
+  }
+  next_phase_ = now + offline_delay_;
+}
+
+void DynamicGateway::PhaseBoundary(Time now) {
+  for (Session& s : sessions_) {
+    if (!s.active) continue;
+    if (!RegularOverloaded(s)) {
+      BW_CHECK(s.overflow.empty(),
+               "overflow queue not drained at phase boundary");
+      SetOverflow(s, Bandwidth::Zero());
+    } else {
+      const std::int64_t k = active_sessions();
+      SetRegular(s, s.regular_bw +
+                        Bandwidth::FromBitsPerSlot(offline_bandwidth_) / k);
+      s.regular.DrainInto(s.overflow);
+      SetOverflow(s, Bandwidth::CeilDiv(s.overflow.size(), offline_delay_));
+    }
+  }
+  if (TotalRegular() > two_b_o_) {
+    for (Session& s : sessions_) {
+      if (!s.active) continue;
+      s.regular.DrainInto(s.overflow);
+      SetOverflow(s, Bandwidth::CeilDiv(s.overflow.size(), offline_delay_));
+    }
+    ++completed_stages_;
+    Reset(now);
+  }
+}
+
+void DynamicGateway::Step(Time now) {
+  if (!started_ || membership_dirty_) {
+    if (started_) ++membership_resets_;
+    started_ = true;
+    membership_dirty_ = false;
+    Reset(now);
+  } else if (now == next_phase_) {
+    PhaseBoundary(now);
+    if (now == next_phase_) next_phase_ = now + offline_delay_;
+  }
+
+  for (Session& s : sessions_) {
+    s.overflow.ServeSlot(now, s.overflow_bw, &delay_);
+    s.regular.ServeSlot(now, s.regular_bw, &delay_);
+    if (s.departing && s.regular.empty() && s.overflow.empty()) {
+      s.departing = false;
+      SetOverflow(s, Bandwidth::Zero());
+    }
+  }
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,81 @@
+// Dynamic-membership gateway (extension).
+//
+// The paper's multi-session model fixes k up front; a real provider's
+// sessions come and go. This gateway runs the phased algorithm's machinery
+// over a mutable session set: joins and leaves trigger a RESET with the
+// share re-divided as B_O / k_current (a membership change is itself an
+// offline re-allocation event, so charging a stage to it keeps the
+// Theorem 14 accounting honest). A departing session's backlog keeps its
+// overflow allocation until drained, so the delay guarantee covers bits
+// admitted before the leave.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/bit_queue.h"
+#include "sim/metrics.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class DynamicGateway {
+ public:
+  DynamicGateway(Bits offline_bandwidth, Time offline_delay);
+
+  // Admit a new session; returns its id. Takes effect at the next Step.
+  std::int64_t Join();
+
+  // Remove a session. Bits already queued are still delivered.
+  void Leave(std::int64_t session);
+
+  // Feed arrivals for the CURRENT slot (before Step(now)).
+  void Arrive(Time now, std::int64_t session, Bits bits);
+
+  // Run one slot: membership changes, phase logic, service.
+  void Step(Time now);
+
+  // --- introspection ---------------------------------------------------------
+  std::int64_t active_sessions() const;
+  std::int64_t stages() const { return completed_stages_; }
+  std::int64_t membership_resets() const { return membership_resets_; }
+  std::int64_t allocation_changes() const { return change_counter_; }
+  Bits queued_bits() const;
+  const DelayHistogram& delay() const { return delay_; }
+  Bandwidth TotalRegular() const;
+  Bandwidth TotalOverflow() const;
+
+ private:
+  struct Session {
+    BitQueue regular;
+    BitQueue overflow;
+    Bandwidth regular_bw;
+    Bandwidth overflow_bw;
+    bool active = false;
+    bool departing = false;  // no longer admits traffic, still draining
+  };
+
+  void SetRegular(Session& s, Bandwidth bw);
+  void SetOverflow(Session& s, Bandwidth bw);
+  bool RegularOverloaded(const Session& s) const;
+  void Reset(Time now);
+  void PhaseBoundary(Time now);
+
+  Bits offline_bandwidth_;
+  Time offline_delay_;
+  Bandwidth two_b_o_;
+  std::vector<Session> sessions_;
+  Time next_phase_ = kNoTime;
+  bool membership_dirty_ = false;
+  bool started_ = false;
+
+  std::int64_t completed_stages_ = 0;
+  std::int64_t membership_resets_ = 0;
+  std::int64_t change_counter_ = 0;
+  DelayHistogram delay_;
+};
+
+}  // namespace bwalloc

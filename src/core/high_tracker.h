@@ -1,0 +1,140 @@
+// Incremental computation of the utilization envelope high(t) (Section 2).
+//
+//   high(t) = B_A                                    for t <  t_s + W
+//   high(t) = (1 / (U_O * W)) * min_{t_s+W <= t' <= t} IN(t'-W, t']
+//                                                     for t >= t_s + W.
+//
+// Under the assumption that the offline algorithm kept one bandwidth value
+// since t_s, high(t) is an upper bound on that value: allocating more than
+// high(t) would push some full W-window's utilization below U_O.
+//
+// The minimum ranges over ALL t' since t_s + W (a running minimum, not a
+// sliding one); only the W-window sum itself slides. The paper's window
+// convention IN(t'-W, t'] covers slots t'-W+1 .. t' — slot t_s itself is
+// never inside any high window.
+//
+// Call protocol per slot t: RecordArrivals(t, bits of slot t) first, then
+// HighAt(t) — high(t) includes slot-t arrivals by the closed-right
+// convention (opposite order from LowTracker; SingleSessionOnline sequences
+// both correctly).
+#pragma once
+
+#include <deque>
+
+#include "util/assert.h"
+#include "util/monotonic_deque.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class HighTracker {
+ public:
+  HighTracker(Time window, Ratio offline_utilization, Bits max_bandwidth)
+      : window_(window),
+        u_o_(offline_utilization),
+        max_bandwidth_(max_bandwidth) {
+    BW_REQUIRE(window >= 1, "HighTracker: W must be >= 1");
+    BW_REQUIRE(offline_utilization.num() > 0, "HighTracker: U_O must be > 0");
+    BW_REQUIRE(max_bandwidth >= 1, "HighTracker: B_A must be >= 1");
+  }
+
+  void StartStage(Time ts) {
+    ts_ = ts;
+    next_slot_ = ts;
+    recent_.clear();
+    window_sum_ = 0;
+    run_min_.Reset();
+  }
+
+  // Record the arrivals of slot t (in order, once per slot).
+  void RecordArrivals(Time t, Bits bits) {
+    BW_CHECK(t == next_slot_, "HighTracker: slots must be visited in order");
+    BW_REQUIRE(bits >= 0, "HighTracker: negative arrivals");
+    recent_.push_back(bits);
+    window_sum_ += bits;
+    if (static_cast<Time>(recent_.size()) > window_) {
+      window_sum_ -= recent_.front();
+      recent_.pop_front();
+    }
+    if (t >= ts_ + window_) {
+      // Full window (t-W, t] available: slots t-W+1 .. t.
+      run_min_.Push(window_sum_);
+    }
+    ++next_slot_;
+  }
+
+  // Is high(t) the bounded (post-W) value yet?
+  bool Bounded() const { return run_min_.has_value(); }
+
+  // high(t) after RecordArrivals(t, .). Returns B_A while unbounded.
+  Ratio HighAt() const {
+    if (!run_min_.has_value()) return Ratio(max_bandwidth_, 1);
+    // run_min / (U_O * W)  =  run_min * U_O.den / (U_O.num * W)
+    return Ratio(run_min_.value() * u_o_.den(), u_o_.num() * window_);
+  }
+
+ private:
+  Time window_;
+  Ratio u_o_;
+  Bits max_bandwidth_;
+  Time ts_ = 0;
+  Time next_slot_ = 0;
+  std::deque<Bits> recent_;
+  Bits window_sum_ = 0;
+  RunningMin<Bits> run_min_;
+};
+
+// Global-utilization variant of the envelope (the paper's Section 2
+// "Utilization" discussion and the closing remarks of the section: the
+// algorithm "would have the same performance also under global
+// utilization", with competitive ratio Theta(log B_A) — the log B_A lower
+// bound only holds in this mode).
+//
+//   high_g(t) = IN(t_s, t] / (U_O * (t - t_s + 1)),
+//
+// the largest bandwidth an offline algorithm could have held since t_s
+// without dropping the stage-scoped global utilization below U_O. Unlike
+// the windowed high(t) it is NOT monotone (it recovers when traffic
+// resumes), exactly why a single early lull cannot end the stage.
+class GlobalHighTracker {
+ public:
+  GlobalHighTracker(Ratio offline_utilization, Bits max_bandwidth)
+      : u_o_(offline_utilization), max_bandwidth_(max_bandwidth) {
+    BW_REQUIRE(offline_utilization.num() > 0,
+               "GlobalHighTracker: U_O must be > 0");
+    BW_REQUIRE(max_bandwidth >= 1, "GlobalHighTracker: B_A must be >= 1");
+  }
+
+  void StartStage(Time ts) {
+    ts_ = ts;
+    next_slot_ = ts;
+    cum_ = 0;
+  }
+
+  void RecordArrivals(Time t, Bits bits) {
+    BW_CHECK(t == next_slot_,
+             "GlobalHighTracker: slots must be visited in order");
+    BW_REQUIRE(bits >= 0, "GlobalHighTracker: negative arrivals");
+    cum_ += bits;
+    last_ = t;
+    ++next_slot_;
+  }
+
+  // high_g(t) after RecordArrivals(t, .). Returns B_A while the stage is
+  // empty of arrivals (no constraint yet).
+  Ratio HighAt() const {
+    if (cum_ == 0) return Ratio(max_bandwidth_, 1);
+    return Ratio(cum_ * u_o_.den(), u_o_.num() * (last_ - ts_ + 1));
+  }
+
+ private:
+  Ratio u_o_;
+  Bits max_bandwidth_;
+  Time ts_ = 0;
+  Time next_slot_ = 0;
+  Time last_ = 0;
+  Bits cum_ = 0;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,69 @@
+// Incremental computation of the delay envelope low(t) (Section 2).
+//
+//   low(t) = max_{t_s <= t' <= t} max_{0 <= w <= t' - t_s} IN[t'-w, t') / (w + D_O)
+//          = max( low(t-1), max_{0 <= w <= t - t_s} IN[t-w, t) / (w + D_O) ),
+//
+// the identity the paper gives below the algorithm. With P(.) the
+// stage-local cumulative arrivals (P(t) = bits arrived in slots [t_s, t)),
+// the inner max is the maximum slope from the query point (t + D_O, P(t))
+// to the appended points {(s, P(s))}, answered in O(log n) by the convex
+// hull in util/envelope.h.
+//
+// Under the assumption that the offline algorithm kept one bandwidth value
+// since t_s, low(t) is a lower bound on that value (it must deliver every
+// window's bits within D_O).
+//
+// Call protocol per slot t (strict): low = LowAt(t); then
+// RecordArrivals(bits of slot t) — low(t) excludes slot-t arrivals by the
+// paper's half-open window convention.
+#pragma once
+
+#include "util/assert.h"
+#include "util/envelope.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class LowTracker {
+ public:
+  explicit LowTracker(Time offline_delay) : d_o_(offline_delay) {
+    BW_REQUIRE(offline_delay >= 1, "LowTracker: D_O must be >= 1");
+  }
+
+  // Begin a new stage at slot ts. low(ts) = 0.
+  void StartStage(Time ts) {
+    hull_.Clear();
+    cum_ = 0;
+    low_ = Ratio(0, 1);
+    next_slot_ = ts;
+  }
+
+  // low(t). Must be called exactly once per slot, in order, before
+  // RecordArrivals for the same slot.
+  Ratio LowAt(Time t) {
+    BW_CHECK(t == next_slot_, "LowTracker: slots must be visited in order");
+    hull_.Append(t, cum_);
+    const Ratio inner = hull_.MaxSlopeTo(t + d_o_, cum_);
+    if (low_ < inner) low_ = inner;
+    return low_;
+  }
+
+  // Record the arrivals of slot t (the slot LowAt was just called for).
+  void RecordArrivals(Bits bits) {
+    BW_REQUIRE(bits >= 0, "LowTracker: negative arrivals");
+    cum_ += bits;
+    ++next_slot_;
+  }
+
+  Ratio current() const { return low_; }
+
+ private:
+  Time d_o_;
+  MaxSlopeEnvelope hull_;
+  Bits cum_ = 0;       // stage-local P(t)
+  Ratio low_{0, 1};
+  Time next_slot_ = 0;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,81 @@
+#include "core/multi_continuous.h"
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+ContinuousMulti::ContinuousMulti(const MultiSessionParams& params,
+                                 ServiceDiscipline discipline)
+    : params_(params), channels_(params.sessions, discipline) {
+  params_.Validate();
+  shares_.reserve(static_cast<std::size_t>(params_.sessions));
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    shares_.push_back(params_.Share(i));
+  }
+  two_b_o_ = Bandwidth::FromBitsPerSlot(2 * params_.offline_bandwidth);
+}
+
+bool ContinuousMulti::RegularOverloaded(std::int64_t i) const {
+  const Int128 lhs = static_cast<Int128>(channels_.regular_queue_size(i))
+                       << Bandwidth::kShift;
+  const Int128 rhs = static_cast<Int128>(channels_.regular_bw(i).raw()) *
+                       params_.offline_delay;
+  return lhs > rhs;
+}
+
+void ContinuousMulti::Reset() {
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
+  }
+}
+
+void ContinuousMulti::ShuntToOverflow(Time now, std::int64_t i) {
+  const Bits q = channels_.regular_queue_size(i);
+  if (q == 0) return;
+  channels_.MoveRegularToOverflow(i);
+  const Bandwidth lease = Bandwidth::CeilDiv(q, params_.offline_delay);
+  channels_.AddOverflow(i, lease);
+  reductions_[now + params_.offline_delay].push_back({i, lease});
+}
+
+void ContinuousMulti::Test(Time now, std::int64_t i) {
+  if (!RegularOverloaded(i)) return;
+  channels_.SetRegular(i, channels_.regular_bw(i) +
+                           shares_[static_cast<std::size_t>(i)]);
+  ShuntToOverflow(now, i);
+  if (channels_.TotalRegular() > two_b_o_) {
+    // Stage end: shunt every regular queue and RESET.
+    for (std::int64_t j = 0; j < params_.sessions; ++j) {
+      ShuntToOverflow(now, j);
+    }
+    ++completed_stages_;
+    Reset();
+  }
+}
+
+void ContinuousMulti::ApplyReductions(Time now) {
+  const auto it = reductions_.find(now);
+  if (it == reductions_.end()) return;
+  for (const Reduction& r : it->second) {
+    channels_.AddOverflow(r.session, Bandwidth::Zero() - r.amount);
+  }
+  reductions_.erase(it);
+}
+
+void ContinuousMulti::Step(Time now, std::span<const Bits> arrivals) {
+  BW_REQUIRE(static_cast<std::int64_t>(arrivals.size()) == params_.sessions,
+             "ContinuousMulti::Step: arrival vector size mismatch");
+  if (!started_) {
+    started_ = true;
+    Reset();
+  }
+  ApplyReductions(now);
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    const Bits in = arrivals[static_cast<std::size_t>(i)];
+    channels_.Enqueue(i, now, in);
+    if (in > 0) Test(now, i);
+  }
+  channels_.ServeSlot(now);
+}
+
+}  // namespace bwalloc

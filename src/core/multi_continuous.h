@@ -1,0 +1,61 @@
+// The continuous multi-session algorithm (Section 3.2, Figure 5).
+//
+// Like the phased algorithm, but the overload test runs whenever bits are
+// added to a regular queue instead of at phase boundaries, and overflow
+// bandwidth is leased: TEST(i) adds q/D_O to session i's overflow channel
+// and a REDUCE timer returns exactly that amount D_O slots later (by which
+// time the shunted bits have drained). Total bandwidth B_A = 5 B_O: regular
+// channel 2 B_O, overflow channel 3 B_O (Lemma 16).
+//
+// Guarantees (Theorem 17): delay <= 2 D_O; total bandwidth <= 5 B_O; at
+// most 3k allocation changes per stage, each stage certifying >= 1 offline
+// change.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/engine_multi.h"
+#include "sim/session_channels.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class ContinuousMulti final : public MultiSessionSystem {
+ public:
+  explicit ContinuousMulti(
+      const MultiSessionParams& params,
+      ServiceDiscipline discipline = ServiceDiscipline::kTwoChannel);
+
+  void Step(Time now, std::span<const Bits> arrivals) override;
+  const SessionChannels& channels() const override { return channels_; }
+  std::int64_t stages() const override { return completed_stages_; }
+  Bandwidth DeclaredTotalBandwidth() const override {
+    return Bandwidth::FromBitsPerSlot(5 * params_.offline_bandwidth);
+  }
+
+ private:
+  void Reset();
+  void Test(Time now, std::int64_t i);
+  void ShuntToOverflow(Time now, std::int64_t i);
+  void ApplyReductions(Time now);
+  bool RegularOverloaded(std::int64_t i) const;
+
+  MultiSessionParams params_;
+  SessionChannels channels_;
+  std::vector<Bandwidth> shares_;  // per-session quantum (B_O/k or weighted)
+  Bandwidth two_b_o_;  // 2 B_O
+  std::int64_t completed_stages_ = 0;
+  bool started_ = false;
+
+  struct Reduction {
+    std::int64_t session;
+    Bandwidth amount;
+  };
+  std::map<Time, std::vector<Reduction>> reductions_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,80 @@
+#include "core/multi_phased.h"
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+PhasedMulti::PhasedMulti(const MultiSessionParams& params,
+                         ServiceDiscipline discipline)
+    : params_(params), channels_(params.sessions, discipline) {
+  params_.Validate();
+  shares_.reserve(static_cast<std::size_t>(params_.sessions));
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    shares_.push_back(params_.Share(i));
+  }
+  two_b_o_ = Bandwidth::FromBitsPerSlot(2 * params_.offline_bandwidth);
+}
+
+bool PhasedMulti::RegularOverloaded(std::int64_t i) const {
+  // |Q_r| > B_r * D_O  <=>  |Q_r| << 16  >  raw(B_r) * D_O.
+  const Int128 lhs = static_cast<Int128>(channels_.regular_queue_size(i))
+                       << Bandwidth::kShift;
+  const Int128 rhs = static_cast<Int128>(channels_.regular_bw(i).raw()) *
+                       params_.offline_delay;
+  return lhs > rhs;
+}
+
+void PhasedMulti::Reset(Time now) {
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
+  }
+  next_phase_ = now + params_.offline_delay;
+}
+
+void PhasedMulti::PhaseBoundary(Time now) {
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!RegularOverloaded(i)) {
+      // Lemma-8 invariant: the previous phase's overflow allocation was
+      // sized to drain the overflow queue within the phase.
+      BW_CHECK(channels_.overflow_queue_size(i) == 0,
+               "overflow queue not drained at phase boundary");
+      channels_.SetOverflow(i, Bandwidth::Zero());
+    } else {
+      channels_.SetRegular(i, channels_.regular_bw(i) +
+                               shares_[static_cast<std::size_t>(i)]);
+      channels_.MoveRegularToOverflow(i);
+      channels_.SetOverflow(
+          i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                params_.offline_delay));
+    }
+  }
+  if (channels_.TotalRegular() > two_b_o_) {
+    // Stage end: shunt everything to the overflow channel and RESET.
+    for (std::int64_t i = 0; i < params_.sessions; ++i) {
+      channels_.MoveRegularToOverflow(i);
+      channels_.SetOverflow(
+          i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                params_.offline_delay));
+    }
+    ++completed_stages_;
+    Reset(now);
+  }
+}
+
+void PhasedMulti::Step(Time now, std::span<const Bits> arrivals) {
+  BW_REQUIRE(static_cast<std::int64_t>(arrivals.size()) == params_.sessions,
+             "PhasedMulti::Step: arrival vector size mismatch");
+  if (!started_) {
+    started_ = true;
+    Reset(now);
+  } else if (now == next_phase_) {
+    PhaseBoundary(now);
+    if (now == next_phase_) next_phase_ = now + params_.offline_delay;
+  }
+  for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    channels_.Enqueue(i, now, arrivals[static_cast<std::size_t>(i)]);
+  }
+  channels_.ServeSlot(now);
+}
+
+}  // namespace bwalloc

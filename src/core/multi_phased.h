@@ -1,0 +1,58 @@
+// The phased multi-session algorithm (Section 3.1, Figure 4).
+//
+// k sessions share total bandwidth B_A = 4 B_O, split into a regular
+// channel (capacity 2 B_O) and an overflow channel (capacity 2 B_O,
+// Lemma 10). The algorithm works in stages, each preceded by a RESET that
+// sets every session's regular allocation to B_O / k. Phases last D_O slots;
+// at each phase boundary, sessions whose regular queue cannot drain within
+// D_O get +B_O/k of regular bandwidth and their backlog is shunted to the
+// overflow channel, sized to drain it within the next phase. When the total
+// regular allocation exceeds 2 B_O, the stage ends — at that point any
+// offline (B_O, D_O)-server must have changed some allocation (Lemma 13) —
+// and a RESET starts the next stage.
+//
+// Guarantees (Theorem 14): delay <= 2 D_O; total bandwidth <= 4 B_O; at
+// most 3k allocation changes per stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/engine_multi.h"
+#include "sim/session_channels.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class PhasedMulti final : public MultiSessionSystem {
+ public:
+  explicit PhasedMulti(
+      const MultiSessionParams& params,
+      ServiceDiscipline discipline = ServiceDiscipline::kTwoChannel);
+
+  void Step(Time now, std::span<const Bits> arrivals) override;
+  const SessionChannels& channels() const override { return channels_; }
+  std::int64_t stages() const override { return completed_stages_; }
+  Bandwidth DeclaredTotalBandwidth() const override {
+    return Bandwidth::FromBitsPerSlot(4 * params_.offline_bandwidth);
+  }
+
+ private:
+  void Reset(Time now);
+  void PhaseBoundary(Time now);
+
+  // Fig. 4's test |Q_r| > B_r * D_O, exact in fixed point.
+  bool RegularOverloaded(std::int64_t i) const;
+
+  MultiSessionParams params_;
+  SessionChannels channels_;
+  std::vector<Bandwidth> shares_;  // per-session quantum (B_O/k or weighted)
+  Bandwidth two_b_o_;      // 2 B_O
+  Time next_phase_ = 0;
+  std::int64_t completed_stages_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,122 @@
+// Parameter sets for the paper's algorithms, with the online/offline slack
+// relations of Section 1.1 encoded as derived quantities:
+//
+//   single session:  D_O = D_A / 2,  U_O = 3 U_A,  B_O = B_A
+//   multi session:   B_A = 4 B_O (phased) / 5 B_O (continuous), D_A = 2 D_O
+//   combined:        B_A = 7 B_O (phased) / 8 B_O (continuous),
+//                    D_A = 2 D_O,  U_A = U_O / 3
+#pragma once
+
+#include <vector>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/power_of_two.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Parameters of the single-session online algorithm (Section 2). The user
+// supplies the online guarantees (B_A, D_A, U_A, W); the offline comparator
+// parameters are derived.
+struct SingleSessionParams {
+  Bits max_bandwidth = 0;   // B_A, power of two
+  Time max_delay = 0;       // D_A, even, >= 2
+  Ratio min_utilization;    // U_A, <= 1/3 (so U_O = 3 U_A <= 1)
+  Time window = 0;          // W, the local-utilization window, >= D_O
+
+  Time offline_delay() const { return max_delay / 2; }            // D_O
+  Ratio offline_utilization() const {                             // U_O
+    return Ratio(3 * min_utilization.num(), min_utilization.den());
+  }
+  Bits offline_bandwidth() const { return max_bandwidth; }        // B_O
+  int levels() const { return CeilLog2(max_bandwidth); }          // l_A
+
+  void Validate() const {
+    BW_REQUIRE(max_bandwidth >= 2 && IsPowerOfTwo(max_bandwidth),
+               "B_A must be a power of two >= 2");
+    BW_REQUIRE(max_delay >= 2 && max_delay % 2 == 0,
+               "D_A must be even and >= 2");
+    BW_REQUIRE(min_utilization.num() > 0, "U_A must be positive");
+    BW_REQUIRE(3 * min_utilization.num() <= min_utilization.den(),
+               "U_A must be <= 1/3 so that U_O = 3 U_A <= 1");
+    BW_REQUIRE(window >= offline_delay(), "W must be >= D_O (Section 2)");
+  }
+};
+
+// Parameters of the multi-session algorithms (Section 3). The caller
+// supplies the offline comparator's (B_O, D_O); the online resource bounds
+// follow from Theorems 14 and 17.
+struct MultiSessionParams {
+  std::int64_t sessions = 0;  // k >= 2
+  Bits offline_bandwidth = 0; // B_O
+  Time offline_delay = 0;     // D_O >= 1
+  // Optional per-session share weights (integer proportions). Empty means
+  // the paper's equal B_O/k shares; otherwise session i's base share and
+  // increment quantum is B_O * weights[i] / sum(weights) — a natural
+  // generalization for known-skewed tenants. The stage accounting is
+  // untouched (a stage still ends when the regular channel exceeds 2 B_O).
+  std::vector<std::int64_t> weights;
+
+  Time online_delay() const { return 2 * offline_delay; }  // D_A
+
+  void Validate() const {
+    BW_REQUIRE(sessions >= 2, "multi-session: k must be >= 2");
+    BW_REQUIRE(offline_bandwidth >= 1, "B_O must be >= 1");
+    BW_REQUIRE(offline_delay >= 1, "D_O must be >= 1");
+    if (!weights.empty()) {
+      BW_REQUIRE(static_cast<std::int64_t>(weights.size()) == sessions,
+                 "multi-session: one weight per session");
+      for (const std::int64_t w : weights) {
+        BW_REQUIRE(w >= 1, "multi-session: weights must be >= 1");
+      }
+    }
+  }
+
+  // Session i's share of B_O as a fixed-point bandwidth.
+  Bandwidth Share(std::int64_t i) const {
+    const Bandwidth total = Bandwidth::FromBitsPerSlot(offline_bandwidth);
+    if (weights.empty()) return total / sessions;
+    std::int64_t sum = 0;
+    for (const std::int64_t w : weights) sum += w;
+    return Bandwidth::FromRaw(
+        total.raw() / sum * weights[static_cast<std::size_t>(i)]);
+  }
+};
+
+// Parameters of the combined algorithm (Section 4), given in terms of the
+// offline comparator (B_O, D_O, U_O); the online algorithm guarantees
+// B_A = 7 B_O (phased inner multi-session algorithm), D_A = 2 D_O and
+// U_A = U_O / 3.
+struct CombinedParams {
+  std::int64_t sessions = 0;    // k > 1
+  Bits offline_bandwidth = 0;   // B_O, power of two (so B_on levels nest)
+  Time offline_delay = 0;       // D_O >= 1
+  Ratio offline_utilization;    // U_O <= 1
+  Time window = 0;              // W >= D_O
+  // Which multi-session machinery runs inside the global stages: the
+  // phased algorithm (B_A = 7 B_O) or the continuous one (B_A = 8 B_O).
+  bool continuous_inner = false;
+
+  Bits online_bandwidth() const {                                  // B_A
+    return (continuous_inner ? 8 : 7) * offline_bandwidth;
+  }
+  Time online_delay() const { return 2 * offline_delay; }          // D_A
+  Ratio online_utilization() const {                               // U_A
+    return Ratio(offline_utilization.num(), 3 * offline_utilization.den());
+  }
+
+  void Validate() const {
+    BW_REQUIRE(sessions >= 2, "combined: k must be >= 2");
+    BW_REQUIRE(offline_bandwidth >= 2 && IsPowerOfTwo(offline_bandwidth),
+               "B_O must be a power of two >= 2");
+    BW_REQUIRE(offline_delay >= 1, "D_O must be >= 1");
+    BW_REQUIRE(offline_utilization.num() > 0, "U_O must be positive");
+    BW_REQUIRE(offline_utilization.num() <= offline_utilization.den(),
+               "U_O must be <= 1");
+    BW_REQUIRE(window >= offline_delay, "W must be >= D_O");
+  }
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,130 @@
+#include "core/single_session.h"
+
+#include "util/power_of_two.h"
+
+namespace bwalloc {
+
+SingleSessionOnline::SingleSessionOnline(const SingleSessionParams& params,
+                                         Variant variant,
+                                         UtilizationMode utilization)
+    : params_(params),
+      variant_(variant),
+      utilization_mode_(utilization),
+      low_tracker_(params.offline_delay()),
+      high_tracker_(params.window, params.offline_utilization(),
+                    params.max_bandwidth),
+      global_high_tracker_(params.offline_utilization(),
+                           params.max_bandwidth) {
+  params_.Validate();
+}
+
+void SingleSessionOnline::NoteAllocation(Bandwidth bw) {
+  if (have_allocation_ && bw != current_) ++changes_in_stage_;
+  if (changes_in_stage_ > max_changes_in_stage_) {
+    max_changes_in_stage_ = changes_in_stage_;
+  }
+  current_ = bw;
+  have_allocation_ = true;
+}
+
+Bandwidth SingleSessionOnline::OnSlot(Time now, Bits arrivals, Bits queue) {
+  if (!started_) {
+    // "The algorithm is started by invoking RESET": the queue is empty at
+    // connection time, so that first RESET has zero duration and the first
+    // stage begins immediately.
+    started_ = true;
+    state_ = State::kStage;
+    stage_start_ = now;
+    level_ = 0;
+    low_tracker_.StartStage(now);
+    high_tracker_.StartStage(now);
+    global_high_tracker_.StartStage(now);
+    if (observer_ != nullptr) observer_->OnStageStart(now);
+  }
+  if (state_ == State::kReset) {
+    // During RESET the allocation is pinned to B_A until the queue first
+    // empties (observed in OnServed). An already-empty queue means the
+    // RESET has zero duration in the paper's continuous time — allocate
+    // nothing rather than burn a B_A slot with no data.
+    const Bandwidth bw = queue > 0
+                             ? Bandwidth::FromBitsPerSlot(params_.max_bandwidth)
+                             : Bandwidth::Zero();
+    NoteAllocation(bw);
+    return bw;
+  }
+
+  // STAGE. low(t) excludes slot-t arrivals; high(t) includes them.
+  const Ratio low = low_tracker_.LowAt(now);
+  Ratio high;
+  if (utilization_mode_ == UtilizationMode::kLocal) {
+    high_tracker_.RecordArrivals(now, arrivals);
+    high = high_tracker_.HighAt();
+  } else {
+    global_high_tracker_.RecordArrivals(now, arrivals);
+    high = global_high_tracker_.HighAt();
+  }
+  low_tracker_.RecordArrivals(arrivals);
+
+  // The offline server is also capped at B_O = B_A, so low(t) > B_A equally
+  // certifies an offline change (this only triggers on inputs that are not
+  // (B_O, D_O)-shaped; shaped inputs keep low <= B_O within a stage).
+  if (high < low || Ratio(params_.max_bandwidth, 1) < low) {
+    // The offline algorithm cannot have kept one bandwidth value over
+    // [t_s, t]: the stage is certified and a RESET begins (this slot).
+    ++completed_stages_;
+    changes_in_stage_ = 0;
+    state_ = State::kReset;
+    stage_start_ = kNoTime;
+    if (observer_ != nullptr) {
+      observer_->OnStageCertified(now, completed_stages_);
+      if (queue > 0) observer_->OnResetDrain(now);
+    }
+    const Bandwidth bw = queue > 0
+                             ? Bandwidth::FromBitsPerSlot(params_.max_bandwidth)
+                             : Bandwidth::Zero();
+    NoteAllocation(bw);
+    return bw;
+  }
+
+  if (variant_ == Variant::kModified && now < stage_start_ + params_.window) {
+    // Theorem 7: hold B_A through the first W slots of the stage so the
+    // ladder starts only when high/low is already O(1/U_O). While the
+    // stage is still silent (nothing arrived, nothing queued) allocate
+    // nothing, as in the base RESET.
+    const Bandwidth bw = (queue > 0 || !low.is_zero())
+                             ? Bandwidth::FromBitsPerSlot(params_.max_bandwidth)
+                             : Bandwidth::Zero();
+    NoteAllocation(bw);
+    return bw;
+  }
+
+  if (!low.is_zero() && (level_ == 0 || Ratio(level_, 1) < low)) {
+    const Bits from = level_;
+    level_ = CeilPowerOfTwoAtLeast(low);
+    BW_CHECK(level_ <= params_.max_bandwidth,
+             "allocation level exceeded B_A on a feasible input");
+    if (observer_ != nullptr && level_ != from) {
+      observer_->OnLevelChange(now, from, level_);
+    }
+  }
+  const Bandwidth bw = Bandwidth::FromBitsPerSlot(level_);
+  NoteAllocation(bw);
+  return bw;
+}
+
+void SingleSessionOnline::OnServed(Time now, Bits /*served*/,
+                                   Bits queue_after) {
+  if (state_ == State::kReset && queue_after == 0) {
+    // "Wait until the first time Q is empty, then STAGE": the new stage
+    // starts with the next slot.
+    state_ = State::kStage;
+    stage_start_ = now + 1;
+    level_ = 0;
+    low_tracker_.StartStage(stage_start_);
+    high_tracker_.StartStage(stage_start_);
+    global_high_tracker_.StartStage(stage_start_);
+    if (observer_ != nullptr) observer_->OnStageStart(stage_start_);
+  }
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,106 @@
+// Cell framing (the ATM layer under the paper's model).
+//
+// The paper's trends section points at ATM: bandwidth there is carried in
+// fixed 53-byte cells with a 48-byte payload. Framing a bit stream into
+// cells costs (a) header overhead — 5/53 of the wire rate — and
+// (b) padding — the last cell of a burst is sent partially full. This
+// layer converts application bits to wire cells and back, so experiments
+// can report the *effective* utilization an allocation achieves after
+// framing, and how the allocation algorithms' guarantees translate from
+// bits to cells.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct CellFormat {
+  Bits payload_bits = 384;  // ATM: 48 bytes
+  Bits header_bits = 40;    // ATM: 5 bytes
+
+  Bits cell_bits() const { return payload_bits + header_bits; }
+
+  void Validate() const {
+    BW_REQUIRE(payload_bits >= 1, "cell payload must be >= 1 bit");
+    BW_REQUIRE(header_bits >= 0, "cell header must be >= 0 bits");
+  }
+
+  // Cells needed to carry `bits` of payload (last cell padded).
+  std::int64_t CellsFor(Bits bits) const {
+    BW_REQUIRE(bits >= 0, "CellsFor: negative bits");
+    return (bits + payload_bits - 1) / payload_bits;
+  }
+
+  // Wire bits consumed carrying `bits` of payload.
+  Bits WireBitsFor(Bits bits) const { return CellsFor(bits) * cell_bits(); }
+
+  // Wire bandwidth needed to carry `payload_rate` of application payload at
+  // steady state (header expansion only; padding depends on burst shape).
+  Bandwidth WireRateFor(Bandwidth payload_rate) const {
+    return Bandwidth::FromRaw(static_cast<std::int64_t>(
+        (static_cast<Int128>(payload_rate.raw()) * cell_bits()) /
+        payload_bits));
+  }
+
+  // Framing efficiency of a given payload volume: payload / wire bits.
+  double Efficiency(Bits payload) const {
+    if (payload == 0) return 1.0;
+    return static_cast<double>(payload) /
+           static_cast<double>(WireBitsFor(payload));
+  }
+};
+
+// Frames a per-slot payload stream into per-slot cell counts. Bits left
+// over at slot end (less than one full cell) are carried to the next slot
+// unless `flush_per_slot` — then every slot's tail cell is padded out (the
+// low-latency choice: no bit waits for a co-tenant of its cell).
+class CellFramer {
+ public:
+  explicit CellFramer(CellFormat format, bool flush_per_slot = true)
+      : format_(format), flush_(flush_per_slot) {
+    format_.Validate();
+  }
+
+  // Returns the number of cells emitted for this slot's payload bits.
+  std::int64_t FrameSlot(Bits payload_bits) {
+    BW_REQUIRE(payload_bits >= 0, "FrameSlot: negative payload");
+    residual_ += payload_bits;
+    std::int64_t cells = residual_ / format_.payload_bits;
+    residual_ -= cells * format_.payload_bits;
+    if (flush_ && residual_ > 0) {
+      ++cells;
+      padding_bits_ += format_.payload_bits - residual_;
+      residual_ = 0;
+    }
+    cells_emitted_ += cells;
+    payload_bits_ += payload_bits;
+    return cells;
+  }
+
+  std::int64_t cells_emitted() const { return cells_emitted_; }
+  Bits payload_bits() const { return payload_bits_; }
+  Bits padding_bits() const { return padding_bits_; }
+  Bits wire_bits() const { return cells_emitted_ * format_.cell_bits(); }
+
+  // Payload bits per wire bit actually achieved (includes padding and
+  // headers).
+  double WireEfficiency() const {
+    return wire_bits() == 0 ? 1.0
+                            : static_cast<double>(payload_bits_) /
+                                  static_cast<double>(wire_bits());
+  }
+
+ private:
+  CellFormat format_;
+  bool flush_;
+  Bits residual_ = 0;
+  std::int64_t cells_emitted_ = 0;
+  Bits payload_bits_ = 0;
+  Bits padding_bits_ = 0;
+};
+
+}  // namespace bwalloc

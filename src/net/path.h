@@ -1,0 +1,73 @@
+// Session path model.
+//
+// Section 1: "it takes time to setup the modified bandwidth allocation …
+// in today's ATM switches it would normally require the invocation of
+// software in every switch on the session path, which would lengthen the
+// response time even more and consume resources at the switch. Clearly,
+// this would translate also to the price of a bandwidth change."
+//
+// A NetworkPath is the chain of switches a session traverses; it yields
+// the two quantities that matter to the allocation layer: how long a
+// renegotiation takes to become effective end-to-end (the sum of the
+// per-switch signalling latencies) and what one change costs (the sum of
+// the per-switch prices).
+#pragma once
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct PathHop {
+  std::string name;
+  Time signaling_slots = 1;   // software invocation time at this switch
+  double change_cost = 1.0;   // price of touching this switch
+};
+
+class NetworkPath {
+ public:
+  NetworkPath() = default;
+  explicit NetworkPath(std::vector<PathHop> hops) : hops_(std::move(hops)) {
+    for (const PathHop& h : hops_) {
+      BW_REQUIRE(h.signaling_slots >= 0, "hop signalling must be >= 0");
+      BW_REQUIRE(h.change_cost >= 0, "hop cost must be >= 0");
+    }
+  }
+
+  // A uniform path of `hops` identical switches.
+  static NetworkPath Uniform(std::int64_t hops, Time signaling_slots,
+                             double change_cost) {
+    BW_REQUIRE(hops >= 0, "hop count must be >= 0");
+    std::vector<PathHop> v;
+    for (std::int64_t i = 0; i < hops; ++i) {
+      v.push_back({"sw" + std::to_string(i), signaling_slots, change_cost});
+    }
+    return NetworkPath(std::move(v));
+  }
+
+  std::int64_t hops() const { return static_cast<std::int64_t>(hops_.size()); }
+
+  // End-to-end renegotiation latency: every switch on the path must commit.
+  Time SignalingLatency() const {
+    Time total = 0;
+    for (const PathHop& h : hops_) total += h.signaling_slots;
+    return total;
+  }
+
+  double ChangeCost() const {
+    double total = 0;
+    for (const PathHop& h : hops_) total += h.change_cost;
+    return total;
+  }
+
+  const std::vector<PathHop>& hops_list() const { return hops_; }
+
+ private:
+  std::vector<PathHop> hops_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,121 @@
+// Renegotiation signalling: allocation changes that take time to commit.
+//
+// The slotted model so far applies a new allocation instantly; on a real
+// path the request must traverse every switch (NetworkPath's signalling
+// latency) while the OLD allocation keeps serving. SignalingChannel tracks
+// the in-flight request; SignalingAdapter wraps any single-session
+// allocator so its decisions commit only after the path latency — which
+// measurably erodes the delay guarantee, motivating the latency-
+// compensated variant (MakeLatencyCompensatedParams).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "net/path.h"
+#include "core/params.h"
+#include "sim/engine_single.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// A bandwidth-allocation control channel with commit latency. Requests are
+// idempotent (re-requesting the current/last-requested value is free) and
+// pipelined: each distinct request commits `latency` slots after it was
+// issued, in order.
+class SignalingChannel {
+ public:
+  explicit SignalingChannel(Time latency) : latency_(latency) {
+    BW_REQUIRE(latency >= 0, "SignalingChannel: latency must be >= 0");
+  }
+
+  // Ask for `bw`, effective at now + latency. No-op if it equals the most
+  // recent request. Returns true if a new signalling round was started.
+  bool Request(Time now, Bandwidth bw) {
+    if (has_request_ && bw == last_request_) return false;
+    has_request_ = true;
+    last_request_ = bw;
+    ++requests_;
+    if (latency_ == 0) {
+      effective_ = bw;
+      in_flight_.clear();
+      return true;
+    }
+    in_flight_.push_back({now + latency_, bw});
+    return true;
+  }
+
+  // The allocation actually in force during slot `now`.
+  Bandwidth Effective(Time now) {
+    while (!in_flight_.empty() && in_flight_.front().commit_at <= now) {
+      effective_ = in_flight_.front().value;
+      in_flight_.pop_front();
+    }
+    return effective_;
+  }
+
+  std::int64_t requests() const { return requests_; }
+  Time latency() const { return latency_; }
+
+ private:
+  struct Pending {
+    Time commit_at;
+    Bandwidth value;
+  };
+  Time latency_;
+  std::deque<Pending> in_flight_;
+  Bandwidth effective_;
+  bool has_request_ = false;
+  Bandwidth last_request_;
+  std::int64_t requests_ = 0;
+};
+
+// Runs an inner allocator behind a signalling channel: the inner decision
+// at slot t serves traffic only from slot t + latency. The engine's change
+// count then reflects committed transitions; `signaling_rounds()` counts
+// the requests actually sent down the path (the priced quantity).
+class SignalingAdapter final : public SingleSessionAllocator {
+ public:
+  SignalingAdapter(std::unique_ptr<SingleSessionAllocator> inner,
+                   const NetworkPath& path)
+      : inner_(std::move(inner)), channel_(path.SignalingLatency()) {
+    BW_REQUIRE(inner_ != nullptr, "SignalingAdapter: null inner allocator");
+  }
+
+  Bandwidth OnSlot(Time now, Bits arrivals, Bits queue) override {
+    channel_.Request(now, inner_->OnSlot(now, arrivals, queue));
+    return channel_.Effective(now);
+  }
+
+  void OnServed(Time now, Bits served, Bits queue_after) override {
+    inner_->OnServed(now, served, queue_after);
+  }
+
+  std::int64_t stages() const override { return inner_->stages(); }
+  std::int64_t signaling_rounds() const { return channel_.requests(); }
+
+ private:
+  std::unique_ptr<SingleSessionAllocator> inner_;
+  SignalingChannel channel_;
+};
+
+// Latency compensation: to keep the end-to-end delay bound D_A under a
+// commit latency S, run the Fig. 3 algorithm against a tightened deadline
+// D_A - 2S (each envelope decision serves traffic only S slots later, and
+// the RESET's full-bandwidth drain also starts S late). Requires
+// D_A - 2S to remain a valid even bound >= 2.
+inline SingleSessionParams MakeLatencyCompensatedParams(
+    SingleSessionParams params, Time signaling_latency) {
+  BW_REQUIRE(signaling_latency >= 0, "latency must be >= 0");
+  const Time tightened = params.max_delay - 2 * signaling_latency;
+  BW_REQUIRE(tightened >= 2,
+             "signalling latency leaves no delay budget to compensate");
+  params.max_delay = tightened % 2 == 0 ? tightened : tightened - 1;
+  BW_REQUIRE(params.window >= params.max_delay / 2,
+             "W must be >= the tightened D_O");
+  return params;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,164 @@
+#include "offline/exhaustive.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <optional>
+
+#include "offline/segment_envelope.h"
+#include "offline/util_envelope.h"
+#include "util/assert.h"
+#include "util/monotonic_deque.h"
+#include "util/ratio.h"
+
+namespace bwalloc {
+namespace {
+
+using Chunk = QueuedChunk;
+
+Bits ArrivalAt(const std::vector<Bits>& trace, Time t) {
+  return t < static_cast<Time>(trace.size())
+             ? trace[static_cast<std::size_t>(t)]
+             : Bits{0};
+}
+
+Bandwidth CeilRatioToBandwidth(const Ratio& r) {
+  const Int128 num = (static_cast<Int128>(r.num()) << Bandwidth::kShift) +
+                     r.den() - 1;
+  return Bandwidth::FromRaw(static_cast<std::int64_t>(num / r.den()));
+}
+
+// Try to run one segment [s, e] with the given carried queue and trailing
+// committed allocation. On success returns true, replaces `carried` with
+// the residual queue and appends the segment's per-slot allocation to
+// `alloc_history`.
+//
+// This deliberately re-implements the segment semantics independently from
+// offline_single.cc's TrySegment (sharing only the envelope classes): it
+// is the reference the greedy scheduler is validated against.
+bool RunSegment(const std::vector<Bits>& trace,
+                const std::vector<Bits>& prefix, const OfflineParams& params,
+                GreedyRatePolicy policy, Time s, Time e,
+                std::deque<Chunk>& carried,
+                std::vector<std::int64_t>& alloc_history) {
+  const bool use_util = params.utilization.num() > 0;
+  for (const Chunk& c : carried) {
+    if (c.arrival + params.delay < s) return false;  // already overdue
+  }
+
+  // Trailing history for the cross-boundary utilization windows.
+  std::vector<std::int64_t> trailing;
+  if (use_util && !params.global_utilization) {
+    const Time keep = std::min<Time>(params.window - 1, s);
+    trailing.assign(alloc_history.end() - keep, alloc_history.end());
+  }
+
+  SegmentDeadlineEnvelope deadline(params.delay, s, carried);
+  std::optional<SegmentUtilizationEnvelope> local_util;
+  if (use_util && !params.global_utilization) {
+    local_util.emplace(prefix, params.window, params.utilization, s,
+                       trailing);
+  }
+  Bits cum_in = 0;
+  RunningMin<Ratio> min_global;
+  Ratio lo(0, 1);
+  for (Time t = s; t <= e; ++t) {
+    lo = deadline.Advance(t, ArrivalAt(trace, t));
+    if (local_util) local_util->Advance(t);
+    if (use_util && params.global_utilization) {
+      cum_in += ArrivalAt(trace, t);
+      min_global.Push(Ratio(cum_in * params.utilization.den(),
+                            params.utilization.num() * (t - s + 1)));
+    }
+  }
+
+  if (Ratio(params.max_bandwidth, 1) < lo) return false;
+  const Bandwidth cap = Bandwidth::FromBitsPerSlot(params.max_bandwidth);
+  const Bandwidth b_min = CeilRatioToBandwidth(lo);
+
+  std::int64_t hi_raw = SegmentUtilizationEnvelope::kUnbounded;
+  if (local_util) {
+    hi_raw = local_util->UpperRaw();
+  } else if (use_util && min_global.has_value()) {
+    const Ratio& hi = min_global.value();
+    hi_raw = static_cast<std::int64_t>(
+        (static_cast<Int128>(hi.num()) << Bandwidth::kShift) / hi.den());
+  }
+  if (hi_raw < b_min.raw()) return false;
+
+  Bandwidth b;
+  if (policy == GreedyRatePolicy::kMinimal) {
+    b = b_min < cap ? b_min : cap;
+  } else {
+    b = cap;
+    if (hi_raw < b.raw()) b = Bandwidth::FromRaw(hi_raw);
+    if (b < b_min) b = b_min < cap ? b_min : cap;
+  }
+
+  // Simulate.
+  std::int64_t credit = 0;
+  for (Time t = s; t <= e; ++t) {
+    const Bits in = ArrivalAt(trace, t);
+    if (in > 0) carried.push_back({t, in});
+    credit += b.raw();
+    Bits deliverable = credit >> Bandwidth::kShift;
+    while (deliverable > 0 && !carried.empty()) {
+      Chunk& head = carried.front();
+      const Bits take = std::min(head.bits, deliverable);
+      if (head.arrival + params.delay < t) return false;
+      head.bits -= take;
+      deliverable -= take;
+      credit -= take << Bandwidth::kShift;
+      if (head.bits == 0) carried.pop_front();
+    }
+    if (carried.empty()) credit = 0;
+  }
+  for (const Chunk& c : carried) {
+    if (c.arrival + params.delay <= e) return false;
+  }
+  alloc_history.insert(alloc_history.end(),
+                       static_cast<std::size_t>(e - s + 1), b.raw());
+  return true;
+}
+
+}  // namespace
+
+std::int64_t MinPiecesExhaustive(const std::vector<Bits>& trace,
+                                 const OfflineParams& params,
+                                 GreedyRatePolicy policy) {
+  const Time horizon = static_cast<Time>(trace.size()) + params.delay;
+  BW_REQUIRE(horizon >= 1 && horizon <= 20,
+             "MinPiecesExhaustive: horizon too large for exhaustive search");
+  std::vector<Bits> prefix(static_cast<std::size_t>(horizon) + 1, 0);
+  for (Time t = 0; t < horizon; ++t) {
+    prefix[static_cast<std::size_t>(t) + 1] =
+        prefix[static_cast<std::size_t>(t)] + ArrivalAt(trace, t);
+  }
+
+  const std::uint64_t masks = std::uint64_t{1}
+                              << static_cast<unsigned>(horizon - 1);
+  std::int64_t best = -1;
+  for (std::uint64_t mask = 0; mask < masks; ++mask) {
+    const int pieces = std::popcount(mask) + 1;
+    if (best >= 0 && pieces >= best) continue;
+    std::deque<Chunk> carried;
+    std::vector<std::int64_t> alloc_history;
+    Time start = 0;
+    bool ok = true;
+    for (Time b = 1; b <= horizon && ok; ++b) {
+      const bool boundary =
+          b == horizon ||
+          ((mask >> static_cast<unsigned>(b - 1)) & 1ULL) != 0;
+      if (!boundary) continue;
+      ok = RunSegment(trace, prefix, params, policy, start, b - 1, carried,
+                      alloc_history);
+      start = b;
+    }
+    if (ok && carried.empty()) {
+      if (best < 0 || pieces < best) best = pieces;
+    }
+  }
+  return best;
+}
+
+}  // namespace bwalloc

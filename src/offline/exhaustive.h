@@ -1,0 +1,26 @@
+// Exhaustive minimum-piece search for tiny instances.
+//
+// Validates the greedy offline scheduler: enumerates every breakpoint
+// subset of the (padded) horizon, checks each induced segmentation for
+// feasibility (a segment [s, e] with carried queue Q is feasible iff
+// max-deadline-envelope lo <= min(utilization-envelope hi, B_O)), and
+// returns the minimum number of pieces over all feasible segmentations.
+// Exponential in the horizon — tests keep it below ~16 slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "offline/offline_single.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Minimum number of pieces of any feasible piecewise-constant
+// (B_O, D_O[, U_O])-schedule for `trace`; -1 if no segmentation is
+// feasible. Within each segment the rate is chosen by `policy`.
+std::int64_t MinPiecesExhaustive(
+    const std::vector<Bits>& trace, const OfflineParams& params,
+    GreedyRatePolicy policy = GreedyRatePolicy::kMaximal);
+
+}  // namespace bwalloc

@@ -1,0 +1,55 @@
+// Offline (clairvoyant) comparator for the multi-session problem
+// (Section 3): a (B_O, D_O)-schedule — per-session piecewise-constant
+// allocations summing to at most B_O at every time, serving every session's
+// bits within D_O — built greedily to use few allocation changes.
+//
+// Segment construction: extend [t0, te] while the per-session deadline
+// envelopes lo_i(te) (each the minimal constant rate that serves session
+// i's carried + in-segment bits on time) sum to at most B_O; commit rates
+// r_i = lo_i, carry residual queues. Each segment boundary is at least one
+// offline allocation change, so `segments() - 1` upper-bounds nothing but
+// is a *constructive* change count to report next to the Lemma 13 stage
+// lower bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct MultiOfflinePiece {
+  Time start = 0;
+  std::vector<Bandwidth> rates;  // one per session
+};
+
+struct MultiOfflineSchedule {
+  bool feasible = false;
+  Time horizon = 0;
+  std::vector<MultiOfflinePiece> pieces;
+
+  std::int64_t segments() const {
+    return static_cast<std::int64_t>(pieces.size());
+  }
+  // Per-session allocation transitions across piece boundaries.
+  std::int64_t local_changes() const;
+};
+
+MultiOfflineSchedule GreedyMultiSchedule(
+    const std::vector<std::vector<Bits>>& traces, Bits offline_bandwidth,
+    Time offline_delay);
+
+// Replay check: max delay over all sessions and whether the total rate ever
+// exceeds B_O.
+struct MultiScheduleCheck {
+  Time max_delay = 0;
+  Bits final_queue = 0;
+  bool within_budget = true;
+};
+MultiScheduleCheck ValidateMultiSchedule(
+    const std::vector<std::vector<Bits>>& traces,
+    const MultiOfflineSchedule& schedule, Bits offline_bandwidth);
+
+}  // namespace bwalloc

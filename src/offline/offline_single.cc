@@ -1,0 +1,465 @@
+#include "offline/offline_single.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "core/high_tracker.h"
+#include "core/low_tracker.h"
+#include "offline/segment_envelope.h"
+#include "offline/util_envelope.h"
+#include "sim/bit_queue.h"
+#include "sim/metrics.h"
+#include "util/assert.h"
+#include "util/monotonic_deque.h"
+
+namespace bwalloc {
+namespace {
+
+using Chunk = QueuedChunk;
+
+Bits ArrivalAt(const std::vector<Bits>& trace, Time t) {
+  return t < static_cast<Time>(trace.size())
+             ? trace[static_cast<std::size_t>(t)]
+             : Bits{0};
+}
+
+// Global prefix sums over the padded horizon: prefix[t] = bits in [0, t).
+std::vector<Bits> PaddedPrefix(const std::vector<Bits>& trace, Time horizon) {
+  std::vector<Bits> prefix(static_cast<std::size_t>(horizon) + 1, 0);
+  for (Time t = 0; t < horizon; ++t) {
+    prefix[static_cast<std::size_t>(t) + 1] =
+        prefix[static_cast<std::size_t>(t)] + ArrivalAt(trace, t);
+  }
+  return prefix;
+}
+
+// Smallest fixed-point bandwidth >= the exact rational r.
+Bandwidth CeilRatioToBandwidth(const Ratio& r) {
+  const Int128 num = (static_cast<Int128>(r.num()) << Bandwidth::kShift) +
+                     r.den() - 1;
+  return Bandwidth::FromRaw(static_cast<std::int64_t>(num / r.den()));
+}
+
+void ValidateParams(const OfflineParams& params) {
+  BW_REQUIRE(params.max_bandwidth >= 1, "offline: B_O must be >= 1");
+  BW_REQUIRE(params.delay >= 1, "offline: D_O must be >= 1");
+  if (params.utilization.num() > 0) {
+    BW_REQUIRE(params.utilization.num() <= params.utilization.den(),
+               "offline: U_O must be <= 1");
+    if (!params.global_utilization) {
+      BW_REQUIRE(params.window >= params.delay, "offline: W must be >= D_O");
+    }
+  }
+}
+
+// Trailing committed allocation (raw Q16) per slot, the last min(W-1, s)
+// slots before a segment start — the state the cross-boundary utilization
+// windows need.
+using Trailing = std::vector<std::int64_t>;
+
+Trailing ExtendTrailing(const Trailing& before, Time segment_len,
+                        std::int64_t rate_raw, Time keep) {
+  Trailing after;
+  if (keep <= 0) return after;
+  if (segment_len >= keep) {
+    after.assign(static_cast<std::size_t>(keep), rate_raw);
+    return after;
+  }
+  const Time from_before = keep - segment_len;
+  const Time have = static_cast<Time>(before.size());
+  const Time take = std::min(from_before, have);
+  after.insert(after.end(), before.end() - take, before.end());
+  after.insert(after.end(), static_cast<std::size_t>(segment_len), rate_raw);
+  return after;
+}
+
+struct SegmentResult {
+  Bandwidth rate;
+  std::deque<Chunk> carried_out;
+};
+
+// One forward scan from state (s, carried, trailing): for every prefix end
+// t it records ceil(lo(t)) and the utilization cap hi(t) in raw Q16 units,
+// and the longest feasible end. Each candidate segment end then needs only
+// an O(1) rate pick plus an O(len) service simulation — the envelope work
+// is paid once per state instead of once per candidate.
+struct StateScan {
+  Time s = 0;
+  Time max_e = kNoTime;                 // s - 1 when nothing is feasible
+  std::vector<std::int64_t> lo_raw;     // ceil(lo(t)), index t - s
+  std::vector<std::int64_t> hi_raw;     // utilization cap, index t - s
+};
+
+StateScan ScanState(const std::vector<Bits>& trace,
+                    const std::vector<Bits>& prefix,
+                    const OfflineParams& params, Time s, Time horizon,
+                    const std::deque<Chunk>& carried,
+                    const Trailing& trailing) {
+  StateScan scan;
+  scan.s = s;
+  scan.max_e = s - 1;
+  const bool use_util = params.utilization.num() > 0;
+  for (const Chunk& c : carried) {
+    if (c.arrival + params.delay < s) return scan;
+  }
+  SegmentDeadlineEnvelope deadline(params.delay, s, carried);
+  std::optional<SegmentUtilizationEnvelope> local_util;
+  if (use_util && !params.global_utilization) {
+    local_util.emplace(prefix, params.window, params.utilization, s,
+                       trailing);
+  }
+  Bits cum_in = 0;
+  RunningMin<Ratio> min_global;
+  const std::int64_t cap_raw =
+      Bandwidth::FromBitsPerSlot(params.max_bandwidth).raw();
+
+  for (Time t = s; t < horizon; ++t) {
+    const Ratio lo = deadline.Advance(t, ArrivalAt(trace, t));
+    if (local_util) local_util->Advance(t);
+    std::int64_t hi_raw = SegmentUtilizationEnvelope::kUnbounded;
+    if (local_util) {
+      hi_raw = local_util->UpperRaw();
+    } else if (use_util) {
+      if (params.global_utilization) {
+        cum_in += ArrivalAt(trace, t);
+        min_global.Push(Ratio(cum_in * params.utilization.den(),
+                              params.utilization.num() * (t - s + 1)));
+      }
+      if (min_global.has_value()) {
+        const Ratio& hi = min_global.value();
+        hi_raw = static_cast<std::int64_t>(
+            (static_cast<Int128>(hi.num()) << Bandwidth::kShift) / hi.den());
+      }
+    }
+    const std::int64_t lo_raw = CeilRatioToBandwidth(lo).raw();
+    if (lo_raw > cap_raw || lo_raw > hi_raw) break;
+    scan.lo_raw.push_back(lo_raw);
+    scan.hi_raw.push_back(hi_raw);
+    scan.max_e = t;
+  }
+  return scan;
+}
+
+Bandwidth PickRate(const OfflineParams& params, GreedyRatePolicy policy,
+                   std::int64_t lo_raw, std::int64_t hi_raw) {
+  const std::int64_t cap_raw =
+      Bandwidth::FromBitsPerSlot(params.max_bandwidth).raw();
+  if (policy == GreedyRatePolicy::kMinimal) {
+    return Bandwidth::FromRaw(std::min(lo_raw, cap_raw));
+  }
+  std::int64_t b = std::min(cap_raw, hi_raw);
+  if (b < lo_raw) b = std::min(lo_raw, cap_raw);
+  return Bandwidth::FromRaw(b);
+}
+
+// Service simulation over [s, e] at `rate`; returns the residual queue.
+std::deque<Chunk> SimulateSegment(const std::vector<Bits>& trace,
+                                  const OfflineParams& params, Time s, Time e,
+                                  const std::deque<Chunk>& carried,
+                                  Bandwidth rate) {
+  std::deque<Chunk> q = carried;
+  std::int64_t credit = 0;
+  for (Time t = s; t <= e; ++t) {
+    const Bits in = ArrivalAt(trace, t);
+    if (in > 0) q.push_back({t, in});
+    credit += rate.raw();
+    Bits deliverable = credit >> Bandwidth::kShift;
+    while (deliverable > 0 && !q.empty()) {
+      Chunk& head = q.front();
+      const Bits take = std::min(head.bits, deliverable);
+      BW_CHECK(head.arrival + params.delay >= t,
+               "offline segment served a bit past its deadline");
+      head.bits -= take;
+      deliverable -= take;
+      credit -= take << Bandwidth::kShift;
+      if (head.bits == 0) q.pop_front();
+    }
+    if (q.empty()) credit = 0;
+  }
+  for (const Chunk& c : q) {
+    BW_CHECK(c.arrival + params.delay > e,
+             "offline segment left an overdue bit queued");
+  }
+  return q;
+}
+
+std::uint64_t HashState(Time t0, const std::deque<Chunk>& carried,
+                        const Trailing& trailing) {
+  std::uint64_t h = 1469598103934665603ULL ^
+                    static_cast<std::uint64_t>(t0) * 1099511628211ULL;
+  for (const Chunk& c : carried) {
+    h = (h ^ static_cast<std::uint64_t>(c.arrival)) * 1099511628211ULL;
+    h = (h ^ static_cast<std::uint64_t>(c.bits)) * 1099511628211ULL;
+  }
+  h = (h ^ 0x9E3779B97f4A7C15ULL) * 1099511628211ULL;
+  for (const std::int64_t a : trailing) {
+    h = (h ^ static_cast<std::uint64_t>(a)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::int64_t OfflineSchedule::changes() const {
+  std::int64_t c = 0;
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    if (pieces[i].bandwidth != pieces[i - 1].bandwidth) ++c;
+  }
+  return c;
+}
+
+Bandwidth OfflineSchedule::At(Time t) const {
+  Bandwidth bw;
+  for (const SchedulePiece& p : pieces) {
+    if (p.start > t) break;
+    bw = p.bandwidth;
+  }
+  return bw;
+}
+
+OfflineSchedule GreedyMinChangeSchedule(const std::vector<Bits>& trace,
+                                        const OfflineParams& params,
+                                        GreedyRatePolicy policy,
+                                        SearchEffort effort) {
+  ValidateParams(params);
+  const Time n = static_cast<Time>(trace.size());
+  const Time horizon = n + params.delay;  // pad so every deadline is inside
+
+  OfflineSchedule schedule;
+  schedule.horizon = horizon;
+  if (horizon == 0) {
+    schedule.feasible = true;
+    schedule.proven_optimal = true;
+    return schedule;
+  }
+  const std::vector<Bits> prefix = PaddedPrefix(trace, horizon);
+  const bool local_util =
+      params.utilization.num() > 0 && !params.global_utilization;
+  const Time keep = local_util ? params.window - 1 : 0;
+
+  // Exact minimum-piece search over boundary choices: plain longest-prefix
+  // greedy can both dead-end (a maximal segment may carry a backlog whose
+  // deadline makes the next segment infeasible, or commit an allocation a
+  // later boundary window cannot absorb) and overshoot the optimum.
+  // minPieces(t0, carried, trailing) = 1 + min over feasible ends e of
+  // minPieces(e+1, residual(e), trailing'(e)); states are memoized. A work
+  // cap bounds pathological instances; when it trips the search degrades
+  // to the first (longest-segment-first) solution found and the schedule
+  // is marked not proven optimal.
+  constexpr std::int64_t kInfPieces = INT64_MAX / 2;
+  std::unordered_map<std::uint64_t, std::int64_t> memo;
+  std::unordered_map<std::uint64_t, Time> choice;
+  // Work is counted in simulated slots; the scan per state is linear too.
+  std::int64_t work = 512 * horizon + 50000;
+  bool capped = false;
+
+  std::function<std::int64_t(Time, const std::deque<Chunk>&, const Trailing&)>
+      min_pieces = [&](Time t0, const std::deque<Chunk>& carried,
+                       const Trailing& trailing) -> std::int64_t {
+    if (t0 >= horizon) return carried.empty() ? 0 : kInfPieces;
+    const std::uint64_t key = HashState(t0, carried, trailing);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    const StateScan scan =
+        ScanState(trace, prefix, params, t0, horizon, carried, trailing);
+    work -= (scan.max_e - t0 + 1) + 8;
+    std::int64_t best = kInfPieces;
+    Time best_e = kNoTime;
+
+    // Candidate order: longest-first is biased toward dead ends — a long
+    // segment's utilization cap is its running minimum, which can starve
+    // early service and leave a doomed backlog at the boundary. Prefer the
+    // longest "clean break" (a conservative test that the residual queue
+    // empties) before falling back to longest-first, and in first-solution
+    // mode bound the number of dirty candidates per state.
+    std::vector<Time> candidates;
+    candidates.reserve(static_cast<std::size_t>(scan.max_e - t0 + 1) + 1);
+    {
+      Bits carried_total = 0;
+      for (const Chunk& c : carried) carried_total += c.bits;
+      Time clean = kNoTime;
+      for (Time e = scan.max_e; e >= t0; --e) {
+        const auto idx = static_cast<std::size_t>(e - t0);
+        const Bandwidth rate =
+            PickRate(params, policy, scan.lo_raw[idx], scan.hi_raw[idx]);
+        const Bits demand =
+            carried_total +
+            (prefix[static_cast<std::size_t>(e + 1)] -
+             prefix[static_cast<std::size_t>(t0)]);
+        if (rate.BitsOver(e - t0 + 1) >= demand) {
+          clean = e;
+          break;
+        }
+      }
+      if (clean != kNoTime) candidates.push_back(clean);
+      std::int64_t dirty_budget =
+          effort == SearchEffort::kExact ? INT64_MAX : 32;
+      for (Time e = scan.max_e; e >= t0; --e) {
+        if (e == clean) continue;
+        if (--dirty_budget < 0) break;
+        candidates.push_back(e);
+      }
+    }
+
+    for (const Time e : candidates) {
+      if (work < 0) {
+        capped = true;
+        break;
+      }
+      const auto idx = static_cast<std::size_t>(e - t0);
+      const Bandwidth rate =
+          PickRate(params, policy, scan.lo_raw[idx], scan.hi_raw[idx]);
+      const std::deque<Chunk> residual =
+          SimulateSegment(trace, params, t0, e, carried, rate);
+      work -= (e - t0 + 1);
+      const Trailing next =
+          ExtendTrailing(trailing, e - t0 + 1, rate.raw(), keep);
+      const std::int64_t sub = min_pieces(e + 1, residual, next);
+      if (sub + 1 < best) {
+        best = sub + 1;
+        best_e = e;
+        // A solution ending exactly at the horizon cannot be beaten.
+        if (sub == 0) break;
+        // First-solution effort: accept the first answer found.
+        if (effort == SearchEffort::kFirstSolution) break;
+      }
+      if (capped) break;
+    }
+    // Only cache fully-explored states (a capped scan may miss solutions).
+    if (!capped) memo.emplace(key, best);
+    if (best_e != kNoTime) choice[key] = best_e;
+    return best;
+  };
+
+  const std::deque<Chunk> no_carry;
+  const Trailing no_trailing;
+  const std::int64_t total = min_pieces(0, no_carry, no_trailing);
+  schedule.feasible = total < kInfPieces;
+  schedule.proven_optimal =
+      schedule.feasible && !capped && effort == SearchEffort::kExact;
+  if (schedule.feasible) {
+    // Reconstruct by replaying the recorded choices. Under a tripped work
+    // cap a state on the path may have been explored only partially; in
+    // that case the result degrades gracefully to "no schedule".
+    std::deque<Chunk> carried;
+    Trailing trailing;
+    Time t0 = 0;
+    while (t0 < horizon) {
+      const std::uint64_t key = HashState(t0, carried, trailing);
+      const auto it = choice.find(key);
+      if (it == choice.end()) {
+        BW_CHECK(capped, "offline reconstruction lost an uncapped path");
+        schedule.feasible = false;
+        schedule.proven_optimal = false;
+        schedule.pieces.clear();
+        return schedule;
+      }
+      const Time e = it->second;
+      const StateScan scan =
+          ScanState(trace, prefix, params, t0, horizon, carried, trailing);
+      BW_CHECK(e <= scan.max_e, "offline reconstruction infeasible");
+      const auto idx = static_cast<std::size_t>(e - t0);
+      const Bandwidth rate =
+          PickRate(params, policy, scan.lo_raw[idx], scan.hi_raw[idx]);
+      schedule.pieces.push_back({t0, rate});
+      carried = SimulateSegment(trace, params, t0, e, carried, rate);
+      trailing = ExtendTrailing(trailing, e - t0 + 1, rate.raw(), keep);
+      t0 = e + 1;
+    }
+    BW_CHECK(carried.empty(), "offline reconstruction left residual bits");
+  }
+  return schedule;
+}
+
+std::int64_t EnvelopeStageLowerBound(const std::vector<Bits>& trace,
+                                     const OfflineParams& params) {
+  ValidateParams(params);
+  const bool use_util = params.utilization.num() > 0;
+  const Time n = static_cast<Time>(trace.size());
+  const Ratio cap(params.max_bandwidth, 1);
+
+  LowTracker low(params.delay);
+  // With utilization disabled the high envelope is +infinity; only the B_O
+  // cap can end a stage.
+  HighTracker high(use_util && !params.global_utilization ? params.window
+                                                          : Time{1},
+                   use_util ? params.utilization : Ratio(1, 1),
+                   params.max_bandwidth);
+  // Global mode: an offline value b held over [ts, t] must satisfy the
+  // cumulative ratio at EVERY prefix, so the certifying envelope is the
+  // running minimum of IN(ts, tau] / (U_O * (tau - ts + 1)).
+  Bits cum_in = 0;
+  RunningMin<Ratio> min_global;
+
+  std::int64_t stages = 0;
+  Time ts = 0;
+  low.StartStage(0);
+  high.StartStage(0);
+  for (Time t = 0; t < n; ++t) {
+    const Bits in = trace[static_cast<std::size_t>(t)];
+    const Ratio lo = low.LowAt(t);
+    bool crossed = cap < lo;
+    if (use_util && params.global_utilization) {
+      cum_in += in;
+      min_global.Push(Ratio(cum_in * params.utilization.den(),
+                            params.utilization.num() * (t - ts + 1)));
+      crossed = crossed || min_global.value() < lo;
+    } else {
+      high.RecordArrivals(t, in);
+      crossed = crossed || (use_util && high.HighAt() < lo);
+    }
+    if (crossed) {
+      ++stages;
+      ts = t + 1;
+      low.StartStage(t + 1);
+      high.StartStage(t + 1);
+      cum_in = 0;
+      min_global.Reset();
+    } else {
+      low.RecordArrivals(in);
+    }
+  }
+  return stages;
+}
+
+Ratio MinimalStaticBandwidth(const std::vector<Bits>& trace, Time delay) {
+  BW_REQUIRE(delay >= 1, "MinimalStaticBandwidth: delay must be >= 1");
+  const Time n = static_cast<Time>(trace.size());
+  LowTracker low(delay);
+  low.StartStage(0);
+  Ratio result(0, 1);
+  for (Time t = 0; t <= n; ++t) {
+    result = low.LowAt(t);
+    if (t < n) low.RecordArrivals(trace[static_cast<std::size_t>(t)]);
+  }
+  return result;
+}
+
+ScheduleCheck ValidateSchedule(const std::vector<Bits>& trace,
+                               const OfflineSchedule& schedule) {
+  ScheduleCheck check;
+  BitQueue queue;
+  DelayHistogram hist;
+  UtilizationMeter util;
+  std::size_t piece = 0;
+  Bandwidth bw;
+  for (Time t = 0; t < schedule.horizon; ++t) {
+    while (piece < schedule.pieces.size() &&
+           schedule.pieces[piece].start == t) {
+      bw = schedule.pieces[piece].bandwidth;
+      ++piece;
+    }
+    const Bits in = ArrivalAt(trace, t);
+    queue.Enqueue(t, in);
+    util.Record(in, bw);
+    queue.ServeSlot(t, bw, &hist);
+  }
+  check.max_delay = hist.max_delay();
+  check.final_queue = queue.size();
+  check.global_utilization = util.GlobalUtilization();
+  return check;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,106 @@
+// Offline (clairvoyant) comparators for the single-session problem.
+//
+// The theorems compare the online algorithm against "any offline algorithm"
+// with maximum bandwidth B_O, delay D_O and utilization U_O. We bracket
+// that existential OPT from both sides:
+//
+//  * EnvelopeStageLowerBound — the paper's own proof device (Lemma 1):
+//    whenever the high/low envelopes cross, no single bandwidth value could
+//    have served the elapsed interval, so OPT changed at least once. The
+//    count of disjoint certified intervals lower-bounds OPT's changes.
+//  * GreedyMinChangeSchedule — a constructive piecewise-constant schedule:
+//    repeatedly extend the current segment while some constant bandwidth b
+//    with  deadline-envelope lo(te) <= b <= min(utilization-envelope
+//    hi(te), B_O)  exists, then fix b = lo (the minimal delay-feasible
+//    rate, which maximizes utilization headroom) and carry the residual
+//    queue into the next segment. Its change count upper-bounds OPT's
+//    (exhaustive.h verifies greedy is optimal among piecewise-constant
+//    schedules on small instances).
+//
+// Utilization windows are evaluated within a segment (mirroring the
+// stage-scoped high(t) of the online algorithm); see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fixed_point.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct OfflineParams {
+  Bits max_bandwidth = 0;  // B_O
+  Time delay = 0;          // D_O
+  Ratio utilization;       // U_O; num()==0 disables the constraint
+  Time window = 0;         // W; required iff utilization is enabled (local)
+  // false: the paper's local W-window utilization; true: the global
+  // (cumulative) definition, enforced at every prefix of a segment.
+  bool global_utilization = false;
+};
+
+struct SchedulePiece {
+  Time start = 0;  // first slot this bandwidth takes effect
+  Bandwidth bandwidth;
+};
+
+struct OfflineSchedule {
+  bool feasible = false;
+  // True when the search fully explored the boundary space (the piece
+  // count is the exact minimum for this family); false when the work cap
+  // tripped and the schedule is only a good heuristic.
+  bool proven_optimal = false;
+  Time horizon = 0;  // slots covered (trace + drain tail)
+  std::vector<SchedulePiece> pieces;
+
+  // Number of bandwidth-allocation changes = transitions between distinct
+  // consecutive piece values.
+  std::int64_t changes() const;
+
+  // Bandwidth in effect at slot t.
+  Bandwidth At(Time t) const;
+};
+
+// Per-segment rate choice of the greedy scheduler. kMaximal picks the
+// largest feasible rate (min(hi, B_O)), which minimizes the queue carried
+// into the next segment and is the better change-count heuristic; kMinimal
+// picks the smallest (lo), which minimizes bandwidth cost. Both satisfy all
+// constraints.
+enum class GreedyRatePolicy { kMaximal, kMinimal };
+
+// How hard to search for the minimum-piece segmentation. kFirstSolution
+// keeps the longest-segment-first DFS with failure backtracking (complete
+// for feasibility, near-optimal piece counts, fast); kExact keeps exploring
+// until the piece count is provably minimal (exponential worst case, for
+// small instances and validation).
+enum class SearchEffort { kFirstSolution, kExact };
+
+// Greedy minimum-change clairvoyant schedule. The trace is implicitly
+// padded with `params.delay` empty slots so every deadline falls inside the
+// horizon.
+OfflineSchedule GreedyMinChangeSchedule(
+    const std::vector<Bits>& trace, const OfflineParams& params,
+    GreedyRatePolicy policy = GreedyRatePolicy::kMaximal,
+    SearchEffort effort = SearchEffort::kFirstSolution);
+
+// Stage-counting lower bound on the changes of ANY offline algorithm with
+// `params` (Lemma 1's certification argument, run clairvoyantly over the
+// whole trace with immediate stage restarts).
+std::int64_t EnvelopeStageLowerBound(const std::vector<Bits>& trace,
+                                     const OfflineParams& params);
+
+// Minimal constant bandwidth that serves the whole trace with delay <=
+// `delay` (the zero-change static optimum; exact rational).
+Ratio MinimalStaticBandwidth(const std::vector<Bits>& trace, Time delay);
+
+// Replay a schedule through the queue model and report what it achieved.
+struct ScheduleCheck {
+  Time max_delay = 0;
+  Bits final_queue = 0;
+  double global_utilization = 0.0;
+};
+ScheduleCheck ValidateSchedule(const std::vector<Bits>& trace,
+                               const OfflineSchedule& schedule);
+
+}  // namespace bwalloc

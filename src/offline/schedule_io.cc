@@ -1,0 +1,85 @@
+#include "offline/schedule_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace bwalloc {
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+std::int64_t ParseInt(const std::string& token, const std::string& context) {
+  std::int64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  while (end > begin &&
+         (end[-1] == ' ' || end[-1] == '\t' || end[-1] == '\r')) {
+    --end;
+  }
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("schedule file: malformed number '" + token +
+                                "' in " + context);
+  }
+  return value;
+}
+
+}  // namespace
+
+void SaveSchedule(const std::string& path, const OfflineSchedule& schedule,
+                  const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write schedule file: " + path);
+  if (!comment.empty()) out << "# " << comment << '\n';
+  out << "# start_slot,bandwidth_raw_q16\n";
+  for (const SchedulePiece& p : schedule.pieces) {
+    out << p.start << ',' << p.bandwidth.raw() << '\n';
+  }
+  if (!out) throw std::runtime_error("short write to schedule file: " + path);
+}
+
+OfflineSchedule LoadSchedule(const std::string& path, Time horizon) {
+  BW_REQUIRE(horizon >= 0, "LoadSchedule: negative horizon");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open schedule file: " + path);
+
+  OfflineSchedule schedule;
+  schedule.horizon = horizon;
+  schedule.feasible = true;  // validity is the replayer's job
+  std::string line;
+  Time last_start = kNoTime;
+  while (std::getline(in, line)) {
+    if (IsCommentOrBlank(line)) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("schedule file: expected start,raw in " +
+                                  path);
+    }
+    const Time start = ParseInt(line.substr(0, comma), path);
+    const std::int64_t raw = ParseInt(line.substr(comma + 1), path);
+    if (start <= last_start) {
+      throw std::invalid_argument(
+          "schedule file: piece starts must be strictly increasing in " +
+          path);
+    }
+    if (raw < 0) {
+      throw std::invalid_argument("schedule file: negative bandwidth in " +
+                                  path);
+    }
+    schedule.pieces.push_back({start, Bandwidth::FromRaw(raw)});
+    last_start = start;
+  }
+  return schedule;
+}
+
+}  // namespace bwalloc

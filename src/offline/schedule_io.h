@@ -1,0 +1,23 @@
+// Offline schedule file I/O.
+//
+// CSV rows of `start_slot,bandwidth_raw` (Q16 raw units, so schedules
+// round-trip exactly), '#' comments allowed. Together with `bwsim replay`
+// this lets externally-computed allocation plans be validated against any
+// trace with the library's exact service semantics.
+#pragma once
+
+#include <string>
+
+#include "offline/offline_single.h"
+
+namespace bwalloc {
+
+void SaveSchedule(const std::string& path, const OfflineSchedule& schedule,
+                  const std::string& comment = "");
+
+// Throws std::runtime_error on I/O failure, std::invalid_argument on
+// malformed content (non-monotone starts, negative bandwidth). `horizon`
+// in the file header comment is not required; the caller supplies it.
+OfflineSchedule LoadSchedule(const std::string& path, Time horizon);
+
+}  // namespace bwalloc

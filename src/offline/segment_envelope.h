@@ -1,0 +1,103 @@
+// Deadline envelope of one offline segment.
+//
+// A constant rate b serves segment [s, e] (carried queue Q_in, per-bit
+// deadline = arrival + D) without misses iff for every interval [a, d]
+// inside the segment, the bits that both arrive at or after a and are due
+// by d fit into b * (d - a + 1):
+//
+//   a == s: carried_due(d) + IN[s, d - D]   <= b * (d - s + 1)
+//   a >  s:                  IN[a, d - D]   <= b * (d - a + 1)
+//
+// (the server cannot bank capacity across idle gaps, so anchoring at the
+// segment start alone is NOT sufficient — this is exactly why the paper's
+// low(t) maximizes over all window sizes). The a > s family is the paper's
+// low(t) envelope, computed with the convex hull; the a == s family is a
+// running max over the carried-plus-arrival due curve.
+//
+// Advance(t) processes slot t and returns the minimal feasible rate for a
+// segment ending at t; it is non-decreasing in t, so segment feasibility
+// stays prefix-closed.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/low_tracker.h"
+#include "util/assert.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct QueuedChunk {
+  Time arrival;
+  Bits bits;
+};
+
+class SegmentDeadlineEnvelope {
+ public:
+  // `delay` = D_O. `carried` must be sorted by arrival and contain no bit
+  // already overdue at s (deadline < s).
+  SegmentDeadlineEnvelope(Time delay, Time s,
+                          const std::deque<QueuedChunk>& carried)
+      : delay_(delay), s_(s), carried_(&carried), window_tracker_(delay) {
+    BW_REQUIRE(delay >= 1, "SegmentDeadlineEnvelope: delay must be >= 1");
+    window_tracker_.StartStage(s);
+  }
+
+  // Process slot t (strictly increasing from s) given its arrivals; returns
+  // lo(t) = the minimal feasible constant rate for the segment [s, t].
+  Ratio Advance(Time t, Bits arrivals) {
+    BW_CHECK(t == s_ + static_cast<Time>(low_history_.size()),
+             "SegmentDeadlineEnvelope: slots must be visited in order");
+    // Anchored (a == s) family: due events at deadline d == t.
+    while (carried_ptr_ < carried_->size() &&
+           (*carried_)[carried_ptr_].arrival + delay_ <= t) {
+      due_cum_ += (*carried_)[carried_ptr_].bits;
+      ++carried_ptr_;
+    }
+    if (t - delay_ >= s_) {
+      due_cum_ += ArrivalInSegment(t - delay_);
+    }
+    if (due_cum_ > 0) {
+      const Ratio candidate(due_cum_, t - s_ + 1);
+      if (anchored_ < candidate) anchored_ = candidate;
+    }
+
+    // Window (a > s, and a == s without carried bits) family: the paper's
+    // low(t). LowAt(tau) covers windows whose last arrival slot is tau - 1,
+    // i.e. deadline tau - 1 + delay; valid for a segment ending at t iff
+    // tau <= t - delay + 1.
+    low_history_.push_back(window_tracker_.LowAt(t));
+    window_tracker_.RecordArrivals(arrivals);
+    segment_arrivals_.push_back(arrivals);
+
+    Ratio lo = anchored_;
+    const Time tau = t - delay_ + 1;
+    if (tau >= s_) {
+      const Ratio& windows = low_history_[static_cast<std::size_t>(tau - s_)];
+      if (lo < windows) lo = windows;
+    }
+    return lo;
+  }
+
+ private:
+  Bits ArrivalInSegment(Time t) const {
+    const auto idx = static_cast<std::size_t>(t - s_);
+    BW_CHECK(idx < segment_arrivals_.size(),
+             "SegmentDeadlineEnvelope: arrival index out of range");
+    return segment_arrivals_[idx];
+  }
+
+  Time delay_;
+  Time s_;
+  const std::deque<QueuedChunk>* carried_;
+  std::size_t carried_ptr_ = 0;
+  Bits due_cum_ = 0;
+  Ratio anchored_{0, 1};
+  LowTracker window_tracker_;
+  std::vector<Ratio> low_history_;
+  std::vector<Bits> segment_arrivals_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,128 @@
+// Utilization envelope of one offline segment, existential-window form.
+//
+// The utilization requirement the offline comparator must satisfy mirrors
+// the guarantee the paper proves for the online algorithm (Lemma 5): at
+// every time t, SOME window (t-W', t] with W' <= W has
+//
+//   IN(t-W', t]  >=  U_O * B(t-W', t],
+//
+// where B counts allocated bandwidth (a window with B = 0 is vacuously
+// fine). Note the strict "every window of size exactly W" reading would
+// make any burst followed by real silence infeasible for EVERY algorithm —
+// serving a burst spills allocation into the silence, where the W-window's
+// IN is zero — so the existential form is the one under which the paper's
+// feasibility assumption is meaningful.
+//
+// For a segment [s, ...] with rate b and committed per-slot allocation
+// before s ("trailing"), the time-t condition caps b by
+//
+//   cap(t) = max over W' of ( IN(t-W',t]/U_O - prev(t,W') ) / in_seg(t,W')
+//
+// with prev the committed allocation inside the window and in_seg the
+// number of window slots at rate b. The segment's bound is the running
+// minimum of cap(t) — non-increasing in t, so segment feasibility stays
+// prefix-closed. kInfeasible means even b = 0 fails some time's every
+// window: the committed prefix itself is doomed and the caller backtracks.
+//
+// All arithmetic is in raw Q16 bandwidth units with Int128 intermediates.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class SegmentUtilizationEnvelope {
+ public:
+  static constexpr std::int64_t kUnbounded = INT64_MAX / 4;
+  static constexpr std::int64_t kInfeasible = -1;
+
+  // `prefix[t]` = bits arrived in slots [0, t) (global prefix sums over the
+  // padded horizon). `trailing_alloc_raw[i]` = committed allocation (raw
+  // Q16) of slot s - trailing.size() + i; must cover the last
+  // min(W-1, s) slots.
+  SegmentUtilizationEnvelope(
+      const std::vector<Bits>& prefix, Time window, Ratio utilization, Time s,
+      const std::vector<std::int64_t>& trailing_alloc_raw)
+      : prefix_(&prefix),
+        window_(window),
+        u_num_(utilization.num()),
+        u_den_(utilization.den()),
+        s_(s) {
+    BW_REQUIRE(window >= 1, "SegmentUtilizationEnvelope: W must be >= 1");
+    BW_REQUIRE(utilization.num() > 0,
+               "SegmentUtilizationEnvelope: U_O must be > 0");
+    const Time needed = std::min<Time>(window - 1, s);
+    BW_REQUIRE(static_cast<Time>(trailing_alloc_raw.size()) >= needed,
+               "SegmentUtilizationEnvelope: trailing history too short");
+    // Suffix sums of the trailing allocation: prev(t, W') queries become
+    // O(1). suffix_[i] = sum of trailing[i..end).
+    suffix_.resize(trailing_alloc_raw.size() + 1, 0);
+    for (std::size_t i = trailing_alloc_raw.size(); i-- > 0;) {
+      suffix_[i] = suffix_[i + 1] + trailing_alloc_raw[i];
+    }
+    trailing_len_ = static_cast<Time>(trailing_alloc_raw.size());
+  }
+
+  // Process slot t (strictly increasing from s). Afterwards UpperRaw() is
+  // the largest feasible raw rate for the segment [s, t].
+  void Advance(Time t) {
+    BW_CHECK(t == s_ + processed_, "envelope slots must be visited in order");
+    ++processed_;
+    if (upper_raw_ == kInfeasible) return;
+
+    const Time deepest = std::min<Time>(window_, t + 1);
+    Int128 best = kInfeasible;
+    for (Time w = 1; w <= deepest; ++w) {
+      // Window (t-w, t] = slots t-w+1 .. t.
+      const Time first = t - w + 1;
+      const Bits in = (*prefix_)[static_cast<std::size_t>(t + 1)] -
+                      (*prefix_)[static_cast<std::size_t>(first)];
+      const Time in_seg = t - std::max(first, s_) + 1;
+      const std::int64_t prev_raw = first < s_ ? TrailingSum(first) : 0;
+      const Int128 budget = (static_cast<Int128>(in) * u_den_
+                             << Bandwidth::kShift) -
+                            static_cast<Int128>(u_num_) * prev_raw;
+      if (budget < 0) continue;  // this window cannot cover even b = 0
+      const Int128 cap = budget / (static_cast<Int128>(u_num_) * in_seg);
+      if (cap > best) best = cap;
+      if (best >= kUnbounded) break;
+    }
+    if (best == kInfeasible) {
+      upper_raw_ = kInfeasible;
+      return;
+    }
+    const std::int64_t v =
+        best > kUnbounded ? kUnbounded : static_cast<std::int64_t>(best);
+    if (v < upper_raw_) upper_raw_ = v;
+  }
+
+  // Largest feasible raw rate so far; kUnbounded if unconstrained,
+  // kInfeasible if some time's every window rules out even b = 0.
+  std::int64_t UpperRaw() const { return upper_raw_; }
+
+ private:
+  // Committed allocation (raw) in slots [from, s).
+  std::int64_t TrailingSum(Time from) const {
+    const Time base = s_ - trailing_len_;
+    BW_CHECK(from >= base, "window reaches before the trailing history");
+    return suffix_[static_cast<std::size_t>(from - base)];
+  }
+
+  const std::vector<Bits>* prefix_;
+  Time window_;
+  std::int64_t u_num_;
+  std::int64_t u_den_;
+  Time s_;
+  Time trailing_len_ = 0;
+  std::vector<std::int64_t> suffix_;
+  Time processed_ = 0;
+  std::int64_t upper_raw_ = kUnbounded;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,151 @@
+// FIFO queue of bits with per-chunk arrival stamps and fluid service.
+//
+// This is the end-station queue of the paper's model: bits enter when the
+// session submits them and leave at the allocated bandwidth; the latency of
+// a bit is the time between those two events. Service is fluid — a Q16
+// credit accumulator carries the fractional remainder of the allocated
+// bandwidth across slots, so fractional allocations (B_O / k) serve exactly
+// the right long-run rate. Credits do not accumulate while the queue is
+// empty (a real link cannot bank unused capacity).
+#pragma once
+
+#include <deque>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class BitQueue {
+ public:
+  // Optional finite buffer: bits beyond the capacity are tail-dropped and
+  // counted (the paper's "fourth parameter — data loss"; by default the
+  // queue is infinite, matching the paper's assumption). Capacity 0 means
+  // unbounded.
+  void SetCapacity(Bits capacity) {
+    BW_REQUIRE(capacity >= 0, "BitQueue::SetCapacity: negative capacity");
+    capacity_ = capacity;
+  }
+
+  // Append bits that arrived at time `now`. Arrival stamps must be
+  // non-decreasing (FIFO). Returns the bits actually admitted.
+  Bits Enqueue(Time now, Bits bits) {
+    BW_REQUIRE(bits >= 0, "BitQueue::Enqueue: negative bits");
+    if (bits == 0) return 0;
+    BW_CHECK(chunks_.empty() || chunks_.back().arrival <= now,
+             "BitQueue: arrival stamps must be non-decreasing");
+    Bits admitted = bits;
+    if (capacity_ > 0) {
+      const Bits room = capacity_ - size_;
+      if (admitted > room) {
+        dropped_ += admitted - room;
+        admitted = room;
+      }
+    }
+    if (admitted == 0) return 0;
+    if (!chunks_.empty() && chunks_.back().arrival == now) {
+      chunks_.back().bits += admitted;
+    } else {
+      chunks_.push_back({now, admitted});
+    }
+    size_ += admitted;
+    if (size_ > peak_size_) peak_size_ = size_;
+    return admitted;
+  }
+
+  // Remove up to `max_bits` from the head (no service credits involved),
+  // recording the delay (now - arrival) of each delivered bit into `hist`
+  // (if non-null). Returns bits removed. Used directly by FIFO-combined
+  // service across a session's two conceptual channels.
+  Bits Take(Time now, Bits max_bits, DelayHistogram* hist) {
+    BW_REQUIRE(max_bits >= 0, "BitQueue::Take: negative amount");
+    Bits remaining = max_bits;
+    Bits served = 0;
+    while (remaining > 0 && !chunks_.empty()) {
+      Chunk& head = chunks_.front();
+      const Bits take = head.bits < remaining ? head.bits : remaining;
+      if (hist != nullptr) hist->Record(now - head.arrival, take);
+      head.bits -= take;
+      remaining -= take;
+      served += take;
+      if (head.bits == 0) chunks_.pop_front();
+    }
+    size_ -= served;
+    return served;
+  }
+
+  // Serve one slot at rate `bw`, recording the delay (now - arrival) of each
+  // delivered bit into `hist` (if non-null). Returns bits delivered.
+  Bits ServeSlot(Time now, Bandwidth bw, DelayHistogram* hist) {
+    BW_REQUIRE(bw.raw() >= 0, "BitQueue::ServeSlot: negative bandwidth");
+    credit_raw_ += bw.raw();
+    const Bits deliverable = credit_raw_ >> Bandwidth::kShift;
+    const Bits served = Take(now, deliverable, hist);
+    credit_raw_ -= served << Bandwidth::kShift;
+    if (chunks_.empty()) credit_raw_ = 0;  // no banking while idle
+    return served;
+  }
+
+  // Move the entire content of this queue into `dst`, preserving arrival
+  // stamps and keeping `dst` sorted by arrival (a stable merge — needed
+  // when several sessions' queues drain into one shared queue, e.g. the
+  // combined algorithm's GLOBAL RESET; the common move-to-tail case takes
+  // the O(n) append fast path).
+  void DrainInto(BitQueue& dst) {
+    if (chunks_.empty()) {
+      credit_raw_ = 0;
+      return;
+    }
+    if (dst.chunks_.empty() ||
+        dst.chunks_.back().arrival <= chunks_.front().arrival) {
+      for (const Chunk& c : chunks_) {
+        dst.Enqueue(c.arrival, c.bits);
+      }
+    } else {
+      std::deque<Chunk> merged;
+      auto a = dst.chunks_.begin();
+      auto b = chunks_.begin();
+      while (a != dst.chunks_.end() && b != chunks_.end()) {
+        if (a->arrival <= b->arrival) {
+          merged.push_back(*a++);
+        } else {
+          merged.push_back(*b++);
+        }
+      }
+      merged.insert(merged.end(), a, dst.chunks_.end());
+      merged.insert(merged.end(), b, chunks_.end());
+      dst.chunks_ = std::move(merged);
+      dst.size_ += size_;
+      if (dst.size_ > dst.peak_size_) dst.peak_size_ = dst.size_;
+    }
+    chunks_.clear();
+    size_ = 0;
+    credit_raw_ = 0;
+  }
+
+  Bits size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Bits dropped() const { return dropped_; }
+  Bits peak_size() const { return peak_size_; }
+
+  // Arrival time of the oldest bit still queued; kNoTime if empty.
+  Time OldestArrival() const {
+    return chunks_.empty() ? kNoTime : chunks_.front().arrival;
+  }
+
+ private:
+  struct Chunk {
+    Time arrival;
+    Bits bits;
+  };
+  std::deque<Chunk> chunks_;
+  Bits size_ = 0;
+  Bits capacity_ = 0;   // 0 = unbounded
+  Bits dropped_ = 0;
+  Bits peak_size_ = 0;
+  std::int64_t credit_raw_ = 0;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,96 @@
+#include "sim/engine_multi.h"
+
+#include "sim/metrics.h"
+#include "util/assert.h"
+
+namespace bwalloc {
+
+MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
+                               MultiSessionSystem& system,
+                               const MultiEngineOptions& options) {
+  BW_REQUIRE(!traces.empty(), "RunMultiSession: need at least one trace");
+  const std::size_t k = traces.size();
+  const Time trace_len = static_cast<Time>(traces.front().size());
+  for (const auto& tr : traces) {
+    BW_REQUIRE(static_cast<Time>(tr.size()) == trace_len,
+               "RunMultiSession: traces must have equal length");
+  }
+  BW_REQUIRE(static_cast<std::int64_t>(k) == system.channels().sessions(),
+             "RunMultiSession: trace count != session count");
+
+  MultiRunResult result;
+  result.sessions = static_cast<std::int64_t>(k);
+  const Time horizon = trace_len + options.drain_slots;
+  result.horizon = horizon;
+
+  UtilizationMeter util;
+  ChangeCounter declared_total;
+  // One counter per (session, channel) variable; Lemma 12's "3k changes per
+  // stage" counts exactly these transitions.
+  std::vector<ChangeCounter> regular_counters(k);
+  std::vector<ChangeCounter> overflow_counters(k);
+
+  std::vector<Bits> arrivals(k, 0);
+  for (Time t = 0; t < horizon; ++t) {
+    Bits slot_in = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      arrivals[i] =
+          t < trace_len ? traces[i][static_cast<std::size_t>(t)] : Bits{0};
+      BW_REQUIRE(arrivals[i] >= 0, "RunMultiSession: negative arrivals");
+      slot_in += arrivals[i];
+    }
+
+    system.Step(t, arrivals);
+
+    const SessionChannels& ch = system.channels();
+    Bandwidth allocated = system.ExtraAllocatedBandwidth();
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto idx = static_cast<std::int64_t>(i);
+      regular_counters[i].Observe(ch.regular_bw(idx));
+      overflow_counters[i].Observe(ch.overflow_bw(idx));
+      allocated += ch.regular_bw(idx) + ch.overflow_bw(idx);
+    }
+    declared_total.Observe(system.DeclaredTotalBandwidth());
+    util.Record(slot_in, allocated);
+
+    if (allocated > result.peak_total_allocation) {
+      result.peak_total_allocation = allocated;
+    }
+    const Bandwidth reg = ch.TotalRegular();
+    const Bandwidth ovf = ch.TotalOverflow();
+    if (reg > result.peak_regular_allocation) {
+      result.peak_regular_allocation = reg;
+    }
+    if (ovf > result.peak_overflow_allocation) {
+      result.peak_overflow_allocation = ovf;
+    }
+  }
+
+  const SessionChannels& ch = system.channels();
+  result.total_arrivals = ch.total_arrivals();
+  result.total_delivered = ch.total_delivered() + system.ExtraDeliveredBits();
+  result.final_queue = ch.TotalQueued() + system.ExtraQueuedBits();
+  result.per_session_delay = ch.all_delays();
+  for (const DelayHistogram& h : result.per_session_delay) {
+    result.delay.Merge(h);
+  }
+  if (const DelayHistogram* extra = system.ExtraDelayHistogram()) {
+    result.delay.Merge(*extra);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    result.local_changes += regular_counters[i].transitions() +
+                            overflow_counters[i].transitions();
+  }
+  result.global_changes = declared_total.transitions();
+  result.stages = system.stages();
+  result.global_stages = system.global_stages();
+  result.global_utilization = util.GlobalUtilization();
+  result.total_allocated_bits = util.TotalAllocatedBits();
+  if (options.utilization_scan_window > 0) {
+    result.worst_best_window_utilization =
+        util.WorstBestWindowUtilization(options.utilization_scan_window);
+  }
+  return result;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,62 @@
+// Multi-session run engine.
+//
+// The multi-session algorithms own their SessionChannels (they move queue
+// contents and re-allocate), so the system interface is coarser than the
+// single-session one: the engine feeds one arrivals vector per slot and the
+// system does enqueue + allocate + serve. The engine owns all scoring:
+// per-variable local change counting, declared-total (global) change
+// counting, utilization, and delay aggregation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/run_result.h"
+#include "sim/session_channels.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class MultiSessionSystem {
+ public:
+  virtual ~MultiSessionSystem() = default;
+
+  // Process one slot: enqueue arrivals (one entry per session), update
+  // allocations, serve.
+  virtual void Step(Time now, std::span<const Bits> arrivals) = 0;
+
+  virtual const SessionChannels& channels() const = 0;
+
+  // Completed stages (RESET count): the Lemma 13 offline lower bound.
+  virtual std::int64_t stages() const = 0;
+
+  // Combined algorithm only: completed global stages.
+  virtual std::int64_t global_stages() const { return 0; }
+
+  // Total bandwidth the algorithm has *reserved* this slot (the quantity
+  // whose transitions are "global changes" for the combined algorithm).
+  virtual Bandwidth DeclaredTotalBandwidth() const = 0;
+
+  // Bandwidth allocated outside the per-session channels (the combined
+  // algorithm's global overflow channel); counted into utilization.
+  virtual Bandwidth ExtraAllocatedBandwidth() const { return {}; }
+  virtual Bits ExtraQueuedBits() const { return 0; }
+  virtual Bits ExtraDeliveredBits() const { return 0; }
+  // Delays of bits delivered by the extra channel; nullptr if none.
+  virtual const DelayHistogram* ExtraDelayHistogram() const { return nullptr; }
+};
+
+struct MultiEngineOptions {
+  Time utilization_scan_window = 0;  // 0 disables the Lemma 5 scan
+  Time drain_slots = 0;
+};
+
+// `traces[i]` is the arrival trace of session i; all traces must have equal
+// length.
+MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
+                               MultiSessionSystem& system,
+                               const MultiEngineOptions& options = {});
+
+}  // namespace bwalloc

@@ -1,0 +1,60 @@
+#include "sim/engine_single.h"
+
+#include "sim/bit_queue.h"
+#include "sim/metrics.h"
+#include "util/assert.h"
+
+namespace bwalloc {
+
+SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
+                                 SingleSessionAllocator& alloc,
+                                 const SingleEngineOptions& options) {
+  SingleRunResult result;
+  BitQueue queue;
+  if (options.buffer_capacity > 0) queue.SetCapacity(options.buffer_capacity);
+  ChangeCounter changes;
+  UtilizationMeter util;
+
+  const Time trace_len = static_cast<Time>(arrivals.size());
+  const Time horizon = trace_len + options.drain_slots;
+  result.horizon = horizon;
+  if (options.record_allocation_trace) {
+    result.allocation_trace.reserve(static_cast<std::size_t>(horizon));
+  }
+
+  for (Time t = 0; t < horizon; ++t) {
+    const Bits in =
+        t < trace_len ? arrivals[static_cast<std::size_t>(t)] : Bits{0};
+    BW_REQUIRE(in >= 0, "RunSingleSession: negative arrivals in trace");
+    queue.Enqueue(t, in);
+    result.total_arrivals += in;
+
+    const Bandwidth bw = alloc.OnSlot(t, in, queue.size());
+    BW_CHECK(bw.raw() >= 0, "allocator returned negative bandwidth");
+    changes.Observe(bw);
+    util.Record(in, bw);
+    if (bw > result.peak_allocation) result.peak_allocation = bw;
+    if (options.record_allocation_trace) {
+      result.allocation_trace.push_back(bw);
+    }
+
+    const Bits served = queue.ServeSlot(t, bw, &result.delay);
+    result.total_delivered += served;
+    alloc.OnServed(t, served, queue.size());
+  }
+
+  result.final_queue = queue.size();
+  result.dropped = queue.dropped();
+  result.peak_queue = queue.peak_size();
+  result.changes = changes.transitions();
+  result.stages = alloc.stages();
+  result.global_utilization = util.GlobalUtilization();
+  result.total_allocated_bits = util.TotalAllocatedBits();
+  if (options.utilization_scan_window > 0) {
+    result.worst_best_window_utilization =
+        util.WorstBestWindowUtilization(options.utilization_scan_window);
+  }
+  return result;
+}
+
+}  // namespace bwalloc

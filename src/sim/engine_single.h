@@ -1,0 +1,54 @@
+// Single-session run engine.
+//
+// Per slot t: (1) arrivals are enqueued, (2) the allocator is asked for this
+// slot's bandwidth, (3) the queue is served at that rate, (4) the allocator
+// observes the post-service queue (the Fig. 3 RESET needs the "queue became
+// empty" event). The engine owns all measurement so that every allocator —
+// paper algorithm or baseline — is scored identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/run_result.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Interface implemented by the paper's single-session algorithms and by the
+// baseline allocators.
+class SingleSessionAllocator {
+ public:
+  virtual ~SingleSessionAllocator() = default;
+
+  // Decide this slot's bandwidth. `arrivals` = bits that just arrived,
+  // `queue` = backlog including them.
+  virtual Bandwidth OnSlot(Time now, Bits arrivals, Bits queue) = 0;
+
+  // Observe the outcome of this slot's service.
+  virtual void OnServed(Time /*now*/, Bits /*served*/, Bits /*queue_after*/) {}
+
+  // Completed stages (each is a certified offline change, Lemma 1); 0 for
+  // allocators without a stage structure.
+  virtual std::int64_t stages() const { return 0; }
+};
+
+struct SingleEngineOptions {
+  bool record_allocation_trace = false;
+  // Finite end-station buffer in bits; overflow is tail-dropped and counted
+  // (0 = unbounded, the paper's assumption).
+  Bits buffer_capacity = 0;
+  // Window used for the Lemma 5 utilization measurement (W + 5*D_O in the
+  // paper); 0 disables the (quadratic) scan.
+  Time utilization_scan_window = 0;
+  // Extra empty-arrival slots appended after the trace so queued bits drain.
+  Time drain_slots = 0;
+};
+
+// Runs `alloc` over the arrival trace (one entry per slot).
+SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
+                                 SingleSessionAllocator& alloc,
+                                 const SingleEngineOptions& options = {});
+
+}  // namespace bwalloc

@@ -1,0 +1,96 @@
+// Measurement instruments: change counting and utilization meters.
+//
+// These implement the three quality parameters of the paper verbatim:
+// number of bandwidth-allocation changes, latency (DelayHistogram in
+// util/histogram.h), and utilization in both the paper's local-window
+// variant (Section 2, "Utilization") and the global variant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Counts transitions of a bandwidth variable. The initial assignment (from
+// the implicit "nothing allocated yet" state) is reported separately so
+// experiments can match either counting convention.
+class ChangeCounter {
+ public:
+  void Observe(Bandwidth bw) {
+    if (!initialized_) {
+      initialized_ = true;
+      current_ = bw;
+      initial_assignments_ = (bw.raw() != 0) ? 1 : 0;
+      return;
+    }
+    if (bw != current_) {
+      ++transitions_;
+      current_ = bw;
+    }
+  }
+
+  std::int64_t transitions() const { return transitions_; }
+  std::int64_t total_changes() const {
+    return transitions_ + initial_assignments_;
+  }
+  Bandwidth current() const { return current_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  Bandwidth current_;
+  bool initialized_ = false;
+  std::int64_t transitions_ = 0;
+  std::int64_t initial_assignments_ = 0;
+};
+
+// Records (arrivals, allocated bandwidth) per slot and evaluates the paper's
+// utilization definitions.
+class UtilizationMeter {
+ public:
+  void Record(Bits arrivals, Bandwidth allocated) {
+    BW_REQUIRE(arrivals >= 0, "UtilizationMeter: negative arrivals");
+    arrivals_.push_back(arrivals);
+    allocated_raw_.push_back(allocated.raw());
+    total_in_ += arrivals;
+    total_alloc_raw_ += allocated.raw();
+  }
+
+  Time slots() const { return static_cast<Time>(arrivals_.size()); }
+  Bits total_arrivals() const { return total_in_; }
+
+  // Total allocated bandwidth-time, in bits.
+  double TotalAllocatedBits() const {
+    return static_cast<double>(total_alloc_raw_) /
+           static_cast<double>(Bandwidth::kOne);
+  }
+
+  // Global utilization: total incoming bits / total allocated bandwidth.
+  double GlobalUtilization() const {
+    return total_alloc_raw_ == 0
+               ? 0.0
+               : static_cast<double>(total_in_) /
+                     TotalAllocatedBits();
+  }
+
+  // Fixed-window local utilization: min over t of IN(t-W, t] / B(t-W, t]
+  // over all full windows with non-zero allocation.
+  double WindowedUtilization(Time window) const;
+
+  // The guarantee of Lemma 5 is existential: for each t there is SOME
+  // window of size <= max_window ending at t with ratio >= U_A. This
+  // returns min over t of (max over window sizes 1..max_window of ratio),
+  // skipping times where nothing was ever allocated. O(T * max_window).
+  double WorstBestWindowUtilization(Time max_window) const;
+
+ private:
+  std::vector<Bits> arrivals_;
+  std::vector<std::int64_t> allocated_raw_;
+  Bits total_in_ = 0;
+  std::int64_t total_alloc_raw_ = 0;
+};
+
+}  // namespace bwalloc

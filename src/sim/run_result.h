@@ -1,0 +1,56 @@
+// Result records returned by the run engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fixed_point.h"
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Outcome of a single-session run.
+struct SingleRunResult {
+  Time horizon = 0;
+  Bits total_arrivals = 0;
+  Bits total_delivered = 0;
+  Bits final_queue = 0;
+  Bits dropped = 0;            // tail-dropped bits (finite buffer only)
+  Bits peak_queue = 0;         // Claim 2 predicts <= B_on * D_A
+
+  DelayHistogram delay;        // delays of delivered bits
+  std::int64_t changes = 0;    // bandwidth transitions (excluding initial)
+  std::int64_t stages = 0;     // completed stage count (offline lower bound)
+  double global_utilization = 0.0;
+  double worst_best_window_utilization = 0.0;  // Lemma 5 measurement
+  double total_allocated_bits = 0.0;           // bandwidth-time consumed
+  Bandwidth peak_allocation;
+
+  // Optional per-slot allocation trace (bench/figure output).
+  std::vector<Bandwidth> allocation_trace;
+};
+
+// Outcome of a multi-session run.
+struct MultiRunResult {
+  Time horizon = 0;
+  std::int64_t sessions = 0;
+  Bits total_arrivals = 0;
+  Bits total_delivered = 0;
+  Bits final_queue = 0;
+
+  DelayHistogram delay;                  // aggregate over all sessions
+  std::vector<DelayHistogram> per_session_delay;
+  std::int64_t local_changes = 0;        // per-session allocation transitions
+  std::int64_t global_changes = 0;       // total-bandwidth transitions
+  std::int64_t stages = 0;               // RESET count (offline lower bound)
+  std::int64_t global_stages = 0;        // combined algorithm only
+  double global_utilization = 0.0;
+  double worst_best_window_utilization = 0.0;
+  double total_allocated_bits = 0.0;
+  Bandwidth peak_total_allocation;
+  Bandwidth peak_regular_allocation;
+  Bandwidth peak_overflow_allocation;
+};
+
+}  // namespace bwalloc

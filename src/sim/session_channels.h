@@ -1,0 +1,158 @@
+// Per-session regular/overflow channel machinery shared by the
+// multi-session algorithms (Figs. 4 and 5) and the combined algorithm.
+//
+// Each session i owns a regular queue Q_r[i] fed by its arrivals and an
+// overflow queue Q_o[i] that receives the regular queue's content when the
+// algorithm "moves" it; each queue has its own bandwidth variable. Service
+// is either per-channel (the paper's two conceptual channels) or
+// FIFO-combined (the Remark after Theorem 14: serve the overflow queue —
+// whose bits are always older — first, at the session's total rate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/bit_queue.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/histogram.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+enum class ServiceDiscipline {
+  kTwoChannel,     // regular and overflow served at their own rates
+  kFifoCombined,   // one FIFO served at the summed rate (paper's Remark)
+};
+
+class SessionChannels {
+ public:
+  SessionChannels(std::int64_t sessions, ServiceDiscipline discipline)
+      : discipline_(discipline),
+        sessions_(static_cast<std::size_t>(sessions)) {
+    BW_REQUIRE(sessions >= 1, "SessionChannels: need at least one session");
+    regular_queue_.resize(sessions_);
+    overflow_queue_.resize(sessions_);
+    regular_bw_.resize(sessions_);
+    overflow_bw_.resize(sessions_);
+    fifo_credit_raw_.resize(sessions_, 0);
+    delay_.resize(sessions_);
+  }
+
+  std::int64_t sessions() const {
+    return static_cast<std::int64_t>(sessions_);
+  }
+
+  // --- arrivals -------------------------------------------------------------
+  void Enqueue(std::int64_t i, Time now, Bits bits) {
+    regular_queue_[Idx(i)].Enqueue(now, bits);
+    total_arrivals_ += bits;
+  }
+
+  // --- allocation -----------------------------------------------------------
+  void SetRegular(std::int64_t i, Bandwidth bw) { regular_bw_[Idx(i)] = bw; }
+  void SetOverflow(std::int64_t i, Bandwidth bw) { overflow_bw_[Idx(i)] = bw; }
+  void AddOverflow(std::int64_t i, Bandwidth delta) {
+    overflow_bw_[Idx(i)] += delta;
+    BW_CHECK(overflow_bw_[Idx(i)].raw() >= 0,
+             "overflow bandwidth went negative");
+  }
+
+  Bandwidth regular_bw(std::int64_t i) const { return regular_bw_[Idx(i)]; }
+  Bandwidth overflow_bw(std::int64_t i) const { return overflow_bw_[Idx(i)]; }
+  Bandwidth TotalRegular() const {
+    Bandwidth sum;
+    for (const Bandwidth b : regular_bw_) sum += b;
+    return sum;
+  }
+  Bandwidth TotalOverflow() const {
+    Bandwidth sum;
+    for (const Bandwidth b : overflow_bw_) sum += b;
+    return sum;
+  }
+
+  // --- queues ---------------------------------------------------------------
+  Bits regular_queue_size(std::int64_t i) const {
+    return regular_queue_[Idx(i)].size();
+  }
+  Bits overflow_queue_size(std::int64_t i) const {
+    return overflow_queue_[Idx(i)].size();
+  }
+  Bits TotalQueued() const {
+    Bits sum = 0;
+    for (const auto& q : regular_queue_) sum += q.size();
+    for (const auto& q : overflow_queue_) sum += q.size();
+    return sum;
+  }
+
+  // Fig. 4 / Fig. 5: "move the content of Q_r to Q_o".
+  void MoveRegularToOverflow(std::int64_t i) {
+    regular_queue_[Idx(i)].DrainInto(overflow_queue_[Idx(i)]);
+  }
+
+  // GLOBAL RESET of the combined algorithm: drain every queue of session i
+  // into an external queue.
+  void DrainSessionInto(std::int64_t i, BitQueue& dst) {
+    overflow_queue_[Idx(i)].DrainInto(dst);
+    regular_queue_[Idx(i)].DrainInto(dst);
+  }
+
+  // --- service ---------------------------------------------------------------
+  // Serve all sessions for slot `now`. Returns total bits delivered.
+  Bits ServeSlot(Time now) {
+    Bits served = 0;
+    for (std::size_t i = 0; i < sessions_; ++i) {
+      served += ServeSession(i, now);
+    }
+    total_delivered_ += served;
+    return served;
+  }
+
+  // --- measurement ------------------------------------------------------------
+  const DelayHistogram& session_delay(std::int64_t i) const {
+    return delay_[Idx(i)];
+  }
+  const std::vector<DelayHistogram>& all_delays() const { return delay_; }
+  Bits total_arrivals() const { return total_arrivals_; }
+  Bits total_delivered() const { return total_delivered_; }
+
+ private:
+  std::size_t Idx(std::int64_t i) const {
+    BW_CHECK(i >= 0 && static_cast<std::size_t>(i) < sessions_,
+             "session index out of range");
+    return static_cast<std::size_t>(i);
+  }
+
+  Bits ServeSession(std::size_t i, Time now) {
+    DelayHistogram* hist = &delay_[i];
+    if (discipline_ == ServiceDiscipline::kTwoChannel) {
+      Bits served = overflow_queue_[i].ServeSlot(now, overflow_bw_[i], hist);
+      served += regular_queue_[i].ServeSlot(now, regular_bw_[i], hist);
+      return served;
+    }
+    // FIFO-combined: overflow bits are always older than regular bits (every
+    // move empties the regular queue), so overflow-first is arrival order.
+    fifo_credit_raw_[i] += (regular_bw_[i] + overflow_bw_[i]).raw();
+    Bits deliverable = fifo_credit_raw_[i] >> Bandwidth::kShift;
+    Bits served = overflow_queue_[i].Take(now, deliverable, hist);
+    served += regular_queue_[i].Take(now, deliverable - served, hist);
+    fifo_credit_raw_[i] -= served << Bandwidth::kShift;
+    if (overflow_queue_[i].empty() && regular_queue_[i].empty()) {
+      fifo_credit_raw_[i] = 0;
+    }
+    return served;
+  }
+
+  ServiceDiscipline discipline_;
+  std::size_t sessions_;
+  std::vector<BitQueue> regular_queue_;
+  std::vector<BitQueue> overflow_queue_;
+  std::vector<Bandwidth> regular_bw_;
+  std::vector<Bandwidth> overflow_bw_;
+  std::vector<std::int64_t> fifo_credit_raw_;
+  std::vector<DelayHistogram> delay_;
+  Bits total_arrivals_ = 0;
+  Bits total_delivered_ = 0;
+};
+
+}  // namespace bwalloc

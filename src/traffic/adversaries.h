@@ -1,0 +1,124 @@
+// Adaptive adversaries for the paper's lower-bound experiments.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "sim/adaptive.h"
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// The ladder-pumping adversary behind the Omega(log B_A) lower bound for
+// global utilization: whenever the online algorithm's allocation sits at
+// level L < B_A, fire a single burst of L*(1 + D_O) + 1 bits — exactly
+// enough that low(t) jumps above L in one slot, forcing the next
+// power-of-two level without giving the cumulative-utilization envelope
+// time to decay. Once the ladder saturates at B_A, go silent until the
+// online algorithm's stage collapses and its allocation returns to zero
+// (a fixed-length silence would leak into the next stage and poison its
+// cumulative-utilization envelope), then repeat.
+//
+// The stream stays (B_O = B_A, D_O)-feasible by construction: bursts are
+// gated by an internal token bucket with rate B_A and depth B_A * D_O
+// (Claim 9's arrival curve), so a burst waits until the bucket can pay for
+// it.
+class LadderPumpAdversary final : public AdaptiveAdversary {
+ public:
+  LadderPumpAdversary(Bits max_bandwidth, Time offline_delay)
+      : max_bandwidth_(max_bandwidth),
+        offline_delay_(offline_delay),
+        tokens_(max_bandwidth * offline_delay) {
+    BW_REQUIRE(max_bandwidth >= 2, "LadderPumpAdversary: B_A must be >= 2");
+    BW_REQUIRE(offline_delay >= 1, "LadderPumpAdversary: D_O must be >= 1");
+  }
+
+  Bits NextArrivals(Time /*now*/, Bandwidth last_allocation) override {
+    const Bits bucket = max_bandwidth_ * offline_delay_;
+    tokens_ = tokens_ + max_bandwidth_ > bucket ? bucket
+                                                : tokens_ + max_bandwidth_;
+    if (killing_) {
+      if (!last_allocation.is_zero()) return 0;
+      killing_ = false;  // the stage collapsed and a fresh one is silent
+    }
+    if (cooldown_ > 0) {
+      // Give the allocator one slot to react (low(t) excludes the burst's
+      // own slot) before sizing the next burst.
+      --cooldown_;
+      return 0;
+    }
+    const Bits level = last_allocation.CeilBits();
+    if (level >= max_bandwidth_) {
+      // Ladder saturated: trigger the stage collapse.
+      killing_ = true;
+      return 0;
+    }
+    // One burst that pushes low(t) past the current level: a w=1 window of
+    // B bits demands B / (1 + D_O) bandwidth, so B = L*(1+D_O) + 1 forces
+    // the next level. Wait (emitting nothing) until the bucket affords it.
+    const Bits base = level > 0 ? level : 1;
+    const Bits burst = base * (1 + offline_delay_) + 1;
+    if (burst > tokens_) return 0;  // refilling — stay silent this slot
+    tokens_ -= burst;
+    cooldown_ = 1;
+    return burst;
+  }
+
+ private:
+  Bits max_bandwidth_;
+  Time offline_delay_;
+  Bits tokens_;
+  bool killing_ = false;
+  Time cooldown_ = 0;
+};
+
+// The share hunter behind the Omega(k)-changes-per-stage regime of the
+// multi-session algorithms (Lemma 12's 3k is tight up to constants): at
+// every moment, aim the whole feasible budget at the active session whose
+// regular allocation is currently SMALLEST, keep it overloaded until the
+// algorithm grants it an increment, then move to the new minimum. Every
+// increment is +B_O/k, so driving the regular channel from B_O to 2 B_O
+// costs the online ~k increments (plus k overflow on/off pairs) per stage
+// while an offline server could follow with one re-split.
+//
+// Aggregate feasibility is kept by an internal (B_O, B_O * D_O) token
+// bucket, exactly like the single-session pump.
+class ShareHunterAdversary final : public MultiAdaptiveAdversary {
+ public:
+  ShareHunterAdversary(Bits offline_bandwidth, Time offline_delay)
+      : b_o_(offline_bandwidth),
+        d_o_(offline_delay),
+        tokens_(offline_bandwidth * offline_delay) {
+    BW_REQUIRE(offline_bandwidth >= 1, "ShareHunter: B_O must be >= 1");
+    BW_REQUIRE(offline_delay >= 1, "ShareHunter: D_O must be >= 1");
+  }
+
+  void NextArrivals(Time /*now*/, const SessionChannels& channels,
+                    std::span<Bits> arrivals) override {
+    const Bits bucket = b_o_ * d_o_;
+    tokens_ = tokens_ + b_o_ > bucket ? bucket : tokens_ + b_o_;
+    std::fill(arrivals.begin(), arrivals.end(), Bits{0});
+
+    // Victim: the session with the smallest regular allocation.
+    std::int64_t victim = 0;
+    for (std::int64_t i = 1; i < channels.sessions(); ++i) {
+      if (channels.regular_bw(i) < channels.regular_bw(victim)) victim = i;
+    }
+    // Overload it: just above what its current allocation can drain within
+    // D_O, sustained until the algorithm reacts.
+    const Bits need =
+        channels.regular_bw(victim).CeilBits() + 1;
+    const Bits burst = need < tokens_ ? need : tokens_;
+    if (burst <= 0) return;
+    tokens_ -= burst;
+    arrivals[static_cast<std::size_t>(victim)] = burst;
+  }
+
+ private:
+  Bits b_o_;
+  Time d_o_;
+  Bits tokens_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,19 @@
+#include "traffic/generator.h"
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+std::vector<Bits> TrafficGenerator::Generate(Time slots) {
+  BW_REQUIRE(slots >= 0, "Generate: negative slot count");
+  std::vector<Bits> trace;
+  trace.reserve(static_cast<std::size_t>(slots));
+  for (Time t = 0; t < slots; ++t) {
+    const Bits b = NextSlot();
+    BW_CHECK(b >= 0, "generator produced negative arrivals");
+    trace.push_back(b);
+  }
+  return trace;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,25 @@
+// Traffic generator interface.
+//
+// Workloads are materialized into per-slot arrival vectors before a run: the
+// offline (clairvoyant) comparators need the whole future, and materialized
+// traces make online/offline comparisons exact.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace bwalloc {
+
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+
+  // Arrivals (bits) for the next slot.
+  virtual Bits NextSlot() = 0;
+
+  // Materialize `slots` slots of traffic.
+  std::vector<Bits> Generate(Time slots);
+};
+
+}  // namespace bwalloc

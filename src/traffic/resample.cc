@@ -1,0 +1,91 @@
+#include "traffic/resample.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace bwalloc {
+
+std::vector<Bits> BlockBootstrap(const std::vector<Bits>& trace,
+                                 Time block_len, Time horizon,
+                                 std::uint64_t seed) {
+  BW_REQUIRE(!trace.empty(), "BlockBootstrap: empty trace");
+  BW_REQUIRE(block_len >= 1, "BlockBootstrap: block_len must be >= 1");
+  BW_REQUIRE(horizon >= 0, "BlockBootstrap: negative horizon");
+  const Time n = static_cast<Time>(trace.size());
+  const Time effective_block = std::min(block_len, n);
+
+  Rng rng(seed);
+  std::vector<Bits> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  while (static_cast<Time>(out.size()) < horizon) {
+    const Time start = rng.UniformInt(0, n - effective_block);
+    for (Time i = 0; i < effective_block &&
+                     static_cast<Time>(out.size()) < horizon;
+         ++i) {
+      out.push_back(trace[static_cast<std::size_t>(start + i)]);
+    }
+  }
+  return out;
+}
+
+MmppSource MmppFit::MakeSource(std::uint64_t seed) const {
+  return MmppSource(seed, {quiet_rate, busy_rate},
+                    {std::max(1.0, quiet_dwell), std::max(1.0, busy_dwell)});
+}
+
+MmppFit FitMmpp(const std::vector<Bits>& trace) {
+  BW_REQUIRE(!trace.empty(), "FitMmpp: empty trace");
+  Bits total = 0;
+  for (const Bits b : trace) total += b;
+  BW_REQUIRE(total > 0, "FitMmpp: trace has no arrivals");
+
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(trace.size());
+
+  MmppFit fit;
+  // Classify slots around the mean; measure class means and run lengths.
+  std::int64_t busy_slots = 0;
+  double busy_sum = 0;
+  double quiet_sum = 0;
+  std::int64_t busy_runs = 0;
+  std::int64_t quiet_runs = 0;
+  bool prev_busy = false;
+  bool first = true;
+  for (const Bits b : trace) {
+    const bool busy = static_cast<double>(b) > mean;
+    if (busy) {
+      ++busy_slots;
+      busy_sum += static_cast<double>(b);
+    } else {
+      quiet_sum += static_cast<double>(b);
+    }
+    if (first || busy != prev_busy) {
+      if (busy) {
+        ++busy_runs;
+      } else {
+        ++quiet_runs;
+      }
+    }
+    prev_busy = busy;
+    first = false;
+  }
+  const std::int64_t n = static_cast<std::int64_t>(trace.size());
+  const std::int64_t quiet_slots = n - busy_slots;
+  fit.busy_fraction =
+      static_cast<double>(busy_slots) / static_cast<double>(n);
+  fit.busy_rate =
+      busy_slots > 0 ? busy_sum / static_cast<double>(busy_slots) : mean;
+  fit.quiet_rate =
+      quiet_slots > 0 ? quiet_sum / static_cast<double>(quiet_slots) : mean;
+  fit.busy_dwell = busy_runs > 0 ? static_cast<double>(busy_slots) /
+                                       static_cast<double>(busy_runs)
+                                 : 1.0;
+  fit.quiet_dwell = quiet_runs > 0 ? static_cast<double>(quiet_slots) /
+                                         static_cast<double>(quiet_runs)
+                                   : 1.0;
+  return fit;
+}
+
+}  // namespace bwalloc

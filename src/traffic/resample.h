@@ -1,0 +1,46 @@
+// Trace-driven workload tools: block bootstrap and MMPP fitting.
+//
+// The paper's experimental predecessors ran on recorded network traces.
+// Given ONE recorded trace these tools make an evaluation out of it:
+//
+//  * BlockBootstrap — resample contiguous blocks (preserving short-range
+//    burst structure) into arbitrarily many synthetic variants, so
+//    competitive ratios can be reported with seed-level confidence
+//    intervals even from a single capture;
+//  * FitMmpp — moment-match a two-state MMPP to a trace (mean, variance
+//    and burst-run structure), yielding a generative model for horizons
+//    longer than the capture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/sources.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Resample `horizon` slots from `trace` by concatenating uniformly chosen
+// contiguous blocks of `block_len` slots. Deterministic in `seed`.
+std::vector<Bits> BlockBootstrap(const std::vector<Bits>& trace,
+                                 Time block_len, Time horizon,
+                                 std::uint64_t seed);
+
+// Two-state MMPP parameters fitted from a trace.
+struct MmppFit {
+  double quiet_rate = 0.0;   // Poisson mean in the quiet state
+  double busy_rate = 0.0;    // Poisson mean in the busy state
+  double quiet_dwell = 1.0;  // expected slots per quiet sojourn
+  double busy_dwell = 1.0;   // expected slots per busy sojourn
+  double busy_fraction = 0.0;
+
+  // Instantiate a generator with these parameters.
+  MmppSource MakeSource(std::uint64_t seed) const;
+};
+
+// Threshold-based moment matching: slots are classified busy/quiet around
+// the trace mean; rates are the per-class means and dwells the mean run
+// lengths. Requires a trace with at least one arrival.
+MmppFit FitMmpp(const std::vector<Bits>& trace);
+
+}  // namespace bwalloc

@@ -1,0 +1,87 @@
+// Feasibility shapers.
+//
+// Every theorem assumes the input stream is feasible — an offline
+// (B_O, D_O)-server exists (footnote 1, Claim 9: any interval [t, t+Δ)
+// carries at most (Δ + D_O)·B_O bits). A token bucket with rate B_O and
+// depth B_O·D_O enforces exactly that arrival curve, and a constant-B_O
+// server then has delay ≤ D_O (the burst/rate bound), so shaped traffic is
+// feasible by construction. Excess traffic is delayed, not dropped — the
+// model ignores loss by assumption.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "traffic/generator.h"
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Shapes a single source to the (rate, bucket) arrival curve.
+class TokenBucketShaper final : public TrafficGenerator {
+ public:
+  TokenBucketShaper(std::unique_ptr<TrafficGenerator> source, Bits rate,
+                    Bits bucket)
+      : source_(std::move(source)), rate_(rate),
+        // In slotted time a bucket below one slot's refill would block all
+        // emission; the effective cap max(bucket, rate) still satisfies the
+        // Claim 9 curve because D_O >= 1.
+        bucket_(bucket > rate ? bucket : rate),
+        tokens_(bucket_) {
+    BW_REQUIRE(source_ != nullptr, "TokenBucketShaper: null source");
+    BW_REQUIRE(rate >= 1, "TokenBucketShaper: rate must be >= 1");
+    BW_REQUIRE(bucket >= 0, "TokenBucketShaper: bucket must be >= 0");
+  }
+
+  Bits NextSlot() override {
+    backlog_ += source_->NextSlot();
+    tokens_ = tokens_ + rate_ > bucket_ ? bucket_ : tokens_ + rate_;
+    const Bits out = backlog_ < tokens_ ? backlog_ : tokens_;
+    backlog_ -= out;
+    tokens_ -= out;
+    return out;
+  }
+
+  Bits backlog() const { return backlog_; }
+
+ private:
+  std::unique_ptr<TrafficGenerator> source_;
+  Bits rate_;
+  Bits bucket_;
+  Bits tokens_;
+  Bits backlog_ = 0;
+};
+
+// Shapes k sources jointly so their *aggregate* obeys the (B_O, B_O·D_O)
+// curve — the feasibility condition of the multi-session model, where all k
+// sessions share one offline bandwidth pool. The per-slot aggregate budget
+// is split across backlogged sessions proportionally to their backlogs
+// (largest-remainder rounding), so relative demand shifts survive shaping.
+class AggregateShaper {
+ public:
+  AggregateShaper(Bits rate, Bits bucket)
+      : rate_(rate),
+        bucket_(bucket > rate ? bucket : rate),  // see TokenBucketShaper
+        tokens_(bucket_) {
+    BW_REQUIRE(rate >= 1, "AggregateShaper: rate must be >= 1");
+    BW_REQUIRE(bucket >= 0, "AggregateShaper: bucket must be >= 0");
+  }
+
+  // Shapes the per-session traces in place. All traces must share a length.
+  void Shape(std::vector<std::vector<Bits>>& traces);
+
+ private:
+  Bits rate_;
+  Bits bucket_;
+  Bits tokens_;
+};
+
+// Verifies the Claim 9 arrival-curve bound: every window [t, t+Δ) of the
+// trace carries at most (Δ + delay)·rate bits. O(n·max_window) — intended
+// for tests and workload validation. Returns true iff the bound holds for
+// all windows up to `max_window` (0 = full length).
+bool SatisfiesArrivalCurve(const std::vector<Bits>& trace, Bits rate,
+                           Time delay, Time max_window = 0);
+
+}  // namespace bwalloc

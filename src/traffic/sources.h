@@ -1,0 +1,261 @@
+// The traffic source zoo.
+//
+// The paper motivates dynamic allocation with "bursty nature of traffic …
+// the required bandwidth may change dramatically over time, usually in an
+// unpredictable manner" (Fig. 1) and its experimental predecessors [GKT95,
+// ACHM96] used real network traces. We substitute synthetic sources that
+// span the same regimes: constant (real-time voice), on-off bursts, heavy-
+// tailed (Pareto) bursts of self-similar data traffic, Markov-modulated
+// rates, and GoP-structured variable-bit-rate video.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "traffic/generator.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Constant bit rate ("for very few tasks (e.g., real-time voice) the
+// required bandwidth is known in advance").
+class CbrSource final : public TrafficGenerator {
+ public:
+  explicit CbrSource(Bits bits_per_slot) : rate_(bits_per_slot) {
+    BW_REQUIRE(bits_per_slot >= 0, "CbrSource: negative rate");
+  }
+  Bits NextSlot() override { return rate_; }
+
+ private:
+  Bits rate_;
+};
+
+// Two-state on-off source with geometric dwell times; Poisson arrivals at
+// `on_rate` while on.
+class OnOffSource final : public TrafficGenerator {
+ public:
+  OnOffSource(std::uint64_t seed, double on_rate, double mean_on_slots,
+              double mean_off_slots)
+      : rng_(seed), on_rate_(on_rate) {
+    BW_REQUIRE(on_rate >= 0, "OnOffSource: negative rate");
+    BW_REQUIRE(mean_on_slots >= 1 && mean_off_slots >= 1,
+               "OnOffSource: dwell means must be >= 1");
+    p_leave_on_ = 1.0 / mean_on_slots;
+    p_leave_off_ = 1.0 / mean_off_slots;
+  }
+
+  Bits NextSlot() override {
+    const Bits out = on_ ? rng_.Poisson(on_rate_) : 0;
+    const double p = on_ ? p_leave_on_ : p_leave_off_;
+    if (rng_.Bernoulli(p)) on_ = !on_;
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  double on_rate_;
+  double p_leave_on_;
+  double p_leave_off_;
+  bool on_ = false;
+};
+
+// Bursts with Pareto-distributed sizes arriving at exponential gaps — the
+// heavy-tailed regime where static allocation is hopeless.
+class ParetoBurstSource final : public TrafficGenerator {
+ public:
+  ParetoBurstSource(std::uint64_t seed, double mean_gap_slots, double alpha,
+                    double min_burst_bits)
+      : rng_(seed),
+        mean_gap_(mean_gap_slots),
+        alpha_(alpha),
+        min_burst_(min_burst_bits) {
+    BW_REQUIRE(mean_gap_slots >= 1, "ParetoBurstSource: gap must be >= 1");
+    BW_REQUIRE(alpha > 1, "ParetoBurstSource: alpha must exceed 1");
+    BW_REQUIRE(min_burst_bits >= 1, "ParetoBurstSource: burst must be >= 1");
+    next_burst_in_ = SampleGap();
+  }
+
+  Bits NextSlot() override {
+    Bits out = 0;
+    --next_burst_in_;
+    while (next_burst_in_ <= 0) {
+      out += static_cast<Bits>(rng_.Pareto(alpha_, min_burst_));
+      next_burst_in_ += SampleGap();
+    }
+    return out;
+  }
+
+ private:
+  Time SampleGap() {
+    const double g = rng_.Exponential(mean_gap_);
+    return g < 1.0 ? Time{1} : static_cast<Time>(g);
+  }
+
+  Rng rng_;
+  double mean_gap_;
+  double alpha_;
+  double min_burst_;
+  Time next_burst_in_ = 0;
+};
+
+// Markov-modulated Poisson process over an arbitrary set of rate states.
+class MmppSource final : public TrafficGenerator {
+ public:
+  // `rates[i]` is the Poisson mean while in state i; `mean_dwell_slots[i]`
+  // the expected dwell time; transitions go to a uniformly random other
+  // state.
+  MmppSource(std::uint64_t seed, std::vector<double> rates,
+             std::vector<double> mean_dwell_slots)
+      : rng_(seed),
+        rates_(std::move(rates)),
+        dwell_(std::move(mean_dwell_slots)) {
+    BW_REQUIRE(rates_.size() >= 2, "MmppSource: need at least two states");
+    BW_REQUIRE(rates_.size() == dwell_.size(),
+               "MmppSource: rates/dwell size mismatch");
+    for (double d : dwell_) BW_REQUIRE(d >= 1, "MmppSource: dwell >= 1");
+    for (double r : rates_) BW_REQUIRE(r >= 0, "MmppSource: rate >= 0");
+  }
+
+  Bits NextSlot() override {
+    const Bits out = rng_.Poisson(rates_[state_]);
+    if (rng_.Bernoulli(1.0 / dwell_[state_])) {
+      std::size_t next = static_cast<std::size_t>(rng_.UniformInt(
+          0, static_cast<std::int64_t>(rates_.size()) - 2));
+      if (next >= state_) ++next;
+      state_ = next;
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> rates_;
+  std::vector<double> dwell_;
+  std::size_t state_ = 0;
+};
+
+// GoP-structured VBR video: a repeating I/P/B frame-size pattern with
+// multiplicative noise and occasional scene changes that rescale the whole
+// stream ("even video communication involves a variable requirement of
+// bandwidth (due to compression)").
+class VbrVideoSource final : public TrafficGenerator {
+ public:
+  VbrVideoSource(std::uint64_t seed, Bits i_frame_bits, Bits p_frame_bits,
+                 Bits b_frame_bits, Time slots_per_frame,
+                 double scene_change_prob)
+      : rng_(seed),
+        slots_per_frame_(slots_per_frame),
+        scene_change_prob_(scene_change_prob) {
+    BW_REQUIRE(slots_per_frame >= 1, "VbrVideoSource: slots_per_frame >= 1");
+    BW_REQUIRE(i_frame_bits >= p_frame_bits && p_frame_bits >= b_frame_bits &&
+                   b_frame_bits >= 0,
+               "VbrVideoSource: expected I >= P >= B >= 0");
+    // Classic 12-frame GoP: I B B P B B P B B P B B.
+    pattern_ = {i_frame_bits, b_frame_bits, b_frame_bits, p_frame_bits,
+                b_frame_bits, b_frame_bits, p_frame_bits, b_frame_bits,
+                b_frame_bits, p_frame_bits, b_frame_bits, b_frame_bits};
+  }
+
+  Bits NextSlot() override {
+    if (slot_in_frame_ == 0) {
+      const double noise = 0.75 + 0.5 * rng_.UniformDouble();
+      if (rng_.Bernoulli(scene_change_prob_)) {
+        scale_ = 0.5 + 1.5 * rng_.UniformDouble();
+      }
+      const double size =
+          static_cast<double>(pattern_[frame_index_]) * noise * scale_;
+      current_frame_bits_ = static_cast<Bits>(size);
+      frame_index_ = (frame_index_ + 1) % pattern_.size();
+    }
+    // Spread the frame's bits evenly over its slots (remainder up front).
+    const Time remaining_slots = slots_per_frame_ - slot_in_frame_;
+    const Bits out =
+        (current_frame_bits_ + remaining_slots - 1) / remaining_slots;
+    current_frame_bits_ -= out;
+    slot_in_frame_ = (slot_in_frame_ + 1) % slots_per_frame_;
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<Bits> pattern_;
+  Time slots_per_frame_;
+  double scene_change_prob_;
+  std::size_t frame_index_ = 0;
+  Time slot_in_frame_ = 0;
+  Bits current_frame_bits_ = 0;
+  double scale_ = 1.0;
+};
+
+// Deterministic sawtooth: alternating high/low plateaus. The adversarial
+// shape behind the paper's impossibility results — a no-slack online
+// algorithm must chase every edge.
+class SawtoothSource final : public TrafficGenerator {
+ public:
+  SawtoothSource(Bits low_rate, Bits high_rate, Time low_len, Time high_len)
+      : low_rate_(low_rate),
+        high_rate_(high_rate),
+        low_len_(low_len),
+        high_len_(high_len) {
+    BW_REQUIRE(low_rate >= 0 && high_rate >= low_rate,
+               "SawtoothSource: need 0 <= low <= high");
+    BW_REQUIRE(low_len >= 1 && high_len >= 1, "SawtoothSource: lens >= 1");
+  }
+
+  Bits NextSlot() override {
+    const Bits out = in_high_ ? high_rate_ : low_rate_;
+    ++pos_;
+    const Time len = in_high_ ? high_len_ : low_len_;
+    if (pos_ >= len) {
+      pos_ = 0;
+      in_high_ = !in_high_;
+    }
+    return out;
+  }
+
+ private:
+  Bits low_rate_;
+  Bits high_rate_;
+  Time low_len_;
+  Time high_len_;
+  Time pos_ = 0;
+  bool in_high_ = false;
+};
+
+// Plays back a fixed trace (padding with zeros when exhausted).
+class TraceSource final : public TrafficGenerator {
+ public:
+  explicit TraceSource(std::vector<Bits> trace) : trace_(std::move(trace)) {}
+  Bits NextSlot() override {
+    if (pos_ >= trace_.size()) return 0;
+    return trace_[pos_++];
+  }
+
+ private:
+  std::vector<Bits> trace_;
+  std::size_t pos_ = 0;
+};
+
+// Sum of component sources.
+class CompositeSource final : public TrafficGenerator {
+ public:
+  explicit CompositeSource(
+      std::vector<std::unique_ptr<TrafficGenerator>> parts)
+      : parts_(std::move(parts)) {
+    BW_REQUIRE(!parts_.empty(), "CompositeSource: no parts");
+  }
+  Bits NextSlot() override {
+    Bits sum = 0;
+    for (auto& p : parts_) sum += p->NextSlot();
+    return sum;
+  }
+
+ private:
+  std::vector<std::unique_ptr<TrafficGenerator>> parts_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,123 @@
+#include "traffic/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace bwalloc {
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;  // blank
+}
+
+Bits ParseBits(const std::string& token, const std::string& context) {
+  Bits value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  while (end > begin &&
+         (end[-1] == ' ' || end[-1] == '\t' || end[-1] == '\r')) {
+    --end;
+  }
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("trace file: malformed number '" + token +
+                                "' in " + context);
+  }
+  if (value < 0) {
+    throw std::invalid_argument("trace file: negative arrivals in " +
+                                context);
+  }
+  return value;
+}
+
+std::ifstream OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return in;
+}
+
+std::ofstream OpenForWrite(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Bits> LoadTrace(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::vector<Bits> trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (IsCommentOrBlank(line)) continue;
+    trace.push_back(ParseBits(line, path));
+  }
+  return trace;
+}
+
+void SaveTrace(const std::string& path, const std::vector<Bits>& trace,
+               const std::string& comment) {
+  std::ofstream out = OpenForWrite(path);
+  if (!comment.empty()) out << "# " << comment << '\n';
+  for (const Bits b : trace) {
+    BW_REQUIRE(b >= 0, "SaveTrace: negative arrivals");
+    out << b << '\n';
+  }
+  if (!out) throw std::runtime_error("short write to trace file: " + path);
+}
+
+std::vector<std::vector<Bits>> LoadMultiTrace(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::vector<std::vector<Bits>> traces;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (IsCommentOrBlank(line)) continue;
+    std::vector<Bits> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      row.push_back(ParseBits(cell, path));
+    }
+    if (traces.empty()) {
+      traces.resize(row.size());
+    } else if (row.size() != traces.size()) {
+      throw std::invalid_argument("trace file: ragged CSV row in " + path);
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      traces[i].push_back(row[i]);
+    }
+  }
+  return traces;
+}
+
+void SaveMultiTrace(const std::string& path,
+                    const std::vector<std::vector<Bits>>& traces,
+                    const std::string& comment) {
+  BW_REQUIRE(!traces.empty(), "SaveMultiTrace: no traces");
+  const std::size_t len = traces.front().size();
+  for (const auto& tr : traces) {
+    BW_REQUIRE(tr.size() == len, "SaveMultiTrace: length mismatch");
+  }
+  std::ofstream out = OpenForWrite(path);
+  if (!comment.empty()) out << "# " << comment << '\n';
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      BW_REQUIRE(traces[i][t] >= 0, "SaveMultiTrace: negative arrivals");
+      if (i > 0) out << ',';
+      out << traces[i][t];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("short write to trace file: " + path);
+}
+
+}  // namespace bwalloc

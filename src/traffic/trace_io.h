@@ -1,0 +1,29 @@
+// Trace file I/O.
+//
+// Single-session traces are plain text, one arrival count per line (slot
+// order), with '#' comment lines. Multi-session traces are CSV: one row
+// per slot, one column per session, optional '#' comments. Both formats
+// round-trip exactly, letting users feed recorded traffic (the paper's
+// experimental predecessors used real network traces) into any algorithm
+// or comparator in the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Throws std::runtime_error on I/O failure, std::invalid_argument on
+// malformed content (negative or non-numeric entries, ragged CSV rows).
+std::vector<Bits> LoadTrace(const std::string& path);
+void SaveTrace(const std::string& path, const std::vector<Bits>& trace,
+               const std::string& comment = "");
+
+std::vector<std::vector<Bits>> LoadMultiTrace(const std::string& path);
+void SaveMultiTrace(const std::string& path,
+                    const std::vector<std::vector<Bits>>& traces,
+                    const std::string& comment = "");
+
+}  // namespace bwalloc

@@ -1,0 +1,48 @@
+// Canonical named workloads used by tests, benches, and EXPERIMENTS.md.
+//
+// Every workload is shaped to the feasibility envelope of its target
+// offline parameters (see shaper.h), so each theorem's preconditions hold
+// by construction. All randomness flows from the caller's seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct NamedTrace {
+  std::string name;
+  std::vector<Bits> trace;
+};
+
+// Single-session suite: one trace per source regime (cbr / onoff / pareto /
+// mmpp / video / sawtooth / mixed), each shaped to rate `offline_bw` and
+// bucket `offline_bw * offline_delay`.
+std::vector<NamedTrace> SingleSessionSuite(Bits offline_bw, Time offline_delay,
+                                           Time horizon, std::uint64_t seed);
+
+// One specific member of the suite by name (throws on unknown name).
+std::vector<Bits> SingleSessionWorkload(const std::string& name,
+                                        Bits offline_bw, Time offline_delay,
+                                        Time horizon, std::uint64_t seed);
+
+enum class MultiWorkloadKind {
+  kBalanced,        // stationary, roughly equal shares
+  kRotatingHotspot, // one hot session, rotating every epoch (forces offline
+                    // re-allocation — the interesting regime for Lemma 13)
+  kChurn,           // sessions go silent / come back in epochs
+  kSkewed,          // static Zipf-like shares
+};
+
+const char* ToString(MultiWorkloadKind kind);
+
+// k per-session traces whose aggregate is shaped to (offline_bw,
+// offline_bw * offline_delay) — the multi-session feasibility condition.
+std::vector<std::vector<Bits>> MultiSessionWorkload(
+    MultiWorkloadKind kind, std::int64_t sessions, Bits offline_bw,
+    Time offline_delay, Time horizon, std::uint64_t seed);
+
+}  // namespace bwalloc

@@ -1,0 +1,38 @@
+// Assertion and precondition macros used across the library.
+//
+// BW_REQUIRE  — validates caller-supplied arguments; throws std::invalid_argument.
+// BW_CHECK    — validates internal invariants; active in all build types and
+//               aborts with a source location (per CppCoreGuidelines I.6/E.x we
+//               separate recoverable precondition failures from logic errors).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace bwalloc {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "BW_CHECK failed: %s at %s:%d: %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace bwalloc
+
+#define BW_CHECK(cond, msg)                                     \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::bwalloc::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                           \
+  } while (false)
+
+#define BW_REQUIRE(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      throw std::invalid_argument(std::string("precondition violated: ") + \
+                                  (msg) + " [" #cond "]");               \
+    }                                                                    \
+  } while (false)

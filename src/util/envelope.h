@@ -1,0 +1,104 @@
+// Max-slope envelope: the data structure behind low(t).
+//
+// low(t) = max over window sizes w of IN[t-w, t) / (w + D_O)
+//        = max over s in [t_s, t] of (P(t) - P(s)) / ((t + D_O) - s),
+// i.e. the maximum slope from the query point Q = (t + D_O, P(t)) to any of
+// the previously appended points (s, P(s)). Only points on the lower convex
+// hull can attain the maximum, and the slope along the hull is unimodal when
+// Q lies strictly to the right of every point, so each query is a binary
+// search: O(log n) per slot instead of the naive O(stage length).
+//
+// NaiveMaxSlope is the O(n) reference used by property tests.
+#pragma once
+
+#include <vector>
+
+#include "util/assert.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct EnvelopePoint {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+};
+
+class MaxSlopeEnvelope {
+ public:
+  // Append a point; x must be strictly increasing, y non-decreasing.
+  void Append(std::int64_t x, std::int64_t y) {
+    if (!hull_.empty()) {
+      BW_REQUIRE(x > hull_.back().x, "envelope x must be strictly increasing");
+      BW_REQUIRE(y >= hull_.back().y, "envelope y must be non-decreasing");
+    }
+    const EnvelopePoint p{x, y};
+    while (hull_.size() >= 2 &&
+           Cross(hull_[hull_.size() - 2], hull_.back(), p) <= 0) {
+      hull_.pop_back();
+    }
+    hull_.push_back(p);
+  }
+
+  bool empty() const { return hull_.empty(); }
+  std::size_t hull_size() const { return hull_.size(); }
+
+  void Clear() { hull_.clear(); }
+
+  // Maximum slope (qy - y_i) / (qx - x_i) over all appended points.
+  // Requires qx > every appended x and qy >= every appended y.
+  Ratio MaxSlopeTo(std::int64_t qx, std::int64_t qy) const {
+    BW_REQUIRE(!hull_.empty(), "MaxSlopeTo on empty envelope");
+    BW_REQUIRE(qx > hull_.back().x, "query must lie strictly to the right");
+    BW_REQUIRE(qy >= hull_.back().y, "query y must dominate appended ys");
+    std::size_t lo = 0;
+    std::size_t hi = hull_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (SlopeLess(qx, qy, mid, mid + 1)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return Ratio(qy - hull_[lo].y, qx - hull_[lo].x);
+  }
+
+ private:
+  static Int128 Cross(const EnvelopePoint& a, const EnvelopePoint& b,
+                        const EnvelopePoint& c) {
+    return static_cast<Int128>(b.x - a.x) * (c.y - a.y) -
+           static_cast<Int128>(b.y - a.y) * (c.x - a.x);
+  }
+
+  // slope(Q, hull_[i]) < slope(Q, hull_[j])?
+  bool SlopeLess(std::int64_t qx, std::int64_t qy, std::size_t i,
+                 std::size_t j) const {
+    const Int128 lhs = static_cast<Int128>(qy - hull_[i].y) *
+                         (qx - hull_[j].x);
+    const Int128 rhs = static_cast<Int128>(qy - hull_[j].y) *
+                         (qx - hull_[i].x);
+    return lhs < rhs;
+  }
+
+  std::vector<EnvelopePoint> hull_;
+};
+
+// O(n) reference implementation over an explicit point set.
+inline Ratio NaiveMaxSlope(const std::vector<EnvelopePoint>& points,
+                           std::int64_t qx, std::int64_t qy) {
+  BW_REQUIRE(!points.empty(), "NaiveMaxSlope on empty point set");
+  Ratio best(0, 1);
+  bool first = true;
+  for (const auto& p : points) {
+    BW_REQUIRE(qx > p.x, "query must lie strictly to the right");
+    const Ratio r(qy - p.y, qx - p.x);
+    if (first || best < r) {
+      best = r;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,13 @@
+#include "util/fixed_point.h"
+
+#include <cstdio>
+
+namespace bwalloc {
+
+std::string Bandwidth::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", ToDouble());
+  return std::string(buf);
+}
+
+}  // namespace bwalloc

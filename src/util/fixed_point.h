@@ -1,0 +1,111 @@
+// Q48.16 fixed-point bandwidth type.
+//
+// Bandwidth is measured in bits per slot. The multi-session algorithms
+// allocate fractional amounts (B_O / k), so an integer type does not
+// suffice; doubles would make the simulator non-deterministic across
+// platforms and make exact comparisons (e.g. the phased algorithm's
+// "sum of regular bandwidth > 2*B_O" test) fragile. Q16 fixed point gives
+// exact arithmetic for every quantity the algorithms manipulate.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class Bandwidth {
+ public:
+  static constexpr int kShift = 16;
+  static constexpr std::int64_t kOne = std::int64_t{1} << kShift;
+
+  constexpr Bandwidth() = default;
+
+  // Named constructors ------------------------------------------------------
+  static constexpr Bandwidth FromRaw(std::int64_t raw) {
+    Bandwidth b;
+    b.raw_ = raw;
+    return b;
+  }
+  static constexpr Bandwidth FromBitsPerSlot(std::int64_t bits) {
+    return FromRaw(bits << kShift);
+  }
+  // bits / slots, rounded down.
+  static Bandwidth FloorDiv(Bits bits, Time slots) {
+    BW_REQUIRE(slots > 0, "FloorDiv: slots must be positive");
+    BW_REQUIRE(bits >= 0, "FloorDiv: bits must be non-negative");
+    return FromRaw(static_cast<std::int64_t>(
+        (static_cast<Int128>(bits) << kShift) / slots));
+  }
+  // bits / slots, rounded up. Used where the algorithm must be able to drain
+  // a queue within a deadline (rounding up only helps the delay guarantee).
+  static Bandwidth CeilDiv(Bits bits, Time slots) {
+    BW_REQUIRE(slots > 0, "CeilDiv: slots must be positive");
+    BW_REQUIRE(bits >= 0, "CeilDiv: bits must be non-negative");
+    const Int128 num = (static_cast<Int128>(bits) << kShift) + slots - 1;
+    return FromRaw(static_cast<std::int64_t>(num / slots));
+  }
+  static Bandwidth FromDouble(double bits_per_slot) {
+    BW_REQUIRE(bits_per_slot >= 0.0, "FromDouble: bandwidth must be >= 0");
+    return FromRaw(static_cast<std::int64_t>(
+        bits_per_slot * static_cast<double>(kOne) + 0.5));
+  }
+  static constexpr Bandwidth Zero() { return Bandwidth(); }
+
+  // Accessors ---------------------------------------------------------------
+  constexpr std::int64_t raw() const { return raw_; }
+  constexpr bool is_zero() const { return raw_ == 0; }
+  double ToDouble() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+  // Whole bits per slot, rounded down / up.
+  constexpr Bits FloorBits() const { return raw_ >> kShift; }
+  constexpr Bits CeilBits() const { return (raw_ + kOne - 1) >> kShift; }
+
+  // Total bits deliverable over `slots` slots, rounded down (the service
+  // credit accumulator in BitQueue recovers the sub-bit remainder exactly).
+  Bits BitsOver(Time slots) const {
+    BW_REQUIRE(slots >= 0, "BitsOver: negative duration");
+    return static_cast<Bits>(
+        (static_cast<Int128>(raw_) * slots) >> kShift);
+  }
+
+  // Arithmetic --------------------------------------------------------------
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) {
+    return FromRaw(a.raw_ + b.raw_);
+  }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) {
+    return FromRaw(a.raw_ - b.raw_);
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, std::int64_t s) {
+    return FromRaw(a.raw_ * s);
+  }
+  friend constexpr Bandwidth operator*(std::int64_t s, Bandwidth a) {
+    return a * s;
+  }
+  Bandwidth& operator+=(Bandwidth o) {
+    raw_ += o.raw_;
+    return *this;
+  }
+  Bandwidth& operator-=(Bandwidth o) {
+    raw_ -= o.raw_;
+    return *this;
+  }
+  // Division by a positive integer, exact in raw units (rounds down).
+  friend Bandwidth operator/(Bandwidth a, std::int64_t d) {
+    BW_REQUIRE(d > 0, "Bandwidth division by non-positive integer");
+    return FromRaw(a.raw_ / d);
+  }
+
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,74 @@
+// Bit-weighted delay histogram.
+//
+// Delays in the slotted model are small non-negative integers (bounded by
+// D_A on correct runs), so a dense vector of counters indexed by delay is
+// both exact and fast. Percentiles are weighted by bits, matching the
+// paper's "maximum over all bits" latency definition (max = 100th pct).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class DelayHistogram {
+ public:
+  void Record(Time delay, Bits bits) {
+    BW_REQUIRE(delay >= 0, "DelayHistogram: negative delay");
+    BW_REQUIRE(bits >= 0, "DelayHistogram: negative bits");
+    if (bits == 0) return;
+    const auto d = static_cast<std::size_t>(delay);
+    if (d >= counts_.size()) counts_.resize(d + 1, 0);
+    counts_[d] += bits;
+    total_bits_ += bits;
+    weighted_sum_ += delay * bits;
+    if (delay > max_delay_) max_delay_ = delay;
+  }
+
+  Bits total_bits() const { return total_bits_; }
+  Time max_delay() const { return total_bits_ == 0 ? 0 : max_delay_; }
+
+  double MeanDelay() const {
+    return total_bits_ == 0
+               ? 0.0
+               : static_cast<double>(weighted_sum_) /
+                     static_cast<double>(total_bits_);
+  }
+
+  // Smallest delay d such that at least p (in [0,1]) of all bits have
+  // delay <= d.
+  Time Percentile(double p) const {
+    BW_REQUIRE(p >= 0.0 && p <= 1.0, "Percentile: p out of range");
+    if (total_bits_ == 0) return 0;
+    const double target = p * static_cast<double>(total_bits_);
+    Bits acc = 0;
+    for (std::size_t d = 0; d < counts_.size(); ++d) {
+      acc += counts_[d];
+      if (static_cast<double>(acc) >= target) return static_cast<Time>(d);
+    }
+    return max_delay_;
+  }
+
+  void Merge(const DelayHistogram& other) {
+    if (other.counts_.size() > counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (std::size_t d = 0; d < other.counts_.size(); ++d) {
+      counts_[d] += other.counts_[d];
+    }
+    total_bits_ += other.total_bits_;
+    weighted_sum_ += other.weighted_sum_;
+    if (other.max_delay_ > max_delay_) max_delay_ = other.max_delay_;
+  }
+
+ private:
+  std::vector<Bits> counts_;
+  Bits total_bits_ = 0;
+  std::int64_t weighted_sum_ = 0;
+  Time max_delay_ = 0;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,87 @@
+// Sliding-window and running extremum helpers.
+//
+// high(t) needs a running minimum of W-window sums since stage start; the
+// offline scheduler and the utilization checker need genuine sliding-window
+// minima/maxima, which the classic monotonic deque provides in amortized
+// O(1) per step.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Running extremum from a reset point (no eviction).
+template <typename T, typename Compare = std::less<T>>
+class RunningExtreme {
+ public:
+  void Reset() { has_value_ = false; }
+  void Push(const T& v) {
+    if (!has_value_ || Compare{}(v, value_)) {
+      value_ = v;
+      has_value_ = true;
+    }
+  }
+  bool has_value() const { return has_value_; }
+  const T& value() const {
+    BW_CHECK(has_value_, "RunningExtreme::value on empty");
+    return value_;
+  }
+
+ private:
+  T value_{};
+  bool has_value_ = false;
+};
+
+template <typename T>
+using RunningMin = RunningExtreme<T, std::less<T>>;
+template <typename T>
+using RunningMax = RunningExtreme<T, std::greater<T>>;
+
+// Sliding-window extremum over (index, value) pairs; Evict(limit) drops all
+// entries with index < limit. With Compare = std::less the window extremum
+// is the minimum.
+template <typename T, typename Compare = std::less<T>>
+class SlidingWindowExtreme {
+ public:
+  void Push(Time index, const T& v) {
+    BW_REQUIRE(entries_.empty() || index > entries_.back().index,
+               "indices must be strictly increasing");
+    while (!entries_.empty() && !Compare{}(entries_.back().value, v)) {
+      entries_.pop_back();
+    }
+    entries_.push_back({index, v});
+  }
+
+  void Evict(Time limit) {
+    while (!entries_.empty() && entries_.front().index < limit) {
+      entries_.pop_front();
+    }
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+  const T& Extreme() const {
+    BW_CHECK(!entries_.empty(), "SlidingWindowExtreme::Extreme on empty");
+    return entries_.front().value;
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Time index;
+    T value;
+  };
+  std::deque<Entry> entries_;
+};
+
+template <typename T>
+using SlidingWindowMin = SlidingWindowExtreme<T, std::less<T>>;
+template <typename T>
+using SlidingWindowMax = SlidingWindowExtreme<T, std::greater<T>>;
+
+}  // namespace bwalloc

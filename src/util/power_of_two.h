@@ -1,0 +1,47 @@
+// Power-of-two helpers for the quantized allocation levels of the
+// single-session algorithm (B_on is always the smallest power of two that is
+// at least low(t); the stage accounting of Lemma 1 relies on the number of
+// distinct levels being log2(B_A)).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.h"
+#include "util/ratio.h"
+
+namespace bwalloc {
+
+inline bool IsPowerOfTwo(std::int64_t v) {
+  return v > 0 && std::has_single_bit(static_cast<std::uint64_t>(v));
+}
+
+// Smallest power of two >= v, for v >= 1.
+inline std::int64_t CeilPowerOfTwo(std::int64_t v) {
+  BW_REQUIRE(v >= 1, "CeilPowerOfTwo: v must be >= 1");
+  return static_cast<std::int64_t>(
+      std::bit_ceil(static_cast<std::uint64_t>(v)));
+}
+
+// floor(log2(v)) for v >= 1.
+inline int FloorLog2(std::int64_t v) {
+  BW_REQUIRE(v >= 1, "FloorLog2: v must be >= 1");
+  return 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+}
+
+// ceil(log2(v)) for v >= 1.
+inline int CeilLog2(std::int64_t v) {
+  BW_REQUIRE(v >= 1, "CeilLog2: v must be >= 1");
+  return IsPowerOfTwo(v) ? FloorLog2(v) : FloorLog2(v) + 1;
+}
+
+// Smallest power of two (as an integer bandwidth level, >= 1) that is at
+// least the exact rational r. Returns 1 for r <= 1.
+inline std::int64_t CeilPowerOfTwoAtLeast(const Ratio& r) {
+  if (r.num() <= r.den()) return 1;  // r <= 1
+  // smallest 2^j with 2^j * den >= num  <=>  2^j >= num/den.
+  const std::int64_t q = (r.num() + r.den() - 1) / r.den();  // ceil(num/den)
+  return CeilPowerOfTwo(q);
+}
+
+}  // namespace bwalloc

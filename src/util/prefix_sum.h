@@ -1,0 +1,53 @@
+// Append-only prefix-sum array over per-slot arrival counts.
+//
+// P(t) = total bits that arrived in slots [0, t). Both window conventions of
+// the paper become O(1) queries:
+//   IN[a, b)  = P(b) - P(a)          (used by low(t))
+//   IN(a, b]  = P(b+1) - P(a+1)      (used by high(t))
+#pragma once
+
+#include <vector>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class PrefixSum {
+ public:
+  PrefixSum() : prefix_{0} {}
+
+  // Record the arrivals of the next slot.
+  void Append(Bits arrivals) {
+    BW_REQUIRE(arrivals >= 0, "PrefixSum::Append: negative arrivals");
+    prefix_.push_back(prefix_.back() + arrivals);
+  }
+
+  // Number of slots recorded so far.
+  Time slots() const { return static_cast<Time>(prefix_.size()) - 1; }
+
+  // P(t): bits arrived strictly before slot t. Valid for 0 <= t <= slots().
+  Bits CumulativeBefore(Time t) const {
+    BW_CHECK(t >= 0 && t <= slots(), "PrefixSum: index out of range");
+    return prefix_[static_cast<std::size_t>(t)];
+  }
+
+  // IN[a, b): bits arrived in slots a..b-1.
+  Bits SumHalfOpen(Time a, Time b) const {
+    BW_CHECK(a <= b, "PrefixSum::SumHalfOpen: a > b");
+    return CumulativeBefore(b) - CumulativeBefore(a);
+  }
+
+  // IN(a, b]: bits arrived in slots a+1..b.
+  Bits SumOpenClosed(Time a, Time b) const {
+    BW_CHECK(a <= b, "PrefixSum::SumOpenClosed: a > b");
+    return CumulativeBefore(b + 1) - CumulativeBefore(a + 1);
+  }
+
+  Bits total() const { return prefix_.back(); }
+
+ private:
+  std::vector<Bits> prefix_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,14 @@
+#include "util/ratio.h"
+
+#include <cstdio>
+
+namespace bwalloc {
+
+std::string Ratio::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld/%lld",
+                static_cast<long long>(num_), static_cast<long long>(den_));
+  return std::string(buf);
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,95 @@
+// Exact non-negative rational numbers with int128 cross-multiplication
+// comparisons.
+//
+// The envelopes low(t) and high(t) of the single-session algorithm are
+// ratios of window sums to window lengths; the stage-ending test
+// high(t) < low(t) and the allocation rule "smallest power of two >= low(t)"
+// must be exact or the change-count accounting of Lemma 1 silently breaks.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+
+namespace bwalloc {
+
+class Ratio {
+ public:
+  // Zero.
+  constexpr Ratio() = default;
+
+  Ratio(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    BW_REQUIRE(den > 0, "Ratio denominator must be positive");
+    BW_REQUIRE(num >= 0, "Ratio numerator must be non-negative");
+  }
+
+  static Ratio FromInt(std::int64_t v) { return Ratio(v, 1); }
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+  bool is_zero() const { return num_ == 0; }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  // Reduce by gcd. Comparison does not require normal form; this exists to
+  // keep numerators small across long accumulation chains.
+  Ratio Normalized() const {
+    if (num_ == 0) return Ratio(0, 1);
+    const std::int64_t g = std::gcd(num_, den_);
+    return Ratio(num_ / g, den_ / g);
+  }
+
+  friend bool operator==(const Ratio& a, const Ratio& b) {
+    return static_cast<Int128>(a.num_) * b.den_ ==
+           static_cast<Int128>(b.num_) * a.den_;
+  }
+  friend std::strong_ordering operator<=>(const Ratio& a, const Ratio& b) {
+    const Int128 lhs = static_cast<Int128>(a.num_) * b.den_;
+    const Int128 rhs = static_cast<Int128>(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  // Exact comparison against a fixed-point bandwidth: this/1 vs raw/2^16.
+  friend bool operator<(const Ratio& a, Bandwidth b) {
+    return (static_cast<Int128>(a.num_) << Bandwidth::kShift) <
+           static_cast<Int128>(b.raw()) * a.den_;
+  }
+  friend bool operator<=(const Ratio& a, Bandwidth b) {
+    return (static_cast<Int128>(a.num_) << Bandwidth::kShift) <=
+           static_cast<Int128>(b.raw()) * a.den_;
+  }
+  friend bool operator<(Bandwidth b, const Ratio& a) {
+    return static_cast<Int128>(b.raw()) * a.den_ <
+           (static_cast<Int128>(a.num_) << Bandwidth::kShift);
+  }
+  friend bool operator<=(Bandwidth b, const Ratio& a) {
+    return static_cast<Int128>(b.raw()) * a.den_ <=
+           (static_cast<Int128>(a.num_) << Bandwidth::kShift);
+  }
+
+  // a * b, reduced to avoid overflow along the way.
+  friend Ratio operator*(const Ratio& a, const Ratio& b) {
+    const Ratio an = a.Normalized();
+    const Ratio bn = b.Normalized();
+    const std::int64_t g1 = std::gcd(an.num_, bn.den_);
+    const std::int64_t g2 = std::gcd(bn.num_, an.den_);
+    return Ratio((an.num_ / g1) * (bn.num_ / g2),
+                 (an.den_ / g2) * (bn.den_ / g1));
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace bwalloc

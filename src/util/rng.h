@@ -1,0 +1,116 @@
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// xoshiro256** seeded through SplitMix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-identical across standard library
+// implementations, so every experiment in EXPERIMENTS.md is reproducible
+// from its seed alone.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    BW_REQUIRE(lo <= hi, "UniformInt: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+    // Lemire-style rejection-free-enough bounded generation.
+    std::uint64_t x = Next();
+    Uint128 m = static_cast<Uint128>(x) * span;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < span) {
+      const std::uint64_t floor = (0 - span) % span;
+      while (l < floor) {
+        x = Next();
+        m = static_cast<Uint128>(x) * span;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean) {
+    BW_REQUIRE(mean > 0, "Exponential: mean must be positive");
+    double u = UniformDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  // Pareto with shape alpha (> 0) and scale xm (> 0); heavy-tailed for
+  // alpha <= 2 — the classic self-similar-traffic burst-size distribution.
+  double Pareto(double alpha, double xm) {
+    BW_REQUIRE(alpha > 0 && xm > 0, "Pareto: bad parameters");
+    double u = UniformDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  // Geometric number of failures before success, success prob p in (0, 1].
+  std::int64_t Geometric(double p) {
+    BW_REQUIRE(p > 0 && p <= 1, "Geometric: p must be in (0,1]");
+    if (p >= 1.0) return 0;
+    return static_cast<std::int64_t>(
+        std::floor(std::log1p(-UniformDouble()) / std::log1p(-p)));
+  }
+
+  // Poisson via Knuth's method (fine for the small means we use per slot).
+  std::int64_t Poisson(double mean) {
+    BW_REQUIRE(mean >= 0, "Poisson: mean must be non-negative");
+    if (mean == 0) return 0;
+    const double limit = std::exp(-mean);
+    double prod = 1.0;
+    std::int64_t n = -1;
+    do {
+      ++n;
+      prod *= UniformDouble();
+    } while (prod > limit);
+    return n;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace bwalloc

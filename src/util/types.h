@@ -1,0 +1,27 @@
+// Fundamental quantities of the slotted-time model.
+//
+// The paper works in continuous time with real-valued bandwidth; we use
+// discrete time slots and integer bits (see DESIGN.md "Interpretation
+// choices"). All window sums in the proofs translate verbatim.
+#pragma once
+
+#include <cstdint>
+
+namespace bwalloc {
+
+// Discrete slot index. Slot t covers the half-open real interval [t, t+1).
+using Time = std::int64_t;
+
+// Amount of data, in bits.
+using Bits = std::int64_t;
+
+// Sentinel for "no time" / "not yet".
+inline constexpr Time kNoTime = -1;
+
+// 128-bit integers for overflow-free cross multiplication (the exact
+// rational comparisons the envelopes depend on). The __extension__ marker
+// keeps -Wpedantic quiet about the GCC/Clang builtin.
+__extension__ typedef __int128 Int128;
+__extension__ typedef unsigned __int128 Uint128;
+
+}  // namespace bwalloc

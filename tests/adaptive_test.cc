@@ -1,0 +1,146 @@
+#include "sim/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_alloc.h"
+#include "core/multi_phased.h"
+#include "core/single_session.h"
+#include "traffic/adversaries.h"
+#include "traffic/shaper.h"
+
+namespace bwalloc {
+namespace {
+
+// An adversary that echoes the previous allocation as arrivals — checks
+// the feedback plumbing.
+class EchoAdversary final : public AdaptiveAdversary {
+ public:
+  Bits NextArrivals(Time /*now*/, Bandwidth last) override {
+    return last.FloorBits() + 1;
+  }
+};
+
+TEST(AdaptiveEngine, FeedsBackPreviousAllocation) {
+  EchoAdversary adversary;
+  StaticAllocator alloc(Bandwidth::FromBitsPerSlot(5));
+  const AdaptiveRunResult r =
+      RunAdaptiveSingleSession(adversary, alloc, /*horizon=*/10);
+  ASSERT_EQ(r.trace.size(), 10u);
+  // Slot 0 sees zero bandwidth (nothing allocated yet), then 5 forever.
+  EXPECT_EQ(r.trace[0], 1);
+  for (std::size_t t = 1; t < 10; ++t) EXPECT_EQ(r.trace[t], 6);
+  EXPECT_EQ(r.run.total_arrivals, 1 + 9 * 6);
+}
+
+TEST(AdaptiveEngine, DrainSlotsDeliverEverything) {
+  EchoAdversary adversary;
+  StaticAllocator alloc(Bandwidth::FromBitsPerSlot(8));
+  SingleEngineOptions opt;
+  opt.drain_slots = 50;
+  const AdaptiveRunResult r =
+      RunAdaptiveSingleSession(adversary, alloc, 20, opt);
+  EXPECT_EQ(r.run.final_queue, 0);
+  EXPECT_EQ(r.run.total_arrivals, r.run.total_delivered);
+}
+
+TEST(LadderPump, StreamStaysFeasible) {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 16;
+  LadderPumpAdversary adversary(64, 8);
+  SingleSessionOnline online(p);
+  const AdaptiveRunResult r =
+      RunAdaptiveSingleSession(adversary, online, 2000);
+  // Claim 9 arrival curve with B_O = 64, D_O = 8.
+  EXPECT_TRUE(SatisfiesArrivalCurve(r.trace, 64, 8, /*max_window=*/128));
+}
+
+TEST(LadderPump, ForcesFullLadderUnderGlobalUtilization) {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 16;
+  LadderPumpAdversary adversary(64, 8);
+  SingleSessionOnline online(p, SingleSessionOnline::Variant::kBase,
+                             SingleSessionOnline::UtilizationMode::kGlobal);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  const AdaptiveRunResult r =
+      RunAdaptiveSingleSession(adversary, online, 4000, opt);
+  EXPECT_GE(r.run.stages, 10) << "adversary failed to cycle stages";
+  const double per_stage = static_cast<double>(r.run.changes) /
+                           static_cast<double>(r.run.stages);
+  // Full ladder: ~log2(B_A) = 6 level moves plus stage transitions.
+  EXPECT_GE(per_stage, 5.0);
+  // Delay guarantee survives the adversary.
+  EXPECT_LE(r.run.delay.max_delay(), 16);
+}
+
+TEST(LadderPump, ModifiedVariantDefeatsTheAdversary) {
+  SingleSessionParams p;
+  p.max_bandwidth = 256;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 16;
+  LadderPumpAdversary pump_base(256, 8);
+  LadderPumpAdversary pump_mod(256, 8);
+  SingleSessionOnline base(p);
+  SingleSessionOnline modified(p, SingleSessionOnline::Variant::kModified);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  const AdaptiveRunResult rb =
+      RunAdaptiveSingleSession(pump_base, base, 6000, opt);
+  const AdaptiveRunResult rm =
+      RunAdaptiveSingleSession(pump_mod, modified, 6000, opt);
+  // Theorem 7: against the ladder pump the modified variant's per-stage
+  // price stays O(log 1/U_O) while the base pays the full ladder.
+  EXPECT_LT(rm.run.changes, rb.run.changes);
+  EXPECT_LE(modified.max_changes_in_any_stage(),
+            base.max_changes_in_any_stage());
+}
+
+TEST(ShareHunter, ForcesIncrementsAndStaysFeasible) {
+  const std::int64_t k = 6;
+  MultiSessionParams p;
+  p.sessions = k;
+  p.offline_bandwidth = 16 * k;
+  p.offline_delay = 8;
+  PhasedMulti sys(p);
+  ShareHunterAdversary adversary(p.offline_bandwidth, p.offline_delay);
+  MultiEngineOptions opt;
+  opt.drain_slots = 32;
+  const MultiAdaptiveRunResult r =
+      RunAdaptiveMultiSession(adversary, sys, 6000, opt);
+
+  // Feasible by construction (aggregate token bucket).
+  std::vector<Bits> agg(r.traces[0].size(), 0);
+  for (const auto& tr : r.traces) {
+    for (std::size_t t = 0; t < tr.size(); ++t) agg[t] += tr[t];
+  }
+  EXPECT_TRUE(
+      SatisfiesArrivalCurve(agg, p.offline_bandwidth, p.offline_delay, 128));
+
+  // Guarantees hold even against the hunter.
+  EXPECT_LE(r.run.delay.max_delay(), 2 * p.offline_delay);
+  EXPECT_EQ(r.run.final_queue, 0);
+
+  // And it succeeds at its job: many stages, each paying O(k) changes.
+  EXPECT_GE(r.run.stages, 3);
+  const double per_stage =
+      static_cast<double>(r.run.local_changes) /
+      static_cast<double>(r.run.stages + 1);
+  EXPECT_GE(per_stage, static_cast<double>(k))
+      << "hunter should force at least ~k increments per stage";
+  EXPECT_LE(per_stage, 4.0 * static_cast<double>(k) + 6.0);
+}
+
+TEST(LadderPump, RejectsBadParameters) {
+  EXPECT_THROW(LadderPumpAdversary(1, 8), std::invalid_argument);
+  EXPECT_THROW(LadderPumpAdversary(64, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "analysis/aggregate.h"
+#include "analysis/sla.h"
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_NEAR(s.Ci95(), 1.96 * 2.138 / std::sqrt(8.0), 1e-3);
+}
+
+TEST(SampleStats, DegenerateCases) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Ci95(), 0.0);
+  EXPECT_THROW(s.Min(), std::invalid_argument);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(Sla, OnlineRunConformsToItsContract) {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  SingleSessionOnline alg(p);
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 3000, 14);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  opt.utilization_scan_window = p.window + 5 * p.offline_delay();
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+  SlaContract contract;
+  contract.max_delay = 16;
+  contract.p99_delay = 16;
+  contract.min_local_utilization = 1.0 / 6.0;
+  const SlaReport report = EvaluateSla(r, contract);
+  EXPECT_TRUE(report.Conformant());
+  EXPECT_EQ(report.clauses.size(), 3u);
+}
+
+TEST(Sla, ViolationsAreCalledOut) {
+  SingleRunResult r;
+  r.delay.Record(40, 100);
+  r.global_utilization = 0.3;
+  SlaContract contract;
+  contract.max_delay = 16;
+  contract.min_global_utilization = 0.5;
+  const SlaReport report = EvaluateSla(r, contract);
+  EXPECT_FALSE(report.Conformant());
+  EXPECT_FALSE(report.clauses[0].satisfied);  // delay 40 > 16
+  EXPECT_FALSE(report.clauses[1].satisfied);  // util 0.3 < 0.5
+  EXPECT_DOUBLE_EQ(report.clauses[0].measured, 40.0);
+}
+
+TEST(Sla, DisabledClausesAreOmitted) {
+  SingleRunResult r;
+  r.delay.Record(3, 10);
+  SlaContract contract;
+  contract.max_delay = 16;
+  const SlaReport report = EvaluateSla(r, contract);
+  EXPECT_EQ(report.clauses.size(), 1u);
+  EXPECT_TRUE(report.Conformant());
+}
+
+}  // namespace
+}  // namespace bwalloc

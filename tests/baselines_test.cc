@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "baseline/exp_smoothing.h"
+#include "baseline/per_arrival.h"
+#include "baseline/periodic.h"
+#include "baseline/static_alloc.h"
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+std::vector<Bits> BurstyTrace() {
+  return SingleSessionWorkload("onoff", 64, 8, 3000, 61);
+}
+
+TEST(StaticPeak, MeetsDelayWithLowUtilization) {
+  const auto trace = BurstyTrace();
+  StaticAllocator alloc = MakeStaticPeak(trace, 16);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  const SingleRunResult r = RunSingleSession(trace, alloc, opt);
+  EXPECT_EQ(r.changes, 0);
+  EXPECT_LE(r.delay.max_delay(), 16);
+  EXPECT_EQ(r.final_queue, 0);
+}
+
+TEST(StaticMean, HighUtilizationLongDelay) {
+  const auto trace = BurstyTrace();
+  StaticAllocator mean_alloc = MakeStaticMean(trace);
+  StaticAllocator peak_alloc = MakeStaticPeak(trace, 16);
+  SingleEngineOptions opt;
+  opt.drain_slots = 3000;  // mean allocation needs a long drain
+  const SingleRunResult rm = RunSingleSession(trace, mean_alloc, opt);
+  const SingleRunResult rp = RunSingleSession(trace, peak_alloc, opt);
+  // Fig. 2(a) vs 2(b): the mean allocation utilizes better but delays more.
+  EXPECT_GT(rm.global_utilization, rp.global_utilization);
+  EXPECT_GT(rm.delay.max_delay(), rp.delay.max_delay());
+  EXPECT_EQ(rm.changes, 0);
+}
+
+TEST(PerArrival, TracksDemandWithManyChanges) {
+  const auto trace = BurstyTrace();
+  PerArrivalAllocator alloc(8);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  const SingleRunResult r = RunSingleSession(trace, alloc, opt);
+  EXPECT_LE(r.delay.max_delay(), 8);
+  EXPECT_EQ(r.final_queue, 0);
+  // Fig. 2(c): changes on a large fraction of its active slots.
+  EXPECT_GT(r.changes, 300);
+}
+
+TEST(Periodic, ChangesAtMostOncePerPeriod) {
+  const auto trace = BurstyTrace();
+  PeriodicAllocator alloc(/*period=*/50, /*margin=*/125, /*delay=*/16);
+  SingleEngineOptions opt;
+  opt.drain_slots = 64;
+  const SingleRunResult r = RunSingleSession(trace, alloc, opt);
+  EXPECT_LE(r.changes, static_cast<std::int64_t>(r.horizon / 50 + 1));
+  EXPECT_EQ(r.final_queue, 0);
+}
+
+TEST(ExpSmoothing, HysteresisLimitsChanges) {
+  const auto trace = BurstyTrace();
+  ExpSmoothingAllocator tight(20, 0, 16);    // no hysteresis band
+  ExpSmoothingAllocator loose(20, 100, 16);  // wide band
+  const SingleRunResult rt = RunSingleSession(trace, tight);
+  const SingleRunResult rl = RunSingleSession(trace, loose);
+  EXPECT_LT(rl.changes, rt.changes);
+}
+
+TEST(Baselines, OnlineBeatsPerArrivalOnChangesAtSimilarDelay) {
+  const auto trace = BurstyTrace();
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  SingleSessionOnline online(p);
+  PerArrivalAllocator per_arrival(16);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  const SingleRunResult ro = RunSingleSession(trace, online, opt);
+  const SingleRunResult rp = RunSingleSession(trace, per_arrival, opt);
+  EXPECT_LE(ro.delay.max_delay(), 16);
+  EXPECT_LE(rp.delay.max_delay(), 16);
+  EXPECT_LT(ro.changes, rp.changes / 4)
+      << "the paper's algorithm should renegotiate far less often";
+}
+
+TEST(Baselines, PreconditionsThrow) {
+  EXPECT_THROW(PerArrivalAllocator(0), std::invalid_argument);
+  EXPECT_THROW(PeriodicAllocator(0, 120, 4), std::invalid_argument);
+  EXPECT_THROW(PeriodicAllocator(10, 90, 4), std::invalid_argument);
+  EXPECT_THROW(ExpSmoothingAllocator(0, 10, 4), std::invalid_argument);
+  EXPECT_THROW(ExpSmoothingAllocator(20, -1, 4), std::invalid_argument);
+  EXPECT_THROW(MakeStaticMean({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

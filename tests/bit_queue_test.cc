@@ -1,0 +1,110 @@
+#include "sim/bit_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(BitQueue, StartsEmpty) {
+  BitQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0);
+  EXPECT_EQ(q.OldestArrival(), kNoTime);
+}
+
+TEST(BitQueue, FifoDelaysRecorded) {
+  BitQueue q;
+  DelayHistogram h;
+  q.Enqueue(0, 4);
+  q.Enqueue(1, 4);
+  // Serve 4 bits/slot: slot-0 bits leave at t=1 (delay 1), slot-1 at t=2.
+  EXPECT_EQ(q.ServeSlot(1, Bandwidth::FromBitsPerSlot(4), &h), 4);
+  EXPECT_EQ(q.ServeSlot(2, Bandwidth::FromBitsPerSlot(4), &h), 4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(h.total_bits(), 8);
+  EXPECT_EQ(h.max_delay(), 1);
+  EXPECT_DOUBLE_EQ(h.MeanDelay(), 1.0);
+}
+
+TEST(BitQueue, FractionalBandwidthAccumulatesCredit) {
+  BitQueue q;
+  q.Enqueue(0, 1);
+  const Bandwidth half = Bandwidth::FromRaw(Bandwidth::kOne / 2);
+  EXPECT_EQ(q.ServeSlot(0, half, nullptr), 0);
+  EXPECT_EQ(q.ServeSlot(1, half, nullptr), 1);  // credit reaches 1.0
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BitQueue, NoCreditBankingWhileIdle) {
+  BitQueue q;
+  const Bandwidth bw = Bandwidth::FromBitsPerSlot(100);
+  // Queue empty: credits must not accumulate.
+  EXPECT_EQ(q.ServeSlot(0, bw, nullptr), 0);
+  EXPECT_EQ(q.ServeSlot(1, bw, nullptr), 0);
+  q.Enqueue(2, 250);
+  EXPECT_EQ(q.ServeSlot(2, bw, nullptr), 100);  // not 300
+}
+
+TEST(BitQueue, PartialChunkService) {
+  BitQueue q;
+  DelayHistogram h;
+  q.Enqueue(0, 10);
+  EXPECT_EQ(q.ServeSlot(0, Bandwidth::FromBitsPerSlot(3), &h), 3);
+  EXPECT_EQ(q.size(), 7);
+  EXPECT_EQ(q.OldestArrival(), 0);
+  EXPECT_EQ(q.ServeSlot(1, Bandwidth::FromBitsPerSlot(7), &h), 7);
+  EXPECT_EQ(h.max_delay(), 1);
+}
+
+TEST(BitQueue, DrainIntoPreservesStampsAndOrder) {
+  BitQueue a;
+  BitQueue b;
+  a.Enqueue(0, 5);
+  a.Enqueue(2, 5);
+  a.DrainInto(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 10);
+  EXPECT_EQ(b.OldestArrival(), 0);
+  DelayHistogram h;
+  b.ServeSlot(3, Bandwidth::FromBitsPerSlot(10), &h);
+  EXPECT_EQ(h.max_delay(), 3);   // stamp 0 preserved
+  EXPECT_EQ(h.Percentile(0.4), 1);
+}
+
+TEST(BitQueue, TakeWithoutCredits) {
+  BitQueue q;
+  q.Enqueue(0, 9);
+  EXPECT_EQ(q.Take(1, 4, nullptr), 4);
+  EXPECT_EQ(q.size(), 5);
+  EXPECT_EQ(q.Take(1, 100, nullptr), 5);
+}
+
+TEST(BitQueue, MergesSameSlotEnqueues) {
+  BitQueue q;
+  q.Enqueue(3, 2);
+  q.Enqueue(3, 2);
+  EXPECT_EQ(q.size(), 4);
+}
+
+TEST(BitQueue, RejectsNegative) {
+  BitQueue q;
+  EXPECT_THROW(q.Enqueue(0, -1), std::invalid_argument);
+  EXPECT_THROW(q.Take(0, -1, nullptr), std::invalid_argument);
+}
+
+TEST(BitQueue, ConservationUnderRandomService) {
+  BitQueue q;
+  Bits in = 0;
+  Bits out = 0;
+  for (Time t = 0; t < 200; ++t) {
+    const Bits a = (t * 7) % 13;
+    q.Enqueue(t, a);
+    in += a;
+    out += q.ServeSlot(t, Bandwidth::FromRaw((t % 5) * Bandwidth::kOne / 2),
+                       nullptr);
+    ASSERT_EQ(in, out + q.size());
+  }
+}
+
+}  // namespace
+}  // namespace bwalloc

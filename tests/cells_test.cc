@@ -1,0 +1,85 @@
+#include "net/cells.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(CellFormat, AtmDefaults) {
+  CellFormat atm;
+  EXPECT_EQ(atm.cell_bits(), 424);  // 53 bytes
+  EXPECT_EQ(atm.CellsFor(0), 0);
+  EXPECT_EQ(atm.CellsFor(1), 1);
+  EXPECT_EQ(atm.CellsFor(384), 1);
+  EXPECT_EQ(atm.CellsFor(385), 2);
+  EXPECT_EQ(atm.WireBitsFor(384), 424);
+  EXPECT_NEAR(atm.Efficiency(384), 384.0 / 424.0, 1e-12);
+}
+
+TEST(CellFormat, WireRateExpandsByHeaderRatio) {
+  CellFormat atm;
+  const Bandwidth payload = Bandwidth::FromBitsPerSlot(384);
+  EXPECT_EQ(atm.WireRateFor(payload), Bandwidth::FromBitsPerSlot(424));
+}
+
+TEST(CellFormat, ValidateRejectsBadFormats) {
+  CellFormat f;
+  f.payload_bits = 0;
+  EXPECT_THROW(f.Validate(), std::invalid_argument);
+  f = CellFormat{};
+  f.header_bits = -1;
+  EXPECT_THROW(f.Validate(), std::invalid_argument);
+}
+
+TEST(CellFramer, FlushPadsEverySlotTail) {
+  CellFramer framer(CellFormat{100, 10}, /*flush_per_slot=*/true);
+  EXPECT_EQ(framer.FrameSlot(250), 3);  // 2 full + 1 padded (50 padding)
+  EXPECT_EQ(framer.padding_bits(), 50);
+  EXPECT_EQ(framer.FrameSlot(0), 0);
+  EXPECT_EQ(framer.FrameSlot(100), 1);  // exact fit, no padding
+  EXPECT_EQ(framer.padding_bits(), 50);
+  EXPECT_EQ(framer.wire_bits(), 4 * 110);
+}
+
+TEST(CellFramer, CarryAccumulatesWithoutFlush) {
+  CellFramer framer(CellFormat{100, 10}, /*flush_per_slot=*/false);
+  EXPECT_EQ(framer.FrameSlot(250), 2);  // 50 bits carried
+  EXPECT_EQ(framer.FrameSlot(60), 1);   // 50+60 = 110 -> 1 cell + 10 carry
+  EXPECT_EQ(framer.padding_bits(), 0);
+  EXPECT_EQ(framer.cells_emitted(), 3);
+}
+
+TEST(CellFramer, EfficiencyOnRealTraffic) {
+  // Bursty traffic framed per slot: efficiency = payload / wire, strictly
+  // between the header-only bound and 1.
+  CellFramer flush(CellFormat{}, true);
+  CellFramer carry(CellFormat{}, false);
+  const auto trace = SingleSessionWorkload("pareto", 1024, 8, 2000, 5);
+  for (const Bits b : trace) {
+    flush.FrameSlot(b);
+    carry.FrameSlot(b);
+  }
+  const double header_bound = 384.0 / 424.0;
+  EXPECT_LE(flush.WireEfficiency(), header_bound + 1e-12);
+  EXPECT_GT(flush.WireEfficiency(), 0.5);
+  // Carrying residuals across slots always beats per-slot flushing.
+  EXPECT_GE(carry.WireEfficiency(), flush.WireEfficiency());
+}
+
+TEST(CellFramer, ConservationOfPayload) {
+  CellFramer framer(CellFormat{64, 8}, true);
+  Bits total = 0;
+  for (Bits b : {Bits{5}, Bits{64}, Bits{129}, Bits{0}, Bits{1000}}) {
+    framer.FrameSlot(b);
+    total += b;
+  }
+  EXPECT_EQ(framer.payload_bits(), total);
+  EXPECT_EQ(framer.wire_bits(),
+            framer.payload_bits() + framer.padding_bits() +
+                framer.cells_emitted() * 8);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,55 @@
+#include "analysis/competitive.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.h"
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(CompareSingle, AssemblesConsistentRow) {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 16;  // 2 D_O: keeps the offline comparator feasible
+  const auto trace =
+      SingleSessionWorkload("onoff", p.offline_bandwidth(),
+                            p.offline_delay(), 3000, 71);
+  SingleSessionOnline alg(p);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  opt.utilization_scan_window = p.window + 5 * p.offline_delay();
+  const SingleRunResult run = RunSingleSession(trace, alg, opt);
+
+  OfflineParams off;
+  off.max_bandwidth = p.offline_bandwidth();
+  off.delay = p.offline_delay();
+  off.utilization = p.offline_utilization();
+  off.window = p.window;
+
+  const CompetitiveRow row = CompareSingle("onoff", trace, run, off,
+                                           /*theory_bound=*/6.0,
+                                           /*delay_bound=*/p.max_delay);
+  EXPECT_EQ(row.workload, "onoff");
+  EXPECT_EQ(row.online_changes, run.changes);
+  EXPECT_GE(row.offline_lower, 0);
+  EXPECT_GE(row.offline_greedy, 0) << "suite workloads must be feasible";
+  EXPECT_GT(row.ratio_vs_lower, 0.0);
+  // Theorem 6: measured ratio within the log2(B_A) bound.
+  EXPECT_LE(row.ratio_vs_lower, row.theory_bound);
+  EXPECT_LE(row.max_delay, row.delay_bound);
+}
+
+TEST(CostModel, TradesBandwidthForChanges) {
+  CostModel free_changes{1.0, 0.0};
+  CostModel pricey_changes{1.0, 100.0};
+  EXPECT_DOUBLE_EQ(free_changes.Cost(500.0, 10), 500.0);
+  EXPECT_DOUBLE_EQ(pricey_changes.Cost(500.0, 10), 1500.0);
+}
+
+}  // namespace
+}  // namespace bwalloc

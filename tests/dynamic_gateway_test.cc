@@ -1,0 +1,111 @@
+#include "core/dynamic_gateway.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+constexpr Bits kBo = 64;
+constexpr Time kDo = 8;
+
+TEST(DynamicGateway, JoinSplitsShareEvenly) {
+  DynamicGateway gw(kBo, kDo);
+  const auto a = gw.Join();
+  const auto b = gw.Join();
+  gw.Step(0);
+  EXPECT_EQ(gw.active_sessions(), 2);
+  EXPECT_EQ(gw.TotalRegular(), Bandwidth::FromBitsPerSlot(kBo));
+  (void)a;
+  (void)b;
+}
+
+TEST(DynamicGateway, JoinReusesDrainedSlots) {
+  DynamicGateway gw(kBo, kDo);
+  const auto a = gw.Join();
+  gw.Step(0);
+  gw.Leave(a);
+  gw.Step(1);
+  const auto b = gw.Join();
+  EXPECT_EQ(b, a) << "drained slot should be recycled";
+}
+
+TEST(DynamicGateway, LeaveDrainsRemainingBacklog) {
+  DynamicGateway gw(kBo, kDo);
+  const auto a = gw.Join();
+  const auto b = gw.Join();
+  (void)b;
+  gw.Step(0);
+  gw.Arrive(1, a, 100);
+  gw.Step(1);
+  gw.Leave(a);
+  // The departed session's 100 bits (minus what slot 1 served) must still
+  // be delivered within D_O of the leave-reset.
+  for (Time t = 2; t < 2 + 2 * kDo; ++t) gw.Step(t);
+  EXPECT_EQ(gw.queued_bits(), 0);
+  EXPECT_EQ(gw.delay().total_bits(), 100);
+  EXPECT_THROW(gw.Arrive(20, a, 1), std::invalid_argument);
+}
+
+TEST(DynamicGateway, MembershipChangesAreResets) {
+  DynamicGateway gw(kBo, kDo);
+  const auto a = gw.Join();
+  (void)a;
+  gw.Step(0);
+  const auto b = gw.Join();
+  gw.Step(1);
+  EXPECT_EQ(gw.membership_resets(), 1);
+  gw.Leave(b);
+  gw.Step(2);
+  EXPECT_EQ(gw.membership_resets(), 2);
+}
+
+TEST(DynamicGateway, DelayBoundUnderChurn) {
+  Rng rng(7);
+  DynamicGateway gw(kBo, kDo);
+  std::vector<std::int64_t> active;
+  for (int i = 0; i < 4; ++i) active.push_back(gw.Join());
+
+  Bits sent = 0;
+  for (Time t = 0; t < 4000; ++t) {
+    // Feasible-ish load: ~60% of B_O across active sessions.
+    const double per =
+        0.6 * static_cast<double>(kBo) /
+        static_cast<double>(active.size());
+    for (const std::int64_t s : active) {
+      const Bits in = rng.Poisson(per);
+      gw.Arrive(t, s, in);
+      sent += in;
+    }
+    // Churn: occasional join/leave.
+    if (rng.Bernoulli(0.005) && active.size() > 2) {
+      gw.Leave(active.back());
+      active.pop_back();
+    } else if (rng.Bernoulli(0.005) && active.size() < 8) {
+      active.push_back(gw.Join());
+    }
+    gw.Step(t);
+  }
+  for (Time t = 4000; t < 4000 + 4 * kDo; ++t) gw.Step(t);
+
+  EXPECT_EQ(gw.queued_bits(), 0);
+  EXPECT_EQ(gw.delay().total_bits(), sent);
+  // Membership resets restart the phase clock, which can stretch a bit's
+  // service by one extra phase: allow 3 D_O under churn.
+  EXPECT_LE(gw.delay().max_delay(), 3 * kDo);
+  EXPECT_GT(gw.membership_resets(), 0);
+}
+
+TEST(DynamicGateway, PreconditionsThrow) {
+  EXPECT_THROW(DynamicGateway(0, 1), std::invalid_argument);
+  EXPECT_THROW(DynamicGateway(1, 0), std::invalid_argument);
+  DynamicGateway gw(kBo, kDo);
+  EXPECT_THROW(gw.Leave(0), std::out_of_range);
+  const auto a = gw.Join();
+  gw.Leave(a);
+  EXPECT_THROW(gw.Leave(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

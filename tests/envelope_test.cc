@@ -1,0 +1,81 @@
+#include "util/envelope.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(MaxSlopeEnvelope, SinglePoint) {
+  MaxSlopeEnvelope env;
+  env.Append(0, 0);
+  EXPECT_EQ(env.MaxSlopeTo(4, 8), Ratio(2, 1));
+}
+
+TEST(MaxSlopeEnvelope, PicksSteepestPoint) {
+  MaxSlopeEnvelope env;
+  env.Append(0, 0);
+  env.Append(1, 1);
+  env.Append(2, 6);
+  // Query from (3, 7): slopes 7/3, 6/2=3, 1/1=1 -> max is 3.
+  EXPECT_EQ(env.MaxSlopeTo(3, 7), Ratio(3, 1));
+}
+
+TEST(MaxSlopeEnvelope, HullDropsDominatedPoints) {
+  MaxSlopeEnvelope env;
+  env.Append(0, 0);
+  env.Append(1, 5);  // above the chord (0,0)-(2,6): dominated for max-slope
+  env.Append(2, 6);
+  EXPECT_EQ(env.hull_size(), 2u);
+  // Still answers correctly: from (3, 6): slopes 2, 6, 0 -> but (1,5) was
+  // dominated... check against naive.
+  const std::vector<EnvelopePoint> pts = {{0, 0}, {1, 5}, {2, 6}};
+  EXPECT_EQ(env.MaxSlopeTo(3, 6), NaiveMaxSlope(pts, 3, 6));
+}
+
+TEST(MaxSlopeEnvelope, RequiresQueryRightOfPoints) {
+  MaxSlopeEnvelope env;
+  env.Append(5, 3);
+  EXPECT_THROW(env.MaxSlopeTo(5, 10), std::invalid_argument);
+  EXPECT_THROW(env.MaxSlopeTo(6, 2), std::invalid_argument);
+}
+
+TEST(MaxSlopeEnvelope, RejectsBadAppends) {
+  MaxSlopeEnvelope env;
+  env.Append(2, 2);
+  EXPECT_THROW(env.Append(2, 3), std::invalid_argument);
+  EXPECT_THROW(env.Append(3, 1), std::invalid_argument);
+}
+
+// Property test: the hull + binary search agrees with the naive scan on
+// random prefix-sum-like inputs, queried the way LowTracker queries it.
+TEST(MaxSlopeEnvelope, MatchesNaiveOnRandomPrefixSums) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    MaxSlopeEnvelope env;
+    std::vector<EnvelopePoint> pts;
+    std::int64_t y = 0;
+    const std::int64_t d_o = rng.UniformInt(1, 10);
+    for (std::int64_t x = 0; x < 300; ++x) {
+      env.Append(x, y);
+      pts.push_back({x, y});
+      const Ratio fast = env.MaxSlopeTo(x + d_o, y);
+      const Ratio slow = NaiveMaxSlope(pts, x + d_o, y);
+      ASSERT_EQ(fast, slow) << "seed=" << seed << " x=" << x;
+      // Bursty increments: mostly zero, occasionally large.
+      y += rng.Bernoulli(0.2) ? rng.UniformInt(0, 200) : 0;
+    }
+  }
+}
+
+TEST(MaxSlopeEnvelope, HullStaysSmallOnLinearInput) {
+  MaxSlopeEnvelope env;
+  for (std::int64_t x = 0; x < 1000; ++x) env.Append(x, 3 * x);
+  // Collinear points collapse onto the two endpoints.
+  EXPECT_LE(env.hull_size(), 2u);
+}
+
+}  // namespace
+}  // namespace bwalloc

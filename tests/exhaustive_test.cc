@@ -1,0 +1,93 @@
+// Validates the greedy offline scheduler against exhaustive search on tiny
+// instances: greedy must always be feasible when some segmentation is, and
+// its piece count must match the exhaustive optimum (longest-feasible-prefix
+// with the maximal-rate policy is optimal among piecewise-constant
+// schedules of this family).
+#include "offline/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "offline/offline_single.h"
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+OfflineParams TinyParams(bool with_util) {
+  OfflineParams p;
+  p.max_bandwidth = 8;
+  p.delay = 2;
+  if (with_util) {
+    p.utilization = Ratio(1, 2);
+    p.window = 4;  // W = 2 D_O; W = D_O starves burst tails (DESIGN.md)
+  }
+  return p;
+}
+
+TEST(Exhaustive, KnownTinyCases) {
+  // Steady low traffic: one piece.
+  EXPECT_EQ(MinPiecesExhaustive({2, 2, 2, 2, 2, 2}, TinyParams(false)), 1);
+  // Infeasible: burst beyond (1 + D_O) * B_O = 24.
+  EXPECT_EQ(MinPiecesExhaustive({25}, TinyParams(false)), -1);
+  // Feasible at the boundary.
+  EXPECT_GE(MinPiecesExhaustive({24}, TinyParams(false)), 1);
+}
+
+TEST(Exhaustive, UtilizationForcesSplit) {
+  // Busy then silent: with U_O = 1/2, one constant piece covering both
+  // regions violates either delay (too low) or utilization (too high).
+  const std::vector<Bits> trace = {6, 6, 6, 6, 0, 0, 0, 0, 0, 0};
+  const std::int64_t pieces =
+      MinPiecesExhaustive(trace, TinyParams(true));
+  EXPECT_GE(pieces, 2);
+}
+
+class GreedyVsExhaustive
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(GreedyVsExhaustive, GreedyMatchesOptimum) {
+  const auto& [seed, with_util] = GetParam();
+  Rng rng(seed);
+  const OfflineParams params = TinyParams(with_util);
+  for (int instance = 0; instance < 60; ++instance) {
+    std::vector<Bits> trace;
+    const int len = static_cast<int>(rng.UniformInt(1, 10));
+    for (int t = 0; t < len; ++t) {
+      trace.push_back(rng.Bernoulli(0.55) ? rng.UniformInt(0, 10) : 0);
+    }
+    const std::int64_t best = MinPiecesExhaustive(trace, params);
+    const OfflineSchedule greedy = GreedyMinChangeSchedule(
+        trace, params, GreedyRatePolicy::kMaximal, SearchEffort::kExact);
+    if (best < 0) {
+      EXPECT_FALSE(greedy.feasible)
+          << "greedy found a schedule where none exists";
+      continue;
+    }
+    ASSERT_TRUE(greedy.feasible)
+        << "greedy failed on a feasible instance";
+    EXPECT_TRUE(greedy.proven_optimal);
+    EXPECT_EQ(static_cast<std::int64_t>(greedy.pieces.size()), best)
+        << "instance " << instance;
+    // And the stage lower bound is consistent: lb + 1 <= pieces.
+    const std::int64_t lb = EnvelopeStageLowerBound(trace, params);
+    EXPECT_LE(lb + 1, best + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, GreedyVsExhaustive,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, bool>>& pi) {
+      return "seed" + std::to_string(std::get<0>(pi.param)) +
+             (std::get<1>(pi.param) ? "_util" : "_delayonly");
+    });
+
+TEST(Exhaustive, RejectsLargeHorizon) {
+  OfflineParams p = TinyParams(false);
+  EXPECT_THROW(MinPiecesExhaustive(std::vector<Bits>(30, 1), p),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

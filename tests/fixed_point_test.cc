@@ -1,0 +1,89 @@
+#include "util/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(Bandwidth, DefaultIsZero) {
+  Bandwidth b;
+  EXPECT_TRUE(b.is_zero());
+  EXPECT_EQ(b.raw(), 0);
+  EXPECT_EQ(b.FloorBits(), 0);
+}
+
+TEST(Bandwidth, FromBitsPerSlotRoundTrips) {
+  const Bandwidth b = Bandwidth::FromBitsPerSlot(1234);
+  EXPECT_EQ(b.FloorBits(), 1234);
+  EXPECT_EQ(b.CeilBits(), 1234);
+  EXPECT_DOUBLE_EQ(b.ToDouble(), 1234.0);
+}
+
+TEST(Bandwidth, FloorDivRoundsDown) {
+  // 10 bits over 3 slots = 3.333... bits/slot.
+  const Bandwidth b = Bandwidth::FloorDiv(10, 3);
+  EXPECT_EQ(b.FloorBits(), 3);
+  EXPECT_LT(b.ToDouble(), 10.0 / 3.0 + 1e-9);
+  EXPECT_GT(b.ToDouble(), 10.0 / 3.0 - 1e-4);
+}
+
+TEST(Bandwidth, CeilDivRoundsUp) {
+  const Bandwidth b = Bandwidth::CeilDiv(10, 3);
+  EXPECT_GE(b.ToDouble(), 10.0 / 3.0);
+  // Ceiling guarantee: b * slots >= bits.
+  EXPECT_GE(b.BitsOver(3), 10);
+}
+
+TEST(Bandwidth, CeilDivExactWhenDivisible) {
+  const Bandwidth b = Bandwidth::CeilDiv(12, 3);
+  EXPECT_EQ(b, Bandwidth::FromBitsPerSlot(4));
+}
+
+TEST(Bandwidth, BitsOverAccumulates) {
+  const Bandwidth third = Bandwidth::FloorDiv(1, 3);
+  // floor semantics: slightly under 1/3 per slot.
+  EXPECT_EQ(third.BitsOver(3), 0);
+  EXPECT_EQ(Bandwidth::CeilDiv(1, 3).BitsOver(3), 1);
+}
+
+TEST(Bandwidth, ArithmeticAndComparison) {
+  const Bandwidth a = Bandwidth::FromBitsPerSlot(5);
+  const Bandwidth b = Bandwidth::FromBitsPerSlot(3);
+  EXPECT_EQ((a + b).FloorBits(), 8);
+  EXPECT_EQ((a - b).FloorBits(), 2);
+  EXPECT_EQ((a * 4).FloorBits(), 20);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a / 5, Bandwidth::FromBitsPerSlot(1));
+}
+
+TEST(Bandwidth, DivisionByKPreservesBudget) {
+  // k * (B/k) <= B with floor division — the multi-session share property.
+  for (std::int64_t k = 1; k <= 17; ++k) {
+    const Bandwidth b = Bandwidth::FromBitsPerSlot(100);
+    const Bandwidth share = b / k;
+    EXPECT_LE((share * k).raw(), b.raw()) << "k=" << k;
+    // and the loss is less than k raw units
+    EXPECT_GT((share * k).raw(), b.raw() - k) << "k=" << k;
+  }
+}
+
+TEST(Bandwidth, PreconditionsThrow) {
+  EXPECT_THROW(Bandwidth::FloorDiv(-1, 3), std::invalid_argument);
+  EXPECT_THROW(Bandwidth::FloorDiv(1, 0), std::invalid_argument);
+  EXPECT_THROW(Bandwidth::CeilDiv(1, -2), std::invalid_argument);
+  EXPECT_THROW(Bandwidth::FromDouble(-0.5), std::invalid_argument);
+  EXPECT_THROW(Bandwidth::FromBitsPerSlot(1) / 0, std::invalid_argument);
+}
+
+TEST(Bandwidth, FromDoubleRounds) {
+  EXPECT_EQ(Bandwidth::FromDouble(2.0), Bandwidth::FromBitsPerSlot(2));
+  const Bandwidth half = Bandwidth::FromDouble(0.5);
+  EXPECT_EQ(half.raw(), Bandwidth::kOne / 2);
+}
+
+TEST(Bandwidth, ToStringShowsFraction) {
+  EXPECT_EQ(Bandwidth::FromDouble(2.5).ToString(), "2.5000");
+}
+
+}  // namespace
+}  // namespace bwalloc

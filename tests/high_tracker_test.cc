@@ -1,0 +1,91 @@
+#include "core/high_tracker.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+// Brute-force high(t): (1/(U_O W)) * min over t' in [ts+W, t] of the sum of
+// arrivals in slots t'-W+1 .. t'.
+Ratio BruteHigh(const std::vector<Bits>& arrivals, Time ts, Time t, Time w,
+                const Ratio& u_o, Bits max_bw) {
+  if (t < ts + w) return Ratio(max_bw, 1);
+  Bits min_sum = -1;
+  for (Time tp = ts + w; tp <= t; ++tp) {
+    Bits sum = 0;
+    for (Time s = tp - w + 1; s <= tp; ++s) {
+      sum += arrivals[static_cast<std::size_t>(s - ts)];
+    }
+    if (min_sum < 0 || sum < min_sum) min_sum = sum;
+  }
+  return Ratio(min_sum * u_o.den(), u_o.num() * w);
+}
+
+TEST(HighTracker, UnboundedBeforeFullWindow) {
+  HighTracker ht(5, Ratio(1, 2), 128);
+  ht.StartStage(0);
+  for (Time t = 0; t < 5; ++t) {
+    ht.RecordArrivals(t, 100);
+    EXPECT_FALSE(ht.Bounded());
+    EXPECT_EQ(ht.HighAt(), Ratio(128, 1));
+  }
+  ht.RecordArrivals(5, 100);
+  EXPECT_TRUE(ht.Bounded());
+}
+
+TEST(HighTracker, FirstWindowExcludesStageStartSlot) {
+  // W = 2, U_O = 1. Stage starts at 0 with a large slot-0 burst that must
+  // not appear in any high window (windows are (t'-W, t'] with t' >= ts+W).
+  HighTracker ht(2, Ratio(1, 1), 1000);
+  ht.StartStage(0);
+  ht.RecordArrivals(0, 500);
+  ht.RecordArrivals(1, 3);
+  ht.RecordArrivals(2, 5);
+  // First bounded value at t=2: window slots {1,2} = 8; high = 8/(1*2) = 4.
+  EXPECT_EQ(ht.HighAt(), Ratio(8, 2));
+}
+
+TEST(HighTracker, RunningMinNotSliding) {
+  HighTracker ht(1, Ratio(1, 1), 1000);
+  ht.StartStage(0);
+  ht.RecordArrivals(0, 9);
+  ht.RecordArrivals(1, 2);  // window {1}: sum 2 -> high 2
+  ht.RecordArrivals(2, 50); // window {2}: sum 50, but min stays 2
+  EXPECT_EQ(ht.HighAt(), Ratio(2, 1));
+}
+
+TEST(HighTracker, MatchesBruteForceOnRandomTraces) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Time w = rng.UniformInt(1, 8);
+    const Ratio u_o(1, rng.UniformInt(1, 4));
+    const Time ts = rng.UniformInt(0, 9);
+    HighTracker ht(w, u_o, 256);
+    ht.StartStage(ts);
+    std::vector<Bits> arrivals;
+    for (Time t = ts; t < ts + 60; ++t) {
+      const Bits in = rng.Bernoulli(0.5) ? rng.UniformInt(0, 20) : 0;
+      arrivals.push_back(in);
+      ht.RecordArrivals(t, in);
+      ASSERT_EQ(ht.HighAt(), BruteHigh(arrivals, ts, t, w, u_o, 256))
+          << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(HighTracker, StartStageResets) {
+  HighTracker ht(1, Ratio(1, 1), 64);
+  ht.StartStage(0);
+  ht.RecordArrivals(0, 0);
+  ht.RecordArrivals(1, 0);
+  EXPECT_EQ(ht.HighAt(), Ratio(0, 1));  // zero window recorded
+  ht.StartStage(7);
+  EXPECT_FALSE(ht.Bounded());
+  EXPECT_EQ(ht.HighAt(), Ratio(64, 1));
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,55 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(DelayHistogram, EmptyDefaults) {
+  DelayHistogram h;
+  EXPECT_EQ(h.total_bits(), 0);
+  EXPECT_EQ(h.max_delay(), 0);
+  EXPECT_EQ(h.Percentile(0.99), 0);
+  EXPECT_DOUBLE_EQ(h.MeanDelay(), 0.0);
+}
+
+TEST(DelayHistogram, BitWeightedStats) {
+  DelayHistogram h;
+  h.Record(0, 70);
+  h.Record(10, 30);
+  EXPECT_EQ(h.total_bits(), 100);
+  EXPECT_EQ(h.max_delay(), 10);
+  EXPECT_DOUBLE_EQ(h.MeanDelay(), 3.0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Percentile(0.7), 0);
+  EXPECT_EQ(h.Percentile(0.71), 10);
+  EXPECT_EQ(h.Percentile(1.0), 10);
+}
+
+TEST(DelayHistogram, ZeroBitsIgnored) {
+  DelayHistogram h;
+  h.Record(5, 0);
+  EXPECT_EQ(h.total_bits(), 0);
+  EXPECT_EQ(h.max_delay(), 0);
+}
+
+TEST(DelayHistogram, Merge) {
+  DelayHistogram a;
+  DelayHistogram b;
+  a.Record(1, 10);
+  b.Record(3, 10);
+  a.Merge(b);
+  EXPECT_EQ(a.total_bits(), 20);
+  EXPECT_EQ(a.max_delay(), 3);
+  EXPECT_DOUBLE_EQ(a.MeanDelay(), 2.0);
+}
+
+TEST(DelayHistogram, PreconditionsThrow) {
+  DelayHistogram h;
+  EXPECT_THROW(h.Record(-1, 5), std::invalid_argument);
+  EXPECT_THROW(h.Record(1, -5), std::invalid_argument);
+  EXPECT_THROW(h.Percentile(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,62 @@
+#include "analysis/holding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+std::vector<Bandwidth> Alloc(std::initializer_list<std::int64_t> bits) {
+  std::vector<Bandwidth> v;
+  for (const std::int64_t b : bits) v.push_back(Bandwidth::FromBitsPerSlot(b));
+  return v;
+}
+
+TEST(HoldingTimeStats, SplitsRuns) {
+  // Runs: 4,4,4 | 8 | 0,0 -> lengths {3, 1, 2}.
+  const HoldingTimeStats h(Alloc({4, 4, 4, 8, 0, 0}));
+  EXPECT_EQ(h.holdings(), 3);
+  EXPECT_EQ(h.MinHolding(), 1);
+  EXPECT_EQ(h.MaxHolding(), 3);
+  EXPECT_DOUBLE_EQ(h.MeanHolding(), 2.0);
+  EXPECT_EQ(h.Percentile(0.5), 2);
+}
+
+TEST(HoldingTimeStats, SingleRun) {
+  const HoldingTimeStats h(Alloc({5, 5, 5, 5}));
+  EXPECT_EQ(h.holdings(), 1);
+  EXPECT_EQ(h.MaxHolding(), 4);
+}
+
+TEST(HoldingTimeStats, EmptyTrace) {
+  const HoldingTimeStats h(std::vector<Bandwidth>{});
+  EXPECT_EQ(h.holdings(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.MeanHolding(), 0.0);
+}
+
+TEST(HoldingTimeStats, ConsistentWithChangeCount) {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  SingleSessionOnline alg(p);
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 3000, 66);
+  SingleEngineOptions opt;
+  opt.record_allocation_trace = true;
+  opt.drain_slots = 32;
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+  const HoldingTimeStats h(r.allocation_trace);
+  // #holdings = #transitions + 1.
+  EXPECT_EQ(h.holdings(), r.changes + 1);
+  // Mean holding * holdings = horizon.
+  EXPECT_NEAR(h.MeanHolding() * static_cast<double>(h.holdings()),
+              static_cast<double>(r.horizon), 0.5);
+}
+
+}  // namespace
+}  // namespace bwalloc

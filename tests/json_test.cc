@@ -1,0 +1,98 @@
+#include "analysis/json.h"
+
+#include <gtest/gtest.h>
+
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(JsonWriter, ComposesNestedStructures) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("delay");
+  w.Value(3);
+  w.Key("ratio");
+  w.Value(2.5);
+  w.Key("ok");
+  w.Value(true);
+  w.Key("tags");
+  w.BeginArray();
+  w.Value("a");
+  w.Value("b");
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("x");
+  w.Value(std::int64_t{-7});
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"delay":3,"ratio":2.5,"ok":true,"tags":["a","b"],)"
+            R"("nested":{"x":-7}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value("he said \"hi\"\n");
+  w.Value(std::string("tab\there"));
+  w.EndArray();
+  EXPECT_EQ(w.str(), R"(["he said \"hi\"\n","tab\there"])");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("empty_array");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("empty_object");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"empty_array":[],"empty_object":{}})");
+}
+
+TEST(ToJson, SingleRunRoundTripsKeyFields) {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  SingleSessionOnline alg(p);
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 1000, 12);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+  const std::string json = ToJson(r);
+  EXPECT_NE(json.find("\"changes\":" + std::to_string(r.changes)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stages\":" + std::to_string(r.stages)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"delay\":{"), std::string::npos);
+  // Balanced braces (crude well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ToJson, ScheduleListsPieces) {
+  OfflineSchedule s;
+  s.feasible = true;
+  s.horizon = 4;
+  s.pieces = {{0, Bandwidth::FromBitsPerSlot(2)},
+              {2, Bandwidth::FromBitsPerSlot(5)}};
+  const std::string json = ToJson(s);
+  EXPECT_NE(json.find(R"("pieces":[{"start":0,"bandwidth":2},)"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"({"start":2,"bandwidth":5}])"), std::string::npos);
+  EXPECT_NE(json.find(R"("changes":1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,107 @@
+#include "core/low_tracker.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+// Brute-force low(t) per the paper's definition:
+//   max over t' in [ts, t], w in [0, t'-ts] of IN[t'-w, t') / (w + D_O).
+Ratio BruteLow(const std::vector<Bits>& arrivals, Time ts, Time t, Time d_o) {
+  Ratio best(0, 1);
+  for (Time tp = ts; tp <= t; ++tp) {
+    for (Time w = 0; w <= tp - ts; ++w) {
+      Bits in = 0;
+      for (Time s = tp - w; s < tp; ++s) {
+        in += arrivals[static_cast<std::size_t>(s - ts)];
+      }
+      const Ratio r(in, w + d_o);
+      if (best < r) best = r;
+    }
+  }
+  return best;
+}
+
+TEST(LowTracker, ZeroWhileNoArrivals) {
+  LowTracker lt(4);
+  lt.StartStage(10);
+  for (Time t = 10; t < 20; ++t) {
+    EXPECT_TRUE(lt.LowAt(t).is_zero());
+    lt.RecordArrivals(0);
+  }
+}
+
+TEST(LowTracker, SingleBurst) {
+  // D_O = 2; burst of 12 bits at slot 0 (stage-relative).
+  LowTracker lt(2);
+  lt.StartStage(0);
+  EXPECT_TRUE(lt.LowAt(0).is_zero());  // excludes slot-0 arrivals
+  lt.RecordArrivals(12);
+  // t=1: window w=1 ending at 1 holds 12 bits: low = 12/(1+2) = 4.
+  EXPECT_EQ(lt.LowAt(1), Ratio(12, 3));
+  lt.RecordArrivals(0);
+  // t=2: w=2 window: 12/(2+2)=3 < 4; low stays 4 (running max).
+  EXPECT_EQ(lt.LowAt(2), Ratio(4, 1));
+}
+
+TEST(LowTracker, MonotoneNonDecreasing) {
+  Rng rng(5);
+  LowTracker lt(3);
+  lt.StartStage(0);
+  Ratio prev(0, 1);
+  for (Time t = 0; t < 300; ++t) {
+    const Ratio low = lt.LowAt(t);
+    EXPECT_LE(prev, low);
+    prev = low;
+    lt.RecordArrivals(rng.Bernoulli(0.3) ? rng.UniformInt(0, 40) : 0);
+  }
+}
+
+TEST(LowTracker, MatchesBruteForceOnRandomTraces) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Time d_o = rng.UniformInt(1, 6);
+    const Time ts = rng.UniformInt(0, 50);
+    LowTracker lt(d_o);
+    lt.StartStage(ts);
+    std::vector<Bits> arrivals;
+    for (Time t = ts; t < ts + 80; ++t) {
+      const Ratio fast = lt.LowAt(t);
+      const Ratio slow = BruteLow(arrivals, ts, t, d_o);
+      ASSERT_EQ(fast, slow) << "seed=" << seed << " t=" << t;
+      const Bits in = rng.Bernoulli(0.4) ? rng.UniformInt(0, 30) : 0;
+      arrivals.push_back(in);
+      lt.RecordArrivals(in);
+    }
+  }
+}
+
+TEST(LowTracker, StartStageResets) {
+  LowTracker lt(2);
+  lt.StartStage(0);
+  lt.LowAt(0);
+  lt.RecordArrivals(100);
+  EXPECT_FALSE(lt.LowAt(1).is_zero());
+  lt.RecordArrivals(0);
+  lt.StartStage(5);
+  EXPECT_TRUE(lt.LowAt(5).is_zero());
+}
+
+TEST(LowTracker, LowerBoundsOfflineFeasibleBandwidth) {
+  // Check the semantic claim: a constant bandwidth below low(t) cannot
+  // serve every window within D_O. Take the argmax window explicitly.
+  LowTracker lt(2);
+  lt.StartStage(0);
+  lt.LowAt(0);
+  lt.RecordArrivals(10);
+  const Ratio low = lt.LowAt(1);  // 10 bits must leave within w+D_O=3 slots
+  EXPECT_EQ(low, Ratio(10, 3));
+  // bandwidth 3 < 10/3 serves at most 9 bits in 3 slots < 10.
+  EXPECT_LT(Ratio(3, 1), low);
+}
+
+}  // namespace
+}  // namespace bwalloc

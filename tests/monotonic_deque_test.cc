@@ -1,0 +1,72 @@
+#include "util/monotonic_deque.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(RunningExtreme, TracksMinAndMax) {
+  RunningMin<int> mn;
+  RunningMax<int> mx;
+  EXPECT_FALSE(mn.has_value());
+  for (int v : {5, 3, 9, 3, 7}) {
+    mn.Push(v);
+    mx.Push(v);
+  }
+  EXPECT_EQ(mn.value(), 3);
+  EXPECT_EQ(mx.value(), 9);
+  mn.Reset();
+  EXPECT_FALSE(mn.has_value());
+}
+
+TEST(SlidingWindowMin, MatchesNaiveOnRandomInput) {
+  Rng rng(42);
+  const Time kWindow = 7;
+  std::vector<std::int64_t> values;
+  SlidingWindowMin<std::int64_t> win;
+  for (Time t = 0; t < 500; ++t) {
+    const std::int64_t v = rng.UniformInt(0, 100);
+    values.push_back(v);
+    win.Push(t, v);
+    win.Evict(t - kWindow + 1);
+    std::int64_t expect = values[static_cast<std::size_t>(
+        std::max<Time>(0, t - kWindow + 1))];
+    for (Time s = std::max<Time>(0, t - kWindow + 1); s <= t; ++s) {
+      expect = std::min(expect, values[static_cast<std::size_t>(s)]);
+    }
+    ASSERT_EQ(win.Extreme(), expect) << "t=" << t;
+  }
+}
+
+TEST(SlidingWindowMax, MatchesNaiveOnRandomInput) {
+  Rng rng(43);
+  const Time kWindow = 5;
+  std::vector<std::int64_t> values;
+  SlidingWindowMax<std::int64_t> win;
+  for (Time t = 0; t < 500; ++t) {
+    const std::int64_t v = rng.UniformInt(-50, 50);
+    values.push_back(v);
+    win.Push(t, v);
+    win.Evict(t - kWindow + 1);
+    std::int64_t expect = values[static_cast<std::size_t>(
+        std::max<Time>(0, t - kWindow + 1))];
+    for (Time s = std::max<Time>(0, t - kWindow + 1); s <= t; ++s) {
+      expect = std::max(expect, values[static_cast<std::size_t>(s)]);
+    }
+    ASSERT_EQ(win.Extreme(), expect) << "t=" << t;
+  }
+}
+
+TEST(SlidingWindowMin, RejectsNonIncreasingIndices) {
+  SlidingWindowMin<int> win;
+  win.Push(3, 1);
+  EXPECT_THROW(win.Push(3, 2), std::invalid_argument);
+  EXPECT_THROW(win.Push(2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

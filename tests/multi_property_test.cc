@@ -1,0 +1,97 @@
+// Property sweep for Theorems 14 and 17: across workload kinds, session
+// counts, disciplines and both algorithms, the multi-session guarantees
+// must hold — delay <= 2 D_O, resource budgets, conservation, and the
+// stage-normalized change budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/multi_continuous.h"
+#include "core/multi_phased.h"
+#include "sim/engine_multi.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+// (algorithm, workload kind, k, fifo)
+using ParamTuple = std::tuple<std::string, MultiWorkloadKind, std::int64_t,
+                              bool>;
+
+class MultiProperty : public ::testing::TestWithParam<ParamTuple> {};
+
+TEST_P(MultiProperty, GuaranteesHold) {
+  const auto& [algo, kind, k, fifo] = GetParam();
+  MultiSessionParams p;
+  p.sessions = k;
+  p.offline_bandwidth = 16 * k;  // keep per-session share constant
+  p.offline_delay = 8;
+
+  const ServiceDiscipline discipline = fifo
+                                           ? ServiceDiscipline::kFifoCombined
+                                           : ServiceDiscipline::kTwoChannel;
+  std::unique_ptr<MultiSessionSystem> sys;
+  double overflow_budget = 0;
+  if (algo == "phased") {
+    sys = std::make_unique<PhasedMulti>(p, discipline);
+    overflow_budget = 2.0 * static_cast<double>(p.offline_bandwidth);
+  } else {
+    sys = std::make_unique<ContinuousMulti>(p, discipline);
+    overflow_budget = 3.0 * static_cast<double>(p.offline_bandwidth);
+  }
+
+  const auto traces = MultiSessionWorkload(kind, k, p.offline_bandwidth,
+                                           p.offline_delay, 4000,
+                                           17 + static_cast<std::uint64_t>(k));
+  MultiEngineOptions opt;
+  opt.drain_slots = 4 * p.offline_delay;
+  const MultiRunResult r = RunMultiSession(traces, *sys, opt);
+
+  // Conservation.
+  EXPECT_EQ(r.total_arrivals, r.total_delivered + r.final_queue);
+  EXPECT_EQ(r.final_queue, 0);
+
+  // Lemma 11 / Lemma 15: delay <= D_A = 2 D_O.
+  EXPECT_LE(r.delay.max_delay(), 2 * p.offline_delay);
+
+  // Resource budgets (regular channel may transiently hold the boundary
+  // slot's k increments before the reset fires).
+  EXPECT_LE(r.peak_regular_allocation.ToDouble(),
+            2.0 * static_cast<double>(p.offline_bandwidth) +
+                static_cast<double>(p.offline_bandwidth) + 1e-6);
+  EXPECT_LE(r.peak_overflow_allocation.ToDouble(), overflow_budget + 1e-6);
+
+  // Declared total bandwidth never changes (Theorem 14/17 count only the
+  // per-session changes).
+  EXPECT_EQ(r.global_changes, 0);
+
+  // Change budget: O(k) per stage.
+  const double per_stage = 4.0 * static_cast<double>(k) + 6.0;
+  EXPECT_LE(static_cast<double>(r.local_changes),
+            per_stage * static_cast<double>(r.stages + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiProperty,
+    ::testing::Combine(
+        ::testing::Values("phased", "continuous"),
+        ::testing::Values(MultiWorkloadKind::kBalanced,
+                          MultiWorkloadKind::kRotatingHotspot,
+                          MultiWorkloadKind::kChurn,
+                          MultiWorkloadKind::kSkewed),
+        ::testing::Values<std::int64_t>(2, 5, 8),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ParamTuple>& pinfo) {
+      std::string kind = ToString(std::get<1>(pinfo.param));
+      for (char& c : kind) {
+        if (c == '-') c = '_';
+      }
+      return std::get<0>(pinfo.param) + "_" + kind + "_k" +
+             std::to_string(std::get<2>(pinfo.param)) +
+             (std::get<3>(pinfo.param) ? "_fifo" : "_twochannel");
+    });
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,67 @@
+#include "offline/offline_multi.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(GreedyMultiSchedule, BalancedLoadNeedsFewSegments) {
+  const auto traces =
+      MultiSessionWorkload(MultiWorkloadKind::kBalanced, 4, 64, 8, 3000, 51);
+  const MultiOfflineSchedule s = GreedyMultiSchedule(traces, 64, 8);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.segments(), 4);
+  const MultiScheduleCheck check = ValidateMultiSchedule(traces, s, 64);
+  EXPECT_LE(check.max_delay, 8);
+  EXPECT_EQ(check.final_queue, 0);
+  EXPECT_TRUE(check.within_budget);
+}
+
+TEST(GreedyMultiSchedule, RotatingHotspotNeedsReallocation) {
+  const auto traces = MultiSessionWorkload(MultiWorkloadKind::kRotatingHotspot,
+                                           4, 64, 8, 6000, 52);
+  const MultiOfflineSchedule s = GreedyMultiSchedule(traces, 64, 8);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_GE(s.segments(), 2)
+      << "shifting hotspots should defeat one static split";
+  EXPECT_GE(s.local_changes(), s.segments() - 1);
+  const MultiScheduleCheck check = ValidateMultiSchedule(traces, s, 64);
+  EXPECT_LE(check.max_delay, 8);
+  EXPECT_EQ(check.final_queue, 0);
+  EXPECT_TRUE(check.within_budget);
+}
+
+TEST(GreedyMultiSchedule, AllKindsFeasibleAndOnTime) {
+  for (const MultiWorkloadKind kind :
+       {MultiWorkloadKind::kBalanced, MultiWorkloadKind::kRotatingHotspot,
+        MultiWorkloadKind::kChurn, MultiWorkloadKind::kSkewed}) {
+    SCOPED_TRACE(ToString(kind));
+    const auto traces = MultiSessionWorkload(kind, 6, 60, 8, 3000, 53);
+    const MultiOfflineSchedule s = GreedyMultiSchedule(traces, 60, 8);
+    ASSERT_TRUE(s.feasible);
+    const MultiScheduleCheck check = ValidateMultiSchedule(traces, s, 60);
+    EXPECT_LE(check.max_delay, 8);
+    EXPECT_EQ(check.final_queue, 0);
+    EXPECT_TRUE(check.within_budget);
+  }
+}
+
+TEST(GreedyMultiSchedule, SingleSegmentForSilence) {
+  const std::vector<std::vector<Bits>> traces(3, std::vector<Bits>(100, 0));
+  const MultiOfflineSchedule s = GreedyMultiSchedule(traces, 30, 4);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.segments(), 1);
+  EXPECT_EQ(s.local_changes(), 0);
+}
+
+TEST(GreedyMultiSchedule, RejectsBadInput) {
+  EXPECT_THROW(GreedyMultiSchedule({}, 10, 2), std::invalid_argument);
+  const std::vector<std::vector<Bits>> mismatched = {{1, 2}, {1}};
+  EXPECT_THROW(GreedyMultiSchedule(mismatched, 10, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

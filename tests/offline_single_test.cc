@@ -1,0 +1,159 @@
+#include "offline/offline_single.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+OfflineParams DelayOnly() {
+  OfflineParams p;
+  p.max_bandwidth = 16;
+  p.delay = 4;
+  return p;
+}
+
+OfflineParams WithUtil() {
+  OfflineParams p = DelayOnly();
+  p.utilization = Ratio(1, 2);
+  // W must sit comfortably above D_O: serving a burst's tail spills
+  // allocation up to D_O past the last arrival, and some window of size
+  // <= W ending there must still reach the burst (see DESIGN.md).
+  p.window = 8;
+  return p;
+}
+
+TEST(MinimalStaticBandwidth, ExactOnKnownTraces) {
+  // 12 bits at slot 0, delay 2: must serve 12 within slots 0..2 -> 4/slot.
+  EXPECT_EQ(MinimalStaticBandwidth({12}, 2), Ratio(12, 3));
+  // CBR r: minimal static approaches r from below (window w: r*w/(w+D)).
+  const std::vector<Bits> cbr(100, 5);
+  const Ratio need = MinimalStaticBandwidth(cbr, 4);
+  EXPECT_LT(need, Ratio(5, 1));
+  EXPECT_LT(Ratio(4, 1), need);
+  // Empty trace needs nothing.
+  EXPECT_TRUE(MinimalStaticBandwidth({}, 4).is_zero());
+}
+
+TEST(GreedyOffline, DelayOnlyNeedsOnePiece) {
+  // Without a utilization constraint a single B_O piece is always enough
+  // on feasible input.
+  const auto trace = SingleSessionWorkload("pareto", 16, 4, 1000, 5);
+  const OfflineSchedule s = GreedyMinChangeSchedule(trace, DelayOnly());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.pieces.size(), 1u);
+  EXPECT_EQ(s.changes(), 0);
+  const ScheduleCheck check = ValidateSchedule(trace, s);
+  EXPECT_LE(check.max_delay, 4);
+  EXPECT_EQ(check.final_queue, 0);
+}
+
+TEST(GreedyOffline, UtilizationForcesChangesOnBurstSilence) {
+  // Busy 30 slots at 8, then 60 silent slots, repeated: any U_O = 1/2
+  // schedule must drop its allocation in the silences.
+  std::vector<Bits> trace;
+  for (int c = 0; c < 4; ++c) {
+    trace.insert(trace.end(), 30, 8);
+    trace.insert(trace.end(), 60, 0);
+  }
+  const OfflineSchedule s = GreedyMinChangeSchedule(trace, WithUtil());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_GE(s.changes(), 4);
+  const ScheduleCheck check = ValidateSchedule(trace, s);
+  EXPECT_LE(check.max_delay, 4);
+  EXPECT_EQ(check.final_queue, 0);
+}
+
+TEST(GreedyOffline, ScheduleMeetsDelayEverywhere) {
+  for (const char* name : {"onoff", "mmpp", "video", "mixed"}) {
+    SCOPED_TRACE(name);
+    const auto trace = SingleSessionWorkload(name, 16, 4, 2000, 9);
+    const OfflineSchedule s = GreedyMinChangeSchedule(trace, WithUtil());
+    ASSERT_TRUE(s.feasible);
+    const ScheduleCheck check = ValidateSchedule(trace, s);
+    EXPECT_LE(check.max_delay, 4);
+    EXPECT_EQ(check.final_queue, 0);
+  }
+}
+
+TEST(GreedyOffline, MinimalPolicyUsesLessBandwidth) {
+  // A smooth workload where both rate policies find schedules quickly (the
+  // minimal policy maximizes carried backlog, which makes the boundary
+  // search expensive on heavily bursty traces).
+  const auto trace = SingleSessionWorkload("video", 16, 4, 500, 10);
+  const OfflineSchedule hi =
+      GreedyMinChangeSchedule(trace, WithUtil(), GreedyRatePolicy::kMaximal);
+  const OfflineSchedule lo =
+      GreedyMinChangeSchedule(trace, WithUtil(), GreedyRatePolicy::kMinimal);
+  ASSERT_TRUE(hi.feasible);
+  ASSERT_TRUE(lo.feasible);
+  const ScheduleCheck check_lo = ValidateSchedule(trace, lo);
+  EXPECT_LE(check_lo.max_delay, 4);
+  double sum_hi = 0;
+  double sum_lo = 0;
+  for (Time t = 0; t < hi.horizon; ++t) sum_hi += hi.At(t).ToDouble();
+  for (Time t = 0; t < lo.horizon; ++t) sum_lo += lo.At(t).ToDouble();
+  EXPECT_LE(sum_lo, sum_hi + 1e-6);
+}
+
+TEST(EnvelopeStageLowerBound, ZeroWithoutUtilizationOnShapedInput) {
+  const auto trace = SingleSessionWorkload("pareto", 16, 4, 2000, 11);
+  EXPECT_EQ(EnvelopeStageLowerBound(trace, DelayOnly()), 0);
+}
+
+TEST(EnvelopeStageLowerBound, CountsBurstSilenceCycles) {
+  std::vector<Bits> trace;
+  for (int c = 0; c < 5; ++c) {
+    trace.insert(trace.end(), 30, 8);
+    trace.insert(trace.end(), 60, 0);
+  }
+  const std::int64_t lb = EnvelopeStageLowerBound(trace, WithUtil());
+  EXPECT_GE(lb, 4);
+  // The lower bound can never exceed the constructive schedule's changes.
+  const OfflineSchedule s = GreedyMinChangeSchedule(trace, WithUtil());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(lb, s.changes() + 1);
+}
+
+TEST(EnvelopeStageLowerBound, BelowGreedyOnSuite) {
+  for (const char* name : {"onoff", "pareto", "mmpp", "sawtooth", "mixed"}) {
+    SCOPED_TRACE(name);
+    const auto trace = SingleSessionWorkload(name, 16, 4, 3000, 12);
+    const std::int64_t lb = EnvelopeStageLowerBound(trace, WithUtil());
+    const OfflineSchedule s = GreedyMinChangeSchedule(trace, WithUtil());
+    ASSERT_TRUE(s.feasible);
+    // lb certifies changes for offline algorithms whose utilization
+    // windows reset at the certified boundaries; the greedy's windows are
+    // scoped to its own (different) segments, so neither strictly
+    // dominates — they must merely agree closely.
+    EXPECT_LE(static_cast<double>(lb),
+              1.2 * static_cast<double>(s.changes()) + 2.0);
+  }
+}
+
+TEST(OfflineSchedule, AtReturnsPieceInEffect) {
+  OfflineSchedule s;
+  s.feasible = true;
+  s.horizon = 10;
+  s.pieces = {{0, Bandwidth::FromBitsPerSlot(2)},
+              {4, Bandwidth::FromBitsPerSlot(6)}};
+  EXPECT_EQ(s.At(0), Bandwidth::FromBitsPerSlot(2));
+  EXPECT_EQ(s.At(3), Bandwidth::FromBitsPerSlot(2));
+  EXPECT_EQ(s.At(4), Bandwidth::FromBitsPerSlot(6));
+  EXPECT_EQ(s.At(9), Bandwidth::FromBitsPerSlot(6));
+  EXPECT_EQ(s.changes(), 1);
+}
+
+TEST(GreedyOffline, RejectsBadParams) {
+  OfflineParams p;
+  p.max_bandwidth = 0;
+  p.delay = 4;
+  EXPECT_THROW(GreedyMinChangeSchedule({1}, p), std::invalid_argument);
+  p = WithUtil();
+  p.window = 1;  // < delay
+  EXPECT_THROW(GreedyMinChangeSchedule({1}, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

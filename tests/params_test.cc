@@ -1,0 +1,133 @@
+// Exhaustive coverage of the parameter records: every Validate() path,
+// every derived quantity, and the slack relations of Section 1.1.
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(SingleSessionParamsDerived, SlackRelations) {
+  SingleSessionParams p;
+  p.max_bandwidth = 128;
+  p.max_delay = 24;
+  p.min_utilization = Ratio(1, 9);
+  p.window = 12;
+  p.Validate();
+  EXPECT_EQ(p.offline_delay(), 12);                 // D_O = D_A / 2
+  EXPECT_EQ(p.offline_bandwidth(), 128);            // B_O = B_A
+  EXPECT_EQ(p.offline_utilization(), Ratio(1, 3));  // U_O = 3 U_A
+  EXPECT_EQ(p.levels(), 7);                         // l_A = log2 128
+}
+
+TEST(SingleSessionParamsValidate, EveryRejectionPath) {
+  SingleSessionParams good;
+  good.max_bandwidth = 64;
+  good.max_delay = 8;
+  good.min_utilization = Ratio(1, 4);
+  good.window = 4;
+  EXPECT_NO_THROW(good.Validate());
+
+  auto p = good;
+  p.max_bandwidth = 1;  // >= 2 required
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.max_bandwidth = 96;  // not a power of two
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.max_delay = 0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.max_delay = 9;  // odd
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.min_utilization = Ratio(0, 1);
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.min_utilization = Ratio(2, 5);  // 3 U_A > 1
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.window = 3;  // < D_O
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+TEST(MultiSessionParamsDerived, OnlineDelayAndShares) {
+  MultiSessionParams p;
+  p.sessions = 5;
+  p.offline_bandwidth = 100;
+  p.offline_delay = 7;
+  p.Validate();
+  EXPECT_EQ(p.online_delay(), 14);
+  // Equal shares: B_O / k.
+  EXPECT_EQ(p.Share(0), Bandwidth::FromBitsPerSlot(100) / 5);
+  EXPECT_EQ(p.Share(4), p.Share(0));
+  // Shares never over-commit the pool.
+  Bandwidth sum;
+  for (std::int64_t i = 0; i < 5; ++i) sum += p.Share(i);
+  EXPECT_LE(sum, Bandwidth::FromBitsPerSlot(100));
+}
+
+TEST(MultiSessionParamsValidate, EveryRejectionPath) {
+  MultiSessionParams good;
+  good.sessions = 2;
+  good.offline_bandwidth = 8;
+  good.offline_delay = 1;
+  EXPECT_NO_THROW(good.Validate());
+
+  auto p = good;
+  p.sessions = 1;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.offline_bandwidth = 0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.offline_delay = 0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+TEST(CombinedParamsDerived, SlackRelationsBothInnerKinds) {
+  CombinedParams p;
+  p.sessions = 4;
+  p.offline_bandwidth = 32;
+  p.offline_delay = 6;
+  p.offline_utilization = Ratio(2, 3);
+  p.window = 6;
+  p.Validate();
+  EXPECT_EQ(p.online_bandwidth(), 7 * 32);
+  p.continuous_inner = true;
+  EXPECT_EQ(p.online_bandwidth(), 8 * 32);
+  EXPECT_EQ(p.online_delay(), 12);
+  EXPECT_EQ(p.online_utilization(), Ratio(2, 9));
+}
+
+TEST(CombinedParamsValidate, EveryRejectionPath) {
+  CombinedParams good;
+  good.sessions = 2;
+  good.offline_bandwidth = 16;
+  good.offline_delay = 2;
+  good.offline_utilization = Ratio(1, 2);
+  good.window = 2;
+  EXPECT_NO_THROW(good.Validate());
+
+  auto p = good;
+  p.sessions = 1;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.offline_bandwidth = 20;  // not a power of two
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.offline_delay = 0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.offline_utilization = Ratio(0, 1);
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.offline_utilization = Ratio(3, 2);  // > 1
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = good;
+  p.window = 1;  // < D_O
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

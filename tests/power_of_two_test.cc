@@ -1,0 +1,64 @@
+#include "util/power_of_two.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(PowerOfTwo, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(-4));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(PowerOfTwo, CeilPowerOfTwo) {
+  EXPECT_EQ(CeilPowerOfTwo(1), 1);
+  EXPECT_EQ(CeilPowerOfTwo(2), 2);
+  EXPECT_EQ(CeilPowerOfTwo(3), 4);
+  EXPECT_EQ(CeilPowerOfTwo(1025), 2048);
+  EXPECT_THROW(CeilPowerOfTwo(0), std::invalid_argument);
+}
+
+TEST(PowerOfTwo, Logs) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(PowerOfTwo, CeilAtLeastRatio) {
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(0, 1)), 1);
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(1, 2)), 1);
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(1, 1)), 1);
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(3, 2)), 2);
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(5, 2)), 4);   // 2.5 -> 4
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(4, 1)), 4);   // exact power
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(9, 2)), 8);   // 4.5 -> 8
+  EXPECT_EQ(CeilPowerOfTwoAtLeast(Ratio(17, 16)), 2); // just above 1
+}
+
+TEST(PowerOfTwo, CeilAtLeastRatioIsMinimalPower) {
+  for (std::int64_t num = 1; num <= 200; ++num) {
+    for (std::int64_t den = 1; den <= 7; ++den) {
+      const std::int64_t p = CeilPowerOfTwoAtLeast(Ratio(num, den));
+      EXPECT_TRUE(IsPowerOfTwo(p));
+      // p >= num/den:
+      EXPECT_GE(p * den, num);
+      // p/2 < num/den unless p == 1:
+      if (p > 1) {
+        EXPECT_LT((p / 2) * den, num);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bwalloc

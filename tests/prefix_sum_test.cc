@@ -1,0 +1,40 @@
+#include "util/prefix_sum.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(PrefixSum, EmptyHasZeroSlots) {
+  PrefixSum p;
+  EXPECT_EQ(p.slots(), 0);
+  EXPECT_EQ(p.total(), 0);
+  EXPECT_EQ(p.CumulativeBefore(0), 0);
+}
+
+TEST(PrefixSum, BothWindowConventions) {
+  PrefixSum p;
+  // slots: 0->3, 1->0, 2->5, 3->2
+  p.Append(3);
+  p.Append(0);
+  p.Append(5);
+  p.Append(2);
+  EXPECT_EQ(p.slots(), 4);
+  EXPECT_EQ(p.total(), 10);
+  // IN[a, b): slots a..b-1.
+  EXPECT_EQ(p.SumHalfOpen(0, 4), 10);
+  EXPECT_EQ(p.SumHalfOpen(1, 3), 5);
+  EXPECT_EQ(p.SumHalfOpen(2, 2), 0);
+  // IN(a, b]: slots a+1..b.
+  EXPECT_EQ(p.SumOpenClosed(0, 3), 7);   // slots 1,2,3
+  EXPECT_EQ(p.SumOpenClosed(-1, 3), 10); // slots 0..3
+  EXPECT_EQ(p.SumOpenClosed(1, 2), 5);   // slot 2
+}
+
+TEST(PrefixSum, RejectsNegative) {
+  PrefixSum p;
+  EXPECT_THROW(p.Append(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

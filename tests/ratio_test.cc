@@ -1,0 +1,81 @@
+#include "util/ratio.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(Ratio, DefaultIsZero) {
+  Ratio r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Ratio, ExactComparisons) {
+  EXPECT_EQ(Ratio(1, 2), Ratio(2, 4));
+  EXPECT_LT(Ratio(1, 3), Ratio(1, 2));
+  EXPECT_GT(Ratio(5, 7), Ratio(5, 8));
+  EXPECT_LE(Ratio(3, 9), Ratio(1, 3));
+}
+
+TEST(Ratio, ComparisonAvoidsOverflowViaInt128) {
+  // Near-int64 numerators: cross multiplication must not wrap.
+  const std::int64_t big = (std::int64_t{1} << 62) - 1;
+  EXPECT_LT(Ratio(big - 1, big), Ratio(big, big - 1));
+  EXPECT_EQ(Ratio(big, big), Ratio(1, 1));
+}
+
+TEST(Ratio, NormalizedReduces) {
+  const Ratio r = Ratio(6, 8).Normalized();
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  const Ratio z = Ratio(0, 7).Normalized();
+  EXPECT_EQ(z.den(), 1);
+}
+
+TEST(Ratio, CompareAgainstBandwidth) {
+  const Bandwidth two = Bandwidth::FromBitsPerSlot(2);
+  EXPECT_LT(Ratio(3, 2), two);
+  EXPECT_LT(two, Ratio(5, 2));
+  EXPECT_LE(Ratio(2, 1), two);
+  EXPECT_LE(two, Ratio(2, 1));
+  // Sub-integer bandwidth resolution: 1/2 bits/slot.
+  const Bandwidth half = Bandwidth::FromRaw(Bandwidth::kOne / 2);
+  EXPECT_LE(Ratio(1, 2), half);
+  EXPECT_LT(Ratio(1, 3), half);
+  EXPECT_LT(half, Ratio(2, 3));
+}
+
+TEST(Ratio, Multiplication) {
+  const Ratio p = Ratio(2, 3) * Ratio(9, 4);
+  EXPECT_EQ(p, Ratio(3, 2));
+}
+
+TEST(Ratio, PreconditionsThrow) {
+  EXPECT_THROW(Ratio(1, 0), std::invalid_argument);
+  EXPECT_THROW(Ratio(1, -2), std::invalid_argument);
+  EXPECT_THROW(Ratio(-1, 2), std::invalid_argument);
+}
+
+TEST(Ratio, RandomizedAgainstDouble) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t an = rng.UniformInt(0, 1'000'000);
+    const std::int64_t ad = rng.UniformInt(1, 1'000'000);
+    const std::int64_t bn = rng.UniformInt(0, 1'000'000);
+    const std::int64_t bd = rng.UniformInt(1, 1'000'000);
+    const double da = static_cast<double>(an) / static_cast<double>(ad);
+    const double db = static_cast<double>(bn) / static_cast<double>(bd);
+    if (da < db - 1e-9) {
+      EXPECT_LT(Ratio(an, ad), Ratio(bn, bd));
+    } else if (da > db + 1e-9) {
+      EXPECT_GT(Ratio(an, ad), Ratio(bn, bd));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,79 @@
+#include "traffic/resample.h"
+
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(BlockBootstrap, ProducesRequestedLengthFromTraceContent) {
+  const std::vector<Bits> trace = {1, 2, 3, 4, 5};
+  const auto out = BlockBootstrap(trace, 2, 13, 7);
+  ASSERT_EQ(out.size(), 13u);
+  for (const Bits b : out) {
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 5);
+  }
+}
+
+TEST(BlockBootstrap, DeterministicBySeed) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 1000, 3);
+  EXPECT_EQ(BlockBootstrap(trace, 50, 2000, 9),
+            BlockBootstrap(trace, 50, 2000, 9));
+  EXPECT_NE(BlockBootstrap(trace, 50, 2000, 9),
+            BlockBootstrap(trace, 50, 2000, 10));
+}
+
+TEST(BlockBootstrap, PreservesBlocksContiguously) {
+  // With block_len = trace length there is only one block: the output is
+  // the trace repeated.
+  const std::vector<Bits> trace = {7, 8, 9};
+  const auto out = BlockBootstrap(trace, 3, 7, 1);
+  const std::vector<Bits> expect = {7, 8, 9, 7, 8, 9, 7};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(BlockBootstrap, ApproximatelyPreservesTheMean) {
+  const auto trace = SingleSessionWorkload("mmpp", 64, 8, 4000, 4);
+  const auto out = BlockBootstrap(trace, 128, 20000, 5);
+  const double mean_in =
+      static_cast<double>(std::accumulate(trace.begin(), trace.end(),
+                                          Bits{0})) /
+      static_cast<double>(trace.size());
+  const double mean_out =
+      static_cast<double>(std::accumulate(out.begin(), out.end(), Bits{0})) /
+      static_cast<double>(out.size());
+  EXPECT_NEAR(mean_out, mean_in, 0.25 * mean_in);
+}
+
+TEST(FitMmpp, RecoversPlantedParameters) {
+  // Plant a strongly bimodal MMPP and fit it back.
+  MmppSource planted(11, {1.0, 40.0}, {60.0, 30.0});
+  const auto trace = planted.Generate(20000);
+  const MmppFit fit = FitMmpp(trace);
+  EXPECT_LT(fit.quiet_rate, 6.0);
+  EXPECT_GT(fit.busy_rate, 25.0);
+  EXPECT_GT(fit.busy_dwell, 4.0);
+  EXPECT_GT(fit.quiet_dwell, 4.0);
+  // And the refit source reproduces the overall mean within tolerance.
+  MmppSource refit = fit.MakeSource(12);
+  const auto synth = refit.Generate(20000);
+  const auto mean = [](const std::vector<Bits>& t) {
+    return static_cast<double>(
+               std::accumulate(t.begin(), t.end(), Bits{0})) /
+           static_cast<double>(t.size());
+  };
+  EXPECT_NEAR(mean(synth), mean(trace), 0.3 * mean(trace));
+}
+
+TEST(Resample, Preconditions) {
+  EXPECT_THROW(BlockBootstrap({}, 2, 10, 1), std::invalid_argument);
+  EXPECT_THROW(BlockBootstrap({1}, 0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(FitMmpp({}), std::invalid_argument);
+  EXPECT_THROW(FitMmpp({0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

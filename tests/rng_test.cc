@@ -1,0 +1,103 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(10);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) {
+    seen[rng.UniformInt(0, 4)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(13);
+  std::int64_t sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.0);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 3.0, 0.15);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(14);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Rng, ParetoAtLeastScale) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(1.5, 10.0), 10.0);
+  }
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(16);
+  std::int64_t sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Geometric(0.25);
+  // mean failures = (1-p)/p = 3.
+  EXPECT_NEAR(static_cast<double>(sum) / n, 3.0, 0.2);
+}
+
+TEST(Rng, PreconditionsThrow) {
+  Rng rng(17);
+  EXPECT_THROW(rng.UniformInt(5, 4), std::invalid_argument);
+  EXPECT_THROW(rng.Exponential(0), std::invalid_argument);
+  EXPECT_THROW(rng.Pareto(0, 1), std::invalid_argument);
+  EXPECT_THROW(rng.Geometric(0), std::invalid_argument);
+  EXPECT_THROW(rng.Poisson(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

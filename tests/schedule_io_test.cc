@@ -1,0 +1,78 @@
+#include "offline/schedule_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+class ScheduleIoTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    const std::string p = ::testing::TempDir() + "bwalloc_sched_" + name;
+    created_.push_back(p);
+    return p;
+  }
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(ScheduleIoTest, RoundTripsExactly) {
+  OfflineSchedule s;
+  s.feasible = true;
+  s.horizon = 100;
+  s.pieces = {{0, Bandwidth::FromDouble(2.5)},
+              {40, Bandwidth::FromBitsPerSlot(7)},
+              {90, Bandwidth::Zero()}};
+  const std::string path = Path("roundtrip.csv");
+  SaveSchedule(path, s, "unit test");
+  const OfflineSchedule loaded = LoadSchedule(path, 100);
+  ASSERT_EQ(loaded.pieces.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.pieces[i].start, s.pieces[i].start);
+    EXPECT_EQ(loaded.pieces[i].bandwidth, s.pieces[i].bandwidth);
+  }
+  EXPECT_EQ(loaded.changes(), s.changes());
+}
+
+TEST_F(ScheduleIoTest, GreedyScheduleRoundTripsThroughReplay) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 1500, 41);
+  OfflineParams params;
+  params.max_bandwidth = 64;
+  params.delay = 8;
+  params.utilization = Ratio(1, 2);
+  params.window = 16;
+  const OfflineSchedule s = GreedyMinChangeSchedule(trace, params);
+  ASSERT_TRUE(s.feasible);
+
+  const std::string path = Path("greedy.csv");
+  SaveSchedule(path, s);
+  const OfflineSchedule loaded = LoadSchedule(path, s.horizon);
+  const ScheduleCheck a = ValidateSchedule(trace, s);
+  const ScheduleCheck b = ValidateSchedule(trace, loaded);
+  EXPECT_EQ(a.max_delay, b.max_delay);
+  EXPECT_EQ(a.final_queue, b.final_queue);
+  EXPECT_DOUBLE_EQ(a.global_utilization, b.global_utilization);
+}
+
+TEST_F(ScheduleIoTest, RejectsMalformedFiles) {
+  const std::string bad = Path("bad.csv");
+  std::ofstream(bad) << "0,100\n0,200\n";  // non-increasing start
+  EXPECT_THROW(LoadSchedule(bad, 10), std::invalid_argument);
+  const std::string neg = Path("neg.csv");
+  std::ofstream(neg) << "0,-5\n";
+  EXPECT_THROW(LoadSchedule(neg, 10), std::invalid_argument);
+  const std::string junk = Path("junk.csv");
+  std::ofstream(junk) << "zero,100\n";
+  EXPECT_THROW(LoadSchedule(junk, 10), std::invalid_argument);
+  EXPECT_THROW(LoadSchedule(Path("missing.csv"), 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bwalloc

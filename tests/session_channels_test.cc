@@ -1,0 +1,88 @@
+#include "sim/session_channels.h"
+
+#include <gtest/gtest.h>
+
+namespace bwalloc {
+namespace {
+
+TEST(SessionChannels, TwoChannelServiceIsIndependent) {
+  SessionChannels ch(2, ServiceDiscipline::kTwoChannel);
+  ch.Enqueue(0, 0, 10);
+  ch.Enqueue(1, 0, 10);
+  ch.SetRegular(0, Bandwidth::FromBitsPerSlot(10));
+  ch.SetRegular(1, Bandwidth::FromBitsPerSlot(2));
+  EXPECT_EQ(ch.ServeSlot(0), 12);
+  EXPECT_EQ(ch.regular_queue_size(0), 0);
+  EXPECT_EQ(ch.regular_queue_size(1), 8);
+  EXPECT_EQ(ch.total_delivered(), 12);
+  EXPECT_EQ(ch.total_arrivals(), 20);
+}
+
+TEST(SessionChannels, MoveRegularToOverflow) {
+  SessionChannels ch(1, ServiceDiscipline::kTwoChannel);
+  ch.Enqueue(0, 0, 7);
+  ch.MoveRegularToOverflow(0);
+  EXPECT_EQ(ch.regular_queue_size(0), 0);
+  EXPECT_EQ(ch.overflow_queue_size(0), 7);
+  ch.SetOverflow(0, Bandwidth::FromBitsPerSlot(7));
+  EXPECT_EQ(ch.ServeSlot(1), 7);
+  // Delay stamp survives the move: bit arrived at 0, served at 1.
+  EXPECT_EQ(ch.session_delay(0).max_delay(), 1);
+}
+
+TEST(SessionChannels, FifoCombinedServesOverflowFirst) {
+  SessionChannels ch(1, ServiceDiscipline::kFifoCombined);
+  ch.Enqueue(0, 0, 4);
+  ch.MoveRegularToOverflow(0);
+  ch.Enqueue(0, 1, 4);
+  ch.SetRegular(0, Bandwidth::FromBitsPerSlot(2));
+  ch.SetOverflow(0, Bandwidth::FromBitsPerSlot(2));
+  // Combined rate 4: serves the (older) overflow bits first.
+  EXPECT_EQ(ch.ServeSlot(1), 4);
+  EXPECT_EQ(ch.overflow_queue_size(0), 0);
+  EXPECT_EQ(ch.regular_queue_size(0), 4);
+  EXPECT_EQ(ch.ServeSlot(2), 4);
+  // Oldest bits (arrival 0) served at t=1 -> delay 1; newest at t=2 -> 1.
+  EXPECT_EQ(ch.session_delay(0).max_delay(), 1);
+}
+
+TEST(SessionChannels, TotalsAcrossSessions) {
+  SessionChannels ch(3, ServiceDiscipline::kTwoChannel);
+  ch.SetRegular(0, Bandwidth::FromBitsPerSlot(1));
+  ch.SetRegular(1, Bandwidth::FromBitsPerSlot(2));
+  ch.SetOverflow(2, Bandwidth::FromBitsPerSlot(4));
+  EXPECT_EQ(ch.TotalRegular(), Bandwidth::FromBitsPerSlot(3));
+  EXPECT_EQ(ch.TotalOverflow(), Bandwidth::FromBitsPerSlot(4));
+  ch.Enqueue(0, 0, 5);
+  ch.Enqueue(2, 0, 5);
+  EXPECT_EQ(ch.TotalQueued(), 10);
+}
+
+TEST(SessionChannels, AddOverflowAccumulatesAndChecksSign) {
+  SessionChannels ch(1, ServiceDiscipline::kTwoChannel);
+  ch.AddOverflow(0, Bandwidth::FromBitsPerSlot(3));
+  ch.AddOverflow(0, Bandwidth::FromBitsPerSlot(2));
+  EXPECT_EQ(ch.overflow_bw(0), Bandwidth::FromBitsPerSlot(5));
+  ch.AddOverflow(0, Bandwidth::Zero() - Bandwidth::FromBitsPerSlot(5));
+  EXPECT_TRUE(ch.overflow_bw(0).is_zero());
+}
+
+TEST(SessionChannels, DrainSessionInto) {
+  SessionChannels ch(1, ServiceDiscipline::kTwoChannel);
+  ch.Enqueue(0, 0, 3);
+  ch.MoveRegularToOverflow(0);
+  ch.Enqueue(0, 1, 4);
+  BitQueue global;
+  ch.DrainSessionInto(0, global);
+  EXPECT_EQ(global.size(), 7);
+  EXPECT_EQ(ch.TotalQueued(), 0);
+  EXPECT_EQ(global.OldestArrival(), 0);
+}
+
+TEST(SessionChannels, RequiresAtLeastOneSession) {
+  EXPECT_THROW(SessionChannels(0, ServiceDiscipline::kTwoChannel),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

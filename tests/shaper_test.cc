@@ -1,0 +1,90 @@
+#include "traffic/shaper.h"
+
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "traffic/sources.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(TokenBucketShaper, EnforcesArrivalCurve) {
+  auto burst = std::make_unique<ParetoBurstSource>(3, 8.0, 1.5, 100.0);
+  TokenBucketShaper shaped(std::move(burst), /*rate=*/16, /*bucket=*/64);
+  const auto trace = shaped.Generate(3000);
+  // Claim 9 with B_O = 16, D_O = 4 (bucket = 64 = 16*4).
+  EXPECT_TRUE(SatisfiesArrivalCurve(trace, 16, 4, /*max_window=*/200));
+}
+
+TEST(TokenBucketShaper, DelaysButDoesNotDrop) {
+  // A single mega-burst must eventually come through in full.
+  auto burst = std::make_unique<TraceSource>(std::vector<Bits>{1000});
+  TokenBucketShaper shaped(std::move(burst), 10, 20);
+  const auto trace = shaped.Generate(200);
+  const Bits total = std::accumulate(trace.begin(), trace.end(), Bits{0});
+  EXPECT_EQ(total + shaped.backlog(), 1000);
+  EXPECT_EQ(shaped.backlog(), 0);
+  // First slot limited by the full bucket plus one refill... (tokens capped
+  // at bucket before emission).
+  EXPECT_LE(trace[0], 20);
+}
+
+TEST(TokenBucketShaper, PassthroughWhenUnderRate) {
+  auto cbr = std::make_unique<CbrSource>(5);
+  TokenBucketShaper shaped(std::move(cbr), 10, 10);
+  const auto trace = shaped.Generate(50);
+  for (std::size_t t = 1; t < trace.size(); ++t) EXPECT_EQ(trace[t], 5);
+}
+
+TEST(SatisfiesArrivalCurve, DetectsViolations) {
+  // 100 bits in one slot against rate 10 / delay 2: 100 > (1+2)*10.
+  EXPECT_FALSE(SatisfiesArrivalCurve({100}, 10, 2));
+  EXPECT_TRUE(SatisfiesArrivalCurve({30}, 10, 2));
+  EXPECT_FALSE(SatisfiesArrivalCurve({30, 30, 30, 30}, 10, 2));
+}
+
+TEST(AggregateShaper, JointCurveAndShares) {
+  std::vector<std::vector<Bits>> traces = {
+      {100, 0, 0, 0, 0, 0, 0, 0},
+      {100, 0, 0, 0, 0, 0, 0, 0},
+  };
+  AggregateShaper shaper(/*rate=*/20, /*bucket=*/20);
+  shaper.Shape(traces);
+  // Aggregate obeys the curve.
+  std::vector<Bits> agg(traces[0].size(), 0);
+  for (std::size_t t = 0; t < agg.size(); ++t) {
+    agg[t] = traces[0][t] + traces[1][t];
+  }
+  EXPECT_TRUE(SatisfiesArrivalCurve(agg, 20, 1));
+  // Proportional split: equal backlogs get equal shares.
+  for (std::size_t t = 0; t < agg.size(); ++t) {
+    EXPECT_LE(std::abs(traces[0][t] - traces[1][t]), 1) << "t=" << t;
+  }
+  // Everything eventually emitted (200 bits total over 8+ slots at 20/slot).
+  const Bits total = std::accumulate(agg.begin(), agg.end(), Bits{0});
+  EXPECT_EQ(total, 160);  // 8 slots * 20
+}
+
+TEST(AggregateShaper, PreservesSkew) {
+  std::vector<std::vector<Bits>> traces = {
+      {90, 0, 0, 0},
+      {10, 0, 0, 0},
+  };
+  AggregateShaper shaper(100, 0);
+  shaper.Shape(traces);
+  EXPECT_EQ(traces[0][0], 90);
+  EXPECT_EQ(traces[1][0], 10);
+}
+
+TEST(Shapers, PreconditionsThrow) {
+  EXPECT_THROW(TokenBucketShaper(nullptr, 1, 1), std::invalid_argument);
+  EXPECT_THROW(TokenBucketShaper(std::make_unique<CbrSource>(1), 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(AggregateShaper(0, 1), std::invalid_argument);
+  std::vector<std::vector<Bits>> empty;
+  AggregateShaper s(1, 1);
+  EXPECT_THROW(s.Shape(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,128 @@
+#include "net/signaling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/single_session.h"
+#include "net/path.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+TEST(NetworkPath, AggregatesHops) {
+  const NetworkPath path = NetworkPath::Uniform(5, 2, 3.0);
+  EXPECT_EQ(path.hops(), 5);
+  EXPECT_EQ(path.SignalingLatency(), 10);
+  EXPECT_DOUBLE_EQ(path.ChangeCost(), 15.0);
+  EXPECT_EQ(NetworkPath().SignalingLatency(), 0);
+}
+
+TEST(SignalingChannel, CommitsAfterLatency) {
+  SignalingChannel ch(3);
+  EXPECT_TRUE(ch.Request(0, Bandwidth::FromBitsPerSlot(8)));
+  EXPECT_TRUE(ch.Effective(0).is_zero());
+  EXPECT_TRUE(ch.Effective(2).is_zero());
+  EXPECT_EQ(ch.Effective(3), Bandwidth::FromBitsPerSlot(8));
+}
+
+TEST(SignalingChannel, IdempotentRequestsAreFree) {
+  SignalingChannel ch(2);
+  EXPECT_TRUE(ch.Request(0, Bandwidth::FromBitsPerSlot(4)));
+  EXPECT_FALSE(ch.Request(1, Bandwidth::FromBitsPerSlot(4)));
+  EXPECT_EQ(ch.requests(), 1);
+}
+
+TEST(SignalingChannel, PipelinesInOrder) {
+  SignalingChannel ch(2);
+  ch.Request(0, Bandwidth::FromBitsPerSlot(4));
+  ch.Request(1, Bandwidth::FromBitsPerSlot(16));
+  EXPECT_EQ(ch.Effective(2), Bandwidth::FromBitsPerSlot(4));
+  EXPECT_EQ(ch.Effective(3), Bandwidth::FromBitsPerSlot(16));
+}
+
+TEST(SignalingChannel, ZeroLatencyIsInstant) {
+  SignalingChannel ch(0);
+  ch.Request(5, Bandwidth::FromBitsPerSlot(2));
+  EXPECT_EQ(ch.Effective(5), Bandwidth::FromBitsPerSlot(2));
+}
+
+SingleSessionParams Params() {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 24;  // D_O = 12
+  p.min_utilization = Ratio(1, 6);
+  p.window = 12;
+  return p;
+}
+
+TEST(SignalingAdapter, ZeroLatencyMatchesBareAlgorithm) {
+  const auto trace = SingleSessionWorkload("mixed", 64, 12, 3000, 55);
+  SingleEngineOptions opt;
+  opt.drain_slots = 64;
+
+  SingleSessionOnline bare(Params());
+  const SingleRunResult rb = RunSingleSession(trace, bare, opt);
+
+  SignalingAdapter wrapped(std::make_unique<SingleSessionOnline>(Params()),
+                           NetworkPath());
+  const SingleRunResult rw = RunSingleSession(trace, wrapped, opt);
+
+  EXPECT_EQ(rb.changes, rw.changes);
+  EXPECT_EQ(rb.delay.max_delay(), rw.delay.max_delay());
+  EXPECT_EQ(rb.total_delivered, rw.total_delivered);
+}
+
+TEST(SignalingAdapter, LatencyErodesTheDelayBound) {
+  const auto trace = SingleSessionWorkload("pareto", 64, 12, 4000, 56);
+  SingleEngineOptions opt;
+  opt.drain_slots = 128;
+
+  Time naive_with_latency = 0;
+  for (const Time latency : {Time{0}, Time{4}}) {
+    SignalingAdapter wrapped(std::make_unique<SingleSessionOnline>(Params()),
+                             NetworkPath::Uniform(latency, 1, 1.0));
+    const SingleRunResult r = RunSingleSession(trace, wrapped, opt);
+    EXPECT_EQ(r.final_queue, 0);
+    if (latency == 0) {
+      EXPECT_LE(r.delay.max_delay(), 24);
+    } else {
+      naive_with_latency = r.delay.max_delay();
+    }
+  }
+  // Uncompensated, a 4-slot commit latency can push bits past D_A...
+  EXPECT_GT(naive_with_latency, 0);
+
+  // ...while the compensated parameters restore the original bound.
+  SignalingAdapter compensated(
+      std::make_unique<SingleSessionOnline>(
+          MakeLatencyCompensatedParams(Params(), 4)),
+      NetworkPath::Uniform(4, 1, 1.0));
+  const SingleRunResult rc = RunSingleSession(trace, compensated, opt);
+  EXPECT_LE(rc.delay.max_delay(), 24) << "compensation failed";
+  EXPECT_EQ(rc.final_queue, 0);
+}
+
+TEST(MakeLatencyCompensatedParams, TightensAndValidates) {
+  const SingleSessionParams p = MakeLatencyCompensatedParams(Params(), 4);
+  EXPECT_EQ(p.max_delay, 16);
+  EXPECT_NO_THROW(p.Validate());
+  EXPECT_THROW(MakeLatencyCompensatedParams(Params(), 12),
+               std::invalid_argument);
+}
+
+TEST(SignalingAdapter, CountsSignalingRounds) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 12, 2000, 57);
+  SignalingAdapter wrapped(std::make_unique<SingleSessionOnline>(Params()),
+                           NetworkPath::Uniform(3, 1, 2.0));
+  SingleEngineOptions opt;
+  opt.drain_slots = 64;
+  const SingleRunResult r = RunSingleSession(trace, wrapped, opt);
+  // Every committed transition was once a request; requests can exceed
+  // committed transitions (a request superseded in flight still cost a
+  // signalling round).
+  EXPECT_GE(wrapped.signaling_rounds(), r.changes);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,87 @@
+// Property sweep for Theorem 6 / Lemma 3 / Lemma 5: across the whole
+// workload suite, many seeds and both variants, the single-session
+// algorithm must (a) never exceed the delay bound D_A, (b) keep the
+// existential local utilization above U_A, (c) stay within the per-stage
+// change budget, and (d) conserve bits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+#include "util/power_of_two.h"
+
+namespace bwalloc {
+namespace {
+
+using ParamTuple = std::tuple<std::string, std::uint64_t, bool>;
+
+class SingleSessionProperty : public ::testing::TestWithParam<ParamTuple> {};
+
+SingleSessionParams Params() {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;             // D_O = 8
+  p.min_utilization = Ratio(1, 6);  // U_O = 1/2
+  p.window = 8;
+  return p;
+}
+
+TEST_P(SingleSessionProperty, GuaranteesHold) {
+  const auto& [workload, seed, modified] = GetParam();
+  const SingleSessionParams params = Params();
+  const auto trace = SingleSessionWorkload(
+      workload, params.offline_bandwidth(), params.offline_delay(), 4000,
+      seed);
+
+  SingleSessionOnline alg(params,
+                          modified
+                              ? SingleSessionOnline::Variant::kModified
+                              : SingleSessionOnline::Variant::kBase);
+  SingleEngineOptions opt;
+  opt.drain_slots = 2 * params.max_delay;
+  opt.utilization_scan_window = params.window + 5 * params.offline_delay();
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+  // Conservation: everything delivered by the end of the drain tail.
+  EXPECT_EQ(r.total_arrivals, r.total_delivered + r.final_queue);
+  EXPECT_EQ(r.final_queue, 0);
+
+  // Lemma 3: delay <= D_A.
+  EXPECT_LE(r.delay.max_delay(), params.max_delay);
+
+  // Bandwidth cap.
+  EXPECT_LE(r.peak_allocation,
+            Bandwidth::FromBitsPerSlot(params.max_bandwidth));
+
+  // Lemma 1: the ladder itself makes at most l_A moves per stage; our
+  // counter epoch also sees the exit-to-B_A and entry-to-idle transitions,
+  // hence +3.
+  EXPECT_LE(alg.max_changes_in_any_stage(), params.levels() + 3);
+
+  // Lemma 5: at every time some window of size <= W + 5 D_O has
+  // utilization >= U_A (skip workloads that never ramp up).
+  if (r.total_arrivals > 0 && !modified) {
+    EXPECT_GE(r.worst_best_window_utilization,
+              Ratio(1, 6).ToDouble() - 1e-9)
+        << "utilization guarantee violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SingleSessionProperty,
+    ::testing::Combine(
+        ::testing::Values("cbr", "onoff", "pareto", "mmpp", "video",
+                          "sawtooth", "mixed"),
+        ::testing::Values<std::uint64_t>(1, 2, 3),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ParamTuple>& pinfo) {
+      return std::get<0>(pinfo.param) + "_seed" +
+             std::to_string(std::get<1>(pinfo.param)) +
+             (std::get<2>(pinfo.param) ? "_modified" : "_base");
+    });
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,71 @@
+// Long-horizon soak: half a million slots through every engine. Guards
+// against slow leaks of state (the low-envelope hull, reduction timers,
+// stage bookkeeping) and asymptotic regressions — the whole run must stay
+// well inside CI time, which only holds if the per-slot cost is O(log).
+#include <gtest/gtest.h>
+
+#include "core/combined.h"
+#include "core/multi_continuous.h"
+#include "core/single_session.h"
+#include "sim/engine_multi.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+constexpr Time kLong = 500000;
+
+TEST(Soak, SingleSessionHalfMillionSlots) {
+  SingleSessionParams p;
+  p.max_bandwidth = 256;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  SingleSessionOnline alg(p);
+  const auto trace = SingleSessionWorkload("mixed", 256, 8, kLong, 51);
+  SingleEngineOptions opt;
+  opt.drain_slots = 64;
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+  EXPECT_EQ(r.total_arrivals, r.total_delivered);
+  EXPECT_LE(r.delay.max_delay(), 16);
+  EXPECT_GT(r.stages, 100) << "long runs should cycle many stages";
+  EXPECT_LE(alg.max_changes_in_any_stage(), p.levels() + 3);
+}
+
+TEST(Soak, ContinuousMultiQuarterMillionSlots) {
+  MultiSessionParams p;
+  p.sessions = 8;
+  p.offline_bandwidth = 128;
+  p.offline_delay = 8;
+  ContinuousMulti sys(p);
+  const auto traces = MultiSessionWorkload(
+      MultiWorkloadKind::kRotatingHotspot, 8, 128, 8, kLong / 2, 52);
+  MultiEngineOptions opt;
+  opt.drain_slots = 64;
+  const MultiRunResult r = RunMultiSession(traces, sys, opt);
+  EXPECT_EQ(r.total_arrivals, r.total_delivered);
+  EXPECT_LE(r.delay.max_delay(), 16);
+  EXPECT_LE(r.peak_overflow_allocation.ToDouble(), 3.0 * 128 + 1e-6);
+}
+
+TEST(Soak, CombinedQuarterMillionSlots) {
+  CombinedParams p;
+  p.sessions = 8;
+  p.offline_bandwidth = 128;
+  p.offline_delay = 8;
+  p.offline_utilization = Ratio(1, 2);
+  p.window = 8;
+  CombinedOnline sys(p);
+  const auto traces = MultiSessionWorkload(MultiWorkloadKind::kChurn, 8, 128,
+                                           8, kLong / 2, 53);
+  MultiEngineOptions opt;
+  opt.drain_slots = 128;
+  const MultiRunResult r = RunMultiSession(traces, sys, opt);
+  EXPECT_EQ(r.total_arrivals, r.total_delivered);
+  EXPECT_LE(r.delay.max_delay(), 3 * p.offline_delay);
+  EXPECT_EQ(r.final_queue, 0);
+}
+
+}  // namespace
+}  // namespace bwalloc

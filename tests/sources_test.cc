@@ -1,0 +1,106 @@
+#include "traffic/sources.h"
+
+#include <gtest/gtest.h>
+#include <numeric>
+
+namespace bwalloc {
+namespace {
+
+TEST(Sources, CbrIsConstant) {
+  CbrSource src(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(src.NextSlot(), 7);
+}
+
+TEST(Sources, GenerateMaterializes) {
+  CbrSource src(3);
+  const std::vector<Bits> trace = src.Generate(5);
+  ASSERT_EQ(trace.size(), 5u);
+  for (Bits b : trace) EXPECT_EQ(b, 3);
+}
+
+TEST(Sources, OnOffAlternatesAndIsDeterministic) {
+  OnOffSource a(99, 10.0, 20.0, 20.0);
+  OnOffSource b(99, 10.0, 20.0, 20.0);
+  const auto ta = a.Generate(2000);
+  const auto tb = b.Generate(2000);
+  EXPECT_EQ(ta, tb);
+  const Bits total = std::accumulate(ta.begin(), ta.end(), Bits{0});
+  EXPECT_GT(total, 0);
+  // Off periods exist: some zero slots.
+  EXPECT_TRUE(std::find(ta.begin(), ta.end(), 0) != ta.end());
+}
+
+TEST(Sources, ParetoBurstsArePositiveAndBursty) {
+  ParetoBurstSource src(5, 10.0, 1.5, 50.0);
+  const auto trace = src.Generate(5000);
+  Bits total = 0;
+  Bits peak = 0;
+  int busy = 0;
+  for (Bits b : trace) {
+    ASSERT_GE(b, 0);
+    total += b;
+    peak = std::max(peak, b);
+    if (b > 0) ++busy;
+  }
+  EXPECT_GT(total, 0);
+  // Bursty: bursts land on few slots and the peak dwarfs the mean.
+  EXPECT_LT(busy, 2000);
+  EXPECT_GT(static_cast<double>(peak),
+            5.0 * static_cast<double>(total) / 5000.0);
+}
+
+TEST(Sources, MmppVisitsMultipleRates) {
+  MmppSource src(6, {1.0, 30.0}, {40.0, 40.0});
+  const auto trace = src.Generate(4000);
+  // Average over quiet state ~1, loud ~30; mixture mean far from both.
+  const Bits total = std::accumulate(trace.begin(), trace.end(), Bits{0});
+  const double mean = static_cast<double>(total) / 4000.0;
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 28.0);
+}
+
+TEST(Sources, VbrVideoHasGopStructure) {
+  VbrVideoSource src(7, 1200, 600, 200, 1, 0.0);
+  const auto trace = src.Generate(240);
+  // I-frames every 12 frames dominate their neighbourhood.
+  Bits max_frame = 0;
+  for (Bits b : trace) max_frame = std::max(max_frame, b);
+  EXPECT_GE(max_frame, 900);  // noisy I frame
+  const Bits total = std::accumulate(trace.begin(), trace.end(), Bits{0});
+  EXPECT_GT(total, 0);
+}
+
+TEST(Sources, SawtoothIsPeriodic) {
+  SawtoothSource src(1, 10, 3, 2);
+  const auto t = src.Generate(10);
+  const std::vector<Bits> expect = {1, 1, 1, 10, 10, 1, 1, 1, 10, 10};
+  EXPECT_EQ(t, expect);
+}
+
+TEST(Sources, TracePlaybackPadsWithZeros) {
+  TraceSource src({4, 5});
+  EXPECT_EQ(src.NextSlot(), 4);
+  EXPECT_EQ(src.NextSlot(), 5);
+  EXPECT_EQ(src.NextSlot(), 0);
+}
+
+TEST(Sources, CompositeSums) {
+  std::vector<std::unique_ptr<TrafficGenerator>> parts;
+  parts.push_back(std::make_unique<CbrSource>(2));
+  parts.push_back(std::make_unique<CbrSource>(3));
+  CompositeSource src(std::move(parts));
+  EXPECT_EQ(src.NextSlot(), 5);
+}
+
+TEST(Sources, PreconditionsThrow) {
+  EXPECT_THROW(CbrSource(-1), std::invalid_argument);
+  EXPECT_THROW(OnOffSource(1, -1.0, 10, 10), std::invalid_argument);
+  EXPECT_THROW(ParetoBurstSource(1, 10, 0.5, 10), std::invalid_argument);
+  EXPECT_THROW(MmppSource(1, {1.0}, {10.0}), std::invalid_argument);
+  EXPECT_THROW(SawtoothSource(5, 1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(VbrVideoSource(1, 100, 200, 50, 1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

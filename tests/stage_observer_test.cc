@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/single_session.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+#include "util/power_of_two.h"
+
+namespace bwalloc {
+namespace {
+
+// Records the event stream and checks the grammar.
+class RecordingObserver final : public StageObserver {
+ public:
+  struct Event {
+    char kind;  // 'S'tart, 'L'evel, 'C'ertified, 'R'eset-drain
+    Time t;
+    Bits from = 0;
+    Bits to = 0;
+  };
+
+  void OnStageStart(Time ts) override { events_.push_back({'S', ts}); }
+  void OnLevelChange(Time t, Bits from, Bits to) override {
+    events_.push_back({'L', t, from, to});
+  }
+  void OnStageCertified(Time t, std::int64_t) override {
+    events_.push_back({'C', t});
+  }
+  void OnResetDrain(Time t) override { events_.push_back({'R', t}); }
+
+  std::string Grammar() const {
+    std::string g;
+    for (const Event& e : events_) g += e.kind;
+    return g;
+  }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+SingleSessionParams Params() {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  return p;
+}
+
+TEST(StageObserver, EventGrammarOnBurstSilenceCycles) {
+  SingleSessionOnline alg(Params());
+  RecordingObserver observer;
+  alg.SetObserver(&observer);
+
+  std::vector<Bits> trace;
+  for (int c = 0; c < 3; ++c) {
+    trace.insert(trace.end(), 40, 20);
+    trace.insert(trace.end(), 80, 0);
+  }
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+  const std::string grammar = observer.Grammar();
+  // Starts with a stage, each certification is preceded by a start and
+  // followed (possibly after a drain) by the next start.
+  ASSERT_FALSE(grammar.empty());
+  EXPECT_EQ(grammar.front(), 'S');
+  // Between consecutive 'S', exactly one 'C' (the stage either runs to the
+  // end of the horizon or is certified once).
+  std::int64_t certs = 0;
+  for (std::size_t i = 0; i + 1 < grammar.size(); ++i) {
+    if (grammar[i] == 'C') {
+      ++certs;
+      // 'C' may only be followed by 'R' or 'S'.
+      EXPECT_TRUE(grammar[i + 1] == 'R' || grammar[i + 1] == 'S')
+          << grammar;
+    }
+    if (grammar[i] == 'R') {
+      EXPECT_EQ(grammar[i + 1], 'S') << grammar;
+    }
+  }
+  EXPECT_EQ(certs, r.stages);
+}
+
+TEST(StageObserver, LevelChangesAreRisingPowersOfTwo) {
+  SingleSessionOnline alg(Params());
+  RecordingObserver observer;
+  alg.SetObserver(&observer);
+  const auto trace = SingleSessionWorkload("mixed", 64, 8, 3000, 77);
+  SingleEngineOptions opt;
+  opt.drain_slots = 32;
+  RunSingleSession(trace, alg, opt);
+
+  std::int64_t level_events = 0;
+  for (const auto& e : observer.events()) {
+    if (e.kind != 'L') continue;
+    ++level_events;
+    EXPECT_TRUE(IsPowerOfTwo(e.to));
+    EXPECT_GT(e.to, e.from);
+    EXPECT_LE(e.to, 64);
+  }
+  EXPECT_GT(level_events, 0);
+}
+
+TEST(StageObserver, DetachStopsEvents) {
+  SingleSessionOnline alg(Params());
+  RecordingObserver observer;
+  alg.SetObserver(&observer);
+  alg.SetObserver(nullptr);
+  const std::vector<Bits> trace(50, 8);
+  RunSingleSession(trace, alg);
+  EXPECT_TRUE(observer.events().empty());
+}
+
+}  // namespace
+}  // namespace bwalloc

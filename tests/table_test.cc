@@ -1,0 +1,42 @@
+#include "analysis/table.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace bwalloc {
+namespace {
+
+TEST(Table, AsciiAlignment) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.PrintAscii(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  // Rule lines frame header and body.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '+') % 3, 0);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::Num(std::int64_t{42}), "42");
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,75 @@
+#include "traffic/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "bwalloc_" + name;
+  }
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+  std::string Track(const std::string& p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(TraceIoTest, SingleRoundTrip) {
+  const std::string path = Track(Path("single.txt"));
+  const std::vector<Bits> trace = {0, 5, 123, 0, 42};
+  SaveTrace(path, trace, "unit test");
+  EXPECT_EQ(LoadTrace(path), trace);
+}
+
+TEST_F(TraceIoTest, SingleSkipsCommentsAndBlanks) {
+  const std::string path = Track(Path("comments.txt"));
+  std::ofstream(path) << "# header\n\n7\n  # inline\n9\n   \n";
+  const std::vector<Bits> expect = {7, 9};
+  EXPECT_EQ(LoadTrace(path), expect);
+}
+
+TEST_F(TraceIoTest, SingleRejectsGarbage) {
+  const std::string bad = Track(Path("bad.txt"));
+  std::ofstream(bad) << "12\nbanana\n";
+  EXPECT_THROW(LoadTrace(bad), std::invalid_argument);
+  const std::string neg = Track(Path("neg.txt"));
+  std::ofstream(neg) << "-4\n";
+  EXPECT_THROW(LoadTrace(neg), std::invalid_argument);
+  EXPECT_THROW(LoadTrace(Path("does_not_exist.txt")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MultiRoundTrip) {
+  const std::string path = Track(Path("multi.csv"));
+  const std::vector<std::vector<Bits>> traces = {
+      {1, 2, 3}, {0, 0, 9}, {7, 7, 7}};
+  SaveMultiTrace(path, traces, "three sessions");
+  EXPECT_EQ(LoadMultiTrace(path), traces);
+}
+
+TEST_F(TraceIoTest, MultiRejectsRaggedRows) {
+  const std::string path = Track(Path("ragged.csv"));
+  std::ofstream(path) << "1,2,3\n4,5\n";
+  EXPECT_THROW(LoadMultiTrace(path), std::invalid_argument);
+}
+
+TEST_F(TraceIoTest, SuiteWorkloadSurvivesRoundTrip) {
+  const std::string path = Track(Path("suite.txt"));
+  const auto trace = SingleSessionWorkload("mixed", 64, 8, 500, 3);
+  SaveTrace(path, trace);
+  EXPECT_EQ(LoadTrace(path), trace);
+}
+
+}  // namespace
+}  // namespace bwalloc

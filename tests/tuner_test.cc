@@ -1,0 +1,57 @@
+#include "analysis/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+SingleSessionParams Base() {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;  // D_O = 8
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;  // ignored by the tuner
+  return p;
+}
+
+TEST(TuneWindow, SweepsDoublingCandidates) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 3000, 33);
+  const TuneResult r = TuneWindow(trace, Base(), 64);
+  ASSERT_EQ(r.sweep.size(), 4u);  // 8, 16, 32, 64
+  EXPECT_EQ(r.sweep[0].window, 8);
+  EXPECT_EQ(r.sweep[3].window, 64);
+}
+
+TEST(TuneWindow, ChangesDecreaseWithWindow) {
+  const auto trace = SingleSessionWorkload("mixed", 64, 8, 4000, 34);
+  const TuneResult r = TuneWindow(trace, Base(), 64);
+  for (std::size_t i = 1; i < r.sweep.size(); ++i) {
+    EXPECT_LE(r.sweep[i].changes, r.sweep[i - 1].changes + 4)
+        << "window " << r.sweep[i].window;
+    EXPECT_LE(r.sweep[i].stages, r.sweep[i - 1].stages)
+        << "window " << r.sweep[i].window;
+  }
+}
+
+TEST(TuneWindow, RecommendsAWindowMeetingTheTarget) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 4000, 35);
+  const TuneResult r = TuneWindow(trace, Base(), 64);
+  ASSERT_TRUE(r.found);
+  // The recommended point clears both targets.
+  for (const TunePoint& p : r.sweep) {
+    if (p.window == r.recommended_window) {
+      EXPECT_GE(p.local_utilization, 1.0 / 6.0 - 1e-9);
+      EXPECT_LE(p.max_delay, 16);
+    }
+  }
+}
+
+TEST(TuneWindow, RejectsTooSmallMaxWindow) {
+  const auto trace = SingleSessionWorkload("cbr", 64, 8, 100, 36);
+  EXPECT_THROW(TuneWindow(trace, Base(), 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -1,0 +1,370 @@
+// bwsim — command-line driver for the bwalloc library.
+//
+//   bwsim generate --workload mixed --bo 64 --do 8 --horizon 4000
+//                  [--seed 1] [--out trace.txt]
+//   bwsim single   --algo online [--workload mixed | --trace file]
+//                  --ba 64 --da 16 [--inv-ua 6] [--w 16] [--seed 1]
+//                  [--horizon 4000] [--csv false]
+//   bwsim multi    --algo phased|continuous|combined --k 4 --bo 64 --do 8
+//                  [--kind rotating-hotspot | --trace file.csv]
+//                  [--horizon 4000] [--seed 1]
+//   bwsim offline  (--workload mixed | --trace file) --bo 64 --do 8
+//                  [--inv-uo 2] [--w 16] [--horizon 4000] [--seed 1]
+//   bwsim tune     (--workload mixed | --trace file) --ba 64 --da 16
+//                  [--inv-ua 6] [--max-w 128] [--horizon 4000] [--seed 1]
+//   bwsim replay   --trace file --schedule file.csv [--json false]
+//
+// Single-session algos: online, modified, online-global, static-peak,
+// static-mean, per-arrival, periodic, ewma.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/json.h"
+#include "analysis/table.h"
+#include "analysis/tuner.h"
+#include "baseline/exp_smoothing.h"
+#include "baseline/per_arrival.h"
+#include "baseline/periodic.h"
+#include "baseline/static_alloc.h"
+#include "core/combined.h"
+#include "core/multi_continuous.h"
+#include "core/multi_phased.h"
+#include "core/single_session.h"
+#include "offline/offline_single.h"
+#include "offline/schedule_io.h"
+#include "sim/engine_multi.h"
+#include "sim/engine_single.h"
+#include "tools/flags.h"
+#include "traffic/trace_io.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+
+using namespace bwalloc;
+using bwalloc::tools::Flags;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bwsim <generate|single|multi|offline|tune|replay> [--flags]\n"
+               "see the header of tools/bwsim.cc for the full reference\n");
+  return 2;
+}
+
+MultiWorkloadKind ParseKind(const std::string& kind) {
+  if (kind == "balanced") return MultiWorkloadKind::kBalanced;
+  if (kind == "rotating-hotspot") return MultiWorkloadKind::kRotatingHotspot;
+  if (kind == "churn") return MultiWorkloadKind::kChurn;
+  if (kind == "skewed") return MultiWorkloadKind::kSkewed;
+  throw std::invalid_argument("unknown --kind: " + kind);
+}
+
+int RunGenerate(Flags& flags) {
+  const std::string workload = flags.Str("workload", "mixed");
+  const Bits bo = flags.Int("bo", 64);
+  const Time d_o = flags.Int("do", 8);
+  const Time horizon = flags.Int("horizon", 4000);
+  const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+  const std::string out = flags.Str("out", "");
+  flags.CheckUnused();
+
+  const auto trace = SingleSessionWorkload(workload, bo, d_o, horizon, seed);
+  if (out.empty()) {
+    for (const Bits b : trace) std::printf("%lld\n", static_cast<long long>(b));
+  } else {
+    SaveTrace(out, trace,
+              "bwsim generate --workload " + workload + " --bo " +
+                  std::to_string(bo) + " --do " + std::to_string(d_o) +
+                  " --seed " + std::to_string(seed));
+    std::printf("wrote %zu slots to %s\n", trace.size(), out.c_str());
+  }
+  return 0;
+}
+
+int RunSingle(Flags& flags) {
+  const std::string algo = flags.Str("algo", "online");
+  const Bits ba = flags.Int("ba", 64);
+  const Time da = flags.Int("da", 16);
+  const std::int64_t inv_ua = flags.Int("inv-ua", 6);
+  const Time w = flags.Int("w", 2 * (da / 2));
+  const Time horizon = flags.Int("horizon", 4000);
+  const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+  const std::string workload = flags.Str("workload", "mixed");
+  const std::string trace_path = flags.Str("trace", "");
+  const bool csv = flags.Bool("csv", false);
+  const bool json = flags.Bool("json", false);
+  flags.CheckUnused();
+
+  const std::vector<Bits> trace =
+      trace_path.empty()
+          ? SingleSessionWorkload(workload, ba, da / 2, horizon, seed)
+          : LoadTrace(trace_path);
+
+  SingleSessionParams p;
+  p.max_bandwidth = ba;
+  p.max_delay = da;
+  p.min_utilization = Ratio(1, inv_ua);
+  p.window = w;
+
+  std::unique_ptr<SingleSessionAllocator> alloc;
+  if (algo == "online") {
+    alloc = std::make_unique<SingleSessionOnline>(p);
+  } else if (algo == "modified") {
+    alloc = std::make_unique<SingleSessionOnline>(
+        p, SingleSessionOnline::Variant::kModified);
+  } else if (algo == "online-global") {
+    alloc = std::make_unique<SingleSessionOnline>(
+        p, SingleSessionOnline::Variant::kBase,
+        SingleSessionOnline::UtilizationMode::kGlobal);
+  } else if (algo == "static-peak") {
+    alloc = std::make_unique<StaticAllocator>(MakeStaticPeak(trace, da));
+  } else if (algo == "static-mean") {
+    alloc = std::make_unique<StaticAllocator>(MakeStaticMean(trace));
+  } else if (algo == "per-arrival") {
+    alloc = std::make_unique<PerArrivalAllocator>(da);
+  } else if (algo == "periodic") {
+    alloc = std::make_unique<PeriodicAllocator>(4 * da, 130, da);
+  } else if (algo == "ewma") {
+    alloc = std::make_unique<ExpSmoothingAllocator>(10, 50, da);
+  } else {
+    throw std::invalid_argument("unknown --algo: " + algo);
+  }
+
+  SingleEngineOptions opt;
+  opt.drain_slots = 4 * da;
+  opt.utilization_scan_window = w + 5 * (da / 2);
+  const SingleRunResult r = RunSingleSession(trace, *alloc, opt);
+
+  if (json) {
+    std::printf("%s\n", ToJson(r).c_str());
+    return 0;
+  }
+  Table table({"metric", "value"});
+  table.AddRow({"algo", algo})
+      .AddRow({"slots", Table::Num(r.horizon)})
+      .AddRow({"arrivals (bits)", Table::Num(r.total_arrivals)})
+      .AddRow({"delivered (bits)", Table::Num(r.total_delivered)})
+      .AddRow({"max delay", Table::Num(r.delay.max_delay())})
+      .AddRow({"p99 delay", Table::Num(r.delay.Percentile(0.99))})
+      .AddRow({"mean delay", Table::Num(r.delay.MeanDelay(), 2)})
+      .AddRow({"changes", Table::Num(r.changes)})
+      .AddRow({"stages", Table::Num(r.stages)})
+      .AddRow({"global util", Table::Num(r.global_utilization, 3)})
+      .AddRow({"local util", Table::Num(r.worst_best_window_utilization, 3)})
+      .AddRow({"peak alloc", r.peak_allocation.ToString()});
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.PrintAscii(std::cout);
+  }
+  return 0;
+}
+
+int RunMulti(Flags& flags) {
+  const std::string algo = flags.Str("algo", "phased");
+  const std::int64_t k = flags.Int("k", 4);
+  const Bits bo = flags.Int("bo", 64);
+  const Time d_o = flags.Int("do", 8);
+  const Time horizon = flags.Int("horizon", 4000);
+  const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+  const std::string kind = flags.Str("kind", "rotating-hotspot");
+  const std::string trace_path = flags.Str("trace", "");
+  const bool csv = flags.Bool("csv", false);
+  const bool json = flags.Bool("json", false);
+  flags.CheckUnused();
+
+  const std::vector<std::vector<Bits>> traces =
+      trace_path.empty()
+          ? MultiSessionWorkload(ParseKind(kind), k, bo, d_o, horizon, seed)
+          : LoadMultiTrace(trace_path);
+  if (static_cast<std::int64_t>(traces.size()) != k) {
+    throw std::invalid_argument("trace file has " +
+                                std::to_string(traces.size()) +
+                                " sessions; --k says " + std::to_string(k));
+  }
+
+  std::unique_ptr<MultiSessionSystem> sys;
+  if (algo == "phased" || algo == "continuous") {
+    MultiSessionParams p;
+    p.sessions = k;
+    p.offline_bandwidth = bo;
+    p.offline_delay = d_o;
+    if (algo == "phased") {
+      sys = std::make_unique<PhasedMulti>(p);
+    } else {
+      sys = std::make_unique<ContinuousMulti>(p);
+    }
+  } else if (algo == "combined" || algo == "combined-continuous") {
+    CombinedParams p;
+    p.sessions = k;
+    p.offline_bandwidth = bo;
+    p.offline_delay = d_o;
+    p.offline_utilization = Ratio(1, 2);
+    p.window = 2 * d_o;
+    p.continuous_inner = algo == "combined-continuous";
+    sys = std::make_unique<CombinedOnline>(p);
+  } else {
+    throw std::invalid_argument("unknown --algo: " + algo);
+  }
+
+  MultiEngineOptions opt;
+  opt.drain_slots = 8 * d_o;
+  const MultiRunResult r = RunMultiSession(traces, *sys, opt);
+
+  if (json) {
+    std::printf("%s\n", ToJson(r).c_str());
+    return 0;
+  }
+  Table table({"metric", "value"});
+  table.AddRow({"algo", algo})
+      .AddRow({"sessions", Table::Num(r.sessions)})
+      .AddRow({"arrivals (bits)", Table::Num(r.total_arrivals)})
+      .AddRow({"delivered (bits)", Table::Num(r.total_delivered)})
+      .AddRow({"max delay", Table::Num(r.delay.max_delay())})
+      .AddRow({"p99 delay", Table::Num(r.delay.Percentile(0.99))})
+      .AddRow({"local changes", Table::Num(r.local_changes)})
+      .AddRow({"global changes", Table::Num(r.global_changes)})
+      .AddRow({"stages", Table::Num(r.stages)})
+      .AddRow({"global stages", Table::Num(r.global_stages)})
+      .AddRow({"global util", Table::Num(r.global_utilization, 3)})
+      .AddRow({"peak total alloc", r.peak_total_allocation.ToString()});
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.PrintAscii(std::cout);
+  }
+  return 0;
+}
+
+int RunOffline(Flags& flags) {
+  const Bits bo = flags.Int("bo", 64);
+  const Time d_o = flags.Int("do", 8);
+  const std::int64_t inv_uo = flags.Int("inv-uo", 2);
+  const Time w = flags.Int("w", 2 * d_o);
+  const Time horizon = flags.Int("horizon", 4000);
+  const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+  const std::string workload = flags.Str("workload", "mixed");
+  const std::string trace_path = flags.Str("trace", "");
+  flags.CheckUnused();
+
+  const std::vector<Bits> trace =
+      trace_path.empty()
+          ? SingleSessionWorkload(workload, bo, d_o, horizon, seed)
+          : LoadTrace(trace_path);
+
+  OfflineParams p;
+  p.max_bandwidth = bo;
+  p.delay = d_o;
+  p.utilization = Ratio(1, inv_uo);
+  p.window = w;
+
+  const std::int64_t lb = EnvelopeStageLowerBound(trace, p);
+  const OfflineSchedule s = GreedyMinChangeSchedule(trace, p);
+  Table table({"metric", "value"});
+  table.AddRow({"stage lower bound (Lemma 1)", Table::Num(lb)});
+  table.AddRow({"schedule feasible", s.feasible ? "yes" : "no"});
+  if (s.feasible) {
+    const ScheduleCheck check = ValidateSchedule(trace, s);
+    table.AddRow({"pieces", Table::Num(static_cast<std::int64_t>(
+                      s.pieces.size()))})
+        .AddRow({"changes", Table::Num(s.changes())})
+        .AddRow({"max delay", Table::Num(check.max_delay)})
+        .AddRow({"global util", Table::Num(check.global_utilization, 3)});
+  }
+  table.PrintAscii(std::cout);
+  return 0;
+}
+
+int RunReplay(Flags& flags) {
+  const std::string trace_path = flags.Str("trace", "");
+  const std::string schedule_path = flags.Str("schedule", "");
+  const bool json = flags.Bool("json", false);
+  flags.CheckUnused();
+  if (trace_path.empty() || schedule_path.empty()) {
+    throw std::invalid_argument("replay needs --trace and --schedule");
+  }
+  const std::vector<Bits> trace = LoadTrace(trace_path);
+  // Horizon covers the trace plus a drain tail past the last piece.
+  const Time horizon = static_cast<Time>(trace.size()) + 64;
+  const OfflineSchedule schedule = LoadSchedule(schedule_path, horizon);
+  if (json) {
+    std::printf("%s\n", ToJson(schedule).c_str());
+    return 0;
+  }
+  const ScheduleCheck check = ValidateSchedule(trace, schedule);
+  Table table({"metric", "value"});
+  table.AddRow({"pieces", Table::Num(static_cast<std::int64_t>(
+                    schedule.pieces.size()))})
+      .AddRow({"changes", Table::Num(schedule.changes())})
+      .AddRow({"max delay", Table::Num(check.max_delay)})
+      .AddRow({"undelivered bits", Table::Num(check.final_queue)})
+      .AddRow({"global util", Table::Num(check.global_utilization, 3)});
+  table.PrintAscii(std::cout);
+  return 0;
+}
+
+int RunTune(Flags& flags) {
+  const Bits ba = flags.Int("ba", 64);
+  const Time da = flags.Int("da", 16);
+  const std::int64_t inv_ua = flags.Int("inv-ua", 6);
+  const Time max_w = flags.Int("max-w", 8 * (da / 2));
+  const Time horizon = flags.Int("horizon", 4000);
+  const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+  const std::string workload = flags.Str("workload", "mixed");
+  const std::string trace_path = flags.Str("trace", "");
+  flags.CheckUnused();
+
+  const std::vector<Bits> trace =
+      trace_path.empty()
+          ? SingleSessionWorkload(workload, ba, da / 2, horizon, seed)
+          : LoadTrace(trace_path);
+
+  SingleSessionParams p;
+  p.max_bandwidth = ba;
+  p.max_delay = da;
+  p.min_utilization = Ratio(1, inv_ua);
+  p.window = da / 2;
+
+  const TuneResult r = TuneWindow(trace, p, max_w);
+  Table table({"W", "changes", "stages", "max delay", "local util",
+               "global util", "pick"});
+  for (const TunePoint& point : r.sweep) {
+    table.AddRow({Table::Num(point.window), Table::Num(point.changes),
+                  Table::Num(point.stages), Table::Num(point.max_delay),
+                  Table::Num(point.local_utilization, 3),
+                  Table::Num(point.global_utilization, 3),
+                  point.window == r.recommended_window ? "<==" : ""});
+  }
+  table.PrintAscii(std::cout);
+  if (r.found) {
+    std::printf("recommended W = %lld (largest window clearing the "
+                "utilization target U_A = 1/%lld and delay bound)\n",
+                static_cast<long long>(r.recommended_window),
+                static_cast<long long>(inv_ua));
+  } else {
+    std::printf("no candidate window met the targets — lower U_A or raise "
+                "--max-w\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    Flags flags(argc, argv, 2);
+    if (command == "generate") return RunGenerate(flags);
+    if (command == "single") return RunSingle(flags);
+    if (command == "multi") return RunMulti(flags);
+    if (command == "offline") return RunOffline(flags);
+    if (command == "tune") return RunTune(flags);
+    if (command == "replay") return RunReplay(flags);
+    return Usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bwsim: %s\n", e.what());
+    return 1;
+  }
+}

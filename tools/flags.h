@@ -1,0 +1,71 @@
+// Minimal command-line flag parsing for the bwsim tool: --key value pairs
+// after a positional command, with typed getters and an unknown-flag check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace bwalloc::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || key.size() <= 2) {
+        throw std::invalid_argument("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + key + " needs a value");
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string Str(const std::string& key, const std::string& fallback) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t Int(const std::string& key, std::int64_t fallback) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw std::invalid_argument("flag --" + key + ": not an integer: " +
+                                  it->second);
+    }
+    return v;
+  }
+
+  bool Bool(const std::string& key, bool fallback) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    if (it->second == "true" || it->second == "1") return true;
+    if (it->second == "false" || it->second == "0") return false;
+    throw std::invalid_argument("flag --" + key + ": expected true/false");
+  }
+
+  // Call after all getters: rejects typo'd flags.
+  void CheckUnused() const {
+    for (const auto& [key, value] : values_) {
+      if (!used_.contains(key)) {
+        throw std::invalid_argument("unknown flag --" + key);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+}  // namespace bwalloc::tools
