@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec4_combined.cc" "bench/CMakeFiles/bench_sec4_combined.dir/bench_sec4_combined.cc.o" "gcc" "bench/CMakeFiles/bench_sec4_combined.dir/bench_sec4_combined.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/bwalloc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bwalloc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bwalloc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/bwalloc_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwalloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwalloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

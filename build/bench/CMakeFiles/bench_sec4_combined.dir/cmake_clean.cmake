@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_combined.dir/bench_sec4_combined.cc.o"
+  "CMakeFiles/bench_sec4_combined.dir/bench_sec4_combined.cc.o.d"
+  "bench_sec4_combined"
+  "bench_sec4_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

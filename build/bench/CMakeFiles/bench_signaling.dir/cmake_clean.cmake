@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signaling.dir/bench_signaling.cc.o"
+  "CMakeFiles/bench_signaling.dir/bench_signaling.cc.o.d"
+  "bench_signaling"
+  "bench_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm14_phased.dir/bench_thm14_phased.cc.o"
+  "CMakeFiles/bench_thm14_phased.dir/bench_thm14_phased.cc.o.d"
+  "bench_thm14_phased"
+  "bench_thm14_phased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm14_phased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

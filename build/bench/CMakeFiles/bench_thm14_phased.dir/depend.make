@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm14_phased.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm17_continuous.dir/bench_thm17_continuous.cc.o"
+  "CMakeFiles/bench_thm17_continuous.dir/bench_thm17_continuous.cc.o.d"
+  "bench_thm17_continuous"
+  "bench_thm17_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm17_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm6_single.dir/bench_thm6_single.cc.o"
+  "CMakeFiles/bench_thm6_single.dir/bench_thm6_single.cc.o.d"
+  "bench_thm6_single"
+  "bench_thm6_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm7_modified.dir/bench_thm7_modified.cc.o"
+  "CMakeFiles/bench_thm7_modified.dir/bench_thm7_modified.cc.o.d"
+  "bench_thm7_modified"
+  "bench_thm7_modified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm7_modified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_gateway.dir/isp_gateway.cpp.o"
+  "CMakeFiles/isp_gateway.dir/isp_gateway.cpp.o.d"
+  "isp_gateway"
+  "isp_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_churn.dir/session_churn.cpp.o"
+  "CMakeFiles/session_churn.dir/session_churn.cpp.o.d"
+  "session_churn"
+  "session_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

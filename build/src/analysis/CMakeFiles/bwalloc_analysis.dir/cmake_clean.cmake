@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwalloc_analysis.dir/competitive.cc.o"
+  "CMakeFiles/bwalloc_analysis.dir/competitive.cc.o.d"
+  "CMakeFiles/bwalloc_analysis.dir/json.cc.o"
+  "CMakeFiles/bwalloc_analysis.dir/json.cc.o.d"
+  "CMakeFiles/bwalloc_analysis.dir/table.cc.o"
+  "CMakeFiles/bwalloc_analysis.dir/table.cc.o.d"
+  "CMakeFiles/bwalloc_analysis.dir/tuner.cc.o"
+  "CMakeFiles/bwalloc_analysis.dir/tuner.cc.o.d"
+  "libbwalloc_analysis.a"
+  "libbwalloc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwalloc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

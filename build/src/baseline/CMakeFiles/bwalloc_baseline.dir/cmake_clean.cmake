@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwalloc_baseline.dir/static_alloc.cc.o"
+  "CMakeFiles/bwalloc_baseline.dir/static_alloc.cc.o.d"
+  "libbwalloc_baseline.a"
+  "libbwalloc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwalloc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

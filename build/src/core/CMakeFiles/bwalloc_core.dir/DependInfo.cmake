@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combined.cc" "src/core/CMakeFiles/bwalloc_core.dir/combined.cc.o" "gcc" "src/core/CMakeFiles/bwalloc_core.dir/combined.cc.o.d"
+  "/root/repo/src/core/dynamic_gateway.cc" "src/core/CMakeFiles/bwalloc_core.dir/dynamic_gateway.cc.o" "gcc" "src/core/CMakeFiles/bwalloc_core.dir/dynamic_gateway.cc.o.d"
+  "/root/repo/src/core/multi_continuous.cc" "src/core/CMakeFiles/bwalloc_core.dir/multi_continuous.cc.o" "gcc" "src/core/CMakeFiles/bwalloc_core.dir/multi_continuous.cc.o.d"
+  "/root/repo/src/core/multi_phased.cc" "src/core/CMakeFiles/bwalloc_core.dir/multi_phased.cc.o" "gcc" "src/core/CMakeFiles/bwalloc_core.dir/multi_phased.cc.o.d"
+  "/root/repo/src/core/single_session.cc" "src/core/CMakeFiles/bwalloc_core.dir/single_session.cc.o" "gcc" "src/core/CMakeFiles/bwalloc_core.dir/single_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bwalloc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwalloc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

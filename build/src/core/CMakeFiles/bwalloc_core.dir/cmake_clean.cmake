@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwalloc_core.dir/combined.cc.o"
+  "CMakeFiles/bwalloc_core.dir/combined.cc.o.d"
+  "CMakeFiles/bwalloc_core.dir/dynamic_gateway.cc.o"
+  "CMakeFiles/bwalloc_core.dir/dynamic_gateway.cc.o.d"
+  "CMakeFiles/bwalloc_core.dir/multi_continuous.cc.o"
+  "CMakeFiles/bwalloc_core.dir/multi_continuous.cc.o.d"
+  "CMakeFiles/bwalloc_core.dir/multi_phased.cc.o"
+  "CMakeFiles/bwalloc_core.dir/multi_phased.cc.o.d"
+  "CMakeFiles/bwalloc_core.dir/single_session.cc.o"
+  "CMakeFiles/bwalloc_core.dir/single_session.cc.o.d"
+  "libbwalloc_core.a"
+  "libbwalloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwalloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/exhaustive.cc" "src/offline/CMakeFiles/bwalloc_offline.dir/exhaustive.cc.o" "gcc" "src/offline/CMakeFiles/bwalloc_offline.dir/exhaustive.cc.o.d"
+  "/root/repo/src/offline/offline_multi.cc" "src/offline/CMakeFiles/bwalloc_offline.dir/offline_multi.cc.o" "gcc" "src/offline/CMakeFiles/bwalloc_offline.dir/offline_multi.cc.o.d"
+  "/root/repo/src/offline/offline_single.cc" "src/offline/CMakeFiles/bwalloc_offline.dir/offline_single.cc.o" "gcc" "src/offline/CMakeFiles/bwalloc_offline.dir/offline_single.cc.o.d"
+  "/root/repo/src/offline/schedule_io.cc" "src/offline/CMakeFiles/bwalloc_offline.dir/schedule_io.cc.o" "gcc" "src/offline/CMakeFiles/bwalloc_offline.dir/schedule_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bwalloc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwalloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwalloc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

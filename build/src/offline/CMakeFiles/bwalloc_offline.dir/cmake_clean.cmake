@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwalloc_offline.dir/exhaustive.cc.o"
+  "CMakeFiles/bwalloc_offline.dir/exhaustive.cc.o.d"
+  "CMakeFiles/bwalloc_offline.dir/offline_multi.cc.o"
+  "CMakeFiles/bwalloc_offline.dir/offline_multi.cc.o.d"
+  "CMakeFiles/bwalloc_offline.dir/offline_single.cc.o"
+  "CMakeFiles/bwalloc_offline.dir/offline_single.cc.o.d"
+  "CMakeFiles/bwalloc_offline.dir/schedule_io.cc.o"
+  "CMakeFiles/bwalloc_offline.dir/schedule_io.cc.o.d"
+  "libbwalloc_offline.a"
+  "libbwalloc_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwalloc_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adaptive.cc" "src/sim/CMakeFiles/bwalloc_sim.dir/adaptive.cc.o" "gcc" "src/sim/CMakeFiles/bwalloc_sim.dir/adaptive.cc.o.d"
+  "/root/repo/src/sim/engine_multi.cc" "src/sim/CMakeFiles/bwalloc_sim.dir/engine_multi.cc.o" "gcc" "src/sim/CMakeFiles/bwalloc_sim.dir/engine_multi.cc.o.d"
+  "/root/repo/src/sim/engine_single.cc" "src/sim/CMakeFiles/bwalloc_sim.dir/engine_single.cc.o" "gcc" "src/sim/CMakeFiles/bwalloc_sim.dir/engine_single.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/bwalloc_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/bwalloc_sim.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bwalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwalloc_sim.dir/adaptive.cc.o"
+  "CMakeFiles/bwalloc_sim.dir/adaptive.cc.o.d"
+  "CMakeFiles/bwalloc_sim.dir/engine_multi.cc.o"
+  "CMakeFiles/bwalloc_sim.dir/engine_multi.cc.o.d"
+  "CMakeFiles/bwalloc_sim.dir/engine_single.cc.o"
+  "CMakeFiles/bwalloc_sim.dir/engine_single.cc.o.d"
+  "CMakeFiles/bwalloc_sim.dir/metrics.cc.o"
+  "CMakeFiles/bwalloc_sim.dir/metrics.cc.o.d"
+  "libbwalloc_sim.a"
+  "libbwalloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwalloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbwalloc_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/generator.cc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/generator.cc.o" "gcc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/generator.cc.o.d"
+  "/root/repo/src/traffic/resample.cc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/resample.cc.o" "gcc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/resample.cc.o.d"
+  "/root/repo/src/traffic/shaper.cc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/shaper.cc.o" "gcc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/shaper.cc.o.d"
+  "/root/repo/src/traffic/trace_io.cc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/trace_io.cc.o" "gcc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/trace_io.cc.o.d"
+  "/root/repo/src/traffic/workload_suite.cc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/workload_suite.cc.o" "gcc" "src/traffic/CMakeFiles/bwalloc_traffic.dir/workload_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bwalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

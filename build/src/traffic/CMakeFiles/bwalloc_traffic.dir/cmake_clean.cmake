@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwalloc_traffic.dir/generator.cc.o"
+  "CMakeFiles/bwalloc_traffic.dir/generator.cc.o.d"
+  "CMakeFiles/bwalloc_traffic.dir/resample.cc.o"
+  "CMakeFiles/bwalloc_traffic.dir/resample.cc.o.d"
+  "CMakeFiles/bwalloc_traffic.dir/shaper.cc.o"
+  "CMakeFiles/bwalloc_traffic.dir/shaper.cc.o.d"
+  "CMakeFiles/bwalloc_traffic.dir/trace_io.cc.o"
+  "CMakeFiles/bwalloc_traffic.dir/trace_io.cc.o.d"
+  "CMakeFiles/bwalloc_traffic.dir/workload_suite.cc.o"
+  "CMakeFiles/bwalloc_traffic.dir/workload_suite.cc.o.d"
+  "libbwalloc_traffic.a"
+  "libbwalloc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwalloc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

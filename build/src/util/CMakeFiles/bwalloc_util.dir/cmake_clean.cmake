@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwalloc_util.dir/fixed_point.cc.o"
+  "CMakeFiles/bwalloc_util.dir/fixed_point.cc.o.d"
+  "CMakeFiles/bwalloc_util.dir/ratio.cc.o"
+  "CMakeFiles/bwalloc_util.dir/ratio.cc.o.d"
+  "libbwalloc_util.a"
+  "libbwalloc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwalloc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

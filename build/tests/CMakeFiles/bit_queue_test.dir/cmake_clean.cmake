@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_queue_test.dir/bit_queue_test.cc.o"
+  "CMakeFiles/bit_queue_test.dir/bit_queue_test.cc.o.d"
+  "bit_queue_test"
+  "bit_queue_test.pdb"
+  "bit_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

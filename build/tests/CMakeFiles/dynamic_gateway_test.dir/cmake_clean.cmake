@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_gateway_test.dir/dynamic_gateway_test.cc.o"
+  "CMakeFiles/dynamic_gateway_test.dir/dynamic_gateway_test.cc.o.d"
+  "dynamic_gateway_test"
+  "dynamic_gateway_test.pdb"
+  "dynamic_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

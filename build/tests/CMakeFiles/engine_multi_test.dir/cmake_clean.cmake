@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_multi_test.dir/engine_multi_test.cc.o"
+  "CMakeFiles/engine_multi_test.dir/engine_multi_test.cc.o.d"
+  "engine_multi_test"
+  "engine_multi_test.pdb"
+  "engine_multi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_multi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

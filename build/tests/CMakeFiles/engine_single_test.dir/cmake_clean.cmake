@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_single_test.dir/engine_single_test.cc.o"
+  "CMakeFiles/engine_single_test.dir/engine_single_test.cc.o.d"
+  "engine_single_test"
+  "engine_single_test.pdb"
+  "engine_single_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_high_tracker_test.dir/global_high_tracker_test.cc.o"
+  "CMakeFiles/global_high_tracker_test.dir/global_high_tracker_test.cc.o.d"
+  "global_high_tracker_test"
+  "global_high_tracker_test.pdb"
+  "global_high_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_high_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/high_tracker_test.dir/high_tracker_test.cc.o"
+  "CMakeFiles/high_tracker_test.dir/high_tracker_test.cc.o.d"
+  "high_tracker_test"
+  "high_tracker_test.pdb"
+  "high_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/high_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

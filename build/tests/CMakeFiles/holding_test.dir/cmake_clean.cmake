@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holding_test.dir/holding_test.cc.o"
+  "CMakeFiles/holding_test.dir/holding_test.cc.o.d"
+  "holding_test"
+  "holding_test.pdb"
+  "holding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_tracker_test.dir/low_tracker_test.cc.o"
+  "CMakeFiles/low_tracker_test.dir/low_tracker_test.cc.o.d"
+  "low_tracker_test"
+  "low_tracker_test.pdb"
+  "low_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

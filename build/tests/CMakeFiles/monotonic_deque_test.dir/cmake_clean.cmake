@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotonic_deque_test.dir/monotonic_deque_test.cc.o"
+  "CMakeFiles/monotonic_deque_test.dir/monotonic_deque_test.cc.o.d"
+  "monotonic_deque_test"
+  "monotonic_deque_test.pdb"
+  "monotonic_deque_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotonic_deque_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

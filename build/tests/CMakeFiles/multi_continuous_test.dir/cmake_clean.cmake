@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_continuous_test.dir/multi_continuous_test.cc.o"
+  "CMakeFiles/multi_continuous_test.dir/multi_continuous_test.cc.o.d"
+  "multi_continuous_test"
+  "multi_continuous_test.pdb"
+  "multi_continuous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_continuous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_phased_test.dir/multi_phased_test.cc.o"
+  "CMakeFiles/multi_phased_test.dir/multi_phased_test.cc.o.d"
+  "multi_phased_test"
+  "multi_phased_test.pdb"
+  "multi_phased_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_phased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_multi_test.dir/offline_multi_test.cc.o"
+  "CMakeFiles/offline_multi_test.dir/offline_multi_test.cc.o.d"
+  "offline_multi_test"
+  "offline_multi_test.pdb"
+  "offline_multi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_multi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_single_test.dir/offline_single_test.cc.o"
+  "CMakeFiles/offline_single_test.dir/offline_single_test.cc.o.d"
+  "offline_single_test"
+  "offline_single_test.pdb"
+  "offline_single_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_of_two_test.dir/power_of_two_test.cc.o"
+  "CMakeFiles/power_of_two_test.dir/power_of_two_test.cc.o.d"
+  "power_of_two_test"
+  "power_of_two_test.pdb"
+  "power_of_two_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_of_two_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratio_test.dir/ratio_test.cc.o"
+  "CMakeFiles/ratio_test.dir/ratio_test.cc.o.d"
+  "ratio_test"
+  "ratio_test.pdb"
+  "ratio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

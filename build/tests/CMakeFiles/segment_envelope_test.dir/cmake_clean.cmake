@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_envelope_test.dir/segment_envelope_test.cc.o"
+  "CMakeFiles/segment_envelope_test.dir/segment_envelope_test.cc.o.d"
+  "segment_envelope_test"
+  "segment_envelope_test.pdb"
+  "segment_envelope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_envelope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

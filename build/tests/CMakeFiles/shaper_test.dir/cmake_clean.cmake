@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shaper_test.dir/shaper_test.cc.o"
+  "CMakeFiles/shaper_test.dir/shaper_test.cc.o.d"
+  "shaper_test"
+  "shaper_test.pdb"
+  "shaper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shaper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_session_test.dir/single_session_test.cc.o"
+  "CMakeFiles/single_session_test.dir/single_session_test.cc.o.d"
+  "single_session_test"
+  "single_session_test.pdb"
+  "single_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_observer_test.dir/stage_observer_test.cc.o"
+  "CMakeFiles/stage_observer_test.dir/stage_observer_test.cc.o.d"
+  "stage_observer_test"
+  "stage_observer_test.pdb"
+  "stage_observer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

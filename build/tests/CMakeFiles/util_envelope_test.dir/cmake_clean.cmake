@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_envelope_test.dir/util_envelope_test.cc.o"
+  "CMakeFiles/util_envelope_test.dir/util_envelope_test.cc.o.d"
+  "util_envelope_test"
+  "util_envelope_test.pdb"
+  "util_envelope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_envelope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_multi_test.dir/weighted_multi_test.cc.o"
+  "CMakeFiles/weighted_multi_test.dir/weighted_multi_test.cc.o.d"
+  "weighted_multi_test"
+  "weighted_multi_test.pdb"
+  "weighted_multi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_multi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsim.dir/bwsim.cc.o"
+  "CMakeFiles/bwsim.dir/bwsim.cc.o.d"
+  "bwsim"
+  "bwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
