@@ -10,7 +10,13 @@
 // plus the two heuristic families from the experimental prior work the
 // paper cites (periodic renegotiation [GKT95]; EWMA+hysteresis [ACHM96])
 // and the clairvoyant greedy offline for reference.
+//
+// The strategies share one trace and run sharded on the batch runner
+// (--jobs=N); rows emit in strategy order, so output is independent of N.
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "analysis/cost_model.h"
 #include "analysis/artifact.h"
@@ -21,6 +27,7 @@
 #include "baseline/static_alloc.h"
 #include "core/single_session.h"
 #include "offline/offline_single.h"
+#include "runner/batch_runner.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
 
@@ -33,23 +40,21 @@ constexpr Time kDa = 64;  // D_O = 32
 constexpr Time kW = 64;  // 2 D_O (offline feasibility, DESIGN.md)
 constexpr Time kHorizon = 20000;
 constexpr std::uint64_t kSeed = 2;
+constexpr std::int64_t kStrategies = 7;  // (a)..(d), periodic, ewma, offline
 
-void AddRow(Table& table, const std::string& name, const SingleRunResult& r,
-            const CostModel& cost) {
-  table.AddRow({name, Table::Num(r.delay.max_delay()),
-                Table::Num(r.delay.Percentile(0.99)),
-                Table::Num(r.global_utilization, 3),
-                Table::Num(r.worst_best_window_utilization, 3),
-                Table::Num(r.changes),
-                Table::Num(cost.Cost(r) / 1000.0, 1)});
+std::vector<std::string> MakeRow(const std::string& name,
+                                 const SingleRunResult& r,
+                                 const CostModel& cost) {
+  return {name, Table::Num(r.delay.max_delay()),
+          Table::Num(r.delay.Percentile(0.99)),
+          Table::Num(r.global_utilization, 3),
+          Table::Num(r.worst_best_window_utilization, 3),
+          Table::Num(r.changes),
+          Table::Num(cost.Cost(r) / 1000.0, 1)};
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const BenchArtifacts artifacts(argc, argv);
-  const auto trace = SingleSessionWorkload("mixed", kBa, kDa / 2, kHorizon,
-                                           kSeed);
+std::vector<std::string> RunStrategy(std::int64_t which,
+                                     const std::vector<Bits>& trace) {
   SingleEngineOptions opt;
   opt.drain_slots = 4 * kDa;
   opt.utilization_scan_window = kW + 5 * (kDa / 2);
@@ -57,59 +62,87 @@ int main(int argc, char** argv) {
   // invokes software in every switch on the path — Section 1).
   const CostModel cost{1.0, 2000.0};
 
+  switch (which) {
+    case 0: {  // (a) static high: minimal rate meeting the delay bound
+      StaticAllocator alloc = MakeStaticPeak(trace, kDa);
+      return MakeRow("(a) static-peak", RunSingleSession(trace, alloc, opt),
+                     cost);
+    }
+    case 1: {  // (b) static low: mean rate
+      StaticAllocator alloc = MakeStaticMean(trace);
+      SingleEngineOptions long_drain = opt;
+      long_drain.drain_slots = 2000;  // enough to drain its huge backlog
+      return MakeRow("(b) static-mean",
+                     RunSingleSession(trace, alloc, long_drain), cost);
+    }
+    case 2: {  // (c) per-arrival dynamic
+      PerArrivalAllocator alloc(kDa);
+      return MakeRow("(c) per-arrival", RunSingleSession(trace, alloc, opt),
+                     cost);
+    }
+    case 3: {  // (d) the paper's online algorithm
+      SingleSessionParams p;
+      p.max_bandwidth = kBa;
+      p.max_delay = kDa;
+      p.min_utilization = Ratio(1, 6);
+      p.window = kW;
+      SingleSessionOnline alloc(p);
+      return MakeRow("(d) online (Fig.3)", RunSingleSession(trace, alloc, opt),
+                     cost);
+    }
+    case 4: {  // [GKT95]-style periodic renegotiation
+      PeriodicAllocator alloc(4 * kDa, 130, kDa);
+      return MakeRow("periodic (RCBR-ish)",
+                     RunSingleSession(trace, alloc, opt), cost);
+    }
+    case 5: {  // [ACHM96]-style EWMA with hysteresis
+      ExpSmoothingAllocator alloc(10, 50, kDa);
+      return MakeRow("ewma+hysteresis", RunSingleSession(trace, alloc, opt),
+                     cost);
+    }
+    default: {  // clairvoyant reference
+      OfflineParams off;
+      off.max_bandwidth = kBa;
+      off.delay = kDa / 2;
+      off.utilization = Ratio(1, 2);
+      off.window = kW;
+      const OfflineSchedule s = GreedyMinChangeSchedule(trace, off);
+      if (!s.feasible) return {};
+      const ScheduleCheck check = ValidateSchedule(trace, s);
+      return {"offline greedy", Table::Num(check.max_delay), "-",
+              Table::Num(check.global_utilization, 3), "-",
+              Table::Num(s.changes()), "-"};
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = StripJobsFlag(&argc, argv, ThreadPool::kAutoThreads);
+  const BenchArtifacts artifacts(argc, argv);
+  const auto trace = SingleSessionWorkload("mixed", kBa, kDa / 2, kHorizon,
+                                           kSeed);
+
+  BatchRunner runner(BatchOptions{jobs, 0});
+  const auto start = std::chrono::steady_clock::now();
+  const auto batch = runner.Map<std::vector<std::string>>(
+      "fig2", kStrategies, [&trace](const TaskContext& ctx) {
+        return RunStrategy(ctx.key.index, trace);
+      });
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!batch.ok()) {
+    std::fprintf(stderr, "fig2: %s\n", FormatErrors(batch.errors).c_str());
+    return 1;
+  }
+
   Table table({"strategy", "max delay", "p99 delay", "global util",
                "local util", "changes", "cost (k)"});
-
-  {  // (a) static high: minimal rate meeting the delay bound
-    StaticAllocator alloc = MakeStaticPeak(trace, kDa);
-    AddRow(table, "(a) static-peak", RunSingleSession(trace, alloc, opt),
-           cost);
-  }
-  {  // (b) static low: mean rate
-    StaticAllocator alloc = MakeStaticMean(trace);
-    SingleEngineOptions long_drain = opt;
-    long_drain.drain_slots = 2000;  // enough to drain its huge backlog
-    AddRow(table, "(b) static-mean",
-           RunSingleSession(trace, alloc, long_drain), cost);
-  }
-  {  // (c) per-arrival dynamic
-    PerArrivalAllocator alloc(kDa);
-    AddRow(table, "(c) per-arrival", RunSingleSession(trace, alloc, opt),
-           cost);
-  }
-  {  // (d) the paper's online algorithm
-    SingleSessionParams p;
-    p.max_bandwidth = kBa;
-    p.max_delay = kDa;
-    p.min_utilization = Ratio(1, 6);
-    p.window = kW;
-    SingleSessionOnline alloc(p);
-    AddRow(table, "(d) online (Fig.3)", RunSingleSession(trace, alloc, opt),
-           cost);
-  }
-  {  // [GKT95]-style periodic renegotiation
-    PeriodicAllocator alloc(4 * kDa, 130, kDa);
-    AddRow(table, "periodic (RCBR-ish)", RunSingleSession(trace, alloc, opt),
-           cost);
-  }
-  {  // [ACHM96]-style EWMA with hysteresis
-    ExpSmoothingAllocator alloc(10, 50, kDa);
-    AddRow(table, "ewma+hysteresis", RunSingleSession(trace, alloc, opt),
-           cost);
-  }
-  {  // clairvoyant reference
-    OfflineParams off;
-    off.max_bandwidth = kBa;
-    off.delay = kDa / 2;
-    off.utilization = Ratio(1, 2);
-    off.window = kW;
-    const OfflineSchedule s = GreedyMinChangeSchedule(trace, off);
-    if (s.feasible) {
-      const ScheduleCheck check = ValidateSchedule(trace, s);
-      table.AddRow({"offline greedy", Table::Num(check.max_delay), "-",
-                    Table::Num(check.global_utilization, 3), "-",
-                    Table::Num(s.changes()), "-"});
-    }
+  for (const auto& row : batch.results) {
+    if (row->empty()) continue;  // infeasible offline reference
+    table.AddRow(*row);
   }
 
   std::printf("== FIG2: the three-way tradeoff, measured ==\n");
@@ -123,5 +156,7 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Fig. 2): (a) short delay / poor utilization;"
       "\n(b) the reverse; (c) fixes both at an absurd change count;"
       "\n(d) fixes both at a change count near the clairvoyant offline.\n");
+  std::fprintf(stderr, "[fig2] %lld strategies, %d jobs, %.2fs wall\n",
+               static_cast<long long>(kStrategies), runner.jobs(), secs);
   return 0;
 }

@@ -11,13 +11,20 @@
 //   * the worst delay and utilization across the suite.
 // The paper's claim is the SHAPE: the per-stage price grows like log2(B_A)
 // and never exceeds the bound; delay/utilization never break.
+//
+// The (B_A, seed, workload) grid runs sharded on the batch runner; pass
+// --jobs=N (default: hardware concurrency). Results reduce in task-index
+// order, so the table is identical for every N.
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 #include "analysis/artifact.h"
 #include "analysis/table.h"
 #include "core/single_session.h"
 #include "offline/offline_single.h"
+#include "runner/batch_runner.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
 #include "util/power_of_two.h"
@@ -29,71 +36,113 @@ constexpr Time kDa = 16;  // D_O = 8
 constexpr Time kW = 16;  // 2 D_O (offline feasibility, DESIGN.md)
 constexpr Time kHorizon = 6000;
 
+const std::vector<Bits> kBas = {16, 64, 256, 1024, 4096};
+const std::vector<std::uint64_t> kSeeds = {11, 12};
+const std::vector<std::string> kWorkloads = {
+    "cbr", "onoff", "pareto", "mmpp", "video", "sawtooth", "mixed"};
+
+// One (B_A, seed, workload) cell of the sweep.
+struct CellOut {
+  double per_stage = 0;
+  double ratio_lb = 0;
+  double ratio_greedy = 0;
+  Time delay = 0;
+  double util = 1.0;
+  bool has_traffic = false;
+};
+
+CellOut RunCell(Bits ba, std::uint64_t seed, const std::string& workload) {
+  SingleSessionParams p;
+  p.max_bandwidth = ba;
+  p.max_delay = kDa;
+  p.min_utilization = Ratio(1, 6);
+  p.window = kW;
+
+  OfflineParams off;
+  off.max_bandwidth = p.offline_bandwidth();
+  off.delay = p.offline_delay();
+  off.utilization = p.offline_utilization();
+  off.window = p.window;
+
+  const auto trace = SingleSessionWorkload(
+      workload, p.offline_bandwidth(), p.offline_delay(), kHorizon, seed);
+  SingleSessionOnline alg(p);
+  SingleEngineOptions opt;
+  opt.drain_slots = 2 * kDa;
+  opt.utilization_scan_window = kW + 5 * p.offline_delay();
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+  CellOut out;
+  out.per_stage = static_cast<double>(alg.max_changes_in_any_stage());
+  const std::int64_t lb = EnvelopeStageLowerBound(trace, off);
+  out.ratio_lb = static_cast<double>(r.changes) /
+                 static_cast<double>(std::max<std::int64_t>(1, lb));
+  const OfflineSchedule greedy = GreedyMinChangeSchedule(trace, off);
+  if (greedy.feasible) {
+    out.ratio_greedy =
+        static_cast<double>(r.changes) /
+        static_cast<double>(std::max<std::int64_t>(1, greedy.changes()));
+  }
+  out.delay = r.delay.max_delay();
+  out.util = r.worst_best_window_utilization;
+  out.has_traffic = r.total_arrivals > 0;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int jobs = StripJobsFlag(&argc, argv, ThreadPool::kAutoThreads);
   const BenchArtifacts artifacts(argc, argv);
+  BatchRunner runner(BatchOptions{jobs, 0});
+
+  const std::int64_t per_ba =
+      static_cast<std::int64_t>(kSeeds.size() * kWorkloads.size());
+  const std::int64_t cells = static_cast<std::int64_t>(kBas.size()) * per_ba;
+
+  const auto start = std::chrono::steady_clock::now();
+  const BatchResult<CellOut> batch =
+      runner.Map<CellOut>("thm6", cells, [&](const TaskContext& ctx) {
+        const std::int64_t i = ctx.key.index;
+        const Bits ba = kBas[static_cast<std::size_t>(i / per_ba)];
+        const std::uint64_t seed =
+            kSeeds[static_cast<std::size_t>((i % per_ba) /
+                                            static_cast<std::int64_t>(
+                                                kWorkloads.size()))];
+        const std::string& workload = kWorkloads[static_cast<std::size_t>(
+            i % static_cast<std::int64_t>(kWorkloads.size()))];
+        return RunCell(ba, seed, workload);
+      });
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!batch.ok()) {
+    std::fprintf(stderr, "thm6: %s\n", FormatErrors(batch.errors).c_str());
+    return 1;
+  }
+
   Table table({"B_A", "l_A bound", "chg/stage max", "ratio vs stage-lb",
                "ratio vs greedy", "max delay (<=16)", "min local util",
                "workloads"});
-
-  for (const Bits ba : {Bits{16}, Bits{64}, Bits{256}, Bits{1024},
-                        Bits{4096}}) {
-    SingleSessionParams p;
-    p.max_bandwidth = ba;
-    p.max_delay = kDa;
-    p.min_utilization = Ratio(1, 6);
-    p.window = kW;
-
-    OfflineParams off;
-    off.max_bandwidth = p.offline_bandwidth();
-    off.delay = p.offline_delay();
-    off.utilization = p.offline_utilization();
-    off.window = p.window;
-
+  // Reduce in task-index order: [ba_idx * per_ba, (ba_idx + 1) * per_ba).
+  for (std::size_t b = 0; b < kBas.size(); ++b) {
     double worst_per_stage = 0;
     double worst_ratio_lb = 0;
     double worst_ratio_greedy = 0;
     Time worst_delay = 0;
     double min_util = 1.0;
     int workloads = 0;
-
-    for (const std::uint64_t seed : {11ULL, 12ULL}) {
-      for (const NamedTrace& w :
-           SingleSessionSuite(p.offline_bandwidth(), p.offline_delay(),
-                              kHorizon, seed)) {
-        SingleSessionOnline alg(p);
-        SingleEngineOptions opt;
-        opt.drain_slots = 2 * kDa;
-        opt.utilization_scan_window = kW + 5 * p.offline_delay();
-        const SingleRunResult r = RunSingleSession(w.trace, alg, opt);
-
-        const auto stages = std::max<std::int64_t>(1, r.stages);
-        worst_per_stage = std::max(
-            worst_per_stage, static_cast<double>(alg.max_changes_in_any_stage()));
-        const std::int64_t lb = EnvelopeStageLowerBound(w.trace, off);
-        worst_ratio_lb = std::max(
-            worst_ratio_lb, static_cast<double>(r.changes) /
-                                static_cast<double>(std::max<std::int64_t>(
-                                    1, lb)));
-        const OfflineSchedule greedy = GreedyMinChangeSchedule(w.trace, off);
-        if (greedy.feasible) {
-          worst_ratio_greedy = std::max(
-              worst_ratio_greedy,
-              static_cast<double>(r.changes) /
-                  static_cast<double>(
-                      std::max<std::int64_t>(1, greedy.changes())));
-        }
-        worst_delay = std::max(worst_delay, r.delay.max_delay());
-        if (r.total_arrivals > 0) {
-          min_util = std::min(min_util, r.worst_best_window_utilization);
-        }
-        (void)stages;
-        ++workloads;
-      }
+    for (std::int64_t i = static_cast<std::int64_t>(b) * per_ba;
+         i < static_cast<std::int64_t>(b + 1) * per_ba; ++i) {
+      const CellOut& c = *batch.results[static_cast<std::size_t>(i)];
+      worst_per_stage = std::max(worst_per_stage, c.per_stage);
+      worst_ratio_lb = std::max(worst_ratio_lb, c.ratio_lb);
+      worst_ratio_greedy = std::max(worst_ratio_greedy, c.ratio_greedy);
+      worst_delay = std::max(worst_delay, c.delay);
+      if (c.has_traffic) min_util = std::min(min_util, c.util);
+      ++workloads;
     }
-
-    table.AddRow({Table::Num(ba), Table::Num(CeilLog2(ba)),
+    table.AddRow({Table::Num(kBas[b]), Table::Num(CeilLog2(kBas[b])),
                   Table::Num(worst_per_stage, 0),
                   Table::Num(worst_ratio_lb, 2),
                   Table::Num(worst_ratio_greedy, 2),
@@ -113,5 +162,7 @@ int main(int argc, char** argv) {
       "(transition-\ncounting convention; bursts let the ladder skip "
       "levels, so it can sit below the\nbound); delay <= D_A = 16; local "
       "utilization >= U_A = 0.167 at every time.\n");
+  std::fprintf(stderr, "[thm6] %lld cells, %d jobs, %.2fs wall\n",
+               static_cast<long long>(cells), runner.jobs(), secs);
   return 0;
 }

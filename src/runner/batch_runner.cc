@@ -1,0 +1,38 @@
+#include "runner/batch_runner.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bwalloc {
+
+std::string FormatErrors(const std::vector<TaskError>& errors) {
+  std::string out;
+  for (const TaskError& e : errors) {
+    if (!out.empty()) out += "; ";
+    out += "task " + e.key.ToString() + ": " + e.message;
+  }
+  return out;
+}
+
+int StripJobsFlag(int* argc, char** argv, int fallback) {
+  static constexpr char kPrefix[] = "--jobs=";
+  int jobs = fallback;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strncmp(argv[r], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      const char* value = argv[r] + sizeof(kPrefix) - 1;
+      std::size_t pos = 0;
+      const std::string text(value);
+      jobs = std::stoi(text, &pos);
+      if (pos != text.size() || jobs < 0) {
+        throw std::invalid_argument("bad --jobs value: " + text);
+      }
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return jobs;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,105 @@
+// Sharded batch execution with deterministic replay.
+//
+// BatchRunner::Map runs `count` independent tasks across a fixed-size
+// thread pool. Determinism contract:
+//   * each task's RNG stream derives from its stable (suite, index) key
+//     (util/rng.h DeriveStream), never from the executing thread;
+//   * each task writes only its own result slot;
+//   * callers reduce the result vector in task-index order.
+// Under that contract the merged output of a batch is bitwise identical
+// for every --jobs value — threads change wall-clock, nothing else.
+//
+// A task that throws does not abort the batch: its slot stays empty and
+// its (key, message) pair is reported in index order.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/task.h"
+#include "runner/thread_pool.h"
+
+namespace bwalloc {
+
+struct BatchOptions {
+  // Worker threads; 0 = hardware concurrency, 1 = serial reference.
+  int jobs = 1;
+  // Folded into every task seed; lets one suite spec span seed families.
+  std::uint64_t base_seed = 0;
+};
+
+template <typename R>
+struct BatchResult {
+  std::vector<std::optional<R>> results;  // slot i holds task i, empty on failure
+  std::vector<TaskError> errors;          // failing tasks, index order
+
+  bool ok() const { return errors.empty(); }
+
+  // Successful results in task-index order.
+  std::vector<R> Values() const {
+    std::vector<R> out;
+    out.reserve(results.size());
+    for (const std::optional<R>& r : results) {
+      if (r.has_value()) out.push_back(*r);
+    }
+    return out;
+  }
+};
+
+// "task 3/acme[7]: boom; task 9/..." — one line per failure.
+std::string FormatErrors(const std::vector<TaskError>& errors);
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(const BatchOptions& options = {})
+      : pool_(options.jobs), base_seed_(options.base_seed) {}
+
+  int jobs() const { return pool_.threads(); }
+
+  // Runs fn(TaskContext) for each task of `suite`, returning results and
+  // failures keyed by task index.
+  template <typename R, typename F>
+  BatchResult<R> Map(const std::string& suite, std::int64_t count, F&& fn) {
+    BatchResult<R> out;
+    const auto n = static_cast<std::size_t>(count);
+    out.results.resize(n);
+    std::vector<std::string> messages(n);
+    std::vector<char> failed(n, 0);  // char, not bool: disjoint writes
+    pool_.RunIndexed(n, [&](std::size_t i) {
+      const auto index = static_cast<std::int64_t>(i);
+      const TaskContext ctx{{suite, index}, TaskSeed(suite, index, base_seed_)};
+      try {
+        out.results[i] = fn(ctx);
+      } catch (const std::exception& e) {
+        messages[i] = e.what();
+        failed[i] = 1;
+      } catch (...) {
+        messages[i] = "unknown exception";
+        failed[i] = 1;
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      if (failed[i]) {
+        out.errors.push_back(
+            {{suite, static_cast<std::int64_t>(i)}, std::move(messages[i])});
+      }
+    }
+    return out;
+  }
+
+ private:
+  ThreadPool pool_;
+  std::uint64_t base_seed_;
+};
+
+// Strips a trailing/leading `--jobs=N` argument from argv (compacting it)
+// and returns N; returns `fallback` when absent. Lets the bench binaries
+// keep their existing "first positional arg = artifact dir" convention.
+int StripJobsFlag(int* argc, char** argv, int fallback);
+
+}  // namespace bwalloc

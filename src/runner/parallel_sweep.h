@@ -1,0 +1,61 @@
+// ParallelSweep — property-test helper on top of BatchRunner.
+//
+// A sweep runs `count` independent checks; each check returns "" on
+// success or a human-readable violation message. Failures (including
+// thrown exceptions) are collected per task key in index order, so a test
+// asserts once on the whole grid and still names every offending cell.
+// Checks get their randomness/parameters from the TaskContext key and
+// seed, which keeps a widened grid deterministic at any thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "runner/batch_runner.h"
+
+namespace bwalloc {
+
+struct SweepOptions {
+  int jobs = ThreadPool::kAutoThreads;
+  std::uint64_t base_seed = 0;
+};
+
+struct SweepResult {
+  std::int64_t tasks = 0;
+  std::vector<TaskError> failures;  // task-index order
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const {
+    return failures.empty()
+               ? "all " + std::to_string(tasks) + " sweep tasks passed"
+               : FormatErrors(failures);
+  }
+};
+
+// F: std::string(const TaskContext&) — empty string means the check held.
+template <typename F>
+SweepResult ParallelSweep(const std::string& suite, std::int64_t count, F&& check,
+                          const SweepOptions& options = {}) {
+  BatchRunner runner(BatchOptions{options.jobs, options.base_seed});
+  BatchResult<std::string> batch =
+      runner.Map<std::string>(suite, count, std::forward<F>(check));
+  SweepResult out;
+  out.tasks = count;
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    if (batch.results[i].has_value() && !batch.results[i]->empty()) {
+      out.failures.push_back(
+          {{suite, static_cast<std::int64_t>(i)}, *batch.results[i]});
+    }
+  }
+  // Thrown checks count as failures too, interleaved by index.
+  for (TaskError& e : batch.errors) out.failures.push_back(std::move(e));
+  std::stable_sort(out.failures.begin(), out.failures.end(),
+                   [](const TaskError& a, const TaskError& b) {
+                     return a.key.index < b.key.index;
+                   });
+  return out;
+}
+
+}  // namespace bwalloc

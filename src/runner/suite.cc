@@ -1,0 +1,197 @@
+#include "runner/suite.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/multi_continuous.h"
+#include "core/multi_phased.h"
+#include "core/single_session.h"
+#include "sim/engine_multi.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+// One executed cell: its table row plus its aggregate contribution.
+struct CellOutcome {
+  std::vector<std::string> row;
+  AggregateStats stats;
+};
+
+MultiWorkloadKind ParseMultiKind(const std::string& kind) {
+  if (kind == "balanced") return MultiWorkloadKind::kBalanced;
+  if (kind == "rotating-hotspot") return MultiWorkloadKind::kRotatingHotspot;
+  if (kind == "churn") return MultiWorkloadKind::kChurn;
+  if (kind == "skewed") return MultiWorkloadKind::kSkewed;
+  throw std::invalid_argument("unknown multi workload kind: " + kind);
+}
+
+CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
+  const std::int64_t grid = ctx.key.index / spec.seeds;
+  const std::int64_t stream = ctx.key.index % spec.seeds;
+  const std::string& workload =
+      spec.workloads.at(static_cast<std::size_t>(grid));
+
+  SingleSessionParams p;
+  p.max_bandwidth = spec.ba;
+  p.max_delay = spec.da;
+  p.min_utilization = Ratio(1, spec.inv_ua);
+  p.window = spec.window;
+
+  const auto trace =
+      SingleSessionWorkload(workload, p.offline_bandwidth(), p.offline_delay(),
+                            spec.horizon, ctx.seed);
+
+  SingleSessionOnline::Variant variant;
+  if (spec.algo == "online") {
+    variant = SingleSessionOnline::Variant::kBase;
+  } else if (spec.algo == "modified") {
+    variant = SingleSessionOnline::Variant::kModified;
+  } else {
+    throw std::invalid_argument("unknown suite algo: " + spec.algo);
+  }
+  SingleSessionOnline alg(p, variant);
+
+  SingleEngineOptions opt;
+  opt.drain_slots = 2 * spec.da;
+  opt.utilization_scan_window = spec.window + 5 * p.offline_delay();
+  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+  CellOutcome out;
+  out.row = {workload,
+             Table::Num(stream),
+             Table::Num(r.delay.max_delay()),
+             Table::Num(r.delay.Percentile(0.99)),
+             Table::Num(r.changes),
+             Table::Num(r.stages),
+             Table::Num(r.worst_best_window_utilization, 3),
+             Table::Num(r.global_utilization, 3)};
+  out.stats.Add(r);
+  return out;
+}
+
+CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
+  const std::int64_t per_kind =
+      static_cast<std::int64_t>(spec.session_counts.size()) * spec.seeds;
+  const std::int64_t kind_index = ctx.key.index / per_kind;
+  const std::int64_t k = spec.session_counts.at(
+      static_cast<std::size_t>((ctx.key.index / spec.seeds) %
+                               static_cast<std::int64_t>(
+                                   spec.session_counts.size())));
+  const std::int64_t stream = ctx.key.index % spec.seeds;
+  const std::string& kind =
+      spec.kinds.at(static_cast<std::size_t>(kind_index));
+
+  MultiSessionParams p;
+  p.sessions = k;
+  p.offline_bandwidth = spec.per_session_bo * k;
+  p.offline_delay = spec.d_o;
+
+  const auto traces =
+      MultiSessionWorkload(ParseMultiKind(kind), k, p.offline_bandwidth,
+                           p.offline_delay, spec.horizon, ctx.seed);
+
+  MultiEngineOptions opt;
+  opt.drain_slots = 4 * spec.d_o;
+  MultiRunResult r;
+  if (spec.multi_algo == "phased") {
+    PhasedMulti sys(p);
+    r = RunMultiSession(traces, sys, opt);
+  } else if (spec.multi_algo == "continuous") {
+    ContinuousMulti sys(p);
+    r = RunMultiSession(traces, sys, opt);
+  } else {
+    throw std::invalid_argument("unknown suite multi algo: " + spec.multi_algo);
+  }
+
+  CellOutcome out;
+  out.row = {kind,
+             Table::Num(k),
+             Table::Num(stream),
+             Table::Num(r.delay.max_delay()),
+             Table::Num(r.delay.Percentile(0.99)),
+             Table::Num(r.local_changes),
+             Table::Num(r.stages),
+             Table::Num(r.global_utilization, 3)};
+  out.stats.Add(r);
+  return out;
+}
+
+Table EmptyCellTable(const SuiteSpec& spec) {
+  if (spec.kind == SuiteSpec::Kind::kSingle) {
+    return Table({"workload", "stream", "max delay", "p99 delay", "changes",
+                  "stages", "local util", "global util"});
+  }
+  return Table({"kind", "k", "stream", "max delay", "p99 delay", "changes",
+                "stages", "global util"});
+}
+
+}  // namespace
+
+std::int64_t SuiteSpec::CellCount() const {
+  if (kind == Kind::kSingle) {
+    return static_cast<std::int64_t>(workloads.size()) * seeds;
+  }
+  return static_cast<std::int64_t>(kinds.size()) *
+         static_cast<std::int64_t>(session_counts.size()) * seeds;
+}
+
+SuiteReport RunSuite(const SuiteSpec& spec, BatchRunner& runner) {
+  if (spec.seeds <= 0) throw std::invalid_argument("suite needs seeds >= 1");
+  if (spec.horizon <= 0) throw std::invalid_argument("suite needs horizon >= 1");
+
+  BatchResult<CellOutcome> batch = runner.Map<CellOutcome>(
+      spec.name, spec.CellCount(), [&spec](const TaskContext& ctx) {
+        return spec.kind == SuiteSpec::Kind::kSingle ? RunSingleCell(spec, ctx)
+                                                     : RunMultiCell(spec, ctx);
+      });
+
+  SuiteReport report{EmptyCellTable(spec), {}, std::move(batch.errors)};
+  for (std::optional<CellOutcome>& cell : batch.results) {
+    if (!cell.has_value()) continue;  // failed cell, reported via errors
+    report.cells.AddRow(std::move(cell->row));
+    report.aggregate.Merge(cell->stats);
+  }
+  return report;
+}
+
+std::string FormatReport(const SuiteSpec& spec, const SuiteReport& report,
+                         bool csv) {
+  std::ostringstream out;
+  out << "== batch suite '" << spec.name << "' ==\n";
+  if (spec.kind == SuiteSpec::Kind::kSingle) {
+    out << "single-session algo=" << spec.algo << " B_A=" << spec.ba
+        << " D_A=" << spec.da << " U_A=1/" << spec.inv_ua
+        << " W=" << spec.window;
+  } else {
+    out << "multi-session algo=" << spec.multi_algo
+        << " B_O=" << spec.per_session_bo << "*k D_O=" << spec.d_o;
+  }
+  out << " horizon=" << spec.horizon << " streams=" << spec.seeds
+      << " cells=" << spec.CellCount() << "\n\n";
+
+  if (csv) {
+    report.cells.PrintCsv(out);
+  } else {
+    report.cells.PrintAscii(out);
+  }
+
+  const AggregateStats& a = report.aggregate;
+  out << "\nmerged over " << a.tasks << " cells:\n";
+  out << "  arrivals=" << a.total_arrivals << " delivered=" << a.total_delivered
+      << " final_queue=" << a.final_queue << " dropped=" << a.dropped << "\n";
+  out << "  changes=" << a.changes << " stages=" << a.stages
+      << " changes/stage=" << a.ChangesPerStage().ToString() << "\n";
+  out << "  max_delay=" << a.max_delay
+      << " mean_delay=" << Table::Num(a.delay.MeanDelay(), 4) << "\n";
+  out << "  global_util=" << a.GlobalUtilization().ToString() << " ("
+      << Table::Num(a.GlobalUtilization().ToDouble(), 6) << ")"
+      << " min_local_util=" << Table::Num(a.min_local_utilization, 6) << "\n";
+  if (!report.errors.empty()) {
+    out << "failed cells: " << FormatErrors(report.errors) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,69 @@
+// Declarative sweep suites for the batch runner.
+//
+// A SuiteSpec names a grid of independent simulation cells — workloads x
+// seed streams for the single-session algorithms, kinds x session counts x
+// seed streams for the multi-session ones. RunSuite shards the cells over
+// a BatchRunner and reduces them in cell-index order into a per-cell table
+// plus an AggregateStats, so the formatted report is byte-identical for
+// every --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "runner/batch_runner.h"
+#include "runner/merge.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct SuiteSpec {
+  enum class Kind { kSingle, kMulti };
+
+  std::string name = "batch";  // folded into every cell's RNG stream
+  Kind kind = Kind::kSingle;
+  std::int64_t seeds = 2;  // seed streams per grid point (task-key derived)
+  Time horizon = 4000;
+
+  // Single-session grid (kind == kSingle).
+  std::vector<std::string> workloads = {"cbr", "onoff", "pareto", "mmpp",
+                                        "video", "sawtooth", "mixed"};
+  std::string algo = "online";  // online | modified
+  Bits ba = 64;
+  Time da = 16;
+  std::int64_t inv_ua = 6;
+  Time window = 8;
+
+  // Multi-session grid (kind == kMulti).
+  std::vector<std::string> kinds = {"balanced", "rotating-hotspot", "churn",
+                                    "skewed"};
+  std::vector<std::int64_t> session_counts = {2, 4, 8};
+  std::string multi_algo = "phased";  // phased | continuous
+  Bits per_session_bo = 16;           // B_O = per_session_bo * k
+  Time d_o = 8;
+
+  // Cells = grid points x seed streams.
+  std::int64_t CellCount() const;
+};
+
+struct SuiteReport {
+  Table cells;  // one row per cell, cell-index order
+  AggregateStats aggregate;
+  std::vector<TaskError> errors;  // failed cells, index order
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Runs every cell of `spec` on `runner`. Throws only on spec errors
+// (unknown workload/algo names surface per-cell instead).
+SuiteReport RunSuite(const SuiteSpec& spec, BatchRunner& runner);
+
+// Renders spec + per-cell table + aggregate summary (and any per-cell
+// failures) as the canonical `bwsim batch` output. Deterministic: equal
+// reports format to equal bytes.
+std::string FormatReport(const SuiteSpec& spec, const SuiteReport& report,
+                         bool csv);
+
+}  // namespace bwalloc

@@ -1,0 +1,54 @@
+// Task identity for the sharded batch runner.
+//
+// Every unit of work in a batch is addressed by a (suite, index) key. The
+// key — never the executing thread or the submission order — determines the
+// task's RNG stream, so a batch produces bitwise-identical results whether
+// it runs on one thread or sixteen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace bwalloc {
+
+struct TaskKey {
+  std::string suite;
+  std::int64_t index = 0;
+
+  std::string ToString() const {
+    return suite + "[" + std::to_string(index) + "]";
+  }
+
+  friend bool operator==(const TaskKey& a, const TaskKey& b) {
+    return a.index == b.index && a.suite == b.suite;
+  }
+};
+
+// Handed to each task body by BatchRunner::Map. `seed` is the stable
+// derived stream for this key; MakeRng() is the canonical way for a task to
+// obtain randomness.
+struct TaskContext {
+  TaskKey key;
+  std::uint64_t seed = 0;
+
+  Rng MakeRng() const { return Rng(seed); }
+};
+
+// The stable stream for task `index` of `suite`, folded with a user-chosen
+// base seed (0 = the suite's default stream family).
+inline std::uint64_t TaskSeed(std::string_view suite, std::int64_t index,
+                              std::uint64_t base_seed = 0) {
+  return DeriveStream(HashString(suite) ^ base_seed,
+                      static_cast<std::uint64_t>(index));
+}
+
+// A task that failed; `message` is the exception text. Batches never abort
+// on task failure — they surface the failing keys and keep going.
+struct TaskError {
+  TaskKey key;
+  std::string message;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,87 @@
+#include "runner/thread_pool.h"
+
+namespace bwalloc {
+
+ThreadPool::ThreadPool(int threads) : threads_(ResolveJobs(threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::RunIndexed(std::size_t count,
+                            const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_ == 1) {
+    // Serial reference path: no synchronization, same results by contract.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    count_ = count;
+    next_ = 0;
+    completed_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainCurrentBatch();  // the calling thread works too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return completed_ == count_; });
+  job_ = nullptr;
+}
+
+void ThreadPool::DrainCurrentBatch() {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == nullptr || next_ >= count_) return;
+      index = next_++;
+      job = job_;
+    }
+    (*job)(index);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+      last = completed_ == count_;
+    }
+    if (last) {
+      done_cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    DrainCurrentBatch();
+  }
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,59 @@
+// Fixed-size worker pool dispatching indexed jobs.
+//
+// The pool hands out task indices through an atomic cursor, so scheduling
+// is dynamic (good load balance for heterogeneous tasks) while every
+// artifact of a batch stays keyed by index — determinism is the caller's
+// concern and is trivial under that contract. A pool of one thread runs
+// jobs inline on the caller with zero synchronization, which doubles as the
+// serial reference implementation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bwalloc {
+
+class ThreadPool {
+ public:
+  // `threads` >= 1; kAutoThreads picks std::thread::hardware_concurrency().
+  static constexpr int kAutoThreads = 0;
+  explicit ThreadPool(int threads = kAutoThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs fn(i) once for every i in [0, count) and blocks until all are
+  // done. The calling thread participates. `fn` must be thread-safe across
+  // distinct indices and must not throw (wrap bodies that can).
+  void RunIndexed(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // The effective thread count for a requested job count (0 = auto).
+  static int ResolveJobs(int jobs);
+
+ private:
+  void WorkerLoop();
+  // Pulls indices from the shared cursor until the batch is exhausted.
+  void DrainCurrentBatch();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // RunIndexed waits for completion
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;       // next index to hand out (guarded by mu_)
+  std::size_t completed_ = 0;  // finished tasks in the current batch
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace bwalloc

@@ -58,6 +58,7 @@ AdaptiveRunResult RunAdaptiveSingleSession(AdaptiveAdversary& adversary,
   result.run.stages = allocator.stages();
   result.run.global_utilization = util.GlobalUtilization();
   result.run.total_allocated_bits = util.TotalAllocatedBits();
+  result.run.total_allocated_raw = util.TotalAllocatedRaw();
   if (options.utilization_scan_window > 0) {
     result.run.worst_best_window_utilization =
         util.WorstBestWindowUtilization(options.utilization_scan_window);
@@ -142,6 +143,7 @@ MultiAdaptiveRunResult RunAdaptiveMultiSession(
   result.run.global_stages = system.global_stages();
   result.run.global_utilization = util.GlobalUtilization();
   result.run.total_allocated_bits = util.TotalAllocatedBits();
+  result.run.total_allocated_raw = util.TotalAllocatedRaw();
   return result;
 }
 

@@ -86,6 +86,7 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   result.global_stages = system.global_stages();
   result.global_utilization = util.GlobalUtilization();
   result.total_allocated_bits = util.TotalAllocatedBits();
+  result.total_allocated_raw = util.TotalAllocatedRaw();
   if (options.utilization_scan_window > 0) {
     result.worst_best_window_utilization =
         util.WorstBestWindowUtilization(options.utilization_scan_window);

@@ -50,6 +50,7 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
   result.stages = alloc.stages();
   result.global_utilization = util.GlobalUtilization();
   result.total_allocated_bits = util.TotalAllocatedBits();
+  result.total_allocated_raw = util.TotalAllocatedRaw();
   if (options.utilization_scan_window > 0) {
     result.worst_best_window_utilization =
         util.WorstBestWindowUtilization(options.utilization_scan_window);

@@ -62,6 +62,11 @@ class UtilizationMeter {
   Time slots() const { return static_cast<Time>(arrivals_.size()); }
   Bits total_arrivals() const { return total_in_; }
 
+  // Exact allocated bandwidth-time in raw Q16 units. The batch runner
+  // aggregates this integer (not the double below) so merged utilization is
+  // an exact rational, identical for every shard count.
+  std::int64_t TotalAllocatedRaw() const { return total_alloc_raw_; }
+
   // Total allocated bandwidth-time, in bits.
   double TotalAllocatedBits() const {
     return static_cast<double>(total_alloc_raw_) /

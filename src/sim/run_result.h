@@ -25,6 +25,8 @@ struct SingleRunResult {
   double global_utilization = 0.0;
   double worst_best_window_utilization = 0.0;  // Lemma 5 measurement
   double total_allocated_bits = 0.0;           // bandwidth-time consumed
+  // Same quantity, exact, in raw Q16 units (see UtilizationMeter).
+  std::int64_t total_allocated_raw = 0;
   Bandwidth peak_allocation;
 
   // Optional per-slot allocation trace (bench/figure output).
@@ -48,6 +50,8 @@ struct MultiRunResult {
   double global_utilization = 0.0;
   double worst_best_window_utilization = 0.0;
   double total_allocated_bits = 0.0;
+  // Same quantity, exact, in raw Q16 units (see UtilizationMeter).
+  std::int64_t total_allocated_raw = 0;
   Bandwidth peak_total_allocation;
   Bandwidth peak_regular_allocation;
   Bandwidth peak_overflow_allocation;

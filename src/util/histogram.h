@@ -52,6 +52,13 @@ class DelayHistogram {
     return max_delay_;
   }
 
+  // Exact structural equality (counts can never hold trailing zeros, so
+  // equal content implies equal representation).
+  friend bool operator==(const DelayHistogram& a, const DelayHistogram& b) {
+    return a.counts_ == b.counts_ && a.total_bits_ == b.total_bits_ &&
+           a.weighted_sum_ == b.weighted_sum_ && a.max_delay_ == b.max_delay_;
+  }
+
   void Merge(const DelayHistogram& other) {
     if (other.counts_.size() > counts_.size()) {
       counts_.resize(other.counts_.size(), 0);

@@ -8,11 +8,43 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 #include "util/assert.h"
 #include "util/types.h"
 
 namespace bwalloc {
+
+// One SplitMix64 step: mixes `x + golden-gamma` into a well-distributed
+// 64-bit value. Used to expand seeds into xoshiro state and, standalone, to
+// derive independent task streams for the batch runner.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over the bytes of `s`: a stable, platform-independent string key
+// (suite names, workload names) for stream derivation.
+constexpr std::uint64_t HashString(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Stable RNG stream for task `index` of the suite identified by
+// `suite_key` (typically HashString(suite_name) ^ user_base_seed). The
+// double mix keeps streams with nearby indices statistically independent,
+// and the result depends only on (suite_key, index) — never on thread
+// scheduling — so sharded batch runs are bitwise reproducible.
+constexpr std::uint64_t DeriveStream(std::uint64_t suite_key,
+                                     std::uint64_t index) {
+  return SplitMix64(suite_key ^ SplitMix64(index));
+}
 
 class Rng {
  public:
@@ -20,11 +52,8 @@ class Rng {
     // SplitMix64 expansion of the seed into the xoshiro state.
     std::uint64_t x = seed;
     for (auto& s : state_) {
+      s = SplitMix64(x);
       x += 0x9E3779B97f4A7C15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      s = z ^ (z >> 31);
     }
   }
 

@@ -1,0 +1,120 @@
+// The batch runner's core promise: the merged output of a sharded run is
+// bitwise independent of the thread count. Same suite spec at --jobs=1,
+// --jobs=4 and --jobs=hardware_concurrency must produce identical counts,
+// exactly equal Ratios, an identical merged delay histogram, and a
+// byte-identical formatted report.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runner/batch_runner.h"
+#include "runner/suite.h"
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+SuiteSpec SmallSingleSpec() {
+  SuiteSpec spec;
+  spec.name = "determinism-single";
+  spec.kind = SuiteSpec::Kind::kSingle;
+  spec.workloads = {"cbr", "onoff", "pareto", "mixed"};
+  spec.seeds = 3;
+  spec.horizon = 1500;
+  spec.ba = 64;
+  spec.da = 16;
+  spec.inv_ua = 6;
+  spec.window = 8;
+  return spec;
+}
+
+SuiteSpec SmallMultiSpec() {
+  SuiteSpec spec;
+  spec.name = "determinism-multi";
+  spec.kind = SuiteSpec::Kind::kMulti;
+  spec.kinds = {"balanced", "rotating-hotspot"};
+  spec.session_counts = {2, 5};
+  spec.seeds = 2;
+  spec.horizon = 1200;
+  spec.multi_algo = "continuous";
+  return spec;
+}
+
+std::vector<int> JobCounts() {
+  const int hw = ThreadPool::ResolveJobs(ThreadPool::kAutoThreads);
+  return {1, 4, hw};
+}
+
+void ExpectIdenticalAcrossJobs(const SuiteSpec& spec) {
+  BatchRunner serial(BatchOptions{1, 0});
+  const SuiteReport reference = RunSuite(spec, serial);
+  ASSERT_TRUE(reference.ok()) << FormatErrors(reference.errors);
+  ASSERT_GT(reference.aggregate.tasks, 0);
+  ASSERT_GT(reference.aggregate.total_arrivals, 0);
+  const std::string reference_text = FormatReport(spec, reference, false);
+  const std::string reference_csv = FormatReport(spec, reference, true);
+
+  for (const int jobs : JobCounts()) {
+    BatchRunner runner(BatchOptions{jobs, 0});
+    const SuiteReport report = RunSuite(spec, runner);
+    ASSERT_TRUE(report.ok()) << FormatErrors(report.errors);
+
+    // Bit-for-bit counts and histogram (AggregateStats == covers every
+    // field, including the exact Q16 bandwidth-time total).
+    EXPECT_TRUE(report.aggregate == reference.aggregate)
+        << "aggregate diverged at jobs=" << jobs;
+
+    // Exact rational equality on the derived ratios.
+    EXPECT_EQ(report.aggregate.GlobalUtilization(),
+              reference.aggregate.GlobalUtilization());
+    EXPECT_EQ(report.aggregate.ChangesPerStage(),
+              reference.aggregate.ChangesPerStage());
+
+    // Byte-identical rendering — what `bwsim batch --jobs=N` prints.
+    EXPECT_EQ(FormatReport(spec, report, false), reference_text)
+        << "ascii report diverged at jobs=" << jobs;
+    EXPECT_EQ(FormatReport(spec, report, true), reference_csv)
+        << "csv report diverged at jobs=" << jobs;
+  }
+}
+
+TEST(RunnerDeterminism, SingleSuiteIdenticalAtAnyJobCount) {
+  ExpectIdenticalAcrossJobs(SmallSingleSpec());
+}
+
+TEST(RunnerDeterminism, MultiSuiteIdenticalAtAnyJobCount) {
+  ExpectIdenticalAcrossJobs(SmallMultiSpec());
+}
+
+TEST(RunnerDeterminism, TaskSeedsDependOnlyOnKey) {
+  // The stream is a pure function of (suite, index, base) — stable across
+  // processes and platforms, never influenced by scheduling.
+  EXPECT_EQ(TaskSeed("acme", 7), TaskSeed("acme", 7));
+  EXPECT_NE(TaskSeed("acme", 7), TaskSeed("acme", 8));
+  EXPECT_NE(TaskSeed("acme", 7), TaskSeed("acmf", 7));
+  EXPECT_NE(TaskSeed("acme", 7, 0), TaskSeed("acme", 7, 1));
+  EXPECT_EQ(DeriveStream(HashString("acme"), 7), TaskSeed("acme", 7));
+}
+
+TEST(RunnerDeterminism, MapResultsIndexedByTaskNotByThread) {
+  // Tasks return their own index after jittered work; every slot must hold
+  // its own key regardless of completion order.
+  BatchRunner runner(BatchOptions{4, 0});
+  const std::int64_t n = 64;
+  const auto batch =
+      runner.Map<std::int64_t>("indexed", n, [](const TaskContext& ctx) {
+        Rng rng = ctx.MakeRng();
+        volatile std::uint64_t sink = 0;
+        const std::int64_t spin = rng.UniformInt(0, 20000);
+        for (std::int64_t i = 0; i < spin; ++i) sink = sink + rng.Next();
+        return ctx.key.index;
+      });
+  ASSERT_TRUE(batch.ok());
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(batch.results[static_cast<std::size_t>(i)].has_value());
+    EXPECT_EQ(*batch.results[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace bwalloc

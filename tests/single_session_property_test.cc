@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "core/single_session.h"
+#include "runner/parallel_sweep.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
 #include "util/power_of_two.h"
@@ -82,6 +83,63 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(pinfo.param)) +
              (std::get<2>(pinfo.param) ? "_modified" : "_base");
     });
+
+// Widened grid via the sharded sweep: 6 extra derived seed streams per
+// (workload, variant) on top of the explicit-seed suite above — 84 more
+// property cells at a shorter horizon, run at hardware concurrency with
+// thread-count-independent results.
+TEST(SingleSessionPropertyWide, GuaranteesHoldAcrossDerivedStreams) {
+  const std::vector<std::string> workloads = {
+      "cbr", "onoff", "pareto", "mmpp", "video", "sawtooth", "mixed"};
+  constexpr std::int64_t kStreams = 6;
+  const std::int64_t cells =
+      static_cast<std::int64_t>(workloads.size()) * kStreams * 2;
+
+  const SweepResult sweep = ParallelSweep(
+      "single-property", cells,
+      [&workloads](const TaskContext& ctx) -> std::string {
+        const std::int64_t per_workload = kStreams * 2;
+        const std::string& workload = workloads[static_cast<std::size_t>(
+            ctx.key.index / per_workload)];
+        const bool modified = (ctx.key.index % 2) != 0;
+
+        const SingleSessionParams params = Params();
+        const auto trace = SingleSessionWorkload(
+            workload, params.offline_bandwidth(), params.offline_delay(),
+            2500, ctx.seed);
+        SingleSessionOnline alg(params,
+                                modified
+                                    ? SingleSessionOnline::Variant::kModified
+                                    : SingleSessionOnline::Variant::kBase);
+        SingleEngineOptions opt;
+        opt.drain_slots = 2 * params.max_delay;
+        opt.utilization_scan_window =
+            params.window + 5 * params.offline_delay();
+        const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+        if (r.total_arrivals != r.total_delivered + r.final_queue) {
+          return workload + ": conservation violated";
+        }
+        if (r.final_queue != 0) return workload + ": undrained queue";
+        if (r.delay.max_delay() > params.max_delay) {
+          return workload + ": delay " + std::to_string(r.delay.max_delay()) +
+                 " > D_A";
+        }
+        if (Bandwidth::FromBitsPerSlot(params.max_bandwidth) <
+            r.peak_allocation) {
+          return workload + ": bandwidth cap exceeded";
+        }
+        if (alg.max_changes_in_any_stage() > params.levels() + 3) {
+          return workload + ": per-stage change budget exceeded";
+        }
+        if (r.total_arrivals > 0 && !modified &&
+            r.worst_best_window_utilization < Ratio(1, 6).ToDouble() - 1e-9) {
+          return workload + ": utilization guarantee violated";
+        }
+        return "";
+      });
+  EXPECT_TRUE(sweep.ok()) << sweep.Summary();
+}
 
 }  // namespace
 }  // namespace bwalloc

@@ -13,6 +13,18 @@
 //   bwsim tune     (--workload mixed | --trace file) --ba 64 --da 16
 //                  [--inv-ua 6] [--max-w 128] [--horizon 4000] [--seed 1]
 //   bwsim replay   --trace file --schedule file.csv [--json false]
+//   bwsim batch    --suite single|multi [--jobs 0] [--seeds 4]
+//                  [--horizon 4000] [--name batch] [--base-seed 0]
+//                  [--csv false]
+//                  single: [--workloads cbr,mixed,...] [--algo online|modified]
+//                          [--ba 64] [--da 16] [--inv-ua 6] [--w 8]
+//                  multi:  [--kinds balanced,churn,...] [--ks 2,4,8]
+//                          [--algo phased|continuous] [--bo-per-session 16]
+//                          [--do 8]
+//
+// `batch` shards the workload x seed-stream grid over a thread pool
+// (--jobs 0 = hardware concurrency) and merges results in task order: the
+// output is byte-identical for every --jobs value.
 //
 // Single-session algos: online, modified, online-global, static-peak,
 // static-mean, per-arrival, periodic, ewma.
@@ -34,6 +46,8 @@
 #include "core/single_session.h"
 #include "offline/offline_single.h"
 #include "offline/schedule_io.h"
+#include "runner/batch_runner.h"
+#include "runner/suite.h"
 #include "sim/engine_multi.h"
 #include "sim/engine_single.h"
 #include "tools/flags.h"
@@ -46,10 +60,25 @@ using namespace bwalloc;
 using bwalloc::tools::Flags;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: bwsim <generate|single|multi|offline|tune|replay> [--flags]\n"
-               "see the header of tools/bwsim.cc for the full reference\n");
+  std::fprintf(
+      stderr,
+      "usage: bwsim <generate|single|multi|offline|tune|replay|batch> "
+      "[--flags]\n"
+      "see the header of tools/bwsim.cc for the full reference\n");
   return 2;
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 MultiWorkloadKind ParseKind(const std::string& kind) {
@@ -349,6 +378,51 @@ int RunTune(Flags& flags) {
   return 0;
 }
 
+int RunBatch(Flags& flags) {
+  const std::string suite_kind = flags.Str("suite", "single");
+  const int jobs = static_cast<int>(flags.Int("jobs", 0));
+  const bool csv = flags.Bool("csv", false);
+
+  SuiteSpec spec;
+  spec.name = flags.Str("name", "batch");
+  spec.seeds = flags.Int("seeds", 4);
+  spec.horizon = flags.Int("horizon", 4000);
+  const auto base_seed = static_cast<std::uint64_t>(flags.Int("base-seed", 0));
+
+  if (suite_kind == "single") {
+    spec.kind = SuiteSpec::Kind::kSingle;
+    const std::string workloads = flags.Str("workloads", "");
+    if (!workloads.empty()) spec.workloads = SplitList(workloads);
+    spec.algo = flags.Str("algo", "online");
+    spec.ba = flags.Int("ba", 64);
+    spec.da = flags.Int("da", 16);
+    spec.inv_ua = flags.Int("inv-ua", 6);
+    spec.window = flags.Int("w", 8);
+  } else if (suite_kind == "multi") {
+    spec.kind = SuiteSpec::Kind::kMulti;
+    const std::string kinds = flags.Str("kinds", "");
+    if (!kinds.empty()) spec.kinds = SplitList(kinds);
+    const std::string ks = flags.Str("ks", "");
+    if (!ks.empty()) {
+      spec.session_counts.clear();
+      for (const std::string& k : SplitList(ks)) {
+        spec.session_counts.push_back(std::stoll(k));
+      }
+    }
+    spec.multi_algo = flags.Str("algo", "phased");
+    spec.per_session_bo = flags.Int("bo-per-session", 16);
+    spec.d_o = flags.Int("do", 8);
+  } else {
+    throw std::invalid_argument("unknown --suite: " + suite_kind);
+  }
+  flags.CheckUnused();
+
+  BatchRunner runner(BatchOptions{jobs, base_seed});
+  const SuiteReport report = RunSuite(spec, runner);
+  std::fputs(FormatReport(spec, report, csv).c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -362,6 +436,7 @@ int main(int argc, char** argv) {
     if (command == "offline") return RunOffline(flags);
     if (command == "tune") return RunTune(flags);
     if (command == "replay") return RunReplay(flags);
+    if (command == "batch") return RunBatch(flags);
     return Usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bwsim: %s\n", e.what());
