@@ -1,0 +1,23 @@
+# Determinism check driver: runs ${EXE} at --jobs=1, --jobs=4 and --jobs=0
+# (hardware concurrency) and fails unless stdout is byte-identical — the
+# batch runner's replay contract. Timing lines go to stderr and are ignored.
+# Outputs are held in separate variables (not a CMake list) because the
+# table text may legally contain semicolons.
+if(NOT DEFINED EXE)
+  message(FATAL_ERROR "usage: cmake -DEXE=<bench binary> -P compare_jobs.cmake")
+endif()
+
+foreach(jobs 1 4 0)
+  execute_process(COMMAND ${EXE} --jobs=${jobs}
+    OUTPUT_VARIABLE out_${jobs} RESULT_VARIABLE code ERROR_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${EXE} --jobs=${jobs} exited ${code}")
+  endif()
+endforeach()
+
+if(NOT out_1 STREQUAL out_4)
+  message(FATAL_ERROR "--jobs=1 and --jobs=4 outputs differ")
+endif()
+if(NOT out_1 STREQUAL out_0)
+  message(FATAL_ERROR "--jobs=1 and --jobs=0 (hw) outputs differ")
+endif()

@@ -147,6 +147,25 @@ std::string ToJson(const SingleRunResult& result) {
   w.Value(result.total_allocated_bits);
   w.Key("peak_allocation");
   w.Value(result.peak_allocation.ToDouble());
+  w.Key("faults");
+  w.BeginObject();
+  w.Key("requests");
+  w.Value(result.faults.requests);
+  w.Key("commits");
+  w.Value(result.faults.commits);
+  w.Key("losses");
+  w.Value(result.faults.losses);
+  w.Key("denials");
+  w.Value(result.faults.denials);
+  w.Key("partial_grants");
+  w.Value(result.faults.partial_grants);
+  w.Key("timeouts");
+  w.Value(result.faults.timeouts);
+  w.Key("retries");
+  w.Value(result.faults.retries);
+  w.Key("fallbacks");
+  w.Value(result.faults.fallbacks);
+  w.EndObject();
   w.Key("delay");
   WriteDelay(w, result.delay);
   w.EndObject();

@@ -1,0 +1,332 @@
+// Unreliable control plane: deterministic fault injection for signalling.
+//
+// The SignalingChannel models a renegotiation that always succeeds exactly
+// on time. Real control planes do not: the request message can be dropped
+// by a congested switch, admission control can refuse to grant an
+// increase, a switch can grant only part of the asked-for increment, and
+// software invocation time varies. This header composes a NetworkPath
+// with a seeded FaultPlan:
+//
+//   * FaultySignalingChannel walks every hop of the path per request and
+//     decides — deterministically from (plan seed, attempt index) — whether
+//     the message is lost, denied, partially granted, or committed after a
+//     jittered delay. The endpoint observes only ACKs, NACKs and the
+//     committed allocation; losses are invisible until a timeout.
+//   * RobustSignalingAdapter wraps any SingleSessionAllocator behind such
+//     a channel with stop-and-wait request handling, timeout detection,
+//     capped exponential-backoff retry, and graceful degradation: the
+//     session keeps serving at the last committed allocation, and after K
+//     consecutive denials of an increase with a backlog present it falls
+//     back to a RESET-style full-rate drain request so the queue stays
+//     bounded.
+//
+// All randomness derives from the plan seed via the same SplitMix64
+// machinery the batch runner uses, so a fault replay is bitwise identical
+// at any --jobs value.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "net/path.h"
+#include "sim/engine_single.h"
+#include "sim/run_result.h"
+#include "util/assert.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+// Seeded description of how unreliable the control plane is. Rates apply
+// per hop: a request traversing an h-hop path survives loss with
+// probability (1 - loss_rate)^h. Denial and partial grants model admission
+// control, so they apply only to increases — releasing bandwidth is always
+// admitted (though the release message can still be lost).
+struct FaultPlan {
+  double loss_rate = 0.0;           // per-hop message loss probability
+  double denial_rate = 0.0;         // per-hop admission denial of increases
+  double partial_grant_rate = 0.0;  // per-hop partial grant of increases
+  Time max_jitter = 0;              // commit delay jitter, uniform in [0, max]
+  std::uint64_t seed = 0;
+
+  bool Trivial() const {
+    return loss_rate == 0.0 && denial_rate == 0.0 &&
+           partial_grant_rate == 0.0 && max_jitter == 0;
+  }
+
+  void Validate() const {
+    BW_REQUIRE(loss_rate >= 0.0 && loss_rate <= 1.0,
+               "FaultPlan: loss_rate must be in [0, 1]");
+    BW_REQUIRE(denial_rate >= 0.0 && denial_rate <= 1.0,
+               "FaultPlan: denial_rate must be in [0, 1]");
+    BW_REQUIRE(partial_grant_rate >= 0.0 && partial_grant_rate <= 1.0,
+               "FaultPlan: partial_grant_rate must be in [0, 1]");
+    BW_REQUIRE(max_jitter >= 0, "FaultPlan: max_jitter must be >= 0");
+  }
+};
+
+// A signalling channel whose requests traverse the path hop by hop and can
+// fail on the way. Endpoint-visible state is limited to what a real sender
+// could know: the committed allocation (Effective), arrived ACKs and
+// NACKs; ground-truth counters (losses, partial grants) are exposed for
+// measurement via stats(). Commits apply FIFO — a jittered message never
+// overtakes an earlier one on the same path.
+class FaultySignalingChannel {
+ public:
+  FaultySignalingChannel(const NetworkPath& path, const FaultPlan& plan,
+                         Bandwidth initial = Bandwidth::Zero())
+      : plan_(plan),
+        latency_(path.SignalingLatency()),
+        hops_(path.hops()),
+        effective_(initial),
+        scheduled_tail_(initial) {
+    plan_.Validate();
+  }
+
+  // Issue a request for `bw`. The outcome is decided now (deterministically
+  // from the plan seed and the attempt index) but surfaces to the endpoint
+  // only through Effective()/AcksArrived()/DenialsArrived().
+  void Request(Time now, Bandwidth bw) {
+    ++stats_.requests;
+    Rng rng(DeriveStream(plan_.seed,
+                         static_cast<std::uint64_t>(stats_.requests)));
+    const Time jitter =
+        plan_.max_jitter > 0 ? rng.UniformInt(0, plan_.max_jitter) : 0;
+    const Bandwidth base = scheduled_tail_;
+    const bool increase = bw > base;
+    std::int64_t grant_quarters = 4;  // 4/4 = the full ask
+    Time prefix = 0;
+    for (std::int64_t h = 0; h < hops_; ++h) {
+      prefix += per_hop_latency(h);
+      if (rng.Bernoulli(plan_.loss_rate)) {
+        ++stats_.losses;  // silence: the endpoint learns via timeout
+        return;
+      }
+      if (increase) {
+        if (rng.Bernoulli(plan_.denial_rate)) {
+          ++stats_.denials;  // NACK travels back from hop h
+          nacks_.push_back(now + 2 * prefix + jitter);
+          return;
+        }
+        if (plan_.partial_grant_rate > 0.0 &&
+            rng.Bernoulli(plan_.partial_grant_rate)) {
+          grant_quarters = std::min(grant_quarters, rng.UniformInt(1, 3));
+        }
+      }
+    }
+    Bandwidth granted = bw;
+    if (increase && grant_quarters < 4) {
+      ++stats_.partial_grants;
+      granted =
+          base + Bandwidth::FromRaw((bw - base).raw() * grant_quarters / 4);
+    }
+    Time at = now + latency_ + jitter;
+    if (!commits_.empty()) at = std::max(at, commits_.back().at);
+    commits_.push_back({at, granted});
+    scheduled_tail_ = granted;
+    ++stats_.commits;
+  }
+
+  // The allocation actually in force during slot `now`.
+  Bandwidth Effective(Time now) {
+    Advance(now);
+    return effective_;
+  }
+
+  // Monotone counters of sender-side notifications that arrived by `now`;
+  // the caller diffs successive reads.
+  std::int64_t AcksArrived(Time now) {
+    Advance(now);
+    return acks_arrived_;
+  }
+  std::int64_t DenialsArrived(Time now) {
+    Advance(now);
+    return denials_arrived_;
+  }
+
+  // Upper bound on slots from Request to ACK/NACK arrival; a request still
+  // unresolved past this was lost.
+  Time WorstCaseResponse() const { return 2 * latency_ + plan_.max_jitter; }
+
+  Time latency() const { return latency_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  struct PendingCommit {
+    Time at;
+    Bandwidth value;
+  };
+
+  Time per_hop_latency(std::int64_t index) const {
+    // Uniform split of the path latency; the remainder lands on hop 0 so
+    // prefix sums stay exact.
+    if (hops_ == 0) return 0;
+    return latency_ / hops_ + (index == 0 ? latency_ % hops_ : 0);
+  }
+
+  void Advance(Time now) {
+    while (!commits_.empty() && commits_.front().at <= now) {
+      effective_ = commits_.front().value;
+      commits_.pop_front();
+      ++acks_arrived_;
+    }
+    while (!nacks_.empty() && nacks_.front() <= now) {
+      nacks_.pop_front();
+      ++denials_arrived_;
+    }
+  }
+
+  FaultPlan plan_;
+  Time latency_;
+  std::int64_t hops_;
+  std::deque<PendingCommit> commits_;
+  std::deque<Time> nacks_;
+  Bandwidth effective_;
+  Bandwidth scheduled_tail_;  // last value scheduled to commit
+  std::int64_t acks_arrived_ = 0;
+  std::int64_t denials_arrived_ = 0;
+  FaultStats stats_;
+};
+
+// Retry/degradation policy of the robust adapter.
+struct RobustOptions {
+  Time timeout_margin = 2;    // extra slots past WorstCaseResponse
+  Time initial_backoff = 1;   // slots before the first re-attempt
+  Time max_backoff = 64;      // exponential backoff cap
+  std::int64_t fallback_after_denials = 3;  // K consecutive denials
+  Bits fallback_bandwidth = 0;  // RESET-style drain rate, typically B_A
+
+  void Validate() const {
+    BW_REQUIRE(timeout_margin >= 1, "RobustOptions: timeout_margin >= 1");
+    BW_REQUIRE(initial_backoff >= 1, "RobustOptions: initial_backoff >= 1");
+    BW_REQUIRE(max_backoff >= initial_backoff,
+               "RobustOptions: max_backoff >= initial_backoff");
+    BW_REQUIRE(fallback_after_denials >= 1,
+               "RobustOptions: fallback_after_denials >= 1");
+    BW_REQUIRE(fallback_bandwidth > 0,
+               "RobustOptions: fallback_bandwidth must be > 0");
+  }
+};
+
+// Wraps any single-session allocator behind a FaultySignalingChannel.
+// Stop-and-wait: at most one request is outstanding; while it is pending
+// (or the control plane is down) the session keeps serving at the last
+// committed allocation. A request unresolved past the channel's worst-case
+// response is declared lost and retried with capped exponential backoff.
+// After `fallback_after_denials` consecutive admission denials with a
+// backlog present, the adapter abandons the inner allocator's incremental
+// ask and requests a full-rate (fallback_bandwidth) drain — the same move
+// as the Fig. 3 RESET — until the queue empties, which keeps the backlog
+// bounded whenever the fault rates leave a nonzero success probability.
+class RobustSignalingAdapter final : public SingleSessionAllocator {
+ public:
+  RobustSignalingAdapter(std::unique_ptr<SingleSessionAllocator> inner,
+                         const NetworkPath& path, const FaultPlan& plan,
+                         const RobustOptions& options)
+      : inner_(std::move(inner)),
+        channel_(path, plan),
+        opts_(options),
+        backoff_(options.initial_backoff) {
+    BW_REQUIRE(inner_ != nullptr, "RobustSignalingAdapter: null inner");
+    opts_.Validate();
+  }
+
+  Bandwidth OnSlot(Time now, Bits arrivals, Bits queue) override {
+    // The inner allocator always advances, even while its decisions cannot
+    // be signalled — its state machine must track the actual traffic.
+    const Bandwidth inner_want = inner_->OnSlot(now, arrivals, queue);
+    Bandwidth effective = channel_.Effective(now);
+
+    const std::int64_t acks = channel_.AcksArrived(now);
+    if (acks > seen_acks_) {
+      // Our request committed (possibly partially): progress, so reset the
+      // backoff and the denial streak.
+      seen_acks_ = acks;
+      outstanding_ = false;
+      backoff_ = opts_.initial_backoff;
+      consecutive_denials_ = 0;
+      next_attempt_at_ = now;
+    }
+    const std::int64_t nacks = channel_.DenialsArrived(now);
+    if (nacks > seen_nacks_) {
+      consecutive_denials_ += nacks - seen_nacks_;
+      seen_nacks_ = nacks;
+      outstanding_ = false;
+      next_attempt_at_ = now + backoff_;
+      backoff_ = std::min(backoff_ * 2, opts_.max_backoff);
+    }
+    if (outstanding_ && now >= deadline_) {
+      ++timeouts_;  // past worst-case response: the message was lost
+      outstanding_ = false;
+      next_attempt_at_ = now + backoff_;
+      backoff_ = std::min(backoff_ * 2, opts_.max_backoff);
+    }
+
+    if (!fallback_ && queue > 0 &&
+        consecutive_denials_ >= opts_.fallback_after_denials) {
+      fallback_ = true;
+      ++fallbacks_;
+    }
+
+    const Bandwidth want =
+        fallback_ ? Bandwidth::FromBitsPerSlot(opts_.fallback_bandwidth)
+                  : inner_want;
+    if (!outstanding_ && want != effective && now >= next_attempt_at_) {
+      const bool retry = have_last_want_ && want == last_want_;
+      channel_.Request(now, want);
+      if (retry) ++retries_;
+      have_last_want_ = true;
+      last_want_ = want;
+      outstanding_ = true;
+      deadline_ = now + channel_.WorstCaseResponse() + opts_.timeout_margin;
+      effective = channel_.Effective(now);  // zero-latency paths commit now
+    }
+    return effective;
+  }
+
+  void OnServed(Time now, Bits served, Bits queue_after) override {
+    inner_->OnServed(now, served, queue_after);
+    if (fallback_ && queue_after == 0) {
+      // Drain complete: hand control back to the inner allocator.
+      fallback_ = false;
+      consecutive_denials_ = 0;
+      backoff_ = opts_.initial_backoff;
+    }
+  }
+
+  std::int64_t stages() const override { return inner_->stages(); }
+
+  // Channel ground truth plus the adapter's endpoint-side counters.
+  FaultStats fault_stats() const {
+    FaultStats s = channel_.stats();
+    s.timeouts = timeouts_;
+    s.retries = retries_;
+    s.fallbacks = fallbacks_;
+    return s;
+  }
+
+  bool in_fallback() const { return fallback_; }
+
+ private:
+  std::unique_ptr<SingleSessionAllocator> inner_;
+  FaultySignalingChannel channel_;
+  RobustOptions opts_;
+
+  bool outstanding_ = false;
+  Time deadline_ = 0;
+  Time next_attempt_at_ = 0;
+  Time backoff_;
+  std::int64_t consecutive_denials_ = 0;
+  bool fallback_ = false;
+  Bandwidth last_want_;
+  bool have_last_want_ = false;
+  std::int64_t seen_acks_ = 0;
+  std::int64_t seen_nacks_ = 0;
+  std::int64_t timeouts_ = 0;
+  std::int64_t retries_ = 0;
+  std::int64_t fallbacks_ = 0;
+};
+
+}  // namespace bwalloc

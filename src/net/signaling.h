@@ -27,7 +27,11 @@ namespace bwalloc {
 // issued, in order.
 class SignalingChannel {
  public:
-  explicit SignalingChannel(Time latency) : latency_(latency) {
+  // `initial` is the allocation in force before the first request commits
+  // (a session starts with whatever its setup reserved — 0 by default).
+  explicit SignalingChannel(Time latency,
+                            Bandwidth initial = Bandwidth::Zero())
+      : latency_(latency), effective_(initial) {
     BW_REQUIRE(latency >= 0, "SignalingChannel: latency must be >= 0");
   }
 
@@ -66,7 +70,7 @@ class SignalingChannel {
   };
   Time latency_;
   std::deque<Pending> in_flight_;
-  Bandwidth effective_;
+  Bandwidth effective_ = Bandwidth::Zero();
   bool has_request_ = false;
   Bandwidth last_request_;
   std::int64_t requests_ = 0;

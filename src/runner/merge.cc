@@ -13,6 +13,7 @@ void AggregateStats::Add(const SingleRunResult& r) {
   changes += r.changes;
   stages += r.stages;
   total_allocated_raw += r.total_allocated_raw;
+  faults.Merge(r.faults);
   max_delay = std::max(max_delay, r.delay.max_delay());
   peak_allocation = std::max(peak_allocation, r.peak_allocation);
   if (r.total_arrivals > 0) {
@@ -50,6 +51,7 @@ void AggregateStats::Merge(const AggregateStats& other) {
   global_changes += other.global_changes;
   stages += other.stages;
   total_allocated_raw += other.total_allocated_raw;
+  faults.Merge(other.faults);
   max_delay = std::max(max_delay, other.max_delay);
   peak_allocation = std::max(peak_allocation, other.peak_allocation);
   min_local_utilization =
@@ -74,6 +76,7 @@ bool operator==(const AggregateStats& a, const AggregateStats& b) {
          a.changes == b.changes && a.global_changes == b.global_changes &&
          a.stages == b.stages &&
          a.total_allocated_raw == b.total_allocated_raw &&
+         a.faults == b.faults &&
          a.max_delay == b.max_delay &&
          a.peak_allocation == b.peak_allocation &&
          a.min_local_utilization == b.min_local_utilization &&

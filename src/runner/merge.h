@@ -28,6 +28,7 @@ struct AggregateStats {
   std::int64_t global_changes = 0;
   std::int64_t stages = 0;
   std::int64_t total_allocated_raw = 0;  // Q16 bandwidth-time
+  FaultStats faults;  // control-plane degradation counters, exact sums
 
   // Exact extrema.
   Time max_delay = 0;

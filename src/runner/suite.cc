@@ -6,6 +6,7 @@
 #include "core/multi_continuous.h"
 #include "core/multi_phased.h"
 #include "core/single_session.h"
+#include "net/faults.h"
 #include "sim/engine_multi.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -51,12 +52,33 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
   } else {
     throw std::invalid_argument("unknown suite algo: " + spec.algo);
   }
-  SingleSessionOnline alg(p, variant);
 
   SingleEngineOptions opt;
-  opt.drain_slots = 2 * spec.da;
   opt.utilization_scan_window = spec.window + 5 * p.offline_delay();
-  const SingleRunResult r = RunSingleSession(trace, alg, opt);
+
+  SingleRunResult r;
+  if (spec.fault_hops > 0) {
+    FaultPlan plan;
+    plan.loss_rate = spec.fault_loss;
+    plan.denial_rate = spec.fault_denial;
+    plan.partial_grant_rate = spec.fault_partial;
+    plan.max_jitter = spec.fault_jitter;
+    plan.seed = SplitMix64(ctx.seed);
+    RobustOptions ropts;
+    ropts.fallback_bandwidth = spec.ba;
+    RobustSignalingAdapter adapter(
+        std::make_unique<SingleSessionOnline>(p, variant),
+        NetworkPath::Uniform(spec.fault_hops, 1, 1.0), plan, ropts);
+    // Degraded runs can hold a backlog for many retry rounds; give the
+    // drain tail room proportional to the retry horizon.
+    opt.drain_slots = 2 * spec.da + 64 * spec.fault_hops;
+    r = RunSingleSession(trace, adapter, opt);
+    r.faults = adapter.fault_stats();
+  } else {
+    SingleSessionOnline alg(p, variant);
+    opt.drain_slots = 2 * spec.da;
+    r = RunSingleSession(trace, alg, opt);
+  }
 
   CellOutcome out;
   out.row = {workload,
@@ -67,6 +89,12 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
              Table::Num(r.stages),
              Table::Num(r.worst_best_window_utilization, 3),
              Table::Num(r.global_utilization, 3)};
+  if (spec.fault_hops > 0) {
+    out.row.push_back(Table::Num(r.faults.losses));
+    out.row.push_back(Table::Num(r.faults.denials));
+    out.row.push_back(Table::Num(r.faults.retries));
+    out.row.push_back(Table::Num(r.faults.fallbacks));
+  }
   out.stats.Add(r);
   return out;
 }
@@ -120,8 +148,13 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
 
 Table EmptyCellTable(const SuiteSpec& spec) {
   if (spec.kind == SuiteSpec::Kind::kSingle) {
-    return Table({"workload", "stream", "max delay", "p99 delay", "changes",
-                  "stages", "local util", "global util"});
+    std::vector<std::string> cols = {"workload",   "stream", "max delay",
+                                     "p99 delay",  "changes", "stages",
+                                     "local util", "global util"};
+    if (spec.fault_hops > 0) {
+      cols.insert(cols.end(), {"losses", "denials", "retries", "fallbacks"});
+    }
+    return Table(cols);
   }
   return Table({"kind", "k", "stream", "max delay", "p99 delay", "changes",
                 "stages", "global util"});
@@ -140,6 +173,14 @@ std::int64_t SuiteSpec::CellCount() const {
 SuiteReport RunSuite(const SuiteSpec& spec, BatchRunner& runner) {
   if (spec.seeds <= 0) throw std::invalid_argument("suite needs seeds >= 1");
   if (spec.horizon <= 0) throw std::invalid_argument("suite needs horizon >= 1");
+  if (spec.fault_hops > 0) {
+    FaultPlan plan;
+    plan.loss_rate = spec.fault_loss;
+    plan.denial_rate = spec.fault_denial;
+    plan.partial_grant_rate = spec.fault_partial;
+    plan.max_jitter = spec.fault_jitter;
+    plan.Validate();  // reject bad rates before sharding the grid
+  }
 
   BatchResult<CellOutcome> batch = runner.Map<CellOutcome>(
       spec.name, spec.CellCount(), [&spec](const TaskContext& ctx) {
@@ -164,6 +205,13 @@ std::string FormatReport(const SuiteSpec& spec, const SuiteReport& report,
     out << "single-session algo=" << spec.algo << " B_A=" << spec.ba
         << " D_A=" << spec.da << " U_A=1/" << spec.inv_ua
         << " W=" << spec.window;
+    if (spec.fault_hops > 0) {
+      out << " faults[hops=" << spec.fault_hops << " loss="
+          << Table::Num(spec.fault_loss, 3) << " denial="
+          << Table::Num(spec.fault_denial, 3) << " partial="
+          << Table::Num(spec.fault_partial, 3)
+          << " jitter=" << spec.fault_jitter << "]";
+    }
   } else {
     out << "multi-session algo=" << spec.multi_algo
         << " B_O=" << spec.per_session_bo << "*k D_O=" << spec.d_o;
@@ -188,6 +236,15 @@ std::string FormatReport(const SuiteSpec& spec, const SuiteReport& report,
   out << "  global_util=" << a.GlobalUtilization().ToString() << " ("
       << Table::Num(a.GlobalUtilization().ToDouble(), 6) << ")"
       << " min_local_util=" << Table::Num(a.min_local_utilization, 6) << "\n";
+  if (a.faults.any()) {
+    out << "  faults: requests=" << a.faults.requests
+        << " commits=" << a.faults.commits << " losses=" << a.faults.losses
+        << " denials=" << a.faults.denials
+        << " partial=" << a.faults.partial_grants
+        << " timeouts=" << a.faults.timeouts
+        << " retries=" << a.faults.retries
+        << " fallbacks=" << a.faults.fallbacks << "\n";
+  }
   if (!report.errors.empty()) {
     out << "failed cells: " << FormatErrors(report.errors) << "\n";
   }

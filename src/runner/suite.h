@@ -36,6 +36,16 @@ struct SuiteSpec {
   std::int64_t inv_ua = 6;
   Time window = 8;
 
+  // Unreliable control plane (single-session cells only). When
+  // fault_hops > 0 every cell runs behind a RobustSignalingAdapter over a
+  // fault_hops-switch path; the FaultPlan seed derives from the cell's
+  // task seed, so the grid replays bitwise at any --jobs value.
+  std::int64_t fault_hops = 0;
+  double fault_loss = 0.0;
+  double fault_denial = 0.0;
+  double fault_partial = 0.0;
+  Time fault_jitter = 0;
+
   // Multi-session grid (kind == kMulti).
   std::vector<std::string> kinds = {"balanced", "rotating-hotspot", "churn",
                                     "skewed"};

@@ -10,6 +10,39 @@
 
 namespace bwalloc {
 
+// Degraded-mode counters of an unreliable control plane (net/faults.h).
+// Every field is an exact integer count, so aggregation across shards is
+// a plain sum — order-insensitive and bitwise reproducible.
+struct FaultStats {
+  std::int64_t requests = 0;        // signalling attempts issued
+  std::int64_t commits = 0;         // attempts that committed end-to-end
+  std::int64_t losses = 0;          // messages dropped by some hop
+  std::int64_t denials = 0;         // admission-control refusals (NACKed)
+  std::int64_t partial_grants = 0;  // increases granted below the ask
+  std::int64_t timeouts = 0;        // endpoint gave up waiting on a request
+  std::int64_t retries = 0;         // re-issued attempts after timeout/denial
+  std::int64_t fallbacks = 0;       // RESET-style full-rate drain activations
+
+  void Merge(const FaultStats& o) {
+    requests += o.requests;
+    commits += o.commits;
+    losses += o.losses;
+    denials += o.denials;
+    partial_grants += o.partial_grants;
+    timeouts += o.timeouts;
+    retries += o.retries;
+    fallbacks += o.fallbacks;
+  }
+
+  bool any() const {
+    return requests != 0 || commits != 0 || losses != 0 || denials != 0 ||
+           partial_grants != 0 || timeouts != 0 || retries != 0 ||
+           fallbacks != 0;
+  }
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
 // Outcome of a single-session run.
 struct SingleRunResult {
   Time horizon = 0;
@@ -28,6 +61,11 @@ struct SingleRunResult {
   // Same quantity, exact, in raw Q16 units (see UtilizationMeter).
   std::int64_t total_allocated_raw = 0;
   Bandwidth peak_allocation;
+
+  // Control-plane degradation counters; all-zero unless the run went
+  // through a fault-injected signalling adapter (the engine cannot see the
+  // adapter, so the caller copies adapter.fault_stats() in after the run).
+  FaultStats faults;
 
   // Optional per-slot allocation trace (bench/figure output).
   std::vector<Bandwidth> allocation_trace;

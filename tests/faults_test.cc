@@ -1,0 +1,315 @@
+// Unreliable control plane: FaultPlan / FaultySignalingChannel /
+// RobustSignalingAdapter. The graceful-degradation contract under any
+// plan with per-hop loss+denial <= 50%: no bits lost, allocation never
+// exceeds B_A, the queue drains (fallback engages when admission control
+// starves an increase), and every fault replay is bitwise identical at
+// any thread count.
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/single_session.h"
+#include "net/path.h"
+#include "net/signaling.h"
+#include "runner/merge.h"
+#include "runner/parallel_sweep.h"
+#include "runner/suite.h"
+#include "sim/engine_single.h"
+#include "traffic/workload_suite.h"
+
+namespace bwalloc {
+namespace {
+
+SingleSessionParams Params() {
+  SingleSessionParams p;
+  p.max_bandwidth = 64;
+  p.max_delay = 16;
+  p.min_utilization = Ratio(1, 6);
+  p.window = 8;
+  return p;
+}
+
+RobustOptions Opts() {
+  RobustOptions o;
+  o.fallback_bandwidth = 64;
+  return o;
+}
+
+TEST(FaultPlan, ValidatesRates) {
+  FaultPlan plan;
+  EXPECT_NO_THROW(plan.Validate());
+  EXPECT_TRUE(plan.Trivial());
+  plan.loss_rate = 1.5;
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+  plan.loss_rate = 0.2;
+  EXPECT_FALSE(plan.Trivial());
+  plan.max_jitter = -1;
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+}
+
+TEST(FaultySignalingChannel, TrivialPlanCommitsAfterLatency) {
+  FaultySignalingChannel ch(NetworkPath::Uniform(3, 1, 1.0), FaultPlan{});
+  ch.Request(0, Bandwidth::FromBitsPerSlot(8));
+  EXPECT_TRUE(ch.Effective(0).is_zero());
+  EXPECT_TRUE(ch.Effective(2).is_zero());
+  EXPECT_EQ(ch.Effective(3), Bandwidth::FromBitsPerSlot(8));
+  EXPECT_EQ(ch.AcksArrived(3), 1);
+  EXPECT_EQ(ch.DenialsArrived(3), 0);
+  EXPECT_EQ(ch.stats().commits, 1);
+  EXPECT_EQ(ch.stats().losses, 0);
+}
+
+TEST(FaultySignalingChannel, CertainLossNeverCommits) {
+  FaultPlan plan;
+  plan.loss_rate = 1.0;
+  FaultySignalingChannel ch(NetworkPath::Uniform(2, 1, 1.0), plan);
+  ch.Request(0, Bandwidth::FromBitsPerSlot(8));
+  EXPECT_TRUE(ch.Effective(1000).is_zero());
+  EXPECT_EQ(ch.AcksArrived(1000), 0);
+  EXPECT_EQ(ch.DenialsArrived(1000), 0);
+  EXPECT_EQ(ch.stats().losses, 1);
+}
+
+TEST(FaultySignalingChannel, CertainDenialNacksIncreasesOnly) {
+  FaultPlan plan;
+  plan.denial_rate = 1.0;
+  FaultySignalingChannel ch(NetworkPath::Uniform(2, 1, 1.0), plan,
+                            Bandwidth::FromBitsPerSlot(16));
+  // An increase is refused at the first hop; the NACK comes back.
+  ch.Request(0, Bandwidth::FromBitsPerSlot(32));
+  EXPECT_EQ(ch.DenialsArrived(1000), 1);
+  EXPECT_EQ(ch.Effective(1000), Bandwidth::FromBitsPerSlot(16));
+  // A decrease is always admitted.
+  ch.Request(10, Bandwidth::FromBitsPerSlot(4));
+  EXPECT_EQ(ch.Effective(1000), Bandwidth::FromBitsPerSlot(4));
+  EXPECT_EQ(ch.DenialsArrived(1000), 1);
+}
+
+TEST(FaultySignalingChannel, PartialGrantLandsBetweenOldAndAsk) {
+  FaultPlan plan;
+  plan.partial_grant_rate = 1.0;
+  FaultySignalingChannel ch(NetworkPath::Uniform(4, 1, 1.0), plan,
+                            Bandwidth::FromBitsPerSlot(8));
+  ch.Request(0, Bandwidth::FromBitsPerSlot(40));
+  const Bandwidth got = ch.Effective(1000);
+  EXPECT_GT(got, Bandwidth::FromBitsPerSlot(8));
+  EXPECT_LT(got, Bandwidth::FromBitsPerSlot(40));
+  EXPECT_EQ(ch.stats().partial_grants, 1);
+}
+
+TEST(FaultySignalingChannel, ReplayIsDeterministic) {
+  FaultPlan plan;
+  plan.loss_rate = 0.3;
+  plan.denial_rate = 0.2;
+  plan.partial_grant_rate = 0.1;
+  plan.max_jitter = 3;
+  plan.seed = 1234;
+  const NetworkPath path = NetworkPath::Uniform(4, 1, 1.0);
+  FaultySignalingChannel a(path, plan);
+  FaultySignalingChannel b(path, plan);
+  for (Time t = 0; t < 200; ++t) {
+    if (t % 7 == 0) {
+      const auto bw = Bandwidth::FromBitsPerSlot(1 + (t % 5) * 8);
+      a.Request(t, bw);
+      b.Request(t, bw);
+    }
+    ASSERT_EQ(a.Effective(t), b.Effective(t)) << t;
+    ASSERT_EQ(a.AcksArrived(t), b.AcksArrived(t)) << t;
+    ASSERT_EQ(a.DenialsArrived(t), b.DenialsArrived(t)) << t;
+  }
+  EXPECT_EQ(a.stats(), b.stats());
+}
+
+TEST(FaultySignalingChannel, JitteredCommitsStayFifo) {
+  FaultPlan plan;
+  plan.max_jitter = 5;
+  plan.seed = 7;
+  FaultySignalingChannel ch(NetworkPath::Uniform(2, 1, 1.0), plan);
+  Bandwidth last;
+  std::int64_t acks = 0;
+  for (Time t = 0; t < 100; ++t) {
+    ch.Request(t, Bandwidth::FromBitsPerSlot(1 + t % 13));
+    // Each newly arrived ACK must carry the value of the next request in
+    // issue order — jitter may stretch, never reorder.
+    const std::int64_t now_acks = ch.AcksArrived(t);
+    ASSERT_GE(now_acks, acks);
+    acks = now_acks;
+    last = ch.Effective(t);
+  }
+  EXPECT_EQ(ch.Effective(200), Bandwidth::FromBitsPerSlot(1 + 99 % 13));
+  EXPECT_GE(ch.Effective(200), last);  // tail request eventually commits
+}
+
+TEST(RobustSignalingAdapter, TrivialPlanZeroLatencyMatchesBare) {
+  const auto trace = SingleSessionWorkload("mixed", 64, 8, 3000, 77);
+  SingleEngineOptions opt;
+  opt.drain_slots = 64;
+
+  SingleSessionOnline bare(Params());
+  const SingleRunResult rb = RunSingleSession(trace, bare, opt);
+
+  RobustSignalingAdapter wrapped(std::make_unique<SingleSessionOnline>(Params()),
+                                 NetworkPath(), FaultPlan{}, Opts());
+  const SingleRunResult rw = RunSingleSession(trace, wrapped, opt);
+
+  EXPECT_EQ(rb.changes, rw.changes);
+  EXPECT_EQ(rb.total_delivered, rw.total_delivered);
+  EXPECT_EQ(rb.delay.max_delay(), rw.delay.max_delay());
+  const FaultStats s = wrapped.fault_stats();
+  EXPECT_EQ(s.losses, 0);
+  EXPECT_EQ(s.denials, 0);
+  EXPECT_EQ(s.timeouts, 0);
+  EXPECT_EQ(s.fallbacks, 0);
+  EXPECT_EQ(s.requests, s.commits);
+}
+
+TEST(RobustSignalingAdapter, LossyPlanTimesOutRetriesAndStillDelivers) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 4000, 78);
+  FaultPlan plan;
+  plan.loss_rate = 0.25;
+  plan.seed = 42;
+  RobustSignalingAdapter wrapped(std::make_unique<SingleSessionOnline>(Params()),
+                                 NetworkPath::Uniform(4, 1, 1.0), plan, Opts());
+  SingleEngineOptions opt;
+  opt.drain_slots = 2000;
+  const SingleRunResult r = RunSingleSession(trace, wrapped, opt);
+  const FaultStats s = wrapped.fault_stats();
+  EXPECT_GT(s.losses, 0);
+  EXPECT_GT(s.timeouts, 0);
+  EXPECT_GT(s.retries, 0);
+  // A timeout fires only past the worst-case response, so it can only be a
+  // genuinely lost message (stop-and-wait: at most one in flight).
+  EXPECT_LE(s.timeouts, s.losses);
+  EXPECT_EQ(r.total_arrivals, r.total_delivered + r.final_queue);
+  EXPECT_EQ(r.final_queue, 0);
+  EXPECT_LE(r.peak_allocation, Bandwidth::FromBitsPerSlot(64));
+}
+
+TEST(RobustSignalingAdapter, DenialStarvationTriggersFallbackDrain) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 4000, 79);
+  FaultPlan plan;
+  plan.denial_rate = 0.45;
+  plan.seed = 43;
+  RobustSignalingAdapter wrapped(std::make_unique<SingleSessionOnline>(Params()),
+                                 NetworkPath::Uniform(4, 1, 1.0), plan, Opts());
+  SingleEngineOptions opt;
+  opt.drain_slots = 2000;
+  const SingleRunResult r = RunSingleSession(trace, wrapped, opt);
+  const FaultStats s = wrapped.fault_stats();
+  EXPECT_GT(s.denials, 0);
+  EXPECT_GE(s.fallbacks, 1) << "starved increases must escalate to a "
+                               "RESET-style full-rate drain";
+  EXPECT_EQ(r.total_arrivals, r.total_delivered + r.final_queue);
+  EXPECT_EQ(r.final_queue, 0) << "the fallback drain keeps the queue bounded";
+  EXPECT_LE(r.peak_allocation, Bandwidth::FromBitsPerSlot(64));
+}
+
+// The acceptance sweep: every (loss, denial, jitter, workload) cell with
+// per-hop loss+denial <= 50% must conserve bits, respect the cap, and
+// drain its queue. ParallelSweep keys each cell's randomness to the
+// (suite, index) task key, so the grid is deterministic at any --jobs.
+TEST(RobustSignalingAdapter, DegradationSweepHoldsInvariants) {
+  const std::vector<std::pair<double, double>> rates = {
+      {0.0, 0.0}, {0.25, 0.0}, {0.0, 0.25}, {0.25, 0.25}, {0.5, 0.0},
+      {0.0, 0.5}};
+  const std::vector<std::string> workloads = {"onoff", "mixed", "pareto"};
+  const std::int64_t cells =
+      static_cast<std::int64_t>(rates.size() * workloads.size() * 2);
+  const SweepResult sweep = ParallelSweep(
+      "fault-sweep", cells, [&](const TaskContext& ctx) -> std::string {
+        const std::int64_t i = ctx.key.index;
+        const auto& [loss, denial] =
+            rates[static_cast<std::size_t>(i) % rates.size()];
+        const std::int64_t rest = i / static_cast<std::int64_t>(rates.size());
+        const std::string& workload =
+            workloads[static_cast<std::size_t>(rest) % workloads.size()];
+        FaultPlan plan;
+        plan.loss_rate = loss;
+        plan.denial_rate = denial;
+        plan.partial_grant_rate = 0.1;
+        plan.max_jitter =
+            rest / static_cast<std::int64_t>(workloads.size()) == 0 ? 0 : 3;
+        plan.seed = ctx.seed;
+        const auto trace =
+            SingleSessionWorkload(workload, 64, 8, 2500, ctx.seed);
+        RobustSignalingAdapter adapter(
+            std::make_unique<SingleSessionOnline>(Params()),
+            NetworkPath::Uniform(3, 1, 1.0), plan, Opts());
+        SingleEngineOptions opt;
+        opt.drain_slots = 4000;
+        const SingleRunResult r = RunSingleSession(trace, adapter, opt);
+        if (r.total_arrivals != r.total_delivered + r.final_queue) {
+          return "bits lost";
+        }
+        if (r.final_queue != 0) return "queue not drained";
+        if (r.peak_allocation > Bandwidth::FromBitsPerSlot(64)) {
+          return "allocation cap exceeded";
+        }
+        return "";
+      });
+  EXPECT_TRUE(sweep.ok()) << sweep.Summary();
+}
+
+TEST(AggregateStats, MergesFaultCountersExactly) {
+  SingleRunResult r1;
+  r1.faults.requests = 3;
+  r1.faults.losses = 1;
+  r1.faults.fallbacks = 2;
+  SingleRunResult r2;
+  r2.faults.requests = 4;
+  r2.faults.denials = 5;
+
+  AggregateStats a;
+  a.Add(r1);
+  a.Add(r2);
+  EXPECT_EQ(a.faults.requests, 7);
+  EXPECT_EQ(a.faults.losses, 1);
+  EXPECT_EQ(a.faults.denials, 5);
+  EXPECT_EQ(a.faults.fallbacks, 2);
+
+  AggregateStats b;
+  b.Add(r1);
+  AggregateStats c;
+  c.Add(r2);
+  b.Merge(c);
+  EXPECT_TRUE(a == b);
+  c.faults.retries = 9;  // operator== must see fault counters
+  AggregateStats d;
+  d.Add(r1);
+  d.Merge(c);
+  EXPECT_FALSE(a == d);
+}
+
+// The acceptance criterion at the suite level: a fault-enabled grid
+// formats to the same bytes at --jobs=1 and --jobs=4.
+TEST(FaultSuite, ReportIsThreadCountInvariant) {
+  SuiteSpec spec;
+  spec.name = "fault-detsuite";
+  spec.kind = SuiteSpec::Kind::kSingle;
+  spec.workloads = {"onoff", "mixed"};
+  spec.seeds = 2;
+  spec.horizon = 1500;
+  spec.fault_hops = 3;
+  spec.fault_loss = 0.2;
+  spec.fault_denial = 0.2;
+  spec.fault_jitter = 2;
+
+  BatchRunner serial(BatchOptions{1, 0});
+  const SuiteReport a = RunSuite(spec, serial);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a.aggregate.faults.any());
+
+  BatchRunner sharded(BatchOptions{4, 0});
+  const SuiteReport b = RunSuite(spec, sharded);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_TRUE(a.aggregate == b.aggregate);
+  EXPECT_EQ(FormatReport(spec, a, false), FormatReport(spec, b, false));
+  EXPECT_EQ(FormatReport(spec, a, true), FormatReport(spec, b, true));
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -41,6 +41,21 @@ TEST(SignalingChannel, PipelinesInOrder) {
   EXPECT_EQ(ch.Effective(3), Bandwidth::FromBitsPerSlot(16));
 }
 
+TEST(SignalingChannel, EffectiveBeforeFirstCommitIsInitialAllocation) {
+  // Regression: effective_ used to rely on Bandwidth's default state;
+  // the pre-commit allocation is now an explicit constructor parameter.
+  SignalingChannel defaulted(4);
+  EXPECT_TRUE(defaulted.Effective(0).is_zero());
+  EXPECT_TRUE(defaulted.Effective(100).is_zero());
+
+  SignalingChannel reserved(4, Bandwidth::FromBitsPerSlot(12));
+  EXPECT_EQ(reserved.Effective(0), Bandwidth::FromBitsPerSlot(12));
+  reserved.Request(0, Bandwidth::FromBitsPerSlot(32));
+  EXPECT_EQ(reserved.Effective(3), Bandwidth::FromBitsPerSlot(12))
+      << "initial allocation serves until the first commit";
+  EXPECT_EQ(reserved.Effective(4), Bandwidth::FromBitsPerSlot(32));
+}
+
 TEST(SignalingChannel, ZeroLatencyIsInstant) {
   SignalingChannel ch(0);
   ch.Request(5, Bandwidth::FromBitsPerSlot(2));
@@ -109,6 +124,37 @@ TEST(MakeLatencyCompensatedParams, TightensAndValidates) {
   EXPECT_NO_THROW(p.Validate());
   EXPECT_THROW(MakeLatencyCompensatedParams(Params(), 12),
                std::invalid_argument);
+}
+
+TEST(MakeLatencyCompensatedParams, OddTightenedDeadlineRoundsDown) {
+  // An odd input D_A (not yet validated) leaves an odd D_A - 2S; the
+  // compensation must round it down to the next even bound.
+  SingleSessionParams p = Params();
+  p.max_delay = 23;
+  const SingleSessionParams out = MakeLatencyCompensatedParams(p, 2);
+  EXPECT_EQ(out.max_delay, 18);  // 23 - 4 = 19, rounded down to even
+  EXPECT_NO_THROW(out.Validate());
+}
+
+TEST(MakeLatencyCompensatedParams, TightenedBoundaryOfTwoIsAccepted) {
+  // D_A - 2S == 2 is the smallest legal online deadline; exactly at the
+  // boundary the compensation succeeds, one slot more of latency throws.
+  const SingleSessionParams out = MakeLatencyCompensatedParams(Params(), 11);
+  EXPECT_EQ(out.max_delay, 2);
+  EXPECT_THROW(MakeLatencyCompensatedParams(Params(), 12),
+               std::invalid_argument);
+}
+
+TEST(MakeLatencyCompensatedParams, RechecksWindowAgainstTightenedDeadline) {
+  // Tightening lowers D_O, so a window valid for the original parameters
+  // stays valid — but a window below the tightened D_O must be rejected.
+  SingleSessionParams ok = Params();
+  ok.window = 8;  // exactly the tightened D_O = 16 / 2
+  EXPECT_EQ(MakeLatencyCompensatedParams(ok, 4).max_delay, 16);
+
+  SingleSessionParams bad = Params();
+  bad.window = 5;  // below the tightened D_O of 8
+  EXPECT_THROW(MakeLatencyCompensatedParams(bad, 4), std::invalid_argument);
 }
 
 TEST(SignalingAdapter, CountsSignalingRounds) {

@@ -5,6 +5,11 @@
 //   bwsim single   --algo online [--workload mixed | --trace file]
 //                  --ba 64 --da 16 [--inv-ua 6] [--w 16] [--seed 1]
 //                  [--horizon 4000] [--csv false]
+//                  unreliable control plane: [--hops 4] [--loss 0.1]
+//                  [--denial 0.1] [--partial 0.0] [--jitter 2]
+//                  [--fault-seed 0] — wraps the allocator in a
+//                  RobustSignalingAdapter (retry/backoff + full-rate
+//                  fallback) and reports degraded-mode counters
 //   bwsim multi    --algo phased|continuous|combined --k 4 --bo 64 --do 8
 //                  [--kind rotating-hotspot | --trace file.csv]
 //                  [--horizon 4000] [--seed 1]
@@ -18,6 +23,9 @@
 //                  [--csv false]
 //                  single: [--workloads cbr,mixed,...] [--algo online|modified]
 //                          [--ba 64] [--da 16] [--inv-ua 6] [--w 8]
+//                          [--fault-hops 0] [--fault-loss 0.0]
+//                          [--fault-denial 0.0] [--fault-partial 0.0]
+//                          [--fault-jitter 0]
 //                  multi:  [--kinds balanced,churn,...] [--ks 2,4,8]
 //                          [--algo phased|continuous] [--bo-per-session 16]
 //                          [--do 8]
@@ -44,6 +52,7 @@
 #include "core/multi_continuous.h"
 #include "core/multi_phased.h"
 #include "core/single_session.h"
+#include "net/faults.h"
 #include "offline/offline_single.h"
 #include "offline/schedule_io.h"
 #include "runner/batch_runner.h"
@@ -123,7 +132,15 @@ int RunSingle(Flags& flags) {
   const std::string trace_path = flags.Str("trace", "");
   const bool csv = flags.Bool("csv", false);
   const bool json = flags.Bool("json", false);
+  const std::int64_t hops = flags.Int("hops", 0);
+  FaultPlan plan;
+  plan.loss_rate = flags.Double("loss", 0.0);
+  plan.denial_rate = flags.Double("denial", 0.0);
+  plan.partial_grant_rate = flags.Double("partial", 0.0);
+  plan.max_jitter = flags.Int("jitter", 0);
+  plan.seed = static_cast<std::uint64_t>(flags.Int("fault-seed", 0));
   flags.CheckUnused();
+  plan.Validate();
 
   const std::vector<Bits> trace =
       trace_path.empty()
@@ -163,7 +180,18 @@ int RunSingle(Flags& flags) {
   SingleEngineOptions opt;
   opt.drain_slots = 4 * da;
   opt.utilization_scan_window = w + 5 * (da / 2);
-  const SingleRunResult r = RunSingleSession(trace, *alloc, opt);
+  RobustSignalingAdapter* robust = nullptr;
+  if (hops > 0) {
+    RobustOptions ropts;
+    ropts.fallback_bandwidth = ba;
+    auto adapter = std::make_unique<RobustSignalingAdapter>(
+        std::move(alloc), NetworkPath::Uniform(hops, 1, 1.0), plan, ropts);
+    robust = adapter.get();
+    alloc = std::move(adapter);
+    opt.drain_slots = 4 * da + 64 * hops;  // retry rounds lengthen drains
+  }
+  SingleRunResult r = RunSingleSession(trace, *alloc, opt);
+  if (robust != nullptr) r.faults = robust->fault_stats();
 
   if (json) {
     std::printf("%s\n", ToJson(r).c_str());
@@ -182,6 +210,16 @@ int RunSingle(Flags& flags) {
       .AddRow({"global util", Table::Num(r.global_utilization, 3)})
       .AddRow({"local util", Table::Num(r.worst_best_window_utilization, 3)})
       .AddRow({"peak alloc", r.peak_allocation.ToString()});
+  if (hops > 0) {
+    table.AddRow({"signal requests", Table::Num(r.faults.requests)})
+        .AddRow({"signal commits", Table::Num(r.faults.commits)})
+        .AddRow({"signal losses", Table::Num(r.faults.losses)})
+        .AddRow({"signal denials", Table::Num(r.faults.denials)})
+        .AddRow({"partial grants", Table::Num(r.faults.partial_grants)})
+        .AddRow({"timeouts", Table::Num(r.faults.timeouts)})
+        .AddRow({"retries", Table::Num(r.faults.retries)})
+        .AddRow({"fallback drains", Table::Num(r.faults.fallbacks)});
+  }
   if (csv) {
     table.PrintCsv(std::cout);
   } else {
@@ -398,6 +436,11 @@ int RunBatch(Flags& flags) {
     spec.da = flags.Int("da", 16);
     spec.inv_ua = flags.Int("inv-ua", 6);
     spec.window = flags.Int("w", 8);
+    spec.fault_hops = flags.Int("fault-hops", 0);
+    spec.fault_loss = flags.Double("fault-loss", 0.0);
+    spec.fault_denial = flags.Double("fault-denial", 0.0);
+    spec.fault_partial = flags.Double("fault-partial", 0.0);
+    spec.fault_jitter = flags.Int("fault-jitter", 0);
   } else if (suite_kind == "multi") {
     spec.kind = SuiteSpec::Kind::kMulti;
     const std::string kinds = flags.Str("kinds", "");

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Single-command sanitizer check: configures a sanitized build tree, builds
+# everything, and runs the full ctest suite.
+#
+#   tools/check.sh            # address,undefined (the default)
+#   tools/check.sh tsan       # thread sanitizer (batch runner / thread pool)
+#   tools/check.sh asan DIR   # explicit build directory
+#
+# Build trees are kept per sanitizer (build-asan/, build-tsan/) so repeat
+# runs are incremental. Exits non-zero on any configure, build, or test
+# failure.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-asan}"
+
+case "$mode" in
+  asan|address) sanitize="address,undefined"; dir="${2:-$repo/build-asan}" ;;
+  tsan|thread)  sanitize="thread";            dir="${2:-$repo/build-tsan}" ;;
+  *)
+    echo "usage: tools/check.sh [asan|tsan] [build-dir]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== check.sh: BWALLOC_SANITIZE=$sanitize -> $dir =="
+cmake -B "$dir" -S "$repo" -DBWALLOC_SANITIZE="$sanitize" >/dev/null
+cmake --build "$dir" -j "$(nproc)"
+ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+echo "== check.sh: $mode clean =="

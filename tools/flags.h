@@ -45,6 +45,19 @@ class Flags {
     return v;
   }
 
+  double Double(const std::string& key, double fallback) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw std::invalid_argument("flag --" + key + ": not a number: " +
+                                  it->second);
+    }
+    return v;
+  }
+
   bool Bool(const std::string& key, bool fallback) {
     used_.insert(key);
     const auto it = values_.find(key);
