@@ -1,105 +1,6 @@
 #include "analysis/json.h"
 
-#include <cstdio>
-
-#include "util/assert.h"
-
 namespace bwalloc {
-
-void JsonWriter::Separate() {
-  if (pending_key_) {
-    pending_key_ = false;
-    return;  // value follows its key; no comma
-  }
-  if (!needs_comma_.empty()) {
-    if (needs_comma_.back() == '1') out_ += ',';
-    needs_comma_.back() = '1';
-  }
-}
-
-void JsonWriter::BeginObject() {
-  Separate();
-  out_ += '{';
-  needs_comma_.push_back('0');
-}
-
-void JsonWriter::EndObject() {
-  BW_CHECK(!needs_comma_.empty(), "JsonWriter: unbalanced EndObject");
-  needs_comma_.pop_back();
-  out_ += '}';
-}
-
-void JsonWriter::BeginArray() {
-  Separate();
-  out_ += '[';
-  needs_comma_.push_back('0');
-}
-
-void JsonWriter::EndArray() {
-  BW_CHECK(!needs_comma_.empty(), "JsonWriter: unbalanced EndArray");
-  needs_comma_.pop_back();
-  out_ += ']';
-}
-
-void JsonWriter::Key(const std::string& key) {
-  Separate();
-  out_ += '"';
-  out_ += Escape(key);
-  out_ += "\":";
-  pending_key_ = true;
-}
-
-void JsonWriter::Value(const std::string& v) {
-  Separate();
-  out_ += '"';
-  out_ += Escape(v);
-  out_ += '"';
-}
-
-void JsonWriter::Value(const char* v) { Value(std::string(v)); }
-
-void JsonWriter::Value(std::int64_t v) {
-  Separate();
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  out_ += buf;
-}
-
-void JsonWriter::Value(double v) {
-  Separate();
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  out_ += buf;
-}
-
-void JsonWriter::Value(bool v) {
-  Separate();
-  out_ += v ? "true" : "false";
-}
-
-std::string JsonWriter::Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 namespace {
 

@@ -10,41 +10,9 @@
 
 #include "offline/offline_single.h"
 #include "sim/run_result.h"
+#include "util/json_writer.h"  // JsonWriter lives in util; re-exported here
 
 namespace bwalloc {
-
-// Composable writer producing compact JSON. Usage:
-//   JsonWriter w;
-//   w.BeginObject();
-//   w.Key("delay"); w.Value(3);
-//   w.Key("tags"); w.BeginArray(); w.Value("a"); w.EndArray();
-//   w.EndObject();
-//   w.str()  ->  {"delay":3,"tags":["a"]}
-class JsonWriter {
- public:
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-  void Key(const std::string& key);
-  void Value(const std::string& v);
-  void Value(const char* v);
-  void Value(std::int64_t v);
-  void Value(int v) { Value(static_cast<std::int64_t>(v)); }
-  void Value(double v);
-  void Value(bool v);
-
-  const std::string& str() const { return out_; }
-
- private:
-  void Separate();
-  static std::string Escape(const std::string& s);
-
-  std::string out_;
-  // Tracks whether the current nesting level already holds an element.
-  std::string needs_comma_;  // stack of 0/1 flags, one char per level
-  bool pending_key_ = false;
-};
 
 // Serializations used by the CLI's --json output and by tests.
 std::string ToJson(const SingleRunResult& result);

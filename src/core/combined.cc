@@ -32,6 +32,7 @@ void CombinedOnline::StartGlobalStage(Time ts) {
 }
 
 void CombinedOnline::StartLocalStage(Time now, bool shunt_regular) {
+  tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_local_stages_);
   // Overflow allocations are recomputed wholesale below; pending
   // continuous-inner leases would double-subtract.
   reductions_.clear();
@@ -53,19 +54,29 @@ void CombinedOnline::StartLocalStage(Time now, bool shunt_regular) {
 }
 
 void CombinedOnline::PhaseBoundary(Time now) {
+  const bool trace_shunts = tracer_.enabled(TraceEventType::kOverflowShunt);
+  std::int64_t overloaded = 0;
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
     if (!RegularOverloaded(i)) {
       channels_.SetOverflow(i, Bandwidth::Zero());
     } else {
+      ++overloaded;
       channels_.SetRegular(i, channels_.regular_bw(i) + share_);
+      if (trace_shunts) {
+        tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
+                     channels_.regular_queue_size(i));
+      }
       channels_.MoveRegularToOverflow(i);
       channels_.SetOverflow(
           i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
                                 params_.offline_delay));
     }
   }
+  tracer_.Emit(TraceEventType::kPhaseBoundary, now, -1, overloaded);
   const Bandwidth cap = Bandwidth::FromBitsPerSlot(2 * b_on_);
   if (channels_.TotalRegular() > cap) {
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1,
+                 completed_local_stages_);
     ++completed_local_stages_;
     StartLocalStage(now, /*shunt_regular=*/true);
   }
@@ -74,6 +85,7 @@ void CombinedOnline::PhaseBoundary(Time now) {
 void CombinedOnline::ShuntWithLease(Time now, std::int64_t i) {
   const Bits q = channels_.regular_queue_size(i);
   if (q == 0) return;
+  tracer_.Emit(TraceEventType::kOverflowShunt, now, i, q);
   channels_.MoveRegularToOverflow(i);
   const Bandwidth lease = Bandwidth::CeilDiv(q, params_.offline_delay);
   channels_.AddOverflow(i, lease);
@@ -86,6 +98,8 @@ void CombinedOnline::ContinuousTest(Time now, std::int64_t i) {
   ShuntWithLease(now, i);
   const Bandwidth cap = Bandwidth::FromBitsPerSlot(2 * b_on_);
   if (channels_.TotalRegular() > cap) {
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1,
+                 completed_local_stages_);
     ++completed_local_stages_;
     StartLocalStage(now, /*shunt_regular=*/true);
   }
@@ -109,6 +123,7 @@ void CombinedOnline::GlobalReset(Time now) {
   if (global_queue_.size() > peak_global_queue_) {
     peak_global_queue_ = global_queue_.size();
   }
+  tracer_.Emit(TraceEventType::kGlobalReset, now, -1, global_queue_.size());
   ++completed_global_stages_;
   ++completed_local_stages_;  // the local stage ends with the global one
   // A new global stage begins immediately (next slot in slotted time).
@@ -143,6 +158,7 @@ void CombinedOnline::Step(Time now, std::span<const Bits> arrivals) {
     } else if (!low.is_zero()) {
       const Bits level = CeilPowerOfTwoAtLeast(low);
       if (level > b_on_) {
+        tracer_.Emit(TraceEventType::kLevelChange, now, -1, b_on_, level);
         b_on_ = level;
         ++completed_local_stages_;
         StartLocalStage(now, /*shunt_regular=*/true);

@@ -35,6 +35,7 @@
 #include "core/high_tracker.h"
 #include "core/low_tracker.h"
 #include "core/params.h"
+#include "obs/tracer.h"
 #include "sim/bit_queue.h"
 #include "sim/engine_multi.h"
 #include "sim/session_channels.h"
@@ -80,6 +81,8 @@ class CombinedOnline final : public MultiSessionSystem {
   Bits b_on() const { return b_on_; }
   Bits peak_global_queue() const { return peak_global_queue_; }
 
+  void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
+
  private:
   void StartGlobalStage(Time ts);
   void StartLocalStage(Time now, bool shunt_regular);
@@ -108,6 +111,7 @@ class CombinedOnline final : public MultiSessionSystem {
 
   std::int64_t completed_local_stages_ = 0;
   std::int64_t completed_global_stages_ = 0;
+  Tracer tracer_;          // disabled unless SetTracer was called
 
   // Continuous-inner lease timers (Fig. 5's REDUCE).
   struct Reduction {

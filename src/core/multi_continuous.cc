@@ -23,7 +23,8 @@ bool ContinuousMulti::RegularOverloaded(std::int64_t i) const {
   return lhs > rhs;
 }
 
-void ContinuousMulti::Reset() {
+void ContinuousMulti::Reset(Time now) {
+  tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
     channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
   }
@@ -32,6 +33,7 @@ void ContinuousMulti::Reset() {
 void ContinuousMulti::ShuntToOverflow(Time now, std::int64_t i) {
   const Bits q = channels_.regular_queue_size(i);
   if (q == 0) return;
+  tracer_.Emit(TraceEventType::kOverflowShunt, now, i, q);
   channels_.MoveRegularToOverflow(i);
   const Bandwidth lease = Bandwidth::CeilDiv(q, params_.offline_delay);
   channels_.AddOverflow(i, lease);
@@ -48,8 +50,9 @@ void ContinuousMulti::Test(Time now, std::int64_t i) {
     for (std::int64_t j = 0; j < params_.sessions; ++j) {
       ShuntToOverflow(now, j);
     }
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1, completed_stages_);
     ++completed_stages_;
-    Reset();
+    Reset(now);
   }
 }
 
@@ -67,7 +70,7 @@ void ContinuousMulti::Step(Time now, std::span<const Bits> arrivals) {
              "ContinuousMulti::Step: arrival vector size mismatch");
   if (!started_) {
     started_ = true;
-    Reset();
+    Reset(now);
   }
   ApplyReductions(now);
   for (std::int64_t i = 0; i < params_.sessions; ++i) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "obs/tracer.h"
 #include "sim/engine_multi.h"
 #include "sim/session_channels.h"
 #include "util/fixed_point.h"
@@ -36,9 +37,10 @@ class ContinuousMulti final : public MultiSessionSystem {
   Bandwidth DeclaredTotalBandwidth() const override {
     return Bandwidth::FromBitsPerSlot(5 * params_.offline_bandwidth);
   }
+  void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
 
  private:
-  void Reset();
+  void Reset(Time now);
   void Test(Time now, std::int64_t i);
   void ShuntToOverflow(Time now, std::int64_t i);
   void ApplyReductions(Time now);
@@ -50,6 +52,7 @@ class ContinuousMulti final : public MultiSessionSystem {
   Bandwidth two_b_o_;  // 2 B_O
   std::int64_t completed_stages_ = 0;
   bool started_ = false;
+  Tracer tracer_;      // disabled unless SetTracer was called
 
   struct Reduction {
     std::int64_t session;

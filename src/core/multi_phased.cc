@@ -25,6 +25,7 @@ bool PhasedMulti::RegularOverloaded(std::int64_t i) const {
 }
 
 void PhasedMulti::Reset(Time now) {
+  tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
     channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
   }
@@ -32,6 +33,8 @@ void PhasedMulti::Reset(Time now) {
 }
 
 void PhasedMulti::PhaseBoundary(Time now) {
+  const bool trace_shunts = tracer_.enabled(TraceEventType::kOverflowShunt);
+  std::int64_t overloaded = 0;
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
     if (!RegularOverloaded(i)) {
       // Lemma-8 invariant: the previous phase's overflow allocation was
@@ -40,22 +43,33 @@ void PhasedMulti::PhaseBoundary(Time now) {
                "overflow queue not drained at phase boundary");
       channels_.SetOverflow(i, Bandwidth::Zero());
     } else {
+      ++overloaded;
       channels_.SetRegular(i, channels_.regular_bw(i) +
                                shares_[static_cast<std::size_t>(i)]);
+      if (trace_shunts) {
+        tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
+                     channels_.regular_queue_size(i));
+      }
       channels_.MoveRegularToOverflow(i);
       channels_.SetOverflow(
           i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
                                 params_.offline_delay));
     }
   }
+  tracer_.Emit(TraceEventType::kPhaseBoundary, now, -1, overloaded);
   if (channels_.TotalRegular() > two_b_o_) {
     // Stage end: shunt everything to the overflow channel and RESET.
     for (std::int64_t i = 0; i < params_.sessions; ++i) {
+      if (trace_shunts && channels_.regular_queue_size(i) > 0) {
+        tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
+                     channels_.regular_queue_size(i));
+      }
       channels_.MoveRegularToOverflow(i);
       channels_.SetOverflow(
           i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
                                 params_.offline_delay));
     }
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1, completed_stages_);
     ++completed_stages_;
     Reset(now);
   }

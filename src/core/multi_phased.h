@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "obs/tracer.h"
 #include "sim/engine_multi.h"
 #include "sim/session_channels.h"
 #include "util/fixed_point.h"
@@ -38,6 +39,7 @@ class PhasedMulti final : public MultiSessionSystem {
   Bandwidth DeclaredTotalBandwidth() const override {
     return Bandwidth::FromBitsPerSlot(4 * params_.offline_bandwidth);
   }
+  void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
 
  private:
   void Reset(Time now);
@@ -53,6 +55,7 @@ class PhasedMulti final : public MultiSessionSystem {
   Time next_phase_ = 0;
   std::int64_t completed_stages_ = 0;
   bool started_ = false;
+  Tracer tracer_;          // disabled unless SetTracer was called
 };
 
 }  // namespace bwalloc

@@ -1,0 +1,38 @@
+// Bridges the single-session algorithm's StageObserver callbacks into the
+// obs tracing layer, so CLI runs and batch cells can record stage starts,
+// certifications, RESET drains, and ladder level changes without the
+// algorithm knowing about sinks or masks.
+#pragma once
+
+#include "core/single_session.h"
+#include "obs/tracer.h"
+
+namespace bwalloc {
+
+class TracerStageObserver final : public StageObserver {
+ public:
+  TracerStageObserver(Tracer tracer, std::int64_t session = -1)
+      : tracer_(std::move(tracer)), session_(session) {}
+
+  void OnStageStart(Time ts) override {
+    tracer_.Emit(TraceEventType::kStageStart, ts, session_);
+  }
+
+  void OnLevelChange(Time t, Bits from, Bits to) override {
+    tracer_.Emit(TraceEventType::kLevelChange, t, session_, from, to);
+  }
+
+  void OnStageCertified(Time t, std::int64_t stage_index) override {
+    tracer_.Emit(TraceEventType::kStageCertified, t, session_, stage_index);
+  }
+
+  void OnResetDrain(Time t) override {
+    tracer_.Emit(TraceEventType::kResetDrain, t, session_);
+  }
+
+ private:
+  Tracer tracer_;
+  std::int64_t session_;
+};
+
+}  // namespace bwalloc

@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "net/path.h"
+#include "obs/tracer.h"
 #include "sim/engine_single.h"
 #include "sim/run_result.h"
 #include "util/assert.h"
@@ -90,6 +91,8 @@ class FaultySignalingChannel {
   // only through Effective()/AcksArrived()/DenialsArrived().
   void Request(Time now, Bandwidth bw) {
     ++stats_.requests;
+    tracer_.Emit(TraceEventType::kSignalRequest, now, session_, bw.raw(),
+                 stats_.requests);
     Rng rng(DeriveStream(plan_.seed,
                          static_cast<std::uint64_t>(stats_.requests)));
     const Time jitter =
@@ -102,12 +105,15 @@ class FaultySignalingChannel {
       prefix += per_hop_latency(h);
       if (rng.Bernoulli(plan_.loss_rate)) {
         ++stats_.losses;  // silence: the endpoint learns via timeout
+        tracer_.Emit(TraceEventType::kSignalLoss, now, session_, h);
         return;
       }
       if (increase) {
         if (rng.Bernoulli(plan_.denial_rate)) {
           ++stats_.denials;  // NACK travels back from hop h
           nacks_.push_back(now + 2 * prefix + jitter);
+          tracer_.Emit(TraceEventType::kSignalDenial, now, session_, h,
+                       nacks_.back());
           return;
         }
         if (plan_.partial_grant_rate > 0.0 &&
@@ -121,12 +127,16 @@ class FaultySignalingChannel {
       ++stats_.partial_grants;
       granted =
           base + Bandwidth::FromRaw((bw - base).raw() * grant_quarters / 4);
+      tracer_.Emit(TraceEventType::kSignalPartial, now, session_,
+                   granted.raw());
     }
     Time at = now + latency_ + jitter;
     if (!commits_.empty()) at = std::max(at, commits_.back().at);
     commits_.push_back({at, granted});
     scheduled_tail_ = granted;
     ++stats_.commits;
+    tracer_.Emit(TraceEventType::kSignalCommit, now, session_, granted.raw(),
+                 at);
   }
 
   // The allocation actually in force during slot `now`.
@@ -152,6 +162,12 @@ class FaultySignalingChannel {
 
   Time latency() const { return latency_; }
   const FaultStats& stats() const { return stats_; }
+
+  // Attach a tracer; events are tagged with `session` (-1 = untagged).
+  void SetTracer(const Tracer& tracer, std::int64_t session = -1) {
+    tracer_ = tracer;
+    session_ = session;
+  }
 
  private:
   struct PendingCommit {
@@ -188,6 +204,8 @@ class FaultySignalingChannel {
   std::int64_t acks_arrived_ = 0;
   std::int64_t denials_arrived_ = 0;
   FaultStats stats_;
+  Tracer tracer_;  // disabled unless SetTracer was called
+  std::int64_t session_ = -1;
 };
 
 // Retry/degradation policy of the robust adapter.
@@ -259,6 +277,7 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
     }
     if (outstanding_ && now >= deadline_) {
       ++timeouts_;  // past worst-case response: the message was lost
+      tracer_.Emit(TraceEventType::kSignalTimeout, now, session_, deadline_);
       outstanding_ = false;
       next_attempt_at_ = now + backoff_;
       backoff_ = std::min(backoff_ * 2, opts_.max_backoff);
@@ -268,6 +287,8 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
         consecutive_denials_ >= opts_.fallback_after_denials) {
       fallback_ = true;
       ++fallbacks_;
+      tracer_.Emit(TraceEventType::kSignalFallback, now, session_,
+                   opts_.fallback_bandwidth);
     }
 
     const Bandwidth want =
@@ -275,8 +296,12 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
                   : inner_want;
     if (!outstanding_ && want != effective && now >= next_attempt_at_) {
       const bool retry = have_last_want_ && want == last_want_;
+      if (retry) {
+        ++retries_;
+        tracer_.Emit(TraceEventType::kSignalRetry, now, session_, want.raw(),
+                     backoff_);
+      }
       channel_.Request(now, want);
-      if (retry) ++retries_;
       have_last_want_ = true;
       last_want_ = want;
       outstanding_ = true;
@@ -309,6 +334,14 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
 
   bool in_fallback() const { return fallback_; }
 
+  // Attach a tracer to the adapter and its channel; events are tagged with
+  // `session` (-1 = untagged).
+  void SetTracer(const Tracer& tracer, std::int64_t session = -1) {
+    tracer_ = tracer;
+    session_ = session;
+    channel_.SetTracer(tracer, session);
+  }
+
  private:
   std::unique_ptr<SingleSessionAllocator> inner_;
   FaultySignalingChannel channel_;
@@ -327,6 +360,8 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
   std::int64_t timeouts_ = 0;
   std::int64_t retries_ = 0;
   std::int64_t fallbacks_ = 0;
+  Tracer tracer_;  // disabled unless SetTracer was called
+  std::int64_t session_ = -1;
 };
 
 }  // namespace bwalloc

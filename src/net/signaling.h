@@ -14,6 +14,7 @@
 
 #include "net/path.h"
 #include "core/params.h"
+#include "obs/tracer.h"
 #include "sim/engine_single.h"
 #include "util/assert.h"
 #include "util/fixed_point.h"
@@ -42,9 +43,13 @@ class SignalingChannel {
     has_request_ = true;
     last_request_ = bw;
     ++requests_;
+    tracer_.Emit(TraceEventType::kSignalRequest, now, session_, bw.raw(),
+                 requests_);
     if (latency_ == 0) {
       effective_ = bw;
       in_flight_.clear();
+      tracer_.Emit(TraceEventType::kSignalCommit, now, session_, bw.raw(),
+                   now);
       return true;
     }
     in_flight_.push_back({now + latency_, bw});
@@ -55,6 +60,8 @@ class SignalingChannel {
   Bandwidth Effective(Time now) {
     while (!in_flight_.empty() && in_flight_.front().commit_at <= now) {
       effective_ = in_flight_.front().value;
+      tracer_.Emit(TraceEventType::kSignalCommit, now, session_,
+                   effective_.raw(), in_flight_.front().commit_at);
       in_flight_.pop_front();
     }
     return effective_;
@@ -62,6 +69,12 @@ class SignalingChannel {
 
   std::int64_t requests() const { return requests_; }
   Time latency() const { return latency_; }
+
+  // Attach a tracer; events are tagged with `session` (-1 = untagged).
+  void SetTracer(const Tracer& tracer, std::int64_t session = -1) {
+    tracer_ = tracer;
+    session_ = session;
+  }
 
  private:
   struct Pending {
@@ -74,6 +87,8 @@ class SignalingChannel {
   bool has_request_ = false;
   Bandwidth last_request_;
   std::int64_t requests_ = 0;
+  Tracer tracer_;  // disabled unless SetTracer was called
+  std::int64_t session_ = -1;
 };
 
 // Runs an inner allocator behind a signalling channel: the inner decision
@@ -99,6 +114,10 @@ class SignalingAdapter final : public SingleSessionAllocator {
 
   std::int64_t stages() const override { return inner_->stages(); }
   std::int64_t signaling_rounds() const { return channel_.requests(); }
+
+  void SetTracer(const Tracer& tracer, std::int64_t session = -1) {
+    channel_.SetTracer(tracer, session);
+  }
 
  private:
   std::unique_ptr<SingleSessionAllocator> inner_;

@@ -1,0 +1,54 @@
+#include "obs/metrics.h"
+
+#include "util/json_writer.h"
+
+namespace bwalloc {
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) Count(name, value);
+  for (const auto& [name, value] : other.gauges_) GaugeMax(name, value);
+  for (const auto& [name, hist] : other.histograms_) {
+    histograms_[name].Merge(hist);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters_) {
+    w.Key(name);
+    w.Value(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : gauges_) {
+    w.Key(name);
+    w.Value(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, hist] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("max");
+    w.Value(hist.max_delay());
+    w.Key("mean");
+    w.Value(hist.MeanDelay());
+    w.Key("p50");
+    w.Value(hist.Percentile(0.5));
+    w.Key("p99");
+    w.Value(hist.Percentile(0.99));
+    w.Key("bits");
+    w.Value(hist.total_bits());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,70 @@
+// MetricsRegistry: named counters, gauges, and histograms with exact merge.
+//
+// The registry is the aggregation-friendly side of the obs layer: where
+// the trace records *events*, the registry records *totals*. Three metric
+// kinds, each with an order-insensitive exact merge so a sharded batch
+// reduces to the same registry as a serial run:
+//
+//   * counters — int64 sums (merge = +)
+//   * gauges   — int64 maxima (merge = max; peak queue, peak allocation)
+//   * histograms — bit-weighted DelayHistogram (merge = histogram merge)
+//
+// Keys are ordered (std::map), so JSON export is deterministic. The
+// registry is NOT thread-safe: one registry per task, merged in task-index
+// order — the same contract as AggregateStats, which embeds one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace bwalloc {
+
+class MetricsRegistry {
+ public:
+  void Count(const std::string& name, std::int64_t delta) {
+    counters_[name] += delta;
+  }
+
+  void GaugeMax(const std::string& name, std::int64_t value) {
+    auto [it, inserted] = gauges_.try_emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+
+  DelayHistogram& Histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  std::int64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  std::int64_t gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Exact, commutative, associative; default-constructed is the identity.
+  void Merge(const MetricsRegistry& other);
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{max,mean,p50,p99,
+  // bits}}} with keys in sorted order: equal registries export equal bytes.
+  std::string ToJson() const;
+
+  friend bool operator==(const MetricsRegistry&,
+                         const MetricsRegistry&) = default;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, DelayHistogram> histograms_;
+};
+
+}  // namespace bwalloc

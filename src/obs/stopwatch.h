@@ -1,0 +1,78 @@
+// Scoped wall-clock phase timers for the engine hot paths.
+//
+// PhaseProfile accumulates (total ns, invocation count) per named phase;
+// ScopedTimer is the RAII guard that feeds it. A null profile pointer
+// disables timing entirely — the guard takes no clock readings — so the
+// engines can construct timers unconditionally.
+//
+// Wall-clock readings are inherently nondeterministic, so profiles are
+// reported out-of-band (stderr / a separate profile block) and NEVER
+// written into trace files, whose bytes must replay identically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace bwalloc {
+
+class PhaseProfile {
+ public:
+  struct Entry {
+    std::int64_t ns = 0;
+    std::int64_t calls = 0;
+  };
+
+  void Add(const std::string& phase, std::int64_t ns) {
+    Entry& e = phases_[phase];
+    e.ns += ns;
+    e.calls += 1;
+  }
+
+  const std::map<std::string, Entry>& phases() const { return phases_; }
+
+  bool empty() const { return phases_.empty(); }
+
+  // Human-readable per-phase block, one line per phase in name order:
+  //   single.loop        calls=1      total=12.345ms
+  std::string Format() const {
+    std::ostringstream out;
+    for (const auto& [name, e] : phases_) {
+      out << "  " << name << "  calls=" << e.calls << "  total="
+          << (static_cast<double>(e.ns) / 1e6) << "ms\n";
+    }
+    return out.str();
+  }
+
+ private:
+  std::map<std::string, Entry> phases_;
+};
+
+class ScopedTimer {
+ public:
+  // `profile` may be null: the timer is then a no-op (no clock calls).
+  ScopedTimer(PhaseProfile* profile, const char* phase)
+      : profile_(profile), phase_(phase) {
+    if (profile_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (profile_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    profile_->Add(phase_,
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                      .count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  PhaseProfile* profile_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,91 @@
+// Typed trace events emitted by the simulator, algorithm, and signalling
+// layers.
+//
+// Every event is a small POD: a type, the slot it happened in, an optional
+// session index, and up to three integer payload fields whose meaning is
+// per-type (see PayloadNames in trace_sink.cc). The run-level identity —
+// suite name and cell index — lives in the TraceContext of the emitting
+// Tracer, not in the event, so per-task buffers stay compact and a batch
+// can stamp thousands of events without copying strings.
+//
+// All payloads are exact integers (raw Q16 for rates); no floating point
+// ever reaches a trace line, so serialized traces are byte-identical
+// across platforms and `--jobs` values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace bwalloc {
+
+enum class TraceEventType : std::uint32_t {
+  kSlotTick = 0,        // a=arrival bits, b=queue bits after enqueue
+  kStageStart,          // single/multi algorithms: a new stage begins
+  kStageCertified,      // a=index of the completed (certified) stage
+  kResetDrain,          // RESET entered with a backlog (B_A drain running)
+  kGlobalReset,         // combined algorithm: a=bits shunted to global queue
+  kLevelChange,         // algorithm ladder: a=from bits/slot, b=to bits/slot
+  kAllocChange,         // committed rate: a=from raw, b=to raw, c=channel
+  kQueueHighWater,      // a=new peak queue size in bits
+  kPhaseBoundary,       // phased multi: a=number of overloaded sessions
+  kOverflowShunt,       // a=bits moved from regular to overflow queue
+  kSignalRequest,       // a=asked rate raw, b=attempt index
+  kSignalCommit,        // a=granted rate raw, b=slot the commit lands
+  kSignalLoss,          // a=hop that dropped the message
+  kSignalDenial,        // a=hop that NACKed, b=slot the NACK arrives
+  kSignalPartial,       // a=granted rate raw (below the ask)
+  kSignalTimeout,       // a=slot the deadline expired
+  kSignalRetry,         // a=re-asked rate raw, b=backoff before this attempt
+  kSignalFallback,      // a=fallback drain rate in bits/slot
+  kEventTypeCount,      // sentinel — keep last
+};
+
+inline constexpr std::uint32_t kTraceEventTypes =
+    static_cast<std::uint32_t>(TraceEventType::kEventTypeCount);
+static_assert(kTraceEventTypes <= 32, "event mask is a 32-bit set");
+
+// Bit set over TraceEventType.
+using EventMask = std::uint32_t;
+
+inline constexpr EventMask EventBit(TraceEventType t) {
+  return EventMask{1} << static_cast<std::uint32_t>(t);
+}
+
+inline constexpr EventMask kAllEvents =
+    (EventMask{1} << kTraceEventTypes) - 1;
+
+// Channel tags for kAllocChange's `c` payload.
+inline constexpr std::int64_t kChanSingle = 0;    // single-session rate
+inline constexpr std::int64_t kChanRegular = 1;   // multi regular channel
+inline constexpr std::int64_t kChanOverflow = 2;  // multi overflow channel
+inline constexpr std::int64_t kChanTotal = 3;     // declared total bandwidth
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kSlotTick;
+  Time slot = 0;
+  std::int64_t session = -1;  // -1 = no session / aggregate scope
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+// Stable identity of the emitting run, stamped into every serialized line.
+struct TraceContext {
+  std::string suite;      // suite/run name ("single", batch suite name, ...)
+  std::int64_t cell = 0;  // task index within the suite
+};
+
+// Canonical event name ("slot_tick", "signal_loss", ...). Stable: trace
+// files and the trace-summary reader both key on these.
+const char* EventTypeName(TraceEventType type);
+
+// Parses a `--trace-events` spec: "all", or a comma list of event names
+// and/or group names (slot, stage, alloc, queue, phase, signal). Throws
+// std::invalid_argument naming the offending token.
+EventMask ParseEventMask(const std::string& spec);
+
+}  // namespace bwalloc

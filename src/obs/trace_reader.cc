@@ -1,0 +1,162 @@
+#include "obs/trace_reader.h"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json_writer.h"
+
+namespace bwalloc {
+
+namespace {
+
+// Minimal tokenizer for the flat {"key":value,...} objects the sinks
+// write: values are strings or (signed) integers.
+class FlatObjectParser {
+ public:
+  explicit FlatObjectParser(const std::string& line) : s_(line) {}
+
+  TraceRecord Parse() {
+    TraceRecord rec;
+    SkipSpace();
+    Expect('{');
+    SkipSpace();
+    if (Peek() == '}') {
+      ++i_;
+      return rec;
+    }
+    while (true) {
+      SkipSpace();
+      const std::string key = ParseString();
+      SkipSpace();
+      Expect(':');
+      SkipSpace();
+      if (Peek() == '"') {
+        const std::string value = ParseString();
+        if (key == "suite") {
+          rec.suite = value;
+        } else if (key == "event") {
+          rec.event = value;
+        } else {
+          throw std::invalid_argument("trace line: unexpected string field '" +
+                                      key + "'");
+        }
+      } else {
+        const std::int64_t value = ParseInt();
+        if (key == "cell") {
+          rec.cell = value;
+        } else if (key == "slot") {
+          rec.slot = value;
+        } else if (key == "session") {
+          rec.session = value;
+        } else {
+          rec.payload[key] = value;
+        }
+      }
+      SkipSpace();
+      const char c = Next();
+      if (c == '}') break;
+      if (c != ',') {
+        throw std::invalid_argument("trace line: expected ',' or '}'");
+      }
+    }
+    SkipSpace();
+    if (i_ != s_.size()) {
+      throw std::invalid_argument("trace line: trailing characters");
+    }
+    return rec;
+  }
+
+ private:
+  char Peek() const {
+    if (i_ >= s_.size()) {
+      throw std::invalid_argument("trace line: unexpected end of line");
+    }
+    return s_[i_];
+  }
+
+  char Next() {
+    const char c = Peek();
+    ++i_;
+    return c;
+  }
+
+  void Expect(char c) {
+    if (Next() != c) {
+      throw std::invalid_argument(std::string("trace line: expected '") + c +
+                                  "'");
+    }
+  }
+
+  void SkipSpace() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_])) != 0) {
+      ++i_;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string raw;
+    while (true) {
+      const char c = Next();
+      if (c == '"') break;
+      raw += c;
+      if (c == '\\') raw += Next();  // keep the escaped char pair intact
+    }
+    return JsonUnescape(raw);
+  }
+
+  std::int64_t ParseInt() {
+    const std::size_t start = i_;
+    if (Peek() == '-') ++i_;
+    while (i_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[i_])) != 0) {
+      ++i_;
+    }
+    if (i_ == start || (s_[start] == '-' && i_ == start + 1)) {
+      throw std::invalid_argument("trace line: expected an integer value");
+    }
+    try {
+      return std::stoll(s_.substr(start, i_ - start));
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("trace line: integer out of range");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+TraceRecord ParseTraceLine(const std::string& line) {
+  return FlatObjectParser(line).Parse();
+}
+
+std::vector<TraceRecord> ReadTrace(std::istream& in) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      out.push_back(ParseTraceLine(line));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                  e.what());
+    }
+  }
+  return out;
+}
+
+std::vector<TraceRecord> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  return ReadTrace(in);
+}
+
+}  // namespace bwalloc

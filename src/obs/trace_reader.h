@@ -1,0 +1,41 @@
+// Reader for NDJSON trace files written by the trace sinks.
+//
+// The parser accepts exactly the flat shape FormatNdjson produces — one
+// JSON object per line, string and integer values only — plus arbitrary
+// whitespace, so hand-edited traces still load. Unknown keys are kept in
+// the payload map, which lets newer traces flow through older readers.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct TraceRecord {
+  std::string suite;
+  std::int64_t cell = 0;
+  Time slot = 0;
+  std::int64_t session = -1;  // -1 when the line carries no session tag
+  std::string event;          // EventTypeName string
+  // Remaining integer fields by key ("hop", "from_raw", ...).
+  std::map<std::string, std::int64_t> payload;
+};
+
+// Parses one NDJSON line. Throws std::invalid_argument (with the offending
+// text) on malformed input.
+TraceRecord ParseTraceLine(const std::string& line);
+
+// Reads every non-empty line of `in`. Throws std::invalid_argument with a
+// 1-based line number on the first malformed line.
+std::vector<TraceRecord> ReadTrace(std::istream& in);
+
+// Convenience: open + read a trace file. Throws std::runtime_error if the
+// file cannot be opened.
+std::vector<TraceRecord> ReadTraceFile(const std::string& path);
+
+}  // namespace bwalloc

@@ -1,0 +1,197 @@
+#include "obs/trace_sink.h"
+
+#include <stdexcept>
+
+#include "util/assert.h"
+#include "util/json_writer.h"
+
+namespace bwalloc {
+
+namespace {
+
+struct PayloadNames {
+  const char* a;  // nullptr = omit
+  const char* b;
+  const char* c;
+};
+
+// Key names for the a/b/c payload fields, indexed by TraceEventType.
+constexpr PayloadNames kPayloadNames[kTraceEventTypes] = {
+    /*kSlotTick*/ {"arrivals", "queue", nullptr},
+    /*kStageStart*/ {nullptr, nullptr, nullptr},
+    /*kStageCertified*/ {"stage", nullptr, nullptr},
+    /*kResetDrain*/ {nullptr, nullptr, nullptr},
+    /*kGlobalReset*/ {"queued", nullptr, nullptr},
+    /*kLevelChange*/ {"from", "to", nullptr},
+    /*kAllocChange*/ {"from_raw", "to_raw", "channel"},
+    /*kQueueHighWater*/ {"bits", nullptr, nullptr},
+    /*kPhaseBoundary*/ {"overloaded", nullptr, nullptr},
+    /*kOverflowShunt*/ {"bits", nullptr, nullptr},
+    /*kSignalRequest*/ {"ask_raw", "attempt", nullptr},
+    /*kSignalCommit*/ {"grant_raw", "commit_at", nullptr},
+    /*kSignalLoss*/ {"hop", nullptr, nullptr},
+    /*kSignalDenial*/ {"hop", "nack_at", nullptr},
+    /*kSignalPartial*/ {"grant_raw", nullptr, nullptr},
+    /*kSignalTimeout*/ {"deadline", nullptr, nullptr},
+    /*kSignalRetry*/ {"ask_raw", "backoff", nullptr},
+    /*kSignalFallback*/ {"rate", nullptr, nullptr},
+};
+
+constexpr const char* kEventNames[kTraceEventTypes] = {
+    "slot_tick",      "stage_start",    "stage_certified", "reset_drain",
+    "global_reset",   "level_change",   "alloc_change",    "queue_hwm",
+    "phase_boundary", "overflow_shunt", "signal_request",  "signal_commit",
+    "signal_loss",    "signal_denial",  "signal_partial",  "signal_timeout",
+    "signal_retry",   "signal_fallback",
+};
+
+// Group names accepted by ParseEventMask in addition to exact event names.
+EventMask GroupMask(const std::string& name) {
+  using T = TraceEventType;
+  if (name == "all") return kAllEvents;
+  if (name == "slot") return EventBit(T::kSlotTick);
+  if (name == "stage") {
+    return EventBit(T::kStageStart) | EventBit(T::kStageCertified) |
+           EventBit(T::kResetDrain) | EventBit(T::kGlobalReset) |
+           EventBit(T::kLevelChange);
+  }
+  if (name == "alloc") return EventBit(T::kAllocChange);
+  if (name == "queue") return EventBit(T::kQueueHighWater);
+  if (name == "phase") {
+    return EventBit(T::kPhaseBoundary) | EventBit(T::kOverflowShunt);
+  }
+  if (name == "signal") {
+    return EventBit(T::kSignalRequest) | EventBit(T::kSignalCommit) |
+           EventBit(T::kSignalLoss) | EventBit(T::kSignalDenial) |
+           EventBit(T::kSignalPartial) | EventBit(T::kSignalTimeout) |
+           EventBit(T::kSignalRetry) | EventBit(T::kSignalFallback);
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* EventTypeName(TraceEventType type) {
+  const auto i = static_cast<std::uint32_t>(type);
+  BW_REQUIRE(i < kTraceEventTypes, "EventTypeName: bad event type");
+  return kEventNames[i];
+}
+
+EventMask ParseEventMask(const std::string& spec) {
+  EventMask mask = 0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) {
+      const std::string token = spec.substr(start, end - start);
+      EventMask bit = GroupMask(token);
+      if (bit == 0) {
+        for (std::uint32_t i = 0; i < kTraceEventTypes; ++i) {
+          if (token == kEventNames[i]) {
+            bit = EventMask{1} << i;
+            break;
+          }
+        }
+      }
+      if (bit == 0) {
+        throw std::invalid_argument(
+            "unknown trace event '" + token +
+            "' (expected all, slot, stage, alloc, queue, phase, signal, or "
+            "an exact event name)");
+      }
+      mask |= bit;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (mask == 0) {
+    throw std::invalid_argument("empty --trace-events spec");
+  }
+  return mask;
+}
+
+std::string FormatNdjson(const TraceContext& ctx, const TraceEvent& event) {
+  const auto i = static_cast<std::uint32_t>(event.type);
+  BW_REQUIRE(i < kTraceEventTypes, "FormatNdjson: bad event type");
+  const PayloadNames& names = kPayloadNames[i];
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("suite");
+  w.Value(ctx.suite);
+  w.Key("cell");
+  w.Value(ctx.cell);
+  w.Key("slot");
+  w.Value(event.slot);
+  if (event.session >= 0) {
+    w.Key("session");
+    w.Value(event.session);
+  }
+  w.Key("event");
+  w.Value(kEventNames[i]);
+  if (names.a != nullptr) {
+    w.Key(names.a);
+    w.Value(event.a);
+  }
+  if (names.b != nullptr) {
+    w.Key(names.b);
+    w.Value(event.b);
+  }
+  if (names.c != nullptr) {
+    w.Key(names.c);
+    w.Value(event.c);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string BufferTraceSink::ToNdjson() const {
+  std::string out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out += FormatNdjson(contexts_[i], events_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
+    : capacity_(capacity) {
+  BW_REQUIRE(capacity >= 1, "RingBufferTraceSink: capacity must be >= 1");
+  ring_.reserve(capacity);
+}
+
+void RingBufferTraceSink::Emit(const TraceContext& ctx,
+                               const TraceEvent& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back({ctx, event});
+  } else {
+    ring_[next_] = {ctx, event};
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++emitted_;
+}
+
+std::size_t RingBufferTraceSink::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> RingBufferTraceSink::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t k = 0; k < ring_.size(); ++k) {
+    out.push_back(ring_[(start + k) % ring_.size()].event);
+  }
+  return out;
+}
+
+std::string RingBufferTraceSink::ToNdjson() const {
+  std::string out;
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t k = 0; k < ring_.size(); ++k) {
+    const Entry& e = ring_[(start + k) % ring_.size()];
+    out += FormatNdjson(e.ctx, e.event);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,95 @@
+// Trace sinks: where emitted events go.
+//
+// The Tracer (tracer.h) fans events into a TraceSink. Two sinks cover the
+// two usage modes:
+//
+//   * NdjsonTraceSink streams each event as one JSON object per line
+//     (NDJSON) to an ostream — the `bwsim single --trace-out=FILE` path.
+//   * BufferTraceSink collects events in memory. Parallel batch runs give
+//     every task its own buffer and flush them in task-index order, so the
+//     concatenated NDJSON is byte-identical for every --jobs value.
+//   * RingBufferTraceSink keeps only the last N events — a crash/assert
+//     "flight recorder" for long soaks where a full trace is too large.
+//
+// Sinks are NOT thread-safe; the determinism contract is one sink per
+// task, never a shared sink across pool threads.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace bwalloc {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceContext& ctx, const TraceEvent& event) = 0;
+};
+
+// One event as a compact one-line JSON object (no trailing newline):
+//   {"suite":"batch","cell":3,"slot":17,"session":0,"event":"signal_loss",
+//    "hop":1}
+// Payload keys are per-type (PayloadNames); unused payload fields are
+// omitted, session is omitted when < 0. Integer-only: byte-stable.
+std::string FormatNdjson(const TraceContext& ctx, const TraceEvent& event);
+
+class NdjsonTraceSink final : public TraceSink {
+ public:
+  explicit NdjsonTraceSink(std::ostream& out) : out_(out) {}
+  void Emit(const TraceContext& ctx, const TraceEvent& event) override {
+    out_ << FormatNdjson(ctx, event) << '\n';
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+class BufferTraceSink final : public TraceSink {
+ public:
+  void Emit(const TraceContext& ctx, const TraceEvent& event) override {
+    events_.push_back(event);
+    contexts_.push_back(ctx);
+  }
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // All buffered events as NDJSON lines (each '\n'-terminated).
+  std::string ToNdjson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<TraceContext> contexts_;
+};
+
+class RingBufferTraceSink final : public TraceSink {
+ public:
+  explicit RingBufferTraceSink(std::size_t capacity);
+
+  void Emit(const TraceContext& ctx, const TraceEvent& event) override;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  // Total events ever emitted (>= size(); the difference was overwritten).
+  std::int64_t emitted() const { return emitted_; }
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  std::string ToNdjson() const;
+
+ private:
+  struct Entry {
+    TraceContext ctx;
+    TraceEvent event;
+  };
+  std::size_t capacity_;
+  std::vector<Entry> ring_;
+  std::size_t next_ = 0;     // write cursor
+  std::int64_t emitted_ = 0;
+};
+
+}  // namespace bwalloc

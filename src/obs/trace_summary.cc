@@ -1,0 +1,100 @@
+#include "obs/trace_summary.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace bwalloc {
+
+namespace {
+
+std::int64_t PayloadOr(const TraceRecord& r, const char* key,
+                       std::int64_t fallback) {
+  const auto it = r.payload.find(key);
+  return it == r.payload.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+TraceSummary Summarize(const std::vector<TraceRecord>& records) {
+  TraceSummary out;
+  std::map<std::tuple<std::string, std::int64_t, std::int64_t>,
+           SessionTimeline>
+      groups;
+
+  for (const TraceRecord& r : records) {
+    ++out.total_events;
+    if (out.total_events == 1) {
+      out.first_slot = out.last_slot = r.slot;
+    } else {
+      out.first_slot = std::min(out.first_slot, r.slot);
+      out.last_slot = std::max(out.last_slot, r.slot);
+    }
+
+    const auto key = std::make_tuple(r.suite, r.cell, r.session);
+    auto [it, inserted] = groups.try_emplace(key);
+    SessionTimeline& tl = it->second;
+    if (inserted) {
+      tl.suite = r.suite;
+      tl.cell = r.cell;
+      tl.session = r.session;
+      tl.first_slot = tl.last_slot = r.slot;
+    } else {
+      tl.first_slot = std::min(tl.first_slot, r.slot);
+      tl.last_slot = std::max(tl.last_slot, r.slot);
+    }
+    ++tl.events;
+
+    bool milestone = true;
+    if (r.event == "slot_tick") {
+      milestone = false;
+    } else if (r.event == "stage_start") {
+      ++tl.stage_starts;
+    } else if (r.event == "stage_certified") {
+      ++tl.stages_certified;
+    } else if (r.event == "reset_drain") {
+      ++tl.reset_drains;
+    } else if (r.event == "global_reset") {
+      ++tl.global_resets;
+    } else if (r.event == "level_change") {
+      ++tl.level_changes;
+    } else if (r.event == "alloc_change") {
+      ++tl.alloc_changes;
+      milestone = false;
+    } else if (r.event == "queue_hwm") {
+      tl.queue_peak_bits =
+          std::max(tl.queue_peak_bits, PayloadOr(r, "bits", 0));
+      milestone = false;
+    } else if (r.event == "phase_boundary") {
+      milestone = false;
+    } else if (r.event == "overflow_shunt") {
+      ++tl.overflow_shunts;
+      milestone = false;
+    } else if (r.event == "signal_request") {
+      ++tl.requests;
+      milestone = false;  // requests are frequent; commits/losses tell more
+    } else if (r.event == "signal_commit") {
+      ++tl.commits;
+      milestone = false;
+    } else if (r.event == "signal_loss") {
+      ++tl.losses;
+    } else if (r.event == "signal_denial") {
+      ++tl.denials;
+    } else if (r.event == "signal_partial") {
+      ++tl.partial_grants;
+    } else if (r.event == "signal_timeout") {
+      ++tl.timeouts;
+    } else if (r.event == "signal_retry") {
+      ++tl.retries;
+    } else if (r.event == "signal_fallback") {
+      ++tl.fallbacks;
+    }
+    if (milestone) out.milestones.push_back(r);
+  }
+
+  out.sessions.reserve(groups.size());
+  for (auto& [key, tl] : groups) out.sessions.push_back(std::move(tl));
+  return out;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,61 @@
+// Aggregation of a trace into per-session timelines.
+//
+// Summarize groups trace records by (suite, cell, session) and reduces
+// each group to the counts an operator reads first: stage activity,
+// allocation churn, signalling outcomes, and the queue high-water mark.
+// The result is plain data — `bwsim trace-summary` renders it as a table,
+// and tests compare its signalling counts against FaultStats directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct SessionTimeline {
+  std::string suite;
+  std::int64_t cell = 0;
+  std::int64_t session = -1;  // -1 = the run's session-less scope
+
+  Time first_slot = 0;
+  Time last_slot = 0;
+  std::int64_t events = 0;
+
+  std::int64_t stage_starts = 0;
+  std::int64_t stages_certified = 0;
+  std::int64_t reset_drains = 0;
+  std::int64_t global_resets = 0;
+  std::int64_t level_changes = 0;
+  std::int64_t alloc_changes = 0;
+  std::int64_t overflow_shunts = 0;
+
+  std::int64_t requests = 0;
+  std::int64_t commits = 0;
+  std::int64_t losses = 0;
+  std::int64_t denials = 0;
+  std::int64_t partial_grants = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t retries = 0;
+  std::int64_t fallbacks = 0;
+
+  std::int64_t queue_peak_bits = 0;
+};
+
+struct TraceSummary {
+  std::int64_t total_events = 0;
+  Time first_slot = 0;
+  Time last_slot = 0;
+  // One row per (suite, cell, session), ordered by that key.
+  std::vector<SessionTimeline> sessions;
+  // Records of the stage/signal timeline (every non-slot_tick, non-hwm,
+  // non-alloc event) in input order, for the chronological listing.
+  std::vector<TraceRecord> milestones;
+};
+
+TraceSummary Summarize(const std::vector<TraceRecord>& records);
+
+}  // namespace bwalloc

@@ -1,0 +1,53 @@
+// The Tracer: the handle threaded through engines, algorithms, and the
+// signalling stack.
+//
+// A default-constructed Tracer is disabled — its sink pointer is null and
+// every Emit call reduces to one predictable branch, so instrumented hot
+// loops cost nothing when tracing is off (the zero-overhead-when-disabled
+// contract; bench_micro guards the engine loops). An enabled Tracer holds
+// a sink, an event mask, and the TraceContext (suite, cell) every event is
+// stamped with.
+//
+// Tracers are small values: copy them freely into adapters and engines.
+// The sink is borrowed, not owned, and must outlive every Tracer copy.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "obs/trace_event.h"
+#include "obs/trace_sink.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+class Tracer {
+ public:
+  Tracer() = default;  // disabled
+  Tracer(TraceSink* sink, EventMask mask, TraceContext ctx)
+      : sink_(sink), mask_(mask), ctx_(std::move(ctx)) {}
+
+  // The null-sink guard: false on the default-constructed tracer.
+  bool active() const { return sink_ != nullptr; }
+
+  bool enabled(TraceEventType type) const {
+    return sink_ != nullptr && (mask_ & EventBit(type)) != 0;
+  }
+
+  void Emit(TraceEventType type, Time slot, std::int64_t session = -1,
+            std::int64_t a = 0, std::int64_t b = 0,
+            std::int64_t c = 0) const {
+    if (!enabled(type)) return;
+    sink_->Emit(ctx_, TraceEvent{type, slot, session, a, b, c});
+  }
+
+  const TraceContext& context() const { return ctx_; }
+  EventMask mask() const { return mask_; }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  EventMask mask_ = 0;
+  TraceContext ctx_;
+};
+
+}  // namespace bwalloc

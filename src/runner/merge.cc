@@ -57,6 +57,7 @@ void AggregateStats::Merge(const AggregateStats& other) {
   min_local_utilization =
       std::min(min_local_utilization, other.min_local_utilization);
   delay.Merge(other.delay);
+  metrics.Merge(other.metrics);
 }
 
 Ratio AggregateStats::GlobalUtilization() const {
@@ -80,7 +81,7 @@ bool operator==(const AggregateStats& a, const AggregateStats& b) {
          a.max_delay == b.max_delay &&
          a.peak_allocation == b.peak_allocation &&
          a.min_local_utilization == b.min_local_utilization &&
-         a.delay == b.delay;
+         a.delay == b.delay && a.metrics == b.metrics;
 }
 
 }  // namespace bwalloc

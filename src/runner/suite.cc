@@ -6,7 +6,10 @@
 #include "core/multi_continuous.h"
 #include "core/multi_phased.h"
 #include "core/single_session.h"
+#include "core/stage_trace.h"
 #include "net/faults.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
 #include "sim/engine_multi.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -18,6 +21,7 @@ namespace {
 struct CellOutcome {
   std::vector<std::string> row;
   AggregateStats stats;
+  std::string trace_ndjson;  // this cell's events; empty unless spec.trace
 };
 
 MultiWorkloadKind ParseMultiKind(const std::string& kind) {
@@ -53,8 +57,18 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
     throw std::invalid_argument("unknown suite algo: " + spec.algo);
   }
 
+  CellOutcome out;
+  BufferTraceSink sink;
+  Tracer tracer;
+  if (spec.trace) {
+    tracer = Tracer(&sink, spec.trace_events, {spec.name, ctx.key.index});
+  }
+  TracerStageObserver stage_observer(tracer);
+
   SingleEngineOptions opt;
   opt.utilization_scan_window = spec.window + 5 * p.offline_delay();
+  opt.tracer = tracer;
+  opt.metrics = &out.stats.metrics;
 
   SingleRunResult r;
   if (spec.fault_hops > 0) {
@@ -66,9 +80,12 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
     plan.seed = SplitMix64(ctx.seed);
     RobustOptions ropts;
     ropts.fallback_bandwidth = spec.ba;
+    auto inner = std::make_unique<SingleSessionOnline>(p, variant);
+    if (spec.trace) inner->SetObserver(&stage_observer);
     RobustSignalingAdapter adapter(
-        std::make_unique<SingleSessionOnline>(p, variant),
-        NetworkPath::Uniform(spec.fault_hops, 1, 1.0), plan, ropts);
+        std::move(inner), NetworkPath::Uniform(spec.fault_hops, 1, 1.0), plan,
+        ropts);
+    if (spec.trace) adapter.SetTracer(tracer);
     // Degraded runs can hold a backlog for many retry rounds; give the
     // drain tail room proportional to the retry horizon.
     opt.drain_slots = 2 * spec.da + 64 * spec.fault_hops;
@@ -76,11 +93,11 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
     r.faults = adapter.fault_stats();
   } else {
     SingleSessionOnline alg(p, variant);
+    if (spec.trace) alg.SetObserver(&stage_observer);
     opt.drain_slots = 2 * spec.da;
     r = RunSingleSession(trace, alg, opt);
   }
 
-  CellOutcome out;
   out.row = {workload,
              Table::Num(stream),
              Table::Num(r.delay.max_delay()),
@@ -96,6 +113,7 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
     out.row.push_back(Table::Num(r.faults.fallbacks));
   }
   out.stats.Add(r);
+  if (spec.trace) out.trace_ndjson = sink.ToNdjson();
   return out;
 }
 
@@ -120,8 +138,17 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
       MultiSessionWorkload(ParseMultiKind(kind), k, p.offline_bandwidth,
                            p.offline_delay, spec.horizon, ctx.seed);
 
+  CellOutcome out;
+  BufferTraceSink sink;
+  Tracer tracer;
+  if (spec.trace) {
+    tracer = Tracer(&sink, spec.trace_events, {spec.name, ctx.key.index});
+  }
+
   MultiEngineOptions opt;
   opt.drain_slots = 4 * spec.d_o;
+  opt.tracer = tracer;
+  opt.metrics = &out.stats.metrics;
   MultiRunResult r;
   if (spec.multi_algo == "phased") {
     PhasedMulti sys(p);
@@ -133,7 +160,6 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
     throw std::invalid_argument("unknown suite multi algo: " + spec.multi_algo);
   }
 
-  CellOutcome out;
   out.row = {kind,
              Table::Num(k),
              Table::Num(stream),
@@ -143,6 +169,7 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
              Table::Num(r.stages),
              Table::Num(r.global_utilization, 3)};
   out.stats.Add(r);
+  if (spec.trace) out.trace_ndjson = sink.ToNdjson();
   return out;
 }
 
@@ -188,11 +215,12 @@ SuiteReport RunSuite(const SuiteSpec& spec, BatchRunner& runner) {
                                                      : RunMultiCell(spec, ctx);
       });
 
-  SuiteReport report{EmptyCellTable(spec), {}, std::move(batch.errors)};
+  SuiteReport report{EmptyCellTable(spec), {}, std::move(batch.errors), {}};
   for (std::optional<CellOutcome>& cell : batch.results) {
     if (!cell.has_value()) continue;  // failed cell, reported via errors
     report.cells.AddRow(std::move(cell->row));
     report.aggregate.Merge(cell->stats);
+    report.trace_ndjson += cell->trace_ndjson;
   }
   return report;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/table.h"
+#include "obs/trace_event.h"
 #include "runner/batch_runner.h"
 #include "runner/merge.h"
 #include "util/types.h"
@@ -54,6 +55,12 @@ struct SuiteSpec {
   Bits per_session_bo = 16;           // B_O = per_session_bo * k
   Time d_o = 8;
 
+  // Structured event tracing. Each cell records into its own buffer;
+  // RunSuite concatenates the buffers in cell-index order, so the NDJSON
+  // stream is byte-identical at every --jobs value.
+  bool trace = false;
+  EventMask trace_events = kAllEvents;
+
   // Cells = grid points x seed streams.
   std::int64_t CellCount() const;
 };
@@ -62,6 +69,8 @@ struct SuiteReport {
   Table cells;  // one row per cell, cell-index order
   AggregateStats aggregate;
   std::vector<TaskError> errors;  // failed cells, index order
+  // NDJSON trace of every cell, cell-index order; empty unless spec.trace.
+  std::string trace_ndjson;
 
   bool ok() const { return errors.empty(); }
 };

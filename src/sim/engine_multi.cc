@@ -30,39 +30,76 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   std::vector<ChangeCounter> regular_counters(k);
   std::vector<ChangeCounter> overflow_counters(k);
 
+  const Tracer& tracer = options.tracer;
+  const bool tracing = tracer.active();
+  if (tracing) system.SetTracer(tracer);
+  Bits queue_hwm = 0;
+
   std::vector<Bits> arrivals(k, 0);
-  for (Time t = 0; t < horizon; ++t) {
-    Bits slot_in = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-      arrivals[i] =
-          t < trace_len ? traces[i][static_cast<std::size_t>(t)] : Bits{0};
-      BW_REQUIRE(arrivals[i] >= 0, "RunMultiSession: negative arrivals");
-      slot_in += arrivals[i];
-    }
+  {
+    ScopedTimer loop_timer(options.profile, "engine_multi.loop");
+    for (Time t = 0; t < horizon; ++t) {
+      Bits slot_in = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        arrivals[i] =
+            t < trace_len ? traces[i][static_cast<std::size_t>(t)] : Bits{0};
+        BW_REQUIRE(arrivals[i] >= 0, "RunMultiSession: negative arrivals");
+        slot_in += arrivals[i];
+      }
 
-    system.Step(t, arrivals);
+      system.Step(t, arrivals);
 
-    const SessionChannels& ch = system.channels();
-    Bandwidth allocated = system.ExtraAllocatedBandwidth();
-    for (std::size_t i = 0; i < k; ++i) {
-      const auto idx = static_cast<std::int64_t>(i);
-      regular_counters[i].Observe(ch.regular_bw(idx));
-      overflow_counters[i].Observe(ch.overflow_bw(idx));
-      allocated += ch.regular_bw(idx) + ch.overflow_bw(idx);
-    }
-    declared_total.Observe(system.DeclaredTotalBandwidth());
-    util.Record(slot_in, allocated);
+      const SessionChannels& ch = system.channels();
+      Bandwidth allocated = system.ExtraAllocatedBandwidth();
+      for (std::size_t i = 0; i < k; ++i) {
+        const auto idx = static_cast<std::int64_t>(i);
+        if (tracing) {
+          if (regular_counters[i].initialized() &&
+              ch.regular_bw(idx) != regular_counters[i].current()) {
+            tracer.Emit(TraceEventType::kAllocChange, t, idx,
+                        regular_counters[i].current().raw(),
+                        ch.regular_bw(idx).raw(), kChanRegular);
+          }
+          if (overflow_counters[i].initialized() &&
+              ch.overflow_bw(idx) != overflow_counters[i].current()) {
+            tracer.Emit(TraceEventType::kAllocChange, t, idx,
+                        overflow_counters[i].current().raw(),
+                        ch.overflow_bw(idx).raw(), kChanOverflow);
+          }
+        }
+        regular_counters[i].Observe(ch.regular_bw(idx));
+        overflow_counters[i].Observe(ch.overflow_bw(idx));
+        allocated += ch.regular_bw(idx) + ch.overflow_bw(idx);
+      }
+      if (tracing) {
+        tracer.Emit(TraceEventType::kSlotTick, t, -1, slot_in,
+                    ch.TotalQueued());
+        if (declared_total.initialized() &&
+            system.DeclaredTotalBandwidth() != declared_total.current()) {
+          tracer.Emit(TraceEventType::kAllocChange, t, -1,
+                      declared_total.current().raw(),
+                      system.DeclaredTotalBandwidth().raw(), kChanTotal);
+        }
+        const Bits queued = ch.TotalQueued() + system.ExtraQueuedBits();
+        if (queued > queue_hwm) {
+          queue_hwm = queued;
+          tracer.Emit(TraceEventType::kQueueHighWater, t, -1, queue_hwm);
+        }
+      }
+      declared_total.Observe(system.DeclaredTotalBandwidth());
+      util.Record(slot_in, allocated);
 
-    if (allocated > result.peak_total_allocation) {
-      result.peak_total_allocation = allocated;
-    }
-    const Bandwidth reg = ch.TotalRegular();
-    const Bandwidth ovf = ch.TotalOverflow();
-    if (reg > result.peak_regular_allocation) {
-      result.peak_regular_allocation = reg;
-    }
-    if (ovf > result.peak_overflow_allocation) {
-      result.peak_overflow_allocation = ovf;
+      if (allocated > result.peak_total_allocation) {
+        result.peak_total_allocation = allocated;
+      }
+      const Bandwidth reg = ch.TotalRegular();
+      const Bandwidth ovf = ch.TotalOverflow();
+      if (reg > result.peak_regular_allocation) {
+        result.peak_regular_allocation = reg;
+      }
+      if (ovf > result.peak_overflow_allocation) {
+        result.peak_overflow_allocation = ovf;
+      }
     }
   }
 
@@ -88,8 +125,22 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   result.total_allocated_bits = util.TotalAllocatedBits();
   result.total_allocated_raw = util.TotalAllocatedRaw();
   if (options.utilization_scan_window > 0) {
+    ScopedTimer scan_timer(options.profile, "engine_multi.util_scan");
     result.worst_best_window_utilization =
         util.WorstBestWindowUtilization(options.utilization_scan_window);
+  }
+
+  if (options.metrics != nullptr) {
+    MetricsRegistry& m = *options.metrics;
+    m.Count("engine.slots", result.horizon);
+    m.Count("engine.sessions", result.sessions);
+    m.Count("engine.arrival_bits", result.total_arrivals);
+    m.Count("engine.delivered_bits", result.total_delivered);
+    m.Count("engine.local_changes", result.local_changes);
+    m.Count("engine.global_changes", result.global_changes);
+    m.Count("engine.stages", result.stages);
+    m.GaugeMax("engine.peak_alloc_raw", result.peak_total_allocation.raw());
+    m.Histogram("engine.delay").Merge(result.delay);
   }
   return result;
 }

@@ -12,6 +12,9 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/tracer.h"
 #include "sim/run_result.h"
 #include "sim/session_channels.h"
 #include "util/fixed_point.h"
@@ -46,11 +49,20 @@ class MultiSessionSystem {
   virtual Bits ExtraDeliveredBits() const { return 0; }
   // Delays of bits delivered by the extra channel; nullptr if none.
   virtual const DelayHistogram* ExtraDelayHistogram() const { return nullptr; }
+
+  // Attach a tracer for the system's internal events (stage certification,
+  // RESETs, overflow shunts). Default: ignore — tracing stays optional for
+  // every implementation.
+  virtual void SetTracer(const Tracer& /*tracer*/) {}
 };
 
 struct MultiEngineOptions {
   Time utilization_scan_window = 0;  // 0 disables the Lemma 5 scan
   Time drain_slots = 0;
+  // Structured event tracing; also handed to the system via SetTracer.
+  Tracer tracer;
+  MetricsRegistry* metrics = nullptr;
+  PhaseProfile* profile = nullptr;
 };
 
 // `traces[i]` is the arrival trace of session i; all traces must have equal

@@ -22,25 +22,45 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
     result.allocation_trace.reserve(static_cast<std::size_t>(horizon));
   }
 
-  for (Time t = 0; t < horizon; ++t) {
-    const Bits in =
-        t < trace_len ? arrivals[static_cast<std::size_t>(t)] : Bits{0};
-    BW_REQUIRE(in >= 0, "RunSingleSession: negative arrivals in trace");
-    queue.Enqueue(t, in);
-    result.total_arrivals += in;
+  const Tracer& tracer = options.tracer;
+  // One branch hoisted out of the per-event checks: when tracing is off
+  // (the default) each slot pays exactly this bool test per event site.
+  const bool tracing = tracer.active();
+  Bits queue_hwm = 0;
 
-    const Bandwidth bw = alloc.OnSlot(t, in, queue.size());
-    BW_CHECK(bw.raw() >= 0, "allocator returned negative bandwidth");
-    changes.Observe(bw);
-    util.Record(in, bw);
-    if (bw > result.peak_allocation) result.peak_allocation = bw;
-    if (options.record_allocation_trace) {
-      result.allocation_trace.push_back(bw);
+  {
+    ScopedTimer loop_timer(options.profile, "engine_single.loop");
+    for (Time t = 0; t < horizon; ++t) {
+      const Bits in =
+          t < trace_len ? arrivals[static_cast<std::size_t>(t)] : Bits{0};
+      BW_REQUIRE(in >= 0, "RunSingleSession: negative arrivals in trace");
+      queue.Enqueue(t, in);
+      result.total_arrivals += in;
+      if (tracing) {
+        tracer.Emit(TraceEventType::kSlotTick, t, -1, in, queue.size());
+        if (queue.size() > queue_hwm) {
+          queue_hwm = queue.size();
+          tracer.Emit(TraceEventType::kQueueHighWater, t, -1, queue_hwm);
+        }
+      }
+
+      const Bandwidth bw = alloc.OnSlot(t, in, queue.size());
+      BW_CHECK(bw.raw() >= 0, "allocator returned negative bandwidth");
+      if (tracing && changes.initialized() && bw != changes.current()) {
+        tracer.Emit(TraceEventType::kAllocChange, t, -1,
+                    changes.current().raw(), bw.raw(), kChanSingle);
+      }
+      changes.Observe(bw);
+      util.Record(in, bw);
+      if (bw > result.peak_allocation) result.peak_allocation = bw;
+      if (options.record_allocation_trace) {
+        result.allocation_trace.push_back(bw);
+      }
+
+      const Bits served = queue.ServeSlot(t, bw, &result.delay);
+      result.total_delivered += served;
+      alloc.OnServed(t, served, queue.size());
     }
-
-    const Bits served = queue.ServeSlot(t, bw, &result.delay);
-    result.total_delivered += served;
-    alloc.OnServed(t, served, queue.size());
   }
 
   result.final_queue = queue.size();
@@ -52,8 +72,22 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
   result.total_allocated_bits = util.TotalAllocatedBits();
   result.total_allocated_raw = util.TotalAllocatedRaw();
   if (options.utilization_scan_window > 0) {
+    ScopedTimer scan_timer(options.profile, "engine_single.util_scan");
     result.worst_best_window_utilization =
         util.WorstBestWindowUtilization(options.utilization_scan_window);
+  }
+
+  if (options.metrics != nullptr) {
+    MetricsRegistry& m = *options.metrics;
+    m.Count("engine.slots", result.horizon);
+    m.Count("engine.arrival_bits", result.total_arrivals);
+    m.Count("engine.delivered_bits", result.total_delivered);
+    m.Count("engine.dropped_bits", result.dropped);
+    m.Count("engine.alloc_changes", result.changes);
+    m.Count("engine.stages", result.stages);
+    m.GaugeMax("engine.peak_queue_bits", result.peak_queue);
+    m.GaugeMax("engine.peak_alloc_raw", result.peak_allocation.raw());
+    m.Histogram("engine.delay").Merge(result.delay);
   }
   return result;
 }

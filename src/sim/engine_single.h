@@ -10,6 +10,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/tracer.h"
 #include "sim/run_result.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
@@ -44,6 +47,13 @@ struct SingleEngineOptions {
   Time utilization_scan_window = 0;
   // Extra empty-arrival slots appended after the trace so queued bits drain.
   Time drain_slots = 0;
+  // Structured event tracing. Default-constructed = disabled: the hot loop
+  // pays one branch on the tracer's null sink and nothing else.
+  Tracer tracer;
+  // Optional run metrics (slots, bits, changes, peaks); not filled if null.
+  MetricsRegistry* metrics = nullptr;
+  // Optional wall-clock phase profile (setup / loop / utilization scan).
+  PhaseProfile* profile = nullptr;
 };
 
 // Runs `alloc` over the arrival trace (one entry per slot).

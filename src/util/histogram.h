@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/assert.h"
@@ -22,9 +23,14 @@ class DelayHistogram {
     if (bits == 0) return;
     const auto d = static_cast<std::size_t>(delay);
     if (d >= counts_.size()) counts_.resize(d + 1, 0);
+    BW_CHECK(bits <= std::numeric_limits<Bits>::max() - counts_[d] &&
+                 bits <= std::numeric_limits<Bits>::max() - total_bits_,
+             "DelayHistogram: bit count overflow");
     counts_[d] += bits;
     total_bits_ += bits;
-    weighted_sum_ += delay * bits;
+    // The weighted sum is 128-bit: delay * bits alone can approach the
+    // int64 range, and merged soak runs accumulate many such products.
+    weighted_sum_ += static_cast<Int128>(delay) * static_cast<Int128>(bits);
     if (delay > max_delay_) max_delay_ = delay;
   }
 
@@ -38,8 +44,9 @@ class DelayHistogram {
                      static_cast<double>(total_bits_);
   }
 
-  // Smallest delay d such that at least p (in [0,1]) of all bits have
-  // delay <= d.
+  // Smallest delay d such that at least p (in (0,1]) of all bits have
+  // delay <= d; p = 0 is defined as the minimum recorded delay (NOT the
+  // vacuous d = 0, which no bit may have).
   Time Percentile(double p) const {
     BW_REQUIRE(p >= 0.0 && p <= 1.0, "Percentile: p out of range");
     if (total_bits_ == 0) return 0;
@@ -47,7 +54,12 @@ class DelayHistogram {
     Bits acc = 0;
     for (std::size_t d = 0; d < counts_.size(); ++d) {
       acc += counts_[d];
-      if (static_cast<double>(acc) >= target) return static_cast<Time>(d);
+      // Requiring a non-empty bucket makes p = 0 the minimum recorded
+      // delay; for p > 0 the target is only ever crossed at a non-empty
+      // bucket, so the extra condition changes nothing.
+      if (counts_[d] > 0 && static_cast<double>(acc) >= target) {
+        return static_cast<Time>(d);
+      }
     }
     return max_delay_;
   }
@@ -63,6 +75,9 @@ class DelayHistogram {
     if (other.counts_.size() > counts_.size()) {
       counts_.resize(other.counts_.size(), 0);
     }
+    BW_CHECK(other.total_bits_ <=
+                 std::numeric_limits<Bits>::max() - total_bits_,
+             "DelayHistogram: merge overflows the bit count");
     for (std::size_t d = 0; d < other.counts_.size(); ++d) {
       counts_[d] += other.counts_[d];
     }
@@ -74,7 +89,7 @@ class DelayHistogram {
  private:
   std::vector<Bits> counts_;
   Bits total_bits_ = 0;
-  std::int64_t weighted_sum_ = 0;
+  Int128 weighted_sum_ = 0;  // 128-bit: exact across merged soak runs
   Time max_delay_ = 0;
 };
 

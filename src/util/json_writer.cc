@@ -1,0 +1,163 @@
+#include "util/json_writer.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("JsonUnescape: bad hex digit in \\u escape");
+}
+
+}  // namespace
+
+std::string JsonUnescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      throw std::invalid_argument("JsonUnescape: dangling backslash");
+    }
+    const char e = s[++i];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) {
+          throw std::invalid_argument("JsonUnescape: truncated \\u escape");
+        }
+        int code = 0;
+        for (int k = 0; k < 4; ++k) code = code * 16 + HexDigit(s[++i]);
+        if (code >= 0x80) {
+          // JsonEscape never emits these (multi-byte UTF-8 passes through
+          // raw); decoding them would need full UTF-8 encoding machinery.
+          throw std::invalid_argument(
+              "JsonUnescape: non-ASCII \\u escape unsupported");
+        }
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        throw std::invalid_argument(std::string("JsonUnescape: bad escape \\") +
+                                    e);
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back() == '1') out_ += ',';
+    needs_comma_.back() = '1';
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  needs_comma_.push_back('0');
+}
+
+void JsonWriter::EndObject() {
+  BW_CHECK(!needs_comma_.empty(), "JsonWriter: unbalanced EndObject");
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  needs_comma_.push_back('0');
+}
+
+void JsonWriter::EndArray() {
+  BW_CHECK(!needs_comma_.empty(), "JsonWriter: unbalanced EndArray");
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(const std::string& v) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Value(const char* v) { Value(std::string(v)); }
+
+void JsonWriter::Value(std::int64_t v) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,58 @@
+// Minimal JSON writer + string escape/unescape helpers.
+//
+// Lives in util (not analysis) so low-level layers — notably the obs
+// tracing sinks, which serialize events as NDJSON — can emit JSON without
+// depending on the analysis library. analysis/json.h re-exports the writer
+// alongside the run-result ToJson overloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bwalloc {
+
+// Escapes `s` for inclusion inside a JSON string literal: the mandatory
+// escapes (RFC 8259) — quote, backslash, and every control character below
+// 0x20 — with the short forms \n \t \r \b \f where they exist and \u00XX
+// otherwise. Bytes >= 0x20 (including multi-byte UTF-8) pass through.
+std::string JsonEscape(const std::string& s);
+
+// Inverse of JsonEscape: decodes the escape sequences of a JSON string
+// body (the part between the quotes). Supports \" \\ \/ \n \t \r \b \f and
+// \uXXXX for code points below 0x80 (ASCII; the only ones JsonEscape
+// emits). Throws std::invalid_argument on malformed input.
+std::string JsonUnescape(const std::string& s);
+
+// Composable writer producing compact JSON. Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("delay"); w.Value(3);
+//   w.Key("tags"); w.BeginArray(); w.Value("a"); w.EndArray();
+//   w.EndObject();
+//   w.str()  ->  {"delay":3,"tags":["a"]}
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& key);
+  void Value(const std::string& v);
+  void Value(const char* v);
+  void Value(std::int64_t v);
+  void Value(int v) { Value(static_cast<std::int64_t>(v)); }
+  void Value(double v);
+  void Value(bool v);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  // Tracks whether the current nesting level already holds an element.
+  std::string needs_comma_;  // stack of 0/1 flags, one char per level
+  bool pending_key_ = false;
+};
+
+}  // namespace bwalloc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace bwalloc {
 namespace {
 
@@ -49,6 +51,62 @@ TEST(DelayHistogram, PreconditionsThrow) {
   EXPECT_THROW(h.Record(-1, 5), std::invalid_argument);
   EXPECT_THROW(h.Record(1, -5), std::invalid_argument);
   EXPECT_THROW(h.Percentile(1.5), std::invalid_argument);
+  EXPECT_THROW(h.Percentile(-0.1), std::invalid_argument);
+}
+
+TEST(DelayHistogram, PercentileZeroIsMinimumRecordedDelay) {
+  DelayHistogram h;
+  h.Record(3, 10);
+  h.Record(7, 10);
+  // No bit has delay 0, so p = 0 must be the smallest recorded delay,
+  // not the vacuous 0.
+  EXPECT_EQ(h.Percentile(0.0), 3);
+  EXPECT_EQ(h.Percentile(1.0), 7);
+}
+
+TEST(DelayHistogram, PercentileEdgesOnEmptyHistogram) {
+  DelayHistogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+TEST(DelayHistogram, PercentileOneIsMaxRecordedDelay) {
+  DelayHistogram h;
+  h.Record(0, 1);
+  h.Record(12, 1);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 12);
+}
+
+TEST(DelayHistogram, WeightedSumStaysExactPastInt64) {
+  // Each product fits in int64 but the running sum does not: with a 64-bit
+  // accumulator this overflows (UB); the 128-bit accumulator keeps the
+  // mean exact.
+  DelayHistogram h;
+  const Bits big = 200'000'000'000'000'000;  // 2e17 bits
+  h.Record(50, big);
+  h.Record(100, big);  // weighted sum = 3e19 > INT64_MAX
+  EXPECT_DOUBLE_EQ(h.MeanDelay(), 75.0);
+  DelayHistogram other;
+  other.Record(150, big);
+  h.Merge(other);
+  EXPECT_DOUBLE_EQ(h.MeanDelay(), 100.0);
+}
+
+using DelayHistogramDeathTest = ::testing::Test;
+
+TEST(DelayHistogramDeathTest, RecordBitCountOverflowAborts) {
+  DelayHistogram h;
+  h.Record(1, std::numeric_limits<Bits>::max() - 1);
+  EXPECT_DEATH(h.Record(1, 2), "bit count overflow");
+}
+
+TEST(DelayHistogramDeathTest, MergeBitCountOverflowAborts) {
+  DelayHistogram a;
+  DelayHistogram b;
+  a.Record(1, std::numeric_limits<Bits>::max() - 1);
+  b.Record(2, 2);
+  EXPECT_DEATH(a.Merge(b), "merge overflows");
 }
 
 }  // namespace

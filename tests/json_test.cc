@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/single_session.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -41,6 +43,46 @@ TEST(JsonWriter, EscapesStrings) {
   w.Value(std::string("tab\there"));
   w.EndArray();
   EXPECT_EQ(w.str(), R"(["he said \"hi\"\n","tab\there"])");
+}
+
+TEST(JsonEscape, CoversEveryControlCharacter) {
+  // Short forms where RFC 8259 names one, \u00XX otherwise.
+  EXPECT_EQ(JsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+  EXPECT_EQ(JsonEscape("quote\" back\\slash"), "quote\\\" back\\\\slash");
+  // Printable ASCII and multi-byte UTF-8 pass through untouched.
+  EXPECT_EQ(JsonEscape("plain ~text"), "plain ~text");
+  EXPECT_EQ(JsonEscape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonEscape, RoundTripsThroughUnescape) {
+  std::string every_control;
+  for (char c = 1; c < 0x20; ++c) every_control.push_back(c);
+  const std::string cases[] = {
+      "",
+      "plain",
+      "with \"quotes\" and \\slashes\\",
+      "line\nbreaks\r\nand\ttabs",
+      std::string("\b\f\x7f"),
+      every_control,
+      std::string("embedded\0nul", 12),
+  };
+  for (const std::string& s : cases) {
+    EXPECT_EQ(JsonUnescape(JsonEscape(s)), s) << JsonEscape(s);
+  }
+}
+
+TEST(JsonUnescape, DecodesUnicodeEscapesAndRejectsMalformed) {
+  EXPECT_EQ(JsonUnescape("\\u0041"), "A");
+  EXPECT_EQ(JsonUnescape("\\u000a"), "\n");
+  EXPECT_EQ(JsonUnescape("\\/"), "/");
+  EXPECT_THROW(JsonUnescape("\\"), std::invalid_argument);      // dangling
+  EXPECT_THROW(JsonUnescape("\\q"), std::invalid_argument);     // unknown
+  EXPECT_THROW(JsonUnescape("\\u00"), std::invalid_argument);   // truncated
+  EXPECT_THROW(JsonUnescape("\\uZZZZ"), std::invalid_argument);
+  EXPECT_THROW(JsonUnescape("\\u0100"), std::invalid_argument);  // >= 0x80
 }
 
 TEST(JsonWriter, EmptyContainers) {

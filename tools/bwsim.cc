@@ -29,14 +29,30 @@
 //                  multi:  [--kinds balanced,churn,...] [--ks 2,4,8]
 //                          [--algo phased|continuous] [--bo-per-session 16]
 //                          [--do 8]
+//                  tracing: [--trace events.ndjson] [--trace-events all]
+//   bwsim trace-summary --trace events.ndjson [--events 20] [--csv false]
 //
 // `batch` shards the workload x seed-stream grid over a thread pool
 // (--jobs 0 = hardware concurrency) and merges results in task order: the
-// output is byte-identical for every --jobs value.
+// output is byte-identical for every --jobs value — including the NDJSON
+// event trace, which is buffered per cell and written in cell-index order.
+//
+// Structured event tracing (single/multi use --trace-out because --trace
+// already names the input arrival trace; batch uses --trace):
+//   single/multi: [--trace-out events.ndjson] [--trace-events all]
+//                 [--metrics false] [--profile false]
+// --trace-events takes a comma list of event names or groups (all, slot,
+// stage, alloc, queue, phase, signal). --metrics prints the named
+// counter/gauge/histogram registry as JSON; --profile prints wall-clock
+// phase timings to stderr (nondeterministic, never part of the trace).
+//
+// Flags accept both `--key value` and `--key=value`. Malformed flag values
+// exit 2 with a message naming the flag; simulation errors exit 1.
 //
 // Single-session algos: online, modified, online-global, static-peak,
 // static-mean, per-arrival, periodic, ewma.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -52,7 +68,14 @@
 #include "core/multi_continuous.h"
 #include "core/multi_phased.h"
 #include "core/single_session.h"
+#include "core/stage_trace.h"
 #include "net/faults.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace_reader.h"
+#include "obs/trace_sink.h"
+#include "obs/trace_summary.h"
+#include "obs/tracer.h"
 #include "offline/offline_single.h"
 #include "offline/schedule_io.h"
 #include "runner/batch_runner.h"
@@ -71,10 +94,27 @@ using bwalloc::tools::Flags;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: bwsim <generate|single|multi|offline|tune|replay|batch> "
+      "usage: bwsim "
+      "<generate|single|multi|offline|tune|replay|batch|trace-summary> "
       "[--flags]\n"
       "see the header of tools/bwsim.cc for the full reference\n");
   return 2;
+}
+
+// --trace-events value errors are usage errors (exit 2), not internal ones.
+EventMask ParseEventsFlag(const std::string& spec) {
+  try {
+    return ParseEventMask(spec);
+  } catch (const std::invalid_argument& e) {
+    throw tools::UsageError(std::string("flag --trace-events: ") + e.what());
+  }
+}
+
+void WriteTraceFile(const std::string& path, const std::string& ndjson) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open trace output: " + path);
+  out << ndjson;
+  if (!out) throw std::runtime_error("failed writing trace output: " + path);
 }
 
 std::vector<std::string> SplitList(const std::string& csv) {
@@ -139,6 +179,10 @@ int RunSingle(Flags& flags) {
   plan.partial_grant_rate = flags.Double("partial", 0.0);
   plan.max_jitter = flags.Int("jitter", 0);
   plan.seed = static_cast<std::uint64_t>(flags.Int("fault-seed", 0));
+  const std::string trace_out = flags.Str("trace-out", "");
+  const std::string trace_events = flags.Str("trace-events", "all");
+  const bool print_metrics = flags.Bool("metrics", false);
+  const bool print_profile = flags.Bool("profile", false);
   flags.CheckUnused();
   plan.Validate();
 
@@ -180,6 +224,22 @@ int RunSingle(Flags& flags) {
   SingleEngineOptions opt;
   opt.drain_slots = 4 * da;
   opt.utilization_scan_window = w + 5 * (da / 2);
+
+  BufferTraceSink sink;
+  if (!trace_out.empty()) {
+    opt.tracer = Tracer(&sink, ParseEventsFlag(trace_events), {"single", 0});
+  }
+  TracerStageObserver stage_observer(opt.tracer);
+  if (!trace_out.empty()) {
+    if (auto* online = dynamic_cast<SingleSessionOnline*>(alloc.get())) {
+      online->SetObserver(&stage_observer);
+    }
+  }
+  MetricsRegistry metrics;
+  if (print_metrics) opt.metrics = &metrics;
+  PhaseProfile profile;
+  if (print_profile) opt.profile = &profile;
+
   RobustSignalingAdapter* robust = nullptr;
   if (hops > 0) {
     RobustOptions ropts;
@@ -187,14 +247,18 @@ int RunSingle(Flags& flags) {
     auto adapter = std::make_unique<RobustSignalingAdapter>(
         std::move(alloc), NetworkPath::Uniform(hops, 1, 1.0), plan, ropts);
     robust = adapter.get();
+    if (!trace_out.empty()) robust->SetTracer(opt.tracer);
     alloc = std::move(adapter);
     opt.drain_slots = 4 * da + 64 * hops;  // retry rounds lengthen drains
   }
   SingleRunResult r = RunSingleSession(trace, *alloc, opt);
   if (robust != nullptr) r.faults = robust->fault_stats();
 
+  if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
+  if (print_profile) std::fputs(profile.Format().c_str(), stderr);
   if (json) {
     std::printf("%s\n", ToJson(r).c_str());
+    if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
     return 0;
   }
   Table table({"metric", "value"});
@@ -225,6 +289,7 @@ int RunSingle(Flags& flags) {
   } else {
     table.PrintAscii(std::cout);
   }
+  if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
   return 0;
 }
 
@@ -239,6 +304,10 @@ int RunMulti(Flags& flags) {
   const std::string trace_path = flags.Str("trace", "");
   const bool csv = flags.Bool("csv", false);
   const bool json = flags.Bool("json", false);
+  const std::string trace_out = flags.Str("trace-out", "");
+  const std::string trace_events = flags.Str("trace-events", "all");
+  const bool print_metrics = flags.Bool("metrics", false);
+  const bool print_profile = flags.Bool("profile", false);
   flags.CheckUnused();
 
   const std::vector<std::vector<Bits>> traces =
@@ -277,10 +346,21 @@ int RunMulti(Flags& flags) {
 
   MultiEngineOptions opt;
   opt.drain_slots = 8 * d_o;
+  BufferTraceSink sink;
+  if (!trace_out.empty()) {
+    opt.tracer = Tracer(&sink, ParseEventsFlag(trace_events), {"multi", 0});
+  }
+  MetricsRegistry metrics;
+  if (print_metrics) opt.metrics = &metrics;
+  PhaseProfile profile;
+  if (print_profile) opt.profile = &profile;
   const MultiRunResult r = RunMultiSession(traces, *sys, opt);
 
+  if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
+  if (print_profile) std::fputs(profile.Format().c_str(), stderr);
   if (json) {
     std::printf("%s\n", ToJson(r).c_str());
+    if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
     return 0;
   }
   Table table({"metric", "value"});
@@ -301,6 +381,7 @@ int RunMulti(Flags& flags) {
   } else {
     table.PrintAscii(std::cout);
   }
+  if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
   return 0;
 }
 
@@ -416,10 +497,17 @@ int RunTune(Flags& flags) {
   return 0;
 }
 
+// Upper bound on a --ks entry: far above any practical sweep, low enough to
+// catch pasted garbage before it allocates per-session state.
+constexpr std::int64_t kMaxBatchSessions = 4096;
+
 int RunBatch(Flags& flags) {
   const std::string suite_kind = flags.Str("suite", "single");
   const int jobs = static_cast<int>(flags.Int("jobs", 0));
   const bool csv = flags.Bool("csv", false);
+  const std::string trace_out = flags.Str("trace", "");
+  const std::string trace_events = flags.Str("trace-events", "all");
+  const bool print_metrics = flags.Bool("metrics", false);
 
   SuiteSpec spec;
   spec.name = flags.Str("name", "batch");
@@ -449,7 +537,16 @@ int RunBatch(Flags& flags) {
     if (!ks.empty()) {
       spec.session_counts.clear();
       for (const std::string& k : SplitList(ks)) {
-        spec.session_counts.push_back(std::stoll(k));
+        const std::int64_t v = Flags::ParseInt("flag --ks entry", k);
+        if (v < 1 || v > kMaxBatchSessions) {
+          throw tools::UsageError("flag --ks entry: session count " + k +
+                                  " out of range [1, " +
+                                  std::to_string(kMaxBatchSessions) + "]");
+        }
+        spec.session_counts.push_back(v);
+      }
+      if (spec.session_counts.empty()) {
+        throw tools::UsageError("flag --ks: empty session-count list");
       }
     }
     spec.multi_algo = flags.Str("algo", "phased");
@@ -459,11 +556,83 @@ int RunBatch(Flags& flags) {
     throw std::invalid_argument("unknown --suite: " + suite_kind);
   }
   flags.CheckUnused();
+  if (!trace_out.empty()) {
+    spec.trace = true;
+    spec.trace_events = ParseEventsFlag(trace_events);
+  }
 
   BatchRunner runner(BatchOptions{jobs, base_seed});
   const SuiteReport report = RunSuite(spec, runner);
+  if (!trace_out.empty()) WriteTraceFile(trace_out, report.trace_ndjson);
   std::fputs(FormatReport(spec, report, csv).c_str(), stdout);
+  if (print_metrics) {
+    std::printf("%s\n", report.aggregate.metrics.ToJson().c_str());
+  }
   return report.ok() ? 0 : 1;
+}
+
+// Renders a recorded NDJSON trace as per-session timelines plus a
+// chronological milestone listing.
+int RunTraceSummary(Flags& flags) {
+  const std::string trace_path = flags.Str("trace", "");
+  const std::int64_t max_events = flags.Int("events", 20);
+  const bool csv = flags.Bool("csv", false);
+  flags.CheckUnused();
+  if (trace_path.empty()) {
+    throw tools::UsageError("trace-summary needs --trace FILE");
+  }
+  if (max_events < 0) {
+    throw tools::UsageError("flag --events: must be >= 0");
+  }
+
+  const TraceSummary summary = Summarize(ReadTraceFile(trace_path));
+  std::printf("%lld events, slots [%lld, %lld]\n",
+              static_cast<long long>(summary.total_events),
+              static_cast<long long>(summary.first_slot),
+              static_cast<long long>(summary.last_slot));
+
+  Table table({"suite", "cell", "session", "slots", "events", "stages",
+               "resets", "allocs", "shunts", "req", "commit", "loss", "deny",
+               "retry", "fall", "queue peak"});
+  for (const SessionTimeline& s : summary.sessions) {
+    table.AddRow(
+        {s.suite, Table::Num(s.cell),
+         s.session < 0 ? std::string("-") : Table::Num(s.session),
+         Table::Num(s.first_slot) + ".." + Table::Num(s.last_slot),
+         Table::Num(s.events), Table::Num(s.stages_certified),
+         Table::Num(s.reset_drains + s.global_resets),
+         Table::Num(s.alloc_changes), Table::Num(s.overflow_shunts),
+         Table::Num(s.requests), Table::Num(s.commits), Table::Num(s.losses),
+         Table::Num(s.denials), Table::Num(s.retries), Table::Num(s.fallbacks),
+         Table::Num(s.queue_peak_bits)});
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.PrintAscii(std::cout);
+  }
+
+  if (max_events > 0 && !summary.milestones.empty()) {
+    std::printf("\nmilestones (first %lld of %zu):\n",
+                static_cast<long long>(max_events),
+                summary.milestones.size());
+    std::int64_t shown = 0;
+    for (const TraceRecord& rec : summary.milestones) {
+      if (shown >= max_events) break;
+      ++shown;
+      std::string payload;
+      for (const auto& [key, value] : rec.payload) {
+        payload += " " + key + "=" + std::to_string(value);
+      }
+      const std::string session =
+          rec.session < 0 ? "-" : std::to_string(rec.session);
+      std::printf("  slot %-8lld cell %-4lld session %-4s %-16s%s\n",
+                  static_cast<long long>(rec.slot),
+                  static_cast<long long>(rec.cell), session.c_str(),
+                  rec.event.c_str(), payload.c_str());
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -480,7 +649,11 @@ int main(int argc, char** argv) {
     if (command == "tune") return RunTune(flags);
     if (command == "replay") return RunReplay(flags);
     if (command == "batch") return RunBatch(flags);
+    if (command == "trace-summary") return RunTraceSummary(flags);
     return Usage();
+  } catch (const bwalloc::tools::UsageError& e) {
+    std::fprintf(stderr, "bwsim: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bwsim: %s\n", e.what());
     return 1;

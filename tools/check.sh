@@ -5,6 +5,10 @@
 #   tools/check.sh            # address,undefined (the default)
 #   tools/check.sh tsan       # thread sanitizer (batch runner / thread pool)
 #   tools/check.sh asan DIR   # explicit build directory
+#   tools/check.sh trace      # tracing/observability subset under asan:
+#                             # obs + trace-summary unit tests, the CLI
+#                             # usage-error tests, and the --jobs NDJSON
+#                             # invariance test
 #
 # Build trees are kept per sanitizer (build-asan/, build-tsan/) so repeat
 # runs are incremental. Exits non-zero on any configure, build, or test
@@ -13,18 +17,23 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 mode="${1:-asan}"
+test_filter=()
 
 case "$mode" in
   asan|address) sanitize="address,undefined"; dir="${2:-$repo/build-asan}" ;;
   tsan|thread)  sanitize="thread";            dir="${2:-$repo/build-tsan}" ;;
+  trace)
+    sanitize="address,undefined"; dir="${2:-$repo/build-asan}"
+    test_filter=(-R 'obs_trace|trace_summary|TraceSummary|Tracer|Metrics|bwsim_trace|bwsim_cli')
+    ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace] [build-dir]" >&2
     exit 2
     ;;
 esac
 
-echo "== check.sh: BWALLOC_SANITIZE=$sanitize -> $dir =="
+echo "== check.sh: BWALLOC_SANITIZE=$sanitize -> $dir ($mode) =="
 cmake -B "$dir" -S "$repo" -DBWALLOC_SANITIZE="$sanitize" >/dev/null
 cmake --build "$dir" -j "$(nproc)"
-ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "${test_filter[@]}"
 echo "== check.sh: $mode clean =="

@@ -1,0 +1,47 @@
+# Determinism guard for the event-trace pipeline: runs the same
+# `bwsim batch --trace` suite at --jobs=1, --jobs=4, and --jobs=0
+# (hardware concurrency) and requires the three NDJSON files to be
+# byte-identical. Per-cell buffering + cell-index-order flushing is the
+# mechanism; this test is the contract.
+#
+#   cmake -DBWSIM=path/to/bwsim -DOUT_DIR=work/dir -P compare_trace_jobs.cmake
+if(NOT DEFINED BWSIM OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "compare_trace_jobs.cmake: BWSIM and OUT_DIR required")
+endif()
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(SUITE_ARGS
+  batch --suite single --workloads onoff,mixed --seeds 2 --horizon 600
+  --fault-hops 2 --fault-loss 0.15 --fault-denial 0.1)
+
+foreach(jobs 1 4 0)
+  set(trace_file "${OUT_DIR}/trace_jobs${jobs}.ndjson")
+  execute_process(
+    COMMAND "${BWSIM}" ${SUITE_ARGS} --jobs ${jobs} --trace "${trace_file}"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "bwsim batch --jobs ${jobs} failed (${exit_code})\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS "${trace_file}")
+    message(FATAL_ERROR "no trace written for --jobs ${jobs}")
+  endif()
+endforeach()
+
+file(SIZE "${OUT_DIR}/trace_jobs1.ndjson" size1)
+if(size1 EQUAL 0)
+  message(FATAL_ERROR "trace_jobs1.ndjson is empty — tracing not wired up?")
+endif()
+
+foreach(jobs 4 0)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/trace_jobs1.ndjson" "${OUT_DIR}/trace_jobs${jobs}.ndjson"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+      "NDJSON trace differs between --jobs 1 and --jobs ${jobs}")
+  endif()
+endforeach()

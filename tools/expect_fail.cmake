@@ -1,0 +1,35 @@
+# Runs a command that is expected to FAIL with a specific exit code and a
+# stderr message matching a regex. Used by the CLI ctests to pin down the
+# usage-error contract: malformed flags exit 2 (not 1, not a crash) and name
+# the offending flag.
+#
+#   cmake -DCMD="$<TARGET_FILE:bwsim>;batch;--jobs=abc"
+#         -DEXPECT_EXIT=2 -DSTDERR_REGEX="flag --jobs: not an integer"
+#         -P expect_fail.cmake
+#
+# CMD is a ;-separated argv list. Fails (FATAL_ERROR) when the command exits
+# with any other code or the regex does not match stderr.
+if(NOT DEFINED CMD)
+  message(FATAL_ERROR "expect_fail.cmake: CMD not set")
+endif()
+if(NOT DEFINED EXPECT_EXIT)
+  set(EXPECT_EXIT 2)
+endif()
+
+execute_process(
+  COMMAND ${CMD}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT exit_code EQUAL EXPECT_EXIT)
+  message(FATAL_ERROR
+    "expected exit ${EXPECT_EXIT}, got '${exit_code}'\n"
+    "command: ${CMD}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+if(DEFINED STDERR_REGEX AND NOT err MATCHES "${STDERR_REGEX}")
+  message(FATAL_ERROR
+    "stderr does not match '${STDERR_REGEX}'\n"
+    "command: ${CMD}\nstderr:\n${err}")
+endif()

@@ -1,5 +1,7 @@
-// Minimal command-line flag parsing for the bwsim tool: --key value pairs
-// after a positional command, with typed getters and an unknown-flag check.
+// Minimal command-line flag parsing for the bwsim tool: --key value and
+// --key=value pairs after a positional command, with typed getters and an
+// unknown-flag check. Malformed input throws UsageError, which main turns
+// into a usage-style message and exit code 2 (internal errors stay 1).
 #pragma once
 
 #include <cstdint>
@@ -10,19 +12,35 @@
 
 namespace bwalloc::tools {
 
+// A malformed command line (bad flag syntax, unparsable value, unknown
+// flag). Carries a message that names the offending flag and value.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0 || key.size() <= 2) {
-        throw std::invalid_argument("expected --flag, got '" + key + "'");
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+        throw UsageError("expected --flag, got '" + arg + "'");
       }
-      key = key.substr(2);
+      arg = arg.substr(2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        const std::string key = arg.substr(0, eq);
+        if (key.empty()) {
+          throw UsageError("expected --flag, got '--" + arg + "'");
+        }
+        values_[key] = arg.substr(eq + 1);
+        continue;
+      }
       if (i + 1 >= argc) {
-        throw std::invalid_argument("flag --" + key + " needs a value");
+        throw UsageError("flag --" + arg + " needs a value");
       }
-      values_[key] = argv[++i];
+      values_[arg] = argv[++i];
     }
   }
 
@@ -36,26 +54,14 @@ class Flags {
     used_.insert(key);
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    std::size_t pos = 0;
-    const std::int64_t v = std::stoll(it->second, &pos);
-    if (pos != it->second.size()) {
-      throw std::invalid_argument("flag --" + key + ": not an integer: " +
-                                  it->second);
-    }
-    return v;
+    return ParseInt("flag --" + key, it->second);
   }
 
   double Double(const std::string& key, double fallback) {
     used_.insert(key);
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    std::size_t pos = 0;
-    const double v = std::stod(it->second, &pos);
-    if (pos != it->second.size()) {
-      throw std::invalid_argument("flag --" + key + ": not a number: " +
-                                  it->second);
-    }
-    return v;
+    return ParseDouble("flag --" + key, it->second);
   }
 
   bool Bool(const std::string& key, bool fallback) {
@@ -64,16 +70,56 @@ class Flags {
     if (it == values_.end()) return fallback;
     if (it->second == "true" || it->second == "1") return true;
     if (it->second == "false" || it->second == "0") return false;
-    throw std::invalid_argument("flag --" + key + ": expected true/false");
+    throw UsageError("flag --" + key + ": expected true/false, got '" +
+                     it->second + "'");
   }
 
   // Call after all getters: rejects typo'd flags.
   void CheckUnused() const {
     for (const auto& [key, value] : values_) {
       if (!used_.contains(key)) {
-        throw std::invalid_argument("unknown flag --" + key);
+        throw UsageError("unknown flag --" + key);
       }
     }
+  }
+
+  // Strict integer parsing with a flag-naming diagnostic: non-numeric text,
+  // out-of-range magnitudes, and trailing garbage all throw UsageError
+  // instead of escaping as std::invalid_argument/std::out_of_range. Also
+  // used for flag-like list entries (e.g. --ks values).
+  static std::int64_t ParseInt(const std::string& what,
+                               const std::string& text) {
+    std::size_t pos = 0;
+    std::int64_t v = 0;
+    try {
+      v = std::stoll(text, &pos);
+    } catch (const std::invalid_argument&) {
+      throw UsageError(what + ": not an integer: '" + text + "'");
+    } catch (const std::out_of_range&) {
+      throw UsageError(what + ": integer out of range: '" + text + "'");
+    }
+    if (pos != text.size()) {
+      throw UsageError(what + ": trailing characters after integer: '" +
+                       text + "'");
+    }
+    return v;
+  }
+
+  static double ParseDouble(const std::string& what, const std::string& text) {
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(text, &pos);
+    } catch (const std::invalid_argument&) {
+      throw UsageError(what + ": not a number: '" + text + "'");
+    } catch (const std::out_of_range&) {
+      throw UsageError(what + ": number out of range: '" + text + "'");
+    }
+    if (pos != text.size()) {
+      throw UsageError(what + ": trailing characters after number: '" + text +
+                       "'");
+    }
+    return v;
   }
 
  private:

@@ -1,0 +1,48 @@
+# End-to-end smoke for the tracing CLI: a faulted `bwsim single` run writes
+# an event trace with --trace-out, then `bwsim trace-summary` reads it back
+# and must report the same signal-loss count the run itself printed in its
+# results table.
+#
+#   cmake -DBWSIM=path/to/bwsim -DOUT_DIR=work/dir -P trace_summary_smoke.cmake
+if(NOT DEFINED BWSIM OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "trace_summary_smoke.cmake: BWSIM and OUT_DIR required")
+endif()
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace_file "${OUT_DIR}/fault_run.ndjson")
+
+execute_process(
+  COMMAND "${BWSIM}" single --algo online --workload onoff --horizon 2000
+          --seed 7 --hops 3 --loss 0.2 --denial 0.15 --fault-seed 11
+          --trace-out "${trace_file}" --json false
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "bwsim single failed (${exit_code})\n${run_out}\n${err}")
+endif()
+if(NOT run_out MATCHES "signal losses *\\|? *([0-9]+)")
+  message(FATAL_ERROR "run table has no 'signal losses' row\n${run_out}")
+endif()
+set(run_losses "${CMAKE_MATCH_1}")
+if(run_losses EQUAL 0)
+  message(FATAL_ERROR "fault plan produced zero losses — smoke has no teeth")
+endif()
+
+execute_process(
+  COMMAND "${BWSIM}" trace-summary --trace "${trace_file}" --events 5
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE summary_out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "bwsim trace-summary failed (${exit_code})\n${summary_out}\n${err}")
+endif()
+if(NOT summary_out MATCHES "loss")
+  message(FATAL_ERROR "summary lacks a loss column\n${summary_out}")
+endif()
+# The timeline's loss count for the lone session must equal the run's own
+# FaultStats counter printed in the results table.
+if(NOT summary_out MATCHES " ${run_losses} ")
+  message(FATAL_ERROR
+    "summary does not show the run's loss count ${run_losses}\n${summary_out}")
+endif()
