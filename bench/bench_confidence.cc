@@ -11,6 +11,7 @@
 #include "core/single_session.h"
 #include "offline/offline_multi.h"
 #include "offline/offline_single.h"
+#include "reporter.h"
 #include "sim/engine_multi.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -26,9 +27,14 @@ std::string MeanCi(const SampleStats& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("conf", &argc, argv);
+  const int seeds = rep.quick() ? 4 : kSeeds;
+  const Time single_horizon = rep.quick() ? 1500 : 4000;
+  const Time multi_horizon = rep.quick() ? 2000 : 5000;
   // --- single session (THM6 regime) ----------------------------------------
   {
+    ScopedTimer timer(rep.profile(), "sweep-single");
     SingleSessionParams p;
     p.max_bandwidth = 256;
     p.max_delay = 16;
@@ -46,9 +52,9 @@ int main() {
       SampleStats ratio;
       SampleStats delay;
       SampleStats util;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
+      for (int seed = 1; seed <= seeds; ++seed) {
         const auto trace = SingleSessionWorkload(
-            name, p.offline_bandwidth(), p.offline_delay(), 4000,
+            name, p.offline_bandwidth(), p.offline_delay(), single_horizon,
             static_cast<std::uint64_t>(seed));
         SingleSessionOnline alg(p);
         SingleEngineOptions opt;
@@ -65,26 +71,35 @@ int main() {
       }
       table.AddRow({name, MeanCi(ratio), Table::Num(delay.Max(), 0),
                     Table::Num(util.Min(), 3), Table::Num(ratio.count())});
+      // The hard THM6 bounds must hold in every seed.
+      rep.RowMax(name, "max_delay", delay.Max(), 16.0);
+      rep.RowMin(name, "min_local_util", util.Min(), 1.0 / 6.0);
+      rep.RowInfo(name, "ratio_vs_greedy_mean", ratio.Mean());
+      rep.CountWork(seeds * single_horizon, seeds);
     }
     std::printf("== CONF (single): THM6 ratios over %d seeds ==\n"
                 "B_A=256, D_A=16, U_A=1/6, W=16; delay bound 16, util bound "
                 "0.167\n\n",
-                kSeeds);
+                seeds);
     table.PrintAscii(std::cout);
   }
 
   // --- multi session (THM14 regime) ----------------------------------------
   {
+    ScopedTimer timer(rep.profile(), "sweep-multi");
     Table table({"k", "ratio vs offline (mean±ci95)", "max delay",
                  "peak ovf/B_O", "seeds"});
-    for (const std::int64_t k : {4, 8, 16}) {
+    const std::vector<std::int64_t> multi_ks =
+        rep.quick() ? std::vector<std::int64_t>{4, 8}
+                    : std::vector<std::int64_t>{4, 8, 16};
+    for (const std::int64_t k : multi_ks) {
       const Bits bo = 16 * k;
       SampleStats ratio;
       SampleStats delay;
       SampleStats ovf;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
+      for (int seed = 1; seed <= seeds; ++seed) {
         const auto traces = MultiSessionWorkload(
-            MultiWorkloadKind::kRotatingHotspot, k, bo, 8, 5000,
+            MultiWorkloadKind::kRotatingHotspot, k, bo, 8, multi_horizon,
             static_cast<std::uint64_t>(1000 + seed));
         MultiSessionParams p;
         p.sessions = k;
@@ -107,11 +122,16 @@ int main() {
       table.AddRow({Table::Num(k), MeanCi(ratio),
                     Table::Num(delay.Max(), 0), Table::Num(ovf.Max(), 2),
                     Table::Num(ratio.count())});
+      const std::string label = "k=" + Table::Num(k);
+      rep.RowMax(label, "max_delay", delay.Max(), 16.0);
+      rep.RowMax(label, "peak_ovf_over_bo", ovf.Max(), 2.0);
+      rep.RowInfo(label, "ratio_vs_offline_mean", ratio.Mean());
+      rep.CountWork(seeds * multi_horizon, seeds);
     }
     std::printf("\n== CONF (multi): THM14 ratios over %d seeds ==\n"
                 "rotating-hotspot, B_O=16k, D_O=8; delay bound 16, overflow "
                 "budget 2 B_O\n\n",
-                kSeeds);
+                seeds);
     table.PrintAscii(std::cout);
   }
 
@@ -120,5 +140,5 @@ int main() {
       "ci95), nowhere\nnear their worst-case budgets, and the hard bounds "
       "(delay, overflow) hold in\nevery seed — the EXPERIMENTS.md tables "
       "are not lucky draws.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -20,10 +20,10 @@
 #include <iostream>
 #include <memory>
 
-#include "analysis/artifact.h"
 #include "analysis/table.h"
 #include "core/single_session.h"
 #include "net/faults.h"
+#include "reporter.h"
 #include "runner/batch_runner.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -35,6 +35,8 @@ constexpr Bits kBa = 64;
 constexpr Time kDa = 16;  // D_O = 8
 constexpr Time kW = 16;
 constexpr Time kHorizon = 6000;
+// Shortened by --quick before the sweep starts; read-only afterwards.
+Time g_horizon = kHorizon;
 
 struct FaultLevel {
   double loss;
@@ -99,7 +101,7 @@ CellOut RunCell(const TaskContext& ctx) {
                                       static_cast<std::int64_t>(kSeeds.size()))];
 
   const auto trace =
-      SingleSessionWorkload(workload, kBa, kDa / 2, kHorizon, seed);
+      SingleSessionWorkload(workload, kBa, kDa / 2, g_horizon, seed);
 
   FaultPlan plan;
   plan.loss_rate = level.loss;
@@ -129,9 +131,9 @@ CellOut RunCell(const TaskContext& ctx) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = StripJobsFlag(&argc, argv, ThreadPool::kAutoThreads);
-  const BenchArtifacts artifacts(argc, argv);
-  BatchRunner runner(BatchOptions{jobs, 0});
+  bench::Reporter rep("faults", &argc, argv);
+  if (rep.quick()) g_horizon = 1500;
+  BatchRunner runner(BatchOptions{rep.jobs(), 0});
 
   const std::int64_t per_level = static_cast<std::int64_t>(
       kHops.size() * kWorkloads.size() * kSeeds.size());
@@ -139,8 +141,13 @@ int main(int argc, char** argv) {
       static_cast<std::int64_t>(kLevels.size()) * per_level;
 
   const auto start = std::chrono::steady_clock::now();
-  const BatchResult<CellOut> batch = runner.Map<CellOut>(
-      "faults", cells, [](const TaskContext& ctx) { return RunCell(ctx); });
+  BatchResult<CellOut> batch;
+  {
+    ScopedTimer timer(rep.profile(), "sweep");
+    batch = runner.Map<CellOut>(
+        "faults", cells, [](const TaskContext& ctx) { return RunCell(ctx); });
+  }
+  rep.CountWork(2 * cells * g_horizon, cells);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -194,17 +201,29 @@ int main(int argc, char** argv) {
                     Table::Num(group.losses), Table::Num(group.denials),
                     Table::Num(group.timeouts), Table::Num(group.retries),
                     Table::Num(group.fallbacks), Table::Num(leftover)});
+      const std::string label = "loss=" + Table::Num(kLevels[l].loss, 2) +
+                                ",denial=" + Table::Num(kLevels[l].denial, 2) +
+                                ",hops=" + Table::Num(kHops[h]);
+      rep.RowInfo(label, "max_delay", static_cast<double>(worst_delay));
+      rep.RowInfo(label, "delay_erosion",
+                  static_cast<double>(worst_erosion));
+      rep.RowInfo(label, "util_loss", worst_util_loss);
+      rep.RowInfo(label, "leftover_bits", static_cast<double>(leftover));
     }
   }
+  // The two hard invariants (graceful degradation never loses bits or
+  // exceeds B_A) double as the bench's machine-readable pass criteria.
+  rep.RowMax("all", "unconserved_cells", all_conserved ? 0.0 : 1.0, 0.0);
+  rep.RowMax("all", "cap_violations", all_capped ? 0.0 : 1.0, 0.0);
 
   std::printf("== FAULTS: control-plane loss/denial degradation ==\n");
   std::printf("B_A=%lld D_A=%lld U_A=1/6 W=%lld; %s x %zu seeds, %lld "
               "slots; erosion vs the fault-free adapter on the same path\n\n",
               static_cast<long long>(kBa), static_cast<long long>(kDa),
               static_cast<long long>(kW), "onoff+mixed", kSeeds.size(),
-              static_cast<long long>(kHorizon));
+              static_cast<long long>(g_horizon));
   table.PrintAscii(std::cout);
-  artifacts.Save("fault_degradation", table);
+  rep.Save("fault_degradation", table);
   std::printf("\ninvariants: bits conserved %s, allocation cap respected "
               "%s\n",
               all_conserved ? "yes" : "NO", all_capped ? "yes" : "NO");
@@ -215,5 +234,5 @@ int main(int argc, char** argv) {
       "keeping 'leftover' at 0;\nno row loses bits or exceeds B_A.\n");
   std::fprintf(stderr, "[faults] %lld cells, %d jobs, %.2fs wall\n",
                static_cast<long long>(cells), runner.jobs(), secs);
-  return all_conserved && all_capped ? 0 : 1;
+  return rep.Finish();
 }

@@ -19,7 +19,6 @@
 #include <memory>
 
 #include "analysis/cost_model.h"
-#include "analysis/artifact.h"
 #include "analysis/table.h"
 #include "baseline/exp_smoothing.h"
 #include "baseline/per_arrival.h"
@@ -27,6 +26,7 @@
 #include "baseline/static_alloc.h"
 #include "core/single_session.h"
 #include "offline/offline_single.h"
+#include "reporter.h"
 #include "runner/batch_runner.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -42,19 +42,33 @@ constexpr Time kHorizon = 20000;
 constexpr std::uint64_t kSeed = 2;
 constexpr std::int64_t kStrategies = 7;  // (a)..(d), periodic, ewma, offline
 
-std::vector<std::string> MakeRow(const std::string& name,
-                                 const SingleRunResult& r,
-                                 const CostModel& cost) {
-  return {name, Table::Num(r.delay.max_delay()),
-          Table::Num(r.delay.Percentile(0.99)),
-          Table::Num(r.global_utilization, 3),
-          Table::Num(r.worst_best_window_utilization, 3),
-          Table::Num(r.changes),
-          Table::Num(cost.Cost(r) / 1000.0, 1)};
+// One strategy's table row plus the raw numbers the Reporter needs.
+struct StratOut {
+  std::vector<std::string> row;
+  std::string name;
+  double max_delay = 0;
+  double local_util = 1.0;
+  double changes = 0;
+  bool bounded = false;  // true only for the paper's online algorithm
+};
+
+StratOut MakeRow(const std::string& name, const SingleRunResult& r,
+                 const CostModel& cost) {
+  StratOut out;
+  out.row = {name, Table::Num(r.delay.max_delay()),
+             Table::Num(r.delay.Percentile(0.99)),
+             Table::Num(r.global_utilization, 3),
+             Table::Num(r.worst_best_window_utilization, 3),
+             Table::Num(r.changes),
+             Table::Num(cost.Cost(r) / 1000.0, 1)};
+  out.name = name;
+  out.max_delay = static_cast<double>(r.delay.max_delay());
+  out.local_util = r.worst_best_window_utilization;
+  out.changes = static_cast<double>(r.changes);
+  return out;
 }
 
-std::vector<std::string> RunStrategy(std::int64_t which,
-                                     const std::vector<Bits>& trace) {
+StratOut RunStrategy(std::int64_t which, const std::vector<Bits>& trace) {
   SingleEngineOptions opt;
   opt.drain_slots = 4 * kDa;
   opt.utilization_scan_window = kW + 5 * (kDa / 2);
@@ -87,8 +101,10 @@ std::vector<std::string> RunStrategy(std::int64_t which,
       p.min_utilization = Ratio(1, 6);
       p.window = kW;
       SingleSessionOnline alloc(p);
-      return MakeRow("(d) online (Fig.3)", RunSingleSession(trace, alloc, opt),
-                     cost);
+      StratOut out = MakeRow("(d) online (Fig.3)",
+                             RunSingleSession(trace, alloc, opt), cost);
+      out.bounded = true;
+      return out;
     }
     case 4: {  // [GKT95]-style periodic renegotiation
       PeriodicAllocator alloc(4 * kDa, 130, kDa);
@@ -109,9 +125,14 @@ std::vector<std::string> RunStrategy(std::int64_t which,
       const OfflineSchedule s = GreedyMinChangeSchedule(trace, off);
       if (!s.feasible) return {};
       const ScheduleCheck check = ValidateSchedule(trace, s);
-      return {"offline greedy", Table::Num(check.max_delay), "-",
-              Table::Num(check.global_utilization, 3), "-",
-              Table::Num(s.changes()), "-"};
+      StratOut out;
+      out.row = {"offline greedy", Table::Num(check.max_delay), "-",
+                 Table::Num(check.global_utilization, 3), "-",
+                 Table::Num(s.changes()), "-"};
+      out.name = "offline greedy";
+      out.max_delay = static_cast<double>(check.max_delay);
+      out.changes = static_cast<double>(s.changes());
+      return out;
     }
   }
 }
@@ -119,17 +140,22 @@ std::vector<std::string> RunStrategy(std::int64_t which,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = StripJobsFlag(&argc, argv, ThreadPool::kAutoThreads);
-  const BenchArtifacts artifacts(argc, argv);
-  const auto trace = SingleSessionWorkload("mixed", kBa, kDa / 2, kHorizon,
+  bench::Reporter rep("fig2", &argc, argv);
+  const Time horizon = rep.quick() ? 4000 : kHorizon;
+  const auto trace = SingleSessionWorkload("mixed", kBa, kDa / 2, horizon,
                                            kSeed);
 
-  BatchRunner runner(BatchOptions{jobs, 0});
+  BatchRunner runner(BatchOptions{rep.jobs(), 0});
   const auto start = std::chrono::steady_clock::now();
-  const auto batch = runner.Map<std::vector<std::string>>(
-      "fig2", kStrategies, [&trace](const TaskContext& ctx) {
-        return RunStrategy(ctx.key.index, trace);
-      });
+  BatchResult<StratOut> batch;
+  {
+    ScopedTimer timer(rep.profile(), "sweep");
+    batch = runner.Map<StratOut>(
+        "fig2", kStrategies, [&trace](const TaskContext& ctx) {
+          return RunStrategy(ctx.key.index, trace);
+        });
+  }
+  rep.CountWork(kStrategies * horizon, kStrategies);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -140,23 +166,33 @@ int main(int argc, char** argv) {
 
   Table table({"strategy", "max delay", "p99 delay", "global util",
                "local util", "changes", "cost (k)"});
-  for (const auto& row : batch.results) {
-    if (row->empty()) continue;  // infeasible offline reference
-    table.AddRow(*row);
+  for (const auto& out : batch.results) {
+    if (out->row.empty()) continue;  // infeasible offline reference
+    table.AddRow(out->row);
+    if (out->bounded) {
+      // Only the paper's algorithm carries guarantees (Theorem 6).
+      rep.RowMax(out->name, "max_delay", out->max_delay,
+                 static_cast<double>(kDa));
+      rep.RowMin(out->name, "min_local_util", out->local_util, 1.0 / 6.0);
+      rep.RowInfo(out->name, "changes", out->changes);
+    } else {
+      rep.RowInfo(out->name, "max_delay", out->max_delay);
+      rep.RowInfo(out->name, "changes", out->changes);
+    }
   }
 
   std::printf("== FIG2: the three-way tradeoff, measured ==\n");
   std::printf("workload 'mixed' (cbr + onoff + pareto), B_A=%lld, D_A=%lld, "
               "U_A=1/6, W=%lld, %lld slots\n\n",
               static_cast<long long>(kBa), static_cast<long long>(kDa),
-              static_cast<long long>(kW), static_cast<long long>(kHorizon));
+              static_cast<long long>(kW), static_cast<long long>(horizon));
   table.PrintAscii(std::cout);
-  artifacts.Save("fig2_tradeoff", table);
+  rep.Save("fig2_tradeoff", table);
   std::printf(
       "\nExpected shape (paper Fig. 2): (a) short delay / poor utilization;"
       "\n(b) the reverse; (c) fixes both at an absurd change count;"
       "\n(d) fixes both at a change count near the clairvoyant offline.\n");
   std::fprintf(stderr, "[fig2] %lld strategies, %d jobs, %.2fs wall\n",
                static_cast<long long>(kStrategies), runner.jobs(), secs);
-  return 0;
+  return rep.Finish();
 }

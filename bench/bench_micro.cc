@@ -1,10 +1,20 @@
 // MICRO — data-structure and engine throughput microbenchmarks
 // (google-benchmark): the O(log n) hull envelope versus the naive scan,
 // queue operations, and end-to-end simulator slot rates.
+//
+// A custom main (replacing BENCHMARK_MAIN) mirrors every measured run
+// into BENCH_micro.json through bench::Reporter: ns/iteration and
+// items/sec per benchmark, as info rows — microbenchmark timings are
+// machine-dependent, so bench_diff gates them by threshold, never
+// pass/fail here.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "core/single_session.h"
 #include "offline/offline_single.h"
+#include "reporter.h"
 #include "sim/bit_queue.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -107,6 +117,44 @@ void BM_OfflineGreedySchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_OfflineGreedySchedule);
 
+// Console reporter that also mirrors each measured run into the
+// machine-readable Reporter.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::Reporter* rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      rep_->RowInfo(name, "ns_per_iter", run.GetAdjustedRealTime());
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        rep_->RowInfo(name, "items_per_sec", it->second.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::Reporter* rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Reporter rep("micro", &argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.05";
+  if (rep.quick()) args.push_back(min_time.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+
+  CaptureReporter reporter(&rep);
+  {
+    ScopedTimer timer(rep.profile(), "benchmarks");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  return rep.Finish();
+}

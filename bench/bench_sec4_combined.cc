@@ -10,9 +10,9 @@
 #include <algorithm>
 #include <iostream>
 
-#include "analysis/artifact.h"
 #include "analysis/table.h"
 #include "core/combined.h"
+#include "reporter.h"
 #include "sim/engine_multi.h"
 #include "traffic/workload_suite.h"
 #include "util/power_of_two.h"
@@ -26,13 +26,22 @@ constexpr Time kHorizon = 8000;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArtifacts artifacts(argc, argv);
+  bench::Reporter rep("sec4", &argc, argv);
+  const Time horizon = rep.quick() ? 2000 : kHorizon;
+  const std::vector<std::int64_t> ks =
+      rep.quick() ? std::vector<std::int64_t>{2, 4}
+                  : std::vector<std::int64_t>{2, 4, 8, 16};
+  const std::vector<Bits> bos = rep.quick()
+                                    ? std::vector<Bits>{64}
+                                    : std::vector<Bits>{64, 256};
   Table table({"k", "B_O", "inner", "glob chg/stage", "ladder bound",
                "loc chg/stage", "O(k) scale", "max delay", "3 D_O",
                "global util", "local util"});
 
-  for (const std::int64_t k : {2, 4, 8, 16}) {
-    for (const Bits bo : {Bits{64}, Bits{256}}) {
+  {
+  ScopedTimer timer(rep.profile(), "sweep");
+  for (const std::int64_t k : ks) {
+    for (const Bits bo : bos) {
       for (const bool continuous : {false, true}) {
       CombinedParams p;
       p.sessions = k;
@@ -43,7 +52,7 @@ int main(int argc, char** argv) {
       p.continuous_inner = continuous;
 
       const auto traces = MultiSessionWorkload(
-          MultiWorkloadKind::kRotatingHotspot, k, bo, kDo, kHorizon,
+          MultiWorkloadKind::kRotatingHotspot, k, bo, kDo, horizon,
           static_cast<std::uint64_t>(300 + k) ^
               static_cast<std::uint64_t>(bo));
       CombinedOnline sys(p);
@@ -51,6 +60,7 @@ int main(int argc, char** argv) {
       opt.drain_slots = 8 * kDo;
       opt.utilization_scan_window = p.window + 5 * kDo;
       const MultiRunResult r = RunMultiSession(traces, sys, opt);
+      rep.CountWork(horizon, 1);
 
       const double glob_per_stage =
           static_cast<double>(r.global_changes) /
@@ -68,22 +78,34 @@ int main(int argc, char** argv) {
                     Table::Num(r.delay.max_delay()), Table::Num(3 * kDo),
                     Table::Num(r.global_utilization, 3),
                     Table::Num(r.worst_best_window_utilization, 3)});
+      const std::string label = "k=" + Table::Num(k) +
+                                ",B_O=" + Table::Num(bo) + "," +
+                                (continuous ? "continuous" : "phased");
+      rep.RowMax(label, "glob_chg_per_stage", glob_per_stage,
+                 static_cast<double>(CeilLog2(2 * bo) + 1));
+      rep.RowMax(label, "max_delay",
+                 static_cast<double>(r.delay.max_delay()),
+                 static_cast<double>(3 * kDo));
+      rep.RowInfo(label, "loc_chg_per_stage_over_k",
+                  loc_per_stage / static_cast<double>(k));
+      rep.RowInfo(label, "global_util", r.global_utilization);
       }
     }
+  }
   }
 
   std::printf("== SEC4: combined algorithm — global x local stages ==\n");
   std::printf("rotating-hotspot workload, D_O=%lld, U_O=1/2, W=8, %lld "
               "slots\n\n",
               static_cast<long long>(kDo),
-              static_cast<long long>(kHorizon));
+              static_cast<long long>(horizon));
   table.PrintAscii(std::cout);
-  artifacts.Save("sec4_combined", table);
+  rep.Save("sec4_combined", table);
   std::printf(
       "\nExpected shape (Section 4): global changes per global stage within "
       "the B_on\nladder bound (log2(2 B_O) + 1, growing with B_O, flat in "
       "k); local changes per\nlocal stage in the O(k) regime ('O(k) scale' "
       "roughly constant down the k column);\ndelay within our slotted 3 D_O "
       "bound (the paper's sketch claims 2 D_O; see DESIGN.md).\n");
-  return 0;
+  return rep.Finish();
 }

@@ -12,10 +12,10 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/artifact.h"
 #include "analysis/table.h"
 #include "core/multi_phased.h"
 #include "offline/offline_multi.h"
+#include "reporter.h"
 #include "runner/batch_runner.h"
 #include "sim/engine_multi.h"
 #include "traffic/workload_suite.h"
@@ -33,10 +33,10 @@ struct CellOut {
   std::int64_t off_changes = -1;
 };
 
-CellOut RunCell(std::int64_t k) {
+CellOut RunCell(std::int64_t k, Time horizon) {
   const Bits bo = 16 * k;  // constant per-session share across the sweep
   const auto traces = MultiSessionWorkload(
-      MultiWorkloadKind::kRotatingHotspot, k, bo, kDo, kHorizon,
+      MultiWorkloadKind::kRotatingHotspot, k, bo, kDo, horizon,
       static_cast<std::uint64_t>(100 + k));
 
   MultiSessionParams p;
@@ -59,16 +59,24 @@ CellOut RunCell(std::int64_t k) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = StripJobsFlag(&argc, argv, ThreadPool::kAutoThreads);
-  const BenchArtifacts artifacts(argc, argv);
+  bench::Reporter rep("thm14", &argc, argv);
+  const Time horizon = rep.quick() ? 2000 : kHorizon;
+  const std::vector<std::int64_t> ks =
+      rep.quick() ? std::vector<std::int64_t>{2, 4, 8} : kSessionCounts;
 
-  BatchRunner runner(BatchOptions{jobs, 0});
+  BatchRunner runner(BatchOptions{rep.jobs(), 0});
   const auto start = std::chrono::steady_clock::now();
-  const auto batch = runner.Map<CellOut>(
-      "thm14", static_cast<std::int64_t>(kSessionCounts.size()),
-      [](const TaskContext& ctx) {
-        return RunCell(kSessionCounts[static_cast<std::size_t>(ctx.key.index)]);
-      });
+  BatchResult<CellOut> batch;
+  {
+    ScopedTimer timer(rep.profile(), "sweep");
+    batch = runner.Map<CellOut>(
+        "thm14", static_cast<std::int64_t>(ks.size()),
+        [&](const TaskContext& ctx) {
+          return RunCell(ks[static_cast<std::size_t>(ctx.key.index)], horizon);
+        });
+  }
+  rep.CountWork(static_cast<std::int64_t>(ks.size()) * horizon,
+                static_cast<std::int64_t>(ks.size()));
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -79,8 +87,8 @@ int main(int argc, char** argv) {
 
   Table table({"k", "3k budget", "chg/stage", "online chg", "offline chg",
                "ratio", "max delay (<=16)", "peak reg/B_O", "peak ovf/B_O"});
-  for (std::size_t i = 0; i < kSessionCounts.size(); ++i) {
-    const std::int64_t k = kSessionCounts[i];
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const std::int64_t k = ks[i];
     const Bits bo = 16 * k;
     const CellOut& c = *batch.results[i];
     const MultiRunResult& r = c.run;
@@ -92,30 +100,42 @@ int main(int argc, char** argv) {
             ? static_cast<double>(r.local_changes) /
                   static_cast<double>(c.off_changes)
             : -1.0;
+    const double reg_over_bo =
+        r.peak_regular_allocation.ToDouble() / static_cast<double>(bo);
+    const double ovf_over_bo =
+        r.peak_overflow_allocation.ToDouble() / static_cast<double>(bo);
     table.AddRow({Table::Num(k), Table::Num(3 * k),
                   Table::Num(per_stage, 1), Table::Num(r.local_changes),
                   Table::Num(c.off_changes), Table::Num(ratio, 2),
                   Table::Num(r.delay.max_delay()),
-                  Table::Num(r.peak_regular_allocation.ToDouble() /
-                                 static_cast<double>(bo),
-                             2),
-                  Table::Num(r.peak_overflow_allocation.ToDouble() /
-                                 static_cast<double>(bo),
-                             2)});
+                  Table::Num(reg_over_bo, 2), Table::Num(ovf_over_bo, 2)});
+    const std::string label = "k=" + Table::Num(k);
+    // ~4k: our per-variable counting of the paper's 3k per-stage events.
+    rep.RowMax(label, "chg_per_stage", per_stage,
+               static_cast<double>(4 * k));
+    rep.RowMax(label, "max_delay",
+               static_cast<double>(r.delay.max_delay()),
+               static_cast<double>(2 * kDo));
+    // Lemma 10: regular <= 2 B_O (+ a k/B_O rounding transient), overflow
+    // <= 2 B_O.
+    rep.RowMax(label, "peak_reg_over_bo", reg_over_bo,
+               2.0 + static_cast<double>(k) / static_cast<double>(bo));
+    rep.RowMax(label, "peak_ovf_over_bo", ovf_over_bo, 2.0);
+    rep.RowInfo(label, "ratio_vs_offline", ratio);
   }
 
   std::printf("== THM14: phased multi-session, changes vs 3k ==\n");
   std::printf("rotating-hotspot workload, B_O = 16k, D_O=%lld, %lld slots\n\n",
               static_cast<long long>(kDo),
-              static_cast<long long>(kHorizon));
+              static_cast<long long>(horizon));
   table.PrintAscii(std::cout);
-  artifacts.Save("thm14_phased", table);
+  rep.Save("thm14_phased", table);
   std::printf(
       "\nExpected shape (Theorem 14): 'chg/stage' scales linearly with k "
       "and stays\nunder ~4k (our per-variable counting of the paper's 3k "
       "events); delay <= 2 D_O = 16;\npeak regular <= 2 B_O (+k/B_O "
       "transient), peak overflow <= 2 B_O (Lemma 10).\n");
   std::fprintf(stderr, "[thm14] %zu cells, %d jobs, %.2fs wall\n",
-               kSessionCounts.size(), runner.jobs(), secs);
-  return 0;
+               ks.size(), runner.jobs(), secs);
+  return rep.Finish();
 }

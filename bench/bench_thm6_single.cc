@@ -20,10 +20,10 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/artifact.h"
 #include "analysis/table.h"
 #include "core/single_session.h"
 #include "offline/offline_single.h"
+#include "reporter.h"
 #include "runner/batch_runner.h"
 #include "sim/engine_single.h"
 #include "traffic/workload_suite.h"
@@ -51,7 +51,8 @@ struct CellOut {
   bool has_traffic = false;
 };
 
-CellOut RunCell(Bits ba, std::uint64_t seed, const std::string& workload) {
+CellOut RunCell(Bits ba, std::uint64_t seed, const std::string& workload,
+                Time horizon) {
   SingleSessionParams p;
   p.max_bandwidth = ba;
   p.max_delay = kDa;
@@ -65,7 +66,7 @@ CellOut RunCell(Bits ba, std::uint64_t seed, const std::string& workload) {
   off.window = p.window;
 
   const auto trace = SingleSessionWorkload(
-      workload, p.offline_bandwidth(), p.offline_delay(), kHorizon, seed);
+      workload, p.offline_bandwidth(), p.offline_delay(), horizon, seed);
   SingleSessionOnline alg(p);
   SingleEngineOptions opt;
   opt.drain_slots = 2 * kDa;
@@ -92,27 +93,33 @@ CellOut RunCell(Bits ba, std::uint64_t seed, const std::string& workload) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = StripJobsFlag(&argc, argv, ThreadPool::kAutoThreads);
-  const BenchArtifacts artifacts(argc, argv);
-  BatchRunner runner(BatchOptions{jobs, 0});
+  bench::Reporter rep("thm6", &argc, argv);
+  BatchRunner runner(BatchOptions{rep.jobs(), 0});
 
+  const std::vector<Bits> bas =
+      rep.quick() ? std::vector<Bits>{16, 64} : kBas;
+  const Time horizon = rep.quick() ? 1500 : kHorizon;
   const std::int64_t per_ba =
       static_cast<std::int64_t>(kSeeds.size() * kWorkloads.size());
-  const std::int64_t cells = static_cast<std::int64_t>(kBas.size()) * per_ba;
+  const std::int64_t cells = static_cast<std::int64_t>(bas.size()) * per_ba;
 
   const auto start = std::chrono::steady_clock::now();
-  const BatchResult<CellOut> batch =
-      runner.Map<CellOut>("thm6", cells, [&](const TaskContext& ctx) {
-        const std::int64_t i = ctx.key.index;
-        const Bits ba = kBas[static_cast<std::size_t>(i / per_ba)];
-        const std::uint64_t seed =
-            kSeeds[static_cast<std::size_t>((i % per_ba) /
-                                            static_cast<std::int64_t>(
-                                                kWorkloads.size()))];
-        const std::string& workload = kWorkloads[static_cast<std::size_t>(
-            i % static_cast<std::int64_t>(kWorkloads.size()))];
-        return RunCell(ba, seed, workload);
-      });
+  BatchResult<CellOut> batch;
+  {
+    ScopedTimer timer(rep.profile(), "sweep");
+    batch = runner.Map<CellOut>("thm6", cells, [&](const TaskContext& ctx) {
+      const std::int64_t i = ctx.key.index;
+      const Bits ba = bas[static_cast<std::size_t>(i / per_ba)];
+      const std::uint64_t seed =
+          kSeeds[static_cast<std::size_t>((i % per_ba) /
+                                          static_cast<std::int64_t>(
+                                              kWorkloads.size()))];
+      const std::string& workload = kWorkloads[static_cast<std::size_t>(
+          i % static_cast<std::int64_t>(kWorkloads.size()))];
+      return RunCell(ba, seed, workload, horizon);
+    });
+  }
+  rep.CountWork(cells * horizon, cells);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -125,7 +132,7 @@ int main(int argc, char** argv) {
                "ratio vs greedy", "max delay (<=16)", "min local util",
                "workloads"});
   // Reduce in task-index order: [ba_idx * per_ba, (ba_idx + 1) * per_ba).
-  for (std::size_t b = 0; b < kBas.size(); ++b) {
+  for (std::size_t b = 0; b < bas.size(); ++b) {
     double worst_per_stage = 0;
     double worst_ratio_lb = 0;
     double worst_ratio_greedy = 0;
@@ -142,12 +149,20 @@ int main(int argc, char** argv) {
       if (c.has_traffic) min_util = std::min(min_util, c.util);
       ++workloads;
     }
-    table.AddRow({Table::Num(kBas[b]), Table::Num(CeilLog2(kBas[b])),
+    table.AddRow({Table::Num(bas[b]), Table::Num(CeilLog2(bas[b])),
                   Table::Num(worst_per_stage, 0),
                   Table::Num(worst_ratio_lb, 2),
                   Table::Num(worst_ratio_greedy, 2),
                   Table::Num(worst_delay), Table::Num(min_util, 3),
                   Table::Num(std::int64_t{workloads})});
+    const std::string label = "B_A=" + Table::Num(bas[b]);
+    rep.RowMax(label, "chg_per_stage_max", worst_per_stage,
+               static_cast<double>(CeilLog2(bas[b]) + 3));
+    rep.RowMax(label, "max_delay", static_cast<double>(worst_delay),
+               static_cast<double>(kDa));
+    rep.RowMin(label, "min_local_util", min_util, 1.0 / 6.0);
+    rep.RowInfo(label, "ratio_vs_stage_lb", worst_ratio_lb);
+    rep.RowInfo(label, "ratio_vs_greedy", worst_ratio_greedy);
   }
 
   std::printf("== THM6: single-session competitive ratio vs B_A ==\n");
@@ -156,7 +171,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(kDa), static_cast<long long>(kW),
               static_cast<long long>(kHorizon));
   table.PrintAscii(std::cout);
-  artifacts.Save("thm6_ratios", table);
+  rep.Save("thm6_ratios", table);
   std::printf(
       "\nExpected shape (Theorem 6): 'chg/stage max' never exceeds l_A + 3 "
       "(transition-\ncounting convention; bursts let the ladder skip "
@@ -164,5 +179,5 @@ int main(int argc, char** argv) {
       "utilization >= U_A = 0.167 at every time.\n");
   std::fprintf(stderr, "[thm6] %lld cells, %d jobs, %.2fs wall\n",
                static_cast<long long>(cells), runner.jobs(), secs);
-  return 0;
+  return rep.Finish();
 }

@@ -15,11 +15,11 @@
 #include <algorithm>
 #include <iostream>
 
-#include "analysis/artifact.h"
 #include "analysis/table.h"
 #include "core/multi_phased.h"
 #include "core/single_session.h"
 #include "offline/offline_single.h"
+#include "reporter.h"
 #include "sim/adaptive.h"
 #include "traffic/adversaries.h"
 #include "util/power_of_two.h"
@@ -33,7 +33,7 @@ constexpr Time kW = 16;  // 2 D_O (offline feasibility, DESIGN.md)
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArtifacts artifacts(argc, argv);
+  bench::Reporter rep("tight", &argc, argv);
   Table table({"B_A", "l_A", "variant", "chg/stage", "online chg",
                "greedy chg", "ratio vs greedy"});
 
@@ -51,8 +51,14 @@ int main(int argc, char** argv) {
        SingleSessionOnline::UtilizationMode::kLocal},
   };
 
-  for (const Bits ba : {Bits{16}, Bits{32}, Bits{64}, Bits{128},
-                        Bits{256}}) {
+  const std::vector<Bits> bas =
+      rep.quick() ? std::vector<Bits>{16, 64}
+                  : std::vector<Bits>{16, 32, 64, 128, 256};
+  // Plenty of slots for many pump/collapse cycles.
+  const Time horizon = rep.quick() ? 2000 : 6000;
+  {
+  ScopedTimer timer(rep.profile(), "sweep");
+  for (const Bits ba : bas) {
     for (const Config& config : configs) {
       const bool global =
           config.mode == SingleSessionOnline::UtilizationMode::kGlobal;
@@ -61,9 +67,6 @@ int main(int argc, char** argv) {
       p.max_delay = kDa;
       p.min_utilization = Ratio(1, 6);
       p.window = kW;
-
-      // Plenty of slots for many pump/collapse cycles.
-      const Time horizon = 6000;
       LadderPumpAdversary adversary(ba, kDa / 2);
       SingleSessionOnline online(p, config.variant, config.mode);
       SingleEngineOptions opt;
@@ -93,7 +96,19 @@ int main(int argc, char** argv) {
                                 static_cast<double>(greedy_changes)
                           : -1.0,
                       2)});
+      const std::string label =
+          "B_A=" + Table::Num(ba) + "," + config.name;
+      if (config.variant == SingleSessionOnline::Variant::kModified) {
+        // Theorem 7 tightness: even the pump cannot extract more than
+        // log2(1/U_O) + O(1) from the modified variant, at any B_A.
+        rep.RowMax(label, "chg_per_stage", per_stage,
+                   static_cast<double>(CeilLog2(2) + 4));
+      } else {
+        rep.RowInfo(label, "chg_per_stage", per_stage);
+      }
+      rep.CountWork(horizon, 1);
     }
+  }
   }
 
   std::printf("== TIGHT: where the log B_A ratio is achieved — and where "
@@ -101,7 +116,7 @@ int main(int argc, char** argv) {
   std::printf("ladder-pump adaptive adversary, D_A=%lld, U_A=1/6, W=%lld\n\n",
               static_cast<long long>(kDa), static_cast<long long>(kW));
   table.PrintAscii(std::cout);
-  artifacts.Save("tightness_single", table);
+  rep.Save("tightness_single", table);
   std::printf(
       "\nExpected shape: against the pump, BOTH base variants pay the "
       "full ladder —\n'chg/stage' grows with l_A = log2(B_A) (the lower "
@@ -114,7 +129,13 @@ int main(int argc, char** argv) {
   // ---- multi-session tightness: the share hunter vs the 3k budget -------
   Table multi({"k", "3k budget", "chg/stage", "stages", "max delay",
                "<= 2 D_O"});
-  for (const std::int64_t k : {2, 4, 8, 16}) {
+  const std::vector<std::int64_t> multi_ks =
+      rep.quick() ? std::vector<std::int64_t>{2, 4}
+                  : std::vector<std::int64_t>{2, 4, 8, 16};
+  const Time multi_horizon = rep.quick() ? 2000 : 8000;
+  {
+  ScopedTimer timer(rep.profile(), "sweep-multi");
+  for (const std::int64_t k : multi_ks) {
     MultiSessionParams p;
     p.sessions = k;
     p.offline_bandwidth = 16 * k;
@@ -124,7 +145,7 @@ int main(int argc, char** argv) {
     MultiEngineOptions opt;
     opt.drain_slots = 32;
     const MultiAdaptiveRunResult r =
-        RunAdaptiveMultiSession(adversary, sys, 8000, opt);
+        RunAdaptiveMultiSession(adversary, sys, multi_horizon, opt);
     const double per_stage =
         static_cast<double>(r.run.local_changes) /
         static_cast<double>(std::max<std::int64_t>(1, r.run.stages + 1));
@@ -132,15 +153,22 @@ int main(int argc, char** argv) {
                   Table::Num(per_stage, 1), Table::Num(r.run.stages),
                   Table::Num(r.run.delay.max_delay()),
                   Table::Num(2 * p.offline_delay)});
+    const std::string label = "k=" + Table::Num(k) + ",hunter";
+    rep.RowMax(label, "max_delay",
+               static_cast<double>(r.run.delay.max_delay()),
+               static_cast<double>(2 * p.offline_delay));
+    rep.RowInfo(label, "chg_per_stage", per_stage);
+    rep.CountWork(multi_horizon, 1);
+  }
   }
   std::printf("\n== TIGHT (multi): share-hunter adversary vs the 3k "
               "budget ==\n\n");
   multi.PrintAscii(std::cout);
-  artifacts.Save("tightness_multi", multi);
+  rep.Save("tightness_multi", multi);
   std::printf(
       "\nExpected shape: the hunter always overloads the currently "
       "smallest share, so\n'chg/stage' scales linearly with k and sits "
       "near the 3k regime — Lemma 12's\nbudget is what an adversary can "
       "actually extract, while the delay bound holds.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -1,0 +1,35 @@
+# CI smoke for one bench binary: run it in --quick mode into a scratch
+# directory, require exit 0 (all paper bounds hold on the shrunk grid),
+# and require its BENCH_<name>.json to pass the bench_diff schema check.
+#
+#   cmake -DEXE=path/to/bench_x -DDIFF=path/to/bench_diff
+#         -DOUT_DIR=work/dir -P quick_validate.cmake
+if(NOT DEFINED EXE OR NOT DEFINED DIFF OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "quick_validate.cmake: EXE, DIFF, OUT_DIR required")
+endif()
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${EXE}" "${OUT_DIR}" --quick
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "bench --quick failed (${exit_code})\n${out}\n${err}")
+endif()
+
+file(GLOB bench_json "${OUT_DIR}/BENCH_*.json")
+if(bench_json STREQUAL "")
+  message(FATAL_ERROR "bench wrote no BENCH_*.json into ${OUT_DIR}")
+endif()
+
+execute_process(
+  COMMAND "${DIFF}" --validate "${OUT_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "bench_diff --validate failed (${exit_code})\n${out}\n${err}")
+endif()

@@ -1,0 +1,133 @@
+#include "reporter.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "runner/batch_runner.h"
+#include "runner/thread_pool.h"
+#include "util/json_writer.h"
+
+namespace bwalloc::bench {
+
+Reporter::Reporter(std::string name, int* argc, char** argv)
+    : name_(std::move(name)) {
+  jobs_ = StripJobsFlag(argc, argv, ThreadPool::kAutoThreads);
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::string(argv[r]) == "--quick") {
+      quick_ = true;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (*argc > 1) dir_ = argv[1];
+}
+
+void Reporter::Save(const std::string& table_name, const Table& table) const {
+  if (dir_.empty()) return;
+  const std::string path = dir_ + "/" + table_name + ".csv";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write artifact: " + path);
+  table.PrintCsv(out);
+  if (!out) throw std::runtime_error("short artifact write: " + path);
+}
+
+void Reporter::RowMax(const std::string& label, const std::string& metric,
+                      double measured, double bound) {
+  rows_.push_back({label, metric, "max", measured, bound, measured <= bound});
+}
+
+void Reporter::RowMin(const std::string& label, const std::string& metric,
+                      double measured, double bound) {
+  rows_.push_back({label, metric, "min", measured, bound, measured >= bound});
+}
+
+void Reporter::RowInfo(const std::string& label, const std::string& metric,
+                       double measured) {
+  rows_.push_back({label, metric, "info", measured, std::nullopt, true});
+}
+
+void Reporter::CountWork(std::int64_t slots, std::int64_t cells) {
+  slots_ += slots;
+  cells_ += cells;
+}
+
+bool Reporter::pass() const {
+  for (const Row& r : rows_) {
+    if (!r.pass) return false;
+  }
+  return true;
+}
+
+std::string Reporter::ToJson() const {
+  std::int64_t wall_ns = 0;
+  for (const auto& [phase, entry] : profile_.phases()) wall_ns += entry.ns;
+  const double secs = static_cast<double>(wall_ns) / 1e9;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.Value(name_);
+  w.Key("quick");
+  w.Value(quick_);
+  w.Key("jobs");
+  w.Value(jobs_);
+  w.Key("rows");
+  w.BeginArray();
+  for (const Row& r : rows_) {
+    w.BeginObject();
+    w.Key("label");
+    w.Value(r.label);
+    w.Key("metric");
+    w.Value(r.metric);
+    w.Key("measured");
+    w.Value(r.measured);
+    w.Key("bound");
+    if (r.bound.has_value()) {
+      w.Value(*r.bound);
+    } else {
+      w.Null();
+    }
+    w.Key("kind");
+    w.Value(r.kind);
+    w.Key("pass");
+    w.Value(r.pass);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("pass");
+  w.Value(pass());
+  w.Key("throughput");
+  w.BeginObject();
+  w.Key("slots");
+  w.Value(slots_);
+  w.Key("cells");
+  w.Value(cells_);
+  w.Key("wall_ns");
+  w.Value(wall_ns);
+  w.Key("slots_per_sec");
+  w.Value(secs > 0 ? static_cast<double>(slots_) / secs : 0.0);
+  w.Key("cells_per_sec");
+  w.Value(secs > 0 ? static_cast<double>(cells_) / secs : 0.0);
+  w.Key("ns_per_slot");
+  w.Value(slots_ > 0 ? static_cast<double>(wall_ns) /
+                           static_cast<double>(slots_)
+                     : 0.0);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+int Reporter::Finish() const {
+  const std::string path = (dir_.empty() ? std::string() : dir_ + "/") +
+                           "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write bench json: " + path);
+  out << ToJson() << "\n";
+  if (!out) throw std::runtime_error("short bench json write: " + path);
+  return pass() ? 0 : 1;
+}
+
+}  // namespace bwalloc::bench

@@ -1,0 +1,96 @@
+// Shared CLI + telemetry layer for the bench_* binaries.
+//
+// Every bench prints its human-readable ASCII tables exactly as before;
+// the Reporter adds a machine-readable BENCH_<name>.json next to them so
+// CI (and tools/bench_diff) can compare runs without parsing tables:
+//
+//   {"bench":"thm6","quick":false,"jobs":4,
+//    "rows":[{"label":"B_A=16","metric":"chg_per_stage","measured":4,
+//             "bound":7,"kind":"max","pass":true}, ...],
+//    "pass":true,
+//    "throughput":{"slots":N,"cells":N,"wall_ns":N,
+//                  "slots_per_sec":X,"cells_per_sec":X,"ns_per_slot":X}}
+//
+// Rows come in three kinds: "max" (measured <= bound — the paper's upper
+// bounds), "min" (measured >= bound — utilization floors), and "info"
+// (no bound; bound is null and pass is true). The file-level "pass" is
+// the AND of the rows, and Finish() returns it as a process exit code, so
+// a bound regression fails the bench run itself.
+//
+// Throughput counters come from the obs::ScopedTimer profile: benches
+// wrap their sweep in `ScopedTimer t(rep.profile(), "sweep")` and declare
+// the work done via CountWork(slots, cells); wall_ns sums every profiled
+// phase. Wall-clock is nondeterministic, so bench_diff treats throughput
+// as advisory (threshold-gated), never byte-compared.
+//
+// The constructor strips the shared bench CLI out of argc/argv before the
+// bench sees it:
+//   [out_dir]    first positional arg: artifact directory (CSV + JSON)
+//   --jobs=N     worker threads for sharded benches (jobs())
+//   --quick      shrink grids/horizons for CI smoke runs (quick())
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "obs/stopwatch.h"
+
+namespace bwalloc::bench {
+
+class Reporter {
+ public:
+  Reporter(std::string name, int* argc, char** argv);
+
+  int jobs() const { return jobs_; }
+  bool quick() const { return quick_; }
+  PhaseProfile* profile() { return &profile_; }
+
+  // Writes `<dir>/<table_name>.csv` when an artifact directory was given
+  // (same layout BenchArtifacts used); no-op otherwise.
+  void Save(const std::string& table_name, const Table& table) const;
+
+  // measured <= bound (paper upper bound).
+  void RowMax(const std::string& label, const std::string& metric,
+              double measured, double bound);
+  // measured >= bound (utilization floor).
+  void RowMin(const std::string& label, const std::string& metric,
+              double measured, double bound);
+  // Unbounded observation: bound is null, pass is true.
+  void RowInfo(const std::string& label, const std::string& metric,
+               double measured);
+
+  // Accumulates the work the profiled phases covered.
+  void CountWork(std::int64_t slots, std::int64_t cells);
+
+  bool pass() const;
+  // Writes BENCH_<name>.json (into the artifact directory when given,
+  // the working directory otherwise) and returns the bench exit code:
+  // 0 when every bounded row passed, 1 otherwise.
+  int Finish() const;
+
+  std::string ToJson() const;
+
+ private:
+  struct Row {
+    std::string label;
+    std::string metric;
+    std::string kind;  // "max" | "min" | "info"
+    double measured = 0;
+    std::optional<double> bound;
+    bool pass = true;
+  };
+
+  std::string name_;
+  std::string dir_;
+  int jobs_ = 0;
+  bool quick_ = false;
+  std::vector<Row> rows_;
+  std::int64_t slots_ = 0;
+  std::int64_t cells_ = 0;
+  PhaseProfile profile_;
+};
+
+}  // namespace bwalloc::bench

@@ -1,0 +1,754 @@
+#include "obs/audit/auditor.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "core/high_tracker.h"
+#include "core/low_tracker.h"
+#include "util/fixed_point.h"
+#include "util/json_writer.h"
+#include "util/monotonic_deque.h"
+#include "util/power_of_two.h"
+#include "util/ratio.h"
+
+namespace bwalloc {
+
+namespace {
+
+// raw / 2^16 < r
+bool RawBelowRatio(std::int64_t raw, const Ratio& r) {
+  return static_cast<Int128>(raw) * r.den() <
+         (static_cast<Int128>(r.num()) << Bandwidth::kShift);
+}
+
+// raw / 2^16 > 2 * r
+bool RawAboveTwiceRatio(std::int64_t raw, const Ratio& r) {
+  return static_cast<Int128>(raw) * r.den() >
+         (static_cast<Int128>(r.num()) << (Bandwidth::kShift + 1));
+}
+
+std::int64_t RatioToRaw(const Ratio& r) {
+  return static_cast<std::int64_t>(
+      (static_cast<Int128>(r.num()) << Bandwidth::kShift) / r.den());
+}
+
+}  // namespace
+
+AuditConfig SingleAuditConfig(Bits max_bandwidth, Time max_delay,
+                              std::int64_t inv_utilization, Time window) {
+  AuditConfig c;
+  c.model = AuditConfig::Model::kSingle;
+  c.max_bandwidth = max_bandwidth;
+  c.max_delay = max_delay;
+  c.inv_utilization = inv_utilization;
+  c.window = window;
+  return c;
+}
+
+AuditConfig MultiAuditConfig(std::int64_t sessions, Bits offline_bandwidth,
+                             Time offline_delay, bool phased) {
+  AuditConfig c;
+  c.model = AuditConfig::Model::kMulti;
+  c.sessions = sessions;
+  c.offline_bandwidth = offline_bandwidth;
+  c.offline_delay = offline_delay;
+  c.max_delay = 2 * offline_delay;
+  c.phased = phased;
+  c.max_total_bandwidth = (phased ? 4 : 5) * offline_bandwidth;
+  c.max_overflow_bandwidth = (phased ? 2 : 3) * offline_bandwidth;
+  return c;
+}
+
+struct Auditor::Stream {
+  std::string suite;
+  std::int64_t cell = 0;
+
+  // --- slot ordering / completeness ---
+  Time last_event_slot = std::numeric_limits<Time>::min();
+  bool slot_order_fired = false;
+  bool saw_tick = false;
+  Time last_tick_slot = 0;
+  Bits last_in = 0;
+  Bits last_q = 0;
+  bool per_slot_ok = true;
+  bool incomplete_fired = false;
+
+  // --- delay monitor: cumulative arrivals per recent slot ---
+  Bits cum_total = 0;
+  std::deque<Bits> cum_hist;  // cum through [last_tick_slot-len+1, last_tick_slot]
+  std::size_t hist_keep = 8;
+
+  // --- degraded control plane ---
+  bool signaling_seen = false;
+  bool episode_active = false;
+  Time last_degraded_slot = -1;
+  Time strict_after = -1;  // arrivals at slots <= this use the degraded bound
+  bool delay_disabled = false;  // combined model: global shunts hide deliveries
+
+  // --- multi conservation ---
+  Bits shunt_pending = 0;  // kGlobalReset bits since the previous tick
+
+  // --- stage structure, keyed by the event's session scope ---
+  struct StageBook {
+    bool open = false;
+    std::int64_t starts = 0;
+    std::int64_t certified = 0;
+    // The engines disagree on whether kStageCertified carries the 0-based
+    // stage index (multi) or the 1-based completed count (single); the
+    // first certification latches whichever convention the stream uses,
+    // and every later one must stay consecutive under it.
+    std::int64_t cert_base = -1;
+  };
+  std::map<std::int64_t, StageBook> books;
+  bool any_stage_start = false;
+
+  // --- change budget (single, aggregate scope) ---
+  std::int64_t changes_in_stage = 0;
+  bool budget_fired = false;
+
+  // --- committed serving rate (single) ---
+  std::int64_t rate_raw = 0;
+  bool rate_known = false;
+
+  // --- envelope monitor ---
+  bool env_init = false;
+  bool env_open = false;
+  bool env_pending_restart = false;
+  Time env_restart_ts = 0;
+  Time env_stage_start = 0;
+  std::optional<LowTracker> env_low;
+  std::optional<HighTracker> env_high;
+  std::optional<GlobalHighTracker> env_gh;
+  struct Sample {
+    Time slot = 0;
+    Ratio lo;
+    Ratio hi;
+    bool open = false;
+    bool exempt = false;
+  };
+  Sample sample;
+  bool have_sample = false;
+
+  // --- offline stage lower bound (Lemma 1) ---
+  bool lb_init = false;
+  Time lb_ts = 0;
+  std::int64_t lb_stages = 0;
+  Bits lb_cum = 0;
+  std::optional<LowTracker> lb_low;
+  std::optional<HighTracker> lb_high;
+  RunningMin<Ratio> lb_min_global;
+
+  // --- multi caps + phase discipline ---
+  std::map<std::int64_t, std::int64_t> ovf_rate;  // session -> raw rate
+  std::int64_t total_ovf_raw = 0;
+  Time multi_stage_start = 0;
+  Time last_boundary_slot = -1;
+  std::int64_t boundary_changes = 0;
+  bool phase_budget_fired = false;
+
+  // --- high-water marks ---
+  Bits last_hwm = -1;
+
+  // Cumulative arrivals through `slot`, given the last pushed entry is for
+  // `now`. Slots before the retained window only occur for slot < 0.
+  Bits CumAt(Time now, Time slot) const {
+    const auto back = static_cast<std::size_t>(now - slot);
+    if (back >= cum_hist.size()) return 0;
+    return cum_hist[cum_hist.size() - 1 - back];
+  }
+};
+
+Auditor::Auditor(AuditConfig config) : config_(config) {
+  if (config_.max_violations < 0) config_.max_violations = 0;
+}
+
+Auditor::~Auditor() = default;
+Auditor::Auditor(Auditor&&) noexcept = default;
+Auditor& Auditor::operator=(Auditor&&) noexcept = default;
+
+bool Auditor::EnvelopeEnabled() const {
+  return config_.model == AuditConfig::Model::kSingle &&
+         config_.max_bandwidth > 0 && config_.window > 0 &&
+         config_.inv_utilization > 0 && config_.max_delay >= 2;
+}
+
+bool Auditor::LowerBoundEnabled() const { return EnvelopeEnabled(); }
+
+Time Auditor::Recovery() const {
+  if (config_.degraded_recovery > 0) return config_.degraded_recovery;
+  return std::max<Time>(config_.max_delay, 8);
+}
+
+std::int64_t Auditor::streams() const {
+  return static_cast<std::int64_t>(streams_.size());
+}
+
+Auditor::Stream& Auditor::GetStream(const TraceContext& ctx) {
+  const auto key = std::make_pair(ctx.suite, ctx.cell);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    auto s = std::make_unique<Stream>();
+    s->suite = ctx.suite;
+    s->cell = ctx.cell;
+    const Time strict =
+        config_.max_delay + std::max<Time>(config_.delay_slack, 0);
+    const Time deg = strict + std::max<Time>(config_.degraded_delay_slack, 0);
+    s->hist_keep = static_cast<std::size_t>(std::max<Time>(deg + 4, 8));
+    it = streams_.emplace(key, std::move(s)).first;
+  }
+  return *it->second;
+}
+
+void Auditor::Violate(Stream& s, const char* monitor, std::int64_t session,
+                      Time slot, std::int64_t measured, std::int64_t bound,
+                      std::string detail) {
+  ++total_violations_;
+  ++counts_[monitor];
+  if (static_cast<std::int64_t>(violations_.size()) < config_.max_violations) {
+    violations_.push_back({monitor, s.suite, s.cell, session, slot, measured,
+                           bound, std::move(detail)});
+  }
+}
+
+void Auditor::OnRecord(const TraceRecord& record) {
+  const TraceContext ctx{record.suite, record.cell};
+  TraceEvent event;
+  try {
+    event = ToTraceEvent(record);
+  } catch (const std::invalid_argument& e) {
+    ++events_;
+    Violate(GetStream(ctx), "format", record.session, record.slot, 0, 0,
+            e.what());
+    return;
+  }
+  OnEvent(ctx, event);
+}
+
+void Auditor::OnEvent(const TraceContext& ctx, const TraceEvent& event) {
+  ++events_;
+  Stream& s = GetStream(ctx);
+
+  if (event.slot < s.last_event_slot) {
+    if (!s.slot_order_fired) {
+      Violate(s, "slot_order", event.session, event.slot, event.slot,
+              s.last_event_slot, "event slot went backwards");
+      s.slot_order_fired = true;
+    }
+  } else {
+    s.last_event_slot = event.slot;
+  }
+
+  using T = TraceEventType;
+  switch (event.type) {
+    case T::kSlotTick:
+      OnTick(s, event);
+      break;
+    case T::kStageStart:
+    case T::kStageCertified:
+    case T::kResetDrain:
+      OnStageEvent(s, event);
+      break;
+    case T::kGlobalReset:
+      s.shunt_pending += event.a;
+      s.delay_disabled = true;  // shunted bits drain outside this stream
+      break;
+    case T::kLevelChange:
+      break;  // informational
+    case T::kAllocChange:
+      OnAllocChange(s, event);
+      break;
+    case T::kQueueHighWater:
+      if (event.a <= s.last_hwm) {
+        Violate(s, "hwm_order", event.session, event.slot, event.a, s.last_hwm,
+                "queue high-water mark did not increase");
+      } else {
+        s.last_hwm = event.a;
+      }
+      break;
+    case T::kPhaseBoundary: {
+      if (config_.model == AuditConfig::Model::kMulti && config_.phased &&
+          config_.offline_delay > 0) {
+        const Time rel = event.slot - s.multi_stage_start;
+        if (rel <= 0 || rel % config_.offline_delay != 0) {
+          Violate(s, "phase_cadence", -1, event.slot, rel,
+                  config_.offline_delay,
+                  "phase boundary off the D_O grid from the stage start");
+        }
+      }
+      if (event.slot != s.last_boundary_slot) {
+        s.last_boundary_slot = event.slot;
+        s.boundary_changes = 0;
+        s.phase_budget_fired = false;
+      }
+      break;
+    }
+    case T::kOverflowShunt:
+      break;  // queue moves between channels; conservation sees no change
+    case T::kSignalRequest:
+    case T::kSignalCommit:
+      s.signaling_seen = true;
+      break;
+    case T::kSignalLoss:
+    case T::kSignalDenial:
+    case T::kSignalPartial:
+    case T::kSignalTimeout:
+    case T::kSignalRetry:
+    case T::kSignalFallback:
+      s.signaling_seen = true;
+      s.episode_active = true;
+      if (event.slot > s.last_degraded_slot) s.last_degraded_slot = event.slot;
+      if (event.slot > s.strict_after) s.strict_after = event.slot;
+      break;
+    default:
+      break;
+  }
+}
+
+void Auditor::OnTick(Stream& s, const TraceEvent& e) {
+  const Time t = e.slot;
+  const Bits in = e.a;
+  const Bits q = e.b;
+  const bool single = config_.model == AuditConfig::Model::kSingle;
+
+  if (!s.saw_tick) {
+    if (t != 0 && !s.incomplete_fired) {
+      Violate(s, "incomplete_trace", -1, t, t, 0,
+              "first slot_tick is not slot 0 (truncated or wrapped trace); "
+              "per-slot monitors disabled");
+      s.incomplete_fired = true;
+      s.per_slot_ok = false;
+    }
+  } else if (t != s.last_tick_slot + 1 && !s.incomplete_fired) {
+    Violate(s, "incomplete_trace", -1, t, t, s.last_tick_slot + 1,
+            "gap in slot_tick sequence; per-slot monitors disabled");
+    s.incomplete_fired = true;
+    s.per_slot_ok = false;
+  }
+
+  if (single && EnvelopeEnabled() && s.have_sample) CheckEnvelopeSample(s);
+
+  if (s.per_slot_ok) {
+    // Conservation: the queue can only change by arrivals minus service
+    // (minus global shunts in the combined model).
+    if (in < 0 || q < 0) {
+      Violate(s, "conservation", -1, t, in < 0 ? in : q, 0,
+              "negative arrivals or queue");
+    } else if (single) {
+      // Single ticks carry the queue after enqueue, before service.
+      const Bits pre = q - in;
+      if (pre < 0) {
+        Violate(s, "conservation", -1, t, pre, 0,
+                "queue smaller than the slot's own arrivals");
+      } else if (s.saw_tick && s.last_q - pre < 0) {
+        Violate(s, "conservation", -1, t, s.last_q - pre, 0,
+                "carried backlog exceeds the previous queue "
+                "(negative service)");
+      }
+    } else {
+      // Multi ticks carry the post-service queue.
+      const Bits served = (s.saw_tick ? s.last_q : 0) + in - q -
+                          s.shunt_pending;
+      if (served < 0) {
+        Violate(s, "conservation", -1, t, served, 0,
+                "queue grew by more than arrivals minus shunts "
+                "(negative service)");
+      }
+    }
+
+    s.cum_total += in;
+    s.cum_hist.push_back(s.cum_total);
+    while (s.cum_hist.size() > s.hist_keep) s.cum_hist.pop_front();
+
+    // Delay bound: everything that arrived through the cut slot must have
+    // left the queue. Single ticks pre-date slot-t service, so the cut sits
+    // one slot deeper than in the multi (post-service) stream.
+    if (config_.max_delay > 0 && !s.delay_disabled) {
+      const Bits delivered = s.cum_total - q;
+      const Time strict =
+          config_.max_delay + std::max<Time>(config_.delay_slack, 0);
+      const Time cut = single ? t - strict - 1 : t - strict;
+      if (cut >= 0) {
+        if (cut > s.strict_after) {
+          const Bits need = s.CumAt(t, cut);
+          if (delivered < need) {
+            Violate(s, "delay_bound", -1, t, need - delivered, strict,
+                    "bits older than the delay bound still queued");
+          }
+        } else if (config_.degraded_delay_slack >= 0 && !s.episode_active) {
+          // While an episode is open the bound is suspended outright — a
+          // denial storm can stall commits indefinitely, so no fixed slack
+          // avoids false positives. Recovery is still enforced: the
+          // episode only closes once the backlog has drained and the
+          // control plane has been quiet, so stragglers from a closed
+          // episode are held to the degraded-mode bound here.
+          const Time deg = strict + config_.degraded_delay_slack;
+          const Time dcut = single ? t - deg - 1 : t - deg;
+          if (dcut >= 0) {
+            const Bits need = s.CumAt(t, dcut);
+            if (delivered < need) {
+              Violate(s, "delay_bound", -1, t, need - delivered, deg,
+                      "bits older than the degraded-mode delay bound "
+                      "still queued");
+            }
+          }
+        }
+      }
+    }
+
+    // A degraded episode stays open until the control plane has been quiet
+    // for Recovery() slots AND the backlog has drained, so arrivals that
+    // queue behind fault-induced backlog keep the degraded bound.
+    if (s.episode_active) {
+      const Bits backlog = single ? q - in : q;
+      if (backlog == 0 && t >= s.last_degraded_slot + Recovery()) {
+        s.episode_active = false;
+      } else if (t > s.strict_after) {
+        s.strict_after = t;
+      }
+    }
+
+    if (single && LowerBoundEnabled()) StepLowerBound(s, t, in);
+    if (single && EnvelopeEnabled()) StepEnvelope(s, t, in);
+  }
+
+  s.saw_tick = true;
+  s.last_tick_slot = t;
+  s.last_in = in;
+  s.last_q = q;
+  s.shunt_pending = 0;
+}
+
+void Auditor::OnStageEvent(Stream& s, const TraceEvent& e) {
+  auto& book = s.books[e.session];
+  const bool single = config_.model == AuditConfig::Model::kSingle;
+
+  if (e.type == TraceEventType::kStageStart) {
+    s.any_stage_start = true;
+    if (book.open && book.starts > 0 && !config_.loose_stages) {
+      Violate(s, "stage_structure", e.session, e.slot, book.starts,
+              book.certified, "stage start while the previous stage is open");
+    }
+    book.open = true;
+    ++book.starts;
+    if (single && e.session < 0) {
+      s.changes_in_stage = 0;
+      s.budget_fired = false;
+      if (EnvelopeEnabled()) RestartEnvelope(s, e.slot);
+    }
+    if (!single && e.session < 0) {
+      s.multi_stage_start = e.slot;
+      if (e.slot != s.last_boundary_slot) {
+        s.last_boundary_slot = e.slot;
+        s.boundary_changes = 0;
+        s.phase_budget_fired = false;
+      }
+    }
+    return;
+  }
+
+  if (e.type == TraceEventType::kStageCertified) {
+    if (!config_.loose_stages) {
+      if (!book.open && book.starts > 0) {
+        Violate(s, "stage_structure", e.session, e.slot, book.certified,
+                book.certified, "stage certified without an open stage");
+      }
+      if (book.cert_base < 0 &&
+          (e.a == book.certified || e.a == book.certified + 1)) {
+        book.cert_base = e.a - book.certified;
+      }
+      const std::int64_t want =
+          book.certified + (book.cert_base < 0 ? 0 : book.cert_base);
+      if (e.a != want) {
+        Violate(s, "stage_structure", e.session, e.slot, e.a, want,
+                "certified stage index out of sequence");
+      }
+    }
+    ++book.certified;
+    book.open = false;
+    if (single && e.session < 0) {
+      if (EnvelopeEnabled()) {
+        s.env_open = false;
+        if (s.have_sample && s.sample.slot == e.slot) s.sample.exempt = true;
+      }
+      if (LowerBoundEnabled() && s.lb_init && s.per_slot_ok) {
+        const std::int64_t bound = s.lb_stages + config_.stage_slack;
+        if (book.certified > bound) {
+          Violate(s, "stage_lower_bound", e.session, e.slot, book.certified,
+                  bound,
+                  "more certified stages than the Lemma 1 offline lower "
+                  "bound permits");
+        }
+      }
+    }
+    return;
+  }
+
+  // kResetDrain: the RESET runs B_A with a backlog; envelope checks pause.
+  if (single && e.session < 0 && EnvelopeEnabled()) {
+    s.env_open = false;
+    if (s.have_sample && s.sample.slot == e.slot) s.sample.exempt = true;
+  }
+}
+
+void Auditor::OnAllocChange(Stream& s, const TraceEvent& e) {
+  const std::int64_t to_raw = e.b;
+  if (config_.model == AuditConfig::Model::kSingle) {
+    if (e.c != kChanSingle || e.session >= 0) return;
+    s.rate_raw = to_raw;
+    s.rate_known = true;
+    if (config_.max_bandwidth > 0) {
+      const std::int64_t cap = config_.max_bandwidth << Bandwidth::kShift;
+      if (to_raw > cap) {
+        Violate(s, "bandwidth_cap", e.session, e.slot, to_raw, cap,
+                "committed rate above B_A (raw Q16)");
+      }
+      if (s.any_stage_start && !s.signaling_seen) {
+        ++s.changes_in_stage;
+        const std::int64_t budget = CeilLog2(config_.max_bandwidth) + 3 +
+                                    config_.change_budget_slack;
+        if (!s.budget_fired && s.changes_in_stage > budget) {
+          Violate(s, "change_budget", e.session, e.slot, s.changes_in_stage,
+                  budget,
+                  "allocation changes in one stage exceed l_A + 3 "
+                  "(Theorem 6)");
+          s.budget_fired = true;
+        }
+      }
+    }
+    return;
+  }
+
+  // Multi-session channels.
+  if (e.c == kChanTotal) {
+    if (config_.max_total_bandwidth > 0) {
+      const std::int64_t cap = config_.max_total_bandwidth << Bandwidth::kShift;
+      if (to_raw > cap) {
+        Violate(s, "bandwidth_cap", e.session, e.slot, to_raw, cap,
+                "declared total bandwidth above the Theorem 14/17 cap "
+                "(raw Q16)");
+      }
+    }
+    return;
+  }
+  if (e.session < 0 || (e.c != kChanRegular && e.c != kChanOverflow)) return;
+
+  if (e.c == kChanOverflow && config_.max_overflow_bandwidth > 0) {
+    auto [it, inserted] = s.ovf_rate.try_emplace(e.session, e.a);
+    if (inserted) s.total_ovf_raw += e.a;  // adopt the pre-trace rate
+    s.total_ovf_raw += to_raw - it->second;
+    it->second = to_raw;
+    const std::int64_t cap = config_.max_overflow_bandwidth
+                             << Bandwidth::kShift;
+    if (s.total_ovf_raw > cap) {
+      Violate(s, "overflow_cap", -1, e.slot, s.total_ovf_raw, cap,
+              "total overflow bandwidth above the Lemma 10/16 cap (raw Q16)");
+    }
+  }
+
+  if (config_.phased) {
+    if (e.slot != s.last_boundary_slot) {
+      Violate(s, "phase_discipline", e.session, e.slot, e.slot,
+              s.last_boundary_slot,
+              "session rate changed away from a phase boundary");
+    } else {
+      ++s.boundary_changes;
+      const std::int64_t budget = 2 * config_.sessions;
+      if (config_.sessions > 0 && !s.phase_budget_fired &&
+          s.boundary_changes > budget) {
+        Violate(s, "phase_budget", -1, e.slot, s.boundary_changes, budget,
+                "more than 2k session rate changes at one phase boundary");
+        s.phase_budget_fired = true;
+      }
+    }
+  }
+}
+
+void Auditor::StepEnvelope(Stream& s, Time t, Bits in) {
+  const Ratio u_o(3, config_.inv_utilization);
+  if (!s.env_init) {
+    s.env_low.emplace(config_.max_delay / 2);
+    s.env_high.emplace(config_.window, u_o, config_.max_bandwidth);
+    s.env_gh.emplace(u_o, config_.max_bandwidth);
+    s.env_low->StartStage(t);
+    s.env_high->StartStage(t);
+    s.env_gh->StartStage(t);
+    s.env_stage_start = t;
+    s.env_init = true;
+  }
+  if (s.env_pending_restart && t == s.env_restart_ts) {
+    s.env_low->StartStage(t);
+    s.env_high->StartStage(t);
+    s.env_gh->StartStage(t);
+    s.env_stage_start = t;
+    s.env_pending_restart = false;
+  }
+  const Ratio lo = s.env_low->LowAt(t);
+  s.env_high->RecordArrivals(t, in);
+  s.env_gh->RecordArrivals(t, in);
+  const Ratio hi =
+      config_.global_utilization ? s.env_gh->HighAt() : s.env_high->HighAt();
+  s.env_low->RecordArrivals(in);
+  s.sample = {t, lo, hi, s.env_open, false};
+  s.have_sample = true;
+}
+
+void Auditor::RestartEnvelope(Stream& s, Time ts) {
+  s.env_open = true;
+  if (!s.env_init || !s.saw_tick || ts != s.last_tick_slot) {
+    // Stage begins at a slot we have not ticked through yet; restart the
+    // trackers when that tick arrives.
+    s.env_pending_restart = true;
+    s.env_restart_ts = ts;
+    return;
+  }
+  // Stage begins at the slot we just processed: restart and replay the
+  // current slot's arrivals, exactly as the algorithm's own trackers do.
+  s.env_low->StartStage(ts);
+  s.env_high->StartStage(ts);
+  s.env_gh->StartStage(ts);
+  s.env_stage_start = ts;
+  const Ratio lo = s.env_low->LowAt(ts);
+  s.env_high->RecordArrivals(ts, s.last_in);
+  s.env_gh->RecordArrivals(ts, s.last_in);
+  const Ratio hi =
+      config_.global_utilization ? s.env_gh->HighAt() : s.env_high->HighAt();
+  s.env_low->RecordArrivals(s.last_in);
+  s.sample = {ts, lo, hi, true, /*exempt=*/true};
+  s.have_sample = true;
+  s.env_pending_restart = false;
+}
+
+void Auditor::CheckEnvelopeSample(Stream& s) {
+  const Stream::Sample sm = s.sample;
+  s.have_sample = false;
+  if (!sm.open || sm.exempt || !s.rate_known || s.signaling_seen) return;
+  const std::int64_t cap_raw = config_.max_bandwidth << Bandwidth::kShift;
+  // While low(t) exceeds B_A the algorithm saturates at B_A, so the lower
+  // envelope is effectively min(low, B_A).
+  if (RawBelowRatio(s.rate_raw, sm.lo) && s.rate_raw < cap_raw) {
+    Violate(s, "envelope", -1, sm.slot, s.rate_raw, RatioToRaw(sm.lo),
+            "serving rate below low(t) (raw Q16)");
+  }
+  // Theorem 7's variant holds B_A through the stage's first W slots.
+  const bool in_grace = config_.modified_variant &&
+                        sm.slot <= s.env_stage_start + config_.window;
+  if (!in_grace && RawAboveTwiceRatio(s.rate_raw, sm.hi)) {
+    Violate(s, "envelope", -1, sm.slot, s.rate_raw, 2 * RatioToRaw(sm.hi),
+            "serving rate above 2*high(t) (raw Q16)");
+  }
+}
+
+void Auditor::StepLowerBound(Stream& s, Time t, Bits in) {
+  const Ratio u_o(3, config_.inv_utilization);
+  if (!s.lb_init) {
+    s.lb_low.emplace(config_.max_delay / 2);
+    s.lb_high.emplace(config_.global_utilization ? Time{1} : config_.window,
+                      u_o, config_.max_bandwidth);
+    s.lb_low->StartStage(t);
+    s.lb_high->StartStage(t);
+    s.lb_ts = t;
+    s.lb_init = true;
+  }
+  const Ratio cap(config_.max_bandwidth, 1);
+  const Ratio lo = s.lb_low->LowAt(t);
+  bool crossed = cap < lo;
+  if (config_.global_utilization) {
+    s.lb_cum += in;
+    s.lb_min_global.Push(
+        Ratio(s.lb_cum * u_o.den(), u_o.num() * (t - s.lb_ts + 1)));
+    crossed = crossed || s.lb_min_global.value() < lo;
+  } else {
+    s.lb_high->RecordArrivals(t, in);
+    crossed = crossed || s.lb_high->HighAt() < lo;
+  }
+  if (crossed) {
+    ++s.lb_stages;
+    s.lb_ts = t + 1;
+    s.lb_low->StartStage(t + 1);
+    s.lb_high->StartStage(t + 1);
+    s.lb_cum = 0;
+    s.lb_min_global.Reset();
+  } else {
+    s.lb_low->RecordArrivals(in);
+  }
+}
+
+void Auditor::Finish() {
+  // All monitors are streaming; nothing is deferred to end-of-stream. The
+  // hook exists so callers signal completeness (and future monitors can
+  // flush).
+}
+
+std::string Auditor::ReportJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("events");
+  w.Value(events_);
+  w.Key("streams");
+  w.Value(streams());
+  w.Key("violations_total");
+  w.Value(total_violations_);
+  w.Key("suppressed");
+  w.Value(total_violations_ -
+          static_cast<std::int64_t>(violations_.size()));
+  w.Key("ok");
+  w.Value(total_violations_ == 0);
+  w.Key("by_monitor");
+  w.BeginObject();
+  for (const auto& [monitor, count] : counts_) {
+    w.Key(monitor);
+    w.Value(count);
+  }
+  w.EndObject();
+  w.Key("violations");
+  w.BeginArray();
+  for (const auto& v : violations_) {
+    w.BeginObject();
+    w.Key("monitor");
+    w.Value(v.monitor);
+    w.Key("suite");
+    w.Value(v.suite);
+    w.Key("cell");
+    w.Value(v.cell);
+    w.Key("slot");
+    w.Value(v.slot);
+    w.Key("session");
+    w.Value(v.session);
+    w.Key("measured");
+    w.Value(v.measured);
+    w.Key("bound");
+    w.Value(v.bound);
+    w.Key("detail");
+    w.Value(v.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string Auditor::FormatReport() const {
+  std::string out;
+  if (total_violations_ == 0) {
+    out += "audit: ok (" + std::to_string(events_) + " events, " +
+           std::to_string(streams()) + " streams)\n";
+    return out;
+  }
+  out += "audit: " + std::to_string(total_violations_) + " violation(s) (" +
+         std::to_string(events_) + " events, " + std::to_string(streams()) +
+         " streams)\n";
+  for (const auto& v : violations_) {
+    out += "  " + FormatViolation(v) + "\n";
+  }
+  const auto suppressed =
+      total_violations_ - static_cast<std::int64_t>(violations_.size());
+  if (suppressed > 0) {
+    out += "  ... " + std::to_string(suppressed) + " more suppressed\n";
+  }
+  return out;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,211 @@
+// Streaming theorem auditor over the trace event stream.
+//
+// The Auditor consumes the exact event stream the engines emit (live via
+// an AuditingSink spliced in front of any other TraceSink, or offline by
+// replaying an NDJSON trace through obs/trace_reader.h) and maintains a
+// set of incremental monitors, each tied to a claim of the paper:
+//
+//   conservation       queue bookkeeping closes slot by slot:
+//                      in - out = backlog, service never negative.
+//   incomplete_trace   the per-slot monitors need every slot_tick; a trace
+//                      that starts late or skips slots (e.g. a wrapped
+//                      RingBufferTraceSink flight recorder) is flagged once
+//                      and the per-slot monitors disarm.
+//   delay_bound        Theorem 6 / Lemma 3 (single: delay <= D_A) and
+//                      Theorem 14 (multi: delay <= 2 D_O), checked as a
+//                      cumulative-arrival cut: everything that arrived
+//                      through slot t - D must have left the queue by the
+//                      end of slot t. Under a degraded control plane
+//                      (signal loss/denial/timeout/retry/fallback events)
+//                      the bound is suspended while the episode is open —
+//                      a denial storm can stall commits indefinitely —
+//                      and bits from a closed episode are held to
+//                      max_delay + degraded_delay_slack; an episode only
+//                      closes once the backlog has drained and the plane
+//                      has been quiet, so recovery itself stays audited.
+//   envelope           Section 2 invariant of the online algorithm: while
+//                      a stage is open, low(t) <= B_on(t) <= 2 high(t)
+//                      (the <= 2 high side is what Lemma 5's utilization
+//                      guarantee rests on). Recomputed from the arrival
+//                      stream with the same LowTracker/HighTracker the
+//                      algorithm uses; crossing and RESET slots are exempt.
+//   stage_lower_bound  Lemma 1 / Lemma 13: every certified stage forces an
+//                      offline change. The auditor replays the offline
+//                      envelope-crossing lower bound (EnvelopeStageLower-
+//                      Bound) incrementally and checks certified_stages <=
+//                      lower_bound + stage_slack at every certification.
+//   stage_structure    stage events are well-nested (start .. certified)
+//                      and certified indexes are consecutive.
+//   change_budget      Theorem 6 accounting: at most l_A + 3 allocation
+//                      changes per stage (l_A = ceil log2 B_A), counting
+//                      the RESET drain edges. Suspended when signalling
+//                      events show commits are asynchronous.
+//   bandwidth_cap      committed rates never exceed B_A (single) or the
+//                      declared total 4 B_O / 5 B_O (multi, Theorems
+//                      14/17); overflow_cap tracks Lemma 10/16's total
+//                      overflow bandwidth <= 2 B_O / 3 B_O.
+//   phase_discipline   phased multi (Section 3.1): session rates change
+//                      only at phase boundaries; boundaries fall D_O apart
+//                      within a stage (phase_cadence); at most 2k session
+//                      rate changes happen per boundary slot (phase_budget,
+//                      the structural form of Lemma 12's 3k-per-stage).
+//   hwm_order          queue high-water marks are strictly increasing.
+//   slot_order         event slots are non-decreasing within a stream.
+//
+// Streams are keyed by (suite, cell), so one Auditor can digest a whole
+// batch trace; all state is incremental (O(window) memory per stream).
+// The auditor is deliberately decoupled from the engines: it sees only
+// what a consumer of the NDJSON trace would see, which is exactly what
+// makes it a trustworthy check on the engines themselves.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/audit/violation.h"
+#include "obs/trace_event.h"
+#include "obs/trace_reader.h"
+#include "obs/trace_sink.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct AuditConfig {
+  enum class Model { kSingle, kMulti };
+  Model model = Model::kSingle;
+
+  // --- guarantees under audit (0 disables the dependent monitors) ---
+  Time max_delay = 0;      // D_A (single) or 2 D_O (multi)
+  Bits max_bandwidth = 0;  // B_A; gates cap/envelope/lower-bound/budget
+  std::int64_t inv_utilization = 0;  // 1/U_A; U_O = 3/inv_utilization
+  Time window = 0;                   // W, the local-utilization window
+  bool global_utilization = false;   // online-global variant
+  bool modified_variant = false;     // Theorem 7 variant (B_A grace of W)
+
+  // --- multi-session (Section 3) ---
+  std::int64_t sessions = 0;        // k
+  Bits offline_bandwidth = 0;       // B_O
+  Time offline_delay = 0;           // D_O
+  bool phased = false;              // phase discipline + cadence monitors
+  Bits max_total_bandwidth = 0;     // declared-total cap (4 B_O / 5 B_O)
+  Bits max_overflow_bandwidth = 0;  // total overflow cap (2 B_O / 3 B_O)
+  // Combined (Section 4) restarts its local stage on level changes and
+  // global resets without certifying it, so stage events are not
+  // well-nested and certified indexes skip; this disables the
+  // stage_structure monitor while keeping the rest.
+  bool loose_stages = false;
+
+  // --- slacks ---
+  // Additive slots on max_delay, always applied: a signalling path with
+  // latency S erodes the delay bound by up to 2 S even fault-free
+  // (commits land late), so live audits pass 2 * (hops + jitter) + margin.
+  Time delay_slack = 0;
+  // Bound for bits that arrived during a degraded episode: max_delay +
+  // delay_slack + degraded_delay_slack. Negative = skip those bits.
+  Time degraded_delay_slack = -1;
+  // Quiet slots (no degraded signal events) after which, once the queue
+  // has drained, a degraded episode closes. 0 = max(max_delay, 8).
+  Time degraded_recovery = 0;
+  // certified_stages <= lower_bound + stage_slack. The default 1 absorbs
+  // the one-slot restart offset between the online stage clock and the
+  // offline comparator's.
+  std::int64_t stage_slack = 1;
+  std::int64_t change_budget_slack = 0;
+
+  // Violations beyond this count are tallied but not stored.
+  std::int64_t max_violations = 64;
+};
+
+// Config for auditing a single-session online run with the engine's own
+// (B_A, D_A, 1/U_A, W) parameters.
+AuditConfig SingleAuditConfig(Bits max_bandwidth, Time max_delay,
+                              std::int64_t inv_utilization, Time window);
+
+// Config for auditing a multi-session run from (k, B_O, D_O). `phased`
+// selects Theorem 14 bounds (4 B_O / 2 B_O + phase discipline) over
+// Theorem 17's (5 B_O / 3 B_O).
+AuditConfig MultiAuditConfig(std::int64_t sessions, Bits offline_bandwidth,
+                             Time offline_delay, bool phased);
+
+class Auditor {
+ public:
+  explicit Auditor(AuditConfig config = {});
+  ~Auditor();
+  Auditor(Auditor&&) noexcept;
+  Auditor& operator=(Auditor&&) noexcept;
+
+  // Feed one event (live path). Events of one stream must arrive in
+  // emission order; distinct streams may interleave.
+  void OnEvent(const TraceContext& ctx, const TraceEvent& event);
+  // Feed one parsed NDJSON record (replay path). Unknown event names are
+  // reported as a "format" violation rather than thrown.
+  void OnRecord(const TraceRecord& record);
+  // End-of-stream checks. Idempotent.
+  void Finish();
+
+  const AuditConfig& config() const { return config_; }
+  std::int64_t events() const { return events_; }
+  std::int64_t streams() const;
+  std::int64_t total_violations() const { return total_violations_; }
+  bool ok() const { return total_violations_ == 0; }
+  // Stored violations (capped at config.max_violations), stream order.
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+  // Per-monitor violation counts (includes suppressed ones).
+  const std::map<std::string, std::int64_t>& counts() const { return counts_; }
+
+  // {"events":N,"streams":N,"violations_total":N,"suppressed":N,
+  //  "ok":true,"by_monitor":{...},"violations":[...]} — byte-stable.
+  std::string ReportJson() const;
+  // Human report: one summary line plus one line per stored violation.
+  std::string FormatReport() const;
+
+ private:
+  struct Stream;
+
+  Stream& GetStream(const TraceContext& ctx);
+  void Violate(Stream& s, const char* monitor, std::int64_t session,
+               Time slot, std::int64_t measured, std::int64_t bound,
+               std::string detail);
+  void OnTick(Stream& s, const TraceEvent& e);
+  void OnStageEvent(Stream& s, const TraceEvent& e);
+  void OnAllocChange(Stream& s, const TraceEvent& e);
+  void StepEnvelope(Stream& s, Time t, Bits in);
+  void CheckEnvelopeSample(Stream& s);
+  void RestartEnvelope(Stream& s, Time ts);
+  void StepLowerBound(Stream& s, Time t, Bits in);
+
+  bool EnvelopeEnabled() const;
+  bool LowerBoundEnabled() const;
+  Time Recovery() const;
+
+  AuditConfig config_;
+  std::map<std::pair<std::string, std::int64_t>, std::unique_ptr<Stream>>
+      streams_;
+  std::vector<AuditViolation> violations_;
+  std::map<std::string, std::int64_t> counts_;
+  std::int64_t events_ = 0;
+  std::int64_t total_violations_ = 0;
+};
+
+// TraceSink splice: forwards every event to the auditor and (optionally)
+// to a downstream sink, so live runs audit and record in one pass.
+class AuditingSink final : public TraceSink {
+ public:
+  explicit AuditingSink(Auditor* auditor, TraceSink* downstream = nullptr)
+      : auditor_(auditor), downstream_(downstream) {}
+
+  void Emit(const TraceContext& ctx, const TraceEvent& event) override {
+    auditor_->OnEvent(ctx, event);
+    if (downstream_ != nullptr) downstream_->Emit(ctx, event);
+  }
+
+ private:
+  Auditor* auditor_;
+  TraceSink* downstream_;
+};
+
+}  // namespace bwalloc

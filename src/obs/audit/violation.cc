@@ -1,0 +1,39 @@
+#include "obs/audit/violation.h"
+
+#include "util/json_writer.h"
+
+namespace bwalloc {
+
+std::string ToJson(const AuditViolation& v) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("monitor");
+  w.Value(v.monitor);
+  w.Key("suite");
+  w.Value(v.suite);
+  w.Key("cell");
+  w.Value(v.cell);
+  w.Key("slot");
+  w.Value(v.slot);
+  w.Key("session");
+  w.Value(v.session);
+  w.Key("measured");
+  w.Value(v.measured);
+  w.Key("bound");
+  w.Value(v.bound);
+  w.Key("detail");
+  w.Value(v.detail);
+  w.EndObject();
+  return w.str();
+}
+
+std::string FormatViolation(const AuditViolation& v) {
+  std::string out = "[" + v.monitor + "] " + v.suite + "/" +
+                    std::to_string(v.cell) + " slot " + std::to_string(v.slot);
+  if (v.session >= 0) out += " session " + std::to_string(v.session);
+  out += ": " + v.detail + " (measured " + std::to_string(v.measured) +
+         ", bound " + std::to_string(v.bound) + ")";
+  return out;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,40 @@
+// A structured audit finding: one theorem-backed invariant broken at one
+// point of a trace stream.
+//
+// Violations are plain integer + string records so they serialize to the
+// same byte-stable JSON everywhere (no floats), mirroring the trace-line
+// discipline of obs/trace_sink.h. `measured` and `bound` are in whatever
+// unit the monitor checks (bits, slots, raw Q16 rates, stage counts);
+// `detail` names the unit so a reader never has to guess.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct AuditViolation {
+  std::string monitor;        // "delay_bound", "conservation", ...
+  std::string suite;
+  std::int64_t cell = 0;
+  std::int64_t session = -1;  // -1 = aggregate / no session scope
+  Time slot = 0;
+  std::int64_t measured = 0;
+  std::int64_t bound = 0;
+  std::string detail;
+
+  friend bool operator==(const AuditViolation&, const AuditViolation&) =
+      default;
+};
+
+// One-line JSON object (no trailing newline):
+//   {"monitor":"delay_bound","suite":"single","cell":0,"slot":17,
+//    "session":-1,"measured":9,"bound":8,"detail":"..."}
+std::string ToJson(const AuditViolation& v);
+
+// Human one-liner for terminal reports.
+std::string FormatViolation(const AuditViolation& v);
+
+}  // namespace bwalloc

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/trace_sink.h"
 #include "util/json_writer.h"
 
 namespace bwalloc {
@@ -134,29 +135,71 @@ TraceRecord ParseTraceLine(const std::string& line) {
   return FlatObjectParser(line).Parse();
 }
 
-std::vector<TraceRecord> ReadTrace(std::istream& in) {
+std::vector<TraceRecord> ReadTrace(std::istream& in,
+                                   const TraceReadOptions& options,
+                                   TraceReadStats* stats) {
   std::vector<TraceRecord> out;
   std::string line;
   std::int64_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
+    if (stats != nullptr) ++stats->lines;
     try {
       out.push_back(ParseTraceLine(line));
     } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
-                                  e.what());
+      if (!options.lenient) {
+        throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                    e.what());
+      }
+      if (stats != nullptr) {
+        ++stats->skipped;
+        if (stats->skipped_lines.size() < 5) {
+          stats->skipped_lines.push_back(lineno);
+        }
+      }
     }
   }
   return out;
 }
 
-std::vector<TraceRecord> ReadTraceFile(const std::string& path) {
+std::vector<TraceRecord> ReadTraceFile(const std::string& path,
+                                       const TraceReadOptions& options,
+                                       TraceReadStats* stats) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open trace file: " + path);
   }
-  return ReadTrace(in);
+  return ReadTrace(in, options, stats);
+}
+
+bool ParseEventTypeName(const std::string& name, TraceEventType* out) {
+  for (std::uint32_t i = 0; i < kTraceEventTypes; ++i) {
+    const auto type = static_cast<TraceEventType>(i);
+    if (name == EventTypeName(type)) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+TraceEvent ToTraceEvent(const TraceRecord& rec) {
+  TraceEvent event;
+  if (!ParseEventTypeName(rec.event, &event.type)) {
+    throw std::invalid_argument("unknown trace event name '" + rec.event +
+                                "'");
+  }
+  event.slot = rec.slot;
+  event.session = rec.session;
+  std::int64_t* fields[3] = {&event.a, &event.b, &event.c};
+  for (int f = 0; f < 3; ++f) {
+    const char* key = PayloadFieldName(event.type, f);
+    if (key == nullptr) continue;
+    const auto it = rec.payload.find(key);
+    if (it != rec.payload.end()) *fields[f] = it->second;
+  }
+  return event;
 }
 
 }  // namespace bwalloc

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_event.h"
 #include "util/types.h"
 
 namespace bwalloc {
@@ -30,12 +31,40 @@ struct TraceRecord {
 // text) on malformed input.
 TraceRecord ParseTraceLine(const std::string& line);
 
-// Reads every non-empty line of `in`. Throws std::invalid_argument with a
-// 1-based line number on the first malformed line.
-std::vector<TraceRecord> ReadTrace(std::istream& in);
+struct TraceReadOptions {
+  // Skip malformed/truncated lines instead of throwing. Each skip is
+  // counted (and capped in the error text at the first 5 line numbers via
+  // `skipped_lines`), so callers can still surface the damage.
+  bool lenient = false;
+};
+
+struct TraceReadStats {
+  std::int64_t lines = 0;    // non-empty lines seen
+  std::int64_t skipped = 0;  // malformed lines dropped (lenient mode only)
+  std::vector<std::int64_t> skipped_lines;  // 1-based, first 5
+};
+
+// Reads every non-empty line of `in`. Strict mode (the default) throws
+// std::invalid_argument with a 1-based line number on the first malformed
+// or truncated line; lenient mode skips such lines and counts them into
+// `stats` (which may be null).
+std::vector<TraceRecord> ReadTrace(std::istream& in,
+                                   const TraceReadOptions& options = {},
+                                   TraceReadStats* stats = nullptr);
 
 // Convenience: open + read a trace file. Throws std::runtime_error if the
 // file cannot be opened.
-std::vector<TraceRecord> ReadTraceFile(const std::string& path);
+std::vector<TraceRecord> ReadTraceFile(const std::string& path,
+                                       const TraceReadOptions& options = {},
+                                       TraceReadStats* stats = nullptr);
+
+// Reverse of FormatNdjson's name mapping: canonical event name back to the
+// enum. Returns false on an unknown name.
+bool ParseEventTypeName(const std::string& name, TraceEventType* out);
+
+// Converts a parsed record back to the typed event (payload keys map onto
+// the a/b/c fields per PayloadNames; unknown payload keys are ignored).
+// Throws std::invalid_argument on an unknown event name.
+TraceEvent ToTraceEvent(const TraceRecord& rec);
 
 }  // namespace bwalloc

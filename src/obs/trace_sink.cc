@@ -71,6 +71,14 @@ EventMask GroupMask(const std::string& name) {
 
 }  // namespace
 
+const char* PayloadFieldName(TraceEventType type, int field) {
+  const auto i = static_cast<std::uint32_t>(type);
+  BW_REQUIRE(i < kTraceEventTypes, "PayloadFieldName: bad event type");
+  BW_REQUIRE(field >= 0 && field < 3, "PayloadFieldName: bad field index");
+  const PayloadNames& names = kPayloadNames[i];
+  return field == 0 ? names.a : field == 1 ? names.b : names.c;
+}
+
 const char* EventTypeName(TraceEventType type) {
   const auto i = static_cast<std::uint32_t>(type);
   BW_REQUIRE(i < kTraceEventTypes, "EventTypeName: bad event type");

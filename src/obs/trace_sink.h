@@ -37,6 +37,10 @@ class TraceSink {
 // omitted, session is omitted when < 0. Integer-only: byte-stable.
 std::string FormatNdjson(const TraceContext& ctx, const TraceEvent& event);
 
+// Payload key of field 0..2 (the event's a/b/c) as FormatNdjson writes it;
+// nullptr when the event type omits that field.
+const char* PayloadFieldName(TraceEventType type, int field);
+
 class NdjsonTraceSink final : public TraceSink {
  public:
   explicit NdjsonTraceSink(std::ostream& out) : out_(out) {}

@@ -1,5 +1,6 @@
 #include "runner/suite.h"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,6 +9,7 @@
 #include "core/single_session.h"
 #include "core/stage_trace.h"
 #include "net/faults.h"
+#include "obs/audit/auditor.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
 #include "sim/engine_multi.h"
@@ -17,12 +19,34 @@
 namespace bwalloc {
 namespace {
 
+// Report-level cap on stored violations; the totals still count them all.
+constexpr std::int64_t kMaxAuditShown = 64;
+
 // One executed cell: its table row plus its aggregate contribution.
 struct CellOutcome {
   std::vector<std::string> row;
   AggregateStats stats;
   std::string trace_ndjson;  // this cell's events; empty unless spec.trace
+  std::int64_t audit_events = 0;
+  std::int64_t audit_total = 0;
+  std::vector<AuditViolation> audit_violations;
 };
+
+// Auditor for a single-session cell, tuned to the cell's own guarantees:
+// a faulty control plane erodes the delay bound by up to two commit
+// latencies even fault-free, and degraded episodes run under the
+// degraded-mode bound instead.
+AuditConfig SingleCellAuditConfig(const SuiteSpec& spec) {
+  AuditConfig cfg =
+      SingleAuditConfig(spec.ba, spec.da, spec.inv_ua, spec.window);
+  cfg.modified_variant = (spec.algo == "modified");
+  if (spec.fault_hops > 0) {
+    cfg.delay_slack = 2 * (spec.fault_hops + spec.fault_jitter) + 2;
+    cfg.degraded_delay_slack = 2 * spec.da + 64 * spec.fault_hops;
+  }
+  cfg.max_violations = kMaxAuditShown;
+  return cfg;
+}
 
 MultiWorkloadKind ParseMultiKind(const std::string& kind) {
   if (kind == "balanced") return MultiWorkloadKind::kBalanced;
@@ -59,9 +83,19 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
 
   CellOutcome out;
   BufferTraceSink sink;
+  std::optional<Auditor> auditor;
+  std::optional<AuditingSink> audit_sink;
+  if (spec.audit) {
+    auditor.emplace(SingleCellAuditConfig(spec));
+    audit_sink.emplace(&*auditor, spec.trace ? &sink : nullptr);
+  }
+  const bool observe = spec.trace || spec.audit;
   Tracer tracer;
-  if (spec.trace) {
-    tracer = Tracer(&sink, spec.trace_events, {spec.name, ctx.key.index});
+  if (observe) {
+    TraceSink* dest = spec.audit ? static_cast<TraceSink*>(&*audit_sink)
+                                 : static_cast<TraceSink*>(&sink);
+    const EventMask mask = spec.trace ? spec.trace_events : kAllEvents;
+    tracer = Tracer(dest, mask, {spec.name, ctx.key.index});
   }
   TracerStageObserver stage_observer(tracer);
 
@@ -81,11 +115,11 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
     RobustOptions ropts;
     ropts.fallback_bandwidth = spec.ba;
     auto inner = std::make_unique<SingleSessionOnline>(p, variant);
-    if (spec.trace) inner->SetObserver(&stage_observer);
+    if (observe) inner->SetObserver(&stage_observer);
     RobustSignalingAdapter adapter(
         std::move(inner), NetworkPath::Uniform(spec.fault_hops, 1, 1.0), plan,
         ropts);
-    if (spec.trace) adapter.SetTracer(tracer);
+    if (observe) adapter.SetTracer(tracer);
     // Degraded runs can hold a backlog for many retry rounds; give the
     // drain tail room proportional to the retry horizon.
     opt.drain_slots = 2 * spec.da + 64 * spec.fault_hops;
@@ -93,7 +127,7 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
     r.faults = adapter.fault_stats();
   } else {
     SingleSessionOnline alg(p, variant);
-    if (spec.trace) alg.SetObserver(&stage_observer);
+    if (observe) alg.SetObserver(&stage_observer);
     opt.drain_slots = 2 * spec.da;
     r = RunSingleSession(trace, alg, opt);
   }
@@ -114,6 +148,12 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
   }
   out.stats.Add(r);
   if (spec.trace) out.trace_ndjson = sink.ToNdjson();
+  if (auditor.has_value()) {
+    auditor->Finish();
+    out.audit_events = auditor->events();
+    out.audit_total = auditor->total_violations();
+    out.audit_violations = auditor->violations();
+  }
   return out;
 }
 
@@ -140,9 +180,21 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
 
   CellOutcome out;
   BufferTraceSink sink;
+  std::optional<Auditor> auditor;
+  std::optional<AuditingSink> audit_sink;
+  if (spec.audit) {
+    AuditConfig cfg = MultiAuditConfig(k, p.offline_bandwidth, spec.d_o,
+                                       spec.multi_algo == "phased");
+    cfg.max_violations = kMaxAuditShown;
+    auditor.emplace(cfg);
+    audit_sink.emplace(&*auditor, spec.trace ? &sink : nullptr);
+  }
   Tracer tracer;
-  if (spec.trace) {
-    tracer = Tracer(&sink, spec.trace_events, {spec.name, ctx.key.index});
+  if (spec.trace || spec.audit) {
+    TraceSink* dest = spec.audit ? static_cast<TraceSink*>(&*audit_sink)
+                                 : static_cast<TraceSink*>(&sink);
+    const EventMask mask = spec.trace ? spec.trace_events : kAllEvents;
+    tracer = Tracer(dest, mask, {spec.name, ctx.key.index});
   }
 
   MultiEngineOptions opt;
@@ -170,6 +222,12 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
              Table::Num(r.global_utilization, 3)};
   out.stats.Add(r);
   if (spec.trace) out.trace_ndjson = sink.ToNdjson();
+  if (auditor.has_value()) {
+    auditor->Finish();
+    out.audit_events = auditor->events();
+    out.audit_total = auditor->total_violations();
+    out.audit_violations = auditor->violations();
+  }
   return out;
 }
 
@@ -215,12 +273,23 @@ SuiteReport RunSuite(const SuiteSpec& spec, BatchRunner& runner) {
                                                      : RunMultiCell(spec, ctx);
       });
 
-  SuiteReport report{EmptyCellTable(spec), {}, std::move(batch.errors), {}};
+  SuiteReport report{EmptyCellTable(spec), {}, std::move(batch.errors),
+                     {},                  0,  0,
+                     {}};
   for (std::optional<CellOutcome>& cell : batch.results) {
     if (!cell.has_value()) continue;  // failed cell, reported via errors
     report.cells.AddRow(std::move(cell->row));
     report.aggregate.Merge(cell->stats);
     report.trace_ndjson += cell->trace_ndjson;
+    report.audit_events += cell->audit_events;
+    report.audit_total += cell->audit_total;
+    for (AuditViolation& v : cell->audit_violations) {
+      if (static_cast<std::int64_t>(report.audit_violations.size()) >=
+          kMaxAuditShown) {
+        break;
+      }
+      report.audit_violations.push_back(std::move(v));
+    }
   }
   return report;
 }
@@ -275,6 +344,19 @@ std::string FormatReport(const SuiteSpec& spec, const SuiteReport& report,
   }
   if (!report.errors.empty()) {
     out << "failed cells: " << FormatErrors(report.errors) << "\n";
+  }
+  if (spec.audit) {
+    out << "audit: events=" << report.audit_events
+        << " violations=" << report.audit_total
+        << (report.audit_total == 0 ? " (ok)" : "") << "\n";
+    for (const AuditViolation& v : report.audit_violations) {
+      out << "  " << FormatViolation(v) << "\n";
+    }
+    const std::int64_t shown =
+        static_cast<std::int64_t>(report.audit_violations.size());
+    if (report.audit_total > shown) {
+      out << "  ... and " << (report.audit_total - shown) << " more\n";
+    }
   }
   return out.str();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/table.h"
+#include "obs/audit/violation.h"
 #include "obs/trace_event.h"
 #include "runner/batch_runner.h"
 #include "runner/merge.h"
@@ -61,6 +62,12 @@ struct SuiteSpec {
   bool trace = false;
   EventMask trace_events = kAllEvents;
 
+  // Streaming theorem audit (obs/audit): every cell's event stream flows
+  // through an Auditor configured from the cell's own parameters (faulty
+  // cells get the degraded-mode delay bound). Works with or without
+  // `trace`; when both are set the auditor sees the trace_events mask.
+  bool audit = false;
+
   // Cells = grid points x seed streams.
   std::int64_t CellCount() const;
 };
@@ -72,7 +79,12 @@ struct SuiteReport {
   // NDJSON trace of every cell, cell-index order; empty unless spec.trace.
   std::string trace_ndjson;
 
-  bool ok() const { return errors.empty(); }
+  // Audit tallies, merged in cell-index order; populated when spec.audit.
+  std::int64_t audit_events = 0;
+  std::int64_t audit_total = 0;  // all violations, including suppressed
+  std::vector<AuditViolation> audit_violations;  // first kMaxAuditShown
+
+  bool ok() const { return errors.empty() && audit_total == 0; }
 };
 
 // Runs every cell of `spec` on `runner`. Throws only on spec errors

@@ -1,0 +1,283 @@
+#include "util/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json_writer.h"
+
+namespace bwalloc {
+
+namespace {
+
+[[noreturn]] void KindError(const char* want, JsonValue::Kind got) {
+  static const char* const kNames[] = {"null",   "bool",  "number",
+                                       "string", "array", "object"};
+  throw std::invalid_argument(std::string("JsonValue: expected ") + want +
+                              ", got " +
+                              kNames[static_cast<int>(got)]);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (i_ != s_.size()) Fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(i_));
+  }
+
+  void SkipSpace() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_])) != 0) {
+      ++i_;
+    }
+  }
+
+  char Peek() {
+    if (i_ >= s_.size()) Fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  bool Consume(const char* literal) {
+    const std::size_t n = std::string(literal).size();
+    if (s_.compare(i_, n, literal) == 0) {
+      i_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipSpace();
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return JsonValue::MakeString(ParseString());
+    if (Consume("null")) return JsonValue::MakeNull();
+    if (Consume("true")) return JsonValue::MakeBool(true);
+    if (Consume("false")) return JsonValue::MakeBool(false);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    Fail("unexpected character");
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    std::map<std::string, JsonValue> out;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++i_;
+      return JsonValue::MakeObject(std::move(out));
+    }
+    while (true) {
+      SkipSpace();
+      std::string key = ParseString();
+      SkipSpace();
+      Expect(':');
+      out[std::move(key)] = ParseValue();
+      SkipSpace();
+      const char c = Peek();
+      ++i_;
+      if (c == '}') break;
+      if (c != ',') Fail("expected ',' or '}' in object");
+    }
+    return JsonValue::MakeObject(std::move(out));
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    std::vector<JsonValue> out;
+    SkipSpace();
+    if (Peek() == ']') {
+      ++i_;
+      return JsonValue::MakeArray(std::move(out));
+    }
+    while (true) {
+      out.push_back(ParseValue());
+      SkipSpace();
+      const char c = Peek();
+      ++i_;
+      if (c == ']') break;
+      if (c != ',') Fail("expected ',' or ']' in array");
+    }
+    return JsonValue::MakeArray(std::move(out));
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string raw;
+    while (true) {
+      if (i_ >= s_.size()) Fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') break;
+      raw += c;
+      if (c == '\\') {
+        if (i_ >= s_.size()) Fail("unterminated string escape");
+        raw += s_[i_++];
+      }
+    }
+    try {
+      return JsonUnescape(raw);
+    } catch (const std::invalid_argument& e) {
+      Fail(e.what());
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = i_;
+    if (Peek() == '-') ++i_;
+    bool integral = true;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c >= '0' && c <= '9') {
+        ++i_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    const std::string text = s_.substr(start, i_ - start);
+    std::size_t pos = 0;
+    double d = 0.0;
+    try {
+      d = std::stod(text, &pos);
+    } catch (const std::exception&) {
+      Fail("malformed number '" + text + "'");
+    }
+    if (pos != text.size()) Fail("malformed number '" + text + "'");
+    std::int64_t iv = 0;
+    if (integral) {
+      try {
+        iv = std::stoll(text);
+      } catch (const std::out_of_range&) {
+        integral = false;  // too large for int64; keep the double
+      }
+    }
+    return JsonValue::MakeNumber(d, iv, integral);
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool) KindError("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ != Kind::kNumber) KindError("number", kind_);
+  return num_;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  if (kind_ != Kind::kNumber) KindError("number", kind_);
+  if (!integral_) {
+    throw std::invalid_argument("JsonValue: number is not an integer");
+  }
+  return int_;
+}
+
+const std::string& JsonValue::AsString() const {
+  if (kind_ != Kind::kString) KindError("string", kind_);
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (kind_ != Kind::kArray) KindError("array", kind_);
+  return arr_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  if (kind_ != Kind::kObject) KindError("object", kind_);
+  return obj_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) KindError("object", kind_);
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("JsonValue: missing key '" + key + "'");
+  }
+  return *v;
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v, std::int64_t i, bool integral) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.num_ = v;
+  out.int_ = i;
+  out.integral_ = integral;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.arr_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.obj_ = std::move(v);
+  return out;
+}
+
+JsonValue ParseJson(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+JsonValue ParseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open json file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return ParseJson(buf.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+}  // namespace bwalloc

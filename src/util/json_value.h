@@ -1,0 +1,76 @@
+// Recursive JSON document parser — the read-side counterpart of
+// JsonWriter.
+//
+// The trace pipeline keeps its fast flat parser (obs/trace_reader.h); this
+// one handles the general nested shape of the BENCH_<name>.json telemetry
+// files, where rows are arrays of objects and bounds can be null. Values
+// are held in a small tagged tree; numbers keep both an exact int64 (when
+// the text was integral) and a double, so bound comparisons stay exact
+// where the writer was exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bwalloc {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; throw std::invalid_argument on a kind mismatch so a
+  // schema walk reads as straight-line code.
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsInt() const;  // also throws if the number was not integral
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  // Object lookup: null pointer when the key is absent.
+  const JsonValue* Find(const std::string& key) const;
+  // Object lookup that throws (naming the key) when absent.
+  const JsonValue& At(const std::string& key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v, std::int64_t i, bool integral);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> v);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool integral_ = false;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+// Parses one complete JSON document (object, array, or scalar). Throws
+// std::invalid_argument with a character offset on malformed input,
+// including trailing non-whitespace.
+JsonValue ParseJson(const std::string& text);
+
+// Convenience: open + parse a file. Throws std::runtime_error if the file
+// cannot be read, std::invalid_argument (prefixed with the path) on
+// malformed JSON.
+JsonValue ParseJsonFile(const std::string& path);
+
+}  // namespace bwalloc

@@ -160,4 +160,9 @@ void JsonWriter::Value(bool v) {
   out_ += v ? "true" : "false";
 }
 
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
 }  // namespace bwalloc

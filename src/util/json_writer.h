@@ -43,6 +43,7 @@ class JsonWriter {
   void Value(int v) { Value(static_cast<std::int64_t>(v)); }
   void Value(double v);
   void Value(bool v);
+  void Null();
 
   const std::string& str() const { return out_; }
 

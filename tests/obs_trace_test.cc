@@ -118,6 +118,58 @@ TEST(TraceReader, ReportsLineNumbersOnMalformedInput) {
   }
 }
 
+// One valid line for corruption fixtures below.
+std::string ValidLine() {
+  return FormatNdjson({"s", 0}, {TraceEventType::kSlotTick, 5, -1, 10, 20, 0});
+}
+
+TEST(TraceReader, RejectsTruncatedFinalLineWithItsNumber) {
+  // A trace cut mid-write: the last line stops inside the object.
+  const std::string full = ValidLine();
+  std::istringstream in(ValidLine() + "\n" + ValidLine() + "\n" +
+                        full.substr(0, full.size() / 2) + "\n");
+  try {
+    ReadTrace(in);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TraceReader, RejectsBinaryGarbageStrictly) {
+  std::istringstream in(std::string("\x00\x01\xff garbage\n", 12));
+  EXPECT_THROW(ReadTrace(in), std::invalid_argument);
+}
+
+TEST(TraceReader, LenientSkipsMalformedLinesAndCountsThem) {
+  const std::string full = ValidLine();
+  std::istringstream in(ValidLine() + "\n" +
+                        "not json\n" +
+                        ValidLine() + "\n" +
+                        full.substr(0, full.size() - 4) + "\n" +
+                        ValidLine() + "\n");
+  TraceReadOptions opt;
+  opt.lenient = true;
+  TraceReadStats stats;
+  const auto records = ReadTrace(in, opt, &stats);
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(stats.lines, 5);
+  EXPECT_EQ(stats.skipped, 2);
+  ASSERT_EQ(stats.skipped_lines.size(), 2u);
+  EXPECT_EQ(stats.skipped_lines[0], 2);
+  EXPECT_EQ(stats.skipped_lines[1], 4);
+}
+
+TEST(TraceReader, LenientOnFullyCorruptInputReturnsNothing) {
+  std::istringstream in("garbage\nmore garbage\n");
+  TraceReadOptions opt;
+  opt.lenient = true;
+  TraceReadStats stats;
+  const auto records = ReadTrace(in, opt, &stats);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(stats.skipped, 2);
+}
+
 TEST(MetricsRegistry, CountersSumGaugesMaxHistogramsMerge) {
   MetricsRegistry a;
   a.Count("slots", 10);

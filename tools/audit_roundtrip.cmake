@@ -1,0 +1,46 @@
+# End-to-end auditor contract: a recorded run must audit clean with the
+# parameters it ran under, and the same trace must FAIL the audit when the
+# claimed guarantee contradicts it (here: pretending B_A was 8 when the
+# run committed rates up to 64) — the negative control that proves the
+# auditor actually reads the trace.
+#
+#   cmake -DBWSIM=path/to/bwsim -DOUT_DIR=work/dir -P audit_roundtrip.cmake
+if(NOT DEFINED BWSIM OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "audit_roundtrip.cmake: BWSIM and OUT_DIR required")
+endif()
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace_file "${OUT_DIR}/roundtrip.ndjson")
+
+execute_process(
+  COMMAND "${BWSIM}" single --workload mixed --horizon 1200 --seed 5
+          --trace-out "${trace_file}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "recording run failed (${exit_code})\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${BWSIM}" audit "${trace_file}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "clean trace failed its own audit (${exit_code})\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "audit: ok")
+  message(FATAL_ERROR "audit passed but did not report ok:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${BWSIM}" audit "${trace_file}" --ba 8 --json true
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 1)
+  message(FATAL_ERROR
+    "contradictory audit (--ba 8) exited ${exit_code}, expected 1\n${out}")
+endif()
+if(NOT out MATCHES "bandwidth_cap")
+  message(FATAL_ERROR
+    "contradictory audit did not name the bandwidth_cap monitor:\n${out}")
+endif()

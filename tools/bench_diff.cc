@@ -1,0 +1,387 @@
+// bench_diff — compare or validate trees of BENCH_<name>.json telemetry
+// files (written by bench::Reporter; schema documented in
+// bench/reporter.h).
+//
+//   bench_diff --validate DIR
+//       Schema-check every BENCH_*.json under DIR: required keys and
+//       types, kind in {max,min,info}, bound null exactly for info rows,
+//       per-row pass consistent with measured-vs-bound, file-level pass
+//       equal to the AND of the rows, and the filename stem matching the
+//       embedded bench name. Exit 1 on any violation (or when DIR holds
+//       no BENCH files at all, so a mis-wired CI step cannot pass
+//       vacuously).
+//
+//   bench_diff OLD_DIR NEW_DIR [--ns-slack=F]
+//       Diff two trees. Regressions (exit 1): a bench or bounded row
+//       present in OLD missing from NEW, any row whose pass flipped
+//       true -> false (with the measured/bound values that crossed), and
+//       ns_per_slot growing beyond F x the old value (default 1.5;
+//       --ns-slack=0 disables — wall-clock is advisory, so it is
+//       threshold-gated, never byte-compared). Improvements and new rows
+//       are reported as notes.
+//
+// Exit codes: 0 clean, 1 regressions/violations found, 2 usage or I/O
+// error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json_value.h"
+
+namespace {
+using bwalloc::JsonValue;
+
+// %.6g serialization keeps ~6 significant digits, so measured-vs-bound
+// re-checks must tolerate the round trip.
+bool RoughlyLe(double a, double b) {
+  return a <= b + 1e-5 * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+struct Report {
+  std::vector<std::string> regressions;
+  std::vector<std::string> notes;
+
+  void Regress(std::string msg) { regressions.push_back(std::move(msg)); }
+  void Note(std::string msg) { notes.push_back(std::move(msg)); }
+
+  int Print(const char* verb) const {
+    for (const std::string& r : regressions) {
+      std::printf("REGRESSION: %s\n", r.c_str());
+    }
+    for (const std::string& n : notes) {
+      std::printf("note: %s\n", n.c_str());
+    }
+    std::printf("bench_diff: %zu regression%s, %zu note%s (%s)\n",
+                regressions.size(), regressions.size() == 1 ? "" : "s",
+                notes.size(), notes.size() == 1 ? "" : "s", verb);
+    return regressions.empty() ? 0 : 1;
+  }
+};
+
+// Sorted BENCH_<name>.json paths under dir, keyed by <name>.
+std::map<std::string, std::string> FindBenchFiles(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("BENCH_", 0) != 0) continue;
+    if (fname.size() < 12 || fname.substr(fname.size() - 5) != ".json") {
+      continue;
+    }
+    out.emplace(fname.substr(6, fname.size() - 11), entry.path().string());
+  }
+  return out;
+}
+
+const JsonValue* Need(const JsonValue& obj, const std::string& key,
+                      JsonValue::Kind kind, const std::string& where,
+                      Report* rep) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    rep->Regress(where + ": missing key \"" + key + "\"");
+    return nullptr;
+  }
+  if (v->kind() != kind) {
+    rep->Regress(where + ": key \"" + key + "\" has the wrong type");
+    return nullptr;
+  }
+  return v;
+}
+
+void ValidateFile(const std::string& name, const std::string& path,
+                  Report* rep) {
+  JsonValue doc;
+  try {
+    doc = bwalloc::ParseJsonFile(path);
+  } catch (const std::exception& e) {
+    rep->Regress(path + ": " + e.what());
+    return;
+  }
+  if (!doc.is_object()) {
+    rep->Regress(path + ": top level is not an object");
+    return;
+  }
+  const JsonValue* bench =
+      Need(doc, "bench", JsonValue::Kind::kString, path, rep);
+  if (bench != nullptr && bench->AsString() != name) {
+    rep->Regress(path + ": embedded bench name \"" + bench->AsString() +
+                 "\" does not match the filename");
+  }
+  Need(doc, "quick", JsonValue::Kind::kBool, path, rep);
+  Need(doc, "jobs", JsonValue::Kind::kNumber, path, rep);
+  const JsonValue* pass = Need(doc, "pass", JsonValue::Kind::kBool, path, rep);
+
+  const JsonValue* thr =
+      Need(doc, "throughput", JsonValue::Kind::kObject, path, rep);
+  if (thr != nullptr) {
+    for (const char* key : {"slots", "cells", "wall_ns", "slots_per_sec",
+                            "cells_per_sec", "ns_per_slot"}) {
+      Need(*thr, key, JsonValue::Kind::kNumber, path + " throughput", rep);
+    }
+  }
+
+  const JsonValue* rows =
+      Need(doc, "rows", JsonValue::Kind::kArray, path, rep);
+  if (rows == nullptr) return;
+  bool all_rows_pass = true;
+  std::size_t index = 0;
+  for (const JsonValue& row : rows->AsArray()) {
+    const std::string where = path + " row " + std::to_string(index++);
+    if (!row.is_object()) {
+      rep->Regress(where + ": not an object");
+      continue;
+    }
+    Need(row, "label", JsonValue::Kind::kString, where, rep);
+    Need(row, "metric", JsonValue::Kind::kString, where, rep);
+    const JsonValue* measured =
+        Need(row, "measured", JsonValue::Kind::kNumber, where, rep);
+    const JsonValue* kind =
+        Need(row, "kind", JsonValue::Kind::kString, where, rep);
+    const JsonValue* row_pass =
+        Need(row, "pass", JsonValue::Kind::kBool, where, rep);
+    const JsonValue* bound = row.Find("bound");
+    if (bound == nullptr) {
+      rep->Regress(where + ": missing key \"bound\"");
+    }
+    if (kind == nullptr || row_pass == nullptr || measured == nullptr ||
+        bound == nullptr) {
+      all_rows_pass = all_rows_pass && row_pass != nullptr &&
+                      row_pass->AsBool();
+      continue;
+    }
+    const std::string& k = kind->AsString();
+    all_rows_pass = all_rows_pass && row_pass->AsBool();
+    if (k == "info") {
+      if (!bound->is_null()) {
+        rep->Regress(where + ": info row carries a non-null bound");
+      }
+      if (!row_pass->AsBool()) {
+        rep->Regress(where + ": info row marked failing");
+      }
+    } else if (k == "max" || k == "min") {
+      if (!bound->is_number()) {
+        rep->Regress(where + ": " + k + " row needs a numeric bound");
+      } else {
+        const double m = measured->AsDouble();
+        const double b = bound->AsDouble();
+        const bool holds = k == "max" ? RoughlyLe(m, b) : RoughlyLe(b, m);
+        if (row_pass->AsBool() && !holds) {
+          rep->Regress(where + ": pass=true contradicts measured vs bound");
+        }
+        if (!row_pass->AsBool() && holds) {
+          rep->Regress(where + ": pass=false contradicts measured vs bound");
+        }
+      }
+    } else {
+      rep->Regress(where + ": unknown kind \"" + k + "\"");
+    }
+  }
+  if (pass != nullptr && pass->AsBool() != all_rows_pass) {
+    rep->Regress(path + ": file-level pass is not the AND of the rows");
+  }
+}
+
+int RunValidate(const std::string& dir) {
+  Report rep;
+  std::map<std::string, std::string> files;
+  try {
+    files = FindBenchFiles(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  for (const auto& [name, path] : files) ValidateFile(name, path, &rep);
+  std::printf("bench_diff: validated %zu file%s under %s\n", files.size(),
+              files.size() == 1 ? "" : "s", dir.c_str());
+  return rep.Print("validate");
+}
+
+struct RowView {
+  std::string kind;
+  double measured = 0;
+  bool has_bound = false;
+  double bound = 0;
+  bool pass = true;
+};
+
+// (label, metric) -> row, for stable cross-run matching.
+std::map<std::pair<std::string, std::string>, RowView> IndexRows(
+    const JsonValue& doc) {
+  std::map<std::pair<std::string, std::string>, RowView> out;
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array()) return out;
+  for (const JsonValue& row : rows->AsArray()) {
+    if (!row.is_object()) continue;
+    const JsonValue* label = row.Find("label");
+    const JsonValue* metric = row.Find("metric");
+    if (label == nullptr || metric == nullptr || !label->is_string() ||
+        !metric->is_string()) {
+      continue;
+    }
+    RowView v;
+    if (const JsonValue* k = row.Find("kind"); k != nullptr && k->is_string())
+      v.kind = k->AsString();
+    if (const JsonValue* m = row.Find("measured");
+        m != nullptr && m->is_number())
+      v.measured = m->AsDouble();
+    if (const JsonValue* b = row.Find("bound");
+        b != nullptr && b->is_number()) {
+      v.has_bound = true;
+      v.bound = b->AsDouble();
+    }
+    if (const JsonValue* p = row.Find("pass"); p != nullptr && p->is_bool())
+      v.pass = p->AsBool();
+    out.emplace(std::make_pair(label->AsString(), metric->AsString()), v);
+  }
+  return out;
+}
+
+double NsPerSlot(const JsonValue& doc) {
+  const JsonValue* thr = doc.Find("throughput");
+  if (thr == nullptr || !thr->is_object()) return 0;
+  const JsonValue* ns = thr->Find("ns_per_slot");
+  return ns != nullptr && ns->is_number() ? ns->AsDouble() : 0;
+}
+
+bool QuickFlag(const JsonValue& doc) {
+  const JsonValue* q = doc.Find("quick");
+  return q != nullptr && q->is_bool() && q->AsBool();
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void DiffBench(const std::string& name, const JsonValue& before,
+               const JsonValue& after, double ns_slack, Report* rep) {
+  if (QuickFlag(before) != QuickFlag(after)) {
+    rep->Note(name + ": quick-mode mismatch between the two runs; "
+                     "row grids differ by design");
+  }
+  const auto old_rows = IndexRows(before);
+  const auto new_rows = IndexRows(after);
+  for (const auto& [key, old_row] : old_rows) {
+    const std::string where =
+        name + " [" + key.first + " " + key.second + "]";
+    const auto it = new_rows.find(key);
+    if (it == new_rows.end()) {
+      if (old_row.kind == "info") {
+        rep->Note(where + ": info row no longer emitted");
+      } else {
+        rep->Regress(where + ": bounded row disappeared");
+      }
+      continue;
+    }
+    const RowView& new_row = it->second;
+    if (old_row.pass && !new_row.pass) {
+      rep->Regress(where + ": pass -> fail (measured " +
+                   Num(old_row.measured) + " -> " + Num(new_row.measured) +
+                   (new_row.has_bound
+                        ? ", bound " + Num(new_row.bound) + ")"
+                        : ")"));
+    } else if (!old_row.pass && new_row.pass) {
+      rep->Note(where + ": fail -> pass (measured " +
+                Num(old_row.measured) + " -> " + Num(new_row.measured) +
+                ")");
+    }
+  }
+  for (const auto& [key, new_row] : new_rows) {
+    if (old_rows.count(key) != 0) continue;
+    rep->Note(name + " [" + key.first + " " + key.second + "]: new " +
+              (new_row.kind.empty() ? "row" : new_row.kind + " row"));
+  }
+  const double old_ns = NsPerSlot(before);
+  const double new_ns = NsPerSlot(after);
+  if (ns_slack > 0 && old_ns > 0 && new_ns > ns_slack * old_ns) {
+    rep->Regress(name + ": ns_per_slot " + Num(old_ns) + " -> " +
+                 Num(new_ns) + " exceeds the " + Num(ns_slack) +
+                 "x slack");
+  }
+}
+
+int RunDiff(const std::string& old_dir, const std::string& new_dir,
+            double ns_slack) {
+  std::map<std::string, std::string> old_files;
+  std::map<std::string, std::string> new_files;
+  try {
+    old_files = FindBenchFiles(old_dir);
+    new_files = FindBenchFiles(new_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+  if (old_files.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n",
+                 old_dir.c_str());
+    return 2;
+  }
+  Report rep;
+  for (const auto& [name, old_path] : old_files) {
+    const auto it = new_files.find(name);
+    if (it == new_files.end()) {
+      rep.Regress(name + ": bench disappeared from " + new_dir);
+      continue;
+    }
+    try {
+      const JsonValue before = bwalloc::ParseJsonFile(old_path);
+      const JsonValue after = bwalloc::ParseJsonFile(it->second);
+      DiffBench(name, before, after, ns_slack, &rep);
+    } catch (const std::exception& e) {
+      rep.Regress(std::string(e.what()));
+    }
+  }
+  for (const auto& [name, path] : new_files) {
+    if (old_files.count(name) == 0) rep.Note(name + ": new bench");
+  }
+  return rep.Print("diff");
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff --validate DIR\n"
+               "       bench_diff OLD_DIR NEW_DIR [--ns-slack=F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  double ns_slack = 1.5;
+  std::vector<std::string> positional;
+  bool validate = false;
+  for (const std::string& arg : args) {
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg.rfind("--ns-slack=", 0) == 0) {
+      try {
+        std::size_t used = 0;
+        ns_slack = std::stod(arg.substr(11), &used);
+        if (used != arg.size() - 11 || ns_slack < 0) return Usage();
+      } catch (const std::exception&) {
+        return Usage();
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (validate) {
+    if (positional.size() != 1) return Usage();
+    return RunValidate(positional[0]);
+  }
+  if (positional.size() != 2) return Usage();
+  return RunDiff(positional[0], positional[1], ns_slack);
+}

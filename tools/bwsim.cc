@@ -31,6 +31,24 @@
 //                          [--do 8]
 //                  tracing: [--trace events.ndjson] [--trace-events all]
 //   bwsim trace-summary --trace events.ndjson [--events 20] [--csv false]
+//   bwsim audit    <events.ndjson> (or --trace events.ndjson)
+//                  [--model single|multi] [--algo online] [--lenient]
+//                  single params: [--ba 64] [--da 16] [--inv-ua 6] [--w 16]
+//                  multi params:  [--k 4] [--bo 64] [--do 8]
+//                  slacks: [--delay-slack 0] [--degraded-delay-slack -1]
+//                  [--stage-slack 1] [--max-violations 64] [--json false]
+//                  replays a recorded trace through the streaming theorem
+//                  auditor (obs/audit) and exits 1 on any violation; the
+//                  params must match the run that produced the trace.
+//                  --lenient skips malformed NDJSON lines instead of
+//                  failing on the first one.
+//
+// `single`, `multi`, and `batch` also take --audit (default false): the
+// live event stream is spliced through the same auditor, violations are
+// reported after the run tables, and the exit code becomes 1 if any
+// monitor fired. Theorem algos are checked against their paper bounds;
+// baseline algos get only the structural monitors (conservation, event
+// ordering), since they promise no bounds.
 //
 // `batch` shards the workload x seed-stream grid over a thread pool
 // (--jobs 0 = hardware concurrency) and merges results in task order: the
@@ -55,6 +73,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/json.h"
@@ -70,6 +89,7 @@
 #include "core/single_session.h"
 #include "core/stage_trace.h"
 #include "net/faults.h"
+#include "obs/audit/auditor.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "obs/trace_reader.h"
@@ -95,7 +115,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: bwsim "
-      "<generate|single|multi|offline|tune|replay|batch|trace-summary> "
+      "<generate|single|multi|offline|tune|replay|batch|trace-summary|audit> "
       "[--flags]\n"
       "see the header of tools/bwsim.cc for the full reference\n");
   return 2;
@@ -183,6 +203,7 @@ int RunSingle(Flags& flags) {
   const std::string trace_events = flags.Str("trace-events", "all");
   const bool print_metrics = flags.Bool("metrics", false);
   const bool print_profile = flags.Bool("profile", false);
+  const bool audit = flags.Bool("audit", false);
   flags.CheckUnused();
   plan.Validate();
 
@@ -225,12 +246,35 @@ int RunSingle(Flags& flags) {
   opt.drain_slots = 4 * da;
   opt.utilization_scan_window = w + 5 * (da / 2);
 
+  const bool theorem_algo =
+      algo == "online" || algo == "modified" || algo == "online-global";
   BufferTraceSink sink;
-  if (!trace_out.empty()) {
-    opt.tracer = Tracer(&sink, ParseEventsFlag(trace_events), {"single", 0});
+  std::optional<Auditor> auditor;
+  std::optional<AuditingSink> audit_sink;
+  if (audit) {
+    AuditConfig cfg;  // baselines: structural monitors only
+    if (theorem_algo) {
+      cfg = SingleAuditConfig(ba, da, inv_ua, w);
+      cfg.modified_variant = algo == "modified";
+      cfg.global_utilization = algo == "online-global";
+      if (hops > 0) {
+        // Commits land up to one round-trip late even fault-free, and
+        // degraded episodes run out to the retry/fallback horizon.
+        cfg.delay_slack = 2 * (hops + plan.max_jitter) + 2;
+        cfg.degraded_delay_slack = 4 * da + 64 * hops;
+      }
+    }
+    auditor.emplace(cfg);
+    audit_sink.emplace(&*auditor, trace_out.empty() ? nullptr : &sink);
+  }
+  const bool observe = audit || !trace_out.empty();
+  if (observe) {
+    TraceSink* dest = audit ? static_cast<TraceSink*>(&*audit_sink)
+                            : static_cast<TraceSink*>(&sink);
+    opt.tracer = Tracer(dest, ParseEventsFlag(trace_events), {"single", 0});
   }
   TracerStageObserver stage_observer(opt.tracer);
-  if (!trace_out.empty()) {
+  if (observe) {
     if (auto* online = dynamic_cast<SingleSessionOnline*>(alloc.get())) {
       online->SetObserver(&stage_observer);
     }
@@ -247,18 +291,23 @@ int RunSingle(Flags& flags) {
     auto adapter = std::make_unique<RobustSignalingAdapter>(
         std::move(alloc), NetworkPath::Uniform(hops, 1, 1.0), plan, ropts);
     robust = adapter.get();
-    if (!trace_out.empty()) robust->SetTracer(opt.tracer);
+    if (observe) robust->SetTracer(opt.tracer);
     alloc = std::move(adapter);
     opt.drain_slots = 4 * da + 64 * hops;  // retry rounds lengthen drains
   }
   SingleRunResult r = RunSingleSession(trace, *alloc, opt);
   if (robust != nullptr) r.faults = robust->fault_stats();
 
+  if (auditor.has_value()) auditor->Finish();
   if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
   if (print_profile) std::fputs(profile.Format().c_str(), stderr);
   if (json) {
     std::printf("%s\n", ToJson(r).c_str());
     if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
+    if (auditor.has_value()) {
+      std::printf("%s\n", auditor->ReportJson().c_str());
+      return auditor->ok() ? 0 : 1;
+    }
     return 0;
   }
   Table table({"metric", "value"});
@@ -290,6 +339,10 @@ int RunSingle(Flags& flags) {
     table.PrintAscii(std::cout);
   }
   if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
+  if (auditor.has_value()) {
+    std::fputs(auditor->FormatReport().c_str(), stdout);
+    return auditor->ok() ? 0 : 1;
+  }
   return 0;
 }
 
@@ -308,6 +361,7 @@ int RunMulti(Flags& flags) {
   const std::string trace_events = flags.Str("trace-events", "all");
   const bool print_metrics = flags.Bool("metrics", false);
   const bool print_profile = flags.Bool("profile", false);
+  const bool audit = flags.Bool("audit", false);
   flags.CheckUnused();
 
   const std::vector<std::vector<Bits>> traces =
@@ -347,8 +401,27 @@ int RunMulti(Flags& flags) {
   MultiEngineOptions opt;
   opt.drain_slots = 8 * d_o;
   BufferTraceSink sink;
-  if (!trace_out.empty()) {
-    opt.tracer = Tracer(&sink, ParseEventsFlag(trace_events), {"multi", 0});
+  std::optional<Auditor> auditor;
+  std::optional<AuditingSink> audit_sink;
+  if (audit) {
+    AuditConfig cfg = MultiAuditConfig(k, bo, d_o, algo == "phased");
+    if (algo == "combined" || algo == "combined-continuous") {
+      // Combined allocates 7 B_O (phased inner) / 8 B_O (continuous inner)
+      // total; its overflow is folded into the global session, so the
+      // Lemma 10/16 split doesn't apply. kGlobalReset events disable the
+      // per-stream delay monitor automatically.
+      cfg.phased = false;
+      cfg.max_total_bandwidth = (algo == "combined" ? 7 : 8) * bo;
+      cfg.max_overflow_bandwidth = 0;
+      cfg.loose_stages = true;
+    }
+    auditor.emplace(cfg);
+    audit_sink.emplace(&*auditor, trace_out.empty() ? nullptr : &sink);
+  }
+  if (audit || !trace_out.empty()) {
+    TraceSink* dest = audit ? static_cast<TraceSink*>(&*audit_sink)
+                            : static_cast<TraceSink*>(&sink);
+    opt.tracer = Tracer(dest, ParseEventsFlag(trace_events), {"multi", 0});
   }
   MetricsRegistry metrics;
   if (print_metrics) opt.metrics = &metrics;
@@ -356,11 +429,16 @@ int RunMulti(Flags& flags) {
   if (print_profile) opt.profile = &profile;
   const MultiRunResult r = RunMultiSession(traces, *sys, opt);
 
+  if (auditor.has_value()) auditor->Finish();
   if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
   if (print_profile) std::fputs(profile.Format().c_str(), stderr);
   if (json) {
     std::printf("%s\n", ToJson(r).c_str());
     if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
+    if (auditor.has_value()) {
+      std::printf("%s\n", auditor->ReportJson().c_str());
+      return auditor->ok() ? 0 : 1;
+    }
     return 0;
   }
   Table table({"metric", "value"});
@@ -382,6 +460,10 @@ int RunMulti(Flags& flags) {
     table.PrintAscii(std::cout);
   }
   if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
+  if (auditor.has_value()) {
+    std::fputs(auditor->FormatReport().c_str(), stdout);
+    return auditor->ok() ? 0 : 1;
+  }
   return 0;
 }
 
@@ -508,6 +590,7 @@ int RunBatch(Flags& flags) {
   const std::string trace_out = flags.Str("trace", "");
   const std::string trace_events = flags.Str("trace-events", "all");
   const bool print_metrics = flags.Bool("metrics", false);
+  const bool audit = flags.Bool("audit", false);
 
   SuiteSpec spec;
   spec.name = flags.Str("name", "batch");
@@ -560,6 +643,7 @@ int RunBatch(Flags& flags) {
     spec.trace = true;
     spec.trace_events = ParseEventsFlag(trace_events);
   }
+  spec.audit = audit;
 
   BatchRunner runner(BatchOptions{jobs, base_seed});
   const SuiteReport report = RunSuite(spec, runner);
@@ -586,6 +670,11 @@ int RunTraceSummary(Flags& flags) {
   }
 
   const TraceSummary summary = Summarize(ReadTraceFile(trace_path));
+  if (summary.total_events == 0) {
+    std::fprintf(stderr, "bwsim: trace %s contains no events\n",
+                 trace_path.c_str());
+    return 1;
+  }
   std::printf("%lld events, slots [%lld, %lld]\n",
               static_cast<long long>(summary.total_events),
               static_cast<long long>(summary.first_slot),
@@ -635,12 +724,112 @@ int RunTraceSummary(Flags& flags) {
   return 0;
 }
 
+// Replays a recorded NDJSON trace through the streaming theorem auditor.
+// Exit 0 = clean, 1 = violations (or unreadable/empty trace), 2 = usage.
+int RunAudit(Flags& flags, const std::string& positional) {
+  const std::string flag_path = flags.Str("trace", "");
+  const std::string model = flags.Str("model", "single");
+  const std::string algo =
+      flags.Str("algo", model == "multi" ? "phased" : "online");
+  const Bits ba = flags.Int("ba", 64);
+  const Time da = flags.Int("da", 16);
+  const std::int64_t inv_ua = flags.Int("inv-ua", 6);
+  const Time w = flags.Int("w", 2 * (da / 2));
+  const std::int64_t k = flags.Int("k", 4);
+  const Bits bo = flags.Int("bo", 64);
+  const Time d_o = flags.Int("do", 8);
+  const Time delay_slack = flags.Int("delay-slack", 0);
+  const Time degraded_slack = flags.Int("degraded-delay-slack", -1);
+  const std::int64_t stage_slack = flags.Int("stage-slack", 1);
+  const std::int64_t max_violations = flags.Int("max-violations", 64);
+  const bool lenient = flags.Bool("lenient", false);
+  const bool json = flags.Bool("json", false);
+  flags.CheckUnused();
+
+  const std::string path = positional.empty() ? flag_path : positional;
+  if (path.empty()) {
+    throw tools::UsageError("audit needs a trace: bwsim audit FILE "
+                            "(or --trace FILE)");
+  }
+  if (!positional.empty() && !flag_path.empty()) {
+    throw tools::UsageError("audit got both a positional trace and --trace");
+  }
+
+  AuditConfig cfg;
+  if (model == "single") {
+    if (algo == "online" || algo == "modified" || algo == "online-global") {
+      cfg = SingleAuditConfig(ba, da, inv_ua, w);
+      cfg.modified_variant = algo == "modified";
+      cfg.global_utilization = algo == "online-global";
+    } else {
+      throw tools::UsageError("flag --algo: audit --model single knows "
+                              "online|modified|online-global, got " + algo);
+    }
+  } else if (model == "multi") {
+    if (algo == "phased" || algo == "continuous") {
+      cfg = MultiAuditConfig(k, bo, d_o, algo == "phased");
+    } else if (algo == "combined" || algo == "combined-continuous") {
+      cfg = MultiAuditConfig(k, bo, d_o, false);
+      cfg.max_total_bandwidth = (algo == "combined" ? 7 : 8) * bo;
+      cfg.max_overflow_bandwidth = 0;
+      cfg.loose_stages = true;
+    } else {
+      throw tools::UsageError(
+          "flag --algo: audit --model multi knows "
+          "phased|continuous|combined|combined-continuous, got " + algo);
+    }
+  } else {
+    throw tools::UsageError("flag --model: expected single|multi, got " +
+                            model);
+  }
+  cfg.delay_slack = delay_slack;
+  cfg.degraded_delay_slack = degraded_slack;
+  cfg.stage_slack = stage_slack;
+  cfg.max_violations = max_violations;
+
+  TraceReadOptions ropt;
+  ropt.lenient = lenient;
+  TraceReadStats stats;
+  std::vector<TraceRecord> records;
+  try {
+    records = ReadTraceFile(path, ropt, &stats);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bwsim: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "bwsim: trace %s contains no events\n", path.c_str());
+    return 1;
+  }
+
+  Auditor auditor(cfg);
+  for (const TraceRecord& rec : records) auditor.OnRecord(rec);
+  auditor.Finish();
+
+  if (json) {
+    std::printf("%s\n", auditor.ReportJson().c_str());
+  } else {
+    std::fputs(auditor.FormatReport().c_str(), stdout);
+    if (stats.skipped > 0) {
+      std::printf("lenient: skipped %lld malformed line(s)\n",
+                  static_cast<long long>(stats.skipped));
+    }
+  }
+  return auditor.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   try {
+    // `audit` takes an optional positional trace path before its flags.
+    if (command == "audit") {
+      const bool positional = argc >= 3 && argv[2][0] != '-';
+      Flags flags(argc, argv, positional ? 3 : 2);
+      return RunAudit(flags, positional ? argv[2] : "");
+    }
     Flags flags(argc, argv, 2);
     if (command == "generate") return RunGenerate(flags);
     if (command == "single") return RunSingle(flags);

@@ -9,6 +9,10 @@
 #                             # obs + trace-summary unit tests, the CLI
 #                             # usage-error tests, and the --jobs NDJSON
 #                             # invariance test
+#   tools/check.sh audit      # auditor subset under asan: the audit unit
+#                             # tests, the bwsim audit CLI contract, the
+#                             # audited-batch --jobs invariance test, and
+#                             # every bench --quick schema check
 #
 # Build trees are kept per sanitizer (build-asan/, build-tsan/) so repeat
 # runs are incremental. Exits non-zero on any configure, build, or test
@@ -26,8 +30,12 @@ case "$mode" in
     sanitize="address,undefined"; dir="${2:-$repo/build-asan}"
     test_filter=(-R 'obs_trace|trace_summary|TraceSummary|Tracer|Metrics|bwsim_trace|bwsim_cli')
     ;;
+  audit)
+    sanitize="address,undefined"; dir="${2:-$repo/build-asan}"
+    test_filter=(-R 'audit|quick_schema')
+    ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|trace] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace|audit] [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,40 @@
+# Determinism guard for the live audit path: the same faulted batch suite
+# run with --audit true at --jobs=1 and --jobs=4 must print byte-identical
+# reports (violation records reduce in cell-index order, like every other
+# batch artifact).
+#
+#   cmake -DBWSIM=path/to/bwsim -DOUT_DIR=work/dir -P compare_audit_jobs.cmake
+if(NOT DEFINED BWSIM OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "compare_audit_jobs.cmake: BWSIM and OUT_DIR required")
+endif()
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(SUITE_ARGS
+  batch --suite single --workloads onoff,mixed --seeds 2 --horizon 600
+  --fault-hops 2 --fault-loss 0.15 --fault-denial 0.1 --audit true)
+
+foreach(jobs 1 4)
+  execute_process(
+    COMMAND "${BWSIM}" ${SUITE_ARGS} --jobs ${jobs}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "audited batch --jobs ${jobs} failed (${exit_code})\n${out}\n${err}")
+  endif()
+  if(NOT out MATCHES "audit")
+    message(FATAL_ERROR
+      "--audit true produced no audit section at --jobs ${jobs}:\n${out}")
+  endif()
+  file(WRITE "${OUT_DIR}/audit_jobs${jobs}.txt" "${out}")
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${OUT_DIR}/audit_jobs1.txt" "${OUT_DIR}/audit_jobs4.txt"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+    "audited batch output differs between --jobs 1 and --jobs 4")
+endif()
