@@ -19,6 +19,27 @@ void WriteDelay(JsonWriter& w, const DelayHistogram& delay) {
   w.EndObject();
 }
 
+void WriteFaults(JsonWriter& w, const FaultStats& faults) {
+  w.BeginObject();
+  w.Key("requests");
+  w.Value(faults.requests);
+  w.Key("commits");
+  w.Value(faults.commits);
+  w.Key("losses");
+  w.Value(faults.losses);
+  w.Key("denials");
+  w.Value(faults.denials);
+  w.Key("partial_grants");
+  w.Value(faults.partial_grants);
+  w.Key("timeouts");
+  w.Value(faults.timeouts);
+  w.Key("retries");
+  w.Value(faults.retries);
+  w.Key("fallbacks");
+  w.Value(faults.fallbacks);
+  w.EndObject();
+}
+
 }  // namespace
 
 std::string ToJson(const SingleRunResult& result) {
@@ -49,24 +70,7 @@ std::string ToJson(const SingleRunResult& result) {
   w.Key("peak_allocation");
   w.Value(result.peak_allocation.ToDouble());
   w.Key("faults");
-  w.BeginObject();
-  w.Key("requests");
-  w.Value(result.faults.requests);
-  w.Key("commits");
-  w.Value(result.faults.commits);
-  w.Key("losses");
-  w.Value(result.faults.losses);
-  w.Key("denials");
-  w.Value(result.faults.denials);
-  w.Key("partial_grants");
-  w.Value(result.faults.partial_grants);
-  w.Key("timeouts");
-  w.Value(result.faults.timeouts);
-  w.Key("retries");
-  w.Value(result.faults.retries);
-  w.Key("fallbacks");
-  w.Value(result.faults.fallbacks);
-  w.EndObject();
+  WriteFaults(w, result.faults);
   w.Key("delay");
   WriteDelay(w, result.delay);
   w.EndObject();
@@ -98,6 +102,8 @@ std::string ToJson(const MultiRunResult& result) {
   w.Value(result.global_utilization);
   w.Key("peak_total_allocation");
   w.Value(result.peak_total_allocation.ToDouble());
+  w.Key("faults");
+  WriteFaults(w, result.faults);
   w.Key("delay");
   WriteDelay(w, result.delay);
   w.Key("per_session_max_delay");
@@ -106,6 +112,14 @@ std::string ToJson(const MultiRunResult& result) {
     w.Value(h.max_delay());
   }
   w.EndArray();
+  if (!result.per_session_faults.empty()) {
+    w.Key("per_session_faults");
+    w.BeginArray();
+    for (const FaultStats& s : result.per_session_faults) {
+      WriteFaults(w, s);
+    }
+    w.EndArray();
+  }
   w.EndObject();
   return w.str();
 }

@@ -66,6 +66,21 @@ struct FaultPlan {
                "FaultPlan: partial_grant_rate must be in [0, 1]");
     BW_REQUIRE(max_jitter >= 0, "FaultPlan: max_jitter must be >= 0");
   }
+
+  // Stricter check for retry-based users (the robust adapters and the CLI
+  // front ends): a plan that loses every message or denies every increase
+  // can never commit, so a capped retry loop makes progress impossible.
+  // Bare channels may still carry such plans — the timeout/denial tests
+  // depend on them — which is why this is not folded into Validate().
+  void ValidateRecoverable() const {
+    Validate();
+    BW_REQUIRE(loss_rate < 1.0,
+               "FaultPlan: loss_rate 1.0 loses every request; capped "
+               "retries can never make progress");
+    BW_REQUIRE(denial_rate < 1.0,
+               "FaultPlan: denial_rate 1.0 denies every increase; capped "
+               "retries can never make progress");
+  }
 };
 
 // A signalling channel whose requests traverse the path hop by hop and can
@@ -248,6 +263,7 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
         opts_(options),
         backoff_(options.initial_backoff) {
     BW_REQUIRE(inner_ != nullptr, "RobustSignalingAdapter: null inner");
+    plan.ValidateRecoverable();
     opts_.Validate();
   }
 

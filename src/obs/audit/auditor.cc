@@ -91,6 +91,15 @@ struct Auditor::Stream {
   // --- multi conservation ---
   Bits shunt_pending = 0;  // kGlobalReset bits since the previous tick
 
+  // --- per-session recovery liveness (fault_recovery monitor) ---
+  struct SignalLane {
+    bool pending = false;     // a request is unresolved
+    bool episode = false;     // degraded events since the last recovery
+    std::int64_t last_request_raw = 0;
+    Time last_activity = 0;   // slot of the lane's last signal event
+  };
+  std::map<std::int64_t, SignalLane> signal_lanes;
+
   // --- stage structure, keyed by the event's session scope ---
   struct StageBook {
     bool open = false;
@@ -287,21 +296,50 @@ void Auditor::OnEvent(const TraceContext& ctx, const TraceEvent& event) {
     }
     case T::kOverflowShunt:
       break;  // queue moves between channels; conservation sees no change
-    case T::kSignalRequest:
-    case T::kSignalCommit:
+    case T::kSignalRequest: {
       s.signaling_seen = true;
+      auto& lane = s.signal_lanes[event.session];
+      lane.pending = true;
+      lane.last_request_raw = event.a;
+      lane.last_activity = event.slot;
       break;
+    }
+    case T::kSignalCommit: {
+      s.signaling_seen = true;
+      auto& lane = s.signal_lanes[event.session];
+      lane.last_activity = event.slot;
+      if (event.a == lane.last_request_raw) {
+        // The last ask committed in full: the retry loop converged.
+        lane.pending = false;
+        lane.episode = false;
+      }
+      break;
+    }
+    case T::kSignalRecover: {
+      // Explicit re-convergence marker from a robust adapter; closes the
+      // lane's degraded window without itself being a degraded event.
+      s.signaling_seen = true;
+      auto& lane = s.signal_lanes[event.session];
+      lane.pending = false;
+      lane.episode = false;
+      lane.last_activity = event.slot;
+      break;
+    }
     case T::kSignalLoss:
     case T::kSignalDenial:
     case T::kSignalPartial:
     case T::kSignalTimeout:
     case T::kSignalRetry:
-    case T::kSignalFallback:
+    case T::kSignalFallback: {
       s.signaling_seen = true;
       s.episode_active = true;
       if (event.slot > s.last_degraded_slot) s.last_degraded_slot = event.slot;
       if (event.slot > s.strict_after) s.strict_after = event.slot;
+      auto& lane = s.signal_lanes[event.session];
+      lane.episode = true;
+      if (event.slot > lane.last_activity) lane.last_activity = event.slot;
       break;
+    }
     default:
       break;
   }
@@ -407,6 +445,21 @@ void Auditor::OnTick(Stream& s, const TraceEvent& e) {
         s.episode_active = false;
       } else if (t > s.strict_after) {
         s.strict_after = t;
+      }
+    }
+
+    // Recovery liveness: a degraded lane must keep signalling — retry,
+    // time out, commit, or declare recovery — within the retry bound.
+    if (config_.fault_recovery_bound > 0) {
+      for (auto& [session, lane] : s.signal_lanes) {
+        if (lane.episode &&
+            t > lane.last_activity + config_.fault_recovery_bound) {
+          Violate(s, "fault_recovery", session, t, t - lane.last_activity,
+                  config_.fault_recovery_bound,
+                  "degraded session lane went silent without recovering "
+                  "to a committed allocation");
+          lane.episode = false;  // report each stuck window once
+        }
       }
     }
 
@@ -548,7 +601,10 @@ void Auditor::OnAllocChange(Stream& s, const TraceEvent& e) {
     }
   }
 
-  if (config_.phased) {
+  // Under a live signalling plane a committed session rate changes when
+  // its ACK lands, not when the algorithm decided it — boundary discipline
+  // only binds the fault-free path (mirrors change_budget's suspension).
+  if (config_.phased && !s.signaling_seen) {
     if (e.slot != s.last_boundary_slot) {
       Violate(s, "phase_discipline", e.session, e.slot, e.slot,
               s.last_boundary_slot,

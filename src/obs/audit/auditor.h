@@ -40,6 +40,13 @@
 //                      changes per stage (l_A = ceil log2 B_A), counting
 //                      the RESET drain edges. Suspended when signalling
 //                      events show commits are asynchronous.
+//   fault_recovery     per-session recovery liveness: a lane that saw a
+//                      degraded signal event must keep making signalling
+//                      progress — a new request, commit, timeout, or an
+//                      explicit signal_recover marking re-convergence to
+//                      the algorithm's intent — within the configured
+//                      retry bound of its last activity; a lane that goes
+//                      silent mid-episode is flagged.
 //   bandwidth_cap      committed rates never exceed B_A (single) or the
 //                      declared total 4 B_O / 5 B_O (multi, Theorems
 //                      14/17); overflow_cap tracks Lemma 10/16's total
@@ -49,6 +56,10 @@
 //                      within a stage (phase_cadence); at most 2k session
 //                      rate changes happen per boundary slot (phase_budget,
 //                      the structural form of Lemma 12's 3k-per-stage).
+//                      Like change_budget, discipline and budget are
+//                      suspended once signalling events show commits land
+//                      asynchronously — a committed rate can then change
+//                      whenever an ACK arrives, not only at boundaries.
 //   hwm_order          queue high-water marks are strictly increasing.
 //   slot_order         event slots are non-decreasing within a stream.
 //
@@ -110,6 +121,13 @@ struct AuditConfig {
   // Quiet slots (no degraded signal events) after which, once the queue
   // has drained, a degraded episode closes. 0 = max(max_delay, 8).
   Time degraded_recovery = 0;
+  // Per-session recovery liveness (fault_recovery monitor): once a session
+  // lane sees a degraded signal event, its retry loop must keep making
+  // progress — another request, commit, timeout, or an explicit
+  // signal_recover — within this many slots of its last signal activity.
+  // Callers size it to cover one full backoff-capped retry cycle
+  // (max_backoff + worst-case response + margin). 0 disables the monitor.
+  Time fault_recovery_bound = 0;
   // certified_stages <= lower_bound + stage_slack. The default 1 absorbs
   // the one-slot restart offset between the online stage clock and the
   // offline comparator's.

@@ -39,6 +39,7 @@ enum class TraceEventType : std::uint32_t {
   kSignalTimeout,       // a=slot the deadline expired
   kSignalRetry,         // a=re-asked rate raw, b=backoff before this attempt
   kSignalFallback,      // a=fallback drain rate in bits/slot
+  kSignalRecover,       // a=re-converged committed rate raw
   kEventTypeCount,      // sentinel — keep last
 };
 

@@ -35,6 +35,7 @@ constexpr PayloadNames kPayloadNames[kTraceEventTypes] = {
     /*kSignalTimeout*/ {"deadline", nullptr, nullptr},
     /*kSignalRetry*/ {"ask_raw", "backoff", nullptr},
     /*kSignalFallback*/ {"rate", nullptr, nullptr},
+    /*kSignalRecover*/ {"rate_raw", nullptr, nullptr},
 };
 
 constexpr const char* kEventNames[kTraceEventTypes] = {
@@ -42,7 +43,7 @@ constexpr const char* kEventNames[kTraceEventTypes] = {
     "global_reset",   "level_change",   "alloc_change",    "queue_hwm",
     "phase_boundary", "overflow_shunt", "signal_request",  "signal_commit",
     "signal_loss",    "signal_denial",  "signal_partial",  "signal_timeout",
-    "signal_retry",   "signal_fallback",
+    "signal_retry",   "signal_fallback", "signal_recover",
 };
 
 // Group names accepted by ParseEventMask in addition to exact event names.
@@ -64,7 +65,8 @@ EventMask GroupMask(const std::string& name) {
     return EventBit(T::kSignalRequest) | EventBit(T::kSignalCommit) |
            EventBit(T::kSignalLoss) | EventBit(T::kSignalDenial) |
            EventBit(T::kSignalPartial) | EventBit(T::kSignalTimeout) |
-           EventBit(T::kSignalRetry) | EventBit(T::kSignalFallback);
+           EventBit(T::kSignalRetry) | EventBit(T::kSignalFallback) |
+           EventBit(T::kSignalRecover);
   }
   return 0;
 }

@@ -32,6 +32,7 @@ void AggregateStats::Add(const MultiRunResult& r) {
   global_changes += r.global_changes;
   stages += r.stages;
   total_allocated_raw += r.total_allocated_raw;
+  faults.Merge(r.faults);
   max_delay = std::max(max_delay, r.delay.max_delay());
   peak_allocation = std::max(peak_allocation, r.peak_total_allocation);
   if (r.total_arrivals > 0) {

@@ -9,6 +9,7 @@
 #include "core/single_session.h"
 #include "core/stage_trace.h"
 #include "net/faults.h"
+#include "net/multi_faults.h"
 #include "obs/audit/auditor.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
@@ -43,6 +44,23 @@ AuditConfig SingleCellAuditConfig(const SuiteSpec& spec) {
   if (spec.fault_hops > 0) {
     cfg.delay_slack = 2 * (spec.fault_hops + spec.fault_jitter) + 2;
     cfg.degraded_delay_slack = 2 * spec.da + 64 * spec.fault_hops;
+  }
+  cfg.max_violations = kMaxAuditShown;
+  return cfg;
+}
+
+// Auditor for a multi-session cell. Faulty cells additionally get the
+// degraded-mode delay bound and the per-lane recovery-liveness monitor
+// sized to one backoff-capped retry cycle.
+AuditConfig MultiCellAuditConfig(const SuiteSpec& spec, std::int64_t k,
+                                 Bits offline_bandwidth) {
+  AuditConfig cfg = MultiAuditConfig(k, offline_bandwidth, spec.d_o,
+                                     spec.multi_algo == "phased");
+  if (spec.fault_hops > 0) {
+    cfg.delay_slack = 2 * (spec.fault_hops + spec.fault_jitter) + 2;
+    cfg.degraded_delay_slack = 8 * spec.d_o + 64 * spec.fault_hops;
+    cfg.fault_recovery_bound =
+        64 + 2 * (spec.fault_hops + spec.fault_jitter) + 8;
   }
   cfg.max_violations = kMaxAuditShown;
   return cfg;
@@ -183,10 +201,7 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
   std::optional<Auditor> auditor;
   std::optional<AuditingSink> audit_sink;
   if (spec.audit) {
-    AuditConfig cfg = MultiAuditConfig(k, p.offline_bandwidth, spec.d_o,
-                                       spec.multi_algo == "phased");
-    cfg.max_violations = kMaxAuditShown;
-    auditor.emplace(cfg);
+    auditor.emplace(MultiCellAuditConfig(spec, k, p.offline_bandwidth));
     audit_sink.emplace(&*auditor, spec.trace ? &sink : nullptr);
   }
   Tracer tracer;
@@ -201,15 +216,40 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
   opt.drain_slots = 4 * spec.d_o;
   opt.tracer = tracer;
   opt.metrics = &out.stats.metrics;
-  MultiRunResult r;
+
+  std::unique_ptr<MultiSessionSystem> sys;
   if (spec.multi_algo == "phased") {
-    PhasedMulti sys(p);
-    r = RunMultiSession(traces, sys, opt);
+    sys = std::make_unique<PhasedMulti>(p);
   } else if (spec.multi_algo == "continuous") {
-    ContinuousMulti sys(p);
-    r = RunMultiSession(traces, sys, opt);
+    sys = std::make_unique<ContinuousMulti>(p);
   } else {
     throw std::invalid_argument("unknown suite multi algo: " + spec.multi_algo);
+  }
+  RobustMultiSessionAdapter* robust = nullptr;
+  if (spec.fault_hops > 0) {
+    FaultPlan plan;
+    plan.loss_rate = spec.fault_loss;
+    plan.denial_rate = spec.fault_denial;
+    plan.partial_grant_rate = spec.fault_partial;
+    plan.max_jitter = spec.fault_jitter;
+    plan.seed = SplitMix64(ctx.seed);
+    RobustMultiOptions mopts;
+    // Fall back to the algorithm's declared total (4 B_O phased,
+    // 5 B_O continuous): a RESET drain may not starve any session.
+    mopts.fallback_bandwidth =
+        (spec.multi_algo == "phased" ? 4 : 5) * p.offline_bandwidth;
+    auto adapter = std::make_unique<RobustMultiSessionAdapter>(
+        std::move(sys), NetworkPath::Uniform(spec.fault_hops, 1, 1.0), plan,
+        mopts);
+    robust = adapter.get();
+    sys = std::move(adapter);
+    // Degraded lanes can hold a backlog for many retry rounds.
+    opt.drain_slots = 8 * spec.d_o + 64 * spec.fault_hops;
+  }
+  MultiRunResult r = RunMultiSession(traces, *sys, opt);
+  if (robust != nullptr) {
+    r.faults = robust->fault_stats();
+    r.per_session_faults = robust->per_session_fault_stats();
   }
 
   out.row = {kind,
@@ -220,6 +260,12 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
              Table::Num(r.local_changes),
              Table::Num(r.stages),
              Table::Num(r.global_utilization, 3)};
+  if (spec.fault_hops > 0) {
+    out.row.push_back(Table::Num(r.faults.losses));
+    out.row.push_back(Table::Num(r.faults.denials));
+    out.row.push_back(Table::Num(r.faults.retries));
+    out.row.push_back(Table::Num(r.faults.fallbacks));
+  }
   out.stats.Add(r);
   if (spec.trace) out.trace_ndjson = sink.ToNdjson();
   if (auditor.has_value()) {
@@ -241,8 +287,13 @@ Table EmptyCellTable(const SuiteSpec& spec) {
     }
     return Table(cols);
   }
-  return Table({"kind", "k", "stream", "max delay", "p99 delay", "changes",
-                "stages", "global util"});
+  std::vector<std::string> cols = {"kind",      "k",      "stream",
+                                   "max delay", "p99 delay", "changes",
+                                   "stages",    "global util"};
+  if (spec.fault_hops > 0) {
+    cols.insert(cols.end(), {"losses", "denials", "retries", "fallbacks"});
+  }
+  return Table(cols);
 }
 
 }  // namespace
@@ -264,7 +315,9 @@ SuiteReport RunSuite(const SuiteSpec& spec, BatchRunner& runner) {
     plan.denial_rate = spec.fault_denial;
     plan.partial_grant_rate = spec.fault_partial;
     plan.max_jitter = spec.fault_jitter;
-    plan.Validate();  // reject bad rates before sharding the grid
+    // Reject bad rates — including progress-impossible ones under capped
+    // retries — before sharding the grid.
+    plan.ValidateRecoverable();
   }
 
   BatchResult<CellOutcome> batch = runner.Map<CellOutcome>(
@@ -312,6 +365,13 @@ std::string FormatReport(const SuiteSpec& spec, const SuiteReport& report,
   } else {
     out << "multi-session algo=" << spec.multi_algo
         << " B_O=" << spec.per_session_bo << "*k D_O=" << spec.d_o;
+    if (spec.fault_hops > 0) {
+      out << " faults[hops=" << spec.fault_hops << " loss="
+          << Table::Num(spec.fault_loss, 3) << " denial="
+          << Table::Num(spec.fault_denial, 3) << " partial="
+          << Table::Num(spec.fault_partial, 3)
+          << " jitter=" << spec.fault_jitter << "]";
+    }
   }
   out << " horizon=" << spec.horizon << " streams=" << spec.seeds
       << " cells=" << spec.CellCount() << "\n\n";

@@ -38,9 +38,10 @@ struct SuiteSpec {
   std::int64_t inv_ua = 6;
   Time window = 8;
 
-  // Unreliable control plane (single-session cells only). When
-  // fault_hops > 0 every cell runs behind a RobustSignalingAdapter over a
-  // fault_hops-switch path; the FaultPlan seed derives from the cell's
+  // Unreliable control plane (both grid kinds). When fault_hops > 0 every
+  // cell runs behind a RobustSignalingAdapter (single) or a
+  // RobustMultiSessionAdapter with one fault lane per session (multi) over
+  // a fault_hops-switch path; the FaultPlan seed derives from the cell's
   // task seed, so the grid replays bitwise at any --jobs value.
   std::int64_t fault_hops = 0;
   double fault_loss = 0.0;

@@ -93,6 +93,13 @@ struct MultiRunResult {
   Bandwidth peak_total_allocation;
   Bandwidth peak_regular_allocation;
   Bandwidth peak_overflow_allocation;
+
+  // Control-plane degradation counters; all-zero unless the run went
+  // through a fault-injected multi-session adapter (the engine cannot see
+  // the adapter, so the caller copies adapter.fault_stats() in after the
+  // run). `faults` is the exact sum of `per_session_faults`.
+  FaultStats faults;
+  std::vector<FaultStats> per_session_faults;
 };
 
 }  // namespace bwalloc

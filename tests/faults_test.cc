@@ -50,6 +50,29 @@ TEST(FaultPlan, ValidatesRates) {
   EXPECT_THROW(plan.Validate(), std::invalid_argument);
 }
 
+// Regression: Validate() stays range-only (the bare channel legitimately
+// models rate-1.0 storms, see CertainLossNeverCommits below), while the
+// retry-based users reject progress-impossible combinations up front.
+TEST(FaultPlan, RecoverableRejectsProgressImpossibleRates) {
+  FaultPlan plan;
+  plan.loss_rate = 1.0;
+  EXPECT_NO_THROW(plan.Validate());
+  EXPECT_THROW(plan.ValidateRecoverable(), std::invalid_argument);
+  plan.loss_rate = 0.0;
+  plan.denial_rate = 1.0;
+  EXPECT_NO_THROW(plan.Validate());
+  EXPECT_THROW(plan.ValidateRecoverable(), std::invalid_argument);
+  plan.denial_rate = 0.99;
+  EXPECT_NO_THROW(plan.ValidateRecoverable());
+  // The adapter enforces it at construction: capped retries against a
+  // rate-1.0 plan would spin forever without ever committing.
+  plan.denial_rate = 1.0;
+  EXPECT_THROW(RobustSignalingAdapter(
+                   std::make_unique<SingleSessionOnline>(Params()),
+                   NetworkPath::Uniform(2, 1, 1.0), plan, Opts()),
+               std::invalid_argument);
+}
+
 TEST(FaultySignalingChannel, TrivialPlanCommitsAfterLatency) {
   FaultySignalingChannel ch(NetworkPath::Uniform(3, 1, 1.0), FaultPlan{});
   ch.Request(0, Bandwidth::FromBitsPerSlot(8));
@@ -202,6 +225,35 @@ TEST(RobustSignalingAdapter, DenialStarvationTriggersFallbackDrain) {
   EXPECT_GT(s.denials, 0);
   EXPECT_GE(s.fallbacks, 1) << "starved increases must escalate to a "
                                "RESET-style full-rate drain";
+  EXPECT_EQ(r.total_arrivals, r.total_delivered + r.final_queue);
+  EXPECT_EQ(r.final_queue, 0) << "the fallback drain keeps the queue bounded";
+  EXPECT_LE(r.peak_allocation, Bandwidth::FromBitsPerSlot(64));
+}
+
+// Retry exhaustion at the backoff cap: a storm of losses and denials keeps
+// every attempt failing long enough that the backoff doubles to its cap
+// and stays there over many consecutive retry rounds, while arrivals keep
+// the backlog persistent. The contract: the RESET-style fallback drain
+// still engages, the queue stays bounded by it, and no bits are lost.
+TEST(RobustSignalingAdapter, RetryExhaustionAtBackoffCapStillDrains) {
+  const auto trace = SingleSessionWorkload("onoff", 64, 8, 6000, 81);
+  FaultPlan plan;
+  plan.loss_rate = 0.5;
+  plan.denial_rate = 0.45;
+  plan.seed = 91;
+  RobustOptions ropts = Opts();
+  ropts.max_backoff = 8;  // cap is hit after three failed attempts
+  RobustSignalingAdapter wrapped(
+      std::make_unique<SingleSessionOnline>(Params()),
+      NetworkPath::Uniform(4, 1, 1.0), plan, ropts);
+  SingleEngineOptions opt;
+  opt.drain_slots = 4000;
+  const SingleRunResult r = RunSingleSession(trace, wrapped, opt);
+  const FaultStats s = wrapped.fault_stats();
+  EXPECT_GT(s.timeouts, 10) << "the loss storm must exhaust many attempts";
+  EXPECT_GT(s.retries, 3 * s.fallbacks)
+      << "retry rounds keep cycling at the capped backoff between drains";
+  EXPECT_GE(s.fallbacks, 1) << "denial streaks must escalate to the drain";
   EXPECT_EQ(r.total_arrivals, r.total_delivered + r.final_queue);
   EXPECT_EQ(r.final_queue, 0) << "the fallback drain keeps the queue bounded";
   EXPECT_LE(r.peak_allocation, Bandwidth::FromBitsPerSlot(64));

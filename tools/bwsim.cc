@@ -13,6 +13,12 @@
 //   bwsim multi    --algo phased|continuous|combined --k 4 --bo 64 --do 8
 //                  [--kind rotating-hotspot | --trace file.csv]
 //                  [--horizon 4000] [--seed 1]
+//                  unreliable control plane: [--hops 4] [--loss 0.1]
+//                  [--denial 0.1] [--partial 0.0] [--jitter 2]
+//                  [--fault-seed 0] — wraps the system in a
+//                  RobustMultiSessionAdapter (one fault lane, retry state
+//                  machine, and RESET-style fallback per session) and
+//                  reports merged degraded-mode counters
 //   bwsim offline  (--workload mixed | --trace file) --bo 64 --do 8
 //                  [--inv-uo 2] [--w 16] [--horizon 4000] [--seed 1]
 //   bwsim tune     (--workload mixed | --trace file) --ba 64 --da 16
@@ -28,7 +34,8 @@
 //                          [--fault-jitter 0]
 //                  multi:  [--kinds balanced,churn,...] [--ks 2,4,8]
 //                          [--algo phased|continuous] [--bo-per-session 16]
-//                          [--do 8]
+//                          [--do 8] and the same --fault-* flags as single
+//                          (per-session fault lanes derived from one seed)
 //                  tracing: [--trace events.ndjson] [--trace-events all]
 //   bwsim trace-summary --trace events.ndjson [--events 20] [--csv false]
 //   bwsim audit    <events.ndjson> (or --trace events.ndjson)
@@ -89,6 +96,7 @@
 #include "core/single_session.h"
 #include "core/stage_trace.h"
 #include "net/faults.h"
+#include "net/multi_faults.h"
 #include "obs/audit/auditor.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
@@ -127,6 +135,39 @@ EventMask ParseEventsFlag(const std::string& spec) {
     return ParseEventMask(spec);
   } catch (const std::invalid_argument& e) {
     throw tools::UsageError(std::string("flag --trace-events: ") + e.what());
+  }
+}
+
+// Fault-plan values are flag errors, not simulation errors: out-of-range
+// rates and rate combinations that make progress impossible under capped
+// retries (loss or denial at 1.0) exit 2 naming the offending flag,
+// before any run starts. `batch` selects the --fault-* spellings.
+void CheckFaultPlanFlags(const FaultPlan& plan, bool batch) {
+  const std::string loss = batch ? "--fault-loss" : "--loss";
+  const std::string denial = batch ? "--fault-denial" : "--denial";
+  const std::string partial = batch ? "--fault-partial" : "--partial";
+  const std::string jitter = batch ? "--fault-jitter" : "--jitter";
+  if (plan.loss_rate < 0.0 || plan.loss_rate > 1.0) {
+    throw tools::UsageError("flag " + loss + ": rate must be in [0, 1]");
+  }
+  if (plan.denial_rate < 0.0 || plan.denial_rate > 1.0) {
+    throw tools::UsageError("flag " + denial + ": rate must be in [0, 1]");
+  }
+  if (plan.partial_grant_rate < 0.0 || plan.partial_grant_rate > 1.0) {
+    throw tools::UsageError("flag " + partial + ": rate must be in [0, 1]");
+  }
+  if (plan.max_jitter < 0) {
+    throw tools::UsageError("flag " + jitter + ": jitter must be >= 0");
+  }
+  if (plan.loss_rate >= 1.0) {
+    throw tools::UsageError("flag " + loss +
+                            ": rate 1.0 loses every request; capped retries "
+                            "can never make progress");
+  }
+  if (plan.denial_rate >= 1.0) {
+    throw tools::UsageError("flag " + denial +
+                            ": rate 1.0 denies every increase; capped "
+                            "retries can never make progress");
   }
 }
 
@@ -205,7 +246,7 @@ int RunSingle(Flags& flags) {
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
   flags.CheckUnused();
-  plan.Validate();
+  CheckFaultPlanFlags(plan, /*batch=*/false);
 
   const std::vector<Bits> trace =
       trace_path.empty()
@@ -357,12 +398,20 @@ int RunMulti(Flags& flags) {
   const std::string trace_path = flags.Str("trace", "");
   const bool csv = flags.Bool("csv", false);
   const bool json = flags.Bool("json", false);
+  const std::int64_t hops = flags.Int("hops", 0);
+  FaultPlan plan;
+  plan.loss_rate = flags.Double("loss", 0.0);
+  plan.denial_rate = flags.Double("denial", 0.0);
+  plan.partial_grant_rate = flags.Double("partial", 0.0);
+  plan.max_jitter = flags.Int("jitter", 0);
+  plan.seed = static_cast<std::uint64_t>(flags.Int("fault-seed", 0));
   const std::string trace_out = flags.Str("trace-out", "");
   const std::string trace_events = flags.Str("trace-events", "all");
   const bool print_metrics = flags.Bool("metrics", false);
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
   flags.CheckUnused();
+  CheckFaultPlanFlags(plan, /*batch=*/false);
 
   const std::vector<std::vector<Bits>> traces =
       trace_path.empty()
@@ -398,8 +447,26 @@ int RunMulti(Flags& flags) {
     throw std::invalid_argument("unknown --algo: " + algo);
   }
 
+  // Declared-total bandwidth of the chosen algorithm: the fallback drain
+  // rate under a degraded control plane and the audited total cap.
+  const Bits declared_total =
+      (algo == "phased" ? 4 : algo == "continuous" ? 5
+                          : algo == "combined"     ? 7
+                                                   : 8) *
+      bo;
+  RobustMultiSessionAdapter* robust = nullptr;
+  if (hops > 0) {
+    RobustMultiOptions mopts;
+    mopts.fallback_bandwidth = declared_total;
+    auto adapter = std::make_unique<RobustMultiSessionAdapter>(
+        std::move(sys), NetworkPath::Uniform(hops, 1, 1.0), plan, mopts);
+    robust = adapter.get();
+    sys = std::move(adapter);
+  }
+
   MultiEngineOptions opt;
-  opt.drain_slots = 8 * d_o;
+  // Retry rounds and backed-off lanes lengthen drains.
+  opt.drain_slots = 8 * d_o + (hops > 0 ? 64 * hops : 0);
   BufferTraceSink sink;
   std::optional<Auditor> auditor;
   std::optional<AuditingSink> audit_sink;
@@ -411,9 +478,23 @@ int RunMulti(Flags& flags) {
       // Lemma 10/16 split doesn't apply. kGlobalReset events disable the
       // per-stream delay monitor automatically.
       cfg.phased = false;
-      cfg.max_total_bandwidth = (algo == "combined" ? 7 : 8) * bo;
+      cfg.max_total_bandwidth = declared_total;
       cfg.max_overflow_bandwidth = 0;
       cfg.loose_stages = true;
+    }
+    if (hops > 0) {
+      // Commits land up to one round-trip late even fault-free; degraded
+      // lanes run out to the retry/fallback horizon. The recovery bound
+      // covers one backoff-capped cycle plus the worst-case response.
+      cfg.delay_slack = 2 * (hops + plan.max_jitter) + 2;
+      cfg.degraded_delay_slack = 8 * d_o + 64 * hops;
+      cfg.fault_recovery_bound = 64 + 2 * (hops + plan.max_jitter) + 8;
+      if (algo == "combined" || algo == "combined-continuous") {
+        // The adapter suppresses the inner system's kGlobalReset events
+        // (they describe uncommitted allocations), so the delay monitor
+        // never sees the RESETs that would disarm it; disable it outright.
+        cfg.max_delay = 0;
+      }
     }
     auditor.emplace(cfg);
     audit_sink.emplace(&*auditor, trace_out.empty() ? nullptr : &sink);
@@ -427,7 +508,11 @@ int RunMulti(Flags& flags) {
   if (print_metrics) opt.metrics = &metrics;
   PhaseProfile profile;
   if (print_profile) opt.profile = &profile;
-  const MultiRunResult r = RunMultiSession(traces, *sys, opt);
+  MultiRunResult r = RunMultiSession(traces, *sys, opt);
+  if (robust != nullptr) {
+    r.faults = robust->fault_stats();
+    r.per_session_faults = robust->per_session_fault_stats();
+  }
 
   if (auditor.has_value()) auditor->Finish();
   if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
@@ -454,6 +539,16 @@ int RunMulti(Flags& flags) {
       .AddRow({"global stages", Table::Num(r.global_stages)})
       .AddRow({"global util", Table::Num(r.global_utilization, 3)})
       .AddRow({"peak total alloc", r.peak_total_allocation.ToString()});
+  if (hops > 0) {
+    table.AddRow({"signal requests", Table::Num(r.faults.requests)})
+        .AddRow({"signal commits", Table::Num(r.faults.commits)})
+        .AddRow({"signal losses", Table::Num(r.faults.losses)})
+        .AddRow({"signal denials", Table::Num(r.faults.denials)})
+        .AddRow({"partial grants", Table::Num(r.faults.partial_grants)})
+        .AddRow({"timeouts", Table::Num(r.faults.timeouts)})
+        .AddRow({"retries", Table::Num(r.faults.retries)})
+        .AddRow({"fallback drains", Table::Num(r.faults.fallbacks)});
+  }
   if (csv) {
     table.PrintCsv(std::cout);
   } else {
@@ -598,6 +693,13 @@ int RunBatch(Flags& flags) {
   spec.horizon = flags.Int("horizon", 4000);
   const auto base_seed = static_cast<std::uint64_t>(flags.Int("base-seed", 0));
 
+  // The unreliable-control-plane flags apply to both suite kinds.
+  spec.fault_hops = flags.Int("fault-hops", 0);
+  spec.fault_loss = flags.Double("fault-loss", 0.0);
+  spec.fault_denial = flags.Double("fault-denial", 0.0);
+  spec.fault_partial = flags.Double("fault-partial", 0.0);
+  spec.fault_jitter = flags.Int("fault-jitter", 0);
+
   if (suite_kind == "single") {
     spec.kind = SuiteSpec::Kind::kSingle;
     const std::string workloads = flags.Str("workloads", "");
@@ -607,11 +709,6 @@ int RunBatch(Flags& flags) {
     spec.da = flags.Int("da", 16);
     spec.inv_ua = flags.Int("inv-ua", 6);
     spec.window = flags.Int("w", 8);
-    spec.fault_hops = flags.Int("fault-hops", 0);
-    spec.fault_loss = flags.Double("fault-loss", 0.0);
-    spec.fault_denial = flags.Double("fault-denial", 0.0);
-    spec.fault_partial = flags.Double("fault-partial", 0.0);
-    spec.fault_jitter = flags.Int("fault-jitter", 0);
   } else if (suite_kind == "multi") {
     spec.kind = SuiteSpec::Kind::kMulti;
     const std::string kinds = flags.Str("kinds", "");
@@ -639,6 +736,14 @@ int RunBatch(Flags& flags) {
     throw std::invalid_argument("unknown --suite: " + suite_kind);
   }
   flags.CheckUnused();
+  {
+    FaultPlan plan;
+    plan.loss_rate = spec.fault_loss;
+    plan.denial_rate = spec.fault_denial;
+    plan.partial_grant_rate = spec.fault_partial;
+    plan.max_jitter = spec.fault_jitter;
+    CheckFaultPlanFlags(plan, /*batch=*/true);
+  }
   if (!trace_out.empty()) {
     spec.trace = true;
     spec.trace_events = ParseEventsFlag(trace_events);

@@ -13,6 +13,12 @@
 #                             # tests, the bwsim audit CLI contract, the
 #                             # audited-batch --jobs invariance test, and
 #                             # every bench --quick schema check
+#   tools/check.sh faults-multi
+#                             # multi-session fault subset under tsan: the
+#                             # per-session fault-lane unit tests and the
+#                             # bench_faults_multi --jobs invariance +
+#                             # schema checks (the adapter shards over the
+#                             # batch runner, so races surface here)
 #
 # Build trees are kept per sanitizer (build-asan/, build-tsan/) so repeat
 # runs are incremental. Exits non-zero on any configure, build, or test
@@ -34,8 +40,12 @@ case "$mode" in
     sanitize="address,undefined"; dir="${2:-$repo/build-asan}"
     test_filter=(-R 'audit|quick_schema')
     ;;
+  faults-multi)
+    sanitize="thread"; dir="${2:-$repo/build-tsan}"
+    test_filter=(-R 'faults_multi|PerSessionPlan|RobustMultiSessionAdapter|MultiFaultSuite')
+    ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|trace|audit] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi] [build-dir]" >&2
     exit 2
     ;;
 esac
