@@ -13,7 +13,9 @@ CombinedOnline::CombinedOnline(const CombinedParams& params,
       // unbounded; 2 B_O caps B_on's range (low <= B_O within a stage on
       // feasible input, so B_on <= 2 B_O).
       high_tracker_(params.window, params.offline_utilization,
-                    2 * params.offline_bandwidth) {
+                    2 * params.offline_bandwidth),
+      reduce_wheel_(params.offline_delay + 2),
+      hot_(params.sessions) {
   params_.Validate();
 }
 
@@ -134,6 +136,9 @@ void CombinedOnline::GlobalReset(Time now) {
 void CombinedOnline::Step(Time now, std::span<const Bits> arrivals) {
   BW_REQUIRE(static_cast<std::int64_t>(arrivals.size()) == params_.sessions,
              "CombinedOnline::Step: arrival vector size mismatch");
+  BW_CHECK(mode_ != StepMode::kSparse,
+           "CombinedOnline: dense Step after sparse stepping");
+  mode_ = StepMode::kDense;
   if (!started_) {
     started_ = true;
     StartGlobalStage(now);
@@ -187,6 +192,206 @@ void CombinedOnline::Step(Time now, std::span<const Bits> arrivals) {
   channels_.ServeSlot(now);
 
   // Global overflow channel: 2 B_O while draining a GLOBAL RESET's queue.
+  global_bw_ = global_queue_.empty()
+                   ? Bandwidth::Zero()
+                   : Bandwidth::FromBitsPerSlot(2 * params_.offline_bandwidth);
+  global_delivered_ += global_queue_.ServeSlot(now, global_bw_, &global_delay_);
+}
+
+// --- event-driven path -------------------------------------------------------
+//
+// A session outside the hot set has empty queues, zero overflow allocation,
+// and regular allocation equal to the *current* share_. All local-stage and
+// GLOBAL RESET actions are value-preserving no-ops on such sessions — with
+// one exception: when share_ itself changes (a B_on level change, a GLOBAL
+// RESET zeroing B_on, or the very first stage), the naive path rewrites
+// every session's regular allocation to a genuinely new value. The sparse
+// StartLocalStage therefore falls back to the full-k loop exactly when the
+// incoming share differs, preserving the invariant for everyone else.
+
+bool CombinedOnline::Quiescent(std::int64_t i) const {
+  return channels_.regular_queue_size(i) == 0 &&
+         channels_.overflow_queue_size(i) == 0 &&
+         channels_.overflow_bw(i).raw() == 0 &&
+         channels_.regular_bw(i).raw() == share_.raw();
+}
+
+void CombinedOnline::StartLocalStageEvent(Time now, bool shunt_regular) {
+  tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_local_stages_);
+  reduce_wheel_.Clear();  // same role as the dense path's reductions_.clear()
+  const Bandwidth new_share =
+      Bandwidth::FromBitsPerSlot(b_on_) / params_.sessions;
+  const bool share_changed = new_share.raw() != share_.raw();
+  share_ = new_share;
+  if (share_changed) {
+    for (std::int64_t i = 0; i < params_.sessions; ++i) {
+      if (shunt_regular && channels_.regular_queue_size(i) > 0) {
+        channels_.MoveRegularToOverflow(i);
+      }
+      if (channels_.overflow_queue_size(i) > 0) {
+        channels_.SetOverflow(
+            i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                  params_.offline_delay));
+      } else {
+        channels_.SetOverflow(i, Bandwidth::Zero());
+      }
+      channels_.SetRegular(i, share_);
+    }
+  } else {
+    hot_.SortAscending();
+    for (const std::int64_t i : hot_.items()) {
+      if (shunt_regular && channels_.regular_queue_size(i) > 0) {
+        channels_.MoveRegularToOverflow(i);
+      }
+      if (channels_.overflow_queue_size(i) > 0) {
+        channels_.SetOverflow(
+            i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                  params_.offline_delay));
+      } else {
+        channels_.SetOverflow(i, Bandwidth::Zero());
+      }
+      channels_.SetRegular(i, share_);
+    }
+  }
+  hot_.FilterInPlace([&](std::int64_t i) { return !Quiescent(i); });
+  next_phase_ = now + params_.offline_delay;
+}
+
+void CombinedOnline::PhaseBoundaryEvent(Time now) {
+  const bool trace_shunts = tracer_.enabled(TraceEventType::kOverflowShunt);
+  hot_.SortAscending();
+  std::int64_t overloaded = 0;
+  for (const std::int64_t i : hot_.items()) {
+    if (!RegularOverloaded(i)) {
+      channels_.SetOverflow(i, Bandwidth::Zero());
+    } else {
+      ++overloaded;
+      channels_.SetRegular(i, channels_.regular_bw(i) + share_);
+      if (trace_shunts) {
+        tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
+                     channels_.regular_queue_size(i));
+      }
+      channels_.MoveRegularToOverflow(i);
+      channels_.SetOverflow(
+          i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                params_.offline_delay));
+    }
+  }
+  tracer_.Emit(TraceEventType::kPhaseBoundary, now, -1, overloaded);
+  const Bandwidth cap = Bandwidth::FromBitsPerSlot(2 * b_on_);
+  if (channels_.TotalRegular() > cap) {
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1,
+                 completed_local_stages_);
+    ++completed_local_stages_;
+    StartLocalStageEvent(now, /*shunt_regular=*/true);
+  } else {
+    hot_.FilterInPlace([&](std::int64_t i) { return !Quiescent(i); });
+  }
+}
+
+void CombinedOnline::ShuntWithLeaseEvent(Time now, std::int64_t i) {
+  const Bits q = channels_.regular_queue_size(i);
+  if (q == 0) return;
+  tracer_.Emit(TraceEventType::kOverflowShunt, now, i, q);
+  channels_.MoveRegularToOverflow(i);
+  const Bandwidth lease = Bandwidth::CeilDiv(q, params_.offline_delay);
+  channels_.AddOverflow(i, lease);
+  reduce_wheel_.ScheduleAt(now + params_.offline_delay + perturb_wakeups_,
+                           {i, lease});
+}
+
+void CombinedOnline::ContinuousTestEvent(Time now, std::int64_t i) {
+  if (!RegularOverloaded(i)) return;
+  channels_.SetRegular(i, channels_.regular_bw(i) + share_);
+  ShuntWithLeaseEvent(now, i);
+  const Bandwidth cap = Bandwidth::FromBitsPerSlot(2 * b_on_);
+  if (channels_.TotalRegular() > cap) {
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1,
+                 completed_local_stages_);
+    ++completed_local_stages_;
+    StartLocalStageEvent(now, /*shunt_regular=*/true);
+  }
+}
+
+void CombinedOnline::GlobalResetEvent(Time now) {
+  reduce_wheel_.Clear();
+  hot_.SortAscending();
+  for (const std::int64_t i : hot_.items()) {
+    channels_.DrainSessionInto(i, global_queue_);
+    channels_.SetOverflow(i, Bandwidth::Zero());
+  }
+  if (global_queue_.size() > peak_global_queue_) {
+    peak_global_queue_ = global_queue_.size();
+  }
+  tracer_.Emit(TraceEventType::kGlobalReset, now, -1, global_queue_.size());
+  ++completed_global_stages_;
+  ++completed_local_stages_;  // the local stage ends with the global one
+  StartGlobalStage(now + 1);
+  StartLocalStageEvent(now, /*shunt_regular=*/false);
+}
+
+void CombinedOnline::StepSparse(Time now,
+                                std::span<const SessionArrival> arrivals) {
+  BW_CHECK(mode_ != StepMode::kDense,
+           "CombinedOnline: sparse Step after dense stepping");
+  mode_ = StepMode::kSparse;
+  if (!started_) {
+    started_ = true;
+    StartGlobalStage(now);
+    StartLocalStageEvent(now, /*shunt_regular=*/false);
+  }
+
+  Bits total_in = 0;
+  for (const SessionArrival& a : arrivals) total_in += a.bits;
+
+  bool global_reset = false;
+  {
+    const Ratio low = low_tracker_.LowAt(now);
+    high_tracker_.RecordArrivals(now, total_in);
+    const Ratio high = high_tracker_.HighAt();
+    low_tracker_.RecordArrivals(total_in);
+
+    if (high < low || Ratio(params_.offline_bandwidth, 1) < low) {
+      GlobalResetEvent(now);
+      global_reset = true;
+    } else if (!low.is_zero()) {
+      const Bits level = CeilPowerOfTwoAtLeast(low);
+      if (level > b_on_) {
+        tracer_.Emit(TraceEventType::kLevelChange, now, -1, b_on_, level);
+        b_on_ = level;
+        ++completed_local_stages_;
+        StartLocalStageEvent(now, /*shunt_regular=*/true);
+      }
+    }
+  }
+
+  if (params_.continuous_inner) {
+    if (!global_reset) {
+      reduce_wheel_.PopDue(now, [&](const Reduction& r) {
+        channels_.AddOverflow(r.session, Bandwidth::Zero() - r.amount);
+      });
+    }
+    for (const SessionArrival& a : arrivals) {
+      channels_.Enqueue(a.session, now, a.bits);
+      if (a.bits > 0) {
+        hot_.Add(a.session);
+        if (!global_reset) ContinuousTestEvent(now, a.session);
+      }
+    }
+  } else {
+    if (!global_reset && now == next_phase_ + perturb_wakeups_) {
+      PhaseBoundaryEvent(now);
+      if (now == next_phase_ + perturb_wakeups_) {
+        next_phase_ = now + params_.offline_delay;
+      }
+    }
+    for (const SessionArrival& a : arrivals) {
+      channels_.Enqueue(a.session, now, a.bits);
+      if (a.bits > 0) hot_.Add(a.session);
+    }
+  }
+  channels_.ServeActiveSlot(now);
+
   global_bw_ = global_queue_.empty()
                    ? Bandwidth::Zero()
                    : Bandwidth::FromBitsPerSlot(2 * params_.offline_bandwidth);

@@ -38,7 +38,9 @@
 #include "obs/tracer.h"
 #include "sim/bit_queue.h"
 #include "sim/engine_multi.h"
+#include "sim/hot_set.h"
 #include "sim/session_channels.h"
+#include "sim/timer_wheel.h"
 #include "util/fixed_point.h"
 #include "util/histogram.h"
 #include "util/types.h"
@@ -52,6 +54,16 @@ class CombinedOnline final : public MultiSessionSystem {
       ServiceDiscipline discipline = ServiceDiscipline::kTwoChannel);
 
   void Step(Time now, std::span<const Bits> arrivals) override;
+  // Event-driven path: the global trackers need only the slot's aggregate
+  // demand (an O(1) sum over the sparse arrivals); the inner machinery
+  // touches the hot set, except that a share change (B_on level change or
+  // GLOBAL RESET) re-runs the full-k local-stage start, exactly where the
+  // naive path changes every session's value anyway. Behaviorally
+  // identical to Step (differentially tested).
+  bool SupportsSparseStep() const override { return true; }
+  void StepSparse(Time now,
+                  std::span<const SessionArrival> arrivals) override;
+  void PerturbEventWakeupsForTest() override { perturb_wakeups_ = 1; }
   const SessionChannels& channels() const override { return channels_; }
 
   // Completed local stages (offline per-session-change lower bound).
@@ -84,6 +96,8 @@ class CombinedOnline final : public MultiSessionSystem {
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
 
  private:
+  enum class StepMode { kNone, kDense, kSparse };
+
   void StartGlobalStage(Time ts);
   void StartLocalStage(Time now, bool shunt_regular);
   void PhaseBoundary(Time now);
@@ -92,6 +106,12 @@ class CombinedOnline final : public MultiSessionSystem {
   void ApplyReductions(Time now);
   bool RegularOverloaded(std::int64_t i) const;
   void GlobalReset(Time now);
+  void StartLocalStageEvent(Time now, bool shunt_regular);
+  void PhaseBoundaryEvent(Time now);
+  void ContinuousTestEvent(Time now, std::int64_t i);
+  void ShuntWithLeaseEvent(Time now, std::int64_t i);
+  void GlobalResetEvent(Time now);
+  bool Quiescent(std::int64_t i) const;
 
   CombinedParams params_;
   SessionChannels channels_;
@@ -118,7 +138,13 @@ class CombinedOnline final : public MultiSessionSystem {
     std::int64_t session;
     Bandwidth amount;
   };
+  // Dense path keeps the original map-of-slots; the sparse path schedules
+  // the same reductions on a timer wheel (one wakeup per lease).
   std::map<Time, std::vector<Reduction>> reductions_;
+  TimerWheel<Reduction> reduce_wheel_;
+  HotSet hot_;                 // sparse path: candidate non-quiescent sessions
+  Time perturb_wakeups_ = 0;   // test hook: delays boundaries / REDUCEs
+  StepMode mode_ = StepMode::kNone;  // dense/sparse must never mix
 };
 
 }  // namespace bwalloc

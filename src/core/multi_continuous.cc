@@ -6,7 +6,10 @@ namespace bwalloc {
 
 ContinuousMulti::ContinuousMulti(const MultiSessionParams& params,
                                  ServiceDiscipline discipline)
-    : params_(params), channels_(params.sessions, discipline) {
+    : params_(params),
+      channels_(params.sessions, discipline),
+      reduce_wheel_(params.offline_delay + 2),
+      hot_(params.sessions) {
   params_.Validate();
   shares_.reserve(static_cast<std::size_t>(params_.sessions));
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
@@ -68,6 +71,9 @@ void ContinuousMulti::ApplyReductions(Time now) {
 void ContinuousMulti::Step(Time now, std::span<const Bits> arrivals) {
   BW_REQUIRE(static_cast<std::int64_t>(arrivals.size()) == params_.sessions,
              "ContinuousMulti::Step: arrival vector size mismatch");
+  BW_CHECK(mode_ != StepMode::kSparse,
+           "ContinuousMulti: dense Step after sparse stepping");
+  mode_ = StepMode::kDense;
   if (!started_) {
     started_ = true;
     Reset(now);
@@ -79,6 +85,83 @@ void ContinuousMulti::Step(Time now, std::span<const Bits> arrivals) {
     if (in > 0) Test(now, i);
   }
   channels_.ServeSlot(now);
+}
+
+// --- event-driven path -------------------------------------------------------
+//
+// Fig. 5 is already event-shaped: TEST fires only on arrivals, REDUCE is a
+// per-session timer. The sparse path schedules each lease on the timer
+// wheel instead of the slot map, and the two O(k) loops — stage-end shunts
+// and RESET — run over the sorted hot set only. A session outside the hot
+// set has empty queues (ShuntToOverflow would early-return), zero overflow
+// allocation, and regular allocation equal to its share (RESET would
+// rewrite an identical value), so skipping it changes nothing.
+
+bool ContinuousMulti::Quiescent(std::int64_t i) const {
+  return channels_.regular_queue_size(i) == 0 &&
+         channels_.overflow_queue_size(i) == 0 &&
+         channels_.overflow_bw(i).raw() == 0 &&
+         channels_.regular_bw(i).raw() ==
+             shares_[static_cast<std::size_t>(i)].raw();
+}
+
+void ContinuousMulti::ResetEvent(Time now) {
+  tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
+  for (const std::int64_t i : hot_.items()) {
+    channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
+  }
+}
+
+void ContinuousMulti::ShuntToOverflowEvent(Time now, std::int64_t i) {
+  const Bits q = channels_.regular_queue_size(i);
+  if (q == 0) return;
+  tracer_.Emit(TraceEventType::kOverflowShunt, now, i, q);
+  channels_.MoveRegularToOverflow(i);
+  const Bandwidth lease = Bandwidth::CeilDiv(q, params_.offline_delay);
+  channels_.AddOverflow(i, lease);
+  reduce_wheel_.ScheduleAt(now + params_.offline_delay + perturb_wakeups_,
+                           {i, lease});
+}
+
+void ContinuousMulti::TestEvent(Time now, std::int64_t i) {
+  if (!RegularOverloaded(i)) return;
+  channels_.SetRegular(i, channels_.regular_bw(i) +
+                           shares_[static_cast<std::size_t>(i)]);
+  ShuntToOverflowEvent(now, i);
+  if (channels_.TotalRegular() > two_b_o_) {
+    // Stage end: shunt every nonempty regular queue (all in the hot set)
+    // in ascending session order, exactly like the naive 0..k-1 loop.
+    hot_.SortAscending();
+    for (const std::int64_t j : hot_.items()) {
+      ShuntToOverflowEvent(now, j);
+    }
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1, completed_stages_);
+    ++completed_stages_;
+    ResetEvent(now);
+    hot_.FilterInPlace([&](std::int64_t s) { return !Quiescent(s); });
+  }
+}
+
+void ContinuousMulti::StepSparse(Time now,
+                                 std::span<const SessionArrival> arrivals) {
+  BW_CHECK(mode_ != StepMode::kDense,
+           "ContinuousMulti: sparse Step after dense stepping");
+  mode_ = StepMode::kSparse;
+  if (!started_) {
+    started_ = true;
+    Reset(now);  // first RESET touches all k, like the naive path
+  }
+  reduce_wheel_.PopDue(now, [&](const Reduction& r) {
+    channels_.AddOverflow(r.session, Bandwidth::Zero() - r.amount);
+  });
+  for (const SessionArrival& a : arrivals) {
+    channels_.Enqueue(a.session, now, a.bits);
+    if (a.bits > 0) {
+      hot_.Add(a.session);
+      TestEvent(now, a.session);
+    }
+  }
+  channels_.ServeActiveSlot(now);
 }
 
 }  // namespace bwalloc

@@ -19,7 +19,9 @@
 #include "core/params.h"
 #include "obs/tracer.h"
 #include "sim/engine_multi.h"
+#include "sim/hot_set.h"
 #include "sim/session_channels.h"
+#include "sim/timer_wheel.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
 
@@ -32,6 +34,14 @@ class ContinuousMulti final : public MultiSessionSystem {
       ServiceDiscipline discipline = ServiceDiscipline::kTwoChannel);
 
   void Step(Time now, std::span<const Bits> arrivals) override;
+  // Event-driven path: arrivals drive the Fig. 5 TESTs directly (already
+  // per-session events), REDUCE timers live in a timer wheel, and stage
+  // ends iterate only the hot set. Behaviorally identical to Step
+  // (differentially tested).
+  bool SupportsSparseStep() const override { return true; }
+  void StepSparse(Time now,
+                  std::span<const SessionArrival> arrivals) override;
+  void PerturbEventWakeupsForTest() override { perturb_wakeups_ = 1; }
   const SessionChannels& channels() const override { return channels_; }
   std::int64_t stages() const override { return completed_stages_; }
   Bandwidth DeclaredTotalBandwidth() const override {
@@ -40,10 +50,16 @@ class ContinuousMulti final : public MultiSessionSystem {
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
 
  private:
+  enum class StepMode { kNone, kDense, kSparse };
+
   void Reset(Time now);
   void Test(Time now, std::int64_t i);
   void ShuntToOverflow(Time now, std::int64_t i);
   void ApplyReductions(Time now);
+  void ResetEvent(Time now);
+  void TestEvent(Time now, std::int64_t i);
+  void ShuntToOverflowEvent(Time now, std::int64_t i);
+  bool Quiescent(std::int64_t i) const;
   bool RegularOverloaded(std::int64_t i) const;
 
   MultiSessionParams params_;
@@ -58,7 +74,13 @@ class ContinuousMulti final : public MultiSessionSystem {
     std::int64_t session;
     Bandwidth amount;
   };
+  // Dense path keeps the original map-of-slots; the sparse path schedules
+  // the same reductions on a timer wheel (one wakeup per lease).
   std::map<Time, std::vector<Reduction>> reductions_;
+  TimerWheel<Reduction> reduce_wheel_;
+  HotSet hot_;                 // sparse path: candidate non-quiescent sessions
+  Time perturb_wakeups_ = 0;   // test hook: delays REDUCE wakeups
+  StepMode mode_ = StepMode::kNone;  // dense/sparse must never mix
 };
 
 }  // namespace bwalloc

@@ -6,7 +6,9 @@ namespace bwalloc {
 
 PhasedMulti::PhasedMulti(const MultiSessionParams& params,
                          ServiceDiscipline discipline)
-    : params_(params), channels_(params.sessions, discipline) {
+    : params_(params),
+      channels_(params.sessions, discipline),
+      hot_(params.sessions) {
   params_.Validate();
   shares_.reserve(static_cast<std::size_t>(params_.sessions));
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
@@ -78,6 +80,9 @@ void PhasedMulti::PhaseBoundary(Time now) {
 void PhasedMulti::Step(Time now, std::span<const Bits> arrivals) {
   BW_REQUIRE(static_cast<std::int64_t>(arrivals.size()) == params_.sessions,
              "PhasedMulti::Step: arrival vector size mismatch");
+  BW_CHECK(mode_ != StepMode::kSparse,
+           "PhasedMulti: dense Step after sparse stepping");
+  mode_ = StepMode::kDense;
   if (!started_) {
     started_ = true;
     Reset(now);
@@ -89,6 +94,96 @@ void PhasedMulti::Step(Time now, std::span<const Bits> arrivals) {
     channels_.Enqueue(i, now, arrivals[static_cast<std::size_t>(i)]);
   }
   channels_.ServeSlot(now);
+}
+
+// --- event-driven path -------------------------------------------------------
+//
+// Why the hot set is exact, not heuristic: a session outside it has empty
+// queues (no arrival since it last drained), zero overflow allocation, and
+// regular allocation equal to its share. For such a session every phase-
+// boundary action is a value-preserving no-op — RegularOverloaded is false
+// (|Q_r| = 0), SetOverflow(0) rewrites the existing zero, the stage-end
+// shunt moves nothing and re-sizes the overflow rate from 0 to 0, and
+// RESET rewrites share with share. The naive loop over 0..k-1 therefore
+// degenerates to the loop over the sorted hot set, event for event.
+
+bool PhasedMulti::Quiescent(std::int64_t i) const {
+  return channels_.regular_queue_size(i) == 0 &&
+         channels_.overflow_queue_size(i) == 0 &&
+         channels_.overflow_bw(i).raw() == 0 &&
+         channels_.regular_bw(i).raw() ==
+             shares_[static_cast<std::size_t>(i)].raw();
+}
+
+void PhasedMulti::ResetEvent(Time now) {
+  tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
+  for (const std::int64_t i : hot_.items()) {
+    channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
+  }
+  next_phase_ = now + params_.offline_delay;
+}
+
+void PhasedMulti::PhaseBoundaryEvent(Time now) {
+  const bool trace_shunts = tracer_.enabled(TraceEventType::kOverflowShunt);
+  hot_.SortAscending();
+  std::int64_t overloaded = 0;
+  for (const std::int64_t i : hot_.items()) {
+    if (!RegularOverloaded(i)) {
+      BW_CHECK(channels_.overflow_queue_size(i) == 0,
+               "overflow queue not drained at phase boundary");
+      channels_.SetOverflow(i, Bandwidth::Zero());
+    } else {
+      ++overloaded;
+      channels_.SetRegular(i, channels_.regular_bw(i) +
+                               shares_[static_cast<std::size_t>(i)]);
+      if (trace_shunts) {
+        tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
+                     channels_.regular_queue_size(i));
+      }
+      channels_.MoveRegularToOverflow(i);
+      channels_.SetOverflow(
+          i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                params_.offline_delay));
+    }
+  }
+  tracer_.Emit(TraceEventType::kPhaseBoundary, now, -1, overloaded);
+  if (channels_.TotalRegular() > two_b_o_) {
+    for (const std::int64_t i : hot_.items()) {
+      if (trace_shunts && channels_.regular_queue_size(i) > 0) {
+        tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
+                     channels_.regular_queue_size(i));
+      }
+      channels_.MoveRegularToOverflow(i);
+      channels_.SetOverflow(
+          i, Bandwidth::CeilDiv(channels_.overflow_queue_size(i),
+                                params_.offline_delay));
+    }
+    tracer_.Emit(TraceEventType::kStageCertified, now, -1, completed_stages_);
+    ++completed_stages_;
+    ResetEvent(now);
+  }
+  hot_.FilterInPlace([&](std::int64_t i) { return !Quiescent(i); });
+}
+
+void PhasedMulti::StepSparse(Time now,
+                             std::span<const SessionArrival> arrivals) {
+  BW_CHECK(mode_ != StepMode::kDense,
+           "PhasedMulti: sparse Step after dense stepping");
+  mode_ = StepMode::kSparse;
+  if (!started_) {
+    started_ = true;
+    Reset(now);  // first RESET touches all k, like the naive path
+  } else if (now == next_phase_ + perturb_wakeups_) {
+    PhaseBoundaryEvent(now);
+    if (now == next_phase_ + perturb_wakeups_) {
+      next_phase_ = now + params_.offline_delay;
+    }
+  }
+  for (const SessionArrival& a : arrivals) {
+    channels_.Enqueue(a.session, now, a.bits);
+    if (a.bits > 0) hot_.Add(a.session);
+  }
+  channels_.ServeActiveSlot(now);
 }
 
 }  // namespace bwalloc

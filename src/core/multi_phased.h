@@ -21,6 +21,7 @@
 #include "core/params.h"
 #include "obs/tracer.h"
 #include "sim/engine_multi.h"
+#include "sim/hot_set.h"
 #include "sim/session_channels.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
@@ -34,6 +35,14 @@ class PhasedMulti final : public MultiSessionSystem {
       ServiceDiscipline discipline = ServiceDiscipline::kTwoChannel);
 
   void Step(Time now, std::span<const Bits> arrivals) override;
+  // Event-driven path: only sessions in the hot set (arrivals since the
+  // last quiescence check, or carrying boosted/overflow allocation) are
+  // touched at phase boundaries; all others are provably no-ops for every
+  // Fig. 4 action. Behaviorally identical to Step (differentially tested).
+  bool SupportsSparseStep() const override { return true; }
+  void StepSparse(Time now,
+                  std::span<const SessionArrival> arrivals) override;
+  void PerturbEventWakeupsForTest() override { perturb_wakeups_ = 1; }
   const SessionChannels& channels() const override { return channels_; }
   std::int64_t stages() const override { return completed_stages_; }
   Bandwidth DeclaredTotalBandwidth() const override {
@@ -42,8 +51,16 @@ class PhasedMulti final : public MultiSessionSystem {
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
 
  private:
+  enum class StepMode { kNone, kDense, kSparse };
+
   void Reset(Time now);
   void PhaseBoundary(Time now);
+  void ResetEvent(Time now);
+  void PhaseBoundaryEvent(Time now);
+
+  // True when session i can be skipped by every phase-boundary action:
+  // empty queues, no overflow allocation, regular allocation at its share.
+  bool Quiescent(std::int64_t i) const;
 
   // Fig. 4's test |Q_r| > B_r * D_O, exact in fixed point.
   bool RegularOverloaded(std::int64_t i) const;
@@ -56,6 +73,9 @@ class PhasedMulti final : public MultiSessionSystem {
   std::int64_t completed_stages_ = 0;
   bool started_ = false;
   Tracer tracer_;          // disabled unless SetTracer was called
+  HotSet hot_;             // sparse path: candidate non-quiescent sessions
+  Time perturb_wakeups_ = 0;   // test hook: delays phase boundaries
+  StepMode mode_ = StepMode::kNone;  // dense/sparse must never mix
 };
 
 }  // namespace bwalloc

@@ -7,9 +7,15 @@
 // bandwidth across slots, so fractional allocations (B_O / k) serve exactly
 // the right long-run rate. Credits do not accumulate while the queue is
 // empty (a real link cannot bank unused capacity).
+//
+// Storage is a vector-backed ring (head index + compaction) rather than a
+// deque: a default-constructed deque allocates a spine eagerly, which at
+// the event engine's million-session scale would burn hundreds of bytes
+// per idle session. An empty BitQueue holds no heap allocation at all.
 #pragma once
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
 #include "util/assert.h"
 #include "util/fixed_point.h"
@@ -34,7 +40,7 @@ class BitQueue {
   Bits Enqueue(Time now, Bits bits) {
     BW_REQUIRE(bits >= 0, "BitQueue::Enqueue: negative bits");
     if (bits == 0) return 0;
-    BW_CHECK(chunks_.empty() || chunks_.back().arrival <= now,
+    BW_CHECK(head_ == chunks_.size() || chunks_.back().arrival <= now,
              "BitQueue: arrival stamps must be non-decreasing");
     Bits admitted = bits;
     if (capacity_ > 0) {
@@ -45,7 +51,7 @@ class BitQueue {
       }
     }
     if (admitted == 0) return 0;
-    if (!chunks_.empty() && chunks_.back().arrival == now) {
+    if (head_ != chunks_.size() && chunks_.back().arrival == now) {
       chunks_.back().bits += admitted;
     } else {
       chunks_.push_back({now, admitted});
@@ -63,14 +69,14 @@ class BitQueue {
     BW_REQUIRE(max_bits >= 0, "BitQueue::Take: negative amount");
     Bits remaining = max_bits;
     Bits served = 0;
-    while (remaining > 0 && !chunks_.empty()) {
-      Chunk& head = chunks_.front();
+    while (remaining > 0 && head_ != chunks_.size()) {
+      Chunk& head = chunks_[head_];
       const Bits take = head.bits < remaining ? head.bits : remaining;
       if (hist != nullptr) hist->Record(now - head.arrival, take);
       head.bits -= take;
       remaining -= take;
       served += take;
-      if (head.bits == 0) chunks_.pop_front();
+      if (head.bits == 0) PopFront();
     }
     size_ -= served;
     return served;
@@ -84,7 +90,7 @@ class BitQueue {
     const Bits deliverable = credit_raw_ >> Bandwidth::kShift;
     const Bits served = Take(now, deliverable, hist);
     credit_raw_ -= served << Bandwidth::kShift;
-    if (chunks_.empty()) credit_raw_ = 0;  // no banking while idle
+    if (head_ == chunks_.size()) credit_raw_ = 0;  // no banking while idle
     return served;
   }
 
@@ -94,19 +100,21 @@ class BitQueue {
   // combined algorithm's GLOBAL RESET; the common move-to-tail case takes
   // the O(n) append fast path).
   void DrainInto(BitQueue& dst) {
-    if (chunks_.empty()) {
-      credit_raw_ = 0;
+    if (head_ == chunks_.size()) {
+      Reset();
       return;
     }
-    if (dst.chunks_.empty() ||
-        dst.chunks_.back().arrival <= chunks_.front().arrival) {
-      for (const Chunk& c : chunks_) {
-        dst.Enqueue(c.arrival, c.bits);
+    if (dst.head_ == dst.chunks_.size() ||
+        dst.chunks_.back().arrival <= chunks_[head_].arrival) {
+      for (std::size_t i = head_; i < chunks_.size(); ++i) {
+        dst.Enqueue(chunks_[i].arrival, chunks_[i].bits);
       }
     } else {
-      std::deque<Chunk> merged;
-      auto a = dst.chunks_.begin();
-      auto b = chunks_.begin();
+      std::vector<Chunk> merged;
+      merged.reserve((dst.chunks_.size() - dst.head_) +
+                     (chunks_.size() - head_));
+      auto a = dst.chunks_.begin() + static_cast<std::ptrdiff_t>(dst.head_);
+      auto b = chunks_.begin() + static_cast<std::ptrdiff_t>(head_);
       while (a != dst.chunks_.end() && b != chunks_.end()) {
         if (a->arrival <= b->arrival) {
           merged.push_back(*a++);
@@ -117,12 +125,11 @@ class BitQueue {
       merged.insert(merged.end(), a, dst.chunks_.end());
       merged.insert(merged.end(), b, chunks_.end());
       dst.chunks_ = std::move(merged);
+      dst.head_ = 0;
       dst.size_ += size_;
       if (dst.size_ > dst.peak_size_) dst.peak_size_ = dst.size_;
     }
-    chunks_.clear();
-    size_ = 0;
-    credit_raw_ = 0;
+    Reset();
   }
 
   Bits size() const { return size_; }
@@ -132,7 +139,7 @@ class BitQueue {
 
   // Arrival time of the oldest bit still queued; kNoTime if empty.
   Time OldestArrival() const {
-    return chunks_.empty() ? kNoTime : chunks_.front().arrival;
+    return head_ == chunks_.size() ? kNoTime : chunks_[head_].arrival;
   }
 
  private:
@@ -140,7 +147,30 @@ class BitQueue {
     Time arrival;
     Bits bits;
   };
-  std::deque<Chunk> chunks_;
+
+  void PopFront() {
+    ++head_;
+    if (head_ == chunks_.size()) {
+      chunks_.clear();
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= chunks_.size()) {
+      // Slide the live tail down so the dead prefix doesn't grow without
+      // bound under steady enqueue/serve churn.
+      chunks_.erase(chunks_.begin(),
+                    chunks_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void Reset() {
+    chunks_.clear();
+    head_ = 0;
+    size_ = 0;
+    credit_raw_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t head_ = 0;  // index of the live front chunk
   Bits size_ = 0;
   Bits capacity_ = 0;   // 0 = unbounded
   Bits dropped_ = 0;

@@ -17,10 +17,46 @@
 #include "obs/tracer.h"
 #include "sim/run_result.h"
 #include "sim/session_channels.h"
+#include "util/assert.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
 
 namespace bwalloc {
+
+// One nonzero (or explicitly-listed) arrival for the sparse step interface.
+struct SessionArrival {
+  std::int64_t session = 0;
+  Bits bits = 0;
+};
+
+// Column-compressed arrival trace: per slot, only the sessions that
+// actually submit bits, sorted ascending by session id. This is the input
+// format of the event-driven engine — at a million sessions a dense
+// per-slot vector is 8 MB of zeros per slot.
+struct SparseMultiTrace {
+  std::int64_t sessions = 0;
+  Time horizon = 0;
+  // slot_offsets has horizon + 1 entries; slot t's arrivals are
+  // arrivals[slot_offsets[t] .. slot_offsets[t + 1]).
+  std::vector<std::int64_t> slot_offsets;
+  std::vector<SessionArrival> arrivals;
+
+  std::span<const SessionArrival> Slot(Time t) const {
+    const auto lo =
+        static_cast<std::size_t>(slot_offsets[static_cast<std::size_t>(t)]);
+    const auto hi = static_cast<std::size_t>(
+        slot_offsets[static_cast<std::size_t>(t) + 1]);
+    return std::span<const SessionArrival>(arrivals.data() + lo, hi - lo);
+  }
+
+  // Exact sparse view of a dense trace set (zeros dropped).
+  static SparseMultiTrace FromDense(
+      const std::vector<std::vector<Bits>>& traces);
+
+  // Structural invariants: offsets monotone and spanning, sessions in
+  // range and ascending within each slot, bits non-negative.
+  void Validate() const;
+};
 
 class MultiSessionSystem {
  public:
@@ -54,6 +90,39 @@ class MultiSessionSystem {
   // RESETs, overflow shunts). Default: ignore — tracing stays optional for
   // every implementation.
   virtual void SetTracer(const Tracer& /*tracer*/) {}
+
+  // --- event-driven stepping (optional) ------------------------------------
+  // True when the system implements StepSparse. Systems without it (e.g.
+  // the fault-lane adapter, which must drive every lane every slot) are
+  // run by the event engine through a dense-materialization fallback.
+  virtual bool SupportsSparseStep() const { return false; }
+
+  // Process one slot given only the sessions with nonzero demand, sorted
+  // ascending by session id. Must be behaviorally identical to Step() with
+  // the equivalent dense vector — the differential harness
+  // (tests/engine_equivalence_test.cc) holds implementations to byte-equal
+  // traces. A system instance must be driven through exactly one of
+  // Step()/StepSparse() for its whole life, never a mix.
+  virtual void StepSparse(Time /*now*/,
+                          std::span<const SessionArrival> /*arrivals*/) {
+    BW_REQUIRE(false, "StepSparse: not implemented for this system");
+  }
+
+  // Test hook: shifts the system's scheduled wakeups (phase boundaries,
+  // REDUCE leases) one slot late in the sparse path. The differential
+  // harness's negative control proves such an off-by-one is *caught* by
+  // the byte-identity gate. No effect on the dense path.
+  virtual void PerturbEventWakeupsForTest() {}
+};
+
+// Counters the event engine reports about its own sparsity; purely
+// informational (never part of MultiRunResult, so results stay comparable
+// across engines). `touched_session_slots` is the denominator for the
+// ns/slot-per-active-session bench metric.
+struct EventEngineStats {
+  std::int64_t touched_session_slots = 0;  // dirty-session visits, all slots
+  std::int64_t arrival_events = 0;         // sparse arrival records fed
+  bool dense_fallback = false;  // system lacked sparse support
 };
 
 struct MultiEngineOptions {
@@ -63,6 +132,9 @@ struct MultiEngineOptions {
   Tracer tracer;
   MetricsRegistry* metrics = nullptr;
   PhaseProfile* profile = nullptr;
+  // Filled by RunMultiSessionEvent when non-null; ignored by the naive
+  // engine.
+  EventEngineStats* event_stats = nullptr;
 };
 
 // `traces[i]` is the arrival trace of session i; all traces must have equal
@@ -70,5 +142,14 @@ struct MultiEngineOptions {
 MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
                                MultiSessionSystem& system,
                                const MultiEngineOptions& options = {});
+
+// Event-driven engine: same scoring, same trace bytes, same result as
+// RunMultiSession on the dense expansion of `sparse`, but each slot costs
+// O(sessions touched) instead of O(k). Systems with SupportsSparseStep()
+// are stepped sparsely; others get a dense-materialization fallback (exact,
+// but O(k-ish) inside the system itself).
+MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
+                                    MultiSessionSystem& system,
+                                    const MultiEngineOptions& options = {});
 
 }  // namespace bwalloc

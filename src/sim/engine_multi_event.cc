@@ -1,0 +1,262 @@
+// Event-driven multi-session engine.
+//
+// Same contract as the naive RunMultiSession — same scoring, same trace
+// bytes, same MultiRunResult — but the per-slot cost is proportional to the
+// number of sessions *touched* that slot, not to k. Three observations make
+// that exact rather than approximate:
+//
+//   1. Allocation-change events and local-change counts depend only on
+//      end-of-slot values per (session, channel). SessionChannels records
+//      which sessions' bandwidth variables changed value during the slot
+//      (the alloc-dirty list); comparing just those against a shadow copy
+//      of last slot's values reproduces the naive engine's per-session scan
+//      verbatim, because an untouched session cannot have transitioned.
+//      The dirty list is emitted in ascending session order (sorted before
+//      the scan), matching the naive 0..k-1 iteration order byte for byte.
+//
+//   2. Every aggregate the engine reads per slot (total regular/overflow
+//      allocation, total queued bits, delivered bits) is an exact integer
+//      sum maintained incrementally inside SessionChannels; integer sums
+//      are order-independent, so the incremental values equal the naive
+//      loops bit for bit.
+//
+//   3. Serving an empty session is a no-op in both disciplines (no bits
+//      delivered, no credit banked), so the system's ServeActiveSlot —
+//      which skips empty sessions — delivers exactly what the naive full
+//      scan does.
+//
+// Systems that do not implement StepSparse (the fault-lane adapter drives
+// every lane every slot by design) are stepped through a reusable dense
+// buffer: fill the touched entries, step, zero them again. The scoring
+// side above still applies unchanged.
+#include <algorithm>
+#include <vector>
+
+#include "sim/engine_multi.h"
+#include "sim/metrics.h"
+#include "util/assert.h"
+
+namespace bwalloc {
+
+SparseMultiTrace SparseMultiTrace::FromDense(
+    const std::vector<std::vector<Bits>>& traces) {
+  BW_REQUIRE(!traces.empty(), "SparseMultiTrace: need at least one trace");
+  SparseMultiTrace out;
+  out.sessions = static_cast<std::int64_t>(traces.size());
+  out.horizon = static_cast<Time>(traces.front().size());
+  for (const auto& tr : traces) {
+    BW_REQUIRE(static_cast<Time>(tr.size()) == out.horizon,
+               "SparseMultiTrace: traces must have equal length");
+  }
+  out.slot_offsets.reserve(static_cast<std::size_t>(out.horizon) + 1);
+  out.slot_offsets.push_back(0);
+  for (Time t = 0; t < out.horizon; ++t) {
+    for (std::int64_t i = 0; i < out.sessions; ++i) {
+      const Bits bits = traces[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(t)];
+      BW_REQUIRE(bits >= 0, "SparseMultiTrace: negative arrivals");
+      if (bits > 0) out.arrivals.push_back({i, bits});
+    }
+    out.slot_offsets.push_back(static_cast<std::int64_t>(out.arrivals.size()));
+  }
+  return out;
+}
+
+void SparseMultiTrace::Validate() const {
+  BW_REQUIRE(sessions >= 1, "SparseMultiTrace: need at least one session");
+  BW_REQUIRE(horizon >= 0, "SparseMultiTrace: negative horizon");
+  BW_REQUIRE(static_cast<Time>(slot_offsets.size()) == horizon + 1,
+             "SparseMultiTrace: slot_offsets must have horizon + 1 entries");
+  BW_REQUIRE(slot_offsets.front() == 0 &&
+                 slot_offsets.back() ==
+                     static_cast<std::int64_t>(arrivals.size()),
+             "SparseMultiTrace: slot_offsets must span arrivals");
+  for (Time t = 0; t < horizon; ++t) {
+    const std::int64_t lo = slot_offsets[static_cast<std::size_t>(t)];
+    const std::int64_t hi = slot_offsets[static_cast<std::size_t>(t) + 1];
+    BW_REQUIRE(lo <= hi, "SparseMultiTrace: slot_offsets must be monotone");
+    std::int64_t prev_session = -1;
+    for (std::int64_t a = lo; a < hi; ++a) {
+      const SessionArrival& arr = arrivals[static_cast<std::size_t>(a)];
+      BW_REQUIRE(arr.session >= 0 && arr.session < sessions,
+                 "SparseMultiTrace: session id out of range");
+      BW_REQUIRE(arr.session > prev_session,
+                 "SparseMultiTrace: sessions must be ascending within a slot");
+      BW_REQUIRE(arr.bits >= 0, "SparseMultiTrace: negative arrivals");
+      prev_session = arr.session;
+    }
+  }
+}
+
+MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
+                                    MultiSessionSystem& system,
+                                    const MultiEngineOptions& options) {
+  sparse.Validate();
+  const std::int64_t k = sparse.sessions;
+  BW_REQUIRE(k == system.channels().sessions(),
+             "RunMultiSessionEvent: trace sessions != system sessions");
+
+  MultiRunResult result;
+  result.sessions = k;
+  const Time horizon = sparse.horizon + options.drain_slots;
+  result.horizon = horizon;
+
+  UtilizationMeter util;
+  ChangeCounter declared_total;
+
+  const Tracer& tracer = options.tracer;
+  const bool tracing = tracer.active();
+  if (tracing) system.SetTracer(tracer);
+  Bits queue_hwm = 0;
+
+  EventEngineStats stats;
+  const bool sparse_capable = system.SupportsSparseStep();
+  stats.dense_fallback = !sparse_capable;
+
+  const SessionChannels& ch = system.channels();
+  ch.EnableAllocDirtyTracking();
+
+  // Shadow copy of last slot's end-of-slot allocation values; stands in for
+  // the naive engine's per-session ChangeCounters. Initialized from the
+  // state after slot 0 (the counters' first Observe, which counts no
+  // transition).
+  std::vector<std::int64_t> shadow_regular_raw(static_cast<std::size_t>(k), 0);
+  std::vector<std::int64_t> shadow_overflow_raw(static_cast<std::size_t>(k),
+                                                0);
+
+  std::vector<Bits> dense;  // fallback buffer, allocated on first use
+  if (!sparse_capable) dense.assign(static_cast<std::size_t>(k), 0);
+  std::vector<std::int64_t> dirty;
+
+  {
+    ScopedTimer loop_timer(options.profile, "engine_multi_event.loop");
+    for (Time t = 0; t < horizon; ++t) {
+      const std::span<const SessionArrival> slot =
+          t < sparse.horizon ? sparse.Slot(t)
+                             : std::span<const SessionArrival>();
+      Bits slot_in = 0;
+      for (const SessionArrival& a : slot) slot_in += a.bits;
+      stats.arrival_events += static_cast<std::int64_t>(slot.size());
+
+      if (sparse_capable) {
+        system.StepSparse(t, slot);
+      } else {
+        for (const SessionArrival& a : slot) {
+          dense[static_cast<std::size_t>(a.session)] = a.bits;
+        }
+        system.Step(t, dense);
+        for (const SessionArrival& a : slot) {
+          dense[static_cast<std::size_t>(a.session)] = 0;
+        }
+      }
+
+      ch.DrainAllocDirty(&dirty);
+      if (t == 0) {
+        // First observation: initialize shadows, count no transitions —
+        // exactly what the naive counters' first Observe does.
+        for (std::int64_t i = 0; i < k; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          shadow_regular_raw[idx] = ch.regular_bw(i).raw();
+          shadow_overflow_raw[idx] = ch.overflow_bw(i).raw();
+        }
+        stats.touched_session_slots += k;
+      } else {
+        std::sort(dirty.begin(), dirty.end());
+        stats.touched_session_slots +=
+            static_cast<std::int64_t>(dirty.size());
+        for (const std::int64_t i : dirty) {
+          const auto idx = static_cast<std::size_t>(i);
+          const std::int64_t reg = ch.regular_bw(i).raw();
+          if (reg != shadow_regular_raw[idx]) {
+            if (tracing) {
+              tracer.Emit(TraceEventType::kAllocChange, t, i,
+                          shadow_regular_raw[idx], reg, kChanRegular);
+            }
+            shadow_regular_raw[idx] = reg;
+            ++result.local_changes;
+          }
+          const std::int64_t ovf = ch.overflow_bw(i).raw();
+          if (ovf != shadow_overflow_raw[idx]) {
+            if (tracing) {
+              tracer.Emit(TraceEventType::kAllocChange, t, i,
+                          shadow_overflow_raw[idx], ovf, kChanOverflow);
+            }
+            shadow_overflow_raw[idx] = ovf;
+            ++result.local_changes;
+          }
+        }
+      }
+
+      const Bandwidth reg_total = ch.TotalRegular();
+      const Bandwidth ovf_total = ch.TotalOverflow();
+      const Bandwidth allocated =
+          system.ExtraAllocatedBandwidth() + reg_total + ovf_total;
+      if (tracing) {
+        tracer.Emit(TraceEventType::kSlotTick, t, -1, slot_in,
+                    ch.TotalQueued());
+        if (declared_total.initialized() &&
+            system.DeclaredTotalBandwidth() != declared_total.current()) {
+          tracer.Emit(TraceEventType::kAllocChange, t, -1,
+                      declared_total.current().raw(),
+                      system.DeclaredTotalBandwidth().raw(), kChanTotal);
+        }
+        const Bits queued = ch.TotalQueued() + system.ExtraQueuedBits();
+        if (queued > queue_hwm) {
+          queue_hwm = queued;
+          tracer.Emit(TraceEventType::kQueueHighWater, t, -1, queue_hwm);
+        }
+      }
+      declared_total.Observe(system.DeclaredTotalBandwidth());
+      util.Record(slot_in, allocated);
+
+      if (allocated > result.peak_total_allocation) {
+        result.peak_total_allocation = allocated;
+      }
+      if (reg_total > result.peak_regular_allocation) {
+        result.peak_regular_allocation = reg_total;
+      }
+      if (ovf_total > result.peak_overflow_allocation) {
+        result.peak_overflow_allocation = ovf_total;
+      }
+    }
+  }
+
+  result.total_arrivals = ch.total_arrivals();
+  result.total_delivered = ch.total_delivered() + system.ExtraDeliveredBits();
+  result.final_queue = ch.TotalQueued() + system.ExtraQueuedBits();
+  result.per_session_delay = ch.all_delays();
+  for (const DelayHistogram& h : result.per_session_delay) {
+    result.delay.Merge(h);
+  }
+  if (const DelayHistogram* extra = system.ExtraDelayHistogram()) {
+    result.delay.Merge(*extra);
+  }
+  result.global_changes = declared_total.transitions();
+  result.stages = system.stages();
+  result.global_stages = system.global_stages();
+  result.global_utilization = util.GlobalUtilization();
+  result.total_allocated_bits = util.TotalAllocatedBits();
+  result.total_allocated_raw = util.TotalAllocatedRaw();
+  if (options.utilization_scan_window > 0) {
+    ScopedTimer scan_timer(options.profile, "engine_multi_event.util_scan");
+    result.worst_best_window_utilization =
+        util.WorstBestWindowUtilization(options.utilization_scan_window);
+  }
+
+  if (options.metrics != nullptr) {
+    MetricsRegistry& m = *options.metrics;
+    m.Count("engine.slots", result.horizon);
+    m.Count("engine.sessions", result.sessions);
+    m.Count("engine.arrival_bits", result.total_arrivals);
+    m.Count("engine.delivered_bits", result.total_delivered);
+    m.Count("engine.local_changes", result.local_changes);
+    m.Count("engine.global_changes", result.global_changes);
+    m.Count("engine.stages", result.stages);
+    m.GaugeMax("engine.peak_alloc_raw", result.peak_total_allocation.raw());
+    m.Histogram("engine.delay").Merge(result.delay);
+  }
+  if (options.event_stats != nullptr) *options.event_stats = stats;
+  return result;
+}
+
+}  // namespace bwalloc

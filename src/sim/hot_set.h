@@ -1,0 +1,73 @@
+// Deduplicated candidate-session set for the event-driven algorithm paths.
+//
+// The event engines keep, per algorithm, the set of sessions that might be
+// in a non-quiescent state (nonempty queue, boosted regular allocation, or
+// nonzero overflow allocation). Stage boundaries iterate this set instead
+// of all k sessions; sessions outside it are provably no-ops for every
+// boundary action, so skipping them is exact, not approximate.
+//
+// Add() is O(1) amortized with O(1) duplicate suppression (a flag per
+// session). Boundary processing calls SortAscending() first — the naive
+// engines iterate sessions 0..k-1, and trace bytes must match — then
+// FilterInPlace() to drop sessions the caller has verified quiescent.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace bwalloc {
+
+class HotSet {
+ public:
+  explicit HotSet(std::int64_t sessions)
+      : member_(static_cast<std::size_t>(sessions), 0) {}
+
+  void Add(std::int64_t session) {
+    auto& flag = member_[static_cast<std::size_t>(session)];
+    if (flag) return;
+    flag = 1;
+    items_.push_back(session);
+  }
+
+  bool Contains(std::int64_t session) const {
+    return member_[static_cast<std::size_t>(session)] != 0;
+  }
+
+  void SortAscending() { std::sort(items_.begin(), items_.end()); }
+
+  // Keeps sessions for which keep(i) is true; removes the rest from the
+  // set. Call only outside iteration. Preserves current item order.
+  template <typename Keep>
+  void FilterInPlace(Keep&& keep) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < items_.size(); ++r) {
+      const std::int64_t i = items_[r];
+      if (keep(i)) {
+        items_[w++] = i;
+      } else {
+        member_[static_cast<std::size_t>(i)] = 0;
+      }
+    }
+    items_.resize(w);
+  }
+
+  const std::vector<std::int64_t>& items() const { return items_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+
+  void Clear() {
+    for (const std::int64_t i : items_) {
+      member_[static_cast<std::size_t>(i)] = 0;
+    }
+    items_.clear();
+  }
+
+ private:
+  std::vector<char> member_;
+  std::vector<std::int64_t> items_;
+};
+
+}  // namespace bwalloc

@@ -100,6 +100,12 @@ struct MultiRunResult {
   // run). `faults` is the exact sum of `per_session_faults`.
   FaultStats faults;
   std::vector<FaultStats> per_session_faults;
+
+  // Exact equality (histograms, raw Q16 values, and the derived doubles,
+  // which are deterministic functions of exact integers). The differential
+  // engine harness asserts naive == event on whole results.
+  friend bool operator==(const MultiRunResult&, const MultiRunResult&) =
+      default;
 };
 
 }  // namespace bwalloc

@@ -7,6 +7,19 @@
 // is either per-channel (the paper's two conceptual channels) or
 // FIFO-combined (the Remark after Theorem 14: serve the overflow queue —
 // whose bits are always older — first, at the session's total rate).
+//
+// The aggregate views (TotalRegular/TotalOverflow/TotalQueued) are
+// maintained incrementally as exact integer sums, so both engines read them
+// in O(1); integer addition is order-independent, so the incremental values
+// are bit-identical to the O(k) loops they replaced. Two further structures
+// exist purely for the event-driven engine:
+//   - an active-session list (sessions with any queued bits) that lets
+//     ServeActiveSlot skip sessions for which ServeSession is provably a
+//     no-op (empty queues never deliver and never bank credit);
+//   - an optional allocation-dirty list recording which sessions' bandwidth
+//     variables changed this slot, drained by the engine's trace-emission
+//     shadow compare. Tracking state is observer metadata, hence mutable —
+//     the engine only holds a const reference.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +50,7 @@ class SessionChannels {
     overflow_bw_.resize(sessions_);
     fifo_credit_raw_.resize(sessions_, 0);
     delay_.resize(sessions_);
+    in_active_.resize(sessions_, 0);
   }
 
   std::int64_t sessions() const {
@@ -45,30 +59,47 @@ class SessionChannels {
 
   // --- arrivals -------------------------------------------------------------
   void Enqueue(std::int64_t i, Time now, Bits bits) {
-    regular_queue_[Idx(i)].Enqueue(now, bits);
+    const std::size_t idx = Idx(i);
+    const Bits admitted = regular_queue_[idx].Enqueue(now, bits);
     total_arrivals_ += bits;
+    total_queued_ += admitted;
+    if (admitted > 0 && in_active_[idx] == 0) {
+      in_active_[idx] = 1;
+      active_.push_back(i);
+    }
   }
 
   // --- allocation -----------------------------------------------------------
-  void SetRegular(std::int64_t i, Bandwidth bw) { regular_bw_[Idx(i)] = bw; }
-  void SetOverflow(std::int64_t i, Bandwidth bw) { overflow_bw_[Idx(i)] = bw; }
+  void SetRegular(std::int64_t i, Bandwidth bw) {
+    Bandwidth& cur = regular_bw_[Idx(i)];
+    if (cur.raw() == bw.raw()) return;
+    total_regular_raw_ += bw.raw() - cur.raw();
+    MarkAllocDirty(i);
+    cur = bw;
+  }
+  void SetOverflow(std::int64_t i, Bandwidth bw) {
+    Bandwidth& cur = overflow_bw_[Idx(i)];
+    if (cur.raw() == bw.raw()) return;
+    total_overflow_raw_ += bw.raw() - cur.raw();
+    MarkAllocDirty(i);
+    cur = bw;
+  }
   void AddOverflow(std::int64_t i, Bandwidth delta) {
-    overflow_bw_[Idx(i)] += delta;
-    BW_CHECK(overflow_bw_[Idx(i)].raw() >= 0,
-             "overflow bandwidth went negative");
+    if (delta.raw() == 0) return;
+    Bandwidth& cur = overflow_bw_[Idx(i)];
+    cur += delta;
+    BW_CHECK(cur.raw() >= 0, "overflow bandwidth went negative");
+    total_overflow_raw_ += delta.raw();
+    MarkAllocDirty(i);
   }
 
   Bandwidth regular_bw(std::int64_t i) const { return regular_bw_[Idx(i)]; }
   Bandwidth overflow_bw(std::int64_t i) const { return overflow_bw_[Idx(i)]; }
   Bandwidth TotalRegular() const {
-    Bandwidth sum;
-    for (const Bandwidth b : regular_bw_) sum += b;
-    return sum;
+    return Bandwidth::FromRaw(total_regular_raw_);
   }
   Bandwidth TotalOverflow() const {
-    Bandwidth sum;
-    for (const Bandwidth b : overflow_bw_) sum += b;
-    return sum;
+    return Bandwidth::FromRaw(total_overflow_raw_);
   }
 
   // --- queues ---------------------------------------------------------------
@@ -78,23 +109,22 @@ class SessionChannels {
   Bits overflow_queue_size(std::int64_t i) const {
     return overflow_queue_[Idx(i)].size();
   }
-  Bits TotalQueued() const {
-    Bits sum = 0;
-    for (const auto& q : regular_queue_) sum += q.size();
-    for (const auto& q : overflow_queue_) sum += q.size();
-    return sum;
-  }
+  Bits TotalQueued() const { return total_queued_; }
 
-  // Fig. 4 / Fig. 5: "move the content of Q_r to Q_o".
+  // Fig. 4 / Fig. 5: "move the content of Q_r to Q_o". Queued totals and
+  // the active list are unchanged: the bits stay within the session.
   void MoveRegularToOverflow(std::int64_t i) {
     regular_queue_[Idx(i)].DrainInto(overflow_queue_[Idx(i)]);
   }
 
   // GLOBAL RESET of the combined algorithm: drain every queue of session i
-  // into an external queue.
+  // into an external queue. The session goes quiescent; its active-list
+  // entry (if any) is reaped lazily by the next ServeActiveSlot.
   void DrainSessionInto(std::int64_t i, BitQueue& dst) {
-    overflow_queue_[Idx(i)].DrainInto(dst);
-    regular_queue_[Idx(i)].DrainInto(dst);
+    const std::size_t idx = Idx(i);
+    total_queued_ -= overflow_queue_[idx].size() + regular_queue_[idx].size();
+    overflow_queue_[idx].DrainInto(dst);
+    regular_queue_[idx].DrainInto(dst);
   }
 
   // --- service ---------------------------------------------------------------
@@ -104,8 +134,53 @@ class SessionChannels {
     for (std::size_t i = 0; i < sessions_; ++i) {
       served += ServeSession(i, now);
     }
+    CompactActive();
     total_delivered_ += served;
+    total_queued_ -= served;
     return served;
+  }
+
+  // Serve only sessions with queued bits; identical delivery to ServeSlot
+  // because an empty session delivers nothing and banks no credit (both
+  // disciplines zero their credit when the queues are empty). Sessions that
+  // drain during the pass are dropped from the active list.
+  Bits ServeActiveSlot(Time now) {
+    Bits served = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < active_.size(); ++r) {
+      const std::int64_t i = active_[r];
+      const std::size_t idx = static_cast<std::size_t>(i);
+      served += ServeSession(idx, now);
+      if (regular_queue_[idx].empty() && overflow_queue_[idx].empty()) {
+        in_active_[idx] = 0;
+      } else {
+        active_[w++] = i;
+      }
+    }
+    active_.resize(w);
+    total_delivered_ += served;
+    total_queued_ -= served;
+    return served;
+  }
+
+  // --- event-engine support ---------------------------------------------------
+  // Turns on allocation-dirty tracking. From this point every session whose
+  // regular/overflow bandwidth actually changes value is recorded (once)
+  // until the next DrainAllocDirty.
+  void EnableAllocDirtyTracking() const {
+    track_alloc_dirty_ = true;
+    alloc_dirty_flag_.assign(sessions_, 0);
+    alloc_dirty_.clear();
+  }
+
+  // Moves the accumulated dirty-session list into `out` (unsorted) and
+  // resets the tracker for the next slot.
+  void DrainAllocDirty(std::vector<std::int64_t>* out) const {
+    out->clear();
+    out->swap(alloc_dirty_);
+    for (const std::int64_t i : *out) {
+      alloc_dirty_flag_[static_cast<std::size_t>(i)] = 0;
+    }
   }
 
   // --- measurement ------------------------------------------------------------
@@ -121,6 +196,29 @@ class SessionChannels {
     BW_CHECK(i >= 0 && static_cast<std::size_t>(i) < sessions_,
              "session index out of range");
     return static_cast<std::size_t>(i);
+  }
+
+  void MarkAllocDirty(std::int64_t i) {
+    if (!track_alloc_dirty_) return;
+    auto& flag = alloc_dirty_flag_[static_cast<std::size_t>(i)];
+    if (flag) return;
+    flag = 1;
+    alloc_dirty_.push_back(i);
+  }
+
+  // Drops active-list entries whose session went empty through a path that
+  // bypasses ServeActiveSlot (e.g. the naive full ServeSlot).
+  void CompactActive() {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < active_.size(); ++r) {
+      const std::size_t idx = static_cast<std::size_t>(active_[r]);
+      if (regular_queue_[idx].empty() && overflow_queue_[idx].empty()) {
+        in_active_[idx] = 0;
+      } else {
+        active_[w++] = active_[r];
+      }
+    }
+    active_.resize(w);
   }
 
   Bits ServeSession(std::size_t i, Time now) {
@@ -153,6 +251,14 @@ class SessionChannels {
   std::vector<DelayHistogram> delay_;
   Bits total_arrivals_ = 0;
   Bits total_delivered_ = 0;
+  std::int64_t total_regular_raw_ = 0;
+  std::int64_t total_overflow_raw_ = 0;
+  Bits total_queued_ = 0;
+  std::vector<std::int64_t> active_;
+  std::vector<char> in_active_;
+  mutable bool track_alloc_dirty_ = false;
+  mutable std::vector<char> alloc_dirty_flag_;
+  mutable std::vector<std::int64_t> alloc_dirty_;
 };
 
 }  // namespace bwalloc

@@ -1,0 +1,128 @@
+// Bucketed timer wheel for per-session wakeups in the event-driven engine.
+//
+// The event engine only touches a session on the slot where something about
+// it changes: a demand arrival, a REDUCE lease expiring, a phase boundary.
+// Arrivals come from the sparse trace; the other two are *scheduled* — the
+// algorithm knows at slot t that session i must be revisited at exactly
+// t + D_O. This wheel stores those future wakeups in O(1) per schedule and
+// pops the ones due each slot in O(due + bucket collisions).
+//
+// Design constraints, in order of importance:
+//   1. Determinism. Same-slot wakeups pop in insertion (schedule) order, so
+//      a run replays byte-identically regardless of wheel capacity.
+//   2. Exactness. A wakeup fires on exactly its due slot, never early/late.
+//      Buckets are a power-of-two ring indexed by `due & mask`; an entry
+//      whose due slot is more than one revolution away simply stays in its
+//      bucket across pops until its exact slot comes around (wrap-around
+//      safe by value comparison, not by residue).
+//   3. Lazy cancellation. Cancel() is O(1): the entry id is dropped from
+//      the live set and the bucket entry is skipped at pop time. Cancelling
+//      twice, or cancelling an already-fired id, is a no-op that returns
+//      false — reschedule is therefore Cancel + ScheduleAt with no
+//      double-fire hazard.
+//
+// PopDue(now, fn) must be called for every slot in ascending order (the
+// engine's slot loop guarantees this); an entry whose due slot is skipped
+// would otherwise linger until time wraps, which never happens for int64
+// slots.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+template <typename Payload>
+class TimerWheel {
+ public:
+  // `buckets_hint` is rounded up to a power of two. A hint at least as
+  // large as the longest schedule distance (e.g. D_O + 1) keeps every
+  // bucket scan collision-free; smaller hints stay correct but scan
+  // not-yet-due entries that alias onto the same bucket.
+  explicit TimerWheel(std::int64_t buckets_hint = 64) {
+    std::int64_t n = 1;
+    while (n < buckets_hint) n <<= 1;
+    buckets_.resize(static_cast<std::size_t>(n));
+    mask_ = n - 1;
+  }
+
+  // Schedules `payload` to fire at exactly slot `due`. Returns an id for
+  // Cancel(). Scheduling in the past (before the next PopDue slot) is the
+  // caller's bug; the wheel cannot detect it and the entry will never fire.
+  std::uint64_t ScheduleAt(Time due, Payload payload) {
+    BW_REQUIRE(due >= 0, "TimerWheel: negative due slot");
+    const std::uint64_t id = next_id_++;
+    buckets_[static_cast<std::size_t>(due & mask_)].push_back(
+        Entry{due, id, std::move(payload)});
+    live_.insert(id);
+    return id;
+  }
+
+  // Drops a pending wakeup. Returns true when `id` was still pending,
+  // false when it already fired or was already cancelled (idempotent).
+  bool Cancel(std::uint64_t id) { return live_.erase(id) > 0; }
+
+  // Invokes fn(payload) for every entry due at exactly `now`, in the order
+  // the entries were scheduled. Fired and cancelled entries are removed
+  // from the bucket; future entries (including wrap-around aliases) stay.
+  template <typename Fn>
+  void PopDue(Time now, Fn&& fn) {
+    if (live_.empty()) return;
+    auto& bucket = buckets_[static_cast<std::size_t>(now & mask_)];
+    if (bucket.empty()) return;
+    // Entries were appended in schedule order, and ids are monotone, so a
+    // single forward pass both fires due entries in order and compacts the
+    // bucket in place.
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < bucket.size(); ++r) {
+      Entry& e = bucket[r];
+      const bool cancelled = live_.count(e.id) == 0;
+      if (e.due == now) {
+        if (!cancelled) {
+          live_.erase(e.id);
+          fn(e.payload);
+        }
+        continue;  // fired or cancelled: drop
+      }
+      if (cancelled) continue;  // cancelled future alias: drop eagerly
+      if (keep != r) bucket[keep] = std::move(e);
+      ++keep;
+    }
+    bucket.resize(keep);
+  }
+
+  std::int64_t pending() const { return static_cast<std::int64_t>(live_.size()); }
+
+  bool empty() const { return live_.empty(); }
+
+  // Drops every pending wakeup (stage reset). Ids from before Clear() are
+  // dead: cancelling them returns false.
+  void Clear() {
+    if (live_.empty()) return;
+    for (auto& bucket : buckets_) bucket.clear();
+    live_.clear();
+  }
+
+  std::int64_t bucket_count() const {
+    return static_cast<std::int64_t>(buckets_.size());
+  }
+
+ private:
+  struct Entry {
+    Time due;
+    std::uint64_t id;
+    Payload payload;
+  };
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::int64_t mask_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,68 @@
+#include "traffic/sparse_bursts.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace bwalloc {
+
+SparseMultiTrace SparseBurstTrace(const SparseBurstParams& params) {
+  BW_REQUIRE(params.sessions >= 1, "sparse-bursts: sessions must be >= 1");
+  BW_REQUIRE(params.horizon >= 1, "sparse-bursts: horizon must be >= 1");
+  BW_REQUIRE(params.bursts_per_slot >= 0,
+             "sparse-bursts: negative burst rate");
+  BW_REQUIRE(params.burst_scale >= 1, "sparse-bursts: burst_scale must be >= 1");
+  BW_REQUIRE(params.tail_cap >= 0 && params.tail_cap <= 40,
+             "sparse-bursts: tail_cap out of range [0, 40]");
+
+  Rng rng(params.seed);
+  const auto whole = static_cast<std::int64_t>(params.bursts_per_slot);
+  const double frac = params.bursts_per_slot - static_cast<double>(whole);
+
+  SparseMultiTrace out;
+  out.sessions = params.sessions;
+  out.horizon = params.horizon;
+  out.slot_offsets.reserve(static_cast<std::size_t>(params.horizon) + 1);
+  out.slot_offsets.push_back(0);
+
+  std::vector<SessionArrival> slot;
+  for (Time t = 0; t < params.horizon; ++t) {
+    const std::int64_t n = whole + (frac > 0 && rng.Bernoulli(frac) ? 1 : 0);
+    slot.clear();
+    for (std::int64_t b = 0; b < n; ++b) {
+      const std::int64_t session = rng.UniformInt(0, params.sessions - 1);
+      // Trailing zeros of a uniform word are geometric(1/2): the l-th
+      // doubling of the burst size is half as likely as the (l-1)-th —
+      // the log2 quantization of a Pareto(alpha=1) tail.
+      const std::int64_t level = std::min<std::int64_t>(
+          std::countr_zero(rng.Next() | (std::uint64_t{1} << 63)),
+          params.tail_cap);
+      slot.push_back({session, params.burst_scale << level});
+    }
+    std::sort(slot.begin(), slot.end(),
+              [](const SessionArrival& a, const SessionArrival& b) {
+                return a.session < b.session;
+              });
+    // One entry per session per slot: a session drawn twice bursts bigger,
+    // not twice.
+    for (const SessionArrival& a : slot) {
+      if (!out.arrivals.empty() &&
+          static_cast<std::int64_t>(out.arrivals.size()) >
+              out.slot_offsets.back() &&
+          out.arrivals.back().session == a.session) {
+        out.arrivals.back().bits += a.bits;
+      } else {
+        out.arrivals.push_back(a);
+      }
+    }
+    out.slot_offsets.push_back(static_cast<std::int64_t>(out.arrivals.size()));
+  }
+  out.Validate();
+  return out;
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,35 @@
+// Heavy-tailed sparse arrival traces for the event-engine scale benches.
+//
+// At a million sessions a dense trace matrix (k x horizon) is unbuildable
+// — the whole point of the event engine is that per-slot work scales with
+// the sessions that actually move. This generator emits the engine's
+// native SparseMultiTrace directly: per slot, a small sorted set of
+// (session, burst) arrivals whose sizes follow a log2-quantized Pareto
+// tail (P[size = scale * 2^l] = 2^-(l+1), capped), the discrete stand-in
+// for the alpha=1 heavy tail of the traffic literature. Everything is
+// integer arithmetic off one seeded Rng — no libm, so traces are
+// bit-reproducible across platforms and the differential harness can
+// compare engines on them byte for byte.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine_multi.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct SparseBurstParams {
+  std::int64_t sessions = 1024;
+  Time horizon = 1000;
+  // Expected bursts per slot (Bernoulli on the fractional part); sessions
+  // are drawn uniformly, so per-session activity is ~horizon * rate / k.
+  double bursts_per_slot = 4.0;
+  Bits burst_scale = 32;    // smallest burst, bits
+  std::int64_t tail_cap = 8;  // largest burst = burst_scale << tail_cap
+  std::uint64_t seed = 1;
+};
+
+SparseMultiTrace SparseBurstTrace(const SparseBurstParams& params);
+
+}  // namespace bwalloc

@@ -1,0 +1,468 @@
+// Differential harness gating the event-driven multi-session engine.
+//
+// The event engine (RunMultiSessionEvent + the algorithms' StepSparse
+// paths) promises *byte identity* with the naive engine: same NDJSON
+// trace, same auditor report, same MultiRunResult — not "statistically
+// close", identical. This file is that gate. Each cell of a property grid
+// runs the same workload through both engines with full tracing and a
+// live auditor, then compares the three artifacts byte for byte. Grids
+// cover all three algorithms (plus the combined algorithm's continuous
+// inner variant), every multi-session workload shape, fault-free and
+// faulted control planes, and multiple ParallelSweep --jobs values.
+//
+// The negative control proves the gate has teeth: an engine whose
+// scheduled wakeups (phase boundaries, REDUCE leases) fire one slot late
+// — armed via PerturbEventWakeupsForTest() — must produce *different*
+// bytes on a workload that exercises those wakeups. If the perturbed run
+// ever compares equal, the harness has gone blind and the test fails.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/combined.h"
+#include "core/multi_continuous.h"
+#include "core/multi_phased.h"
+#include "core/params.h"
+#include "net/multi_faults.h"
+#include "net/path.h"
+#include "obs/audit/auditor.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
+#include "runner/parallel_sweep.h"
+#include "sim/engine_multi.h"
+#include "traffic/workload_suite.h"
+#include "util/fixed_point.h"
+#include "util/types.h"
+
+namespace bwalloc {
+namespace {
+
+enum class Engine { kNaive, kEvent, kEventPerturbed };
+
+struct RunSpec {
+  std::string algo = "phased";  // phased|continuous|combined|combined-continuous
+  MultiWorkloadKind kind = MultiWorkloadKind::kRotatingHotspot;
+  std::int64_t k = 4;
+  Bits bo = 64;  // total offline bandwidth B_O
+  Time d_o = 8;
+  Time horizon = 500;
+  std::uint64_t seed = 1;
+  std::int64_t hops = 0;  // > 0 wraps the fault-lane adapter
+  FaultPlan plan;
+
+  std::string Label() const {
+    std::string s = algo + "/" + ToString(kind) + "/k=" + std::to_string(k) +
+                    "/seed=" + std::to_string(seed);
+    if (hops > 0) s += "/hops=" + std::to_string(hops);
+    return s;
+  }
+};
+
+struct RunArtifacts {
+  MultiRunResult result;
+  std::string trace_ndjson;
+  std::string audit_json;
+  EventEngineStats stats;
+};
+
+Bits DeclaredTotal(const RunSpec& spec) {
+  const std::int64_t mult = spec.algo == "phased"       ? 4
+                            : spec.algo == "continuous" ? 5
+                            : spec.algo == "combined"   ? 7
+                                                        : 8;
+  return mult * spec.bo;
+}
+
+std::unique_ptr<MultiSessionSystem> MakeSystem(const RunSpec& spec) {
+  if (spec.algo == "phased" || spec.algo == "continuous") {
+    MultiSessionParams p;
+    p.sessions = spec.k;
+    p.offline_bandwidth = spec.bo;
+    p.offline_delay = spec.d_o;
+    if (spec.algo == "phased") return std::make_unique<PhasedMulti>(p);
+    return std::make_unique<ContinuousMulti>(p);
+  }
+  CombinedParams p;
+  p.sessions = spec.k;
+  p.offline_bandwidth = spec.bo;
+  p.offline_delay = spec.d_o;
+  p.offline_utilization = Ratio(1, 2);
+  p.window = 2 * spec.d_o;
+  p.continuous_inner = spec.algo == "combined-continuous";
+  return std::make_unique<CombinedOnline>(p);
+}
+
+// Mirrors `bwsim multi --audit` so the harness certifies the exact
+// configuration users run.
+AuditConfig MakeAuditConfig(const RunSpec& spec) {
+  AuditConfig cfg =
+      MultiAuditConfig(spec.k, spec.bo, spec.d_o, spec.algo == "phased");
+  const bool combined =
+      spec.algo == "combined" || spec.algo == "combined-continuous";
+  if (combined) {
+    cfg.phased = false;
+    cfg.max_total_bandwidth = DeclaredTotal(spec);
+    cfg.max_overflow_bandwidth = 0;
+    cfg.loose_stages = true;
+  }
+  if (spec.hops > 0) {
+    cfg.delay_slack = 2 * (spec.hops + spec.plan.max_jitter) + 2;
+    cfg.degraded_delay_slack = 8 * spec.d_o + 64 * spec.hops;
+    cfg.fault_recovery_bound = 64 + 2 * (spec.hops + spec.plan.max_jitter) + 8;
+    if (combined) cfg.max_delay = 0;
+  }
+  return cfg;
+}
+
+RunArtifacts RunOne(const RunSpec& spec, Engine engine) {
+  const std::vector<std::vector<Bits>> traces = MultiSessionWorkload(
+      spec.kind, spec.k, spec.bo, spec.d_o, spec.horizon, spec.seed);
+
+  std::unique_ptr<MultiSessionSystem> sys = MakeSystem(spec);
+  RobustMultiSessionAdapter* robust = nullptr;
+  if (spec.hops > 0) {
+    RobustMultiOptions mopts;
+    mopts.fallback_bandwidth = DeclaredTotal(spec);
+    auto adapter = std::make_unique<RobustMultiSessionAdapter>(
+        std::move(sys), NetworkPath::Uniform(spec.hops, 1, 1.0), spec.plan,
+        mopts);
+    robust = adapter.get();
+    sys = std::move(adapter);
+  }
+
+  MultiEngineOptions opt;
+  opt.drain_slots = 8 * spec.d_o + (spec.hops > 0 ? 64 * spec.hops : 0);
+  BufferTraceSink sink;
+  Auditor auditor(MakeAuditConfig(spec));
+  AuditingSink audit_sink(&auditor, &sink);
+  opt.tracer = Tracer(&audit_sink, kAllEvents, {"eq", 0});
+
+  RunArtifacts out;
+  if (engine == Engine::kNaive) {
+    out.result = RunMultiSession(traces, *sys, opt);
+  } else {
+    opt.event_stats = &out.stats;
+    const SparseMultiTrace sparse = SparseMultiTrace::FromDense(traces);
+    if (engine == Engine::kEventPerturbed) sys->PerturbEventWakeupsForTest();
+    out.result = RunMultiSessionEvent(sparse, *sys, opt);
+  }
+  if (robust != nullptr) {
+    out.result.faults = robust->fault_stats();
+    out.result.per_session_faults = robust->per_session_fault_stats();
+  }
+  auditor.Finish();
+  out.trace_ndjson = sink.ToNdjson();
+  out.audit_json = auditor.ReportJson();
+  return out;
+}
+
+// Index (1-based line number) of the first NDJSON line where a and b
+// disagree, with both lines, for an actionable failure message.
+std::string DescribeFirstDiff(const std::string& a, const std::string& b) {
+  std::size_t line = 1;
+  std::size_t ai = 0;
+  std::size_t bi = 0;
+  while (ai < a.size() && bi < b.size()) {
+    const std::size_t ae = a.find('\n', ai);
+    const std::size_t be = b.find('\n', bi);
+    const std::string la = a.substr(ai, ae == std::string::npos ? a.size() - ai
+                                                                : ae - ai);
+    const std::string lb = b.substr(bi, be == std::string::npos ? b.size() - bi
+                                                                : be - bi);
+    if (la != lb) {
+      return "line " + std::to_string(line) + ": naive=" + la +
+             " event=" + lb;
+    }
+    if (ae == std::string::npos || be == std::string::npos) break;
+    ai = ae + 1;
+    bi = be + 1;
+    ++line;
+  }
+  return "line " + std::to_string(line) + ": one trace ends early (naive " +
+         std::to_string(a.size()) + " bytes, event " + std::to_string(b.size()) +
+         " bytes)";
+}
+
+// "" when the event engine reproduced the naive engine byte for byte.
+std::string CompareEngines(const RunSpec& spec) {
+  const RunArtifacts naive = RunOne(spec, Engine::kNaive);
+  const RunArtifacts event = RunOne(spec, Engine::kEvent);
+  if (naive.trace_ndjson != event.trace_ndjson) {
+    return spec.Label() +
+           ": trace diverges at " +
+           DescribeFirstDiff(naive.trace_ndjson, event.trace_ndjson);
+  }
+  if (naive.audit_json != event.audit_json) {
+    return spec.Label() + ": audit reports differ: naive=" + naive.audit_json +
+           " event=" + event.audit_json;
+  }
+  if (!(naive.result == event.result)) {
+    return spec.Label() + ": MultiRunResult differs (traces identical — "
+           "engine-side aggregation bug)";
+  }
+  if (spec.hops > 0 && !event.stats.dense_fallback) {
+    return spec.Label() + ": adapter run should use the dense fallback";
+  }
+  if (spec.hops == 0 && event.stats.dense_fallback) {
+    return spec.Label() + ": direct system should step sparsely";
+  }
+  return "";
+}
+
+const std::vector<std::string> kAlgos = {"phased", "continuous", "combined",
+                                         "combined-continuous"};
+const std::vector<MultiWorkloadKind> kKinds = {
+    MultiWorkloadKind::kBalanced, MultiWorkloadKind::kRotatingHotspot,
+    MultiWorkloadKind::kChurn, MultiWorkloadKind::kSkewed};
+
+// algos x kinds x k x seeds, fault-free, at --jobs 4. The k grid spans the
+// smallest legal session count through a share that does not divide B_O
+// evenly (k = 3: Q16 rounding paths).
+TEST(EngineEquivalence, FaultFreeGridIsByteIdentical) {
+  const std::vector<std::int64_t> ks = {2, 3, 8};
+  const std::int64_t count =
+      static_cast<std::int64_t>(kAlgos.size() * kKinds.size() * ks.size() * 2);
+  SweepOptions sweep;
+  sweep.jobs = 4;
+  const SweepResult r = ParallelSweep(
+      "engine-eq-fault-free", count,
+      [&](const TaskContext& ctx) {
+        std::int64_t idx = ctx.key.index;
+        RunSpec spec;
+        spec.algo = kAlgos[static_cast<std::size_t>(idx) % kAlgos.size()];
+        idx /= static_cast<std::int64_t>(kAlgos.size());
+        spec.kind = kKinds[static_cast<std::size_t>(idx) % kKinds.size()];
+        idx /= static_cast<std::int64_t>(kKinds.size());
+        spec.k = ks[static_cast<std::size_t>(idx) % ks.size()];
+        idx /= static_cast<std::int64_t>(ks.size());
+        spec.seed = static_cast<std::uint64_t>(idx + 1);
+        spec.bo = 64;  // B_O must be a power of two; k = 3 still splits it
+        spec.d_o = 8;
+        spec.horizon = 500;
+        return CompareEngines(spec);
+      },
+      sweep);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// The same property holds with a serial runner: equivalence (and the
+// sweep verdict) cannot depend on the thread count.
+TEST(EngineEquivalence, FaultFreeGridIsByteIdenticalSingleJob) {
+  const std::int64_t count =
+      static_cast<std::int64_t>(kAlgos.size() * kKinds.size());
+  SweepOptions sweep;
+  sweep.jobs = 1;
+  const SweepResult r = ParallelSweep(
+      "engine-eq-fault-free-j1", count,
+      [&](const TaskContext& ctx) {
+        std::int64_t idx = ctx.key.index;
+        RunSpec spec;
+        spec.algo = kAlgos[static_cast<std::size_t>(idx) % kAlgos.size()];
+        idx /= static_cast<std::int64_t>(kAlgos.size());
+        spec.kind = kKinds[static_cast<std::size_t>(idx) % kKinds.size()];
+        spec.k = 5;
+        spec.seed = 7;
+        spec.bo = 64;
+        spec.horizon = 400;
+        return CompareEngines(spec);
+      },
+      sweep);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// Faulted control plane: the adapter does not implement StepSparse, so
+// the event engine must fall back to exact dense materialization — the
+// lossy/denying/jittery lanes then see identical request streams and the
+// whole run (trace, audit, fault stats) stays byte-identical.
+TEST(EngineEquivalence, FaultedGridIsByteIdentical) {
+  struct Lane {
+    double loss, denial, partial;
+    Time jitter;
+  };
+  const std::vector<Lane> lanes = {{0.05, 0.0, 0.0, 0},
+                                   {0.0, 0.1, 0.05, 1}};
+  const std::vector<std::int64_t> ks = {2, 4};
+  const std::int64_t count = static_cast<std::int64_t>(
+      kAlgos.size() * lanes.size() * ks.size());
+  SweepOptions sweep;
+  sweep.jobs = 4;
+  const SweepResult r = ParallelSweep(
+      "engine-eq-faulted", count,
+      [&](const TaskContext& ctx) {
+        std::int64_t idx = ctx.key.index;
+        RunSpec spec;
+        spec.algo = kAlgos[static_cast<std::size_t>(idx) % kAlgos.size()];
+        idx /= static_cast<std::int64_t>(kAlgos.size());
+        const Lane& lane = lanes[static_cast<std::size_t>(idx) % lanes.size()];
+        idx /= static_cast<std::int64_t>(lanes.size());
+        spec.k = ks[static_cast<std::size_t>(idx) % ks.size()];
+        spec.kind = MultiWorkloadKind::kRotatingHotspot;
+        spec.seed = 3;
+        spec.bo = 64;
+        spec.horizon = 400;
+        spec.hops = 2;
+        spec.plan.loss_rate = lane.loss;
+        spec.plan.denial_rate = lane.denial;
+        spec.plan.partial_grant_rate = lane.partial;
+        spec.plan.max_jitter = lane.jitter;
+        spec.plan.seed = 0xFA1157ULL + static_cast<std::uint64_t>(ctx.key.index);
+        return CompareEngines(spec);
+      },
+      sweep);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// Negative control: an event engine whose wakeups fire one slot late must
+// NOT survive the byte-identity gate. One cell per algorithm family so
+// both wakeup kinds are covered — phase boundaries (phased, combined) and
+// REDUCE leases (continuous, combined-continuous).
+TEST(EngineEquivalence, PerturbedWakeupsAreCaught) {
+  for (const std::string& algo : kAlgos) {
+    RunSpec spec;
+    spec.algo = algo;
+    spec.kind = MultiWorkloadKind::kRotatingHotspot;
+    spec.k = 4;
+    spec.bo = 64;
+    spec.horizon = 500;
+    spec.seed = 2;
+    const RunArtifacts naive = RunOne(spec, Engine::kNaive);
+    const RunArtifacts bad = RunOne(spec, Engine::kEventPerturbed);
+    EXPECT_NE(naive.trace_ndjson, bad.trace_ndjson)
+        << spec.Label()
+        << ": off-by-one wakeups went undetected — the differential gate is "
+           "blind on this configuration";
+  }
+}
+
+// Soak (release mode; the same filter runs under TSan via
+// tools/check.sh engine-eq): the faulted grid is byte-identical across
+// seeds AND the *sweep artifacts* are identical across --jobs values, so
+// the harness itself is schedule-independent.
+TEST(EngineEquivalenceSoak, FaultedGridStableAcrossJobs) {
+  const std::vector<std::string> algos = {"phased", "continuous",
+                                          "combined-continuous"};
+  const std::vector<std::uint64_t> seeds = {11, 12, 13};
+  const std::int64_t count =
+      static_cast<std::int64_t>(algos.size() * seeds.size());
+  const std::vector<int> jobs_grid = {1, 2, 4};
+
+  std::vector<std::vector<std::string>> digests;
+  for (const int jobs : jobs_grid) {
+    std::vector<std::string> digest(static_cast<std::size_t>(count));
+    SweepOptions sweep;
+    sweep.jobs = jobs;
+    const SweepResult r = ParallelSweep(
+        "engine-eq-soak", count,
+        [&](const TaskContext& ctx) {
+          std::int64_t idx = ctx.key.index;
+          RunSpec spec;
+          spec.algo = algos[static_cast<std::size_t>(idx) % algos.size()];
+          idx /= static_cast<std::int64_t>(algos.size());
+          spec.seed = seeds[static_cast<std::size_t>(idx) % seeds.size()];
+          spec.kind = MultiWorkloadKind::kChurn;
+          spec.k = 4;
+          spec.bo = 64;
+          spec.horizon = 400;
+          spec.hops = 1;
+          spec.plan.loss_rate = 0.05;
+          spec.plan.denial_rate = 0.05;
+          spec.plan.max_jitter = 1;
+          spec.plan.seed = spec.seed * 977;
+          const std::string verdict = CompareEngines(spec);
+          if (!verdict.empty()) return verdict;
+          // Tasks write disjoint indices; safe under any jobs value.
+          const RunArtifacts a = RunOne(spec, Engine::kEvent);
+          digest[static_cast<std::size_t>(ctx.key.index)] =
+              a.trace_ndjson + "\n---\n" + a.audit_json;
+          return std::string();
+        },
+        sweep);
+    ASSERT_TRUE(r.ok()) << "jobs=" << jobs << ": " << r.Summary();
+    digests.push_back(std::move(digest));
+  }
+  for (std::size_t j = 1; j < digests.size(); ++j) {
+    EXPECT_EQ(digests[0], digests[j])
+        << "sweep artifacts differ between jobs=" << jobs_grid[0]
+        << " and jobs=" << jobs_grid[j];
+  }
+}
+
+// The event engine's reason to exist: on a churn workload (sessions go
+// silent in epochs) it must touch strictly fewer session-slots than the
+// naive engine's k * (horizon + drain), and it must count every sparse
+// arrival it was fed.
+TEST(EngineEquivalence, EventEngineActuallySparse) {
+  RunSpec spec;
+  spec.algo = "phased";
+  spec.kind = MultiWorkloadKind::kChurn;
+  spec.k = 32;
+  spec.bo = 512;
+  spec.horizon = 600;
+  spec.seed = 5;
+  const std::vector<std::vector<Bits>> traces = MultiSessionWorkload(
+      spec.kind, spec.k, spec.bo, spec.d_o, spec.horizon, spec.seed);
+  const SparseMultiTrace sparse = SparseMultiTrace::FromDense(traces);
+
+  const RunArtifacts a = RunOne(spec, Engine::kEvent);
+  EXPECT_EQ(a.stats.arrival_events,
+            static_cast<std::int64_t>(sparse.arrivals.size()));
+  EXPECT_FALSE(a.stats.dense_fallback);
+  const std::int64_t dense_total =
+      spec.k * (spec.horizon + 8 * spec.d_o);
+  EXPECT_LT(a.stats.touched_session_slots, dense_total)
+      << "event engine touched every session every slot — no sparsity win";
+  EXPECT_GT(a.stats.touched_session_slots, 0);
+}
+
+TEST(SparseMultiTraceTest, FromDenseDropsZerosExactly) {
+  const std::vector<std::vector<Bits>> dense = {
+      {0, 3, 0, 7}, {1, 0, 0, 7}, {0, 0, 0, 0}};
+  const SparseMultiTrace sparse = SparseMultiTrace::FromDense(dense);
+  sparse.Validate();
+  EXPECT_EQ(sparse.sessions, 3);
+  EXPECT_EQ(sparse.horizon, 4);
+  ASSERT_EQ(sparse.slot_offsets.size(), 5u);
+  EXPECT_EQ(sparse.arrivals.size(), 4u);
+  const auto s0 = sparse.Slot(0);
+  ASSERT_EQ(s0.size(), 1u);
+  EXPECT_EQ(s0[0].session, 1);
+  EXPECT_EQ(s0[0].bits, 1);
+  const auto s3 = sparse.Slot(3);
+  ASSERT_EQ(s3.size(), 2u);
+  EXPECT_EQ(s3[0].session, 0);
+  EXPECT_EQ(s3[1].session, 1);
+  EXPECT_TRUE(sparse.Slot(2).empty());
+}
+
+TEST(SparseMultiTraceTest, ValidateRejectsMalformedTraces) {
+  SparseMultiTrace t;
+  t.sessions = 2;
+  t.horizon = 1;
+  t.slot_offsets = {0, 1};
+  t.arrivals = {{5, 1}};  // session out of range
+  EXPECT_THROW(t.Validate(), std::invalid_argument);
+
+  t.arrivals = {{1, -3}};  // negative bits
+  EXPECT_THROW(t.Validate(), std::invalid_argument);
+
+  t.slot_offsets = {0, 2};  // offsets don't span arrivals
+  t.arrivals = {{0, 1}};
+  EXPECT_THROW(t.Validate(), std::invalid_argument);
+
+  t.slot_offsets = {0, 2};  // sessions not ascending within slot
+  t.arrivals = {{1, 1}, {0, 1}};
+  EXPECT_THROW(t.Validate(), std::invalid_argument);
+}
+
+TEST(SparseMultiTraceTest, RaggedDenseTracesRejected) {
+  const std::vector<std::vector<Bits>> dense = {{1, 2}, {1}};
+  EXPECT_THROW(SparseMultiTrace::FromDense(dense), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwalloc

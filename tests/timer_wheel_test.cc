@@ -1,0 +1,172 @@
+// Unit tests for the bucketed timer wheel behind the event-driven engine:
+// exact-slot firing across bucket wrap-around, deterministic same-slot
+// ordering, and cancel/reschedule idempotence (the lazy-cancellation
+// contract the REDUCE lease path depends on).
+#include "sim/timer_wheel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/types.h"
+
+namespace bwalloc {
+namespace {
+
+// Walks the wheel through every slot in [0, horizon), collecting fired
+// payloads as (slot, payload) pairs. Mirrors the engine's slot loop, which
+// is the only supported way to drive PopDue.
+template <typename Payload>
+std::vector<std::pair<Time, Payload>> DrainAll(TimerWheel<Payload>& wheel,
+                                               Time horizon) {
+  std::vector<std::pair<Time, Payload>> fired;
+  for (Time t = 0; t < horizon; ++t) {
+    wheel.PopDue(t, [&](const Payload& p) { fired.push_back({t, p}); });
+  }
+  return fired;
+}
+
+TEST(TimerWheelTest, FiresOnExactSlotOnly) {
+  TimerWheel<int> wheel(8);
+  wheel.ScheduleAt(5, 50);
+  wheel.ScheduleAt(2, 20);
+  auto fired = DrainAll(wheel, 10);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{2, 20}));
+  EXPECT_EQ(fired[1], (std::pair<Time, int>{5, 50}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, WrapAroundAtBucketHorizon) {
+  // 8 buckets; due slots 3, 3+8, 3+16 all alias onto bucket 3. Each must
+  // fire only on its exact slot, surviving earlier pops of the same bucket.
+  TimerWheel<int> wheel(8);
+  ASSERT_EQ(wheel.bucket_count(), 8);
+  wheel.ScheduleAt(3 + 16, 2);
+  wheel.ScheduleAt(3, 0);
+  wheel.ScheduleAt(3 + 8, 1);
+  auto fired = DrainAll(wheel, 32);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{3, 0}));
+  EXPECT_EQ(fired[1], (std::pair<Time, int>{11, 1}));
+  EXPECT_EQ(fired[2], (std::pair<Time, int>{19, 2}));
+}
+
+TEST(TimerWheelTest, WrapAroundManyRevolutions) {
+  // An entry several revolutions out is scanned (and kept) on every
+  // intermediate revolution, then fires exactly once on its slot.
+  TimerWheel<std::string> wheel(4);
+  wheel.ScheduleAt(4 * 25 + 1, "late");
+  wheel.ScheduleAt(1, "early");
+  auto fired = DrainAll(wheel, 4 * 30);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<Time, std::string>{1, "early"}));
+  EXPECT_EQ(fired[1], (std::pair<Time, std::string>{101, "late"}));
+}
+
+TEST(TimerWheelTest, SameSlotOrderingIsScheduleOrder) {
+  // Same-slot entries pop in schedule order regardless of bucket capacity,
+  // and the order is identical across wheels with different capacities —
+  // the determinism the byte-identical trace contract needs.
+  for (const std::int64_t hint : {1, 8, 64}) {
+    TimerWheel<int> wheel(hint);
+    for (int i = 0; i < 16; ++i) wheel.ScheduleAt(7, i);
+    // Interleave an entry due elsewhere to verify it does not disturb the
+    // in-slot order.
+    wheel.ScheduleAt(7 + wheel.bucket_count(), 99);
+    std::vector<int> order;
+    wheel.PopDue(7, [&](int v) { order.push_back(v); });
+    ASSERT_EQ(order.size(), 16u) << "hint=" << hint;
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(order[static_cast<std::size_t>(i)], i) << "hint=" << hint;
+    }
+  }
+}
+
+TEST(TimerWheelTest, CancelPreventsFire) {
+  TimerWheel<int> wheel(8);
+  const auto id = wheel.ScheduleAt(4, 1);
+  wheel.ScheduleAt(4, 2);
+  EXPECT_TRUE(wheel.Cancel(id));
+  auto fired = DrainAll(wheel, 8);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].second, 2);
+}
+
+TEST(TimerWheelTest, CancelIsIdempotent) {
+  TimerWheel<int> wheel(8);
+  const auto id = wheel.ScheduleAt(3, 7);
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id));  // second cancel: no-op
+  EXPECT_FALSE(wheel.Cancel(9999));  // never-issued id: no-op
+  EXPECT_TRUE(DrainAll(wheel, 8).empty());
+  EXPECT_FALSE(wheel.Cancel(id));  // after drain still a no-op
+}
+
+TEST(TimerWheelTest, CancelAfterFireReturnsFalse) {
+  TimerWheel<int> wheel(8);
+  const auto id = wheel.ScheduleAt(2, 5);
+  auto fired = DrainAll(wheel, 4);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_FALSE(wheel.Cancel(id));
+}
+
+TEST(TimerWheelTest, RescheduleFiresExactlyOnceAtNewTime) {
+  // Reschedule = Cancel + ScheduleAt. The old entry must not fire, the new
+  // one fires exactly once, and repeating the dance is safe.
+  TimerWheel<int> wheel(8);
+  auto id = wheel.ScheduleAt(3, 42);
+  EXPECT_TRUE(wheel.Cancel(id));
+  id = wheel.ScheduleAt(6, 42);
+  EXPECT_TRUE(wheel.Cancel(id));
+  id = wheel.ScheduleAt(9, 42);
+  (void)id;
+  auto fired = DrainAll(wheel, 16);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{9, 42}));
+}
+
+TEST(TimerWheelTest, RescheduleOntoSameSlotKeepsSingleFire) {
+  TimerWheel<int> wheel(4);
+  const auto id = wheel.ScheduleAt(5, 1);
+  EXPECT_TRUE(wheel.Cancel(id));
+  wheel.ScheduleAt(5, 2);
+  auto fired = DrainAll(wheel, 8);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{5, 2}));
+}
+
+TEST(TimerWheelTest, ClearDropsEverything) {
+  TimerWheel<int> wheel(8);
+  const auto id = wheel.ScheduleAt(2, 1);
+  wheel.ScheduleAt(10, 2);
+  EXPECT_EQ(wheel.pending(), 2);
+  wheel.Clear();
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_TRUE(DrainAll(wheel, 16).empty());
+  EXPECT_FALSE(wheel.Cancel(id));  // pre-Clear ids are dead
+  // The wheel is reusable after Clear.
+  wheel.ScheduleAt(20, 3);
+  std::vector<std::pair<Time, int>> fired;
+  for (Time t = 16; t < 24; ++t) {
+    wheel.PopDue(t, [&](int v) { fired.push_back({t, v}); });
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{20, 3}));
+}
+
+TEST(TimerWheelTest, PendingCountTracksLiveEntries) {
+  TimerWheel<int> wheel(8);
+  EXPECT_EQ(wheel.pending(), 0);
+  const auto a = wheel.ScheduleAt(1, 0);
+  wheel.ScheduleAt(2, 0);
+  EXPECT_EQ(wheel.pending(), 2);
+  wheel.Cancel(a);
+  EXPECT_EQ(wheel.pending(), 1);
+  DrainAll(wheel, 4);
+  EXPECT_EQ(wheel.pending(), 0);
+}
+
+}  // namespace
+}  // namespace bwalloc

@@ -11,14 +11,17 @@
 //       no BENCH files at all, so a mis-wired CI step cannot pass
 //       vacuously).
 //
-//   bench_diff OLD_DIR NEW_DIR [--ns-slack=F]
+//   bench_diff OLD_DIR NEW_DIR [--ns-slack=F] [--max-slowdown=F]
 //       Diff two trees. Regressions (exit 1): a bench or bounded row
 //       present in OLD missing from NEW, any row whose pass flipped
 //       true -> false (with the measured/bound values that crossed), and
 //       ns_per_slot growing beyond F x the old value (default 1.5;
 //       --ns-slack=0 disables — wall-clock is advisory, so it is
 //       threshold-gated, never byte-compared). Improvements and new rows
-//       are reported as notes.
+//       are reported as notes. --max-slowdown=F additionally gates
+//       throughput.slots_per_sec: a bench whose slot rate drops below
+//       (1 - F) x the old value regresses (e.g. 0.15 allows a 15%% drop;
+//       default 0 = disabled, for the same wall-clock-is-noisy reason).
 //
 // Exit codes: 0 clean, 1 regressions/violations found, 2 usage or I/O
 // error.
@@ -252,6 +255,13 @@ double NsPerSlot(const JsonValue& doc) {
   return ns != nullptr && ns->is_number() ? ns->AsDouble() : 0;
 }
 
+double SlotsPerSec(const JsonValue& doc) {
+  const JsonValue* thr = doc.Find("throughput");
+  if (thr == nullptr || !thr->is_object()) return 0;
+  const JsonValue* sps = thr->Find("slots_per_sec");
+  return sps != nullptr && sps->is_number() ? sps->AsDouble() : 0;
+}
+
 bool QuickFlag(const JsonValue& doc) {
   const JsonValue* q = doc.Find("quick");
   return q != nullptr && q->is_bool() && q->AsBool();
@@ -264,7 +274,8 @@ std::string Num(double v) {
 }
 
 void DiffBench(const std::string& name, const JsonValue& before,
-               const JsonValue& after, double ns_slack, Report* rep) {
+               const JsonValue& after, double ns_slack, double max_slowdown,
+               Report* rep) {
   if (QuickFlag(before) != QuickFlag(after)) {
     rep->Note(name + ": quick-mode mismatch between the two runs; "
                      "row grids differ by design");
@@ -308,10 +319,18 @@ void DiffBench(const std::string& name, const JsonValue& before,
                  Num(new_ns) + " exceeds the " + Num(ns_slack) +
                  "x slack");
   }
+  const double old_sps = SlotsPerSec(before);
+  const double new_sps = SlotsPerSec(after);
+  if (max_slowdown > 0 && old_sps > 0 &&
+      new_sps < (1.0 - max_slowdown) * old_sps) {
+    rep->Regress(name + ": slots_per_sec " + Num(old_sps) + " -> " +
+                 Num(new_sps) + " dropped more than " +
+                 Num(100.0 * max_slowdown) + "%");
+  }
 }
 
 int RunDiff(const std::string& old_dir, const std::string& new_dir,
-            double ns_slack) {
+            double ns_slack, double max_slowdown) {
   std::map<std::string, std::string> old_files;
   std::map<std::string, std::string> new_files;
   try {
@@ -336,7 +355,7 @@ int RunDiff(const std::string& old_dir, const std::string& new_dir,
     try {
       const JsonValue before = bwalloc::ParseJsonFile(old_path);
       const JsonValue after = bwalloc::ParseJsonFile(it->second);
-      DiffBench(name, before, after, ns_slack, &rep);
+      DiffBench(name, before, after, ns_slack, max_slowdown, &rep);
     } catch (const std::exception& e) {
       rep.Regress(std::string(e.what()));
     }
@@ -350,7 +369,8 @@ int RunDiff(const std::string& old_dir, const std::string& new_dir,
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_diff --validate DIR\n"
-               "       bench_diff OLD_DIR NEW_DIR [--ns-slack=F]\n");
+               "       bench_diff OLD_DIR NEW_DIR [--ns-slack=F]"
+               " [--max-slowdown=F]\n");
   return 2;
 }
 
@@ -359,6 +379,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   double ns_slack = 1.5;
+  double max_slowdown = 0.0;
   std::vector<std::string> positional;
   bool validate = false;
   for (const std::string& arg : args) {
@@ -369,6 +390,16 @@ int main(int argc, char** argv) {
         std::size_t used = 0;
         ns_slack = std::stod(arg.substr(11), &used);
         if (used != arg.size() - 11 || ns_slack < 0) return Usage();
+      } catch (const std::exception&) {
+        return Usage();
+      }
+    } else if (arg.rfind("--max-slowdown=", 0) == 0) {
+      try {
+        std::size_t used = 0;
+        max_slowdown = std::stod(arg.substr(15), &used);
+        if (used != arg.size() - 15 || max_slowdown < 0 || max_slowdown >= 1) {
+          return Usage();
+        }
       } catch (const std::exception&) {
         return Usage();
       }
@@ -383,5 +414,5 @@ int main(int argc, char** argv) {
     return RunValidate(positional[0]);
   }
   if (positional.size() != 2) return Usage();
-  return RunDiff(positional[0], positional[1], ns_slack);
+  return RunDiff(positional[0], positional[1], ns_slack, max_slowdown);
 }

@@ -13,6 +13,11 @@
 //   bwsim multi    --algo phased|continuous|combined --k 4 --bo 64 --do 8
 //                  [--kind rotating-hotspot | --trace file.csv]
 //                  [--horizon 4000] [--seed 1]
+//                  [--engine naive|event] — "event" runs the event-driven
+//                  engine (sparse arrivals + timer-wheel wakeups);
+//                  byte-identical output, differentially tested
+//                  ("event-perturbed" arms the off-by-one negative
+//                  control and MUST diverge — test use only)
 //                  unreliable control plane: [--hops 4] [--loss 0.1]
 //                  [--denial 0.1] [--partial 0.0] [--jitter 2]
 //                  [--fault-seed 0] — wraps the system in a
@@ -34,7 +39,8 @@
 //                          [--fault-jitter 0]
 //                  multi:  [--kinds balanced,churn,...] [--ks 2,4,8]
 //                          [--algo phased|continuous] [--bo-per-session 16]
-//                          [--do 8] and the same --fault-* flags as single
+//                          [--do 8] [--engine naive|event]
+//                          and the same --fault-* flags as single
 //                          (per-session fault lanes derived from one seed)
 //                  tracing: [--trace events.ndjson] [--trace-events all]
 //   bwsim trace-summary --trace events.ndjson [--events 20] [--csv false]
@@ -410,8 +416,12 @@ int RunMulti(Flags& flags) {
   const bool print_metrics = flags.Bool("metrics", false);
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
+  const std::string engine = flags.Str("engine", "naive");
   flags.CheckUnused();
   CheckFaultPlanFlags(plan, /*batch=*/false);
+  if (engine != "naive" && engine != "event" && engine != "event-perturbed") {
+    throw tools::UsageError("flag --engine: naive, event, or event-perturbed");
+  }
 
   const std::vector<std::vector<Bits>> traces =
       trace_path.empty()
@@ -508,7 +518,14 @@ int RunMulti(Flags& flags) {
   if (print_metrics) opt.metrics = &metrics;
   PhaseProfile profile;
   if (print_profile) opt.profile = &profile;
-  MultiRunResult r = RunMultiSession(traces, *sys, opt);
+  MultiRunResult r;
+  if (engine == "naive") {
+    r = RunMultiSession(traces, *sys, opt);
+  } else {
+    const SparseMultiTrace sparse = SparseMultiTrace::FromDense(traces);
+    if (engine == "event-perturbed") sys->PerturbEventWakeupsForTest();
+    r = RunMultiSessionEvent(sparse, *sys, opt);
+  }
   if (robust != nullptr) {
     r.faults = robust->fault_stats();
     r.per_session_faults = robust->per_session_fault_stats();
@@ -732,6 +749,10 @@ int RunBatch(Flags& flags) {
     spec.multi_algo = flags.Str("algo", "phased");
     spec.per_session_bo = flags.Int("bo-per-session", 16);
     spec.d_o = flags.Int("do", 8);
+    spec.engine = flags.Str("engine", "naive");
+    if (spec.engine != "naive" && spec.engine != "event") {
+      throw tools::UsageError("flag --engine: naive or event");
+    }
   } else {
     throw std::invalid_argument("unknown --suite: " + suite_kind);
   }

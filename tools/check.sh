@@ -19,6 +19,12 @@
 #                             # bench_faults_multi --jobs invariance +
 #                             # schema checks (the adapter shards over the
 #                             # batch runner, so races surface here)
+#   tools/check.sh engine-eq  # event-engine differential subset under
+#                             # tsan: the engine-equivalence property
+#                             # grids + the cross-jobs soak (byte-identity
+#                             # over faulted grids at --jobs 1/2/4), the
+#                             # timer-wheel unit tests, and the CLI-level
+#                             # compare_engines gates
 #
 # Build trees are kept per sanitizer (build-asan/, build-tsan/) so repeat
 # runs are incremental. Exits non-zero on any configure, build, or test
@@ -44,8 +50,12 @@ case "$mode" in
     sanitize="thread"; dir="${2:-$repo/build-tsan}"
     test_filter=(-R 'faults_multi|PerSessionPlan|RobustMultiSessionAdapter|MultiFaultSuite')
     ;;
+  engine-eq)
+    sanitize="thread"; dir="${2:-$repo/build-tsan}"
+    test_filter=(-R 'EngineEquivalence|SparseMultiTrace|TimerWheel|bwsim_engine')
+    ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq] [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,63 @@
+# End-to-end differential gate for the event-driven multi-session engine,
+# at the CLI level: runs `bwsim multi --trace-out` once with
+# --engine=naive and once with --engine=<ENGINE> (default "event") on the
+# same flags, then requires the two NDJSON traces to be byte-identical.
+# The in-process property grids live in tests/engine_equivalence_test.cc;
+# this driver proves the *shipped binary* wires the engine flag through
+# the same code path — workload generation, adapter wrapping, audit
+# configuration, trace serialization and all.
+#
+# The gate itself is differentially tested: a ctest runs this script with
+# -DENGINE=event-perturbed (off-by-one wakeups) under expect_fail.cmake
+# and requires the "NDJSON trace differs" failure — proof the comparison
+# can actually fire.
+#
+#   cmake -DBWSIM=path/to/bwsim -DOUT_DIR=work/dir
+#         "-DRUN_ARGS=--algo combined --k 6" [-DENGINE=event]
+#         -P compare_engines.cmake
+#
+# RUN_ARGS is space-separated (not a ;-list) so the whole invocation can
+# itself be nested as one argv element of expect_fail.cmake's CMD.
+if(NOT DEFINED BWSIM OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "compare_engines.cmake: BWSIM and OUT_DIR required")
+endif()
+if(NOT DEFINED ENGINE)
+  set(ENGINE event)
+endif()
+if(NOT DEFINED RUN_ARGS)
+  message(FATAL_ERROR "compare_engines.cmake: RUN_ARGS required")
+endif()
+separate_arguments(RUN_ARGS UNIX_COMMAND "${RUN_ARGS}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(engine naive ${ENGINE})
+  set(trace_file "${OUT_DIR}/trace_${engine}.ndjson")
+  execute_process(
+    COMMAND "${BWSIM}" multi ${RUN_ARGS} --engine ${engine}
+            --trace-out "${trace_file}"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "bwsim multi --engine ${engine} failed (${exit_code})\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS "${trace_file}")
+    message(FATAL_ERROR "no trace written for --engine ${engine}")
+  endif()
+endforeach()
+
+file(SIZE "${OUT_DIR}/trace_naive.ndjson" naive_size)
+if(naive_size EQUAL 0)
+  message(FATAL_ERROR "trace_naive.ndjson is empty — tracing not wired up?")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${OUT_DIR}/trace_naive.ndjson" "${OUT_DIR}/trace_${ENGINE}.ndjson"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+    "NDJSON trace differs between --engine naive and --engine ${ENGINE} "
+    "(${OUT_DIR})")
+endif()

@@ -1,7 +1,8 @@
 # Runs a command that is expected to FAIL with a specific exit code and a
 # stderr message matching a regex. Used by the CLI ctests to pin down the
 # usage-error contract: malformed flags exit 2 (not 1, not a crash) and name
-# the offending flag.
+# the offending flag. STDOUT_REGEX does the same for tools that report
+# failures on stdout (e.g. bench_diff's REGRESSION lines).
 #
 #   cmake -DCMD="$<TARGET_FILE:bwsim>;batch;--jobs=abc"
 #         -DEXPECT_EXIT=2 -DSTDERR_REGEX="flag --jobs: not an integer"
@@ -32,4 +33,10 @@ if(DEFINED STDERR_REGEX AND NOT err MATCHES "${STDERR_REGEX}")
   message(FATAL_ERROR
     "stderr does not match '${STDERR_REGEX}'\n"
     "command: ${CMD}\nstderr:\n${err}")
+endif()
+
+if(DEFINED STDOUT_REGEX AND NOT out MATCHES "${STDOUT_REGEX}")
+  message(FATAL_ERROR
+    "stdout does not match '${STDOUT_REGEX}'\n"
+    "command: ${CMD}\nstdout:\n${out}")
 endif()
