@@ -1,0 +1,172 @@
+// CHECKPOINT — crash-tolerance overhead: what a full-state snapshot costs
+// as a function of the checkpoint interval.
+//
+// One rotating-hotspot multi-session cell (k=4, B_O=64, D_O=8) runs with
+// in-memory checkpoint capture at intervals {off, 512, 128, 32} on the
+// naive engine, {off, 128} on the event engine, plus one on-disk cell
+// (atomic temp+rename to a real file every 128 slots). Reported per
+// config: ns/slot, the overhead percentage against the checkpoint-free
+// run of the same engine, and the serialized blob size. Wall-clock rows
+// are informational (bench_diff gates throughput only under
+// --max-slowdown); the deterministic rows pin the blob size under a hard
+// cap and the final checkpoint's resume slot to exactly the last interval
+// boundary — a drifting cadence or a ballooning snapshot fails the bench
+// itself.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "core/multi_phased.h"
+#include "reporter.h"
+#include "sim/engine_multi.h"
+#include "state/checkpoint.h"
+#include "traffic/workload_suite.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr std::int64_t kSessions = 4;
+constexpr Bits kBo = 64;
+constexpr Time kDo = 8;
+
+struct Config {
+  const char* label;
+  Time every;  // 0 = checkpointing off
+  bool event;  // event-driven engine instead of the naive slot loop
+  bool disk;   // publish to a real file, not just the capture buffer
+};
+
+struct CellOut {
+  double ns_per_slot = 0;
+  std::size_t blob_bytes = 0;
+  Time last_resume_slot = 0;  // meta.next_slot of the final checkpoint
+};
+
+CellOut RunCell(const Config& cfg, Time horizon,
+                const std::filesystem::path& disk_dir) {
+  const auto traces = MultiSessionWorkload(MultiWorkloadKind::kRotatingHotspot,
+                                           kSessions, kBo, kDo, horizon, 42);
+
+  MultiSessionParams p;
+  p.sessions = kSessions;
+  p.offline_bandwidth = kBo;
+  p.offline_delay = kDo;
+  PhasedMulti sys(p);
+
+  MultiEngineOptions opt;
+  opt.drain_slots = 8 * kDo;
+  std::string blob;
+  if (cfg.every > 0) {
+    opt.checkpoint.every = cfg.every;
+    opt.checkpoint.capture = &blob;
+    if (cfg.disk) {
+      opt.checkpoint.dir = disk_dir.string();
+      opt.checkpoint.stem = "bench";
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  if (cfg.event) {
+    const SparseMultiTrace sparse = SparseMultiTrace::FromDense(traces);
+    (void)RunMultiSessionEvent(sparse, sys, opt);
+  } else {
+    (void)RunMultiSession(traces, sys, opt);
+  }
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  CellOut out;
+  out.ns_per_slot = ns / static_cast<double>(horizon);
+  out.blob_bytes = blob.size();
+  if (cfg.every > 0) {
+    out.last_resume_slot = ReadCheckpointMeta(blob, cfg.label).next_slot;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter rep("checkpoint", &argc, argv);
+  const Time horizon = rep.quick() ? 4000 : 20000;
+  const std::filesystem::path disk_dir =
+      std::filesystem::temp_directory_path() / "bwalloc_bench_checkpoint";
+  std::filesystem::create_directories(disk_dir);
+
+  const std::vector<Config> configs = {
+      {"naive,off", 0, false, false},   {"naive,512", 512, false, false},
+      {"naive,128", 128, false, false}, {"naive,32", 32, false, false},
+      {"naive,128,disk", 128, false, true},
+      {"event,off", 0, true, false},    {"event,128", 128, true, false},
+  };
+
+  std::vector<CellOut> cells;
+  {
+    ScopedTimer timer(rep.profile(), "sweep");
+    for (const Config& c : configs) {
+      cells.push_back(RunCell(c, horizon, disk_dir));
+    }
+  }
+  rep.CountWork(static_cast<std::int64_t>(configs.size()) * horizon,
+                static_cast<std::int64_t>(configs.size()));
+
+  // Checkpoint-free reference per engine, for the overhead column.
+  double base[2] = {0, 0};
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].every == 0) base[configs[i].event ? 1 : 0] =
+        cells[i].ns_per_slot;
+  }
+
+  Table table({"config", "every", "ns/slot", "overhead %", "blob KiB",
+               "last ckpt slot"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& c = configs[i];
+    const CellOut& o = cells[i];
+    const double ref = base[c.event ? 1 : 0];
+    const double overhead =
+        c.every > 0 && ref > 0 ? 100.0 * (o.ns_per_slot / ref - 1.0) : 0.0;
+    const double blob_kib = static_cast<double>(o.blob_bytes) / 1024.0;
+    table.AddRow({c.label, Table::Num(c.every), Table::Num(o.ns_per_slot, 1),
+                  Table::Num(overhead, 1), Table::Num(blob_kib, 2),
+                  Table::Num(o.last_resume_slot)});
+    rep.RowInfo(c.label, "ns_per_slot", o.ns_per_slot);
+    if (c.every == 0) continue;
+    rep.RowInfo(c.label, "overhead_pct", overhead);
+    // Deterministic guards: a k=4 snapshot (channels, stage machinery,
+    // counters, meters) must stay small, and the rolling checkpoint's
+    // resume slot must land on the last interval boundary exactly.
+    rep.RowMax(c.label, "blob_kib", blob_kib, 256.0);
+    // The engines keep checkpointing through the drain tail, so the last
+    // boundary is relative to horizon + drain_slots.
+    const Time total_slots = horizon + 8 * kDo;
+    const double expect_slot =
+        static_cast<double>((total_slots / c.every) * c.every);
+    rep.RowMax(c.label, "last_ckpt_slot",
+               static_cast<double>(o.last_resume_slot), expect_slot);
+    rep.RowMin(c.label, "last_ckpt_slot_floor",
+               static_cast<double>(o.last_resume_slot), expect_slot);
+  }
+
+  std::printf("== CHECKPOINT: snapshot overhead vs interval ==\n");
+  std::printf("rotating-hotspot, k=%lld, B_O=%lld, D_O=%lld, %lld slots\n\n",
+              static_cast<long long>(kSessions), static_cast<long long>(kBo),
+              static_cast<long long>(kDo), static_cast<long long>(horizon));
+  table.PrintAscii(std::cout);
+  rep.Save("checkpoint_overhead", table);
+  std::printf(
+      "\nExpected shape: overhead is proportional to 1/every (each snapshot "
+      "serializes\nthe same ~60 KiB of state, so halving the interval "
+      "doubles the cost); the disk\ncell adds the temp+rename publish on "
+      "top of serialization. Blob size is\ninterval-independent: state, "
+      "not history.\n");
+
+  std::error_code ec;
+  std::filesystem::remove_all(disk_dir, ec);
+  return rep.Finish();
+}

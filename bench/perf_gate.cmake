@@ -1,0 +1,44 @@
+# bench-perf gate: run one bench in --quick mode and diff its telemetry
+# against the committed baseline tree. Fails on any bounded row flipping
+# pass -> fail or on throughput.slots_per_sec dropping more than
+# MAX_SLOWDOWN below the baseline (--ns-slack=0: ns_per_slot stays
+# advisory; slots_per_sec is the one gated throughput number).
+#
+#   cmake -DEXE=path/to/bench_x -DDIFF=path/to/bench_diff
+#         -DBASELINE=bench/baselines/bench_x -DOUT_DIR=work/dir
+#         -DMAX_SLOWDOWN=0.10 -P perf_gate.cmake
+if(NOT DEFINED EXE OR NOT DEFINED DIFF OR NOT DEFINED BASELINE
+   OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR
+    "perf_gate.cmake: EXE, DIFF, BASELINE, OUT_DIR required")
+endif()
+if(NOT DEFINED MAX_SLOWDOWN)
+  set(MAX_SLOWDOWN 0.10)
+endif()
+if(NOT EXISTS "${BASELINE}")
+  message(FATAL_ERROR
+    "perf_gate.cmake: no committed baseline at ${BASELINE}; "
+    "see bench/baselines/README.md for the regeneration recipe")
+endif()
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${EXE}" "${OUT_DIR}" --quick
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "bench --quick failed (${exit_code})\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${DIFF}" "${BASELINE}" "${OUT_DIR}"
+          --ns-slack=0 "--max-slowdown=${MAX_SLOWDOWN}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "bench_diff vs committed baseline failed (${exit_code})\n${out}\n${err}")
+endif()

@@ -41,6 +41,7 @@
 #include "sim/hot_set.h"
 #include "sim/session_channels.h"
 #include "sim/timer_wheel.h"
+#include "state/serializer.h"
 #include "util/fixed_point.h"
 #include "util/histogram.h"
 #include "util/types.h"
@@ -94,6 +95,77 @@ class CombinedOnline final : public MultiSessionSystem {
   Bits peak_global_queue() const { return peak_global_queue_; }
 
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  bool SupportsCheckpoint() const override { return true; }
+
+  void SaveState(StateWriter& w) const override {
+    w.Tag("CMB1");
+    channels_.SaveState(w);
+    low_tracker_.SaveState(w);
+    high_tracker_.SaveState(w);
+    w.I64(b_on_);
+    w.I64(share_.raw());
+    w.I64(next_phase_);
+    w.Bool(started_);
+    global_queue_.SaveState(w);
+    w.I64(global_bw_.raw());
+    w.I64(global_delivered_);
+    global_delay_.SaveState(w);
+    w.I64(peak_global_queue_);
+    w.I64(completed_local_stages_);
+    w.I64(completed_global_stages_);
+    w.U64(reductions_.size());
+    for (const auto& [due, list] : reductions_) {
+      w.I64(due);
+      w.U64(list.size());
+      for (const Reduction& red : list) {
+        w.I64(red.session);
+        w.I64(red.amount.raw());
+      }
+    }
+    reduce_wheel_.SaveState(w, [](StateWriter& sw, const Reduction& red) {
+      sw.I64(red.session);
+      sw.I64(red.amount.raw());
+    });
+    hot_.SaveState(w);
+    w.U8(static_cast<std::uint8_t>(mode_));
+  }
+
+  void LoadState(StateReader& r) override {
+    r.Tag("CMB1");
+    channels_.LoadState(r);
+    low_tracker_.LoadState(r);
+    high_tracker_.LoadState(r);
+    b_on_ = r.I64();
+    share_ = Bandwidth::FromRaw(r.I64());
+    next_phase_ = r.I64();
+    started_ = r.Bool();
+    global_queue_.LoadState(r);
+    global_bw_ = Bandwidth::FromRaw(r.I64());
+    global_delivered_ = r.I64();
+    global_delay_.LoadState(r);
+    peak_global_queue_ = r.I64();
+    completed_local_stages_ = r.I64();
+    completed_global_stages_ = r.I64();
+    reductions_.clear();
+    const std::uint64_t n_slots = r.Count(std::uint64_t{1} << 32);
+    for (std::uint64_t s = 0; s < n_slots; ++s) {
+      const Time due = r.I64();
+      auto& list = reductions_[due];
+      list.resize(r.Count(std::uint64_t{1} << 32));
+      for (Reduction& red : list) {
+        red.session = r.I64();
+        red.amount = Bandwidth::FromRaw(r.I64());
+      }
+    }
+    reduce_wheel_.LoadState(r, [](StateReader& sr, Reduction& red) {
+      red.session = sr.I64();
+      red.amount = Bandwidth::FromRaw(sr.I64());
+    });
+    hot_.LoadState(r);
+    mode_ = static_cast<StepMode>(r.U8());
+  }
 
  private:
   enum class StepMode { kNone, kDense, kSparse };

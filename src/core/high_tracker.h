@@ -21,6 +21,7 @@
 
 #include <deque>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/monotonic_deque.h"
 #include "util/ratio.h"
@@ -72,6 +73,26 @@ class HighTracker {
     if (!run_min_.has_value()) return Ratio(max_bandwidth_, 1);
     // run_min / (U_O * W)  =  run_min * U_O.den / (U_O.num * W)
     return Ratio(run_min_.value() * u_o_.den(), u_o_.num() * window_);
+  }
+
+  void SaveState(StateWriter& w) const {
+    w.Tag("HIG1");
+    w.I64(ts_);
+    w.I64(next_slot_);
+    w.U64(recent_.size());
+    for (const Bits b : recent_) w.I64(b);
+    w.I64(window_sum_);
+    run_min_.SaveState(w);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("HIG1");
+    ts_ = r.I64();
+    next_slot_ = r.I64();
+    recent_.assign(r.Count(static_cast<std::uint64_t>(window_)), 0);
+    for (Bits& b : recent_) b = r.I64();
+    window_sum_ = r.I64();
+    run_min_.LoadState(r);
   }
 
  private:
@@ -126,6 +147,22 @@ class GlobalHighTracker {
   Ratio HighAt() const {
     if (cum_ == 0) return Ratio(max_bandwidth_, 1);
     return Ratio(cum_ * u_o_.den(), u_o_.num() * (last_ - ts_ + 1));
+  }
+
+  void SaveState(StateWriter& w) const {
+    w.Tag("GHI1");
+    w.I64(ts_);
+    w.I64(next_slot_);
+    w.I64(last_);
+    w.I64(cum_);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("GHI1");
+    ts_ = r.I64();
+    next_slot_ = r.I64();
+    last_ = r.I64();
+    cum_ = r.I64();
   }
 
  private:

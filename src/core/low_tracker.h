@@ -18,6 +18,7 @@
 // paper's half-open window convention.
 #pragma once
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/envelope.h"
 #include "util/ratio.h"
@@ -57,6 +58,25 @@ class LowTracker {
   }
 
   Ratio current() const { return low_; }
+
+  void SaveState(StateWriter& w) const {
+    w.Tag("LOW1");
+    hull_.SaveState(w);
+    w.I64(cum_);
+    w.I64(low_.num());
+    w.I64(low_.den());
+    w.I64(next_slot_);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("LOW1");
+    hull_.LoadState(r);
+    cum_ = r.I64();
+    const std::int64_t num = r.I64();
+    const std::int64_t den = r.I64();
+    low_ = Ratio(num, den);
+    next_slot_ = r.I64();
+  }
 
  private:
   Time d_o_;

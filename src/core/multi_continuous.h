@@ -22,6 +22,7 @@
 #include "sim/hot_set.h"
 #include "sim/session_channels.h"
 #include "sim/timer_wheel.h"
+#include "state/serializer.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
 
@@ -48,6 +49,55 @@ class ContinuousMulti final : public MultiSessionSystem {
     return Bandwidth::FromBitsPerSlot(5 * params_.offline_bandwidth);
   }
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  bool SupportsCheckpoint() const override { return true; }
+
+  void SaveState(StateWriter& w) const override {
+    w.Tag("CNM1");
+    channels_.SaveState(w);
+    w.I64(completed_stages_);
+    w.Bool(started_);
+    w.U64(reductions_.size());
+    for (const auto& [due, list] : reductions_) {
+      w.I64(due);
+      w.U64(list.size());
+      for (const Reduction& red : list) {
+        w.I64(red.session);
+        w.I64(red.amount.raw());
+      }
+    }
+    reduce_wheel_.SaveState(w, [](StateWriter& sw, const Reduction& red) {
+      sw.I64(red.session);
+      sw.I64(red.amount.raw());
+    });
+    hot_.SaveState(w);
+    w.U8(static_cast<std::uint8_t>(mode_));
+  }
+
+  void LoadState(StateReader& r) override {
+    r.Tag("CNM1");
+    channels_.LoadState(r);
+    completed_stages_ = r.I64();
+    started_ = r.Bool();
+    reductions_.clear();
+    const std::uint64_t n_slots = r.Count(std::uint64_t{1} << 32);
+    for (std::uint64_t s = 0; s < n_slots; ++s) {
+      const Time due = r.I64();
+      auto& list = reductions_[due];
+      list.resize(r.Count(std::uint64_t{1} << 32));
+      for (Reduction& red : list) {
+        red.session = r.I64();
+        red.amount = Bandwidth::FromRaw(r.I64());
+      }
+    }
+    reduce_wheel_.LoadState(r, [](StateReader& sr, Reduction& red) {
+      red.session = sr.I64();
+      red.amount = Bandwidth::FromRaw(sr.I64());
+    });
+    hot_.LoadState(r);
+    mode_ = static_cast<StepMode>(r.U8());
+  }
 
  private:
   enum class StepMode { kNone, kDense, kSparse };

@@ -23,6 +23,7 @@
 #include "sim/engine_multi.h"
 #include "sim/hot_set.h"
 #include "sim/session_channels.h"
+#include "state/serializer.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
 
@@ -49,6 +50,29 @@ class PhasedMulti final : public MultiSessionSystem {
     return Bandwidth::FromBitsPerSlot(4 * params_.offline_bandwidth);
   }
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  bool SupportsCheckpoint() const override { return true; }
+
+  void SaveState(StateWriter& w) const override {
+    w.Tag("PHM1");
+    channels_.SaveState(w);
+    w.I64(next_phase_);
+    w.I64(completed_stages_);
+    w.Bool(started_);
+    hot_.SaveState(w);
+    w.U8(static_cast<std::uint8_t>(mode_));
+  }
+
+  void LoadState(StateReader& r) override {
+    r.Tag("PHM1");
+    channels_.LoadState(r);
+    next_phase_ = r.I64();
+    completed_stages_ = r.I64();
+    started_ = r.Bool();
+    hot_.LoadState(r);
+    mode_ = static_cast<StepMode>(r.U8());
+  }
 
  private:
   enum class StepMode { kNone, kDense, kSparse };

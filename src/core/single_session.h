@@ -87,6 +87,41 @@ class SingleSessionOnline final : public SingleSessionAllocator {
   // Attach a trace observer (not owned; nullptr detaches).
   void SetObserver(StageObserver* observer) { observer_ = observer; }
 
+  // --- checkpoint/restore ---------------------------------------------------
+  bool SupportsCheckpoint() const override { return true; }
+
+  void SaveState(StateWriter& w) const override {
+    w.Tag("SSO1");
+    low_tracker_.SaveState(w);
+    high_tracker_.SaveState(w);
+    global_high_tracker_.SaveState(w);
+    w.U8(state_ == State::kStage ? 1 : 0);
+    w.Bool(started_);
+    w.I64(stage_start_);
+    w.I64(level_);
+    w.I64(current_.raw());
+    w.Bool(have_allocation_);
+    w.I64(completed_stages_);
+    w.I64(changes_in_stage_);
+    w.I64(max_changes_in_stage_);
+  }
+
+  void LoadState(StateReader& r) override {
+    r.Tag("SSO1");
+    low_tracker_.LoadState(r);
+    high_tracker_.LoadState(r);
+    global_high_tracker_.LoadState(r);
+    state_ = r.U8() != 0 ? State::kStage : State::kReset;
+    started_ = r.Bool();
+    stage_start_ = r.I64();
+    level_ = r.I64();
+    current_ = Bandwidth::FromRaw(r.I64());
+    have_allocation_ = r.Bool();
+    completed_stages_ = r.I64();
+    changes_in_stage_ = r.I64();
+    max_changes_in_stage_ = r.I64();
+  }
+
  private:
   enum class State { kReset, kStage };
 

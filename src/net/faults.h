@@ -33,6 +33,7 @@
 #include "obs/tracer.h"
 #include "sim/engine_single.h"
 #include "sim/run_result.h"
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/fixed_point.h"
 #include "util/rng.h"
@@ -182,6 +183,51 @@ class FaultySignalingChannel {
   void SetTracer(const Tracer& tracer, std::int64_t session = -1) {
     tracer_ = tracer;
     session_ = session;
+  }
+
+  // The channel has no persistent RNG object: each request derives a fresh
+  // stream from (plan seed, request index). Serializing stats_.requests IS
+  // serializing the RNG stream position.
+  void SaveState(StateWriter& w) const {
+    w.Tag("FCH1");
+    w.U64(commits_.size());
+    for (const PendingCommit& c : commits_) {
+      w.I64(c.at);
+      w.I64(c.value.raw());
+    }
+    w.U64(nacks_.size());
+    for (const Time t : nacks_) w.I64(t);
+    w.I64(effective_.raw());
+    w.I64(scheduled_tail_.raw());
+    w.I64(acks_arrived_);
+    w.I64(denials_arrived_);
+    w.I64(stats_.requests);
+    w.I64(stats_.commits);
+    w.I64(stats_.losses);
+    w.I64(stats_.denials);
+    w.I64(stats_.partial_grants);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("FCH1");
+    commits_.clear();
+    const std::uint64_t n_commits = r.Count(std::uint64_t{1} << 32);
+    for (std::uint64_t i = 0; i < n_commits; ++i) {
+      const Time at = r.I64();
+      commits_.push_back({at, Bandwidth::FromRaw(r.I64())});
+    }
+    nacks_.clear();
+    const std::uint64_t n_nacks = r.Count(std::uint64_t{1} << 32);
+    for (std::uint64_t i = 0; i < n_nacks; ++i) nacks_.push_back(r.I64());
+    effective_ = Bandwidth::FromRaw(r.I64());
+    scheduled_tail_ = Bandwidth::FromRaw(r.I64());
+    acks_arrived_ = r.I64();
+    denials_arrived_ = r.I64();
+    stats_.requests = r.I64();
+    stats_.commits = r.I64();
+    stats_.losses = r.I64();
+    stats_.denials = r.I64();
+    stats_.partial_grants = r.I64();
   }
 
  private:
@@ -356,6 +402,49 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
     tracer_ = tracer;
     session_ = session;
     channel_.SetTracer(tracer, session);
+  }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  bool SupportsCheckpoint() const override {
+    return inner_->SupportsCheckpoint();
+  }
+
+  void SaveState(StateWriter& w) const override {
+    w.Tag("RSA1");
+    inner_->SaveState(w);
+    channel_.SaveState(w);
+    w.Bool(outstanding_);
+    w.I64(deadline_);
+    w.I64(next_attempt_at_);
+    w.I64(backoff_);
+    w.I64(consecutive_denials_);
+    w.Bool(fallback_);
+    w.I64(last_want_.raw());
+    w.Bool(have_last_want_);
+    w.I64(seen_acks_);
+    w.I64(seen_nacks_);
+    w.I64(timeouts_);
+    w.I64(retries_);
+    w.I64(fallbacks_);
+  }
+
+  void LoadState(StateReader& r) override {
+    r.Tag("RSA1");
+    inner_->LoadState(r);
+    channel_.LoadState(r);
+    outstanding_ = r.Bool();
+    deadline_ = r.I64();
+    next_attempt_at_ = r.I64();
+    backoff_ = r.I64();
+    consecutive_denials_ = r.I64();
+    fallback_ = r.Bool();
+    last_want_ = Bandwidth::FromRaw(r.I64());
+    have_last_want_ = r.Bool();
+    seen_acks_ = r.I64();
+    seen_nacks_ = r.I64();
+    timeouts_ = r.I64();
+    retries_ = r.I64();
+    fallbacks_ = r.I64();
   }
 
  private:

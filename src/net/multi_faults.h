@@ -39,6 +39,7 @@
 #include "sim/engine_multi.h"
 #include "sim/run_result.h"
 #include "sim/session_channels.h"
+#include "state/serializer.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
 
@@ -102,6 +103,62 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
 
   bool in_fallback(std::int64_t session) const;
   std::int64_t sessions() const { return sessions_; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  bool SupportsCheckpoint() const override {
+    return inner_->SupportsCheckpoint();
+  }
+
+  void SaveState(StateWriter& w) const override {
+    w.Tag("RMA1");
+    inner_->SaveState(w);
+    channels_.SaveState(w);
+    w.U64(lanes_.size());
+    for (const Lane& lane : lanes_) {
+      lane.channel.SaveState(w);
+      w.Bool(lane.outstanding);
+      w.I64(lane.deadline);
+      w.I64(lane.next_attempt_at);
+      w.I64(lane.backoff);
+      w.I64(lane.consecutive_denials);
+      w.Bool(lane.fallback);
+      w.I64(lane.last_want.raw());
+      w.Bool(lane.have_last_want);
+      w.I64(lane.seen_acks);
+      w.I64(lane.seen_nacks);
+      w.I64(lane.timeouts);
+      w.I64(lane.retries);
+      w.I64(lane.fallbacks);
+      w.Bool(lane.degraded);
+    }
+  }
+
+  void LoadState(StateReader& r) override {
+    r.Tag("RMA1");
+    inner_->LoadState(r);
+    channels_.LoadState(r);
+    const std::uint64_t n = r.U64();
+    if (n != lanes_.size()) {
+      throw StateFormatError("fault lane count mismatch in checkpoint");
+    }
+    for (Lane& lane : lanes_) {
+      lane.channel.LoadState(r);
+      lane.outstanding = r.Bool();
+      lane.deadline = r.I64();
+      lane.next_attempt_at = r.I64();
+      lane.backoff = r.I64();
+      lane.consecutive_denials = r.I64();
+      lane.fallback = r.Bool();
+      lane.last_want = Bandwidth::FromRaw(r.I64());
+      lane.have_last_want = r.Bool();
+      lane.seen_acks = r.I64();
+      lane.seen_nacks = r.I64();
+      lane.timeouts = r.I64();
+      lane.retries = r.I64();
+      lane.fallbacks = r.I64();
+      lane.degraded = r.Bool();
+    }
+  }
 
  private:
   // One independent stop-and-wait retry state machine per session.

@@ -161,6 +161,11 @@ struct Auditor::Stream {
   // --- high-water marks ---
   Bits last_hwm = -1;
 
+  // --- checkpoint monitor ---
+  bool have_ckpt = false;
+  std::int64_t last_ckpt_total = 0;  // committed allocation raw at capture
+  Time last_ckpt_slot = -1;          // resume slot of the last checkpoint
+
   // Cumulative arrivals through `slot`, given the last pushed entry is for
   // `now`. Slots before the retained window only occur for slot < 0.
   Bits CumAt(Time now, Time slot) const {
@@ -237,6 +242,24 @@ void Auditor::OnRecord(const TraceRecord& record) {
 }
 
 void Auditor::OnEvent(const TraceContext& ctx, const TraceEvent& event) {
+  // kRestore is out-of-band: a recovering engine feeds it directly to the
+  // auditor, never to the journal, so it must leave every piece of stream
+  // accounting untouched — a crashed-and-resumed run's audit report has to
+  // match the uninterrupted run's byte for byte. Only the checkpoint
+  // monitor sees it: a restore that does not reproduce the last
+  // checkpoint's committed total is a corrupted or regressed recovery.
+  if (event.type == TraceEventType::kRestore) {
+    Stream& s = GetStream(ctx);
+    if (!s.have_ckpt || event.a != s.last_ckpt_total ||
+        event.b != s.last_ckpt_slot) {
+      Violate(s, "checkpoint", event.session, event.slot, event.a,
+              s.have_ckpt ? s.last_ckpt_total : -1,
+              "restore does not match the last checkpoint's committed "
+              "allocation total and resume slot");
+    }
+    return;
+  }
+
   ++events_;
   Stream& s = GetStream(ctx);
 
@@ -340,6 +363,23 @@ void Auditor::OnEvent(const TraceContext& ctx, const TraceEvent& event) {
       if (event.slot > lane.last_activity) lane.last_activity = event.slot;
       break;
     }
+    case T::kCheckpoint:
+      // Committed allocation bandwidth-time is cumulative: a checkpoint
+      // claiming less than its predecessor lost committed allocations, and
+      // its resume slot must strictly advance.
+      if (s.have_ckpt && event.a < s.last_ckpt_total) {
+        Violate(s, "checkpoint", event.session, event.slot, event.a,
+                s.last_ckpt_total,
+                "checkpoint regressed the committed allocation total");
+      }
+      if (s.have_ckpt && event.b <= s.last_ckpt_slot) {
+        Violate(s, "checkpoint", event.session, event.slot, event.b,
+                s.last_ckpt_slot, "checkpoint resume slot did not advance");
+      }
+      s.have_ckpt = true;
+      s.last_ckpt_total = event.a;
+      s.last_ckpt_slot = event.b;
+      break;
     default:
       break;
   }

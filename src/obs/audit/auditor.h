@@ -221,6 +221,15 @@ class AuditingSink final : public TraceSink {
     if (downstream_ != nullptr) downstream_->Emit(ctx, event);
   }
 
+  // The journal position lives in the downstream sink (the auditor keeps
+  // no byte stream), so checkpoints see through the splice.
+  std::int64_t events_written() const override {
+    return downstream_ != nullptr ? downstream_->events_written() : 0;
+  }
+  std::int64_t bytes_written() const override {
+    return downstream_ != nullptr ? downstream_->bytes_written() : 0;
+  }
+
  private:
   Auditor* auditor_;
   TraceSink* downstream_;

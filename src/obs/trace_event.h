@@ -40,6 +40,8 @@ enum class TraceEventType : std::uint32_t {
   kSignalRetry,         // a=re-asked rate raw, b=backoff before this attempt
   kSignalFallback,      // a=fallback drain rate in bits/slot
   kSignalRecover,       // a=re-converged committed rate raw
+  kCheckpoint,          // a=committed total raw, b=resume slot
+  kRestore,             // a=restored committed total raw, b=resume slot
   kEventTypeCount,      // sentinel — keep last
 };
 

@@ -36,6 +36,8 @@ constexpr PayloadNames kPayloadNames[kTraceEventTypes] = {
     /*kSignalRetry*/ {"ask_raw", "backoff", nullptr},
     /*kSignalFallback*/ {"rate", nullptr, nullptr},
     /*kSignalRecover*/ {"rate_raw", nullptr, nullptr},
+    /*kCheckpoint*/ {"total_raw", "next_slot", nullptr},
+    /*kRestore*/ {"total_raw", "next_slot", nullptr},
 };
 
 constexpr const char* kEventNames[kTraceEventTypes] = {
@@ -43,7 +45,8 @@ constexpr const char* kEventNames[kTraceEventTypes] = {
     "global_reset",   "level_change",   "alloc_change",    "queue_hwm",
     "phase_boundary", "overflow_shunt", "signal_request",  "signal_commit",
     "signal_loss",    "signal_denial",  "signal_partial",  "signal_timeout",
-    "signal_retry",   "signal_fallback", "signal_recover",
+    "signal_retry",   "signal_fallback", "signal_recover",  "checkpoint",
+    "restore",
 };
 
 // Group names accepted by ParseEventMask in addition to exact event names.
@@ -67,6 +70,9 @@ EventMask GroupMask(const std::string& name) {
            EventBit(T::kSignalPartial) | EventBit(T::kSignalTimeout) |
            EventBit(T::kSignalRetry) | EventBit(T::kSignalFallback) |
            EventBit(T::kSignalRecover);
+  }
+  if (name == "checkpoint") {
+    return EventBit(T::kCheckpoint) | EventBit(T::kRestore);
   }
   return 0;
 }
@@ -107,8 +113,8 @@ EventMask ParseEventMask(const std::string& spec) {
       if (bit == 0) {
         throw std::invalid_argument(
             "unknown trace event '" + token +
-            "' (expected all, slot, stage, alloc, queue, phase, signal, or "
-            "an exact event name)");
+            "' (expected all, slot, stage, alloc, queue, phase, signal, "
+            "checkpoint, or an exact event name)");
       }
       mask |= bit;
     }

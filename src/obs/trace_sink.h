@@ -28,6 +28,13 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void Emit(const TraceContext& ctx, const TraceEvent& event) = 0;
+
+  // Journal position for checkpointing: events (and serialized bytes, for
+  // sinks that write a byte stream) emitted so far. A checkpoint records
+  // these so recovery can truncate the journal to the capture point.
+  // Sinks that do not track a position report 0.
+  virtual std::int64_t events_written() const { return 0; }
+  virtual std::int64_t bytes_written() const { return 0; }
 };
 
 // One event as a compact one-line JSON object (no trailing newline):
@@ -43,13 +50,25 @@ const char* PayloadFieldName(TraceEventType type, int field);
 
 class NdjsonTraceSink final : public TraceSink {
  public:
-  explicit NdjsonTraceSink(std::ostream& out) : out_(out) {}
+  // `initial_events`/`initial_bytes` seed the position counters when the
+  // sink appends to an existing journal (checkpoint recovery).
+  explicit NdjsonTraceSink(std::ostream& out, std::int64_t initial_events = 0,
+                           std::int64_t initial_bytes = 0)
+      : out_(out), events_(initial_events), bytes_(initial_bytes) {}
   void Emit(const TraceContext& ctx, const TraceEvent& event) override {
-    out_ << FormatNdjson(ctx, event) << '\n';
+    const std::string line = FormatNdjson(ctx, event);
+    out_ << line << '\n';
+    ++events_;
+    bytes_ += static_cast<std::int64_t>(line.size()) + 1;
   }
+
+  std::int64_t events_written() const override { return events_; }
+  std::int64_t bytes_written() const override { return bytes_; }
 
  private:
   std::ostream& out_;
+  std::int64_t events_ = 0;
+  std::int64_t bytes_ = 0;
 };
 
 class BufferTraceSink final : public TraceSink {
@@ -61,6 +80,21 @@ class BufferTraceSink final : public TraceSink {
 
   std::size_t size() const { return events_.size(); }
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceContext>& contexts() const { return contexts_; }
+
+  std::int64_t events_written() const override {
+    return static_cast<std::int64_t>(events_.size());
+  }
+
+  // Drops every event after the first `n` — the in-memory analogue of
+  // truncating a journal file back to a checkpoint's capture point.
+  void Truncate(std::int64_t n) {
+    const auto keep = static_cast<std::size_t>(n);
+    if (keep < events_.size()) {
+      events_.resize(keep);
+      contexts_.resize(keep);
+    }
+  }
 
   // All buffered events as NDJSON lines (each '\n'-terminated).
   std::string ToNdjson() const;

@@ -43,6 +43,7 @@ class Tracer {
 
   const TraceContext& context() const { return ctx_; }
   EventMask mask() const { return mask_; }
+  TraceSink* sink() const { return sink_; }
 
  private:
   TraceSink* sink_ = nullptr;

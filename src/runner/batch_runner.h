@@ -23,6 +23,7 @@
 
 #include "runner/task.h"
 #include "runner/thread_pool.h"
+#include "state/checkpoint.h"
 
 namespace bwalloc {
 
@@ -88,6 +89,65 @@ class BatchRunner {
         out.errors.push_back(
             {{suite, static_cast<std::int64_t>(i)}, std::move(messages[i])});
       }
+    }
+    return out;
+  }
+
+  // Like Map, but the task body takes (ctx, attempt) and is supervised
+  // against injected crashes: when an attempt throws CrashInjected the
+  // same cell is rerun in place with attempt + 1 (the body is expected to
+  // resume from the checkpoint it captured on the crashed attempt).
+  // Restarts happen inside the cell's pool slot, so the determinism
+  // contract is untouched — results stay bitwise identical to an
+  // unsupervised, crash-free run of the same suite. Any other exception
+  // fails the cell as in Map; exceeding `max_restarts` consecutive
+  // crashes fails it too. `crashes_observed`, when non-null, receives the
+  // total number of injected crashes the batch recovered from.
+  template <typename R, typename F>
+  BatchResult<R> MapSupervised(const std::string& suite, std::int64_t count,
+                               F&& fn, std::int64_t* crashes_observed = nullptr,
+                               std::int64_t max_restarts = 8) {
+    BatchResult<R> out;
+    const auto n = static_cast<std::size_t>(count);
+    out.results.resize(n);
+    std::vector<std::string> messages(n);
+    std::vector<char> failed(n, 0);  // char, not bool: disjoint writes
+    std::vector<std::int64_t> crashes(n, 0);
+    pool_.RunIndexed(n, [&](std::size_t i) {
+      const auto index = static_cast<std::int64_t>(i);
+      const TaskContext ctx{{suite, index}, TaskSeed(suite, index, base_seed_)};
+      for (std::int64_t attempt = 0;; ++attempt) {
+        try {
+          out.results[i] = fn(ctx, attempt);
+          return;
+        } catch (const CrashInjected&) {
+          ++crashes[i];
+          if (attempt >= max_restarts) {
+            messages[i] = "cell crashed " + std::to_string(attempt + 1) +
+                          " times; giving up";
+            failed[i] = 1;
+            return;
+          }
+        } catch (const std::exception& e) {
+          messages[i] = e.what();
+          failed[i] = 1;
+          return;
+        } catch (...) {
+          messages[i] = "unknown exception";
+          failed[i] = 1;
+          return;
+        }
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      if (failed[i]) {
+        out.errors.push_back(
+            {{suite, static_cast<std::int64_t>(i)}, std::move(messages[i])});
+      }
+    }
+    if (crashes_observed != nullptr) {
+      *crashes_observed = 0;
+      for (const std::int64_t c : crashes) *crashes_observed += c;
     }
     return out;
   }

@@ -1,0 +1,48 @@
+// Seeded, deterministic crash schedule for supervised batch runs.
+//
+// A CrashPlan decides — from the stable (suite, index) task key alone,
+// never from thread scheduling — which cells of a batch get a crash
+// injected and at which slot. The chosen slot feeds
+// CheckpointOptions::crash_at; the engine throws CrashInjected after
+// finishing that slot, and BatchRunner::MapSupervised catches it,
+// restores the cell's last checkpoint, and reruns the cell to completion.
+//
+// Crashes fire only on a cell's first attempt: a supervised restart must
+// always be able to finish, and keeping the schedule a pure function of
+// (seed, key, attempt) keeps the whole batch replayable from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "runner/task.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+struct CrashPlan {
+  std::uint64_t seed = 0;
+  // Probability that a given cell crashes on its first attempt.
+  double crash_rate = 0.0;
+  // Injected crash slots are drawn uniformly from [min_slot, max_slot].
+  // Choose the range so at least one checkpoint lands before it, or the
+  // restarted attempt simply replays from slot 0 (still correct, slower).
+  Time min_slot = 0;
+  Time max_slot = 0;
+
+  bool enabled() const { return crash_rate > 0.0 && max_slot >= min_slot; }
+
+  // The slot to pass as CheckpointOptions::crash_at for this attempt of
+  // this cell, or kNoTime when the cell runs through undisturbed. The
+  // draw depends only on (seed, key): two sweeps with the same plan crash
+  // the same cells at the same slots regardless of --jobs.
+  Time CrashSlotFor(const TaskKey& key, std::int64_t attempt = 0) const {
+    if (!enabled() || attempt > 0) return kNoTime;
+    Rng rng(DeriveStream(seed ^ HashString(key.suite),
+                         static_cast<std::uint64_t>(key.index)));
+    if (!rng.Bernoulli(crash_rate)) return kNoTime;
+    return rng.UniformInt(min_slot, max_slot);
+  }
+};
+
+}  // namespace bwalloc

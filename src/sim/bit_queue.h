@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/fixed_point.h"
 #include "util/histogram.h"
@@ -140,6 +141,38 @@ class BitQueue {
   // Arrival time of the oldest bit still queued; kNoTime if empty.
   Time OldestArrival() const {
     return head_ == chunks_.size() ? kNoTime : chunks_[head_].arrival;
+  }
+
+  // Only live chunks are saved; a restored queue starts with head_ = 0,
+  // which is behaviorally identical to the original (head_ is only a
+  // storage detail of the ring).
+  void SaveState(StateWriter& w) const {
+    w.Tag("BQU1");
+    w.U64(chunks_.size() - head_);
+    for (std::size_t i = head_; i < chunks_.size(); ++i) {
+      w.I64(chunks_[i].arrival);
+      w.I64(chunks_[i].bits);
+    }
+    w.I64(size_);
+    w.I64(capacity_);
+    w.I64(dropped_);
+    w.I64(peak_size_);
+    w.I64(credit_raw_);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("BQU1");
+    chunks_.resize(r.Count(std::uint64_t{1} << 32));
+    head_ = 0;
+    for (Chunk& c : chunks_) {
+      c.arrival = r.I64();
+      c.bits = r.I64();
+    }
+    size_ = r.I64();
+    capacity_ = r.I64();
+    dropped_ = r.I64();
+    peak_size_ = r.I64();
+    credit_raw_ = r.I64();
   }
 
  private:

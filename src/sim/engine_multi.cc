@@ -1,9 +1,56 @@
 #include "sim/engine_multi.h"
 
+#include <string>
+
 #include "sim/metrics.h"
 #include "util/assert.h"
 
 namespace bwalloc {
+
+namespace {
+
+void SaveNaiveEngineState(StateWriter& w, const UtilizationMeter& util,
+                          const ChangeCounter& declared_total,
+                          const std::vector<ChangeCounter>& regular_counters,
+                          const std::vector<ChangeCounter>& overflow_counters,
+                          Bits queue_hwm, const MultiRunResult& result) {
+  w.Tag("ENG1");
+  util.SaveState(w);
+  declared_total.SaveState(w);
+  w.U64(regular_counters.size());
+  for (std::size_t i = 0; i < regular_counters.size(); ++i) {
+    regular_counters[i].SaveState(w);
+    overflow_counters[i].SaveState(w);
+  }
+  w.I64(queue_hwm);
+  w.I64(result.peak_total_allocation.raw());
+  w.I64(result.peak_regular_allocation.raw());
+  w.I64(result.peak_overflow_allocation.raw());
+}
+
+void LoadNaiveEngineState(StateReader& r, UtilizationMeter& util,
+                          ChangeCounter& declared_total,
+                          std::vector<ChangeCounter>& regular_counters,
+                          std::vector<ChangeCounter>& overflow_counters,
+                          Bits& queue_hwm, MultiRunResult& result) {
+  r.Tag("ENG1");
+  util.LoadState(r);
+  declared_total.LoadState(r);
+  const std::uint64_t n = r.U64();
+  if (n != regular_counters.size()) {
+    throw StateFormatError("session count mismatch in engine checkpoint");
+  }
+  for (std::size_t i = 0; i < regular_counters.size(); ++i) {
+    regular_counters[i].LoadState(r);
+    overflow_counters[i].LoadState(r);
+  }
+  queue_hwm = r.I64();
+  result.peak_total_allocation = Bandwidth::FromRaw(r.I64());
+  result.peak_regular_allocation = Bandwidth::FromRaw(r.I64());
+  result.peak_overflow_allocation = Bandwidth::FromRaw(r.I64());
+}
+
+}  // namespace
 
 MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
                                MultiSessionSystem& system,
@@ -35,10 +82,43 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   if (tracing) system.SetTracer(tracer);
   Bits queue_hwm = 0;
 
+  const CheckpointOptions& ckpt = options.checkpoint;
+  if (ckpt.enabled()) {
+    BW_REQUIRE(system.SupportsCheckpoint(),
+               "RunMultiSession: system does not support checkpointing");
+  }
+  Time start = 0;
+  if (ckpt.resume != nullptr) {
+    const std::string payload = UnwrapCheckpoint(*ckpt.resume, "resume blob");
+    try {
+      StateReader r(payload);
+      CheckpointMeta meta;
+      meta.Load(r);
+      if (meta.kind != "multi") {
+        throw CheckpointError("checkpoint resume blob: kind is '" + meta.kind +
+                              "', this engine resumes 'multi' checkpoints");
+      }
+      BW_REQUIRE(meta.next_slot >= 0 && meta.next_slot <= horizon,
+                 "RunMultiSession: checkpoint resume slot outside horizon");
+      LoadNaiveEngineState(r, util, declared_total, regular_counters,
+                           overflow_counters, queue_hwm, result);
+      r.Tag("SYS1");
+      system.LoadState(r);
+      r.ExpectEnd();
+      start = meta.next_slot;
+    } catch (const StateFormatError& e) {
+      throw CheckpointError(std::string("checkpoint resume blob: ") +
+                            e.what());
+    }
+    if (ckpt.perturb_restore_for_test) {
+      regular_counters[0].PerturbCurrentForTest();
+    }
+  }
+
   std::vector<Bits> arrivals(k, 0);
   {
     ScopedTimer loop_timer(options.profile, "engine_multi.loop");
-    for (Time t = 0; t < horizon; ++t) {
+    for (Time t = start; t < horizon; ++t) {
       Bits slot_in = 0;
       for (std::size_t i = 0; i < k; ++i) {
         arrivals[i] =
@@ -100,6 +180,29 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
       if (ovf > result.peak_overflow_allocation) {
         result.peak_overflow_allocation = ovf;
       }
+
+      if (ckpt.every > 0 && (t + 1) % ckpt.every == 0) {
+        // Journal the checkpoint event before capturing the journal
+        // position so the recovery replay prefix ends with it.
+        tracer.Emit(TraceEventType::kCheckpoint, t, -1,
+                    util.TotalAllocatedRaw(), t + 1);
+        CheckpointMeta meta;
+        meta.kind = "multi";
+        meta.next_slot = t + 1;
+        if (tracer.sink() != nullptr) {
+          meta.trace_events = tracer.sink()->events_written();
+          meta.journal_bytes = tracer.sink()->bytes_written();
+        }
+        meta.committed_total_raw = util.TotalAllocatedRaw();
+        StateWriter w;
+        meta.Save(w);
+        SaveNaiveEngineState(w, util, declared_total, regular_counters,
+                             overflow_counters, queue_hwm, result);
+        w.Tag("SYS1");
+        system.SaveState(w);
+        PublishCheckpoint(ckpt, w.bytes());
+      }
+      if (t == ckpt.crash_at) throw CrashInjected(t);
     }
   }
 

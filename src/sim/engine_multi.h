@@ -17,6 +17,8 @@
 #include "obs/tracer.h"
 #include "sim/run_result.h"
 #include "sim/session_channels.h"
+#include "state/checkpoint.h"
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
@@ -113,6 +115,18 @@ class MultiSessionSystem {
   // harness's negative control proves such an off-by-one is *caught* by
   // the byte-identity gate. No effect on the dense path.
   virtual void PerturbEventWakeupsForTest() {}
+
+  // --- checkpoint/restore (optional) ---------------------------------------
+  // True when SaveState/LoadState round-trip the system's full state
+  // (channels, stage machinery, leases, fault lanes). The engine refuses
+  // to checkpoint systems that opt out.
+  virtual bool SupportsCheckpoint() const { return false; }
+  virtual void SaveState(StateWriter& /*w*/) const {
+    BW_REQUIRE(false, "SaveState: not implemented for this system");
+  }
+  virtual void LoadState(StateReader& /*r*/) {
+    BW_REQUIRE(false, "LoadState: not implemented for this system");
+  }
 };
 
 // Counters the event engine reports about its own sparsity; purely
@@ -135,6 +149,8 @@ struct MultiEngineOptions {
   // Filled by RunMultiSessionEvent when non-null; ignored by the naive
   // engine.
   EventEngineStats* event_stats = nullptr;
+  // Checkpoint capture / crash injection / resume (state/checkpoint.h).
+  CheckpointOptions checkpoint;
 };
 
 // `traces[i]` is the arrival trace of session i; all traces must have equal

@@ -30,6 +30,7 @@
 // buffer: fill the touched entries, step, zero them again. The scoring
 // side above still applies unchanged.
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "sim/engine_multi.h"
@@ -37,6 +38,61 @@
 #include "util/assert.h"
 
 namespace bwalloc {
+
+namespace {
+
+void SaveEventEngineState(StateWriter& w, const UtilizationMeter& util,
+                          const ChangeCounter& declared_total,
+                          const std::vector<std::int64_t>& shadow_regular_raw,
+                          const std::vector<std::int64_t>& shadow_overflow_raw,
+                          Bits queue_hwm, const MultiRunResult& result,
+                          const EventEngineStats& stats) {
+  w.Tag("ENG1");
+  util.SaveState(w);
+  declared_total.SaveState(w);
+  w.U64(shadow_regular_raw.size());
+  for (std::size_t i = 0; i < shadow_regular_raw.size(); ++i) {
+    w.I64(shadow_regular_raw[i]);
+    w.I64(shadow_overflow_raw[i]);
+  }
+  w.I64(queue_hwm);
+  w.I64(result.peak_total_allocation.raw());
+  w.I64(result.peak_regular_allocation.raw());
+  w.I64(result.peak_overflow_allocation.raw());
+  w.I64(result.local_changes);
+  w.I64(stats.touched_session_slots);
+  w.I64(stats.arrival_events);
+  w.Bool(stats.dense_fallback);
+}
+
+void LoadEventEngineState(StateReader& r, UtilizationMeter& util,
+                          ChangeCounter& declared_total,
+                          std::vector<std::int64_t>& shadow_regular_raw,
+                          std::vector<std::int64_t>& shadow_overflow_raw,
+                          Bits& queue_hwm, MultiRunResult& result,
+                          EventEngineStats& stats) {
+  r.Tag("ENG1");
+  util.LoadState(r);
+  declared_total.LoadState(r);
+  const std::uint64_t n = r.U64();
+  if (n != shadow_regular_raw.size()) {
+    throw StateFormatError("session count mismatch in engine checkpoint");
+  }
+  for (std::size_t i = 0; i < shadow_regular_raw.size(); ++i) {
+    shadow_regular_raw[i] = r.I64();
+    shadow_overflow_raw[i] = r.I64();
+  }
+  queue_hwm = r.I64();
+  result.peak_total_allocation = Bandwidth::FromRaw(r.I64());
+  result.peak_regular_allocation = Bandwidth::FromRaw(r.I64());
+  result.peak_overflow_allocation = Bandwidth::FromRaw(r.I64());
+  result.local_changes = r.I64();
+  stats.touched_session_slots = r.I64();
+  stats.arrival_events = r.I64();
+  stats.dense_fallback = r.Bool();
+}
+
+}  // namespace
 
 SparseMultiTrace SparseMultiTrace::FromDense(
     const std::vector<std::vector<Bits>>& traces) {
@@ -128,9 +184,44 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
   if (!sparse_capable) dense.assign(static_cast<std::size_t>(k), 0);
   std::vector<std::int64_t> dirty;
 
+  const CheckpointOptions& ckpt = options.checkpoint;
+  if (ckpt.enabled()) {
+    BW_REQUIRE(system.SupportsCheckpoint(),
+               "RunMultiSessionEvent: system does not support checkpointing");
+  }
+  Time start = 0;
+  if (ckpt.resume != nullptr) {
+    const std::string payload = UnwrapCheckpoint(*ckpt.resume, "resume blob");
+    try {
+      StateReader r(payload);
+      CheckpointMeta meta;
+      meta.Load(r);
+      if (meta.kind != "multi-event") {
+        throw CheckpointError(
+            "checkpoint resume blob: kind is '" + meta.kind +
+            "', this engine resumes 'multi-event' checkpoints");
+      }
+      // Checkpoints land after a finished slot, so next_slot >= 1 and the
+      // resumed loop never re-enters the t == 0 shadow initialization.
+      BW_REQUIRE(meta.next_slot >= 1 && meta.next_slot <= horizon,
+                 "RunMultiSessionEvent: checkpoint resume slot outside "
+                 "horizon");
+      LoadEventEngineState(r, util, declared_total, shadow_regular_raw,
+                           shadow_overflow_raw, queue_hwm, result, stats);
+      r.Tag("SYS1");
+      system.LoadState(r);
+      r.ExpectEnd();
+      start = meta.next_slot;
+    } catch (const StateFormatError& e) {
+      throw CheckpointError(std::string("checkpoint resume blob: ") +
+                            e.what());
+    }
+    if (ckpt.perturb_restore_for_test) shadow_regular_raw[0] += 1;
+  }
+
   {
     ScopedTimer loop_timer(options.profile, "engine_multi_event.loop");
-    for (Time t = 0; t < horizon; ++t) {
+    for (Time t = start; t < horizon; ++t) {
       const std::span<const SessionArrival> slot =
           t < sparse.horizon ? sparse.Slot(t)
                              : std::span<const SessionArrival>();
@@ -218,6 +309,29 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
       if (ovf_total > result.peak_overflow_allocation) {
         result.peak_overflow_allocation = ovf_total;
       }
+
+      if (ckpt.every > 0 && (t + 1) % ckpt.every == 0) {
+        // Journal the checkpoint event before capturing the journal
+        // position so the recovery replay prefix ends with it.
+        tracer.Emit(TraceEventType::kCheckpoint, t, -1,
+                    util.TotalAllocatedRaw(), t + 1);
+        CheckpointMeta meta;
+        meta.kind = "multi-event";
+        meta.next_slot = t + 1;
+        if (tracer.sink() != nullptr) {
+          meta.trace_events = tracer.sink()->events_written();
+          meta.journal_bytes = tracer.sink()->bytes_written();
+        }
+        meta.committed_total_raw = util.TotalAllocatedRaw();
+        StateWriter w;
+        meta.Save(w);
+        SaveEventEngineState(w, util, declared_total, shadow_regular_raw,
+                             shadow_overflow_raw, queue_hwm, result, stats);
+        w.Tag("SYS1");
+        system.SaveState(w);
+        PublishCheckpoint(ckpt, w.bytes());
+      }
+      if (t == ckpt.crash_at) throw CrashInjected(t);
     }
   }
 

@@ -1,10 +1,55 @@
 #include "sim/engine_single.h"
 
+#include <string>
+
 #include "sim/bit_queue.h"
 #include "sim/metrics.h"
 #include "util/assert.h"
 
 namespace bwalloc {
+
+namespace {
+
+// The engine's own accumulators (everything the loop carries across slots
+// besides the allocator), as one "ENG1" section.
+void SaveSingleEngineState(StateWriter& w, const BitQueue& queue,
+                           const ChangeCounter& changes,
+                           const UtilizationMeter& util, Bits queue_hwm,
+                           const SingleRunResult& result) {
+  w.Tag("ENG1");
+  queue.SaveState(w);
+  changes.SaveState(w);
+  util.SaveState(w);
+  w.I64(queue_hwm);
+  w.I64(result.total_arrivals);
+  w.I64(result.total_delivered);
+  result.delay.SaveState(w);
+  w.I64(result.peak_allocation.raw());
+  w.U64(result.allocation_trace.size());
+  for (const Bandwidth bw : result.allocation_trace) w.I64(bw.raw());
+}
+
+void LoadSingleEngineState(StateReader& r, BitQueue& queue,
+                           ChangeCounter& changes, UtilizationMeter& util,
+                           Bits& queue_hwm, SingleRunResult& result) {
+  r.Tag("ENG1");
+  queue.LoadState(r);
+  changes.LoadState(r);
+  util.LoadState(r);
+  queue_hwm = r.I64();
+  result.total_arrivals = r.I64();
+  result.total_delivered = r.I64();
+  result.delay.LoadState(r);
+  result.peak_allocation = Bandwidth::FromRaw(r.I64());
+  const std::uint64_t n = r.Count(std::uint64_t{1} << 32);
+  result.allocation_trace.clear();
+  result.allocation_trace.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    result.allocation_trace.push_back(Bandwidth::FromRaw(r.I64()));
+  }
+}
+
+}  // namespace
 
 SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
                                  SingleSessionAllocator& alloc,
@@ -28,9 +73,39 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
   const bool tracing = tracer.active();
   Bits queue_hwm = 0;
 
+  const CheckpointOptions& ckpt = options.checkpoint;
+  if (ckpt.enabled()) {
+    BW_REQUIRE(alloc.SupportsCheckpoint(),
+               "RunSingleSession: allocator does not support checkpointing");
+  }
+  Time start = 0;
+  if (ckpt.resume != nullptr) {
+    const std::string payload = UnwrapCheckpoint(*ckpt.resume, "resume blob");
+    try {
+      StateReader r(payload);
+      CheckpointMeta meta;
+      meta.Load(r);
+      if (meta.kind != "single") {
+        throw CheckpointError("checkpoint resume blob: kind is '" + meta.kind +
+                              "', this engine resumes 'single' checkpoints");
+      }
+      BW_REQUIRE(meta.next_slot >= 0 && meta.next_slot <= horizon,
+                 "RunSingleSession: checkpoint resume slot outside horizon");
+      LoadSingleEngineState(r, queue, changes, util, queue_hwm, result);
+      r.Tag("SYS1");
+      alloc.LoadState(r);
+      r.ExpectEnd();
+      start = meta.next_slot;
+    } catch (const StateFormatError& e) {
+      throw CheckpointError(std::string("checkpoint resume blob: ") +
+                            e.what());
+    }
+    if (ckpt.perturb_restore_for_test) changes.PerturbCurrentForTest();
+  }
+
   {
     ScopedTimer loop_timer(options.profile, "engine_single.loop");
-    for (Time t = 0; t < horizon; ++t) {
+    for (Time t = start; t < horizon; ++t) {
       const Bits in =
           t < trace_len ? arrivals[static_cast<std::size_t>(t)] : Bits{0};
       BW_REQUIRE(in >= 0, "RunSingleSession: negative arrivals in trace");
@@ -60,6 +135,29 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
       const Bits served = queue.ServeSlot(t, bw, &result.delay);
       result.total_delivered += served;
       alloc.OnServed(t, served, queue.size());
+
+      if (ckpt.every > 0 && (t + 1) % ckpt.every == 0) {
+        // The checkpoint event is journaled *before* the journal position
+        // is captured, so a recovering run's replayed prefix ends with it
+        // and the auditor sees the same event stream either way.
+        tracer.Emit(TraceEventType::kCheckpoint, t, -1,
+                    util.TotalAllocatedRaw(), t + 1);
+        CheckpointMeta meta;
+        meta.kind = "single";
+        meta.next_slot = t + 1;
+        if (tracer.sink() != nullptr) {
+          meta.trace_events = tracer.sink()->events_written();
+          meta.journal_bytes = tracer.sink()->bytes_written();
+        }
+        meta.committed_total_raw = util.TotalAllocatedRaw();
+        StateWriter w;
+        meta.Save(w);
+        SaveSingleEngineState(w, queue, changes, util, queue_hwm, result);
+        w.Tag("SYS1");
+        alloc.SaveState(w);
+        PublishCheckpoint(ckpt, w.bytes());
+      }
+      if (t == ckpt.crash_at) throw CrashInjected(t);
     }
   }
 

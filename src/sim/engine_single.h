@@ -14,6 +14,9 @@
 #include "obs/stopwatch.h"
 #include "obs/tracer.h"
 #include "sim/run_result.h"
+#include "state/checkpoint.h"
+#include "state/serializer.h"
+#include "util/assert.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
 
@@ -35,6 +38,17 @@ class SingleSessionAllocator {
   // Completed stages (each is a certified offline change, Lemma 1); 0 for
   // allocators without a stage structure.
   virtual std::int64_t stages() const { return 0; }
+
+  // --- checkpoint/restore (optional) ---------------------------------------
+  // True when SaveState/LoadState round-trip the allocator's full decision
+  // state. The engine refuses to checkpoint allocators that opt out.
+  virtual bool SupportsCheckpoint() const { return false; }
+  virtual void SaveState(StateWriter& /*w*/) const {
+    BW_REQUIRE(false, "SaveState: not implemented for this allocator");
+  }
+  virtual void LoadState(StateReader& /*r*/) {
+    BW_REQUIRE(false, "LoadState: not implemented for this allocator");
+  }
 };
 
 struct SingleEngineOptions {
@@ -54,6 +68,8 @@ struct SingleEngineOptions {
   MetricsRegistry* metrics = nullptr;
   // Optional wall-clock phase profile (setup / loop / utilization scan).
   PhaseProfile* profile = nullptr;
+  // Checkpoint capture / crash injection / resume (state/checkpoint.h).
+  CheckpointOptions checkpoint;
 };
 
 // Runs `alloc` over the arrival trace (one entry per slot).

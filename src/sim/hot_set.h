@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 
 namespace bwalloc {
@@ -63,6 +64,29 @@ class HotSet {
       member_[static_cast<std::size_t>(i)] = 0;
     }
     items_.clear();
+  }
+
+  // Item order is semantic (boundary iteration order between sorts), so
+  // items_ travels verbatim and member_ is rebuilt from it.
+  void SaveState(StateWriter& w) const {
+    w.Tag("HOT1");
+    w.U64(items_.size());
+    for (const std::int64_t i : items_) w.I64(i);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("HOT1");
+    Clear();
+    const std::uint64_t n = r.Count(member_.size());
+    items_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t s = r.I64();
+      if (s < 0 || static_cast<std::size_t>(s) >= member_.size()) {
+        throw StateFormatError("hot set session index out of range");
+      }
+      member_[static_cast<std::size_t>(s)] = 1;
+      items_.push_back(s);
+    }
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
@@ -39,6 +40,29 @@ class ChangeCounter {
   }
   Bandwidth current() const { return current_; }
   bool initialized() const { return initialized_; }
+
+  void SaveState(StateWriter& w) const {
+    w.Tag("CHC1");
+    w.I64(current_.raw());
+    w.Bool(initialized_);
+    w.I64(transitions_);
+    w.I64(initial_assignments_);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("CHC1");
+    current_ = Bandwidth::FromRaw(r.I64());
+    initialized_ = r.Bool();
+    transitions_ = r.I64();
+    initial_assignments_ = r.I64();
+  }
+
+  // Negative control for the crash-recovery differential harness: nudge
+  // the remembered value by one raw unit so the next Observe of the true
+  // value counts a spurious transition and emits a spurious trace event.
+  void PerturbCurrentForTest() {
+    current_ = Bandwidth::FromRaw(current_.raw() + 1);
+  }
 
  private:
   Bandwidth current_;
@@ -90,6 +114,28 @@ class UtilizationMeter {
   // returns min over t of (max over window sizes 1..max_window of ratio),
   // skipping times where nothing was ever allocated. O(T * max_window).
   double WorstBestWindowUtilization(Time max_window) const;
+
+  // The full per-slot vectors travel with the checkpoint: the windowed
+  // utilization reports need every slot, not just the running totals.
+  void SaveState(StateWriter& w) const {
+    w.Tag("UTL1");
+    w.U64(arrivals_.size());
+    for (const Bits a : arrivals_) w.I64(a);
+    w.U64(allocated_raw_.size());
+    for (const std::int64_t a : allocated_raw_) w.I64(a);
+    w.I64(total_in_);
+    w.I64(total_alloc_raw_);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("UTL1");
+    arrivals_.assign(r.Count(std::uint64_t{1} << 32), 0);
+    for (Bits& a : arrivals_) a = r.I64();
+    allocated_raw_.assign(r.Count(std::uint64_t{1} << 32), 0);
+    for (std::int64_t& a : allocated_raw_) a = r.I64();
+    total_in_ = r.I64();
+    total_alloc_raw_ = r.I64();
+  }
 
  private:
   std::vector<Bits> arrivals_;

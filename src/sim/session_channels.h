@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/bit_queue.h"
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/fixed_point.h"
 #include "util/histogram.h"
@@ -190,6 +191,59 @@ class SessionChannels {
   const std::vector<DelayHistogram>& all_delays() const { return delay_; }
   Bits total_arrivals() const { return total_arrivals_; }
   Bits total_delivered() const { return total_delivered_; }
+
+  // Checkpoints are captured at slot boundaries, where the dirty tracker is
+  // always drained — so only the durable state travels; in_active_ is
+  // rebuilt from active_ (they are two views of one set).
+  void SaveState(StateWriter& w) const {
+    w.Tag("SCH1");
+    w.U64(sessions_);
+    for (std::size_t i = 0; i < sessions_; ++i) {
+      regular_queue_[i].SaveState(w);
+      overflow_queue_[i].SaveState(w);
+      w.I64(regular_bw_[i].raw());
+      w.I64(overflow_bw_[i].raw());
+      w.I64(fifo_credit_raw_[i]);
+      delay_[i].SaveState(w);
+    }
+    w.I64(total_arrivals_);
+    w.I64(total_delivered_);
+    w.I64(total_regular_raw_);
+    w.I64(total_overflow_raw_);
+    w.I64(total_queued_);
+    w.U64(active_.size());
+    for (const std::int64_t i : active_) w.I64(i);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("SCH1");
+    const std::uint64_t n = r.U64();
+    if (n != sessions_) {
+      throw StateFormatError("session count mismatch in checkpoint");
+    }
+    for (std::size_t i = 0; i < sessions_; ++i) {
+      regular_queue_[i].LoadState(r);
+      overflow_queue_[i].LoadState(r);
+      regular_bw_[i] = Bandwidth::FromRaw(r.I64());
+      overflow_bw_[i] = Bandwidth::FromRaw(r.I64());
+      fifo_credit_raw_[i] = r.I64();
+      delay_[i].LoadState(r);
+    }
+    total_arrivals_ = r.I64();
+    total_delivered_ = r.I64();
+    total_regular_raw_ = r.I64();
+    total_overflow_raw_ = r.I64();
+    total_queued_ = r.I64();
+    active_.resize(r.Count(sessions_));
+    in_active_.assign(sessions_, 0);
+    for (std::int64_t& i : active_) {
+      i = r.I64();
+      if (i < 0 || static_cast<std::size_t>(i) >= sessions_) {
+        throw StateFormatError("active session index out of range");
+      }
+      in_active_[static_cast<std::size_t>(i)] = 1;
+    }
+  }
 
  private:
   std::size_t Idx(std::int64_t i) const {

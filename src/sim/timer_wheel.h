@@ -27,11 +27,13 @@
 // slots.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/types.h"
 
@@ -110,6 +112,49 @@ class TimerWheel {
 
   std::int64_t bucket_count() const {
     return static_cast<std::int64_t>(buckets_.size());
+  }
+
+  // Live entries are saved sorted by id. Ids are monotone in schedule
+  // order and PopDue fires due entries in bucket order, so rebuilding
+  // buckets by pushing in id order reproduces the original pop order
+  // exactly (cancelled entries are simply not saved).
+  template <typename SavePayload>
+  void SaveState(StateWriter& w, SavePayload&& save_payload) const {
+    w.Tag("TWH1");
+    std::vector<const Entry*> entries;
+    entries.reserve(live_.size());
+    for (const auto& bucket : buckets_) {
+      for (const Entry& e : bucket) {
+        if (live_.count(e.id) != 0) entries.push_back(&e);
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry* a, const Entry* b) { return a->id < b->id; });
+    w.U64(entries.size());
+    for (const Entry* e : entries) {
+      w.I64(e->due);
+      w.U64(e->id);
+      save_payload(w, e->payload);
+    }
+    w.U64(next_id_);
+  }
+
+  template <typename LoadPayload>
+  void LoadState(StateReader& r, LoadPayload&& load_payload) {
+    r.Tag("TWH1");
+    for (auto& bucket : buckets_) bucket.clear();
+    live_.clear();
+    const std::uint64_t n = r.Count(std::uint64_t{1} << 32);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Entry e;
+      e.due = r.I64();
+      e.id = r.U64();
+      load_payload(r, e.payload);
+      live_.insert(e.id);
+      buckets_[static_cast<std::size_t>(e.due & mask_)].push_back(
+          std::move(e));
+    }
+    next_id_ = r.U64();
   }
 
  private:

@@ -1,0 +1,181 @@
+#include "state/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/json_writer.h"
+
+namespace bwalloc {
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void Reject(const std::string& source, const std::string& why) {
+  throw CheckpointError("checkpoint " + source + ": " + why);
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string WrapCheckpoint(std::string_view payload) {
+  StateWriter w;
+  w.U32(kCheckpointVersion);
+  w.U64(payload.size());
+  w.U32(Crc32(payload));
+  std::string out(kCheckpointMagic);
+  out += w.bytes();
+  out += payload;
+  return out;
+}
+
+std::string UnwrapCheckpoint(std::string_view blob,
+                             const std::string& source) {
+  const std::size_t header = kCheckpointMagic.size() + 4 + 8 + 4;
+  if (blob.size() < header) {
+    Reject(source, "truncated header (" + std::to_string(blob.size()) +
+                       " bytes, need " + std::to_string(header) + ")");
+  }
+  if (blob.substr(0, kCheckpointMagic.size()) != kCheckpointMagic) {
+    Reject(source, "bad magic (not a checkpoint file)");
+  }
+  StateReader r(blob.substr(kCheckpointMagic.size()));
+  const std::uint32_t version = r.U32();
+  if (version != kCheckpointVersion) {
+    Reject(source, "unsupported version " + std::to_string(version) +
+                       " (this build reads version " +
+                       std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint64_t payload_len = r.U64();
+  const std::uint32_t crc = r.U32();
+  if (payload_len != r.remaining()) {
+    Reject(source, "payload length mismatch (header says " +
+                       std::to_string(payload_len) + ", file holds " +
+                       std::to_string(r.remaining()) + " — torn write?)");
+  }
+  std::string payload(blob.substr(header));
+  if (Crc32(payload) != crc) {
+    Reject(source, "CRC mismatch (corrupted payload)");
+  }
+  return payload;
+}
+
+void WriteCheckpointFile(const std::string& path, std::string_view payload) {
+  const std::string blob = WrapCheckpoint(payload);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) Reject(tmp, "cannot open for writing");
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) Reject(tmp, "write failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) Reject(path, "atomic rename failed: " + ec.message());
+}
+
+std::string ReadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Reject(path, "cannot open (missing or unreadable)");
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return UnwrapCheckpoint(blob, path);
+}
+
+void CheckpointMeta::Save(StateWriter& w) const {
+  w.Tag("META");
+  w.Str(kind);
+  w.I64(next_slot);
+  w.I64(trace_events);
+  w.I64(journal_bytes);
+  w.I64(committed_total_raw);
+}
+
+void CheckpointMeta::Load(StateReader& r) {
+  r.Tag("META");
+  kind = r.Str();
+  next_slot = r.I64();
+  trace_events = r.I64();
+  journal_bytes = r.I64();
+  committed_total_raw = r.I64();
+}
+
+CheckpointMeta ReadCheckpointMeta(std::string_view blob,
+                                  const std::string& source) {
+  const std::string payload = UnwrapCheckpoint(blob, source);
+  CheckpointMeta meta;
+  try {
+    StateReader r(payload);
+    meta.Load(r);
+  } catch (const StateFormatError& e) {
+    Reject(source, e.what());
+  }
+  return meta;
+}
+
+void PublishCheckpoint(const CheckpointOptions& options,
+                       std::string_view payload) {
+  if (!options.dir.empty()) {
+    WriteCheckpointFile(options.dir + "/" + options.stem + ".ckpt", payload);
+  }
+  if (options.capture != nullptr) {
+    *options.capture = WrapCheckpoint(payload);
+  }
+}
+
+std::string CheckpointDebugJson(std::string_view blob,
+                                const std::string& source) {
+  const std::string payload = UnwrapCheckpoint(blob, source);
+  CheckpointMeta meta;
+  try {
+    StateReader r(payload);
+    meta.Load(r);
+  } catch (const StateFormatError& e) {
+    Reject(source, e.what());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("magic");
+  w.Value(std::string(kCheckpointMagic.substr(0, 7)));
+  w.Key("version");
+  w.Value(static_cast<std::int64_t>(kCheckpointVersion));
+  w.Key("payload_bytes");
+  w.Value(static_cast<std::int64_t>(payload.size()));
+  w.Key("crc32");
+  w.Value(static_cast<std::int64_t>(Crc32(payload)));
+  w.Key("kind");
+  w.Value(meta.kind);
+  w.Key("next_slot");
+  w.Value(meta.next_slot);
+  w.Key("trace_events");
+  w.Value(meta.trace_events);
+  w.Key("journal_bytes");
+  w.Value(meta.journal_bytes);
+  w.Key("committed_total_raw");
+  w.Value(meta.committed_total_raw);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace bwalloc

@@ -1,0 +1,147 @@
+// Binary state serialization primitives for checkpoint/restore.
+//
+// StateWriter/StateReader encode a flat little-endian byte stream:
+// fixed-width integers, length-prefixed strings, and 4-byte section tags.
+// The format is deliberately boring — no varints, no alignment, no
+// back-references — so a round-trip is exactly reproducible and a reader
+// failure always means real corruption or version skew, never a parser
+// subtlety. Every class that participates in checkpointing exposes
+// SaveState(StateWriter&) / LoadState(StateReader&) built on these.
+//
+// This header is standalone (standard library only) so that util/, sim/,
+// core/, and net/ headers can all include it without a dependency cycle;
+// the envelope layer (magic/version/CRC, file I/O) lives in
+// state/checkpoint.h and links as the bwalloc_state library.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace bwalloc {
+
+// Thrown by StateReader on any malformed payload: truncation, a section
+// tag mismatch, or an out-of-range scalar. The message names the failure;
+// the checkpoint layer wraps it with the source file name.
+class StateFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class StateWriter {
+ public:
+  // 4-character section tag (e.g. "SCH1"); pairs with StateReader::Tag.
+  void Tag(const char* tag) { buf_.append(tag, 4); }
+
+  void U8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  void U32(std::uint32_t v) {
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    buf_.append(b, 4);
+  }
+
+  void U64(std::uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    buf_.append(b, 8);
+  }
+
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+
+  void Str(std::string_view s) {
+    U64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string TakeBytes() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(std::string_view data) : data_(data) {}
+
+  void Tag(const char* tag) {
+    const std::string_view got = Raw(4);
+    if (std::memcmp(got.data(), tag, 4) != 0) {
+      throw StateFormatError(
+          std::string("state section tag mismatch: expected '") +
+          std::string(tag, 4) + "', found '" + std::string(got) + "'");
+    }
+  }
+
+  std::uint8_t U8() {
+    return static_cast<std::uint8_t>(Raw(1)[0]);
+  }
+
+  bool Bool() {
+    const std::uint8_t v = U8();
+    if (v > 1) throw StateFormatError("state bool out of range");
+    return v != 0;
+  }
+
+  std::uint32_t U32() {
+    const std::string_view b = Raw(4);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t U64() {
+    const std::string_view b = Raw(8);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+
+  // U64 with an upper bound, for element counts: a corrupt count must fail
+  // here, not as a bad_alloc when the caller resizes a vector to it.
+  std::uint64_t Count(std::uint64_t max) {
+    const std::uint64_t v = U64();
+    if (v > max) throw StateFormatError("state element count out of range");
+    return v;
+  }
+
+  std::string Str() {
+    const std::uint64_t n = Count(remaining());
+    return std::string(Raw(n));
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  void ExpectEnd() const {
+    if (!AtEnd()) {
+      throw StateFormatError("state payload has trailing bytes");
+    }
+  }
+
+ private:
+  std::string_view Raw(std::uint64_t n) {
+    if (n > remaining()) throw StateFormatError("state payload truncated");
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bwalloc

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/ratio.h"
 #include "util/types.h"
@@ -62,6 +63,24 @@ class MaxSlopeEnvelope {
       }
     }
     return Ratio(qy - hull_[lo].y, qx - hull_[lo].x);
+  }
+
+  void SaveState(StateWriter& w) const {
+    w.Tag("ENV1");
+    w.U64(hull_.size());
+    for (const EnvelopePoint& p : hull_) {
+      w.I64(p.x);
+      w.I64(p.y);
+    }
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("ENV1");
+    hull_.resize(r.Count(std::uint64_t{1} << 32));
+    for (EnvelopePoint& p : hull_) {
+      p.x = r.I64();
+      p.y = r.I64();
+    }
   }
 
  private:

@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/types.h"
 
@@ -84,6 +85,30 @@ class DelayHistogram {
     total_bits_ += other.total_bits_;
     weighted_sum_ += other.weighted_sum_;
     if (other.max_delay_ > max_delay_) max_delay_ = other.max_delay_;
+  }
+
+  void SaveState(StateWriter& w) const {
+    w.Tag("HIS1");
+    w.U64(counts_.size());
+    for (const Bits c : counts_) w.I64(c);
+    w.I64(total_bits_);
+    // The 128-bit weighted sum travels as a lo/hi u64 pair.
+    const auto u = static_cast<Uint128>(weighted_sum_);
+    w.U64(static_cast<std::uint64_t>(u));
+    w.U64(static_cast<std::uint64_t>(u >> 64));
+    w.I64(max_delay_);
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("HIS1");
+    counts_.assign(r.Count(std::uint64_t{1} << 32), 0);
+    for (Bits& c : counts_) c = r.I64();
+    total_bits_ = r.I64();
+    const std::uint64_t lo = r.U64();
+    const std::uint64_t hi = r.U64();
+    weighted_sum_ =
+        static_cast<Int128>((static_cast<Uint128>(hi) << 64) | lo);
+    max_delay_ = r.I64();
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <deque>
 #include <functional>
 
+#include "state/serializer.h"
 #include "util/assert.h"
 #include "util/types.h"
 
@@ -29,6 +30,19 @@ class RunningExtreme {
   const T& value() const {
     BW_CHECK(has_value_, "RunningExtreme::value on empty");
     return value_;
+  }
+
+  // Integral T only: the value travels as an i64.
+  void SaveState(StateWriter& w) const {
+    w.Tag("REX1");
+    w.Bool(has_value_);
+    w.I64(static_cast<std::int64_t>(value_));
+  }
+
+  void LoadState(StateReader& r) {
+    r.Tag("REX1");
+    has_value_ = r.Bool();
+    value_ = static_cast<T>(r.I64());
   }
 
  private:

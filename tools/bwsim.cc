@@ -77,16 +77,39 @@
 // counter/gauge/histogram registry as JSON; --profile prints wall-clock
 // phase timings to stderr (nondeterministic, never part of the trace).
 //
+// Crash tolerance (`single` and `multi`):
+//   [--checkpoint-every N] [--checkpoint-dir DIR] — capture the full
+//   engine + algorithm state after every N slots, atomically, to
+//   DIR/<single|multi>.ckpt (rolling). --checkpoint-every must be > 0 and
+//   requires --checkpoint-dir.
+//   [--crash-at-slot T] — deterministically throw an injected crash after
+//   finishing slot T (after any checkpoint due that slot); the buffered
+//   trace journal written so far still lands in --trace-out (a torn
+//   journal, exactly what a real crash leaves) and the exit code is 3.
+//   Requires --checkpoint-every.
+//   [--resume-from FILE.ckpt] — validate the checkpoint (magic, version,
+//   CRC; exit 2 naming the file on any defect), truncate the --trace-out
+//   journal back to the checkpoint's capture point, replay the surviving
+//   prefix through the live auditor, and continue the run from the saved
+//   slot. A crashed-then-resumed run's trace, audit report, and result
+//   JSON are byte-identical to an uninterrupted run (gated by
+//   tests/crash_recovery_test.cc).
+//   bwsim checkpoint-dump FILE.ckpt — print the envelope + meta header of
+//   a checkpoint as one JSON object.
+//
 // Flags accept both `--key value` and `--key=value`. Malformed flag values
-// exit 2 with a message naming the flag; simulation errors exit 1.
+// exit 2 with a message naming the flag; simulation errors exit 1; a bad
+// or missing checkpoint file exits 2; an injected crash exits 3.
 //
 // Single-session algos: online, modified, online-global, static-peak,
 // static-mean, per-arrival, periodic, ewma.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "analysis/json.h"
@@ -116,6 +139,7 @@
 #include "runner/suite.h"
 #include "sim/engine_multi.h"
 #include "sim/engine_single.h"
+#include "state/checkpoint.h"
 #include "tools/flags.h"
 #include "traffic/trace_io.h"
 #include "traffic/workload_suite.h"
@@ -129,8 +153,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: bwsim "
-      "<generate|single|multi|offline|tune|replay|batch|trace-summary|audit> "
-      "[--flags]\n"
+      "<generate|single|multi|offline|tune|replay|batch|trace-summary|audit"
+      "|checkpoint-dump> [--flags]\n"
       "see the header of tools/bwsim.cc for the full reference\n");
   return 2;
 }
@@ -174,6 +198,105 @@ void CheckFaultPlanFlags(const FaultPlan& plan, bool batch) {
     throw tools::UsageError("flag " + denial +
                             ": rate 1.0 denies every increase; capped "
                             "retries can never make progress");
+  }
+}
+
+// Checkpoint/crash/resume flags shared by `single` and `multi`. All value
+// errors are usage errors (exit 2) caught before any run starts.
+struct CheckpointCli {
+  CheckpointOptions options;     // every / crash_at / dir / stem
+  std::string resume_path;       // --resume-from (empty = fresh run)
+  std::string resume_blob;       // validated wrapped blob from resume_path
+};
+
+CheckpointCli ParseCheckpointFlags(Flags& flags, const std::string& stem) {
+  CheckpointCli cli;
+  const std::string every = flags.Str("checkpoint-every", "");
+  const std::string crash = flags.Str("crash-at-slot", "");
+  cli.options.dir = flags.Str("checkpoint-dir", "");
+  cli.options.stem = stem;
+  cli.resume_path = flags.Str("resume-from", "");
+  if (!every.empty()) {
+    cli.options.every = Flags::ParseInt("flag --checkpoint-every", every);
+    if (cli.options.every <= 0) {
+      throw tools::UsageError(
+          "flag --checkpoint-every: must be a positive slot count, got " +
+          every);
+    }
+    if (cli.options.dir.empty()) {
+      throw tools::UsageError(
+          "flag --checkpoint-every requires --checkpoint-dir (somewhere to "
+          "put the checkpoint file)");
+    }
+  } else if (!cli.options.dir.empty()) {
+    throw tools::UsageError(
+        "flag --checkpoint-dir has no effect without --checkpoint-every");
+  }
+  if (!crash.empty()) {
+    cli.options.crash_at = Flags::ParseInt("flag --crash-at-slot", crash);
+    if (cli.options.crash_at < 0) {
+      throw tools::UsageError("flag --crash-at-slot: must be >= 0, got " +
+                              crash);
+    }
+    if (cli.options.every <= 0) {
+      throw tools::UsageError(
+          "flag --crash-at-slot requires --checkpoint-every (a crash "
+          "without checkpoints leaves nothing to resume from)");
+    }
+  }
+  if (!cli.resume_path.empty()) {
+    // ReadCheckpointFile validates the whole envelope (magic, version,
+    // length, CRC) and throws CheckpointError naming the file — exit 2.
+    cli.resume_blob = WrapCheckpoint(ReadCheckpointFile(cli.resume_path));
+  }
+  if (cli.options.every > 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.options.dir, ec);
+    if (ec) {
+      throw tools::UsageError("flag --checkpoint-dir: cannot create '" +
+                              cli.options.dir + "': " + ec.message());
+    }
+  }
+  return cli;
+}
+
+// Restores the journal + auditor side of a resume: truncates the existing
+// --trace-out journal to the checkpoint's capture point, replays the
+// surviving prefix into the (fresh) auditor AND the buffer sink — so the
+// sink's event counter continues from the prefix and later checkpoints
+// record correct journal positions — then feeds the auditor the
+// out-of-band kRestore handshake it checks against the journaled
+// kCheckpoint. With no journal file the run resumes without replay.
+void ReplayJournalPrefix(const CheckpointCli& cli, const std::string& trace_out,
+                         const TraceContext& ctx, BufferTraceSink& sink,
+                         Auditor* auditor) {
+  const CheckpointMeta meta =
+      ReadCheckpointMeta(cli.resume_blob, cli.resume_path);
+  if (!trace_out.empty() && std::filesystem::exists(trace_out)) {
+    const std::vector<TraceRecord> records = ReadTraceFile(trace_out);
+    const auto keep = static_cast<std::size_t>(meta.trace_events);
+    if (records.size() < keep) {
+      throw CheckpointError(
+          "checkpoint " + cli.resume_path + ": journal " + trace_out +
+          " holds " + std::to_string(records.size()) + " events but the "
+          "checkpoint was captured after " + std::to_string(keep) +
+          " — wrong journal for this checkpoint?");
+    }
+    for (std::size_t i = 0; i < keep; ++i) {
+      const TraceEvent event = ToTraceEvent(records[i]);
+      const TraceContext rec_ctx{records[i].suite, records[i].cell};
+      if (auditor != nullptr) auditor->OnEvent(rec_ctx, event);
+      sink.Emit(rec_ctx, event);
+    }
+  }
+  if (auditor != nullptr) {
+    TraceEvent restore;
+    restore.type = TraceEventType::kRestore;
+    restore.slot = meta.next_slot - 1;
+    restore.session = -1;
+    restore.a = meta.committed_total_raw;
+    restore.b = meta.next_slot;
+    auditor->OnEvent(ctx, restore);
   }
 }
 
@@ -251,6 +374,7 @@ int RunSingle(Flags& flags) {
   const bool print_metrics = flags.Bool("metrics", false);
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
+  CheckpointCli ckpt_cli = ParseCheckpointFlags(flags, "single");
   flags.CheckUnused();
   CheckFaultPlanFlags(plan, /*batch=*/false);
 
@@ -342,7 +466,22 @@ int RunSingle(Flags& flags) {
     alloc = std::move(adapter);
     opt.drain_slots = 4 * da + 64 * hops;  // retry rounds lengthen drains
   }
-  SingleRunResult r = RunSingleSession(trace, *alloc, opt);
+  opt.checkpoint = ckpt_cli.options;
+  if (!ckpt_cli.resume_blob.empty()) {
+    ReplayJournalPrefix(ckpt_cli, trace_out, {"single", 0}, sink,
+                        auditor.has_value() ? &*auditor : nullptr);
+    opt.checkpoint.resume = &ckpt_cli.resume_blob;
+  }
+  SingleRunResult r;
+  try {
+    r = RunSingleSession(trace, *alloc, opt);
+  } catch (const CrashInjected& e) {
+    // A real crash leaves a torn journal behind; the injected one does
+    // too, so --resume-from exercises the same recovery path.
+    if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
+    std::fprintf(stderr, "bwsim: %s\n", e.what());
+    return 3;
+  }
   if (robust != nullptr) r.faults = robust->fault_stats();
 
   if (auditor.has_value()) auditor->Finish();
@@ -417,6 +556,7 @@ int RunMulti(Flags& flags) {
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
   const std::string engine = flags.Str("engine", "naive");
+  CheckpointCli ckpt_cli = ParseCheckpointFlags(flags, "multi");
   flags.CheckUnused();
   CheckFaultPlanFlags(plan, /*batch=*/false);
   if (engine != "naive" && engine != "event" && engine != "event-perturbed") {
@@ -518,13 +658,25 @@ int RunMulti(Flags& flags) {
   if (print_metrics) opt.metrics = &metrics;
   PhaseProfile profile;
   if (print_profile) opt.profile = &profile;
+  opt.checkpoint = ckpt_cli.options;
+  if (!ckpt_cli.resume_blob.empty()) {
+    ReplayJournalPrefix(ckpt_cli, trace_out, {"multi", 0}, sink,
+                        auditor.has_value() ? &*auditor : nullptr);
+    opt.checkpoint.resume = &ckpt_cli.resume_blob;
+  }
   MultiRunResult r;
-  if (engine == "naive") {
-    r = RunMultiSession(traces, *sys, opt);
-  } else {
-    const SparseMultiTrace sparse = SparseMultiTrace::FromDense(traces);
-    if (engine == "event-perturbed") sys->PerturbEventWakeupsForTest();
-    r = RunMultiSessionEvent(sparse, *sys, opt);
+  try {
+    if (engine == "naive") {
+      r = RunMultiSession(traces, *sys, opt);
+    } else {
+      const SparseMultiTrace sparse = SparseMultiTrace::FromDense(traces);
+      if (engine == "event-perturbed") sys->PerturbEventWakeupsForTest();
+      r = RunMultiSessionEvent(sparse, *sys, opt);
+    }
+  } catch (const CrashInjected& e) {
+    if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
+    std::fprintf(stderr, "bwsim: %s\n", e.what());
+    return 3;
   }
   if (robust != nullptr) {
     r.faults = robust->fault_stats();
@@ -956,6 +1108,23 @@ int main(int argc, char** argv) {
       Flags flags(argc, argv, positional ? 3 : 2);
       return RunAudit(flags, positional ? argv[2] : "");
     }
+    if (command == "checkpoint-dump") {
+      if (argc < 3 || argv[2][0] == '-') {
+        throw bwalloc::tools::UsageError(
+            "checkpoint-dump needs a checkpoint file path");
+      }
+      Flags flags(argc, argv, 3);
+      flags.CheckUnused();
+      const std::string path = argv[2];
+      // ReadCheckpointFile validates and strips the envelope; re-wrap so
+      // the debug dump reports the envelope fields it verified.
+      std::printf("%s\n",
+                  bwalloc::CheckpointDebugJson(
+                      bwalloc::WrapCheckpoint(bwalloc::ReadCheckpointFile(path)),
+                      path)
+                      .c_str());
+      return 0;
+    }
     Flags flags(argc, argv, 2);
     if (command == "generate") return RunGenerate(flags);
     if (command == "single") return RunSingle(flags);
@@ -969,6 +1138,16 @@ int main(int argc, char** argv) {
   } catch (const bwalloc::tools::UsageError& e) {
     std::fprintf(stderr, "bwsim: %s\n", e.what());
     return 2;
+  } catch (const bwalloc::CheckpointError& e) {
+    // A missing/corrupt checkpoint file is an operator error, like a bad
+    // flag value: exit 2 so scripts can distinguish it from run failures.
+    std::fprintf(stderr, "bwsim: %s\n", e.what());
+    return 2;
+  } catch (const bwalloc::CrashInjected& e) {
+    // Safety net — the run commands convert injected crashes to exit 3
+    // themselves (after flushing the torn journal).
+    std::fprintf(stderr, "bwsim: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bwsim: %s\n", e.what());
     return 1;

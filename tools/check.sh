@@ -25,6 +25,13 @@
 #                             # over faulted grids at --jobs 1/2/4), the
 #                             # timer-wheel unit tests, and the CLI-level
 #                             # compare_engines gates
+#   tools/check.sh crash      # crash-tolerance subset under tsan: the
+#                             # checkpoint/serializer hardening tests, the
+#                             # crash->restore byte-identity grids (which
+#                             # run sharded at --jobs 4, so the supervised
+#                             # restart path races surface here), and the
+#                             # bwsim checkpoint CLI contract incl. the
+#                             # crash+resume round trips
 #
 # Build trees are kept per sanitizer (build-asan/, build-tsan/) so repeat
 # runs are incremental. Exits non-zero on any configure, build, or test
@@ -54,8 +61,12 @@ case "$mode" in
     sanitize="thread"; dir="${2:-$repo/build-tsan}"
     test_filter=(-R 'EngineEquivalence|SparseMultiTrace|TimerWheel|bwsim_engine')
     ;;
+  crash)
+    sanitize="thread"; dir="${2:-$repo/build-tsan}"
+    test_filter=(-R 'CrashRecovery|Checkpoint|Serializer|SupervisedRunner|CrashPlan|bwsim_crash|bwsim_checkpoint|bwsim_cli_rejects_.*checkpoint|bwsim_cli_rejects_.*resume')
+    ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq|crash] [build-dir]" >&2
     exit 2
     ;;
 esac
