@@ -1,5 +1,7 @@
 #include "reporter.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
@@ -7,12 +9,21 @@
 #include "runner/batch_runner.h"
 #include "runner/thread_pool.h"
 #include "util/json_writer.h"
+#include "util/parse_num.h"
 
 namespace bwalloc::bench {
 
 Reporter::Reporter(std::string name, int* argc, char** argv)
     : name_(std::move(name)) {
-  jobs_ = StripJobsFlag(argc, argv, ThreadPool::kAutoThreads);
+  try {
+    jobs_ = StripJobsFlag(argc, argv, ThreadPool::kAutoThreads);
+  } catch (const UsageError& e) {
+    // Usage-error contract shared with bwsim: exit 2, message names the
+    // flag. Benches have no try/catch around main, so the escape hatch
+    // lives here rather than in 18 bench mains.
+    std::fprintf(stderr, "bench_%s: %s\n", name_.c_str(), e.what());
+    std::exit(2);
+  }
   int w = 1;
   for (int r = 1; r < *argc; ++r) {
     if (std::string(argv[r]) == "--quick") {

@@ -1,7 +1,8 @@
 #include "runner/batch_runner.h"
 
 #include <cstring>
-#include <stdexcept>
+
+#include "util/parse_num.h"
 
 namespace bwalloc {
 
@@ -20,13 +21,13 @@ int StripJobsFlag(int* argc, char** argv, int fallback) {
   int w = 1;
   for (int r = 1; r < *argc; ++r) {
     if (std::strncmp(argv[r], kPrefix, sizeof(kPrefix) - 1) == 0) {
-      const char* value = argv[r] + sizeof(kPrefix) - 1;
-      std::size_t pos = 0;
-      const std::string text(value);
-      jobs = std::stoi(text, &pos);
-      if (pos != text.size() || jobs < 0) {
-        throw std::invalid_argument("bad --jobs value: " + text);
+      const std::string text(argv[r] + sizeof(kPrefix) - 1);
+      const std::int64_t v = ParseIntArg("flag --jobs", text);
+      if (v < 0 || v > kMaxJobsFlag) {
+        throw UsageError("flag --jobs: integer out of range: '" + text +
+                         "' (want 0.." + std::to_string(kMaxJobsFlag) + ")");
       }
+      jobs = static_cast<int>(v);
     } else {
       argv[w++] = argv[r];
     }

@@ -34,6 +34,9 @@ struct BatchOptions {
   std::uint64_t base_seed = 0;
 };
 
+// "task 3/acme[7]: boom; task 9/..." — one line per failure.
+std::string FormatErrors(const std::vector<TaskError>& errors);
+
 template <typename R>
 struct BatchResult {
   std::vector<std::optional<R>> results;  // slot i holds task i, empty on failure
@@ -41,19 +44,24 @@ struct BatchResult {
 
   bool ok() const { return errors.empty(); }
 
-  // Successful results in task-index order.
+  // Every result in task-index order. Throws std::logic_error when any
+  // task failed: with failed slots compacted out, position in the
+  // returned vector would no longer equal task index, and an
+  // index-ordered reduction over it would silently misalign. Callers
+  // that can tolerate failures must consume `results`/`errors` (where
+  // slot i always holds task i) instead of this flattened view.
   std::vector<R> Values() const {
+    if (!ok()) {
+      throw std::logic_error(
+          "BatchResult::Values() on a failed batch would misalign the "
+          "index-ordered reduction (" + FormatErrors(errors) + ")");
+    }
     std::vector<R> out;
     out.reserve(results.size());
-    for (const std::optional<R>& r : results) {
-      if (r.has_value()) out.push_back(*r);
-    }
+    for (const std::optional<R>& r : results) out.push_back(*r);
     return out;
   }
 };
-
-// "task 3/acme[7]: boom; task 9/..." — one line per failure.
-std::string FormatErrors(const std::vector<TaskError>& errors);
 
 class BatchRunner {
  public:
@@ -61,6 +69,9 @@ class BatchRunner {
       : pool_(options.jobs), base_seed_(options.base_seed) {}
 
   int jobs() const { return pool_.threads(); }
+
+  // Scheduler telemetry (steal/idle counters) for all batches run so far.
+  PoolStats pool_stats() const { return pool_.stats(); }
 
   // Runs fn(TaskContext) for each task of `suite`, returning results and
   // failures keyed by task index.
@@ -157,9 +168,17 @@ class BatchRunner {
   std::uint64_t base_seed_;
 };
 
+// Largest worker count StripJobsFlag accepts; anything above is a usage
+// error (a pool of thousands of threads is a typo, not a request).
+inline constexpr int kMaxJobsFlag = 1024;
+
 // Strips a trailing/leading `--jobs=N` argument from argv (compacting it)
 // and returns N; returns `fallback` when absent. Lets the bench binaries
 // keep their existing "first positional arg = artifact dir" convention.
+// Malformed or out-of-range values ("--jobs=abc", "--jobs=99999999999")
+// throw bwalloc::UsageError naming the flag — the guarded ParseInt
+// convention from util/parse_num.h — never a bare std::invalid_argument /
+// std::out_of_range from std::stoi.
 int StripJobsFlag(int* argc, char** argv, int fallback);
 
 }  // namespace bwalloc

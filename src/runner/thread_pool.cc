@@ -1,11 +1,60 @@
 #include "runner/thread_pool.h"
 
-namespace bwalloc {
+#include <algorithm>
+#include <stdexcept>
 
-ThreadPool::ThreadPool(int threads) : threads_(ResolveJobs(threads)) {
+namespace bwalloc {
+namespace {
+
+// The pool (if any) whose RunIndexed the current thread is executing a
+// task for — the re-entry guard. A stack discipline (save/restore) keeps
+// nesting across DIFFERENT pools legal.
+thread_local const ThreadPool* tl_active_pool = nullptr;
+
+class ActivePoolGuard {
+ public:
+  explicit ActivePoolGuard(const ThreadPool* pool)
+      : saved_(tl_active_pool) {
+    tl_active_pool = pool;
+  }
+  ~ActivePoolGuard() { tl_active_pool = saved_; }
+  ActivePoolGuard(const ActivePoolGuard&) = delete;
+  ActivePoolGuard& operator=(const ActivePoolGuard&) = delete;
+
+ private:
+  const ThreadPool* saved_;
+};
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// ~8 chunks per worker: enough granularity for thieves to rebalance a
+// skewed block, few enough that claim traffic stays negligible.
+std::size_t ChunkSize(std::size_t count, int threads) {
+  const std::size_t per = count / (static_cast<std::size_t>(threads) * 8);
+  return std::clamp<std::size_t>(per, 1, 1024);
+}
+
+// Backoff rounds below this spin on the CPU; at or above, yield to the
+// scheduler (essential when workers outnumber cores).
+constexpr int kYieldAfter = 64;
+constexpr int kMaxBackoff = 1024;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(ResolveJobs(threads)),
+      slots_(new WorkerSlot[static_cast<std::size_t>(threads_)]) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -24,63 +73,167 @@ int ThreadPool::ResolveJobs(int jobs) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+PoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ThreadPool::MergeStats(const PoolStats& local) {
+  stats_.tasks += local.tasks;
+  stats_.chunks += local.chunks;
+  stats_.pops += local.pops;
+  stats_.steals += local.steals;
+  stats_.failed_steals += local.failed_steals;
+  stats_.backoff_rounds += local.backoff_rounds;
+  stats_.idle_waits += local.idle_waits;
+}
+
+void ThreadPool::SeedDeques(std::size_t count) {
+  const std::size_t chunk = ChunkSize(count, threads_);
+  const auto t = static_cast<std::size_t>(threads_);
+  for (std::size_t w = 0; w < t; ++w) {
+    const std::size_t begin = count * w / t;
+    const std::size_t end = count * (w + 1) / t;
+    std::vector<IndexChunk>& chunks = slots_[w].seed;
+    chunks.clear();
+    // Highest chunk at ring slot 0 (the steal end): the owner pops the
+    // other end and ascends through its block, thieves drain the far end,
+    // so the two claim orders meet in the middle instead of interleaving.
+    std::size_t hi = end;
+    while (hi > begin) {
+      const std::size_t lo = hi - begin > chunk ? hi - chunk : begin;
+      chunks.push_back({lo, hi});
+      hi = lo;
+    }
+    slots_[w].deque.Seed(chunks);
+  }
+}
+
 void ThreadPool::RunIndexed(std::size_t count,
                             const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  if (tl_active_pool == this) {
+    throw std::logic_error(
+        "ThreadPool::RunIndexed re-entered from a task running on the same "
+        "pool: a nested batch waits on its own worker and deadlocks at "
+        "jobs>1 — run the inner batch on its own pool/BatchRunner");
+  }
   if (threads_ == 1) {
     // Serial reference path: no synchronization, same results by contract.
+    ActivePoolGuard guard(this);
     for (std::size_t i = 0; i < count; ++i) fn(i);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.tasks += static_cast<std::int64_t>(count);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
-    count_ = count;
-    next_ = 0;
-    completed_ = 0;
+    checked_out_ = 0;
+    remaining_.store(count, std::memory_order_relaxed);
+    SeedDeques(count);
     ++generation_;
+    ++stats_.batches;
   }
   work_cv_.notify_all();
-  DrainCurrentBatch();  // the calling thread works too
+  PoolStats local;
+  {
+    ActivePoolGuard guard(this);
+    Drain(0, fn, &local);  // the calling thread works too
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return completed_ == count_; });
+  MergeStats(local);
+  done_cv_.wait(lock, [this] { return checked_out_ == threads_ - 1; });
   job_ = nullptr;
 }
 
-void ThreadPool::DrainCurrentBatch() {
+void ThreadPool::Drain(int self, const std::function<void(std::size_t)>& fn,
+                       PoolStats* local) {
+  int backoff = 0;
   for (;;) {
-    std::size_t index;
-    const std::function<void(std::size_t)>* job;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (job_ == nullptr || next_ >= count_) return;
-      index = next_++;
-      job = job_;
+    IndexChunk c;
+    bool got = slots_[static_cast<std::size_t>(self)].deque.PopBottom(&c);
+    bool contended = false;
+    if (got) {
+      ++local->pops;
+    } else {
+      // Steal sweep: victims round-robin from the right neighbour.
+      for (int k = 1; k < threads_; ++k) {
+        const auto victim = static_cast<std::size_t>((self + k) % threads_);
+        const WorkStealingDeque::Steal s = slots_[victim].deque.StealTop(&c);
+        if (s == WorkStealingDeque::Steal::kGot) {
+          got = true;
+          ++local->steals;
+          break;
+        }
+        ++local->failed_steals;
+        if (s == WorkStealingDeque::Steal::kLost) contended = true;
+      }
     }
-    (*job)(index);
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++completed_;
-      last = completed_ == count_;
+    if (got) {
+      backoff = 0;
+      ++local->chunks;
+      for (std::size_t i = c.begin; i < c.end; ++i) fn(i);
+      const std::size_t len = c.end - c.begin;
+      local->tasks += static_cast<std::int64_t>(len);
+      if (remaining_.fetch_sub(len, std::memory_order_acq_rel) == len) {
+        // Last chunk of the batch: wake the terminal-idle waiters. The
+        // (empty) critical section pairs with their predicate check, so
+        // the notify cannot slip between check and wait.
+        { std::lock_guard<std::mutex> lock(mu_); }
+        done_cv_.notify_all();
+      }
+      continue;
     }
-    if (last) {
-      done_cv_.notify_all();
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    if (!contended) {
+      // Own deque empty and every victim reported EMPTY (not a lost
+      // race). Chunks never appear mid-batch, so that state is final:
+      // block until the workers still executing drain the batch, instead
+      // of spinning against them for the CPU.
+      ++local->idle_waits;
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
       return;
+    }
+    // Lost at least one CAS race: chunks remain, retry after a capped
+    // exponential backoff.
+    ++local->backoff_rounds;
+    backoff = backoff == 0 ? 1 : std::min(backoff * 2, kMaxBackoff);
+    if (backoff >= kYieldAfter) {
+      std::this_thread::yield();
+    } else {
+      for (int i = 0; i < backoff; ++i) CpuRelax();
     }
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int self) {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
+      job = job_;
     }
-    DrainCurrentBatch();
+    PoolStats local;
+    {
+      ActivePoolGuard guard(this);
+      Drain(self, *job, &local);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MergeStats(local);
+      ++checked_out_;
+    }
+    done_cv_.notify_all();
   }
 }
 

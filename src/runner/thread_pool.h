@@ -1,21 +1,60 @@
-// Fixed-size worker pool dispatching indexed jobs.
+// Fixed-size worker pool dispatching indexed jobs via work stealing.
 //
-// The pool hands out task indices through an atomic cursor, so scheduling
-// is dynamic (good load balance for heterogeneous tasks) while every
-// artifact of a batch stays keyed by index — determinism is the caller's
-// concern and is trivial under that contract. A pool of one thread runs
-// jobs inline on the caller with zero synchronization, which doubles as the
-// serial reference implementation.
+// Scheduling: the index space [0, count) is split into one contiguous
+// block per worker, each block chopped into chunks seeded onto that
+// worker's Chase–Lev deque (work_deque.h). Workers pop their own deque
+// lock-free, ascending through their block; when it drains they steal
+// chunks from victims chosen round-robin, with capped exponential backoff
+// between contended sweeps. Because chunks never appear mid-batch, a
+// worker whose sweep finds every deque empty (not merely contended) goes
+// terminally idle: it blocks on the batch condition variable instead of
+// spinning against threads that still hold work — on an oversubscribed
+// machine that is the difference between stealing and starving.
+//
+// The pool's mutex guards only the cold batch boundaries: seeding the
+// deques, the per-worker checkout that flushes each worker's scheduler
+// stats in one batched merge (never per task), and the final rendezvous.
+// The per-task hot path is one deque claim per CHUNK plus one atomic
+// remaining-counter decrement per chunk — no locks, no shared cursor.
+//
+// Every artifact of a batch stays keyed by index, so determinism is the
+// caller's concern and is trivial under that contract (batch_runner.h). A
+// pool of one thread runs jobs inline on the caller with zero
+// synchronization, which doubles as the serial reference implementation.
+//
+// RunIndexed must not be re-entered from a task running on the same pool:
+// the nested batch would wait on workers that are themselves stuck inside
+// the outer task. Re-entry is detected and fails fast with
+// std::logic_error at EVERY thread count (including the serial pool,
+// where it would otherwise quietly "work" and mask a jobs>1 deadlock).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "runner/work_deque.h"
+
 namespace bwalloc {
+
+// Cumulative scheduler telemetry, merged batched at worker checkout.
+// Advisory counters (bench_runner reports them): scheduling-dependent,
+// never part of a batch's deterministic result surface.
+struct PoolStats {
+  std::int64_t batches = 0;        // RunIndexed calls that dispatched work
+  std::int64_t tasks = 0;          // task bodies executed
+  std::int64_t chunks = 0;         // chunk claims (pops + steals)
+  std::int64_t pops = 0;           // chunks taken from the worker's own deque
+  std::int64_t steals = 0;         // chunks stolen from a victim
+  std::int64_t failed_steals = 0;  // steal attempts that found nothing/lost
+  std::int64_t backoff_rounds = 0; // contended sweeps spent in backoff
+  std::int64_t idle_waits = 0;     // terminal-idle blocks (all deques drained)
+};
 
 class ThreadPool {
  public:
@@ -31,29 +70,51 @@ class ThreadPool {
 
   // Runs fn(i) once for every i in [0, count) and blocks until all are
   // done. The calling thread participates. `fn` must be thread-safe across
-  // distinct indices and must not throw (wrap bodies that can).
+  // distinct indices and must not throw (wrap bodies that can). Throws
+  // std::logic_error if called from a task already running on this pool.
   void RunIndexed(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   // The effective thread count for a requested job count (0 = auto).
   static int ResolveJobs(int jobs);
 
+  // Snapshot of the cumulative scheduler counters (all completed batches).
+  PoolStats stats() const;
+
  private:
-  void WorkerLoop();
-  // Pulls indices from the shared cursor until the batch is exhausted.
-  void DrainCurrentBatch();
+  // Per-worker scheduling state, cacheline-separated so one worker's deque
+  // traffic does not false-share with its neighbours'.
+  struct alignas(64) WorkerSlot {
+    WorkStealingDeque deque;
+    std::vector<IndexChunk> seed;  // scratch for batch seeding, reused
+  };
+
+  void WorkerLoop(int self);
+  // Claims and runs chunks (own deque first, then steals) until the batch
+  // is exhausted; accumulates scheduler counters into `local`.
+  void Drain(int self, const std::function<void(std::size_t)>& fn,
+             PoolStats* local);
+  // Splits [0, count) into per-worker blocks of `chunk`-sized entries and
+  // seeds every deque. Caller must hold mu_.
+  void SeedDeques(std::size_t count);
+  // Merges one worker's batch-local counters. Caller must hold mu_.
+  void MergeStats(const PoolStats& local);
 
   const int threads_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerSlot[]> slots_;
 
-  std::mutex mu_;
+  // Tasks not yet executed in the current batch; the only hot-path shared
+  // counter (one release-decrement per chunk).
+  std::atomic<std::size_t> remaining_{0};
+
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a new batch
-  std::condition_variable done_cv_;   // RunIndexed waits for completion
+  std::condition_variable done_cv_;   // batch-complete rendezvous
   const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t count_ = 0;
-  std::size_t next_ = 0;       // next index to hand out (guarded by mu_)
-  std::size_t completed_ = 0;  // finished tasks in the current batch
+  int checked_out_ = 0;  // workers done with the current batch
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  PoolStats stats_;
 };
 
 }  // namespace bwalloc

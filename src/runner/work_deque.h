@@ -1,0 +1,106 @@
+// Chase–Lev work-stealing deque over chunks of task indices.
+//
+// One deque per pool worker. The scheduling idiom follows Chase & Lev,
+// "Dynamic Circular Work-Stealing Deque" (SPAA 2005): the owner pops from
+// the bottom with plain atomic loads/stores (one CAS only when racing a
+// thief for the last chunk), thieves CAS the top. Two properties of the
+// batch runner let this implementation stay a strict subset of the full
+// algorithm:
+//
+//   * The ring is seeded once per batch, before any worker wakes, under
+//     the pool's batch mutex — so the element array is never written
+//     concurrently with pops/steals and needs no growth or garbage
+//     collection. top_ only ever increases, bottom_ only decreases.
+//   * Entries are index CHUNKS ([begin, end) ranges), not single tasks:
+//     block-chunked distribution amortizes steal traffic, one atomic
+//     claim hands a thief or the owner a whole run of cells.
+//
+// Every chunk is claimed exactly once: a thief's successful CAS on top_
+// excludes both other thieves and the owner's last-chunk CAS; the owner's
+// bottom_ decrement publishes before it re-reads top_ (seq_cst on both
+// sides), so the "deque looks non-empty to both" window always resolves
+// through the CAS. Claim order is deterministic per deque (owner ascends
+// from the bottom, thieves drain the top) but interleaving across deques
+// is scheduling-dependent — which is fine, because batch results are
+// keyed by index, never by completion order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bwalloc {
+
+// A contiguous run of task indices [begin, end), end > begin.
+struct IndexChunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+class WorkStealingDeque {
+ public:
+  // Outcome of a steal attempt, so idle workers can tell "this deque is
+  // drained" (kEmpty — chunks never appear mid-batch, the state is final)
+  // from "lost a race, retry" (kLost).
+  enum class Steal { kGot, kEmpty, kLost };
+
+  // Installs this batch's chunks. MUST happen-before any pop/steal of the
+  // batch (the pool seeds every deque under its mutex before waking
+  // workers). Chunks are stored in the given order: index 0 is the top
+  // (steal end), the last entry is the bottom (first owner pop).
+  void Seed(const std::vector<IndexChunk>& chunks) {
+    ring_ = chunks;
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(static_cast<std::int64_t>(ring_.size()),
+                  std::memory_order_relaxed);
+  }
+
+  // Owner only. Claims the bottom chunk; false when the deque is empty.
+  bool PopBottom(IndexChunk* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // seq_cst store: the decrement must be visible to thieves before the
+    // top_ read below, or owner and thief could both claim the last chunk.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already drained; restore bottom for the (idle) steady state.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *out = ring_[static_cast<std::size_t>(b)];
+    if (t == b) {
+      // Last chunk: race any thief for it via the top CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  // Any thread. Claims the top chunk when one exists.
+  Steal StealTop(IndexChunk* out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return Steal::kEmpty;
+    // Read the element before the CAS: once top_ advances the owner may
+    // consider the slot dead. (The ring is never overwritten mid-batch,
+    // so the read itself is race-free; the protocol ordering is what
+    // makes the claim exclusive.)
+    const IndexChunk c = ring_[static_cast<std::size_t>(t)];
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return Steal::kLost;
+    }
+    *out = c;
+    return Steal::kGot;
+  }
+
+ private:
+  std::vector<IndexChunk> ring_;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace bwalloc

@@ -1,0 +1,62 @@
+// Guarded numeric parsing shared by every command-line front end (bwsim's
+// Flags, the bench Reporter's --jobs stripper). std::stoll/std::stod are
+// wrapped so malformed input surfaces as UsageError — a message that names
+// the offending flag — instead of escaping as std::invalid_argument or
+// std::out_of_range and terminating the process. Front ends turn
+// UsageError into a usage-style message and exit code 2 (internal errors
+// stay 1).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bwalloc {
+
+// A malformed command line (bad flag syntax, unparsable value, unknown
+// flag). Carries a message that names the offending flag and value.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Strict integer parsing with a flag-naming diagnostic: non-numeric text,
+// out-of-range magnitudes, and trailing garbage all throw UsageError.
+// `what` is the diagnostic subject (e.g. "flag --jobs").
+inline std::int64_t ParseIntArg(const std::string& what,
+                                const std::string& text) {
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::invalid_argument&) {
+    throw UsageError(what + ": not an integer: '" + text + "'");
+  } catch (const std::out_of_range&) {
+    throw UsageError(what + ": integer out of range: '" + text + "'");
+  }
+  if (pos != text.size()) {
+    throw UsageError(what + ": trailing characters after integer: '" + text +
+                     "'");
+  }
+  return v;
+}
+
+inline double ParseDoubleArg(const std::string& what,
+                             const std::string& text) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::invalid_argument&) {
+    throw UsageError(what + ": not a number: '" + text + "'");
+  } catch (const std::out_of_range&) {
+    throw UsageError(what + ": number out of range: '" + text + "'");
+  }
+  if (pos != text.size()) {
+    throw UsageError(what + ": trailing characters after number: '" + text +
+                     "'");
+  }
+  return v;
+}
+
+}  // namespace bwalloc

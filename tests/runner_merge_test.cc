@@ -124,11 +124,27 @@ TEST(BatchRunner, FailingTaskSurfacesItsKeyAndSparesTheRest) {
 
   // Every other task completed and kept its slot.
   EXPECT_FALSE(batch.results[4].has_value());
-  EXPECT_EQ(batch.Values().size(), 8u);
   for (std::int64_t i = 0; i < 9; ++i) {
     if (i == 4) continue;
     ASSERT_TRUE(batch.results[static_cast<std::size_t>(i)].has_value());
     EXPECT_EQ(*batch.results[static_cast<std::size_t>(i)], i * 10);
+  }
+
+  // The flattened view refuses to compact out the failed slot: a caller
+  // reducing Values() in index order while ignoring `errors` would be
+  // silently misaligned from task 4 onward.
+  EXPECT_THROW(batch.Values(), std::logic_error);
+}
+
+TEST(BatchRunner, ValuesReturnsEverySlotOnCleanBatch) {
+  BatchRunner runner(BatchOptions{2, 0});
+  const auto batch = runner.Map<std::int64_t>(
+      "clean", 6, [](const TaskContext& ctx) { return ctx.key.index * 3; });
+  ASSERT_TRUE(batch.ok());
+  const std::vector<std::int64_t> values = batch.Values();
+  ASSERT_EQ(values.size(), 6u);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(values[static_cast<std::size_t>(i)], i * 3);
   }
 }
 

@@ -1,0 +1,193 @@
+// Work-stealing pool under adversarial skew: the scheduler may move
+// chunks between workers however contention plays out, but the merged
+// artifacts of a batch must stay bitwise identical across every --jobs
+// value — one pathological 1000x cell or a Zipf cost profile included.
+// Also pins the pool's safety contracts: every index runs exactly once,
+// re-entering RunIndexed on the same pool fails fast instead of
+// deadlocking, and the steal/idle counters account for all claimed work.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/batch_runner.h"
+#include "runner/thread_pool.h"
+#include "util/rng.h"
+
+namespace bwalloc {
+namespace {
+
+// Deterministic spin keyed by the task's own RNG stream: burns
+// `units` rounds and returns a checksum that depends on every round, so
+// a task run twice (or with a corrupted stream) cannot produce the same
+// value by accident.
+std::uint64_t SpinChecksum(const TaskContext& ctx, std::int64_t units) {
+  Rng rng = ctx.MakeRng();
+  std::uint64_t acc = ctx.seed;
+  for (std::int64_t u = 0; u < units; ++u) {
+    acc = acc * 6364136223846793005ULL + rng.Next();
+  }
+  return acc;
+}
+
+// Zipf-ish cost profile over ranks: cost(i) = base / (1 + i % 17); cell
+// `spike` additionally does 1000x base. Cheap cells and the spike land in
+// the same blocks, which is exactly the skew that idles a static
+// partition without stealing.
+std::int64_t SkewedCost(std::int64_t index, std::int64_t spike) {
+  const std::int64_t base = 400;
+  const std::int64_t zipf = base / (1 + index % 17);
+  return index == spike ? 1000 * base : zipf + 1;
+}
+
+std::vector<std::uint64_t> RunSkewedGrid(int jobs, std::int64_t cells,
+                                         std::int64_t spike) {
+  BatchRunner runner(BatchOptions{jobs, 0});
+  const auto batch = runner.Map<std::uint64_t>(
+      "steal-skew", cells, [spike](const TaskContext& ctx) {
+        return SpinChecksum(ctx, SkewedCost(ctx.key.index, spike));
+      });
+  EXPECT_TRUE(batch.ok()) << FormatErrors(batch.errors);
+  return batch.Values();
+}
+
+TEST(RunnerSteal, SkewedCostsBitwiseIdenticalAcrossJobs) {
+  const std::int64_t cells = 96;
+  const std::int64_t spike = 17;  // one 1000x cell near the front
+  const std::vector<std::uint64_t> reference = RunSkewedGrid(1, cells, spike);
+  ASSERT_EQ(reference.size(), static_cast<std::size_t>(cells));
+  for (const int jobs : {2, 4, 16}) {
+    EXPECT_EQ(RunSkewedGrid(jobs, cells, spike), reference)
+        << "merged results diverged at jobs=" << jobs;
+  }
+}
+
+TEST(RunnerSteal, SpikePositionDoesNotPerturbOtherCells) {
+  // Moving the pathological cell (and with it, which worker gets robbed)
+  // must not change any other cell's result.
+  const std::int64_t cells = 64;
+  const auto front = RunSkewedGrid(4, cells, 3);
+  const auto back = RunSkewedGrid(4, cells, 60);
+  ASSERT_EQ(front.size(), back.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    if (static_cast<std::int64_t>(i) == 3 || static_cast<std::int64_t>(i) == 60) {
+      continue;  // the spiked cells themselves do different work
+    }
+    EXPECT_EQ(front[i], back[i]) << "cell " << i;
+  }
+}
+
+TEST(RunnerSteal, EveryIndexRunsExactlyOnce) {
+  // Fine-grained batch, more workers than cores: each slot must be
+  // claimed exactly once whatever the steal interleaving.
+  ThreadPool pool(8);
+  const std::size_t n = 20000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  pool.RunIndexed(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
+  }
+}
+
+TEST(RunnerSteal, TinyBatchesCoverEveryIndex) {
+  // count < threads: most deques seed empty; the rest must still run.
+  ThreadPool pool(16);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{5}, std::size_t{15}}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    pool.RunIndexed(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1)
+          << "n=" << n << " index " << i;
+    }
+  }
+}
+
+TEST(RunnerSteal, StatsAccountForAllClaimedWork) {
+  ThreadPool pool(4);
+  const std::size_t n = 5000;
+  std::atomic<std::int64_t> ran{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    pool.RunIndexed(n, [&](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.batches, 3);
+  EXPECT_EQ(s.tasks, ran.load());
+  EXPECT_EQ(s.tasks, static_cast<std::int64_t>(3 * n));
+  // Every chunk claim is either a pop or a steal, never both or neither.
+  EXPECT_EQ(s.chunks, s.pops + s.steals);
+  EXPECT_GT(s.chunks, 0);
+}
+
+TEST(RunnerSteal, ReentrySameRunnerFailsFastAtAnyJobCount) {
+  // A task that launches a nested batch on its own pool must surface a
+  // clear per-task error — identically at jobs=1 (where the serial pool
+  // would otherwise "work" and mask the jobs>1 deadlock) and jobs=4
+  // (where it would hang forever).
+  for (const int jobs : {1, 4}) {
+    BatchRunner runner(BatchOptions{jobs, 0});
+    const auto batch =
+        runner.Map<int>("outer", 3, [&runner](const TaskContext& ctx) {
+          if (ctx.key.index == 1) {
+            const auto nested = runner.Map<int>(
+                "inner", 2, [](const TaskContext&) { return 0; });
+            return nested.ok() ? 1 : -1;
+          }
+          return 0;
+        });
+    EXPECT_FALSE(batch.ok()) << "jobs=" << jobs;
+    ASSERT_EQ(batch.errors.size(), 1u) << "jobs=" << jobs;
+    EXPECT_EQ(batch.errors[0].key.index, 1);
+    EXPECT_NE(batch.errors[0].message.find("re-entered"), std::string::npos)
+        << batch.errors[0].message;
+  }
+}
+
+TEST(RunnerSteal, NestedBatchOnSeparatePoolIsAllowed) {
+  // Nesting across DIFFERENT pools is legal (and the inner pool's caller
+  // participation must restore the outer pool's re-entry guard).
+  BatchRunner outer(BatchOptions{2, 0});
+  const auto batch =
+      outer.Map<std::int64_t>("outer", 4, [](const TaskContext& ctx) {
+        BatchRunner inner(BatchOptions{2, 0});
+        const auto sub = inner.Map<std::int64_t>(
+            "inner", 3, [&ctx](const TaskContext& sub_ctx) {
+              return ctx.key.index * 100 + sub_ctx.key.index;
+            });
+        const std::vector<std::int64_t> values = sub.Values();
+        return std::accumulate(values.begin(), values.end(), std::int64_t{0});
+      });
+  ASSERT_TRUE(batch.ok()) << FormatErrors(batch.errors);
+  const std::vector<std::int64_t> values = batch.Values();
+  ASSERT_EQ(values.size(), 4u);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(values[static_cast<std::size_t>(i)], 300 * i + 3);
+  }
+}
+
+TEST(RunnerSteal, SerialPoolRecordsTasksWithoutDequeTraffic) {
+  ThreadPool pool(1);
+  std::int64_t sum = 0;
+  pool.RunIndexed(10, [&](std::size_t i) { sum += static_cast<std::int64_t>(i); });
+  EXPECT_EQ(sum, 45);
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.batches, 1);
+  EXPECT_EQ(s.tasks, 10);
+  EXPECT_EQ(s.chunks, 0);
+  EXPECT_EQ(s.steals, 0);
+}
+
+}  // namespace
+}  // namespace bwalloc

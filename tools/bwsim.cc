@@ -849,7 +849,15 @@ constexpr std::int64_t kMaxBatchSessions = 4096;
 
 int RunBatch(Flags& flags) {
   const std::string suite_kind = flags.Str("suite", "single");
-  const int jobs = static_cast<int>(flags.Int("jobs", 0));
+  const std::int64_t jobs64 = flags.Int("jobs", 0);
+  if (jobs64 < 0 || jobs64 > kMaxJobsFlag) {
+    // Without this guard the int64 would be silently narrowed to int —
+    // "--jobs=99999999999" must be a usage error, not a 1.5k-thread pool.
+    throw tools::UsageError("flag --jobs: integer out of range: '" +
+                            std::to_string(jobs64) + "' (want 0.." +
+                            std::to_string(kMaxJobsFlag) + ")");
+  }
+  const int jobs = static_cast<int>(jobs64);
   const bool csv = flags.Bool("csv", false);
   const std::string trace_out = flags.Str("trace", "");
   const std::string trace_events = flags.Str("trace-events", "all");

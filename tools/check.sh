@@ -25,6 +25,12 @@
 #                             # over faulted grids at --jobs 1/2/4), the
 #                             # timer-wheel unit tests, and the CLI-level
 #                             # compare_engines gates
+#   tools/check.sh runner     # batch-scheduler subset under tsan: the
+#                             # work-stealing pool tests (skewed-cost
+#                             # determinism, re-entry fail-fast, steal
+#                             # telemetry), the reduction/merge tests, and
+#                             # the cross-jobs determinism grids — the
+#                             # Chase-Lev claim path races surface here
 #   tools/check.sh crash      # crash-tolerance subset under tsan: the
 #                             # checkpoint/serializer hardening tests, the
 #                             # crash->restore byte-identity grids (which
@@ -61,12 +67,16 @@ case "$mode" in
     sanitize="thread"; dir="${2:-$repo/build-tsan}"
     test_filter=(-R 'EngineEquivalence|SparseMultiTrace|TimerWheel|bwsim_engine')
     ;;
+  runner)
+    sanitize="thread"; dir="${2:-$repo/build-tsan}"
+    test_filter=(-R 'RunnerSteal|RunnerDeterminism|BatchRunner|ParallelSweep|AggregateStats')
+    ;;
   crash)
     sanitize="thread"; dir="${2:-$repo/build-tsan}"
     test_filter=(-R 'CrashRecovery|Checkpoint|Serializer|SupervisedRunner|CrashPlan|bwsim_crash|bwsim_checkpoint|bwsim_cli_rejects_.*checkpoint|bwsim_cli_rejects_.*resume')
     ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq|crash] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq|runner|crash] [build-dir]" >&2
     exit 2
     ;;
 esac

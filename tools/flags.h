@@ -10,14 +10,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/parse_num.h"
+
 namespace bwalloc::tools {
 
-// A malformed command line (bad flag syntax, unparsable value, unknown
-// flag). Carries a message that names the offending flag and value.
-class UsageError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// The guarded-parse layer lives in util/parse_num.h so non-tool front
+// ends (the bench Reporter's --jobs stripper) share the exact contract;
+// the tools namespace keeps its historical names.
+using UsageError = bwalloc::UsageError;
 
 class Flags {
  public:
@@ -89,37 +89,11 @@ class Flags {
   // used for flag-like list entries (e.g. --ks values).
   static std::int64_t ParseInt(const std::string& what,
                                const std::string& text) {
-    std::size_t pos = 0;
-    std::int64_t v = 0;
-    try {
-      v = std::stoll(text, &pos);
-    } catch (const std::invalid_argument&) {
-      throw UsageError(what + ": not an integer: '" + text + "'");
-    } catch (const std::out_of_range&) {
-      throw UsageError(what + ": integer out of range: '" + text + "'");
-    }
-    if (pos != text.size()) {
-      throw UsageError(what + ": trailing characters after integer: '" +
-                       text + "'");
-    }
-    return v;
+    return bwalloc::ParseIntArg(what, text);
   }
 
   static double ParseDouble(const std::string& what, const std::string& text) {
-    std::size_t pos = 0;
-    double v = 0.0;
-    try {
-      v = std::stod(text, &pos);
-    } catch (const std::invalid_argument&) {
-      throw UsageError(what + ": not a number: '" + text + "'");
-    } catch (const std::out_of_range&) {
-      throw UsageError(what + ": number out of range: '" + text + "'");
-    }
-    if (pos != text.size()) {
-      throw UsageError(what + ": trailing characters after number: '" + text +
-                       "'");
-    }
-    return v;
+    return bwalloc::ParseDoubleArg(what, text);
   }
 
  private:
