@@ -95,6 +95,9 @@ class CombinedOnline final : public MultiSessionSystem {
   Bits peak_global_queue() const { return peak_global_queue_; }
 
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
+  void SetTelemetry(telemetry::RuntimeShard* shard) override {
+    reduce_wheel_.SetTelemetry(shard);
+  }
 
   // --- checkpoint/restore ---------------------------------------------------
   bool SupportsCheckpoint() const override { return true; }

@@ -49,6 +49,9 @@ class ContinuousMulti final : public MultiSessionSystem {
     return Bandwidth::FromBitsPerSlot(5 * params_.offline_bandwidth);
   }
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
+  void SetTelemetry(telemetry::RuntimeShard* shard) override {
+    reduce_wheel_.SetTelemetry(shard);
+  }
 
   // --- checkpoint/restore ---------------------------------------------------
   bool SupportsCheckpoint() const override { return true; }

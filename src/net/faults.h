@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "net/path.h"
+#include "obs/telemetry/shard.h"
 #include "obs/tracer.h"
 #include "sim/engine_single.h"
 #include "sim/run_result.h"
@@ -323,6 +324,18 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
     if (acks > seen_acks_) {
       // Our request committed (possibly partially): progress, so reset the
       // backoff and the denial streak.
+      if (telemetry_ != nullptr) {
+        telemetry_->Add(telemetry::Counter::kSignalAcks, acks - seen_acks_);
+        if (request_slot_ >= 0) {
+          telemetry_->Record(telemetry::Histo::kSignalRttSlots,
+                             now - request_slot_);
+        }
+        if (backoff_ > opts_.initial_backoff) {
+          // A backoff episode just ended: its length is the value reached.
+          telemetry_->Record(telemetry::Histo::kBackoffEpisodeSlots,
+                             backoff_);
+        }
+      }
       seen_acks_ = acks;
       outstanding_ = false;
       backoff_ = opts_.initial_backoff;
@@ -331,6 +344,10 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
     }
     const std::int64_t nacks = channel_.DenialsArrived(now);
     if (nacks > seen_nacks_) {
+      if (telemetry_ != nullptr) {
+        telemetry_->Add(telemetry::Counter::kSignalNacks,
+                        nacks - seen_nacks_);
+      }
       consecutive_denials_ += nacks - seen_nacks_;
       seen_nacks_ = nacks;
       outstanding_ = false;
@@ -340,6 +357,9 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
     if (outstanding_ && now >= deadline_) {
       ++timeouts_;  // past worst-case response: the message was lost
       tracer_.Emit(TraceEventType::kSignalTimeout, now, session_, deadline_);
+      if (telemetry_ != nullptr) {
+        telemetry_->Add(telemetry::Counter::kSignalTimeouts);
+      }
       outstanding_ = false;
       next_attempt_at_ = now + backoff_;
       backoff_ = std::min(backoff_ * 2, opts_.max_backoff);
@@ -351,6 +371,9 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
       ++fallbacks_;
       tracer_.Emit(TraceEventType::kSignalFallback, now, session_,
                    opts_.fallback_bandwidth);
+      if (telemetry_ != nullptr) {
+        telemetry_->Add(telemetry::Counter::kSignalFallbacks);
+      }
     }
 
     const Bandwidth want =
@@ -364,6 +387,10 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
                      backoff_);
       }
       channel_.Request(now, want);
+      if (telemetry_ != nullptr) {
+        telemetry_->Add(telemetry::Counter::kSignalsSent);
+      }
+      request_slot_ = now;
       have_last_want_ = true;
       last_want_ = want;
       outstanding_ = true;
@@ -403,6 +430,11 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
     session_ = session;
     channel_.SetTracer(tracer, session);
   }
+
+  // Live telemetry (signal RTT, backoff episodes, denial/timeout counts).
+  // Nondeterministic lane: never saved in checkpoints, never affects the
+  // adapter's decisions.
+  void SetTelemetry(telemetry::RuntimeShard* shard) { telemetry_ = shard; }
 
   // --- checkpoint/restore ---------------------------------------------------
   bool SupportsCheckpoint() const override {
@@ -467,6 +499,10 @@ class RobustSignalingAdapter final : public SingleSessionAllocator {
   std::int64_t fallbacks_ = 0;
   Tracer tracer_;  // disabled unless SetTracer was called
   std::int64_t session_ = -1;
+  // Live-lane only (not checkpointed): shard + the slot of the last
+  // request, for ack RTT measurement. A resume restarts the measurement.
+  telemetry::RuntimeShard* telemetry_ = nullptr;
+  Time request_slot_ = -1;
 };
 
 }  // namespace bwalloc

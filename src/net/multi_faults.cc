@@ -79,16 +79,35 @@ void RobustMultiSessionAdapter::Step(Time now,
       lane.backoff = opts_.initial_backoff;
     }
   }
+
+  if (telemetry_ != nullptr) {
+    telemetry_->GaugeSet(telemetry::Gauge::kDegradedLanes, degraded_count_);
+  }
 }
 
 void RobustMultiSessionAdapter::StepLane(Time now, std::int64_t i,
                                          Bandwidth intended) {
   Lane& lane = lanes_[static_cast<std::size_t>(i)];
+  const bool was_degraded = lane.degraded;
   Bandwidth effective = lane.channel.Effective(now);
   const Bits queue = channels_.regular_queue_size(i);
 
   const std::int64_t acks = lane.channel.AcksArrived(now);
   if (acks > lane.seen_acks) {
+    if (telemetry_ != nullptr) {
+      telemetry_->Add(telemetry::Counter::kSignalAcks, acks - lane.seen_acks);
+      if (lane.request_slot >= 0) {
+        telemetry_->Record(telemetry::Histo::kSignalRttSlots,
+                           now - lane.request_slot);
+        lane.request_slot = -1;
+      }
+      if (lane.backoff > opts_.initial_backoff) {
+        // The episode only counts once it actually escalated past the
+        // initial wait; record its length at the moment it resolves.
+        telemetry_->Record(telemetry::Histo::kBackoffEpisodeSlots,
+                           lane.backoff);
+      }
+    }
     // Our request committed (possibly partially): progress, so reset the
     // backoff and the denial streak.
     lane.seen_acks = acks;
@@ -102,6 +121,10 @@ void RobustMultiSessionAdapter::StepLane(Time now, std::int64_t i,
   }
   const std::int64_t nacks = lane.channel.DenialsArrived(now);
   if (nacks > lane.seen_nacks) {
+    if (telemetry_ != nullptr) {
+      telemetry_->Add(telemetry::Counter::kSignalNacks,
+                      nacks - lane.seen_nacks);
+    }
     lane.consecutive_denials += nacks - lane.seen_nacks;
     lane.seen_nacks = nacks;
     lane.outstanding = false;
@@ -111,6 +134,9 @@ void RobustMultiSessionAdapter::StepLane(Time now, std::int64_t i,
   }
   if (lane.outstanding && now >= lane.deadline) {
     ++lane.timeouts;  // past worst-case response: the message was lost
+    if (telemetry_ != nullptr) {
+      telemetry_->Add(telemetry::Counter::kSignalTimeouts);
+    }
     tracer_.Emit(TraceEventType::kSignalTimeout, now, i, lane.deadline);
     lane.outstanding = false;
     lane.next_attempt_at = now + lane.backoff;
@@ -122,6 +148,9 @@ void RobustMultiSessionAdapter::StepLane(Time now, std::int64_t i,
       lane.consecutive_denials >= opts_.fallback_after_denials) {
     lane.fallback = true;
     ++lane.fallbacks;
+    if (telemetry_ != nullptr) {
+      telemetry_->Add(telemetry::Counter::kSignalFallbacks);
+    }
     tracer_.Emit(TraceEventType::kSignalFallback, now, i,
                  opts_.fallback_bandwidth);
   }
@@ -146,6 +175,10 @@ void RobustMultiSessionAdapter::StepLane(Time now, std::int64_t i,
       tracer_.Emit(TraceEventType::kSignalRetry, now, i, want.raw(),
                    lane.backoff);
     }
+    if (telemetry_ != nullptr) {
+      telemetry_->Add(telemetry::Counter::kSignalsSent);
+      lane.request_slot = now;
+    }
     lane.channel.Request(now, want);
     lane.have_last_want = true;
     lane.last_want = want;
@@ -164,7 +197,22 @@ void RobustMultiSessionAdapter::StepLane(Time now, std::int64_t i,
     tracer_.Emit(TraceEventType::kSignalRecover, now, i, effective.raw());
   }
 
+  // Maintained unconditionally (degraded flips only happen here) so the
+  // gauge is right even when a telemetry shard is attached mid-run.
+  if (lane.degraded != was_degraded) {
+    degraded_count_ += lane.degraded ? 1 : -1;
+  }
+
   channels_.SetRegular(i, effective);
+}
+
+void RobustMultiSessionAdapter::SetTelemetry(telemetry::RuntimeShard* shard) {
+  telemetry_ = shard;
+  // Unlike the tracer, telemetry IS forwarded to the control model: its
+  // timer-wheel scans are real CPU cost on this thread, and the live lane
+  // never alters behaviour, so there is no semantics hazard in surfacing
+  // them.
+  inner_->SetTelemetry(shard);
 }
 
 void RobustMultiSessionAdapter::SetTracer(const Tracer& tracer) {

@@ -97,6 +97,10 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
 
   void SetTracer(const Tracer& tracer) override;
 
+  // Live telemetry: per-lane signal counters, ack RTT, backoff episodes,
+  // and the degraded-lane recovery-debt gauge. Nondeterministic lane only.
+  void SetTelemetry(telemetry::RuntimeShard* shard) override;
+
   // Merged over all sessions (exact sum of per_session_fault_stats()).
   FaultStats fault_stats() const;
   std::vector<FaultStats> per_session_fault_stats() const;
@@ -158,6 +162,10 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
       lane.fallbacks = r.I64();
       lane.degraded = r.Bool();
     }
+    degraded_count_ = 0;
+    for (const Lane& lane : lanes_) {
+      if (lane.degraded) ++degraded_count_;
+    }
   }
 
  private:
@@ -180,6 +188,9 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
     std::int64_t retries = 0;
     std::int64_t fallbacks = 0;
     bool degraded = false;  // open fault window; closed by kSignalRecover
+    // Live-lane only (not checkpointed): slot of the last request, for
+    // ack RTT telemetry. A resume restarts the measurement.
+    Time request_slot = -1;
   };
 
   void StepLane(Time now, std::int64_t i, Bandwidth intended);
@@ -190,6 +201,10 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
   SessionChannels channels_;
   std::vector<Lane> lanes_;
   Tracer tracer_;  // disabled unless SetTracer was called
+  // Lanes currently inside an open degraded window — the run's fault
+  // recovery debt, maintained incrementally and exported as a gauge.
+  std::int64_t degraded_count_ = 0;
+  telemetry::RuntimeShard* telemetry_ = nullptr;
 };
 
 }  // namespace bwalloc

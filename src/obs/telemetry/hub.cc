@@ -1,0 +1,99 @@
+#include "obs/telemetry/hub.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace bwalloc::telemetry {
+
+std::int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+std::uint64_t NextHubId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread cache of the last (hub id -> shard) resolution. One entry
+// is enough: a thread inside one run talks to one hub; on the rare hub
+// switch the cache just misses once. Ids are never reused, so a stale
+// entry can never alias a new hub.
+struct ThreadShardCache {
+  std::uint64_t hub_id = 0;
+  RuntimeShard* shard = nullptr;
+};
+thread_local ThreadShardCache t_shard_cache;
+
+}  // namespace
+
+TelemetryHub::TelemetryHub() : id_(NextHubId()), start_ns_(MonotonicNowNs()) {}
+
+RuntimeShard* TelemetryHub::ShardForCurrentThread() {
+  if (t_shard_cache.hub_id == id_) return t_shard_cache.shard;
+  RuntimeShard* shard = AcquireShard();
+  t_shard_cache = ThreadShardCache{id_, shard};
+  return shard;
+}
+
+RuntimeShard* TelemetryHub::AcquireShard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.emplace_back();
+  return &shards_.back();
+}
+
+Snapshot TelemetryHub::Collect() {
+  const std::int64_t t0 = MonotonicNowNs();
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.shards = static_cast<std::int64_t>(shards_.size());
+    snap.info = info_;
+    snap.seq = next_seq_++;
+    for (const RuntimeShard& shard : shards_) {
+      for (std::size_t i = 0; i < kCounterCount; ++i) {
+        snap.counters[i] += shard.counter(static_cast<Counter>(i));
+      }
+      for (std::size_t i = 0; i < kGaugeCount; ++i) {
+        const std::int64_t v = shard.gauge(static_cast<Gauge>(i));
+        if (kGaugeModes[i] == GaugeMode::kSum) {
+          snap.gauges[i] += v;
+        } else if (v > snap.gauges[i]) {
+          snap.gauges[i] = v;
+        }
+      }
+      for (std::size_t i = 0; i < kHistoCount; ++i) {
+        snap.histos[i].Merge(shard.histo(static_cast<Histo>(i)));
+      }
+    }
+  }
+  snap.uptime_ms = (t0 - start_ns_) / 1'000'000;
+
+  // Self-accounting: the merge we just did, on our own books. The
+  // recording thread owns its shard, so the single-writer rule holds.
+  RuntimeShard* self = ShardForCurrentThread();
+  self->Add(Counter::kSnapshots);
+  self->Record(Histo::kSnapshotCostNs, MonotonicNowNs() - t0);
+  return snap;
+}
+
+std::int64_t TelemetryHub::CounterTotal(Counter c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const RuntimeShard& shard : shards_) total += shard.counter(c);
+  return total;
+}
+
+std::int64_t TelemetryHub::uptime_ms() const {
+  return (MonotonicNowNs() - start_ns_) / 1'000'000;
+}
+
+void TelemetryHub::SetInfo(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  info_[key] = value;
+}
+
+}  // namespace bwalloc::telemetry

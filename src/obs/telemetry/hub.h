@@ -1,0 +1,66 @@
+// TelemetryHub: shard registry and snapshot-time merge point.
+//
+// One hub lives for one run (a bwsim invocation, a bench). Writer
+// threads each get their own RuntimeShard via ShardForCurrentThread()
+// — a thread-local cache keyed by a never-reused hub id, so the lookup
+// after the first call is two loads and a compare, and the single-writer
+// invariant holds by construction. Shards live in a deque: addresses
+// are stable for the hub's lifetime, and each RuntimeShard is 64-byte
+// aligned so writer threads never share a line.
+//
+// Collect() merges every shard into a plain Snapshot and accounts its
+// own cost into the kSnapshotCostNs histogram / kSnapshots counter —
+// telemetry pays for itself on the books it keeps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/telemetry/shard.h"
+#include "obs/telemetry/snapshot.h"
+
+namespace bwalloc::telemetry {
+
+class TelemetryHub {
+ public:
+  TelemetryHub();
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  // The calling thread's shard, created on first use. Stable address.
+  RuntimeShard* ShardForCurrentThread();
+
+  // An explicitly separate shard (tests, dedicated subsystems).
+  RuntimeShard* AcquireShard();
+
+  // Merged view of every shard, stamped with seq/uptime/info, with the
+  // merge cost self-accounted. Exact once writers have quiesced.
+  Snapshot Collect();
+
+  // Cheap cross-shard sum of one counter (the watchdog's pulse).
+  std::int64_t CounterTotal(Counter c) const;
+
+  // Wall ms since hub construction (steady clock).
+  std::int64_t uptime_ms() const;
+
+  // Adds a label to the bwsim_run_info metric of future snapshots.
+  // Keys must be valid Prometheus label names; values are escaped.
+  void SetInfo(const std::string& key, const std::string& value);
+
+ private:
+  const std::uint64_t id_;
+  const std::int64_t start_ns_;
+
+  mutable std::mutex mu_;
+  std::deque<RuntimeShard> shards_;
+  std::map<std::string, std::string> info_;
+  std::int64_t next_seq_ = 0;
+};
+
+// Monotonic wall clock in ns, for latency sampling at telemetry sites.
+std::int64_t MonotonicNowNs();
+
+}  // namespace bwalloc::telemetry

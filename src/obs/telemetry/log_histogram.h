@@ -1,0 +1,115 @@
+// HdrHistogram-style log2-bucketed latency histogram.
+//
+// 64 fixed buckets: bucket 0 holds values <= 0, bucket b (1..63) holds
+// values in [2^(b-1), 2^b). Recording is a handful of relaxed atomic
+// stores by a single writer (the owning shard's thread); merging sums
+// bucket counts exactly, so any merge order over any shard partition
+// yields identical totals. The tradeoff against exact-value histograms
+// is deliberate: ~2x worst-case relative error on reported quantiles,
+// constant memory, and a hot-path cost independent of the value range.
+//
+// Concurrency contract (same as RuntimeShard): exactly one thread writes
+// a given histogram; any thread may take a racy-but-coherent snapshot.
+// Each bucket counter is monotone, so a concurrent snapshot sees some
+// valid prefix of the writer's updates — fine for live telemetry, which
+// is explicitly off the deterministic replay surface.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace bwalloc::telemetry {
+
+inline constexpr std::size_t kHistoBuckets = 64;
+
+// Bucket index for a recorded value: 0 for v <= 0, else 1 + floor(log2 v),
+// which is exactly the bit width of v (clamped; width 63 maps to the top
+// bucket 63).
+inline std::size_t HistoBucketIndex(std::int64_t v) {
+  if (v <= 0) return 0;
+  const auto width =
+      static_cast<std::size_t>(std::bit_width(static_cast<std::uint64_t>(v)));
+  return std::min<std::size_t>(width, kHistoBuckets - 1);
+}
+
+// Inclusive integer upper bound of bucket b: 0, 1, 3, 7, ..., 2^b - 1.
+// The top bucket is open-ended (rendered as le="+Inf").
+inline std::int64_t HistoBucketUpperBound(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << b) - 1;
+}
+
+// Plain (non-atomic) histogram state: the snapshot/merge currency.
+struct HistogramSnapshot {
+  std::array<std::int64_t, kHistoBuckets> buckets{};
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+
+  void Record(std::int64_t v) {
+    buckets[HistoBucketIndex(v)] += 1;
+    count += 1;
+    sum += v;
+    max = std::max(max, v);
+  }
+
+  void Merge(const HistogramSnapshot& other) {
+    for (std::size_t b = 0; b < kHistoBuckets; ++b) {
+      buckets[b] += other.buckets[b];
+    }
+    count += other.count;
+    sum += other.sum;
+    max = std::max(max, other.max);
+  }
+
+  bool empty() const { return count == 0; }
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+// Single-writer atomic histogram, one per (shard, Histo id).
+class LogHistogram {
+ public:
+  void Record(std::int64_t v) {
+    Bump(buckets_[HistoBucketIndex(v)], 1);
+    Bump(count_, 1);
+    Bump(sum_, v);
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  // Racy-but-coherent copy; exact once the writer has quiesced.
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    for (std::size_t b = 0; b < kHistoBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  // Single-writer increment: load+store instead of fetch_add keeps the
+  // hot path a plain add (no locked RMW) while staying TSan-clean.
+  static void Bump(std::atomic<std::int64_t>& a, std::int64_t d) {
+    a.store(a.load(std::memory_order_relaxed) + d,
+            std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::int64_t>, kHistoBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+}  // namespace bwalloc::telemetry

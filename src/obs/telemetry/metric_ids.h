@@ -1,0 +1,119 @@
+// Fixed metric identities for the live telemetry lane.
+//
+// The hot paths (engine slot loops, the work-stealing pool, fault lanes)
+// write telemetry by enum index into pre-sized atomic arrays — never by
+// string key — so a metric update is one relaxed store with no hashing,
+// no allocation, and no lock. The string names live here once, in the
+// tables the snapshot exporter uses to render Prometheus text exposition.
+//
+// Everything recorded through these ids is on the NONDETERMINISTIC lane:
+// wall-clock samples and thread-interleaving-dependent counts. None of it
+// may ever feed the deterministic trace/audit/result surface, which must
+// stay byte-identical at every --jobs.
+#pragma once
+
+#include <cstddef>
+
+namespace bwalloc::telemetry {
+
+// Monotone counters. Merge across shards by exact integer sum.
+enum class Counter : int {
+  kSlots = 0,          // simulated slots completed
+  kSessionsTouched,    // session visits in the engine hot loops
+  kAllocChanges,       // allocation changes observed live
+  kCells,              // batch cells completed
+  kSignalsSent,        // signaling requests issued
+  kSignalAcks,         // signaling commits received
+  kSignalNacks,        // admission denials received
+  kSignalTimeouts,     // requests declared lost by timeout
+  kSignalFallbacks,    // RESET-style fallback drains triggered
+  kCheckpoints,        // checkpoints published
+  kSteals,             // successful work-deque steals
+  kFailedSteals,       // empty/lost steal attempts
+  kBackoffRounds,      // pool idle-backoff rounds
+  kSnapshots,          // telemetry snapshots taken (self-accounting)
+  kCount,
+};
+
+// Point-in-time gauges. Each shard keeps the last written value; the
+// snapshot merge is either a sum (per-shard partial levels) or a max
+// (peaks / fleet-wide properties), per kGaugeMode below.
+enum class Gauge : int {
+  kActiveSessions = 0,  // configured sessions in the running engine(s)
+  kDegradedLanes,       // fault lanes currently serving at committed rate
+  kWorkers,             // pool workers participating in the current batch
+  kPeakQueueBits,       // peak buffered backlog seen live
+  kCount,
+};
+
+enum class GaugeMode : int { kSum = 0, kMax };
+
+// Log2-bucketed histograms (see log_histogram.h). Merge is exact
+// per-bucket summation.
+enum class Histo : int {
+  kSlotStepNs = 0,        // sampled wall time of one engine slot step
+  kSignalRttSlots,        // request->commit round trip, in slots
+  kBackoffEpisodeSlots,   // signaling backoff value when an episode ends
+  kStealNs,               // wall time a worker spent finding stealable work
+  kWheelScanEntries,      // timer-wheel bucket entries scanned per pop
+  kCheckpointPublishNs,   // wall time of one checkpoint publish
+  kSnapshotCostNs,        // telemetry's own snapshot cost (self-accounting)
+  kCount,
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+inline constexpr std::size_t kGaugeCount =
+    static_cast<std::size_t>(Gauge::kCount);
+inline constexpr std::size_t kHistoCount =
+    static_cast<std::size_t>(Histo::kCount);
+
+struct MetricName {
+  const char* name;  // Prometheus metric family name
+  const char* help;  // one-line HELP text
+};
+
+// Counter families are exported with the conventional `_total` suffix
+// already baked into the name.
+inline constexpr MetricName kCounterNames[kCounterCount] = {
+    {"bwsim_slots_total", "Simulated slots completed"},
+    {"bwsim_sessions_touched_total", "Session visits in engine hot loops"},
+    {"bwsim_alloc_changes_total", "Allocation changes observed live"},
+    {"bwsim_cells_total", "Batch cells completed"},
+    {"bwsim_signals_sent_total", "Signaling requests issued"},
+    {"bwsim_signal_acks_total", "Signaling commits received"},
+    {"bwsim_signal_nacks_total", "Signaling admission denials received"},
+    {"bwsim_signal_timeouts_total", "Signaling requests lost to timeout"},
+    {"bwsim_signal_fallbacks_total", "Fallback full-rate drains triggered"},
+    {"bwsim_checkpoints_total", "Checkpoints published"},
+    {"bwsim_runner_steals_total", "Successful work-deque steals"},
+    {"bwsim_runner_failed_steals_total", "Empty or lost steal attempts"},
+    {"bwsim_runner_backoff_rounds_total", "Pool idle-backoff rounds"},
+    {"bwsim_telemetry_snapshots_total", "Telemetry snapshots taken"},
+};
+
+inline constexpr MetricName kGaugeNames[kGaugeCount] = {
+    {"bwsim_active_sessions", "Configured sessions in running engines"},
+    {"bwsim_degraded_lanes", "Fault lanes serving at last-committed rate"},
+    {"bwsim_workers", "Pool workers in the current batch"},
+    {"bwsim_peak_queue_bits", "Peak buffered backlog seen live"},
+};
+
+inline constexpr GaugeMode kGaugeModes[kGaugeCount] = {
+    GaugeMode::kSum,  // active sessions: levels add across engines
+    GaugeMode::kSum,  // degraded lanes: levels add across engines
+    GaugeMode::kMax,  // workers: one fleet-wide value
+    GaugeMode::kMax,  // peak queue: a peak stays a peak
+};
+
+inline constexpr MetricName kHistoNames[kHistoCount] = {
+    {"bwsim_slot_step_ns", "Sampled wall time of one engine slot step"},
+    {"bwsim_signal_rtt_slots", "Signaling request-to-commit round trip"},
+    {"bwsim_backoff_episode_slots", "Backoff value when an episode ends"},
+    {"bwsim_steal_ns", "Wall time spent acquiring stealable work"},
+    {"bwsim_wheel_scan_entries", "Timer-wheel entries scanned per pop"},
+    {"bwsim_checkpoint_publish_ns", "Wall time of one checkpoint publish"},
+    {"bwsim_telemetry_snapshot_ns", "Telemetry snapshot self-cost"},
+};
+
+}  // namespace bwalloc::telemetry

@@ -1,0 +1,211 @@
+#include "obs/telemetry/monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace bwalloc::telemetry {
+
+namespace {
+
+// Tick fast enough to honour the tightest configured cadence without
+// busy-spinning when cadences are long (or only the stall watchdog
+// runs). 20ms keeps watchdog latency low at negligible cost.
+std::int64_t TickMs(const MonitorOptions& o) {
+  std::int64_t tick = 20;
+  if (o.stats_every_ms > 0) tick = std::min(tick, o.stats_every_ms);
+  if (o.heartbeat_ms > 0) tick = std::min(tick, o.heartbeat_ms);
+  if (o.stall_ms > 0) tick = std::min(tick, std::max<std::int64_t>(o.stall_ms / 4, 1));
+  return std::max<std::int64_t>(tick, 1);
+}
+
+std::string FormatRate(double per_sec) {
+  std::ostringstream out;
+  if (per_sec >= 1e6) {
+    out << per_sec / 1e6 << "M/s";
+  } else if (per_sec >= 1e3) {
+    out << per_sec / 1e3 << "k/s";
+  } else {
+    out << per_sec << "/s";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+RunMonitor::RunMonitor(TelemetryHub* hub, MonitorOptions options)
+    : hub_(hub), options_(std::move(options)) {}
+
+RunMonitor::~RunMonitor() {
+  try {
+    Stop();
+  } catch (...) {
+    // Destructor path: a failed final flush must not terminate.
+  }
+}
+
+void RunMonitor::Start() {
+  if (started_) return;
+  started_ = true;
+  if (!options_.stats_out.empty()) {
+    stats_file_.open(options_.stats_out,
+                     std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!stats_file_) {
+      throw std::runtime_error("telemetry: cannot open stats file: " +
+                               options_.stats_out);
+    }
+  }
+  const std::int64_t now = MonotonicNowNs();
+  last_advance_ns_ = now;
+  last_export_ns_ = now;
+  last_heartbeat_ns_ = now;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void RunMonitor::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    quit_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+
+  // End-of-run health: the sustained-rate check must also catch runs
+  // that finish before the watchdog ever sampled a rate window.
+  if (options_.min_slot_rate > 0.0) {
+    const std::int64_t slots = hub_->CounterTotal(Counter::kSlots);
+    const double secs =
+        static_cast<double>(std::max<std::int64_t>(hub_->uptime_ms(), 1)) /
+        1e3;
+    const double rate = static_cast<double>(slots) / secs;
+    if (rate < options_.min_slot_rate) {
+      std::ostringstream msg;
+      msg << "slot rate " << FormatRate(rate) << " below required "
+          << FormatRate(options_.min_slot_rate) << " over " << secs << "s";
+      AddIssue(msg.str());
+    }
+  }
+
+  ExportSnapshot("final");
+  if (stats_file_.is_open()) stats_file_.close();
+
+  if (!healthy()) {
+    for (const std::string& issue : health_issues()) {
+      std::cerr << "[bwsim health] unhealthy: " << issue << '\n';
+    }
+  }
+}
+
+bool RunMonitor::healthy() const {
+  std::lock_guard<std::mutex> lock(issues_mu_);
+  return issues_.empty();
+}
+
+std::vector<std::string> RunMonitor::health_issues() const {
+  std::lock_guard<std::mutex> lock(issues_mu_);
+  return issues_;
+}
+
+int RunMonitor::MergeExitCode(int base) const {
+  if (base != 0) return base;
+  if (options_.health_strict && !healthy()) return kUnhealthyExitCode;
+  return 0;
+}
+
+void RunMonitor::AddIssue(const std::string& issue) {
+  std::lock_guard<std::mutex> lock(issues_mu_);
+  issues_.push_back(issue);
+}
+
+void RunMonitor::Loop() {
+  const std::int64_t tick_ms = TickMs(options_);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(tick_ms),
+                        [this] { return quit_; });
+      if (quit_) return;
+    }
+    CheckHealth();
+
+    const std::int64_t now = MonotonicNowNs();
+    const std::int64_t slots = hub_->CounterTotal(Counter::kSlots);
+    bool want_export = false;
+    if (options_.stats_every_slots > 0 &&
+        slots - last_export_slots_ >= options_.stats_every_slots) {
+      want_export = true;
+    }
+    if (options_.stats_every_ms > 0 &&
+        now - last_export_ns_ >= options_.stats_every_ms * 1'000'000) {
+      want_export = true;
+    }
+    if (want_export) {
+      last_export_slots_ = slots;
+      last_export_ns_ = now;
+      ExportSnapshot("periodic");
+    }
+
+    if (options_.heartbeat_ms > 0 &&
+        now - last_heartbeat_ns_ >= options_.heartbeat_ms * 1'000'000) {
+      Heartbeat();
+      last_heartbeat_ns_ = now;
+      last_heartbeat_slots_ = slots;
+    }
+  }
+}
+
+void RunMonitor::ExportSnapshot(const char* reason) {
+  if (!stats_file_.is_open()) return;
+  Snapshot snap = hub_->Collect();
+  stats_file_ << SnapshotMarker(snap.seq);
+  stats_file_ << "# reason: " << reason << '\n';
+  stats_file_ << ToPrometheusText(snap);
+  stats_file_.flush();
+}
+
+void RunMonitor::Heartbeat() {
+  const std::int64_t now = MonotonicNowNs();
+  Snapshot snap = hub_->Collect();
+  const std::int64_t slots = snap.counter(Counter::kSlots);
+  const double window_s =
+      static_cast<double>(std::max<std::int64_t>(now - last_heartbeat_ns_, 1)) /
+      1e9;
+  const double rate =
+      static_cast<double>(slots - last_heartbeat_slots_) / window_s;
+  std::ostringstream line;
+  line << "[bwsim hb] t=+" << snap.uptime_ms / 1000 << '.'
+       << (snap.uptime_ms % 1000) / 100 << "s slots=" << slots
+       << " rate=" << FormatRate(rate)
+       << " active=" << snap.gauge(Gauge::kActiveSessions)
+       << " degraded=" << snap.gauge(Gauge::kDegradedLanes)
+       << " cells=" << snap.counter(Counter::kCells)
+       << " ckpt=" << snap.counter(Counter::kCheckpoints);
+  if (!healthy()) line << " UNHEALTHY";
+  std::cerr << line.str() << std::endl;
+}
+
+void RunMonitor::CheckHealth() {
+  if (options_.stall_ms <= 0) return;
+  const std::int64_t now = MonotonicNowNs();
+  const std::int64_t slots = hub_->CounterTotal(Counter::kSlots);
+  if (slots != last_slots_) {
+    last_slots_ = slots;
+    last_advance_ns_ = now;
+    return;
+  }
+  const std::int64_t frozen_ms = (now - last_advance_ns_) / 1'000'000;
+  if (frozen_ms >= options_.stall_ms) {
+    std::ostringstream msg;
+    msg << "stalled: slot counter frozen at " << slots << " for "
+        << frozen_ms << "ms (threshold " << options_.stall_ms << "ms)";
+    AddIssue(msg.str());
+    last_advance_ns_ = now;  // re-arm so one stall reports once per window
+  }
+}
+
+}  // namespace bwalloc::telemetry

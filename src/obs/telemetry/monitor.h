@@ -1,0 +1,109 @@
+// RunMonitor: snapshot exporter + heartbeat + run health watchdog.
+//
+// One background thread, started per run when any monitoring option is
+// active, that polls the hub on a short tick and
+//   - appends Prometheus snapshots to `stats_out` on a slot-count
+//     (`stats_every_slots`) and/or wall-clock (`stats_every_ms`)
+//     cadence, plus one final snapshot at Stop();
+//   - emits one-line heartbeats to stderr every `heartbeat_ms`
+//     (slots, slot rate, active sessions, degraded lanes, checkpoints);
+//   - watches run health: a stall (slot counter frozen longer than
+//     `stall_ms`) or a sustained slot rate below `min_slot_rate` marks
+//     the run unhealthy. With `health_strict`, an unhealthy run turns
+//     exit code 0 into kUnhealthyExitCode (4) — crash injection already
+//     owns 3.
+//
+// Everything here reads wall clocks and thread interleavings, so it all
+// stays on the nondeterministic lane: stderr and the stats file only,
+// never traces, audits, results, or exit codes other than the opt-in
+// strict-health code.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry/hub.h"
+
+namespace bwalloc::telemetry {
+
+inline constexpr int kUnhealthyExitCode = 4;
+
+struct MonitorOptions {
+  std::string stats_out;              // snapshot file ("" = none)
+  std::int64_t stats_every_slots = 0; // snapshot per N slots (0 = off)
+  std::int64_t stats_every_ms = 0;    // snapshot per N wall ms (0 = off)
+  std::int64_t heartbeat_ms = 0;      // stderr heartbeat period (0 = off)
+  std::int64_t stall_ms = 0;          // unhealthy if slots freeze this long
+  double min_slot_rate = 0.0;         // unhealthy below this slots/sec
+  bool health_strict = false;         // unhealthy => exit 4
+
+  bool active() const {
+    return !stats_out.empty() || stats_every_slots > 0 ||
+           stats_every_ms > 0 || heartbeat_ms > 0 || stall_ms > 0 ||
+           min_slot_rate > 0.0;
+  }
+};
+
+class RunMonitor {
+ public:
+  RunMonitor(TelemetryHub* hub, MonitorOptions options);
+  ~RunMonitor();  // stops if still running
+
+  RunMonitor(const RunMonitor&) = delete;
+  RunMonitor& operator=(const RunMonitor&) = delete;
+
+  // Opens the stats file (truncating) and launches the monitor thread.
+  // Throws std::runtime_error if the stats file cannot be opened.
+  void Start();
+
+  // Joins the monitor thread, writes the final snapshot, and runs the
+  // end-of-run health evaluation (overall slot rate vs min_slot_rate).
+  // Idempotent.
+  void Stop();
+
+  bool healthy() const;
+  std::vector<std::string> health_issues() const;
+
+  // Exit-code combinator: a failing base code always wins; otherwise a
+  // strict unhealthy run reports kUnhealthyExitCode.
+  int MergeExitCode(int base) const;
+
+ private:
+  void Loop();
+  void ExportSnapshot(const char* reason);
+  void Heartbeat();
+  void CheckHealth();
+  void AddIssue(const std::string& issue);
+
+  TelemetryHub* const hub_;
+  const MonitorOptions options_;
+
+  std::ofstream stats_file_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // Tick-loop shutdown latch: a mutex+cv wait keeps Stop() prompt even
+  // with multi-second cadences.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool quit_ = false;
+
+  // Watchdog state, monitor thread only.
+  std::int64_t last_slots_ = 0;
+  std::int64_t last_advance_ns_ = 0;
+  std::int64_t last_export_slots_ = 0;
+  std::int64_t last_export_ns_ = 0;
+  std::int64_t last_heartbeat_ns_ = 0;
+  std::int64_t last_heartbeat_slots_ = 0;
+
+  mutable std::mutex issues_mu_;
+  std::vector<std::string> issues_;
+};
+
+}  // namespace bwalloc::telemetry

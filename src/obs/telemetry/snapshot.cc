@@ -1,0 +1,203 @@
+#include "obs/telemetry/snapshot.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace bwalloc::telemetry {
+
+std::string EscapeLabelValue(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string SnapshotMarker(std::int64_t seq) {
+  std::ostringstream out;
+  out << "# --- bwsim snapshot " << seq << " ---\n";
+  return out.str();
+}
+
+namespace {
+
+void EmitFamilyHeader(std::ostringstream& out, const MetricName& m,
+                      const char* type) {
+  out << "# HELP " << m.name << ' ' << m.help << '\n';
+  out << "# TYPE " << m.name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const Snapshot& snap) {
+  std::ostringstream out;
+
+  // Run metadata: an info-style gauge whose labels carry the free-form
+  // strings (this is where label escaping earns its keep).
+  out << "# HELP bwsim_run_info Run metadata labels\n";
+  out << "# TYPE bwsim_run_info gauge\n";
+  out << "bwsim_run_info{";
+  out << "seq=\"" << snap.seq << "\",shards=\"" << snap.shards << '"';
+  for (const auto& [k, v] : snap.info) {
+    out << ',' << k << "=\"" << EscapeLabelValue(v) << '"';
+  }
+  out << "} 1\n";
+
+  out << "# HELP bwsim_uptime_ms Wall milliseconds since telemetry start\n";
+  out << "# TYPE bwsim_uptime_ms gauge\n";
+  out << "bwsim_uptime_ms " << snap.uptime_ms << '\n';
+
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    EmitFamilyHeader(out, kCounterNames[i], "counter");
+    out << kCounterNames[i].name << ' ' << snap.counters[i] << '\n';
+  }
+
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    EmitFamilyHeader(out, kGaugeNames[i], "gauge");
+    out << kGaugeNames[i].name << ' ' << snap.gauges[i] << '\n';
+  }
+
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    const MetricName& m = kHistoNames[i];
+    const HistogramSnapshot& h = snap.histos[i];
+    EmitFamilyHeader(out, m, "histogram");
+    // Cumulative buckets. Empty trailing buckets are elided, but the
+    // +Inf bucket (== _count) is always present per the format.
+    std::int64_t cumulative = 0;
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < kHistoBuckets; ++b) {
+      if (h.buckets[b] != 0) last = b;
+    }
+    for (std::size_t b = 0; b <= last; ++b) {
+      cumulative += h.buckets[b];
+      out << m.name << "_bucket{le=\"" << HistoBucketUpperBound(b)
+          << "\"} " << cumulative << '\n';
+    }
+    out << m.name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << m.name << "_sum " << h.sum << '\n';
+    out << m.name << "_count " << h.count << '\n';
+    out << m.name << "_max " << h.max << '\n';
+  }
+
+  return out.str();
+}
+
+double ParsedSnapshot::Value(const std::string& name,
+                             const std::string& labels) const {
+  auto it = samples.find(name);
+  if (it == samples.end()) {
+    throw SnapshotParseError("no such metric: " + name);
+  }
+  for (const ParsedSample& s : it->second) {
+    if (s.labels == labels) return s.value;
+  }
+  throw SnapshotParseError("no sample of " + name + " with labels {" +
+                           labels + "}");
+}
+
+namespace {
+
+// Splits one sample line `name{labels} value` / `name value`. Label text
+// may contain spaces inside quotes, so scan for the closing brace rather
+// than splitting on whitespace first.
+void ParseSampleLine(std::string_view line, ParsedSnapshot* snap) {
+  std::size_t name_end = line.find_first_of(" {");
+  if (name_end == std::string_view::npos || name_end == 0) {
+    throw SnapshotParseError("malformed sample line: " + std::string(line));
+  }
+  std::string name(line.substr(0, name_end));
+  ParsedSample sample;
+  std::size_t value_begin = name_end;
+  if (line[name_end] == '{') {
+    // Find the closing brace honouring backslash escapes inside quotes.
+    bool in_quotes = false;
+    std::size_t i = name_end + 1;
+    for (; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_quotes) {
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          in_quotes = false;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == '}') {
+        break;
+      }
+    }
+    if (i >= line.size()) {
+      throw SnapshotParseError("unterminated labels: " + std::string(line));
+    }
+    sample.labels = std::string(line.substr(name_end + 1, i - name_end - 1));
+    value_begin = i + 1;
+  }
+  while (value_begin < line.size() && line[value_begin] == ' ') {
+    ++value_begin;
+  }
+  if (value_begin >= line.size()) {
+    throw SnapshotParseError("sample line missing value: " +
+                             std::string(line));
+  }
+  const std::string value_text(line.substr(value_begin));
+  char* end = nullptr;
+  sample.value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    throw SnapshotParseError("bad sample value '" + value_text + "' in: " +
+                             std::string(line));
+  }
+  snap->samples[name].push_back(std::move(sample));
+}
+
+}  // namespace
+
+std::vector<ParsedSnapshot> ParseSnapshots(std::string_view text) {
+  std::vector<ParsedSnapshot> out;
+  ParsedSnapshot current;
+  bool current_open = false;
+  constexpr std::string_view kMarkerPrefix = "# --- bwsim snapshot ";
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    if (line.empty()) continue;
+    if (line.rfind(kMarkerPrefix, 0) == 0) {
+      if (current_open) out.push_back(std::move(current));
+      current = ParsedSnapshot{};
+      current_open = true;
+      std::string_view rest = line.substr(kMarkerPrefix.size());
+      std::int64_t seq = 0;
+      auto [p, ec] =
+          std::from_chars(rest.data(), rest.data() + rest.size(), seq);
+      if (ec != std::errc{}) {
+        throw SnapshotParseError("bad snapshot marker: " + std::string(line));
+      }
+      (void)p;
+      current.seq = seq;
+      continue;
+    }
+    if (line[0] == '#') continue;  // HELP/TYPE/comments
+    if (!current_open) {
+      current_open = true;  // marker-less single-block file
+    }
+    ParseSampleLine(line, &current);
+  }
+  if (current_open && !current.samples.empty()) {
+    out.push_back(std::move(current));
+  }
+  return out;
+}
+
+}  // namespace bwalloc::telemetry

@@ -1,0 +1,95 @@
+// Merged telemetry snapshots and their Prometheus text exposition.
+//
+// A Snapshot is the plain (non-atomic) merge of every shard in a hub at
+// one instant, plus run metadata. ToPrometheusText renders it in the
+// Prometheus text exposition format (# HELP / # TYPE lines, `_total`
+// counters, cumulative `le` histogram buckets, escaped label values).
+// Snapshot files written by the exporter hold a *sequence* of such
+// blocks, each introduced by a `# --- bwsim snapshot <seq> ---` marker
+// comment (legal Prometheus comments, so the final block still scrapes).
+//
+// ParseSnapshots reads that format back — the support for the
+// `stats-summary` subcommand and the round-trip tests. The parser is
+// deliberately small: it understands exactly what the writer emits plus
+// ignorable comments/blank lines, and rejects anything else loudly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/telemetry/log_histogram.h"
+#include "obs/telemetry/metric_ids.h"
+
+namespace bwalloc::telemetry {
+
+struct Snapshot {
+  std::array<std::int64_t, kCounterCount> counters{};
+  std::array<std::int64_t, kGaugeCount> gauges{};
+  std::array<HistogramSnapshot, kHistoCount> histos{};
+
+  std::int64_t seq = 0;        // snapshot sequence number within the run
+  std::int64_t uptime_ms = 0;  // wall ms since the hub was created
+  std::int64_t shards = 0;     // shards merged into this snapshot
+
+  // Free-form run labels rendered on the bwsim_run_info metric
+  // (command, suite, ...). Values are label-escaped at exposition time.
+  std::map<std::string, std::string> info;
+
+  std::int64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  std::int64_t gauge(Gauge g) const {
+    return gauges[static_cast<std::size_t>(g)];
+  }
+  const HistogramSnapshot& histo(Histo h) const {
+    return histos[static_cast<std::size_t>(h)];
+  }
+};
+
+// Escapes a label value per the Prometheus text format: backslash,
+// double quote, and newline.
+std::string EscapeLabelValue(std::string_view raw);
+
+// Renders one snapshot as Prometheus text exposition (no marker line).
+std::string ToPrometheusText(const Snapshot& snap);
+
+// Marker comment introducing snapshot `seq` in a multi-snapshot file.
+std::string SnapshotMarker(std::int64_t seq);
+
+// One parsed sample: family name, raw label text (exactly as between the
+// braces, empty when absent), and the numeric value.
+struct ParsedSample {
+  std::string labels;
+  double value = 0.0;
+};
+
+// One parsed exposition block.
+struct ParsedSnapshot {
+  std::int64_t seq = 0;
+  // family name -> samples in file order. Histogram families appear as
+  // their component series (_bucket/_sum/_count suffixes kept in the key).
+  std::map<std::string, std::vector<ParsedSample>> samples;
+
+  // First value of `name` with exactly `labels`; throws if absent.
+  double Value(const std::string& name, const std::string& labels = "") const;
+  bool Has(const std::string& name) const {
+    return samples.count(name) != 0;
+  }
+};
+
+class SnapshotParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parses a snapshot file's full text. Throws SnapshotParseError on
+// malformed sample lines. Text before the first marker (or marker-less
+// single-block files) parses as one snapshot with seq 0.
+std::vector<ParsedSnapshot> ParseSnapshots(std::string_view text);
+
+}  // namespace bwalloc::telemetry

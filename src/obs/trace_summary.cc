@@ -88,6 +88,16 @@ TraceSummary Summarize(const std::vector<TraceRecord>& records) {
       ++tl.retries;
     } else if (r.event == "signal_fallback") {
       ++tl.fallbacks;
+    } else {
+      // Known-but-uncounted names (signal_recover, checkpoint, restore)
+      // stay milestones; anything the enum has never heard of is a
+      // future event type and must not masquerade as one.
+      TraceEventType parsed;
+      if (!ParseEventTypeName(r.event, &parsed)) {
+        ++out.skipped_unknown;
+        ++out.unknown_events[r.event];
+        milestone = false;
+      }
     }
     if (milestone) out.milestones.push_back(r);
   }

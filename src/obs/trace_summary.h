@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,14 @@ struct TraceSummary {
   // Records of the stage/signal timeline (every non-slot_tick, non-hwm,
   // non-alloc event) in input order, for the chronological listing.
   std::vector<TraceRecord> milestones;
+
+  // Records whose event name is not a known TraceEventType — traces from a
+  // newer writer flowing through this reader. They still count into
+  // total_events and the per-session event totals (they ARE events in the
+  // file), but are excluded from the typed counters and the milestone
+  // listing, and tallied here so the report can say what it skipped.
+  std::int64_t skipped_unknown = 0;
+  std::map<std::string, std::int64_t> unknown_events;  // name -> count
 };
 
 TraceSummary Summarize(const std::vector<TraceRecord>& records);

@@ -32,6 +32,9 @@ struct BatchOptions {
   int jobs = 1;
   // Folded into every task seed; lets one suite spec span seed families.
   std::uint64_t base_seed = 0;
+  // Live telemetry hub for the pool's scheduler counters (steals, backoff,
+  // steal latency). Nondeterministic lane: never affects batch results.
+  telemetry::TelemetryHub* telemetry = nullptr;
 };
 
 // "task 3/acme[7]: boom; task 9/..." — one line per failure.
@@ -66,7 +69,9 @@ struct BatchResult {
 class BatchRunner {
  public:
   explicit BatchRunner(const BatchOptions& options = {})
-      : pool_(options.jobs), base_seed_(options.base_seed) {}
+      : pool_(options.jobs), base_seed_(options.base_seed) {
+    pool_.SetTelemetry(options.telemetry);
+  }
 
   int jobs() const { return pool_.threads(); }
 

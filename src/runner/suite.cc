@@ -117,10 +117,15 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
   }
   TracerStageObserver stage_observer(tracer);
 
+  telemetry::RuntimeShard* const tele =
+      spec.telemetry != nullptr ? spec.telemetry->ShardForCurrentThread()
+                                : nullptr;
+
   SingleEngineOptions opt;
   opt.utilization_scan_window = spec.window + 5 * p.offline_delay();
   opt.tracer = tracer;
   opt.metrics = &out.stats.metrics;
+  opt.telemetry = tele;
 
   SingleRunResult r;
   if (spec.fault_hops > 0) {
@@ -138,6 +143,7 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
         std::move(inner), NetworkPath::Uniform(spec.fault_hops, 1, 1.0), plan,
         ropts);
     if (observe) adapter.SetTracer(tracer);
+    if (tele != nullptr) adapter.SetTelemetry(tele);
     // Degraded runs can hold a backlog for many retry rounds; give the
     // drain tail room proportional to the retry horizon.
     opt.drain_slots = 2 * spec.da + 64 * spec.fault_hops;
@@ -165,6 +171,7 @@ CellOutcome RunSingleCell(const SuiteSpec& spec, const TaskContext& ctx) {
     out.row.push_back(Table::Num(r.faults.fallbacks));
   }
   out.stats.Add(r);
+  if (tele != nullptr) tele->Add(telemetry::Counter::kCells);
   if (spec.trace) out.trace_ndjson = sink.ToNdjson();
   if (auditor.has_value()) {
     auditor->Finish();
@@ -212,10 +219,17 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
     tracer = Tracer(dest, mask, {spec.name, ctx.key.index});
   }
 
+  telemetry::RuntimeShard* const tele =
+      spec.telemetry != nullptr ? spec.telemetry->ShardForCurrentThread()
+                                : nullptr;
+
   MultiEngineOptions opt;
   opt.drain_slots = 4 * spec.d_o;
   opt.tracer = tracer;
   opt.metrics = &out.stats.metrics;
+  // The engine forwards the shard to the system (and, through the robust
+  // adapter, to its fault lanes and inner control model).
+  opt.telemetry = tele;
 
   std::unique_ptr<MultiSessionSystem> sys;
   if (spec.multi_algo == "phased") {
@@ -274,6 +288,7 @@ CellOutcome RunMultiCell(const SuiteSpec& spec, const TaskContext& ctx) {
     out.row.push_back(Table::Num(r.faults.fallbacks));
   }
   out.stats.Add(r);
+  if (tele != nullptr) tele->Add(telemetry::Counter::kCells);
   if (spec.trace) out.trace_ndjson = sink.ToNdjson();
   if (auditor.has_value()) {
     auditor->Finish();

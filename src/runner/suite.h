@@ -74,6 +74,12 @@ struct SuiteSpec {
   // `trace`; when both are set the auditor sees the trace_events mask.
   bool audit = false;
 
+  // Live telemetry hub. When set, every cell's engine, fault lanes and
+  // checkpoint publishes record into the executing worker's shard.
+  // Nondeterministic lane: reports, traces and audits stay byte-identical
+  // with telemetry on or off, at every --jobs value.
+  telemetry::TelemetryHub* telemetry = nullptr;
+
   // Cells = grid points x seed streams.
   std::int64_t CellCount() const;
 };

@@ -47,6 +47,22 @@ std::size_t ChunkSize(std::size_t count, int threads) {
 constexpr int kYieldAfter = 64;
 constexpr int kMaxBackoff = 1024;
 
+// Flushes one Drain's batch-local scheduler counters into the worker's
+// telemetry shard (live lane; PoolStats stays the deterministic surface).
+void FlushDrainTelemetry(telemetry::RuntimeShard* tele,
+                         const PoolStats& local) {
+  if (tele == nullptr) return;
+  if (local.steals > 0) {
+    tele->Add(telemetry::Counter::kSteals, local.steals);
+  }
+  if (local.failed_steals > 0) {
+    tele->Add(telemetry::Counter::kFailedSteals, local.failed_steals);
+  }
+  if (local.backoff_rounds > 0) {
+    tele->Add(telemetry::Counter::kBackoffRounds, local.backoff_rounds);
+  }
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int threads)
@@ -120,12 +136,20 @@ void ThreadPool::RunIndexed(std::size_t count,
   }
   if (threads_ == 1) {
     // Serial reference path: no synchronization, same results by contract.
+    if (telemetry_ != nullptr) {
+      telemetry_->ShardForCurrentThread()->GaugeSet(
+          telemetry::Gauge::kWorkers, 1);
+    }
     ActivePoolGuard guard(this);
     for (std::size_t i = 0; i < count; ++i) fn(i);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches;
     stats_.tasks += static_cast<std::int64_t>(count);
     return;
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->ShardForCurrentThread()->GaugeSet(
+        telemetry::Gauge::kWorkers, threads_);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -150,6 +174,12 @@ void ThreadPool::RunIndexed(std::size_t count,
 
 void ThreadPool::Drain(int self, const std::function<void(std::size_t)>& fn,
                        PoolStats* local) {
+  telemetry::RuntimeShard* const tele =
+      telemetry_ != nullptr ? telemetry_->ShardForCurrentThread() : nullptr;
+  // Wall-clock start of the current work hunt (first failed pop until the
+  // next claimed chunk) — the steal-latency histogram's sample. -1 = not
+  // hunting. Clock reads only happen off the own-deque fast path.
+  std::int64_t hunt_start_ns = -1;
   int backoff = 0;
   for (;;) {
     IndexChunk c;
@@ -158,6 +188,9 @@ void ThreadPool::Drain(int self, const std::function<void(std::size_t)>& fn,
     if (got) {
       ++local->pops;
     } else {
+      if (tele != nullptr && hunt_start_ns < 0) {
+        hunt_start_ns = telemetry::MonotonicNowNs();
+      }
       // Steal sweep: victims round-robin from the right neighbour.
       for (int k = 1; k < threads_; ++k) {
         const auto victim = static_cast<std::size_t>((self + k) % threads_);
@@ -172,6 +205,11 @@ void ThreadPool::Drain(int self, const std::function<void(std::size_t)>& fn,
       }
     }
     if (got) {
+      if (hunt_start_ns >= 0) {
+        tele->Record(telemetry::Histo::kStealNs,
+                     telemetry::MonotonicNowNs() - hunt_start_ns);
+        hunt_start_ns = -1;
+      }
       backoff = 0;
       ++local->chunks;
       for (std::size_t i = c.begin; i < c.end; ++i) fn(i);
@@ -186,7 +224,10 @@ void ThreadPool::Drain(int self, const std::function<void(std::size_t)>& fn,
       }
       continue;
     }
-    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    if (remaining_.load(std::memory_order_acquire) == 0) {
+      FlushDrainTelemetry(tele, *local);
+      return;
+    }
     if (!contended) {
       // Own deque empty and every victim reported EMPTY (not a lost
       // race). Chunks never appear mid-batch, so that state is final:
@@ -197,6 +238,8 @@ void ThreadPool::Drain(int self, const std::function<void(std::size_t)>& fn,
       done_cv_.wait(lock, [this] {
         return remaining_.load(std::memory_order_acquire) == 0;
       });
+      lock.unlock();
+      FlushDrainTelemetry(tele, *local);
       return;
     }
     // Lost at least one CAS race: chunks remain, retry after a capped

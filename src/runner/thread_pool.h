@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry/hub.h"
 #include "runner/work_deque.h"
 
 namespace bwalloc {
@@ -80,6 +81,12 @@ class ThreadPool {
   // Snapshot of the cumulative scheduler counters (all completed batches).
   PoolStats stats() const;
 
+  // Live telemetry hub: per-worker shards record steal/backoff counters
+  // and steal-latency histograms as they happen (PoolStats stays the
+  // deterministic post-batch surface). Null (the default) disables. Must
+  // be set before RunIndexed and outlive the pool.
+  void SetTelemetry(telemetry::TelemetryHub* hub) { telemetry_ = hub; }
+
  private:
   // Per-worker scheduling state, cacheline-separated so one worker's deque
   // traffic does not false-share with its neighbours'.
@@ -115,6 +122,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   PoolStats stats_;
+  telemetry::TelemetryHub* telemetry_ = nullptr;
 };
 
 }  // namespace bwalloc

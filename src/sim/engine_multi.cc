@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/telemetry/hub.h"
 #include "sim/metrics.h"
 #include "util/assert.h"
 
@@ -80,6 +81,12 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   const Tracer& tracer = options.tracer;
   const bool tracing = tracer.active();
   if (tracing) system.SetTracer(tracer);
+  telemetry::RuntimeShard* const tele = options.telemetry;
+  if (tele != nullptr) {
+    system.SetTelemetry(tele);
+    tele->GaugeSet(telemetry::Gauge::kActiveSessions,
+                   static_cast<std::int64_t>(k));
+  }
   Bits queue_hwm = 0;
 
   const CheckpointOptions& ckpt = options.checkpoint;
@@ -119,6 +126,9 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   {
     ScopedTimer loop_timer(options.profile, "engine_multi.loop");
     for (Time t = start; t < horizon; ++t) {
+      const bool step_sampled = tele != nullptr && (t & 63) == 0;
+      const std::int64_t step_t0 =
+          step_sampled ? telemetry::MonotonicNowNs() : 0;
       Bits slot_in = 0;
       for (std::size_t i = 0; i < k; ++i) {
         arrivals[i] =
@@ -181,6 +191,16 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
         result.peak_overflow_allocation = ovf;
       }
 
+      if (tele != nullptr) {
+        tele->Add(telemetry::Counter::kSlots);
+        tele->Add(telemetry::Counter::kSessionsTouched,
+                  static_cast<std::int64_t>(k));
+        if (step_sampled) {
+          tele->Record(telemetry::Histo::kSlotStepNs,
+                       telemetry::MonotonicNowNs() - step_t0);
+        }
+      }
+
       if (ckpt.every > 0 && (t + 1) % ckpt.every == 0) {
         // Journal the checkpoint event before capturing the journal
         // position so the recovery replay prefix ends with it.
@@ -224,6 +244,12 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   result.global_changes = declared_total.transitions();
   result.stages = system.stages();
   result.global_stages = system.global_stages();
+  if (tele != nullptr) {
+    // Change counts are settled once per run (per-slot counting would put
+    // k extra compares in the hot loop for a number nobody polls mid-run).
+    tele->Add(telemetry::Counter::kAllocChanges,
+              result.local_changes + result.global_changes);
+  }
   result.global_utilization = util.GlobalUtilization();
   result.total_allocated_bits = util.TotalAllocatedBits();
   result.total_allocated_raw = util.TotalAllocatedRaw();

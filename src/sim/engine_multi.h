@@ -14,6 +14,7 @@
 
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
+#include "obs/telemetry/shard.h"
 #include "obs/tracer.h"
 #include "sim/run_result.h"
 #include "sim/session_channels.h"
@@ -93,6 +94,12 @@ class MultiSessionSystem {
   // every implementation.
   virtual void SetTracer(const Tracer& /*tracer*/) {}
 
+  // Attach a live telemetry shard for the system's internal hot-path
+  // instruments (timer-wheel scan costs, fault-lane counters). Default:
+  // ignore — telemetry stays optional for every implementation, and it is
+  // on the nondeterministic lane: it must never change behaviour.
+  virtual void SetTelemetry(telemetry::RuntimeShard* /*shard*/) {}
+
   // --- event-driven stepping (optional) ------------------------------------
   // True when the system implements StepSparse. Systems without it (e.g.
   // the fault-lane adapter, which must drive every lane every slot) are
@@ -149,6 +156,9 @@ struct MultiEngineOptions {
   // Filled by RunMultiSessionEvent when non-null; ignored by the naive
   // engine.
   EventEngineStats* event_stats = nullptr;
+  // Optional live telemetry shard (nondeterministic lane); also handed to
+  // the system via SetTelemetry. Null = no live metrics.
+  telemetry::RuntimeShard* telemetry = nullptr;
   // Checkpoint capture / crash injection / resume (state/checkpoint.h).
   CheckpointOptions checkpoint;
 };

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry/hub.h"
 #include "sim/engine_multi.h"
 #include "sim/metrics.h"
 #include "util/assert.h"
@@ -163,6 +164,11 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
   const Tracer& tracer = options.tracer;
   const bool tracing = tracer.active();
   if (tracing) system.SetTracer(tracer);
+  telemetry::RuntimeShard* const tele = options.telemetry;
+  if (tele != nullptr) {
+    system.SetTelemetry(tele);
+    tele->GaugeSet(telemetry::Gauge::kActiveSessions, k);
+  }
   Bits queue_hwm = 0;
 
   EventEngineStats stats;
@@ -222,6 +228,11 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
   {
     ScopedTimer loop_timer(options.profile, "engine_multi_event.loop");
     for (Time t = start; t < horizon; ++t) {
+      const bool step_sampled = tele != nullptr && (t & 63) == 0;
+      const std::int64_t step_t0 =
+          step_sampled ? telemetry::MonotonicNowNs() : 0;
+      const std::int64_t touched_before = stats.touched_session_slots;
+      const std::int64_t changes_before = result.local_changes;
       const std::span<const SessionArrival> slot =
           t < sparse.horizon ? sparse.Slot(t)
                              : std::span<const SessionArrival>();
@@ -308,6 +319,18 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
       }
       if (ovf_total > result.peak_overflow_allocation) {
         result.peak_overflow_allocation = ovf_total;
+      }
+
+      if (tele != nullptr) {
+        tele->Add(telemetry::Counter::kSlots);
+        tele->Add(telemetry::Counter::kSessionsTouched,
+                  stats.touched_session_slots - touched_before);
+        tele->Add(telemetry::Counter::kAllocChanges,
+                  result.local_changes - changes_before);
+        if (step_sampled) {
+          tele->Record(telemetry::Histo::kSlotStepNs,
+                       telemetry::MonotonicNowNs() - step_t0);
+        }
       }
 
       if (ckpt.every > 0 && (t + 1) % ckpt.every == 0) {

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/telemetry/hub.h"
 #include "sim/bit_queue.h"
 #include "sim/metrics.h"
 #include "util/assert.h"
@@ -71,6 +72,8 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
   // One branch hoisted out of the per-event checks: when tracing is off
   // (the default) each slot pays exactly this bool test per event site.
   const bool tracing = tracer.active();
+  telemetry::RuntimeShard* const tele = options.telemetry;
+  if (tele != nullptr) tele->GaugeSet(telemetry::Gauge::kActiveSessions, 1);
   Bits queue_hwm = 0;
 
   const CheckpointOptions& ckpt = options.checkpoint;
@@ -106,6 +109,11 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
   {
     ScopedTimer loop_timer(options.profile, "engine_single.loop");
     for (Time t = start; t < horizon; ++t) {
+      // Live lane: sampled wall timing (1 slot in 64) so the steady-state
+      // cost is one pointer test + two relaxed stores per slot.
+      const bool step_sampled = tele != nullptr && (t & 63) == 0;
+      const std::int64_t step_t0 =
+          step_sampled ? telemetry::MonotonicNowNs() : 0;
       const Bits in =
           t < trace_len ? arrivals[static_cast<std::size_t>(t)] : Bits{0};
       BW_REQUIRE(in >= 0, "RunSingleSession: negative arrivals in trace");
@@ -121,7 +129,9 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
 
       const Bandwidth bw = alloc.OnSlot(t, in, queue.size());
       BW_CHECK(bw.raw() >= 0, "allocator returned negative bandwidth");
-      if (tracing && changes.initialized() && bw != changes.current()) {
+      const bool alloc_changed =
+          changes.initialized() && bw != changes.current();
+      if (tracing && alloc_changed) {
         tracer.Emit(TraceEventType::kAllocChange, t, -1,
                     changes.current().raw(), bw.raw(), kChanSingle);
       }
@@ -135,6 +145,16 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
       const Bits served = queue.ServeSlot(t, bw, &result.delay);
       result.total_delivered += served;
       alloc.OnServed(t, served, queue.size());
+
+      if (tele != nullptr) {
+        tele->Add(telemetry::Counter::kSlots);
+        tele->Add(telemetry::Counter::kSessionsTouched);
+        if (alloc_changed) tele->Add(telemetry::Counter::kAllocChanges);
+        if (step_sampled) {
+          tele->Record(telemetry::Histo::kSlotStepNs,
+                       telemetry::MonotonicNowNs() - step_t0);
+        }
+      }
 
       if (ckpt.every > 0 && (t + 1) % ckpt.every == 0) {
         // The checkpoint event is journaled *before* the journal position
@@ -164,6 +184,9 @@ SingleRunResult RunSingleSession(const std::vector<Bits>& arrivals,
   result.final_queue = queue.size();
   result.dropped = queue.dropped();
   result.peak_queue = queue.peak_size();
+  if (tele != nullptr) {
+    tele->GaugeMax(telemetry::Gauge::kPeakQueueBits, result.peak_queue);
+  }
   result.changes = changes.transitions();
   result.stages = alloc.stages();
   result.global_utilization = util.GlobalUtilization();

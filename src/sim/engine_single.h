@@ -12,6 +12,7 @@
 
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
+#include "obs/telemetry/shard.h"
 #include "obs/tracer.h"
 #include "sim/run_result.h"
 #include "state/checkpoint.h"
@@ -68,6 +69,10 @@ struct SingleEngineOptions {
   MetricsRegistry* metrics = nullptr;
   // Optional wall-clock phase profile (setup / loop / utilization scan).
   PhaseProfile* profile = nullptr;
+  // Optional live telemetry shard (nondeterministic lane: slot counters,
+  // sampled slot-step latency). Null = no live metrics, zero hot-path cost
+  // beyond one pointer test per slot.
+  telemetry::RuntimeShard* telemetry = nullptr;
   // Checkpoint capture / crash injection / resume (state/checkpoint.h).
   CheckpointOptions checkpoint;
 };

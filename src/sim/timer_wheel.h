@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry/shard.h"
 #include "state/serializer.h"
 #include "util/assert.h"
 #include "util/types.h"
@@ -77,6 +78,13 @@ class TimerWheel {
     if (live_.empty()) return;
     auto& bucket = buckets_[static_cast<std::size_t>(now & mask_)];
     if (bucket.empty()) return;
+    // Live lane: the scan below is this wheel's "cascade" — every entry
+    // walked is either fired or a wrap-around alias paying rent. The
+    // per-pop scan length is the telemetry that shows an undersized wheel.
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(telemetry::Histo::kWheelScanEntries,
+                         static_cast<std::int64_t>(bucket.size()));
+    }
     // Entries were appended in schedule order, and ids are monotone, so a
     // single forward pass both fires due entries in order and compacts the
     // bucket in place.
@@ -97,6 +105,10 @@ class TimerWheel {
     }
     bucket.resize(keep);
   }
+
+  // Live telemetry shard for pop-scan costs; null (the default) disables.
+  // Nondeterministic lane only: never alters wheel behaviour.
+  void SetTelemetry(telemetry::RuntimeShard* shard) { telemetry_ = shard; }
 
   std::int64_t pending() const { return static_cast<std::int64_t>(live_.size()); }
 
@@ -168,6 +180,7 @@ class TimerWheel {
   std::int64_t mask_ = 0;
   std::uint64_t next_id_ = 1;
   std::unordered_set<std::uint64_t> live_;
+  telemetry::RuntimeShard* telemetry_ = nullptr;
 };
 
 }  // namespace bwalloc

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/telemetry/hub.h"
 #include "util/json_writer.h"
 
 namespace bwalloc {
@@ -136,11 +137,19 @@ CheckpointMeta ReadCheckpointMeta(std::string_view blob,
 
 void PublishCheckpoint(const CheckpointOptions& options,
                        std::string_view payload) {
+  const std::int64_t t0 = options.telemetry != nullptr
+                              ? telemetry::MonotonicNowNs()
+                              : 0;
   if (!options.dir.empty()) {
     WriteCheckpointFile(options.dir + "/" + options.stem + ".ckpt", payload);
   }
   if (options.capture != nullptr) {
     *options.capture = WrapCheckpoint(payload);
+  }
+  if (options.telemetry != nullptr) {
+    options.telemetry->Add(telemetry::Counter::kCheckpoints);
+    options.telemetry->Record(telemetry::Histo::kCheckpointPublishNs,
+                              telemetry::MonotonicNowNs() - t0);
   }
 }
 

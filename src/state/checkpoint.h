@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/telemetry/shard.h"
 #include "state/serializer.h"
 #include "util/types.h"
 
@@ -124,6 +125,9 @@ struct CheckpointOptions {
   // shadow by 1 raw unit. A correct differential harness must catch the
   // resulting spurious alloc-change bytes.
   bool perturb_restore_for_test = false;
+  // Live telemetry lane: PublishCheckpoint counts each publish and records
+  // its wall-clock cost here. Never touches the checkpoint bytes.
+  telemetry::RuntimeShard* telemetry = nullptr;
 
   bool enabled() const { return every > 0 || resume != nullptr; }
 };

@@ -4,6 +4,8 @@
 // of aborting the batch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 
 #include "core/single_session.h"
@@ -84,6 +86,86 @@ TEST(AggregateStats, ShardedReductionMatchesSerial) {
     for (std::size_t i = split; i < runs.size(); ++i) hi.Add(runs[i]);
     lo.Merge(hi);
     EXPECT_TRUE(lo == serial) << "diverged at split " << split;
+  }
+}
+
+// Per-task registry with overlapping and disjoint keys across tasks, gauge
+// values crossing zero, and a histogram — everything a sharded batch can
+// produce.
+MetricsRegistry MakeRegistry(std::int64_t i) {
+  MetricsRegistry m;
+  m.Count("shared.count", 10 * i + 1);
+  m.Count("only." + std::to_string(i), i + 1);
+  m.GaugeMax("peak.shared", (i * 37) % 11 - 5);  // negatives included
+  m.GaugeMax("peak." + std::to_string(i % 2), 100 - i);
+  m.Histogram("delay").Record(i % 7, 64 * (i + 1));
+  return m;
+}
+
+TEST(MetricsRegistry, MergeOrderInsensitiveOverPermutations) {
+  constexpr std::int64_t kN = 4;
+  std::vector<MetricsRegistry> parts;
+  for (std::int64_t i = 0; i < kN; ++i) parts.push_back(MakeRegistry(i));
+
+  MetricsRegistry serial;
+  for (const MetricsRegistry& p : parts) serial.Merge(p);
+  EXPECT_EQ(serial.counter("shared.count"), 1 + 11 + 21 + 31);
+  EXPECT_EQ(serial.gauge("peak.shared"), 3);  // max of -5, -1, 3, -4
+  EXPECT_EQ(serial.gauge("peak.0"), 100);
+  EXPECT_EQ(serial.gauge("peak.1"), 99);
+
+  std::vector<std::size_t> order = {0, 1, 2, 3};
+  do {
+    MetricsRegistry shuffled;
+    for (const std::size_t i : order) shuffled.Merge(parts[i]);
+    EXPECT_TRUE(shuffled == serial);
+    EXPECT_EQ(shuffled.ToJson(), serial.ToJson());
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(AggregateStats, TreeShapedMergesMatchSerialFold) {
+  // A work-stealing reduction merges whatever subtrees finished first; any
+  // binary tree over the task range must equal the serial left fold.
+  constexpr std::int64_t kN = 6;
+  std::vector<AggregateStats> parts;
+  const std::vector<std::string> workloads = {"cbr",  "onoff", "pareto",
+                                              "mmpp", "mixed", "cbr"};
+  for (std::int64_t i = 0; i < kN; ++i) {
+    AggregateStats a;
+    a.Add(RunOne(workloads[static_cast<std::size_t>(i)],
+                 20 + static_cast<std::uint64_t>(i)));
+    a.metrics = MakeRegistry(i);
+    parts.push_back(std::move(a));
+  }
+
+  AggregateStats serial;
+  for (const AggregateStats& p : parts) serial.Merge(p);
+
+  // Every binary tree shape over [lo, hi): recurse on each pivot choice.
+  // Catalan(5) = 42 shapes for 6 leaves — exhaustive at this size.
+  std::function<std::vector<AggregateStats>(std::size_t, std::size_t)> trees =
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<AggregateStats> out;
+        if (hi - lo == 1) {
+          out.push_back(parts[lo]);
+          return out;
+        }
+        for (std::size_t mid = lo + 1; mid < hi; ++mid) {
+          for (const AggregateStats& left : trees(lo, mid)) {
+            for (const AggregateStats& right : trees(mid, hi)) {
+              AggregateStats combined = left;
+              combined.Merge(right);
+              out.push_back(std::move(combined));
+            }
+          }
+        }
+        return out;
+      };
+  const std::vector<AggregateStats> all = trees(0, parts.size());
+  EXPECT_EQ(all.size(), 42u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_TRUE(all[i] == serial) << "tree shape " << i << " diverged";
+    EXPECT_EQ(all[i].metrics.ToJson(), serial.metrics.ToJson());
   }
 }
 

@@ -1,0 +1,361 @@
+// Live telemetry lane: log2 histogram bucket math, the Prometheus text
+// exposition (golden fragments, label escaping, bucket cumulativity),
+// the snapshot parser round trip, hub shard merging under gauge modes,
+// a multi-threaded writer hammer (the TSan target for the striped
+// counters), and the run-health watchdog.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry/hub.h"
+#include "obs/telemetry/log_histogram.h"
+#include "obs/telemetry/monitor.h"
+#include "obs/telemetry/snapshot.h"
+
+namespace bwalloc::telemetry {
+namespace {
+
+TEST(LogHistogram, BucketIndexIsClampedBitWidth) {
+  EXPECT_EQ(HistoBucketIndex(-5), 0u);
+  EXPECT_EQ(HistoBucketIndex(0), 0u);
+  EXPECT_EQ(HistoBucketIndex(1), 1u);
+  EXPECT_EQ(HistoBucketIndex(2), 2u);
+  EXPECT_EQ(HistoBucketIndex(3), 2u);
+  EXPECT_EQ(HistoBucketIndex(4), 3u);
+  EXPECT_EQ(HistoBucketIndex((std::int64_t{1} << 40) - 1), 40u);
+  EXPECT_EQ(HistoBucketIndex(std::int64_t{1} << 40), 41u);
+  EXPECT_EQ(HistoBucketIndex(std::numeric_limits<std::int64_t>::max()), 63u);
+}
+
+TEST(LogHistogram, BucketBoundsAreInclusiveAndNested) {
+  // Every value in bucket b must satisfy bound(b-1) < v <= bound(b).
+  for (std::size_t b = 0; b + 1 < kHistoBuckets; ++b) {
+    const std::int64_t hi = HistoBucketUpperBound(b);
+    EXPECT_EQ(HistoBucketIndex(hi), b) << "upper bound of bucket " << b;
+    EXPECT_EQ(HistoBucketIndex(hi + 1), b + 1)
+        << "first value above bucket " << b;
+  }
+  EXPECT_EQ(HistoBucketUpperBound(0), 0);
+  EXPECT_EQ(HistoBucketUpperBound(1), 1);
+  EXPECT_EQ(HistoBucketUpperBound(10), 1023);
+  EXPECT_EQ(HistoBucketUpperBound(63),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(LogHistogram, AtomicAndPlainAgreeAndMergeIsExact) {
+  LogHistogram atomic_h;
+  HistogramSnapshot plain;
+  const std::vector<std::int64_t> values = {0, 1, 1, 7, 8, 1000, 1 << 20, -3};
+  for (const std::int64_t v : values) {
+    atomic_h.Record(v);
+    plain.Record(v);
+  }
+  EXPECT_EQ(atomic_h.Snapshot(), plain);
+  EXPECT_EQ(plain.count, 8);
+  EXPECT_EQ(plain.max, 1 << 20);
+
+  // Merge in two different splits: identical totals.
+  HistogramSnapshot a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 2 == 0 ? a : b).Record(values[i]);
+  }
+  c = a;
+  c.Merge(b);
+  EXPECT_EQ(c, plain);
+  b.Merge(a);
+  EXPECT_EQ(b, plain);
+}
+
+TEST(Snapshot, EscapeLabelValueHandlesAllSpecials) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeLabelValue(""), "");
+}
+
+TEST(Snapshot, GoldenExpositionFragments) {
+  Snapshot snap;
+  snap.seq = 3;
+  snap.uptime_ms = 1500;
+  snap.shards = 2;
+  snap.info["command"] = "single";
+  snap.info["note"] = "quoted \"v\"";
+  snap.counters[static_cast<std::size_t>(Counter::kSlots)] = 4000;
+  snap.gauges[static_cast<std::size_t>(Gauge::kWorkers)] = 4;
+  HistogramSnapshot& h =
+      snap.histos[static_cast<std::size_t>(Histo::kSignalRttSlots)];
+  h.Record(1);
+  h.Record(3);
+  h.Record(3);
+  h.Record(9);
+
+  const std::string text = ToPrometheusText(snap);
+
+  // Golden header: run metadata with escaped labels, keys in map order.
+  EXPECT_NE(text.find("# HELP bwsim_run_info Run metadata labels\n"
+                      "# TYPE bwsim_run_info gauge\n"
+                      "bwsim_run_info{seq=\"3\",shards=\"2\","
+                      "command=\"single\",note=\"quoted \\\"v\\\"\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bwsim_uptime_ms 1500\n"), std::string::npos);
+
+  // Counter family: conventional _total name, HELP/TYPE, then the sample.
+  EXPECT_NE(text.find("# HELP bwsim_slots_total Simulated slots completed\n"
+                      "# TYPE bwsim_slots_total counter\n"
+                      "bwsim_slots_total 4000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bwsim_workers 4\n"), std::string::npos);
+
+  // Golden histogram block: cumulative buckets with inclusive integer
+  // upper bounds (1 value <= 1, 3 values <= 3), +Inf == _count, exact sum.
+  EXPECT_NE(
+      text.find("# TYPE bwsim_signal_rtt_slots histogram\n"
+                "bwsim_signal_rtt_slots_bucket{le=\"0\"} 0\n"
+                "bwsim_signal_rtt_slots_bucket{le=\"1\"} 1\n"
+                "bwsim_signal_rtt_slots_bucket{le=\"3\"} 3\n"
+                "bwsim_signal_rtt_slots_bucket{le=\"7\"} 3\n"
+                "bwsim_signal_rtt_slots_bucket{le=\"15\"} 4\n"
+                "bwsim_signal_rtt_slots_bucket{le=\"+Inf\"} 4\n"
+                "bwsim_signal_rtt_slots_sum 16\n"
+                "bwsim_signal_rtt_slots_count 4\n"
+                "bwsim_signal_rtt_slots_max 9\n"),
+      std::string::npos);
+}
+
+TEST(Snapshot, BucketsAreCumulativeForEveryFamily) {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    for (std::int64_t v = 1; v <= 1 << (2 * i + 1); v *= 3) {
+      snap.histos[i].Record(v);
+    }
+  }
+  const std::vector<ParsedSnapshot> parsed =
+      ParseSnapshots(ToPrometheusText(snap));
+  ASSERT_EQ(parsed.size(), 1u);
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    const std::string bucket = std::string(kHistoNames[i].name) + "_bucket";
+    ASSERT_TRUE(parsed[0].Has(bucket)) << bucket;
+    const auto& samples = parsed[0].samples.at(bucket);
+    double prev = 0.0;
+    for (const ParsedSample& s : samples) {
+      EXPECT_GE(s.value, prev) << bucket << "{" << s.labels << "}";
+      prev = s.value;
+    }
+    // The +Inf bucket closes every family and equals _count.
+    EXPECT_EQ(samples.back().labels, "le=\"+Inf\"");
+    EXPECT_EQ(samples.back().value,
+              parsed[0].Value(std::string(kHistoNames[i].name) + "_count"));
+  }
+}
+
+TEST(Snapshot, ParseRoundTripRecoversEveryValue) {
+  Snapshot snap;
+  snap.seq = 7;
+  snap.uptime_ms = 250;
+  snap.shards = 3;
+  snap.info["suite"] = "micro";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    snap.counters[i] = static_cast<std::int64_t>(100 + 7 * i);
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    snap.gauges[i] = static_cast<std::int64_t>(50 + i);
+  }
+  snap.histos[0].Record(42);
+
+  const std::string text = SnapshotMarker(7) + ToPrometheusText(snap);
+  const std::vector<ParsedSnapshot> parsed = ParseSnapshots(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, 7);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    EXPECT_EQ(parsed[0].Value(kCounterNames[i].name),
+              static_cast<double>(snap.counters[i]))
+        << kCounterNames[i].name;
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    EXPECT_EQ(parsed[0].Value(kGaugeNames[i].name),
+              static_cast<double>(snap.gauges[i]))
+        << kGaugeNames[i].name;
+  }
+  EXPECT_EQ(parsed[0].Value("bwsim_uptime_ms"), 250.0);
+  EXPECT_EQ(parsed[0].Value(std::string(kHistoNames[0].name) + "_sum"), 42.0);
+}
+
+TEST(Snapshot, MultiSnapshotFilesSplitOnMarkers) {
+  Snapshot a, b;
+  a.counters[0] = 10;
+  b.counters[0] = 30;
+  const std::string text = SnapshotMarker(0) + "# reason: periodic\n" +
+                           ToPrometheusText(a) + SnapshotMarker(4) +
+                           "# reason: final\n" + ToPrometheusText(b);
+  const std::vector<ParsedSnapshot> parsed = ParseSnapshots(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].seq, 0);
+  EXPECT_EQ(parsed[1].seq, 4);
+  EXPECT_EQ(parsed[0].Value(kCounterNames[0].name), 10.0);
+  EXPECT_EQ(parsed[1].Value(kCounterNames[0].name), 30.0);
+}
+
+TEST(Snapshot, ParserRejectsMalformedSamples) {
+  EXPECT_THROW(ParseSnapshots("not a sample line at all"),
+               SnapshotParseError);
+  EXPECT_THROW(ParseSnapshots("name{unterminated 1"), SnapshotParseError);
+  EXPECT_THROW(ParseSnapshots("name notanumber"), SnapshotParseError);
+  EXPECT_TRUE(ParseSnapshots("").empty());
+  EXPECT_TRUE(ParseSnapshots("# just comments\n\n# more\n").empty());
+}
+
+TEST(TelemetryHub, ShardPerThreadIsStableAndCollectMergesByMode) {
+  TelemetryHub hub;
+  RuntimeShard* mine = hub.ShardForCurrentThread();
+  EXPECT_EQ(hub.ShardForCurrentThread(), mine);
+
+  RuntimeShard* other = hub.AcquireShard();
+  ASSERT_NE(other, mine);
+
+  mine->Add(Counter::kSlots, 100);
+  other->Add(Counter::kSlots, 11);
+  // Sum-mode gauges add across shards; max-mode gauges take the peak.
+  mine->GaugeSet(Gauge::kActiveSessions, 8);
+  other->GaugeSet(Gauge::kActiveSessions, 4);
+  mine->GaugeSet(Gauge::kWorkers, 2);
+  other->GaugeSet(Gauge::kWorkers, 6);
+  mine->Record(Histo::kSlotStepNs, 5);
+  other->Record(Histo::kSlotStepNs, 500);
+
+  hub.SetInfo("suite", "hubtest");
+  const Snapshot snap = hub.Collect();
+  EXPECT_EQ(snap.counter(Counter::kSlots), 111);
+  EXPECT_EQ(hub.CounterTotal(Counter::kSlots), 111);
+  EXPECT_EQ(snap.gauge(Gauge::kActiveSessions), 12);
+  EXPECT_EQ(snap.gauge(Gauge::kWorkers), 6);
+  EXPECT_EQ(snap.histo(Histo::kSlotStepNs).count, 2);
+  EXPECT_EQ(snap.histo(Histo::kSlotStepNs).sum, 505);
+  EXPECT_EQ(snap.histo(Histo::kSlotStepNs).max, 500);
+  EXPECT_EQ(snap.shards, 2);
+  EXPECT_EQ(snap.info.at("suite"), "hubtest");
+  EXPECT_EQ(snap.seq, 0);
+
+  // Snapshots self-account: the first Collect recorded itself, so the
+  // second one sees it.
+  const Snapshot again = hub.Collect();
+  EXPECT_EQ(again.seq, 1);
+  EXPECT_EQ(again.counter(Counter::kSnapshots), 1);
+  EXPECT_GE(again.histo(Histo::kSnapshotCostNs).count, 1);
+}
+
+TEST(TelemetryHub, SeparateHubsKeepSeparateThreadShards) {
+  TelemetryHub first;
+  RuntimeShard* a = first.ShardForCurrentThread();
+  a->Add(Counter::kCells);
+  TelemetryHub second;
+  RuntimeShard* b = second.ShardForCurrentThread();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(second.Collect().counter(Counter::kCells), 0);
+  EXPECT_EQ(first.Collect().counter(Counter::kCells), 1);
+}
+
+// The TSan target: hammer striped counters from many threads while the
+// main thread concurrently snapshots, then verify exact totals after the
+// writers quiesce.
+TEST(TelemetryHub, ConcurrentWritersAndSnapshotsStayExact) {
+  TelemetryHub hub;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&hub, w] {
+      RuntimeShard* shard = hub.ShardForCurrentThread();
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        shard->Add(Counter::kSlots);
+        shard->Add(Counter::kSessionsTouched, 3);
+        shard->GaugeSet(Gauge::kActiveSessions, w + 1);
+        shard->GaugeMax(Gauge::kPeakQueueBits, i);
+        shard->Record(Histo::kSlotStepNs, i % 1024);
+      }
+    });
+  }
+  // Concurrent reads: must be race-free (each sees some valid prefix).
+  for (int i = 0; i < 50; ++i) {
+    const Snapshot racy = hub.Collect();
+    EXPECT_GE(racy.counter(Counter::kSlots), 0);
+    EXPECT_LE(racy.counter(Counter::kSlots), kThreads * kPerThread);
+  }
+  for (std::thread& t : writers) t.join();
+
+  const Snapshot final_snap = hub.Collect();
+  EXPECT_EQ(final_snap.counter(Counter::kSlots), kThreads * kPerThread);
+  EXPECT_EQ(final_snap.counter(Counter::kSessionsTouched),
+            3 * kThreads * kPerThread);
+  EXPECT_EQ(final_snap.gauge(Gauge::kActiveSessions), 1 + 2 + 3 + 4);
+  EXPECT_EQ(final_snap.gauge(Gauge::kPeakQueueBits), kPerThread - 1);
+  EXPECT_EQ(final_snap.histo(Histo::kSlotStepNs).count,
+            kThreads * kPerThread);
+  // kThreads writers plus the collector's own shard (snapshot
+  // self-accounting lands in the calling thread's stripe).
+  EXPECT_EQ(final_snap.shards, kThreads + 1);
+}
+
+TEST(RunMonitor, WatchdogDetectsStallAndStrictModeFlipsExitCode) {
+  TelemetryHub hub;
+  hub.ShardForCurrentThread()->Add(Counter::kSlots, 10);
+  MonitorOptions opt;
+  opt.stall_ms = 40;
+  opt.health_strict = true;
+  RunMonitor monitor(&hub, opt);
+  monitor.Start();
+  // No slot progress: the watchdog must flag a stall within a few ticks.
+  for (int i = 0; i < 100 && monitor.healthy(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  monitor.Stop();
+  EXPECT_FALSE(monitor.healthy());
+  ASSERT_FALSE(monitor.health_issues().empty());
+  EXPECT_NE(monitor.health_issues()[0].find("stalled"), std::string::npos);
+  EXPECT_EQ(monitor.MergeExitCode(0), kUnhealthyExitCode);
+  EXPECT_EQ(monitor.MergeExitCode(1), 1);  // a failing base code wins
+}
+
+TEST(RunMonitor, HealthyRunKeepsExitCodeAndWritesFinalSnapshot) {
+  const std::string path = ::testing::TempDir() + "telemetry_stats.prom";
+  {
+    TelemetryHub hub;
+    hub.SetInfo("command", "unit");
+    hub.ShardForCurrentThread()->Add(Counter::kSlots, 1234);
+    MonitorOptions opt;
+    opt.stats_out = path;
+    RunMonitor monitor(&hub, opt);
+    monitor.Start();
+    monitor.Stop();
+    EXPECT_TRUE(monitor.healthy());
+    EXPECT_EQ(monitor.MergeExitCode(0), 0);
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::vector<ParsedSnapshot> parsed = ParseSnapshots(buf.str());
+  ASSERT_FALSE(parsed.empty());
+  EXPECT_EQ(parsed.back().Value("bwsim_slots_total"), 1234.0);
+  std::remove(path.c_str());
+}
+
+TEST(RunMonitor, NonStrictUnhealthyRunStillExitsZero) {
+  TelemetryHub hub;
+  MonitorOptions opt;
+  opt.min_slot_rate = 1e12;  // impossible: zero slots over any uptime
+  RunMonitor monitor(&hub, opt);
+  monitor.Start();
+  monitor.Stop();
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_EQ(monitor.MergeExitCode(0), 0);  // strict not requested
+}
+
+}  // namespace
+}  // namespace bwalloc::telemetry

@@ -202,6 +202,58 @@ TEST(TraceSummary, EventMaskLimitsSuiteTraceToRequestedGroups) {
   }
 }
 
+TEST(TraceSummary, UnknownFutureEventTypesAreCountedNotMiscounted) {
+  // A trace from a newer writer: two event names this reader's enum does
+  // not know, interleaved with ordinary events. The reader keeps unknown
+  // payload keys, so the lines parse; the summarizer must tally them as
+  // skipped instead of folding them into a typed counter or milestones.
+  const std::string ndjson =
+      R"({"suite":"future","cell":0,"slot":0,"event":"slot_tick","arrival_bits":8,"queue_bits":8})"
+      "\n"
+      R"({"suite":"future","cell":0,"slot":1,"session":0,"event":"signal_loss","hop":1})"
+      "\n"
+      R"({"suite":"future","cell":0,"slot":2,"session":0,"event":"quantum_handoff","qubits":3})"
+      "\n"
+      R"({"suite":"future","cell":0,"slot":3,"event":"quantum_handoff","qubits":4})"
+      "\n"
+      R"({"suite":"future","cell":0,"slot":4,"event":"lane_teleport","lane":9})"
+      "\n"
+      R"({"suite":"future","cell":0,"slot":5,"event":"stage_certified","stage":0})"
+      "\n";
+  const TraceSummary summary = Summarize(ParseNdjson(ndjson));
+
+  EXPECT_EQ(summary.total_events, 6);
+  EXPECT_EQ(summary.first_slot, 0);
+  EXPECT_EQ(summary.last_slot, 5);
+  EXPECT_EQ(summary.skipped_unknown, 3);
+  ASSERT_EQ(summary.unknown_events.size(), 2u);
+  EXPECT_EQ(summary.unknown_events.at("quantum_handoff"), 2);
+  EXPECT_EQ(summary.unknown_events.at("lane_teleport"), 1);
+
+  // Unknown events still count toward the group's event totals but never
+  // reach the milestone listing or a typed counter.
+  for (const TraceRecord& rec : summary.milestones) {
+    EXPECT_TRUE(rec.event == "signal_loss" || rec.event == "stage_certified")
+        << rec.event;
+  }
+  const SessionTimeline* scoped = FindSession(summary, 0);
+  ASSERT_NE(scoped, nullptr);
+  EXPECT_EQ(scoped->events, 2);  // signal_loss + one quantum_handoff
+  EXPECT_EQ(scoped->losses, 1);
+  const SessionTimeline* run_scope = FindSession(summary, -1);
+  ASSERT_NE(run_scope, nullptr);
+  EXPECT_EQ(run_scope->stages_certified, 1);
+
+  // Known-but-uncounted names (checkpoint/restore/signal_recover) are NOT
+  // unknown: they stay in the milestone listing.
+  const TraceSummary known = Summarize(ParseNdjson(
+      R"({"suite":"s","cell":0,"slot":7,"event":"checkpoint","committed_raw":0,"resume_slot":8})"
+      "\n"));
+  EXPECT_EQ(known.skipped_unknown, 0);
+  ASSERT_EQ(known.milestones.size(), 1u);
+  EXPECT_EQ(known.milestones[0].event, "checkpoint");
+}
+
 TEST(TraceSummary, AggregateMetricsMatchSuiteTotals) {
   SuiteSpec spec;
   spec.kind = SuiteSpec::Kind::kSingle;

@@ -44,6 +44,7 @@
 //                          (per-session fault lanes derived from one seed)
 //                  tracing: [--trace events.ndjson] [--trace-events all]
 //   bwsim trace-summary --trace events.ndjson [--events 20] [--csv false]
+//                       [--lenient true]   # skip malformed lines, count them
 //   bwsim audit    <events.ndjson> (or --trace events.ndjson)
 //                  [--model single|multi] [--algo online] [--lenient]
 //                  single params: [--ba 64] [--da 16] [--inv-ua 6] [--w 16]
@@ -97,6 +98,23 @@
 //   bwsim checkpoint-dump FILE.ckpt — print the envelope + meta header of
 //   a checkpoint as one JSON object.
 //
+// Live telemetry (`single`, `multi`, and `batch`):
+//   [--stats-out FILE] — write Prometheus text-exposition snapshots of
+//   the striped runtime metrics (one final snapshot always; periodic ones
+//   per the cadences below). [--stats-every N] snapshots every N slots;
+//   [--stats-every-ms N] every N wall ms (both need --stats-out).
+//   [--heartbeat-ms N] — one-line run heartbeat to stderr every N ms.
+//   Health watchdog: [--stall-ms N] marks the run unhealthy if the slot
+//   counter freezes for N ms; [--min-slot-rate R] if the run averages
+//   below R slots/sec; [--health-strict] turns an unhealthy run's exit 0
+//   into exit 4. All of it is a nondeterministic side lane (stats file +
+//   stderr only): traces, audits, result tables/JSON, and every other
+//   exit code are byte-identical with telemetry on or off.
+//   bwsim stats-summary FILE [--csv false] [--buckets false]
+//     pretty-prints a --stats-out file; with >= 2 snapshots also shows
+//     the first->last delta per series. --buckets includes the raw
+//     histogram bucket series. Exit 0 = ok, 2 = usage/unreadable file.
+//
 // Flags accept both `--key value` and `--key=value`. Malformed flag values
 // exit 2 with a message naming the flag; simulation errors exit 1; a bad
 // or missing checkpoint file exits 2; an injected crash exits 3.
@@ -129,6 +147,9 @@
 #include "obs/audit/auditor.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
+#include "obs/telemetry/hub.h"
+#include "obs/telemetry/monitor.h"
+#include "obs/telemetry/snapshot.h"
 #include "obs/trace_reader.h"
 #include "obs/trace_sink.h"
 #include "obs/trace_summary.h"
@@ -154,7 +175,7 @@ int Usage() {
       stderr,
       "usage: bwsim "
       "<generate|single|multi|offline|tune|replay|batch|trace-summary|audit"
-      "|checkpoint-dump> [--flags]\n"
+      "|checkpoint-dump|stats-summary> [--flags]\n"
       "see the header of tools/bwsim.cc for the full reference\n");
   return 2;
 }
@@ -199,6 +220,47 @@ void CheckFaultPlanFlags(const FaultPlan& plan, bool batch) {
                             ": rate 1.0 denies every increase; capped "
                             "retries can never make progress");
   }
+}
+
+// Live-telemetry flags shared by `single`, `multi`, and `batch`. All of
+// it is the nondeterministic lane: stats files and stderr heartbeats
+// only, never traces/audits/results. Value errors are usage errors.
+telemetry::MonitorOptions ParseTelemetryFlags(Flags& flags) {
+  telemetry::MonitorOptions mon;
+  mon.stats_out = flags.Str("stats-out", "");
+  mon.stats_every_slots = flags.Int("stats-every", 0);
+  mon.stats_every_ms = flags.Int("stats-every-ms", 0);
+  mon.heartbeat_ms = flags.Int("heartbeat-ms", 0);
+  mon.stall_ms = flags.Int("stall-ms", 0);
+  mon.min_slot_rate = flags.Double("min-slot-rate", 0.0);
+  mon.health_strict = flags.Bool("health-strict", false);
+  if (mon.stats_every_slots < 0) {
+    throw tools::UsageError("flag --stats-every: must be >= 0 slots");
+  }
+  if (mon.stats_every_ms < 0) {
+    throw tools::UsageError("flag --stats-every-ms: must be >= 0 ms");
+  }
+  if (mon.heartbeat_ms < 0) {
+    throw tools::UsageError("flag --heartbeat-ms: must be >= 0 ms");
+  }
+  if (mon.stall_ms < 0) {
+    throw tools::UsageError("flag --stall-ms: must be >= 0 ms");
+  }
+  if (mon.min_slot_rate < 0.0) {
+    throw tools::UsageError("flag --min-slot-rate: must be >= 0");
+  }
+  if (mon.stats_out.empty() &&
+      (mon.stats_every_slots > 0 || mon.stats_every_ms > 0)) {
+    throw tools::UsageError(
+        "flag --stats-every/--stats-every-ms: need --stats-out FILE to "
+        "write the snapshots to");
+  }
+  if (mon.health_strict && mon.stall_ms == 0 && mon.min_slot_rate == 0.0) {
+    throw tools::UsageError(
+        "flag --health-strict: needs a health monitor to enforce "
+        "(--stall-ms and/or --min-slot-rate)");
+  }
+  return mon;
 }
 
 // Checkpoint/crash/resume flags shared by `single` and `multi`. All value
@@ -374,6 +436,7 @@ int RunSingle(Flags& flags) {
   const bool print_metrics = flags.Bool("metrics", false);
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
+  const telemetry::MonitorOptions mon = ParseTelemetryFlags(flags);
   CheckpointCli ckpt_cli = ParseCheckpointFlags(flags, "single");
   flags.CheckUnused();
   CheckFaultPlanFlags(plan, /*batch=*/false);
@@ -472,6 +535,24 @@ int RunSingle(Flags& flags) {
                         auditor.has_value() ? &*auditor : nullptr);
     opt.checkpoint.resume = &ckpt_cli.resume_blob;
   }
+  std::optional<telemetry::TelemetryHub> hub;
+  std::optional<telemetry::RunMonitor> monitor;
+  if (mon.active()) {
+    hub.emplace();
+    hub->SetInfo("command", "single");
+    hub->SetInfo("algo", algo);
+    opt.telemetry = hub->ShardForCurrentThread();
+    opt.checkpoint.telemetry = opt.telemetry;
+    if (robust != nullptr) robust->SetTelemetry(opt.telemetry);
+    monitor.emplace(&*hub, mon);
+    monitor->Start();
+  }
+  // Strict-health exit-code combinator: base failures always win.
+  const auto finish = [&monitor](int code) {
+    if (!monitor.has_value()) return code;
+    monitor->Stop();
+    return monitor->MergeExitCode(code);
+  };
   SingleRunResult r;
   try {
     r = RunSingleSession(trace, *alloc, opt);
@@ -480,7 +561,7 @@ int RunSingle(Flags& flags) {
     // too, so --resume-from exercises the same recovery path.
     if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
     std::fprintf(stderr, "bwsim: %s\n", e.what());
-    return 3;
+    return finish(3);
   }
   if (robust != nullptr) r.faults = robust->fault_stats();
 
@@ -492,9 +573,9 @@ int RunSingle(Flags& flags) {
     if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
     if (auditor.has_value()) {
       std::printf("%s\n", auditor->ReportJson().c_str());
-      return auditor->ok() ? 0 : 1;
+      return finish(auditor->ok() ? 0 : 1);
     }
-    return 0;
+    return finish(0);
   }
   Table table({"metric", "value"});
   table.AddRow({"algo", algo})
@@ -527,9 +608,9 @@ int RunSingle(Flags& flags) {
   if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
   if (auditor.has_value()) {
     std::fputs(auditor->FormatReport().c_str(), stdout);
-    return auditor->ok() ? 0 : 1;
+    return finish(auditor->ok() ? 0 : 1);
   }
-  return 0;
+  return finish(0);
 }
 
 int RunMulti(Flags& flags) {
@@ -556,6 +637,7 @@ int RunMulti(Flags& flags) {
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
   const std::string engine = flags.Str("engine", "naive");
+  const telemetry::MonitorOptions mon = ParseTelemetryFlags(flags);
   CheckpointCli ckpt_cli = ParseCheckpointFlags(flags, "multi");
   flags.CheckUnused();
   CheckFaultPlanFlags(plan, /*batch=*/false);
@@ -664,6 +746,26 @@ int RunMulti(Flags& flags) {
                         auditor.has_value() ? &*auditor : nullptr);
     opt.checkpoint.resume = &ckpt_cli.resume_blob;
   }
+  std::optional<telemetry::TelemetryHub> hub;
+  std::optional<telemetry::RunMonitor> monitor;
+  if (mon.active()) {
+    hub.emplace();
+    hub->SetInfo("command", "multi");
+    hub->SetInfo("algo", algo);
+    hub->SetInfo("engine", engine);
+    // The engine forwards the shard to the system; the robust adapter (if
+    // any) is that system and fans it out to its fault lanes + control
+    // model.
+    opt.telemetry = hub->ShardForCurrentThread();
+    opt.checkpoint.telemetry = opt.telemetry;
+    monitor.emplace(&*hub, mon);
+    monitor->Start();
+  }
+  const auto finish = [&monitor](int code) {
+    if (!monitor.has_value()) return code;
+    monitor->Stop();
+    return monitor->MergeExitCode(code);
+  };
   MultiRunResult r;
   try {
     if (engine == "naive") {
@@ -676,7 +778,7 @@ int RunMulti(Flags& flags) {
   } catch (const CrashInjected& e) {
     if (!trace_out.empty()) WriteTraceFile(trace_out, sink.ToNdjson());
     std::fprintf(stderr, "bwsim: %s\n", e.what());
-    return 3;
+    return finish(3);
   }
   if (robust != nullptr) {
     r.faults = robust->fault_stats();
@@ -691,9 +793,9 @@ int RunMulti(Flags& flags) {
     if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
     if (auditor.has_value()) {
       std::printf("%s\n", auditor->ReportJson().c_str());
-      return auditor->ok() ? 0 : 1;
+      return finish(auditor->ok() ? 0 : 1);
     }
-    return 0;
+    return finish(0);
   }
   Table table({"metric", "value"});
   table.AddRow({"algo", algo})
@@ -726,9 +828,9 @@ int RunMulti(Flags& flags) {
   if (print_metrics) std::printf("%s\n", metrics.ToJson().c_str());
   if (auditor.has_value()) {
     std::fputs(auditor->FormatReport().c_str(), stdout);
-    return auditor->ok() ? 0 : 1;
+    return finish(auditor->ok() ? 0 : 1);
   }
-  return 0;
+  return finish(0);
 }
 
 int RunOffline(Flags& flags) {
@@ -863,6 +965,7 @@ int RunBatch(Flags& flags) {
   const std::string trace_events = flags.Str("trace-events", "all");
   const bool print_metrics = flags.Bool("metrics", false);
   const bool audit = flags.Bool("audit", false);
+  const telemetry::MonitorOptions mon = ParseTelemetryFlags(flags);
 
   SuiteSpec spec;
   spec.name = flags.Str("name", "batch");
@@ -931,14 +1034,29 @@ int RunBatch(Flags& flags) {
   }
   spec.audit = audit;
 
-  BatchRunner runner(BatchOptions{jobs, base_seed});
+  std::optional<telemetry::TelemetryHub> hub;
+  std::optional<telemetry::RunMonitor> monitor;
+  if (mon.active()) {
+    hub.emplace();
+    hub->SetInfo("command", "batch");
+    hub->SetInfo("suite", suite_kind);
+    hub->SetInfo("name", spec.name);
+    spec.telemetry = &*hub;  // per-worker shards inside the cells
+    monitor.emplace(&*hub, mon);
+    monitor->Start();
+  }
+  BatchRunner runner(
+      BatchOptions{jobs, base_seed, hub.has_value() ? &*hub : nullptr});
   const SuiteReport report = RunSuite(spec, runner);
   if (!trace_out.empty()) WriteTraceFile(trace_out, report.trace_ndjson);
   std::fputs(FormatReport(spec, report, csv).c_str(), stdout);
   if (print_metrics) {
     std::printf("%s\n", report.aggregate.metrics.ToJson().c_str());
   }
-  return report.ok() ? 0 : 1;
+  const int code = report.ok() ? 0 : 1;
+  if (!monitor.has_value()) return code;
+  monitor->Stop();
+  return monitor->MergeExitCode(code);
 }
 
 // Renders a recorded NDJSON trace as per-session timelines plus a
@@ -947,6 +1065,7 @@ int RunTraceSummary(Flags& flags) {
   const std::string trace_path = flags.Str("trace", "");
   const std::int64_t max_events = flags.Int("events", 20);
   const bool csv = flags.Bool("csv", false);
+  const bool lenient = flags.Bool("lenient", false);
   flags.CheckUnused();
   if (trace_path.empty()) {
     throw tools::UsageError("trace-summary needs --trace FILE");
@@ -955,7 +1074,11 @@ int RunTraceSummary(Flags& flags) {
     throw tools::UsageError("flag --events: must be >= 0");
   }
 
-  const TraceSummary summary = Summarize(ReadTraceFile(trace_path));
+  TraceReadOptions ropt;
+  ropt.lenient = lenient;
+  TraceReadStats rstats;
+  const TraceSummary summary =
+      Summarize(ReadTraceFile(trace_path, ropt, &rstats));
   if (summary.total_events == 0) {
     std::fprintf(stderr, "bwsim: trace %s contains no events\n",
                  trace_path.c_str());
@@ -965,6 +1088,20 @@ int RunTraceSummary(Flags& flags) {
               static_cast<long long>(summary.total_events),
               static_cast<long long>(summary.first_slot),
               static_cast<long long>(summary.last_slot));
+  if (rstats.skipped > 0) {
+    std::printf("skipped_malformed: %lld line(s)\n",
+                static_cast<long long>(rstats.skipped));
+  }
+  if (summary.skipped_unknown > 0) {
+    std::string names;
+    for (const auto& [name, count] : summary.unknown_events) {
+      if (!names.empty()) names += ", ";
+      names += name + " x" + std::to_string(count);
+    }
+    std::printf("skipped_unknown: %lld event(s) of future type(s): %s\n",
+                static_cast<long long>(summary.skipped_unknown),
+                names.c_str());
+  }
 
   Table table({"suite", "cell", "session", "slots", "events", "stages",
                "resets", "allocs", "shunts", "req", "commit", "loss", "deny",
@@ -1006,6 +1143,102 @@ int RunTraceSummary(Flags& flags) {
                   static_cast<long long>(rec.cell), session.c_str(),
                   rec.event.c_str(), payload.c_str());
     }
+  }
+  return 0;
+}
+
+// Sample values are doubles after parsing, but almost all of them are
+// counts: print integers as integers and keep real fractions readable.
+std::string FormatSampleValue(double v) {
+  const auto i = static_cast<std::int64_t>(v);
+  if (static_cast<double>(i) == v) return Table::Num(i);
+  return Table::Num(v, 6);
+}
+
+// Pretty-prints and diffs a telemetry snapshot file written by
+// --stats-out. With one snapshot the table shows its values; with more it
+// also shows the first->last delta per series. Exit 0 = ok, 2 = usage or
+// unreadable/malformed file.
+int RunStatsSummary(Flags& flags, const std::string& positional) {
+  const std::string flag_path = flags.Str("stats", "");
+  const bool csv = flags.Bool("csv", false);
+  const bool buckets = flags.Bool("buckets", false);
+  flags.CheckUnused();
+  const std::string path = positional.empty() ? flag_path : positional;
+  if (path.empty()) {
+    throw tools::UsageError(
+        "stats-summary needs a snapshot file: bwsim stats-summary FILE "
+        "(or --stats FILE)");
+  }
+  if (!positional.empty() && !flag_path.empty()) {
+    throw tools::UsageError(
+        "stats-summary got both a positional file and --stats");
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw tools::UsageError("stats-summary: cannot read '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<telemetry::ParsedSnapshot> snaps;
+  try {
+    snaps = telemetry::ParseSnapshots(buf.str());
+  } catch (const telemetry::SnapshotParseError& e) {
+    throw tools::UsageError("stats-summary: " + path + ": " + e.what());
+  }
+  if (snaps.empty()) {
+    throw tools::UsageError("stats-summary: " + path +
+                            ": no telemetry snapshots");
+  }
+
+  const telemetry::ParsedSnapshot& first = snaps.front();
+  const telemetry::ParsedSnapshot& last = snaps.back();
+  const bool diff = snaps.size() > 1;
+  std::printf("%zu snapshot(s), seq %lld..%lld",
+              snaps.size(), static_cast<long long>(first.seq),
+              static_cast<long long>(last.seq));
+  if (last.Has("bwsim_uptime_ms")) {
+    std::printf(", uptime %s ms",
+                FormatSampleValue(last.Value("bwsim_uptime_ms")).c_str());
+  }
+  std::printf("\n");
+
+  Table table(diff ? std::vector<std::string>{"series", "first", "last",
+                                              "delta"}
+                   : std::vector<std::string>{"series", "value"});
+  for (const auto& [name, series] : last.samples) {
+    // Histogram buckets are high-volume detail; elide them by default
+    // (the _sum/_count/_max companions stay).
+    const bool is_bucket =
+        name.size() > 7 && name.compare(name.size() - 7, 7, "_bucket") == 0;
+    if (is_bucket && !buckets) continue;
+    for (const telemetry::ParsedSample& sample : series) {
+      const std::string label =
+          sample.labels.empty() ? name : name + "{" + sample.labels + "}";
+      if (!diff) {
+        table.AddRow({label, FormatSampleValue(sample.value)});
+        continue;
+      }
+      std::string first_text = "-";
+      std::string delta_text = "-";
+      if (first.Has(name)) {
+        for (const telemetry::ParsedSample& fs : first.samples.at(name)) {
+          if (fs.labels == sample.labels) {
+            first_text = FormatSampleValue(fs.value);
+            delta_text = FormatSampleValue(sample.value - fs.value);
+            break;
+          }
+        }
+      }
+      table.AddRow({label, first_text, FormatSampleValue(sample.value),
+                    delta_text});
+    }
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.PrintAscii(std::cout);
   }
   return 0;
 }
@@ -1115,6 +1348,12 @@ int main(int argc, char** argv) {
       const bool positional = argc >= 3 && argv[2][0] != '-';
       Flags flags(argc, argv, positional ? 3 : 2);
       return RunAudit(flags, positional ? argv[2] : "");
+    }
+    // `stats-summary` takes an optional positional snapshot-file path.
+    if (command == "stats-summary") {
+      const bool positional = argc >= 3 && argv[2][0] != '-';
+      Flags flags(argc, argv, positional ? 3 : 2);
+      return RunStatsSummary(flags, positional ? argv[2] : "");
     }
     if (command == "checkpoint-dump") {
       if (argc < 3 || argv[2][0] == '-') {

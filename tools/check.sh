@@ -38,6 +38,13 @@
 #                             # restart path races surface here), and the
 #                             # bwsim checkpoint CLI contract incl. the
 #                             # crash+resume round trips
+#   tools/check.sh telemetry  # live-telemetry subset under tsan: the
+#                             # striped shard/hub/watchdog unit tests
+#                             # (incl. the concurrent-writer hammer), the
+#                             # stats-summary round trip, and the --jobs 4
+#                             # batch with the exporter+heartbeat live —
+#                             # the relaxed-atomic stripes and the monitor
+#                             # thread race against workers here
 #
 # Build trees are kept per sanitizer (build-asan/, build-tsan/) so repeat
 # runs are incremental. Exits non-zero on any configure, build, or test
@@ -75,8 +82,12 @@ case "$mode" in
     sanitize="thread"; dir="${2:-$repo/build-tsan}"
     test_filter=(-R 'CrashRecovery|Checkpoint|Serializer|SupervisedRunner|CrashPlan|bwsim_crash|bwsim_checkpoint|bwsim_cli_rejects_.*checkpoint|bwsim_cli_rejects_.*resume')
     ;;
+  telemetry)
+    sanitize="thread"; dir="${2:-$repo/build-tsan}"
+    test_filter=(-R 'LogHistogram|Snapshot|TelemetryHub|RunMonitor|bwsim_stats|bwsim_batch_jobs4_telemetry|bwsim_health_strict|bwsim_multi_health_strict|bwsim_cli_rejects_stats|bwsim_cli_rejects_strict')
+    ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq|runner|crash] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq|runner|crash|telemetry] [build-dir]" >&2
     exit 2
     ;;
 esac

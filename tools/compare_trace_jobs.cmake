@@ -14,10 +14,14 @@ set(SUITE_ARGS
   batch --suite single --workloads onoff,mixed --seeds 2 --horizon 600
   --fault-hops 2 --fault-loss 0.15 --fault-denial 0.1)
 
+# The live telemetry exporter runs during every leg (per-jobs stats file,
+# never byte-compared): snapshots are a nondeterministic side lane and
+# must not perturb the deterministic trace stream they ride along.
 foreach(jobs 1 4 0)
   set(trace_file "${OUT_DIR}/trace_jobs${jobs}.ndjson")
   execute_process(
     COMMAND "${BWSIM}" ${SUITE_ARGS} --jobs ${jobs} --trace "${trace_file}"
+            --stats-out "${OUT_DIR}/stats_jobs${jobs}.prom" --stats-every 200
     RESULT_VARIABLE exit_code
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)

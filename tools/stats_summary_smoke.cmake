@@ -1,0 +1,84 @@
+# End-to-end smoke for the live-telemetry exporter: a `bwsim single` run
+# writes periodic Prometheus snapshots with --stats-out/--stats-every,
+# then `bwsim stats-summary` reads the file back and must report the
+# run's slot total and the snapshot sequence. A second leg runs a
+# faulted `bwsim batch --jobs 4` with the exporter live and re-checks
+# the batch output is byte-identical to a metrics-off run — the
+# snapshot lane must never leak into the deterministic surface.
+#
+#   cmake -DBWSIM=path/to/bwsim -DOUT_DIR=work/dir -P stats_summary_smoke.cmake
+if(NOT DEFINED BWSIM OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "stats_summary_smoke.cmake: BWSIM and OUT_DIR required")
+endif()
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(stats_file "${OUT_DIR}/single_stats.prom")
+
+execute_process(
+  COMMAND "${BWSIM}" single --algo online --workload onoff --horizon 3000
+          --seed 7 --stats-out "${stats_file}" --stats-every 500 --json false
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "bwsim single failed (${exit_code})\n${run_out}\n${err}")
+endif()
+if(NOT EXISTS "${stats_file}")
+  message(FATAL_ERROR "no stats file written by --stats-out")
+endif()
+
+file(READ "${stats_file}" stats_text)
+if(NOT stats_text MATCHES "# --- bwsim snapshot ")
+  message(FATAL_ERROR "stats file lacks snapshot markers:\n${stats_text}")
+endif()
+if(NOT stats_text MATCHES "bwsim_slots_total")
+  message(FATAL_ERROR "stats file lacks bwsim_slots_total:\n${stats_text}")
+endif()
+
+execute_process(
+  COMMAND "${BWSIM}" stats-summary "${stats_file}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE summary_out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "bwsim stats-summary failed (${exit_code})\n${summary_out}\n${err}")
+endif()
+if(NOT summary_out MATCHES "snapshot\\(s\\), seq ")
+  message(FATAL_ERROR "summary lacks the snapshot header\n${summary_out}")
+endif()
+if(NOT summary_out MATCHES "bwsim_slots_total")
+  message(FATAL_ERROR "summary lacks bwsim_slots_total\n${summary_out}")
+endif()
+# The final snapshot's slot total is the full horizon + drain: the run
+# ran 3000 trace slots, so the series must reach at least that.
+string(REGEX MATCH "bwsim_slots_total[^\n]*" slots_line "${summary_out}")
+if(NOT slots_line MATCHES "3[0-9][0-9][0-9]")
+  message(FATAL_ERROR
+    "bwsim_slots_total did not reach the horizon: ${slots_line}")
+endif()
+
+# --- leg 2: metrics-on batch output is byte-identical to metrics-off ---
+set(SUITE_ARGS
+  batch --suite single --workloads onoff,mixed --seeds 2 --horizon 600
+  --fault-hops 2 --fault-loss 0.15 --fault-denial 0.1 --jobs 4)
+execute_process(
+  COMMAND "${BWSIM}" ${SUITE_ARGS}
+  RESULT_VARIABLE code_off
+  OUTPUT_VARIABLE out_off
+  ERROR_VARIABLE err)
+if(NOT code_off EQUAL 0)
+  message(FATAL_ERROR "metrics-off batch failed (${code_off})\n${err}")
+endif()
+execute_process(
+  COMMAND "${BWSIM}" ${SUITE_ARGS}
+          --stats-out "${OUT_DIR}/batch_stats.prom" --stats-every-ms 20
+  RESULT_VARIABLE code_on
+  OUTPUT_VARIABLE out_on
+  ERROR_VARIABLE err)
+if(NOT code_on EQUAL 0)
+  message(FATAL_ERROR "metrics-on batch failed (${code_on})\n${err}")
+endif()
+if(NOT out_on STREQUAL out_off)
+  message(FATAL_ERROR
+    "batch stdout differs with the telemetry exporter live:\n--- off ---\n${out_off}\n--- on ---\n${out_on}")
+endif()
