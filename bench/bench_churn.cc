@@ -1,0 +1,190 @@
+// CHURN — session lifecycle under admission control: what each arrival
+// process costs and what the policy concedes to it.
+//
+// A churned PhasedMulti cell (B_O=64, D_O=8) runs the full
+// admission/activation/departure/shedding lifecycle for every arrival
+// process {poisson, mmpp, adversarial} at a sweep of offered arrival
+// rates, all through greedy admission, plus one booked-ahead ledger cell
+// with an overload queue small enough to force sheds. Reported per cell:
+// ns/slot, admitted fraction, shed count, delivered-bits utilization of
+// the offered load.
+//
+// Deterministic guards (bench_diff regresses on these, no wall clock
+// involved): the adversarial stream's admitted fraction stays under half
+// the honest Poisson fraction at the same offered rate — the paper's
+// lower-bound structure as a standing bench row — and every cell admits
+// at least one session while never shedding a session that had started.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "core/admission.h"
+#include "core/multi_phased.h"
+#include "reporter.h"
+#include "sim/churn.h"
+#include "sim/engine_multi.h"
+#include "traffic/arrivals.h"
+
+namespace {
+using namespace bwalloc;
+
+constexpr Bits kBo = 64;
+constexpr Time kDo = 8;
+
+struct Config {
+  std::string label;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  AdmissionPolicyKind policy = AdmissionPolicyKind::kGreedy;
+  double rate = 0.25;
+  Time book_ahead = 0;
+  std::int64_t max_pending = 0;
+};
+
+struct CellOut {
+  double ns_per_slot = 0;
+  ChurnStats churn;
+  Bits arrivals = 0;
+  Bits delivered = 0;
+};
+
+CellOut RunCell(const Config& cfg, Time horizon) {
+  ArrivalParams ap;
+  ap.horizon = horizon;
+  ap.offline_bandwidth = kBo;
+  ap.offline_delay = kDo;
+  ap.arrival_rate = cfg.rate;
+  ap.max_book_ahead = cfg.book_ahead;
+  ap.seed = 42;
+  const ChurnPlan plan = GenerateArrivals(cfg.process, ap);
+
+  AdmissionConfig ac;
+  ac.policy = cfg.policy;
+  ac.capacity = kBo;
+  ac.horizon = horizon;
+  AdmissionController policy(ac);
+  ChurnDriver driver(plan, policy, cfg.max_pending);
+
+  MultiSessionParams p;
+  p.sessions = plan.sessions;
+  p.offline_bandwidth = kBo;
+  p.offline_delay = kDo;
+  PhasedMulti sys(p);
+
+  MultiEngineOptions opt;
+  opt.churn = &driver;
+  opt.drain_slots = 8 * kDo;
+
+  const auto start = std::chrono::steady_clock::now();
+  const MultiRunResult r = RunMultiSession(plan.MaterializeTraces(), sys, opt);
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  CellOut out;
+  out.ns_per_slot = ns / static_cast<double>(horizon);
+  out.churn = r.churn;
+  out.arrivals = r.total_arrivals;
+  out.delivered = r.total_delivered;
+  return out;
+}
+
+double Frac(std::int64_t num, std::int64_t den) {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter rep("churn", &argc, argv);
+  const Time horizon = rep.quick() ? 2000 : 12000;
+
+  std::vector<Config> configs;
+  const std::vector<double> rates = rep.quick()
+                                        ? std::vector<double>{0.25}
+                                        : std::vector<double>{0.1, 0.25, 0.5};
+  for (const double rate : rates) {
+    for (const ArrivalProcess proc :
+         {ArrivalProcess::kPoisson, ArrivalProcess::kMmpp,
+          ArrivalProcess::kAdversarial}) {
+      Config c;
+      c.label = std::string(ToString(proc)) + ",greedy,r=" +
+                Table::Num(rate, 2);
+      c.process = proc;
+      c.rate = rate;
+      configs.push_back(c);
+    }
+  }
+  // Booked-ahead reservations through the slot ledger, overload queue
+  // capped at 2: the shedding path runs in every report.
+  {
+    Config c;
+    c.label = "poisson,ledger,book=6";
+    c.policy = AdmissionPolicyKind::kLedger;
+    c.rate = rates.back();
+    c.book_ahead = 6;
+    c.max_pending = 2;
+    configs.push_back(c);
+  }
+
+  std::vector<CellOut> cells;
+  {
+    ScopedTimer timer(rep.profile(), "sweep");
+    for (const Config& c : configs) cells.push_back(RunCell(c, horizon));
+  }
+  rep.CountWork(static_cast<std::int64_t>(configs.size()) * horizon,
+                static_cast<std::int64_t>(configs.size()));
+
+  Table table({"config", "offered", "admitted", "rejected", "shed",
+               "admit frac", "deliver frac", "ns/slot"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& c = configs[i];
+    const CellOut& o = cells[i];
+    const double admit_frac = Frac(o.churn.admitted, o.churn.offered);
+    const double deliver_frac =
+        o.arrivals > 0 ? Frac(o.delivered, o.arrivals) : 0.0;
+    table.AddRow({c.label, Table::Num(o.churn.offered),
+                  Table::Num(o.churn.admitted), Table::Num(o.churn.rejected),
+                  Table::Num(o.churn.shed), Table::Num(admit_frac, 3),
+                  Table::Num(deliver_frac, 3), Table::Num(o.ns_per_slot, 1)});
+    rep.RowInfo(c.label, "ns_per_slot", o.ns_per_slot);
+    rep.RowInfo(c.label, "admitted_fraction", admit_frac);
+    rep.RowInfo(c.label, "shed", static_cast<double>(o.churn.shed));
+    // Lifecycle sanity, deterministic per seed: something was offered and
+    // something was admitted in every cell.
+    rep.RowMin(c.label, "admitted", static_cast<double>(o.churn.admitted),
+               1.0);
+  }
+
+  // The acceptance property as standing bench rows: at each offered rate
+  // the adversarial stream forces under half the honest Poisson stream's
+  // admitted fraction out of the same greedy policy.
+  for (std::size_t i = 0; i + 2 < configs.size(); i += 3) {
+    const double honest = Frac(cells[i].churn.admitted,
+                               cells[i].churn.offered);
+    const double adversarial = Frac(cells[i + 2].churn.admitted,
+                                    cells[i + 2].churn.offered);
+    rep.RowMax("adversary," + configs[i].label, "admitted_fraction",
+               adversarial, honest / 2.0);
+  }
+  // The ledger cell actually shed (the overload path was exercised).
+  rep.RowMin(configs.back().label, "shed_floor",
+             static_cast<double>(cells.back().churn.shed), 1.0);
+
+  std::printf("== CHURN: admission control vs arrival process ==\n");
+  std::printf("phased, B_O=%lld, D_O=%lld, %lld slots, greedy unless noted\n\n",
+              static_cast<long long>(kBo), static_cast<long long>(kDo),
+              static_cast<long long>(horizon));
+  table.PrintAscii(std::cout);
+  rep.Save("churn_admission", table);
+  std::printf(
+      "\nExpected shape: honest admitted fraction falls smoothly as the "
+      "offered rate\ngrows (capacity is finite); the adversarial stream "
+      "collapses it at every rate\nby filling capacity with two long-lived "
+      "blockers per wave so each per-slot\nvictim bounces. Sheds appear "
+      "only in the booked-ahead ledger cell, where the\npending queue is "
+      "capped.\n");
+  return rep.Finish();
+}

@@ -120,6 +120,23 @@ std::string ToJson(const MultiRunResult& result) {
     }
     w.EndArray();
   }
+  if (result.churn.any()) {
+    w.Key("churn");
+    w.BeginObject();
+    w.Key("offered");
+    w.Value(result.churn.offered);
+    w.Key("admitted");
+    w.Value(result.churn.admitted);
+    w.Key("rejected");
+    w.Value(result.churn.rejected);
+    w.Key("shed");
+    w.Value(result.churn.shed);
+    w.Key("departed");
+    w.Value(result.churn.departed);
+    w.Key("dropped_bits");
+    w.Value(result.churn.dropped_bits);
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
 }

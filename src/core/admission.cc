@@ -1,0 +1,119 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/fixed_point.h"
+
+namespace bwalloc {
+
+const char* ToString(AdmissionPolicyKind kind) {
+  switch (kind) {
+    case AdmissionPolicyKind::kGreedy:
+      return "greedy";
+    case AdmissionPolicyKind::kThreshold:
+      return "threshold";
+    case AdmissionPolicyKind::kLedger:
+      return "ledger";
+  }
+  return "unknown";
+}
+
+void AdmissionConfig::Validate() const {
+  BW_REQUIRE(capacity > 0, "AdmissionConfig: capacity must be positive");
+  BW_REQUIRE(threshold_bp >= 0 && threshold_bp <= 10000,
+             "AdmissionConfig: threshold outside [0, 10000] basis points");
+  BW_REQUIRE(policy != AdmissionPolicyKind::kLedger || horizon > 0,
+             "AdmissionConfig: reservation ledger needs a horizon");
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {
+  config_.Validate();
+  if (config_.policy == AdmissionPolicyKind::kLedger) {
+    ledger_.assign(static_cast<std::size_t>(config_.horizon), 0);
+  }
+}
+
+AdmissionVerdict AdmissionController::Decide(const SessionSpec& spec,
+                                             Time /*now*/) {
+  switch (config_.policy) {
+    case AdmissionPolicyKind::kGreedy:
+      if (committed_ + spec.rate > config_.capacity) {
+        return {false, kRejectCapacity};
+      }
+      committed_ += spec.rate;
+      return {true, 0};
+    case AdmissionPolicyKind::kThreshold: {
+      // (committed + rate) / capacity <= threshold_bp / 10000, cross-
+      // multiplied in 128 bits so no product can wrap.
+      const Int128 load = static_cast<Int128>(committed_ + spec.rate) * 10000;
+      const Int128 room =
+          static_cast<Int128>(config_.threshold_bp) * config_.capacity;
+      if (load > room) return {false, kRejectThreshold};
+      committed_ += spec.rate;
+      return {true, 0};
+    }
+    case AdmissionPolicyKind::kLedger: {
+      const Time lo = std::min(spec.start(), config_.horizon);
+      const Time hi = std::min(spec.depart, config_.horizon);
+      for (Time t = lo; t < hi; ++t) {
+        if (ledger_[static_cast<std::size_t>(t)] + spec.rate >
+            config_.capacity) {
+          return {false, kRejectLedger};
+        }
+      }
+      for (Time t = lo; t < hi; ++t) {
+        ledger_[static_cast<std::size_t>(t)] += spec.rate;
+      }
+      committed_ += spec.rate;
+      return {true, 0};
+    }
+  }
+  BW_CHECK(false, "AdmissionController: unknown policy");
+  return {false, 0};
+}
+
+void AdmissionController::Release(const SessionSpec& spec, Time now) {
+  committed_ -= spec.rate;
+  BW_CHECK(committed_ >= 0, "AdmissionController: release below zero");
+  if (config_.policy == AdmissionPolicyKind::kLedger) {
+    // Departure at spec.depart releases nothing (the reservation expires on
+    // its own); a pre-start shed returns the whole window.
+    const Time lo = std::min(std::max(now, spec.start()), config_.horizon);
+    const Time hi = std::min(spec.depart, config_.horizon);
+    for (Time t = lo; t < hi; ++t) {
+      ledger_[static_cast<std::size_t>(t)] -= spec.rate;
+      BW_CHECK(ledger_[static_cast<std::size_t>(t)] >= 0,
+               "AdmissionController: ledger release below zero");
+    }
+  }
+}
+
+void AdmissionController::SaveState(StateWriter& w) const {
+  w.Tag("ADM1");
+  w.I64(committed_);
+  w.U64(ledger_.size());
+  for (const Bits b : ledger_) w.I64(b);
+}
+
+void AdmissionController::LoadState(StateReader& r) {
+  r.Tag("ADM1");
+  committed_ = r.I64();
+  if (committed_ < 0) {
+    throw StateFormatError("admission committed sum negative");
+  }
+  const std::uint64_t n = r.Count(static_cast<std::uint64_t>(
+      config_.policy == AdmissionPolicyKind::kLedger ? config_.horizon : 0));
+  if (n != ledger_.size()) {
+    throw StateFormatError("admission ledger length mismatch");
+  }
+  for (auto& b : ledger_) {
+    b = r.I64();
+    if (b < 0 || b > config_.capacity) {
+      throw StateFormatError("admission ledger entry out of range");
+    }
+  }
+}
+
+}  // namespace bwalloc

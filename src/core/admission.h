@@ -1,0 +1,70 @@
+// Admission control for dynamic session arrivals.
+//
+// Every arriving session (sim/churn.h SessionSpec) is accepted or rejected
+// before the allocator ever sees it. Three policies, all exact-integer so
+// decisions are identical across engines and platforms:
+//
+//   kGreedy     — admit iff the sum of concurrently-committed rates stays
+//                 within the offline feasibility rate B_O. The baseline
+//                 feasibility-first policy: never over-commits, but blind
+//                 to when a booked session actually starts.
+//   kThreshold  — greedy with headroom: admit iff the committed sum stays
+//                 within threshold·B_O (threshold in basis points), keeping
+//                 a reserve for the overflow channel's transient bursts.
+//   kLedger     — book-ahead aware: a per-slot reservation ledger over the
+//                 horizon; admit iff every slot of [start, depart) has
+//                 room. Time-disjoint reservations share capacity, so a
+//                 "B bits starting at t+d" request can be accepted even
+//                 while the present is full.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/churn.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+enum class AdmissionPolicyKind : std::uint8_t {
+  kGreedy = 0,
+  kThreshold = 1,
+  kLedger = 2,
+};
+
+const char* ToString(AdmissionPolicyKind kind);
+
+struct AdmissionConfig {
+  AdmissionPolicyKind policy = AdmissionPolicyKind::kGreedy;
+  Bits capacity = 0;  // B_O, the offline feasibility rate
+  // Utilization threshold in basis points of `capacity` (kThreshold only);
+  // 8500 = admit while committed rates stay within 85% of B_O.
+  std::int64_t threshold_bp = 8500;
+  Time horizon = 0;  // reservation ledger length (kLedger only)
+
+  // Programmatic misuse (BW_REQUIRE): capacity <= 0, threshold outside
+  // [0, 10000], or a ledger with no horizon. CLI flag validation happens
+  // before this, with exit-2 messages naming the flag.
+  void Validate() const;
+};
+
+class AdmissionController final : public AdmissionPolicy {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  AdmissionVerdict Decide(const SessionSpec& spec, Time now) override;
+  void Release(const SessionSpec& spec, Time now) override;
+
+  // Sum of currently-committed rates (greedy/threshold bookkeeping).
+  Bits committed() const { return committed_; }
+
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
+ private:
+  AdmissionConfig config_;
+  Bits committed_ = 0;
+  std::vector<Bits> ledger_;  // per-slot committed rate (kLedger only)
+};
+
+}  // namespace bwalloc

@@ -15,7 +15,8 @@ CombinedOnline::CombinedOnline(const CombinedParams& params,
       high_tracker_(params.window, params.offline_utilization,
                     2 * params.offline_bandwidth),
       reduce_wheel_(params.offline_delay + 2),
-      hot_(params.sessions) {
+      hot_(params.sessions),
+      active_(static_cast<std::size_t>(params.sessions), 1) {
   params_.Validate();
 }
 
@@ -40,6 +41,7 @@ void CombinedOnline::StartLocalStage(Time now, bool shunt_regular) {
   reductions_.clear();
   share_ = Bandwidth::FromBitsPerSlot(b_on_) / params_.sessions;
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!Active(i)) continue;
     if (shunt_regular && channels_.regular_queue_size(i) > 0) {
       channels_.MoveRegularToOverflow(i);
     }
@@ -59,6 +61,7 @@ void CombinedOnline::PhaseBoundary(Time now) {
   const bool trace_shunts = tracer_.enabled(TraceEventType::kOverflowShunt);
   std::int64_t overloaded = 0;
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!Active(i)) continue;
     if (!RegularOverloaded(i)) {
       channels_.SetOverflow(i, Bandwidth::Zero());
     } else {
@@ -119,6 +122,7 @@ void CombinedOnline::ApplyReductions(Time now) {
 void CombinedOnline::GlobalReset(Time now) {
   reductions_.clear();
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!Active(i)) continue;
     channels_.DrainSessionInto(i, global_queue_);
     channels_.SetOverflow(i, Bandwidth::Zero());
   }
@@ -198,6 +202,34 @@ void CombinedOnline::Step(Time now, std::span<const Bits> arrivals) {
   global_delivered_ += global_queue_.ServeSlot(now, global_bw_, &global_delay_);
 }
 
+void CombinedOnline::OnSessionJoin(Time /*now*/, std::int64_t session) {
+  active_[static_cast<std::size_t>(session)] = 1;
+  // Mid-run join: hand the session the current share directly, as the
+  // local-stage start would have. Pre-run joins wait for the first stage.
+  if (started_) {
+    channels_.SetRegular(session, share_);
+  }
+}
+
+Bits CombinedOnline::OnSessionDepart(Time /*now*/, std::int64_t session) {
+  active_[static_cast<std::size_t>(session)] = 0;
+  channels_.SetRegular(session, Bandwidth::Zero());
+  channels_.SetOverflow(session, Bandwidth::Zero());
+  // Outstanding continuous-inner REDUCE leases must never fire for a
+  // departed session — the overflow allocation they would return was just
+  // zeroed. Both lease stores are swept; only the one matching the step
+  // mode is non-empty.
+  for (auto it = reductions_.begin(); it != reductions_.end();) {
+    std::erase_if(it->second, [session](const Reduction& red) {
+      return red.session == session;
+    });
+    it = it->second.empty() ? reductions_.erase(it) : std::next(it);
+  }
+  reduce_wheel_.CancelWhere(
+      [session](const Reduction& red) { return red.session == session; });
+  return channels_.DropSession(session);
+}
+
 // --- event-driven path -------------------------------------------------------
 //
 // A session outside the hot set has empty queues, zero overflow allocation,
@@ -210,6 +242,7 @@ void CombinedOnline::Step(Time now, std::span<const Bits> arrivals) {
 // incoming share differs, preserving the invariant for everyone else.
 
 bool CombinedOnline::Quiescent(std::int64_t i) const {
+  if (!Active(i)) return true;
   return channels_.regular_queue_size(i) == 0 &&
          channels_.overflow_queue_size(i) == 0 &&
          channels_.overflow_bw(i).raw() == 0 &&
@@ -225,6 +258,7 @@ void CombinedOnline::StartLocalStageEvent(Time now, bool shunt_regular) {
   share_ = new_share;
   if (share_changed) {
     for (std::int64_t i = 0; i < params_.sessions; ++i) {
+      if (!Active(i)) continue;
       if (shunt_regular && channels_.regular_queue_size(i) > 0) {
         channels_.MoveRegularToOverflow(i);
       }
@@ -240,6 +274,7 @@ void CombinedOnline::StartLocalStageEvent(Time now, bool shunt_regular) {
   } else {
     hot_.SortAscending();
     for (const std::int64_t i : hot_.items()) {
+      if (!Active(i)) continue;
       if (shunt_regular && channels_.regular_queue_size(i) > 0) {
         channels_.MoveRegularToOverflow(i);
       }
@@ -262,6 +297,7 @@ void CombinedOnline::PhaseBoundaryEvent(Time now) {
   hot_.SortAscending();
   std::int64_t overloaded = 0;
   for (const std::int64_t i : hot_.items()) {
+    if (!Active(i)) continue;
     if (!RegularOverloaded(i)) {
       channels_.SetOverflow(i, Bandwidth::Zero());
     } else {
@@ -317,6 +353,7 @@ void CombinedOnline::GlobalResetEvent(Time now) {
   reduce_wheel_.Clear();
   hot_.SortAscending();
   for (const std::int64_t i : hot_.items()) {
+    if (!Active(i)) continue;
     channels_.DrainSessionInto(i, global_queue_);
     channels_.SetOverflow(i, Bandwidth::Zero());
   }

@@ -99,6 +99,16 @@ class CombinedOnline final : public MultiSessionSystem {
     reduce_wheel_.SetTelemetry(shard);
   }
 
+  // --- dynamic churn --------------------------------------------------------
+  // Inactive sessions are skipped by every local-stage, phase-boundary, and
+  // GLOBAL RESET loop (dense and sparse alike), and Quiescent() reports
+  // them quiescent so the hot set sheds them. A joining session starts at
+  // the *current* share_ with empty queues — the quiescent fixed point —
+  // and departure cancels any outstanding continuous-inner REDUCE leases.
+  bool SupportsChurn() const override { return true; }
+  void OnSessionJoin(Time now, std::int64_t session) override;
+  Bits OnSessionDepart(Time now, std::int64_t session) override;
+
   // --- checkpoint/restore ---------------------------------------------------
   bool SupportsCheckpoint() const override { return true; }
 
@@ -133,6 +143,7 @@ class CombinedOnline final : public MultiSessionSystem {
     });
     hot_.SaveState(w);
     w.U8(static_cast<std::uint8_t>(mode_));
+    for (const char a : active_) w.Bool(a != 0);
   }
 
   void LoadState(StateReader& r) override {
@@ -168,6 +179,7 @@ class CombinedOnline final : public MultiSessionSystem {
     });
     hot_.LoadState(r);
     mode_ = static_cast<StepMode>(r.U8());
+    for (char& a : active_) a = r.Bool() ? 1 : 0;
   }
 
  private:
@@ -187,6 +199,10 @@ class CombinedOnline final : public MultiSessionSystem {
   void ShuntWithLeaseEvent(Time now, std::int64_t i);
   void GlobalResetEvent(Time now);
   bool Quiescent(std::int64_t i) const;
+
+  bool Active(std::int64_t i) const {
+    return active_[static_cast<std::size_t>(i)] != 0;
+  }
 
   CombinedParams params_;
   SessionChannels channels_;
@@ -218,6 +234,7 @@ class CombinedOnline final : public MultiSessionSystem {
   std::map<Time, std::vector<Reduction>> reductions_;
   TimerWheel<Reduction> reduce_wheel_;
   HotSet hot_;                 // sparse path: candidate non-quiescent sessions
+  std::vector<char> active_;   // churn mask; all 1 for fixed populations
   Time perturb_wakeups_ = 0;   // test hook: delays boundaries / REDUCEs
   StepMode mode_ = StepMode::kNone;  // dense/sparse must never mix
 };

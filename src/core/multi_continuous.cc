@@ -9,7 +9,8 @@ ContinuousMulti::ContinuousMulti(const MultiSessionParams& params,
     : params_(params),
       channels_(params.sessions, discipline),
       reduce_wheel_(params.offline_delay + 2),
-      hot_(params.sessions) {
+      hot_(params.sessions),
+      active_(static_cast<std::size_t>(params.sessions), 1) {
   params_.Validate();
   shares_.reserve(static_cast<std::size_t>(params_.sessions));
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
@@ -29,6 +30,7 @@ bool ContinuousMulti::RegularOverloaded(std::int64_t i) const {
 void ContinuousMulti::Reset(Time now) {
   tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!Active(i)) continue;
     channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
   }
 }
@@ -87,6 +89,33 @@ void ContinuousMulti::Step(Time now, std::span<const Bits> arrivals) {
   channels_.ServeSlot(now);
 }
 
+void ContinuousMulti::OnSessionJoin(Time /*now*/, std::int64_t session) {
+  active_[static_cast<std::size_t>(session)] = 1;
+  // Mid-run join: hand the session its share directly, as the stage's
+  // RESET would have. Pre-run joins wait for the initial RESET instead.
+  if (started_) {
+    channels_.SetRegular(session, shares_[static_cast<std::size_t>(session)]);
+  }
+}
+
+Bits ContinuousMulti::OnSessionDepart(Time /*now*/, std::int64_t session) {
+  active_[static_cast<std::size_t>(session)] = 0;
+  channels_.SetRegular(session, Bandwidth::Zero());
+  channels_.SetOverflow(session, Bandwidth::Zero());
+  // Outstanding REDUCE leases must never fire for a departed session —
+  // the overflow allocation they would return was just zeroed. Both lease
+  // stores are swept; only the one matching the step mode is non-empty.
+  for (auto it = reductions_.begin(); it != reductions_.end();) {
+    std::erase_if(it->second, [session](const Reduction& red) {
+      return red.session == session;
+    });
+    it = it->second.empty() ? reductions_.erase(it) : std::next(it);
+  }
+  reduce_wheel_.CancelWhere(
+      [session](const Reduction& red) { return red.session == session; });
+  return channels_.DropSession(session);
+}
+
 // --- event-driven path -------------------------------------------------------
 //
 // Fig. 5 is already event-shaped: TEST fires only on arrivals, REDUCE is a
@@ -98,6 +127,7 @@ void ContinuousMulti::Step(Time now, std::span<const Bits> arrivals) {
 // rewrite an identical value), so skipping it changes nothing.
 
 bool ContinuousMulti::Quiescent(std::int64_t i) const {
+  if (!Active(i)) return true;
   return channels_.regular_queue_size(i) == 0 &&
          channels_.overflow_queue_size(i) == 0 &&
          channels_.overflow_bw(i).raw() == 0 &&
@@ -108,6 +138,7 @@ bool ContinuousMulti::Quiescent(std::int64_t i) const {
 void ContinuousMulti::ResetEvent(Time now) {
   tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
   for (const std::int64_t i : hot_.items()) {
+    if (!Active(i)) continue;
     channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
   }
 }

@@ -53,6 +53,16 @@ class ContinuousMulti final : public MultiSessionSystem {
     reduce_wheel_.SetTelemetry(shard);
   }
 
+  // --- dynamic churn --------------------------------------------------------
+  // TEST fires only on arrivals, and the engine masks arrivals for inactive
+  // sessions, so the only Fig. 5 actions that must skip a departed session
+  // are the RESETs. Departure cancels the session's outstanding REDUCE
+  // leases (their overflow allocation was just zeroed); Quiescent() reports
+  // inactive sessions quiescent so the hot set sheds them.
+  bool SupportsChurn() const override { return true; }
+  void OnSessionJoin(Time now, std::int64_t session) override;
+  Bits OnSessionDepart(Time now, std::int64_t session) override;
+
   // --- checkpoint/restore ---------------------------------------------------
   bool SupportsCheckpoint() const override { return true; }
 
@@ -76,6 +86,7 @@ class ContinuousMulti final : public MultiSessionSystem {
     });
     hot_.SaveState(w);
     w.U8(static_cast<std::uint8_t>(mode_));
+    for (const char a : active_) w.Bool(a != 0);
   }
 
   void LoadState(StateReader& r) override {
@@ -100,6 +111,7 @@ class ContinuousMulti final : public MultiSessionSystem {
     });
     hot_.LoadState(r);
     mode_ = static_cast<StepMode>(r.U8());
+    for (char& a : active_) a = r.Bool() ? 1 : 0;
   }
 
  private:
@@ -114,6 +126,10 @@ class ContinuousMulti final : public MultiSessionSystem {
   void ShuntToOverflowEvent(Time now, std::int64_t i);
   bool Quiescent(std::int64_t i) const;
   bool RegularOverloaded(std::int64_t i) const;
+
+  bool Active(std::int64_t i) const {
+    return active_[static_cast<std::size_t>(i)] != 0;
+  }
 
   MultiSessionParams params_;
   SessionChannels channels_;
@@ -132,6 +148,7 @@ class ContinuousMulti final : public MultiSessionSystem {
   std::map<Time, std::vector<Reduction>> reductions_;
   TimerWheel<Reduction> reduce_wheel_;
   HotSet hot_;                 // sparse path: candidate non-quiescent sessions
+  std::vector<char> active_;   // churn mask; all 1 for fixed populations
   Time perturb_wakeups_ = 0;   // test hook: delays REDUCE wakeups
   StepMode mode_ = StepMode::kNone;  // dense/sparse must never mix
 };

@@ -8,7 +8,8 @@ PhasedMulti::PhasedMulti(const MultiSessionParams& params,
                          ServiceDiscipline discipline)
     : params_(params),
       channels_(params.sessions, discipline),
-      hot_(params.sessions) {
+      hot_(params.sessions),
+      active_(static_cast<std::size_t>(params.sessions), 1) {
   params_.Validate();
   shares_.reserve(static_cast<std::size_t>(params_.sessions));
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
@@ -29,6 +30,7 @@ bool PhasedMulti::RegularOverloaded(std::int64_t i) const {
 void PhasedMulti::Reset(Time now) {
   tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!Active(i)) continue;
     channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
   }
   next_phase_ = now + params_.offline_delay;
@@ -38,6 +40,7 @@ void PhasedMulti::PhaseBoundary(Time now) {
   const bool trace_shunts = tracer_.enabled(TraceEventType::kOverflowShunt);
   std::int64_t overloaded = 0;
   for (std::int64_t i = 0; i < params_.sessions; ++i) {
+    if (!Active(i)) continue;
     if (!RegularOverloaded(i)) {
       // Lemma-8 invariant: the previous phase's overflow allocation was
       // sized to drain the overflow queue within the phase.
@@ -62,6 +65,7 @@ void PhasedMulti::PhaseBoundary(Time now) {
   if (channels_.TotalRegular() > two_b_o_) {
     // Stage end: shunt everything to the overflow channel and RESET.
     for (std::int64_t i = 0; i < params_.sessions; ++i) {
+      if (!Active(i)) continue;
       if (trace_shunts && channels_.regular_queue_size(i) > 0) {
         tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
                      channels_.regular_queue_size(i));
@@ -96,6 +100,24 @@ void PhasedMulti::Step(Time now, std::span<const Bits> arrivals) {
   channels_.ServeSlot(now);
 }
 
+void PhasedMulti::OnSessionJoin(Time /*now*/, std::int64_t session) {
+  active_[static_cast<std::size_t>(session)] = 1;
+  // Mid-run join: hand the session its share directly, as the stage's
+  // RESET would have. Pre-run joins wait for the initial RESET instead.
+  if (started_) {
+    channels_.SetRegular(session, shares_[static_cast<std::size_t>(session)]);
+  }
+}
+
+Bits PhasedMulti::OnSessionDepart(Time /*now*/, std::int64_t session) {
+  active_[static_cast<std::size_t>(session)] = 0;
+  channels_.SetRegular(session, Bandwidth::Zero());
+  channels_.SetOverflow(session, Bandwidth::Zero());
+  // The session stays in the hot set until the next boundary's quiescence
+  // sweep; every action there skips inactive sessions, so it is inert.
+  return channels_.DropSession(session);
+}
+
 // --- event-driven path -------------------------------------------------------
 //
 // Why the hot set is exact, not heuristic: a session outside it has empty
@@ -108,6 +130,7 @@ void PhasedMulti::Step(Time now, std::span<const Bits> arrivals) {
 // degenerates to the loop over the sorted hot set, event for event.
 
 bool PhasedMulti::Quiescent(std::int64_t i) const {
+  if (!Active(i)) return true;
   return channels_.regular_queue_size(i) == 0 &&
          channels_.overflow_queue_size(i) == 0 &&
          channels_.overflow_bw(i).raw() == 0 &&
@@ -118,6 +141,7 @@ bool PhasedMulti::Quiescent(std::int64_t i) const {
 void PhasedMulti::ResetEvent(Time now) {
   tracer_.Emit(TraceEventType::kStageStart, now, -1, completed_stages_);
   for (const std::int64_t i : hot_.items()) {
+    if (!Active(i)) continue;
     channels_.SetRegular(i, shares_[static_cast<std::size_t>(i)]);
   }
   next_phase_ = now + params_.offline_delay;
@@ -128,6 +152,7 @@ void PhasedMulti::PhaseBoundaryEvent(Time now) {
   hot_.SortAscending();
   std::int64_t overloaded = 0;
   for (const std::int64_t i : hot_.items()) {
+    if (!Active(i)) continue;
     if (!RegularOverloaded(i)) {
       BW_CHECK(channels_.overflow_queue_size(i) == 0,
                "overflow queue not drained at phase boundary");
@@ -149,6 +174,7 @@ void PhasedMulti::PhaseBoundaryEvent(Time now) {
   tracer_.Emit(TraceEventType::kPhaseBoundary, now, -1, overloaded);
   if (channels_.TotalRegular() > two_b_o_) {
     for (const std::int64_t i : hot_.items()) {
+      if (!Active(i)) continue;
       if (trace_shunts && channels_.regular_queue_size(i) > 0) {
         tracer_.Emit(TraceEventType::kOverflowShunt, now, i,
                      channels_.regular_queue_size(i));

@@ -51,6 +51,16 @@ class PhasedMulti final : public MultiSessionSystem {
   }
   void SetTracer(const Tracer& tracer) override { tracer_ = tracer; }
 
+  // --- dynamic churn --------------------------------------------------------
+  // Inactive sessions are invisible to every Fig. 4 action: RESET and the
+  // phase boundary skip them, and Quiescent() reports them quiescent so
+  // the hot set sheds them. A joining session starts at its share with
+  // empty queues — exactly the quiescent fixed point — so dense and sparse
+  // paths stay event-for-event identical under churn.
+  bool SupportsChurn() const override { return true; }
+  void OnSessionJoin(Time now, std::int64_t session) override;
+  Bits OnSessionDepart(Time now, std::int64_t session) override;
+
   // --- checkpoint/restore ---------------------------------------------------
   bool SupportsCheckpoint() const override { return true; }
 
@@ -62,6 +72,7 @@ class PhasedMulti final : public MultiSessionSystem {
     w.Bool(started_);
     hot_.SaveState(w);
     w.U8(static_cast<std::uint8_t>(mode_));
+    for (const char a : active_) w.Bool(a != 0);
   }
 
   void LoadState(StateReader& r) override {
@@ -72,6 +83,7 @@ class PhasedMulti final : public MultiSessionSystem {
     started_ = r.Bool();
     hot_.LoadState(r);
     mode_ = static_cast<StepMode>(r.U8());
+    for (char& a : active_) a = r.Bool() ? 1 : 0;
   }
 
  private:
@@ -83,8 +95,13 @@ class PhasedMulti final : public MultiSessionSystem {
   void PhaseBoundaryEvent(Time now);
 
   // True when session i can be skipped by every phase-boundary action:
-  // empty queues, no overflow allocation, regular allocation at its share.
+  // empty queues, no overflow allocation, regular allocation at its share
+  // — or the session is not active (departed / never admitted).
   bool Quiescent(std::int64_t i) const;
+
+  bool Active(std::int64_t i) const {
+    return active_[static_cast<std::size_t>(i)] != 0;
+  }
 
   // Fig. 4's test |Q_r| > B_r * D_O, exact in fixed point.
   bool RegularOverloaded(std::int64_t i) const;
@@ -98,6 +115,7 @@ class PhasedMulti final : public MultiSessionSystem {
   bool started_ = false;
   Tracer tracer_;          // disabled unless SetTracer was called
   HotSet hot_;             // sparse path: candidate non-quiescent sessions
+  std::vector<char> active_;   // churn mask; all 1 for fixed populations
   Time perturb_wakeups_ = 0;   // test hook: delays phase boundaries
   StepMode mode_ = StepMode::kNone;  // dense/sparse must never mix
 };

@@ -62,6 +62,7 @@ void RobustMultiSessionAdapter::Step(Time now,
 
   const SessionChannels& intent = inner_->channels();
   for (std::int64_t i = 0; i < sessions_; ++i) {
+    if (!lanes_[static_cast<std::size_t>(i)].active) continue;
     const Bandwidth intended =
         intent.regular_bw(i) + intent.overflow_bw(i) +
         Bandwidth::FromRaw(extra_each + (i == 0 ? extra_rem : 0));
@@ -72,6 +73,7 @@ void RobustMultiSessionAdapter::Step(Time now,
 
   for (std::int64_t i = 0; i < sessions_; ++i) {
     Lane& lane = lanes_[static_cast<std::size_t>(i)];
+    if (!lane.active) continue;
     if (lane.fallback && channels_.regular_queue_size(i) == 0) {
       // Drain complete: hand the lane back to the control model's intent.
       lane.fallback = false;
@@ -204,6 +206,39 @@ void RobustMultiSessionAdapter::StepLane(Time now, std::int64_t i,
   }
 
   channels_.SetRegular(i, effective);
+}
+
+void RobustMultiSessionAdapter::OnSessionJoin(Time now, std::int64_t session) {
+  inner_->OnSessionJoin(now, session);
+  lanes_[static_cast<std::size_t>(session)].active = true;
+}
+
+Bits RobustMultiSessionAdapter::OnSessionDepart(Time now,
+                                                std::int64_t session) {
+  // The control model drops its phantom copy of the session's bits; the
+  // real drop below is the one the result counters see.
+  inner_->OnSessionDepart(now, session);
+  Lane& lane = lanes_[static_cast<std::size_t>(session)];
+  lane.active = false;
+  lane.outstanding = false;
+  lane.fallback = false;
+  lane.consecutive_denials = 0;
+  lane.backoff = opts_.initial_backoff;
+  lane.have_last_want = false;
+  lane.next_attempt_at = now;
+  lane.request_slot = -1;
+  if (lane.degraded) {
+    lane.degraded = false;
+    --degraded_count_;
+  }
+  // A departed lane owes no convergence. Emitted unconditionally, not just
+  // when this side thinks the lane is degraded: an in-flight request lost
+  // by the path has already opened the auditor's episode (it sees the
+  // channel's loss event) even though no timeout has fired here yet, and
+  // the lane goes silent forever after departing.
+  tracer_.Emit(TraceEventType::kSignalRecover, now, session, 0);
+  channels_.SetRegular(session, Bandwidth::Zero());
+  return channels_.DropSession(session);
 }
 
 void RobustMultiSessionAdapter::SetTelemetry(telemetry::RuntimeShard* shard) {

@@ -108,6 +108,15 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
   bool in_fallback(std::int64_t session) const;
   std::int64_t sessions() const { return sessions_; }
 
+  // --- dynamic churn --------------------------------------------------------
+  // Churn passes through to the control model; the adapter additionally
+  // parks the departing session's lane (cancelling its outstanding request,
+  // fallback drain, and any open degraded window) and drops the real
+  // queues. A rejoining session restarts its lane from the parked state.
+  bool SupportsChurn() const override { return inner_->SupportsChurn(); }
+  void OnSessionJoin(Time now, std::int64_t session) override;
+  Bits OnSessionDepart(Time now, std::int64_t session) override;
+
   // --- checkpoint/restore ---------------------------------------------------
   bool SupportsCheckpoint() const override {
     return inner_->SupportsCheckpoint();
@@ -134,6 +143,7 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
       w.I64(lane.retries);
       w.I64(lane.fallbacks);
       w.Bool(lane.degraded);
+      w.Bool(lane.active);
     }
   }
 
@@ -161,6 +171,7 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
       lane.retries = r.I64();
       lane.fallbacks = r.I64();
       lane.degraded = r.Bool();
+      lane.active = r.Bool();
     }
     degraded_count_ = 0;
     for (const Lane& lane : lanes_) {
@@ -188,6 +199,7 @@ class RobustMultiSessionAdapter final : public MultiSessionSystem {
     std::int64_t retries = 0;
     std::int64_t fallbacks = 0;
     bool degraded = false;  // open fault window; closed by kSignalRecover
+    bool active = true;     // churn mask; parked lanes are skipped entirely
     // Live-lane only (not checkpointed): slot of the last request, for
     // ack RTT telemetry. A resume restarts the measurement.
     Time request_slot = -1;

@@ -166,6 +166,18 @@ struct Auditor::Stream {
   std::int64_t last_ckpt_total = 0;  // committed allocation raw at capture
   Time last_ckpt_slot = -1;          // resume slot of the last checkpoint
 
+  // --- feasibility under churn ---
+  struct ChurnSession {
+    Bits rate = 0;           // committed rate from kAdmit
+    Time start = 0;          // booked start slot from kAdmit
+    std::uint8_t state = 0;  // 0 never admitted, 1 committed, 2 gone
+    bool counted = false;    // rate currently in churn_active_rate
+    Time lifecycle_slot = -1;  // slot of the last churn event for the session
+  };
+  std::map<std::int64_t, ChurnSession> churn_sessions;
+  Bits churn_active_rate = 0;  // sum of active committed rates
+  bool churn_seen = false;
+
   // Cumulative arrivals through `slot`, given the last pushed entry is for
   // `now`. Slots before the retained window only occur for slot < 0.
   Bits CumAt(Time now, Time slot) const {
@@ -363,6 +375,69 @@ void Auditor::OnEvent(const TraceContext& ctx, const TraceEvent& event) {
       if (event.slot > lane.last_activity) lane.last_activity = event.slot;
       break;
     }
+    case T::kAdmit: {
+      if (config_.model == AuditConfig::Model::kMulti) {
+        s.churn_seen = true;
+        auto& cs = s.churn_sessions[event.session];
+        if (cs.state == 1) {
+          Violate(s, "feasibility_churn", event.session, event.slot, 1, 0,
+                  "session admitted while its previous admission is still "
+                  "committed");
+        }
+        if (cs.counted) {
+          s.churn_active_rate -= cs.rate;
+          cs.counted = false;
+        }
+        cs.rate = event.a;
+        cs.start = event.b;
+        cs.state = 1;
+        cs.lifecycle_slot = event.slot;
+      }
+      break;
+    }
+    case T::kReject:
+      if (config_.model == AuditConfig::Model::kMulti) s.churn_seen = true;
+      break;
+    case T::kDepart: {
+      if (config_.model == AuditConfig::Model::kMulti) {
+        s.churn_seen = true;
+        auto& cs = s.churn_sessions[event.session];
+        if (cs.state != 1) {
+          Violate(s, "feasibility_churn", event.session, event.slot, cs.state,
+                  1, "departure of a session with no committed admission");
+        }
+        if (cs.counted) {
+          s.churn_active_rate -= cs.rate;
+          cs.counted = false;
+        }
+        cs.state = 2;
+        cs.lifecycle_slot = event.slot;
+      }
+      break;
+    }
+    case T::kShed: {
+      if (config_.model == AuditConfig::Model::kMulti) {
+        s.churn_seen = true;
+        auto& cs = s.churn_sessions[event.session];
+        if (cs.state != 1) {
+          Violate(s, "feasibility_churn", event.session, event.slot, cs.state,
+                  1, "shed of a session with no committed admission");
+        } else if (event.slot >= cs.start) {
+          // Overload shedding may only take pending reservations; a session
+          // at or past its start slot holds a commitment that must be kept.
+          Violate(s, "feasibility_churn", event.session, event.slot,
+                  event.slot, cs.start,
+                  "shed a session at or after its start slot");
+        }
+        if (cs.counted) {
+          s.churn_active_rate -= cs.rate;
+          cs.counted = false;
+        }
+        cs.state = 2;
+        cs.lifecycle_slot = event.slot;
+      }
+      break;
+    }
     case T::kCheckpoint:
       // Committed allocation bandwidth-time is cumulative: a checkpoint
       // claiming less than its predecessor lost committed allocations, and
@@ -500,6 +575,26 @@ void Auditor::OnTick(Stream& s, const TraceEvent& e) {
                   "to a committed allocation");
           lane.episode = false;  // report each stuck window once
         }
+      }
+    }
+
+    // Feasibility under churn: admitted sessions activate at their booked
+    // start slot; the committed rates of concurrently active sessions must
+    // fit inside the offline bandwidth at every slot. (Sequential
+    // over-commitment across disjoint windows is legal — that is what
+    // book-ahead is for.)
+    if (!single && s.churn_seen && config_.offline_bandwidth > 0) {
+      for (auto& [session, cs] : s.churn_sessions) {
+        if (cs.state == 1 && !cs.counted && cs.start <= t) {
+          cs.counted = true;
+          s.churn_active_rate += cs.rate;
+        }
+      }
+      if (s.churn_active_rate > config_.offline_bandwidth) {
+        Violate(s, "feasibility_churn", -1, t, s.churn_active_rate,
+                config_.offline_bandwidth,
+                "active committed session rates exceed the offline "
+                "bandwidth B_O");
       }
     }
 
@@ -641,10 +736,29 @@ void Auditor::OnAllocChange(Stream& s, const TraceEvent& e) {
     }
   }
 
+  // Churn lifecycle slots for this session: its booked start (the join
+  // hands it the stage share) and its last admit/depart/shed slot (the
+  // departure zeroes its rates). Both legitimately move a session's rate
+  // away from a phase boundary, so discipline and budget skip them.
+  bool churn_lifecycle_slot = false;
+  if (s.churn_seen) {
+    const auto it = s.churn_sessions.find(e.session);
+    if (it != s.churn_sessions.end()) {
+      churn_lifecycle_slot =
+          it->second.lifecycle_slot == e.slot || it->second.start == e.slot;
+      // A departed or shed session must never see its allocation raised
+      // again — graceful degradation keeps freed bandwidth freed.
+      if (it->second.state == 2 && to_raw > 0) {
+        Violate(s, "feasibility_churn", e.session, e.slot, to_raw, 0,
+                "allocation raised for a departed or shed session");
+      }
+    }
+  }
+
   // Under a live signalling plane a committed session rate changes when
   // its ACK lands, not when the algorithm decided it — boundary discipline
   // only binds the fault-free path (mirrors change_budget's suspension).
-  if (config_.phased && !s.signaling_seen) {
+  if (config_.phased && !s.signaling_seen && !churn_lifecycle_slot) {
     if (e.slot != s.last_boundary_slot) {
       Violate(s, "phase_discipline", e.session, e.slot, e.slot,
               s.last_boundary_slot,

@@ -60,6 +60,13 @@
 //                      suspended once signalling events show commits land
 //                      asynchronously — a committed rate can then change
 //                      whenever an ACK arrives, not only at boundaries.
+//   feasibility_churn  dynamic admission control (churn runs): the sum of
+//                      committed rates of *concurrently active* sessions
+//                      never exceeds B_O; overload shedding only takes
+//                      pending reservations (never a session at or past its
+//                      start slot); depart/shed events name sessions with a
+//                      live admission; and no allocation is ever raised for
+//                      a departed or shed session.
 //   hwm_order          queue high-water marks are strictly increasing.
 //   slot_order         event slots are non-decreasing within a stream.
 //

@@ -28,6 +28,10 @@ enum class Counter : int {
   kSignalTimeouts,     // requests declared lost by timeout
   kSignalFallbacks,    // RESET-style fallback drains triggered
   kCheckpoints,        // checkpoints published
+  kSessionsAdmitted,   // churn: sessions accepted by admission control
+  kSessionsRejected,   // churn: sessions refused at arrival
+  kSessionsShed,       // churn: pending reservations load-shed
+  kSessionsDeparted,   // churn: active sessions that left mid-run
   kSteals,             // successful work-deque steals
   kFailedSteals,       // empty/lost steal attempts
   kBackoffRounds,      // pool idle-backoff rounds
@@ -43,6 +47,7 @@ enum class Gauge : int {
   kDegradedLanes,       // fault lanes currently serving at committed rate
   kWorkers,             // pool workers participating in the current batch
   kPeakQueueBits,       // peak buffered backlog seen live
+  kArrivalQueueDepth,   // churn: admitted reservations waiting to start
   kCount,
 };
 
@@ -86,6 +91,10 @@ inline constexpr MetricName kCounterNames[kCounterCount] = {
     {"bwsim_signal_timeouts_total", "Signaling requests lost to timeout"},
     {"bwsim_signal_fallbacks_total", "Fallback full-rate drains triggered"},
     {"bwsim_checkpoints_total", "Checkpoints published"},
+    {"bwsim_sessions_admitted_total", "Sessions accepted by admission control"},
+    {"bwsim_sessions_rejected_total", "Sessions refused at arrival"},
+    {"bwsim_sessions_shed_total", "Pending reservations load-shed"},
+    {"bwsim_sessions_departed_total", "Active sessions departed mid-run"},
     {"bwsim_runner_steals_total", "Successful work-deque steals"},
     {"bwsim_runner_failed_steals_total", "Empty or lost steal attempts"},
     {"bwsim_runner_backoff_rounds_total", "Pool idle-backoff rounds"},
@@ -97,6 +106,7 @@ inline constexpr MetricName kGaugeNames[kGaugeCount] = {
     {"bwsim_degraded_lanes", "Fault lanes serving at last-committed rate"},
     {"bwsim_workers", "Pool workers in the current batch"},
     {"bwsim_peak_queue_bits", "Peak buffered backlog seen live"},
+    {"bwsim_arrival_queue_depth", "Admitted reservations waiting to start"},
 };
 
 inline constexpr GaugeMode kGaugeModes[kGaugeCount] = {
@@ -104,6 +114,7 @@ inline constexpr GaugeMode kGaugeModes[kGaugeCount] = {
     GaugeMode::kSum,  // degraded lanes: levels add across engines
     GaugeMode::kMax,  // workers: one fleet-wide value
     GaugeMode::kMax,  // peak queue: a peak stays a peak
+    GaugeMode::kSum,  // arrival queue depth: levels add across engines
 };
 
 inline constexpr MetricName kHistoNames[kHistoCount] = {

@@ -42,6 +42,10 @@ enum class TraceEventType : std::uint32_t {
   kSignalRecover,       // a=re-converged committed rate raw
   kCheckpoint,          // a=committed total raw, b=resume slot
   kRestore,             // a=restored committed total raw, b=resume slot
+  kAdmit,               // churn: a=rate bits/slot, b=start slot, c=weight
+  kReject,              // churn: a=rate bits/slot, b=rejection reason code
+  kDepart,              // churn: a=queued bits dropped at departure
+  kShed,                // churn: a=weight, b=the shed reservation's start
   kEventTypeCount,      // sentinel — keep last
 };
 
@@ -87,8 +91,8 @@ struct TraceContext {
 const char* EventTypeName(TraceEventType type);
 
 // Parses a `--trace-events` spec: "all", or a comma list of event names
-// and/or group names (slot, stage, alloc, queue, phase, signal). Throws
-// std::invalid_argument naming the offending token.
+// and/or group names (slot, stage, alloc, queue, phase, signal, churn).
+// Throws std::invalid_argument naming the offending token.
 EventMask ParseEventMask(const std::string& spec);
 
 }  // namespace bwalloc

@@ -38,6 +38,10 @@ constexpr PayloadNames kPayloadNames[kTraceEventTypes] = {
     /*kSignalRecover*/ {"rate_raw", nullptr, nullptr},
     /*kCheckpoint*/ {"total_raw", "next_slot", nullptr},
     /*kRestore*/ {"total_raw", "next_slot", nullptr},
+    /*kAdmit*/ {"rate", "start", "weight"},
+    /*kReject*/ {"rate", "reason", nullptr},
+    /*kDepart*/ {"dropped", nullptr, nullptr},
+    /*kShed*/ {"weight", "start", nullptr},
 };
 
 constexpr const char* kEventNames[kTraceEventTypes] = {
@@ -46,7 +50,8 @@ constexpr const char* kEventNames[kTraceEventTypes] = {
     "phase_boundary", "overflow_shunt", "signal_request",  "signal_commit",
     "signal_loss",    "signal_denial",  "signal_partial",  "signal_timeout",
     "signal_retry",   "signal_fallback", "signal_recover",  "checkpoint",
-    "restore",
+    "restore",        "admit",          "reject",          "depart",
+    "shed",
 };
 
 // Group names accepted by ParseEventMask in addition to exact event names.
@@ -73,6 +78,10 @@ EventMask GroupMask(const std::string& name) {
   }
   if (name == "checkpoint") {
     return EventBit(T::kCheckpoint) | EventBit(T::kRestore);
+  }
+  if (name == "churn") {
+    return EventBit(T::kAdmit) | EventBit(T::kReject) | EventBit(T::kDepart) |
+           EventBit(T::kShed);
   }
   return 0;
 }
@@ -114,7 +123,7 @@ EventMask ParseEventMask(const std::string& spec) {
         throw std::invalid_argument(
             "unknown trace event '" + token +
             "' (expected all, slot, stage, alloc, queue, phase, signal, "
-            "checkpoint, or an exact event name)");
+            "checkpoint, churn, or an exact event name)");
       }
       mask |= bit;
     }

@@ -164,15 +164,34 @@ class BitQueue {
     r.Tag("BQU1");
     chunks_.resize(r.Count(std::uint64_t{1} << 32));
     head_ = 0;
-    for (Chunk& c : chunks_) {
+    Bits total = 0;
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      Chunk& c = chunks_[i];
       c.arrival = r.I64();
       c.bits = r.I64();
+      // A corrupted payload can clear the CRC (it is recomputed on wrap)
+      // yet violate the invariants Enqueue/Drain assert with BW_CHECK;
+      // restoring such state must fail structurally, not abort later.
+      if (c.bits <= 0) {
+        throw StateFormatError("BitQueue: chunk bits must be positive");
+      }
+      if (i > 0 && chunks_[i - 1].arrival > c.arrival) {
+        throw StateFormatError(
+            "BitQueue: chunk arrival stamps must be non-decreasing");
+      }
+      total += c.bits;
     }
     size_ = r.I64();
     capacity_ = r.I64();
     dropped_ = r.I64();
     peak_size_ = r.I64();
     credit_raw_ = r.I64();
+    if (size_ != total) {
+      throw StateFormatError("BitQueue: size does not match chunk total");
+    }
+    if (dropped_ < 0 || peak_size_ < size_) {
+      throw StateFormatError("BitQueue: negative or inconsistent counters");
+    }
   }
 
  private:

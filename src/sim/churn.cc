@@ -1,0 +1,243 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+
+#include "obs/telemetry/metric_ids.h"
+#include "util/assert.h"
+
+namespace bwalloc {
+
+void ChurnPlan::Validate() const {
+  BW_REQUIRE(sessions > 0, "ChurnPlan: sessions must be positive");
+  BW_REQUIRE(horizon > 0, "ChurnPlan: horizon must be positive");
+  std::vector<char> seen(static_cast<std::size_t>(sessions), 0);
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    const SessionSpec& s = specs[j];
+    BW_REQUIRE(s.session >= 0 && s.session < sessions,
+               "ChurnPlan: spec session out of range");
+    BW_REQUIRE(!seen[static_cast<std::size_t>(s.session)],
+               "ChurnPlan: session offered more than once");
+    seen[static_cast<std::size_t>(s.session)] = 1;
+    BW_REQUIRE(s.arrive >= 0 && s.arrive < horizon,
+               "ChurnPlan: arrival outside the horizon");
+    BW_REQUIRE(s.book_delay >= 0, "ChurnPlan: negative book-ahead delay");
+    BW_REQUIRE(s.depart > s.start(), "ChurnPlan: empty session window");
+    BW_REQUIRE(s.rate >= 0, "ChurnPlan: negative rate");
+    BW_REQUIRE(s.weight >= 0, "ChurnPlan: negative weight");
+    if (j > 0) {
+      const SessionSpec& p = specs[j - 1];
+      BW_REQUIRE(p.arrive < s.arrive ||
+                     (p.arrive == s.arrive && p.session < s.session),
+                 "ChurnPlan: specs not sorted by (arrive, session)");
+    }
+  }
+}
+
+std::vector<std::vector<Bits>> ChurnPlan::MaterializeTraces() const {
+  std::vector<std::vector<Bits>> traces(
+      static_cast<std::size_t>(sessions),
+      std::vector<Bits>(static_cast<std::size_t>(horizon), 0));
+  for (const SessionSpec& s : specs) {
+    const Time lo = std::min(s.start(), horizon);
+    const Time hi = std::min(s.depart, horizon);
+    auto& trace = traces[static_cast<std::size_t>(s.session)];
+    for (Time t = lo; t < hi; ++t) trace[static_cast<std::size_t>(t)] = s.rate;
+  }
+  return traces;
+}
+
+Bits ChurnPlan::OfferedBits() const {
+  Bits total = 0;
+  for (const SessionSpec& s : specs) {
+    const Time lo = std::min(s.start(), horizon);
+    const Time hi = std::min(s.depart, horizon);
+    if (hi > lo) total += s.rate * (hi - lo);
+  }
+  return total;
+}
+
+ChurnDriver::ChurnDriver(const ChurnPlan& plan, AdmissionPolicy& policy,
+                         std::int64_t max_pending)
+    : plan_(plan),
+      policy_(policy),
+      max_pending_(max_pending),
+      phase_(static_cast<std::size_t>(plan.sessions),
+             static_cast<std::uint8_t>(Phase::kFuture)) {
+  depart_order_.resize(plan_.specs.size());
+  for (std::size_t j = 0; j < depart_order_.size(); ++j) depart_order_[j] = j;
+  std::sort(depart_order_.begin(), depart_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              const SessionSpec& sa = plan_.specs[a];
+              const SessionSpec& sb = plan_.specs[b];
+              if (sa.depart != sb.depart) return sa.depart < sb.depart;
+              return sa.session < sb.session;
+            });
+}
+
+void ChurnDriver::Prepare(MultiSessionSystem& system) {
+  for (std::int64_t i = 0; i < plan_.sessions; ++i) {
+    system.OnSessionDepart(0, i);
+  }
+}
+
+void ChurnDriver::Shed(Time now, std::size_t spec_index, const Tracer& tracer,
+                       telemetry::RuntimeShard* telemetry) {
+  const SessionSpec& spec = plan_.specs[spec_index];
+  policy_.Release(spec, now);
+  phase_[static_cast<std::size_t>(spec.session)] =
+      static_cast<std::uint8_t>(Phase::kShed);
+  ++stats_.shed;
+  tracer.Emit(TraceEventType::kShed, now, spec.session, spec.weight,
+              spec.start());
+  if (telemetry != nullptr) {
+    telemetry->Add(telemetry::Counter::kSessionsShed);
+  }
+}
+
+void ChurnDriver::BeginSlot(Time now, MultiSessionSystem& system,
+                            const Tracer& tracer,
+                            telemetry::RuntimeShard* telemetry) {
+  // 1. Departures of active sessions whose window ends now (ascending
+  //    session id within a slot via the depart_order_ tie-break).
+  while (next_depart_ < depart_order_.size() &&
+         plan_.specs[depart_order_[next_depart_]].depart <= now) {
+    const SessionSpec& spec = plan_.specs[depart_order_[next_depart_]];
+    ++next_depart_;
+    auto& phase = phase_[static_cast<std::size_t>(spec.session)];
+    if (phase != static_cast<std::uint8_t>(Phase::kActive)) continue;
+    const Bits dropped = system.OnSessionDepart(now, spec.session);
+    policy_.Release(spec, now);
+    phase = static_cast<std::uint8_t>(Phase::kDeparted);
+    ++stats_.departed;
+    stats_.dropped_bits += dropped;
+    tracer.Emit(TraceEventType::kDepart, now, spec.session, dropped);
+    if (telemetry != nullptr) {
+      telemetry->Add(telemetry::Counter::kSessionsDeparted);
+    }
+  }
+
+  // 2. Admission decisions for this slot's arrivals.
+  while (next_arrival_ < plan_.specs.size() &&
+         plan_.specs[next_arrival_].arrive <= now) {
+    const std::size_t j = next_arrival_++;
+    const SessionSpec& spec = plan_.specs[j];
+    ++stats_.offered;
+    const AdmissionVerdict verdict = policy_.Decide(spec, now);
+    auto& phase = phase_[static_cast<std::size_t>(spec.session)];
+    if (verdict.admit) {
+      phase = static_cast<std::uint8_t>(Phase::kPending);
+      pending_.push_back(j);
+      ++stats_.admitted;
+      tracer.Emit(TraceEventType::kAdmit, now, spec.session, spec.rate,
+                  spec.start(), spec.weight);
+      if (telemetry != nullptr) {
+        telemetry->Add(telemetry::Counter::kSessionsAdmitted);
+      }
+    } else {
+      phase = static_cast<std::uint8_t>(Phase::kRejected);
+      ++stats_.rejected;
+      tracer.Emit(TraceEventType::kReject, now, spec.session, spec.rate,
+                  verdict.reason);
+      if (telemetry != nullptr) {
+        telemetry->Add(telemetry::Counter::kSessionsRejected);
+      }
+    }
+  }
+
+  // 3. Activations: admitted sessions whose start slot arrived, ascending
+  //    session id.
+  std::vector<std::size_t> starting;
+  for (std::size_t n = 0; n < pending_.size();) {
+    if (plan_.specs[pending_[n]].start() <= now) {
+      starting.push_back(pending_[n]);
+      pending_[n] = pending_.back();
+      pending_.pop_back();
+    } else {
+      ++n;
+    }
+  }
+  std::sort(starting.begin(), starting.end(),
+            [&](std::size_t a, std::size_t b) {
+              return plan_.specs[a].session < plan_.specs[b].session;
+            });
+  for (const std::size_t j : starting) {
+    const SessionSpec& spec = plan_.specs[j];
+    system.OnSessionJoin(now, spec.session);
+    phase_[static_cast<std::size_t>(spec.session)] =
+        static_cast<std::uint8_t>(Phase::kActive);
+  }
+
+  // 4. Overload protection: shed the lowest-weight pending reservations
+  //    (never a started session — committed envelopes stay untouched).
+  //    Ties break toward the later (higher-id) arrival, preferring to keep
+  //    older commitments.
+  if (max_pending_ > 0) {
+    while (static_cast<std::int64_t>(pending_.size()) > max_pending_) {
+      std::size_t victim = 0;
+      for (std::size_t n = 1; n < pending_.size(); ++n) {
+        const SessionSpec& cand = plan_.specs[pending_[n]];
+        const SessionSpec& best = plan_.specs[pending_[victim]];
+        if (cand.weight < best.weight ||
+            (cand.weight == best.weight && cand.session > best.session)) {
+          victim = n;
+        }
+      }
+      const std::size_t j = pending_[victim];
+      pending_[victim] = pending_.back();
+      pending_.pop_back();
+      Shed(now, j, tracer, telemetry);
+    }
+  }
+
+  if (telemetry != nullptr) {
+    telemetry->GaugeSet(telemetry::Gauge::kArrivalQueueDepth,
+                        static_cast<std::int64_t>(pending_.size()));
+  }
+}
+
+void ChurnDriver::SaveState(StateWriter& w) const {
+  w.Tag("CHD1");
+  w.I64(static_cast<std::int64_t>(next_arrival_));
+  w.I64(static_cast<std::int64_t>(next_depart_));
+  w.U64(phase_.size());
+  for (const std::uint8_t p : phase_) w.U8(p);
+  w.U64(pending_.size());
+  for (const std::size_t j : pending_) w.I64(static_cast<std::int64_t>(j));
+  w.I64(stats_.offered);
+  w.I64(stats_.admitted);
+  w.I64(stats_.rejected);
+  w.I64(stats_.shed);
+  w.I64(stats_.departed);
+  w.I64(stats_.dropped_bits);
+  policy_.SaveState(w);
+}
+
+void ChurnDriver::LoadState(StateReader& r) {
+  r.Tag("CHD1");
+  const auto specs = static_cast<std::uint64_t>(plan_.specs.size());
+  next_arrival_ = static_cast<std::size_t>(r.Count(specs));
+  next_depart_ = static_cast<std::size_t>(r.Count(specs));
+  const std::uint64_t k = r.Count(static_cast<std::uint64_t>(plan_.sessions));
+  if (k != static_cast<std::uint64_t>(plan_.sessions)) {
+    throw StateFormatError("churn phase vector does not match the plan");
+  }
+  for (auto& p : phase_) {
+    p = r.U8();
+    if (p > static_cast<std::uint8_t>(Phase::kDeparted)) {
+      throw StateFormatError("churn session phase out of range");
+    }
+  }
+  pending_.resize(static_cast<std::size_t>(r.Count(specs)));
+  for (auto& j : pending_) {
+    j = static_cast<std::size_t>(r.Count(specs > 0 ? specs - 1 : 0));
+  }
+  stats_.offered = r.I64();
+  stats_.admitted = r.I64();
+  stats_.rejected = r.I64();
+  stats_.shed = r.I64();
+  stats_.departed = r.I64();
+  stats_.dropped_bits = r.I64();
+  policy_.LoadState(r);
+}
+
+}  // namespace bwalloc

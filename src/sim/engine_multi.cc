@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/telemetry/hub.h"
+#include "sim/churn.h"
 #include "sim/metrics.h"
 #include "util/assert.h"
 
@@ -89,6 +90,12 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   }
   Bits queue_hwm = 0;
 
+  ChurnDriver* const churn = options.churn;
+  if (churn != nullptr) {
+    BW_REQUIRE(system.SupportsChurn(),
+               "RunMultiSession: system does not support session churn");
+  }
+
   const CheckpointOptions& ckpt = options.checkpoint;
   if (ckpt.enabled()) {
     BW_REQUIRE(system.SupportsCheckpoint(),
@@ -111,6 +118,12 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
                            overflow_counters, queue_hwm, result);
       r.Tag("SYS1");
       system.LoadState(r);
+      r.Tag("CHN1");
+      if (r.Bool() != (churn != nullptr)) {
+        throw StateFormatError(
+            "churn configuration mismatch in checkpoint");
+      }
+      if (churn != nullptr) churn->LoadState(r);
       r.ExpectEnd();
       start = meta.next_slot;
     } catch (const StateFormatError& e) {
@@ -120,6 +133,8 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
     if (ckpt.perturb_restore_for_test) {
       regular_counters[0].PerturbCurrentForTest();
     }
+  } else if (churn != nullptr) {
+    churn->Prepare(system);
   }
 
   std::vector<Bits> arrivals(k, 0);
@@ -129,11 +144,17 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
       const bool step_sampled = tele != nullptr && (t & 63) == 0;
       const std::int64_t step_t0 =
           step_sampled ? telemetry::MonotonicNowNs() : 0;
+      if (churn != nullptr) churn->BeginSlot(t, system, tracer, tele);
       Bits slot_in = 0;
       for (std::size_t i = 0; i < k; ++i) {
         arrivals[i] =
             t < trace_len ? traces[i][static_cast<std::size_t>(t)] : Bits{0};
         BW_REQUIRE(arrivals[i] >= 0, "RunMultiSession: negative arrivals");
+        // Offered traffic of sessions that are not currently admitted and
+        // started (rejected, shed, booked-ahead, departed) never enters.
+        if (churn != nullptr && !churn->active(static_cast<std::int64_t>(i))) {
+          arrivals[i] = 0;
+        }
         slot_in += arrivals[i];
       }
 
@@ -220,6 +241,9 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
                              overflow_counters, queue_hwm, result);
         w.Tag("SYS1");
         system.SaveState(w);
+        w.Tag("CHN1");
+        w.Bool(churn != nullptr);
+        if (churn != nullptr) churn->SaveState(w);
         PublishCheckpoint(ckpt, w.bytes());
       }
       if (t == ckpt.crash_at) throw CrashInjected(t);
@@ -244,6 +268,7 @@ MultiRunResult RunMultiSession(const std::vector<std::vector<Bits>>& traces,
   result.global_changes = declared_total.transitions();
   result.stages = system.stages();
   result.global_stages = system.global_stages();
+  if (churn != nullptr) result.churn = churn->stats();
   if (tele != nullptr) {
     // Change counts are settled once per run (per-slot counting would put
     // k extra compares in the hot loop for a number nobody polls mid-run).

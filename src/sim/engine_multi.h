@@ -26,6 +26,8 @@
 
 namespace bwalloc {
 
+class ChurnDriver;  // sim/churn.h
+
 // One nonzero (or explicitly-listed) arrival for the sparse step interface.
 struct SessionArrival {
   std::int64_t session = 0;
@@ -123,6 +125,27 @@ class MultiSessionSystem {
   // the byte-identity gate. No effect on the dense path.
   virtual void PerturbEventWakeupsForTest() {}
 
+  // --- dynamic session churn (optional) ------------------------------------
+  // True when the system supports mid-run session join/depart: an active-set
+  // mask over its channel slots, queue drop + rate zeroing + lease
+  // cancellation on departure. The engines refuse churn plans on systems
+  // that opt out.
+  virtual bool SupportsChurn() const { return false; }
+
+  // `session` becomes active (admitted and its start slot arrived): unmask
+  // it and, if the run has started, allocate its baseline regular rate.
+  virtual void OnSessionJoin(Time /*now*/, std::int64_t /*session*/) {
+    BW_REQUIRE(false, "OnSessionJoin: not implemented for this system");
+  }
+
+  // `session` leaves (departure, or pre-run deactivation of a slot that
+  // has not been admitted yet): drop its queued bits, zero its committed
+  // rates, cancel its pending leases/wakeups. Returns the bits dropped.
+  virtual Bits OnSessionDepart(Time /*now*/, std::int64_t /*session*/) {
+    BW_REQUIRE(false, "OnSessionDepart: not implemented for this system");
+    return 0;
+  }
+
   // --- checkpoint/restore (optional) ---------------------------------------
   // True when SaveState/LoadState round-trip the system's full state
   // (channels, stage machinery, leases, fault lanes). The engine refuses
@@ -161,6 +184,11 @@ struct MultiEngineOptions {
   telemetry::RuntimeShard* telemetry = nullptr;
   // Checkpoint capture / crash injection / resume (state/checkpoint.h).
   CheckpointOptions checkpoint;
+  // Session churn (sim/churn.h): when non-null, the engine runs the
+  // driver's lifecycle processing at the start of every slot and masks
+  // arrivals by the live active set. Requires system.SupportsChurn(). The
+  // driver's state rides inside the engine checkpoint.
+  ChurnDriver* churn = nullptr;
 };
 
 // `traces[i]` is the arrival trace of session i; all traces must have equal

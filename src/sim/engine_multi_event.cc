@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/telemetry/hub.h"
+#include "sim/churn.h"
 #include "sim/engine_multi.h"
 #include "sim/metrics.h"
 #include "util/assert.h"
@@ -190,6 +191,13 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
   if (!sparse_capable) dense.assign(static_cast<std::size_t>(k), 0);
   std::vector<std::int64_t> dirty;
 
+  ChurnDriver* const churn = options.churn;
+  if (churn != nullptr) {
+    BW_REQUIRE(system.SupportsChurn(),
+               "RunMultiSessionEvent: system does not support session churn");
+  }
+  std::vector<SessionArrival> masked;  // churn-filtered slot, reused
+
   const CheckpointOptions& ckpt = options.checkpoint;
   if (ckpt.enabled()) {
     BW_REQUIRE(system.SupportsCheckpoint(),
@@ -216,6 +224,12 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
                            shadow_overflow_raw, queue_hwm, result, stats);
       r.Tag("SYS1");
       system.LoadState(r);
+      r.Tag("CHN1");
+      if (r.Bool() != (churn != nullptr)) {
+        throw StateFormatError(
+            "churn configuration mismatch in checkpoint");
+      }
+      if (churn != nullptr) churn->LoadState(r);
       r.ExpectEnd();
       start = meta.next_slot;
     } catch (const StateFormatError& e) {
@@ -223,6 +237,8 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
                             e.what());
     }
     if (ckpt.perturb_restore_for_test) shadow_regular_raw[0] += 1;
+  } else if (churn != nullptr) {
+    churn->Prepare(system);
   }
 
   {
@@ -233,9 +249,19 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
           step_sampled ? telemetry::MonotonicNowNs() : 0;
       const std::int64_t touched_before = stats.touched_session_slots;
       const std::int64_t changes_before = result.local_changes;
-      const std::span<const SessionArrival> slot =
+      if (churn != nullptr) churn->BeginSlot(t, system, tracer, tele);
+      std::span<const SessionArrival> slot =
           t < sparse.horizon ? sparse.Slot(t)
                              : std::span<const SessionArrival>();
+      if (churn != nullptr) {
+        // Offered traffic of sessions that are not currently admitted and
+        // started (rejected, shed, booked-ahead, departed) never enters.
+        masked.clear();
+        for (const SessionArrival& a : slot) {
+          if (churn->active(a.session)) masked.push_back(a);
+        }
+        slot = masked;
+      }
       Bits slot_in = 0;
       for (const SessionArrival& a : slot) slot_in += a.bits;
       stats.arrival_events += static_cast<std::int64_t>(slot.size());
@@ -352,6 +378,9 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
                              shadow_overflow_raw, queue_hwm, result, stats);
         w.Tag("SYS1");
         system.SaveState(w);
+        w.Tag("CHN1");
+        w.Bool(churn != nullptr);
+        if (churn != nullptr) churn->SaveState(w);
         PublishCheckpoint(ckpt, w.bytes());
       }
       if (t == ckpt.crash_at) throw CrashInjected(t);
@@ -371,6 +400,7 @@ MultiRunResult RunMultiSessionEvent(const SparseMultiTrace& sparse,
   result.global_changes = declared_total.transitions();
   result.stages = system.stages();
   result.global_stages = system.global_stages();
+  if (churn != nullptr) result.churn = churn->stats();
   result.global_utilization = util.GlobalUtilization();
   result.total_allocated_bits = util.TotalAllocatedBits();
   result.total_allocated_raw = util.TotalAllocatedRaw();

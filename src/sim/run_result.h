@@ -71,6 +71,25 @@ struct SingleRunResult {
   std::vector<Bandwidth> allocation_trace;
 };
 
+// Session-lifecycle counters of a churned run (sim/churn.h). Exact
+// integers; all-zero for fixed-population runs so result equality across
+// engines is unaffected when churn is off.
+struct ChurnStats {
+  std::int64_t offered = 0;    // admission decisions made
+  std::int64_t admitted = 0;   // accepted (possibly booked ahead)
+  std::int64_t rejected = 0;   // refused at the arrival slot
+  std::int64_t shed = 0;       // admitted, then load-shed before starting
+  std::int64_t departed = 0;   // active sessions that left mid-run
+  Bits dropped_bits = 0;       // queued bits discarded at departure
+
+  bool any() const {
+    return offered != 0 || admitted != 0 || rejected != 0 || shed != 0 ||
+           departed != 0 || dropped_bits != 0;
+  }
+
+  friend bool operator==(const ChurnStats&, const ChurnStats&) = default;
+};
+
 // Outcome of a multi-session run.
 struct MultiRunResult {
   Time horizon = 0;
@@ -100,6 +119,10 @@ struct MultiRunResult {
   // run). `faults` is the exact sum of `per_session_faults`.
   FaultStats faults;
   std::vector<FaultStats> per_session_faults;
+
+  // Session-lifecycle counters; all-zero unless the run executed a churn
+  // plan (arrivals/departures through a ChurnDriver).
+  ChurnStats churn;
 
   // Exact equality (histograms, raw Q16 values, and the derived doubles,
   // which are deterministic functions of exact integers). The differential

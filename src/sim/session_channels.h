@@ -128,6 +128,30 @@ class SessionChannels {
     regular_queue_[idx].DrainInto(dst);
   }
 
+  // Mid-run departure: discard everything session i still has queued and
+  // zero its FIFO credit. The dropped bits leave the conservation ledger
+  // through total_dropped_ (arrivals = delivered + queued + dropped). The
+  // session's active-list entry (if any) is reaped lazily, exactly like
+  // DrainSessionInto. Bandwidth variables are the caller's to zero (the
+  // transitions must flow through SetRegular/SetOverflow so the trace
+  // shadows see them).
+  Bits DropSession(std::int64_t i) {
+    const std::size_t idx = Idx(i);
+    const Bits dropped =
+        regular_queue_[idx].size() + overflow_queue_[idx].size();
+    if (dropped > 0) {
+      BitQueue scratch;
+      regular_queue_[idx].DrainInto(scratch);
+      overflow_queue_[idx].DrainInto(scratch);
+      total_queued_ -= dropped;
+      total_dropped_ += dropped;
+    }
+    fifo_credit_raw_[idx] = 0;
+    return dropped;
+  }
+
+  Bits total_dropped() const { return total_dropped_; }
+
   // --- service ---------------------------------------------------------------
   // Serve all sessions for slot `now`. Returns total bits delivered.
   Bits ServeSlot(Time now) {
@@ -208,6 +232,7 @@ class SessionChannels {
     }
     w.I64(total_arrivals_);
     w.I64(total_delivered_);
+    w.I64(total_dropped_);
     w.I64(total_regular_raw_);
     w.I64(total_overflow_raw_);
     w.I64(total_queued_);
@@ -231,6 +256,7 @@ class SessionChannels {
     }
     total_arrivals_ = r.I64();
     total_delivered_ = r.I64();
+    total_dropped_ = r.I64();
     total_regular_raw_ = r.I64();
     total_overflow_raw_ = r.I64();
     total_queued_ = r.I64();
@@ -305,6 +331,7 @@ class SessionChannels {
   std::vector<DelayHistogram> delay_;
   Bits total_arrivals_ = 0;
   Bits total_delivered_ = 0;
+  Bits total_dropped_ = 0;
   std::int64_t total_regular_raw_ = 0;
   std::int64_t total_overflow_raw_ = 0;
   Bits total_queued_ = 0;

@@ -114,6 +114,23 @@ class TimerWheel {
 
   bool empty() const { return live_.empty(); }
 
+  // Cancels every pending wakeup whose payload matches `pred` (session
+  // departure: the departing session's leases must never fire). Same lazy
+  // discipline as Cancel(): entries leave the live set now and their
+  // bucket slots are reclaimed at the next pop that scans them. Returns
+  // the number of wakeups cancelled.
+  template <typename Pred>
+  std::int64_t CancelWhere(Pred&& pred) {
+    if (live_.empty()) return 0;
+    std::int64_t cancelled = 0;
+    for (const auto& bucket : buckets_) {
+      for (const Entry& e : bucket) {
+        if (pred(e.payload)) cancelled += live_.erase(e.id) > 0 ? 1 : 0;
+      }
+    }
+    return cancelled;
+  }
+
   // Drops every pending wakeup (stage reset). Ids from before Clear() are
   // dead: cancelling them returns false.
   void Clear() {

@@ -1,0 +1,159 @@
+#include "traffic/arrivals.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace bwalloc {
+
+namespace {
+
+struct DrawParams {
+  Bits max_rate = 1;
+  Time mean_hold = 1;
+  Time max_book = 0;
+};
+
+// One honest session: demand and lifetime drawn independently of the
+// admission policy's state — the defining property the adversary violates.
+SessionSpec DrawSession(Rng& rng, Time arrive, std::int64_t id,
+                        const DrawParams& draw) {
+  SessionSpec s;
+  s.session = id;
+  s.arrive = arrive;
+  s.book_delay =
+      draw.max_book > 0 ? rng.UniformInt(0, draw.max_book) : 0;
+  const Time hold =
+      1 + rng.Geometric(1.0 / static_cast<double>(draw.mean_hold));
+  s.depart = s.start() + hold;
+  s.rate = rng.UniformInt(1, draw.max_rate);
+  s.weight = rng.UniformInt(1, 8);
+  return s;
+}
+
+ChurnPlan FinishPlan(std::vector<SessionSpec> specs, Time horizon) {
+  // A reservation booked to start at or past the horizon can never
+  // activate: the driver would carry it as pending to the end of the run,
+  // and the slot ledger — clipped to the horizon — would see an empty
+  // window and admit its rate for free, rates the feasibility monitor
+  // then counts against B_O during the drain. Discard such draws before
+  // numbering; session ids stay dense because they index channels.
+  std::vector<SessionSpec> kept;
+  kept.reserve(specs.size());
+  for (SessionSpec& s : specs) {
+    if (s.start() >= horizon) continue;
+    s.session = static_cast<std::int64_t>(kept.size());
+    kept.push_back(s);
+  }
+  ChurnPlan plan;
+  plan.horizon = horizon;
+  plan.sessions = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(kept.size()));
+  plan.specs = std::move(kept);
+  plan.Validate();
+  return plan;
+}
+
+ChurnPlan GenerateModulated(const ArrivalParams& p, bool modulated) {
+  Rng rng(p.seed);
+  const DrawParams draw{
+      std::max<Bits>(1, p.offline_bandwidth / 2),
+      p.mean_hold > 0 ? p.mean_hold : 4 * std::max<Time>(1, p.offline_delay),
+      p.max_book_ahead};
+  std::vector<SessionSpec> specs;
+  bool burst = false;
+  std::int64_t id = 0;
+  for (Time t = 0; t < p.horizon; ++t) {
+    double rate = p.arrival_rate;
+    if (modulated) {
+      // Two-state chain: calm at a third of the mean rate, bursts at
+      // three times it, switching with probability 1/16 per slot.
+      if (rng.Bernoulli(1.0 / 16.0)) burst = !burst;
+      rate = burst ? 3.0 * p.arrival_rate : p.arrival_rate / 3.0;
+    }
+    const std::int64_t n = rng.Poisson(rate);
+    for (std::int64_t j = 0; j < n; ++j) {
+      specs.push_back(DrawSession(rng, t, id++, draw));
+    }
+  }
+  return FinishPlan(std::move(specs), p.horizon);
+}
+
+// Mikos-style adversary against deterministic feasibility-first admission:
+// every wave leads with two "blocker" reservations whose rates sum to
+// exactly B_O and whose windows span the whole wave, then streams one
+// short victim per slot. A greedy (or thresholded) policy admits the
+// blockers — they are feasible — and is then forced to reject every
+// victim until the blockers depart, at which point the next wave's
+// blockers have already arrived.
+ChurnPlan GenerateAdversarial(const ArrivalParams& p) {
+  Rng rng(p.seed);
+  const Time wave = 4 * std::max<Time>(1, p.offline_delay);
+  const Bits victim_rate = std::max<Bits>(1, p.offline_bandwidth / 4);
+  std::vector<SessionSpec> specs;
+  std::int64_t id = 0;
+  for (Time w0 = 0; w0 < p.horizon; w0 += wave) {
+    const Bits r1 = (p.offline_bandwidth + 1) / 2;
+    const Bits r2 = p.offline_bandwidth / 2;
+    for (const Bits r : {r1, r2}) {
+      if (r <= 0) continue;
+      SessionSpec b;
+      b.session = id++;
+      b.arrive = w0;
+      b.book_delay = 0;
+      b.depart = w0 + wave;
+      b.rate = r;
+      b.weight = 1;
+      specs.push_back(b);
+    }
+    for (Time t = w0 + 1; t < std::min(w0 + wave, p.horizon); ++t) {
+      SessionSpec v;
+      v.session = id++;
+      v.arrive = t;
+      v.book_delay = 0;
+      v.depart = t + 2;
+      v.rate = victim_rate;
+      v.weight = rng.UniformInt(4, 8);  // high-value, still rejected
+      specs.push_back(v);
+    }
+  }
+  return FinishPlan(std::move(specs), p.horizon);
+}
+
+}  // namespace
+
+const char* ToString(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kMmpp:
+      return "mmpp";
+    case ArrivalProcess::kAdversarial:
+      return "adversarial";
+  }
+  return "unknown";
+}
+
+ChurnPlan GenerateArrivals(ArrivalProcess process,
+                           const ArrivalParams& params) {
+  BW_REQUIRE(params.horizon > 0, "GenerateArrivals: horizon must be positive");
+  BW_REQUIRE(params.offline_bandwidth > 0,
+             "GenerateArrivals: offline bandwidth must be positive");
+  BW_REQUIRE(params.arrival_rate > 0,
+             "GenerateArrivals: arrival rate must be positive");
+  BW_REQUIRE(params.max_book_ahead >= 0,
+             "GenerateArrivals: negative book-ahead bound");
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return GenerateModulated(params, /*modulated=*/false);
+    case ArrivalProcess::kMmpp:
+      return GenerateModulated(params, /*modulated=*/true);
+    case ArrivalProcess::kAdversarial:
+      return GenerateAdversarial(params);
+  }
+  BW_CHECK(false, "GenerateArrivals: unknown process");
+  return {};
+}
+
+}  // namespace bwalloc

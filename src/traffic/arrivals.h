@@ -1,0 +1,55 @@
+// Seeded arrival-process generators for session churn plans.
+//
+// Three processes over the same ChurnPlan shape (sim/churn.h):
+//
+//   kPoisson      — memoryless arrivals at `arrival_rate` sessions/slot,
+//                   exponential-ish holds, uniform rates and book-ahead.
+//   kMmpp         — Markov-modulated Poisson: a two-state (calm/burst)
+//                   chain modulates the arrival rate, producing the
+//                   clumped arrivals real session logs show.
+//   kAdversarial  — a deterministic Mikos-style adversary against greedy
+//                   feasibility admission: each wave opens with long, thin
+//                   "blocker" sessions that exactly fill the capacity B_O,
+//                   then streams short high-weight victims that any
+//                   deterministic feasibility-first policy must reject.
+//                   At equal offered load the admitted fraction collapses
+//                   relative to the honest processes — the online
+//                   admission lower-bound construction, specialised to
+//                   rate-reservation requests.
+//
+// All randomness flows from the caller's seed; the adversary is seed-
+// independent apart from victim weights, so its rejection pressure is
+// reproducible by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/churn.h"
+#include "util/types.h"
+
+namespace bwalloc {
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson = 0,
+  kMmpp = 1,
+  kAdversarial = 2,
+};
+
+const char* ToString(ArrivalProcess process);
+
+struct ArrivalParams {
+  Time horizon = 0;
+  Bits offline_bandwidth = 0;  // B_O: the capacity admission protects
+  Time offline_delay = 0;      // D_O: sets the adversary's wave length
+  double arrival_rate = 0.25;  // mean session arrivals per slot
+  Time mean_hold = 0;          // mean session lifetime; 0 = 4 * D_O
+  Time max_book_ahead = 0;     // book delays drawn from [0, this]
+  std::uint64_t seed = 0;
+};
+
+// Generates a validated plan; plan.sessions equals the number of offered
+// specs (channel slots are never reused).
+ChurnPlan GenerateArrivals(ArrivalProcess process, const ArrivalParams& params);
+
+}  // namespace bwalloc

@@ -11,13 +11,19 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
+#include "core/multi_phased.h"
+#include "core/params.h"
 #include "core/single_session.h"
 #include "core/stage_trace.h"
 #include "net/faults.h"
 #include "obs/trace_reader.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
+#include "sim/churn.h"
+#include "sim/engine_multi.h"
 #include "sim/engine_single.h"
+#include "traffic/arrivals.h"
 #include "traffic/workload_suite.h"
 
 namespace bwalloc {
@@ -226,6 +232,141 @@ TEST(Auditor, ReportJsonIsWellFormedAndStable) {
   EXPECT_EQ(a, b);
   EXPECT_NE(a.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(a.find("\"violations_total\":0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// feasibility_churn: dynamic-admission runs audit clean, and each of the
+// monitor's claims has a seeded negative control that must trip it.
+
+constexpr Bits kBo = 64;
+constexpr Time kDo = 8;
+
+// A churned phased run with full tracing: Poisson arrivals through greedy
+// admission and a bounded pending queue — mirrors
+// `bwsim multi --arrivals poisson --audit`.
+MultiRunResult RunChurnTraced(TraceSink* sink, std::int64_t* sessions_out) {
+  ArrivalParams ap;
+  ap.horizon = 600;
+  ap.offline_bandwidth = kBo;
+  ap.offline_delay = kDo;
+  ap.arrival_rate = 0.3;
+  ap.max_book_ahead = 4;
+  ap.seed = 5;
+  const ChurnPlan plan = GenerateArrivals(ArrivalProcess::kPoisson, ap);
+  AdmissionConfig ac;
+  ac.policy = AdmissionPolicyKind::kGreedy;
+  ac.capacity = kBo;
+  AdmissionController policy(ac);
+  ChurnDriver driver(plan, policy, /*max_pending=*/6);
+  MultiSessionParams mp;
+  mp.sessions = plan.sessions;
+  mp.offline_bandwidth = kBo;
+  mp.offline_delay = kDo;
+  PhasedMulti system(mp);
+  MultiEngineOptions opt;
+  opt.drain_slots = 8 * kDo;
+  opt.churn = &driver;
+  opt.tracer = Tracer(sink, kAllEvents, {"t", 0});
+  if (sessions_out != nullptr) *sessions_out = plan.sessions;
+  return RunMultiSession(plan.MaterializeTraces(), system, opt);
+}
+
+TEST(Auditor, ChurnedRunAuditsClean) {
+  BufferTraceSink buffer;
+  std::int64_t sessions = 0;
+  const MultiRunResult r = RunChurnTraced(&buffer, &sessions);
+  ASSERT_GT(r.churn.admitted, 0);
+  ASSERT_GT(r.churn.departed, 0);
+  Auditor auditor(MultiAuditConfig(sessions, kBo, kDo, /*phased=*/true));
+  for (const TraceEvent& event : buffer.events()) {
+    auditor.OnEvent({"t", 0}, event);
+  }
+  auditor.Finish();
+  EXPECT_TRUE(auditor.ok()) << auditor.FormatReport();
+}
+
+// Negative control: an admitted rate pushed past B_O makes the active
+// committed sum infeasible at its start slot.
+TEST(Auditor, SeededChurnOverAdmissionIsCaught) {
+  BufferTraceSink buffer;
+  std::int64_t sessions = 0;
+  RunChurnTraced(&buffer, &sessions);
+  Auditor auditor(MultiAuditConfig(sessions, kBo, kDo, /*phased=*/true));
+  bool seeded = false;
+  for (TraceEvent event : buffer.events()) {
+    if (!seeded && event.type == TraceEventType::kAdmit) {
+      event.a = 2 * kBo;  // a committed rate no feasible schedule can hold
+      seeded = true;
+    }
+    auditor.OnEvent({"t", 0}, event);
+  }
+  ASSERT_TRUE(seeded);
+  auditor.Finish();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GE(auditor.counts().at("feasibility_churn"), 1);
+}
+
+// Negative control: shedding must never take a session at or past its
+// start slot. A depart rewritten into a shed is exactly that violation
+// (departures only happen to started sessions).
+TEST(Auditor, SeededShedAfterStartIsCaught) {
+  BufferTraceSink buffer;
+  std::int64_t sessions = 0;
+  RunChurnTraced(&buffer, &sessions);
+  Auditor auditor(MultiAuditConfig(sessions, kBo, kDo, /*phased=*/true));
+  bool seeded = false;
+  for (TraceEvent event : buffer.events()) {
+    if (!seeded && event.type == TraceEventType::kDepart) {
+      event.type = TraceEventType::kShed;
+      seeded = true;
+    }
+    auditor.OnEvent({"t", 0}, event);
+  }
+  ASSERT_TRUE(seeded);
+  auditor.Finish();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GE(auditor.counts().at("feasibility_churn"), 1);
+}
+
+// Negative control: a departed session's allocation must stay released —
+// raising it again means graceful degradation leaked bandwidth back.
+TEST(Auditor, SeededAllocationToDepartedSessionIsCaught) {
+  BufferTraceSink buffer;
+  std::int64_t sessions = 0;
+  RunChurnTraced(&buffer, &sessions);
+  Auditor auditor(MultiAuditConfig(sessions, kBo, kDo, /*phased=*/true));
+  bool seeded = false;
+  for (const TraceEvent& event : buffer.events()) {
+    auditor.OnEvent({"t", 0}, event);
+    if (!seeded && event.type == TraceEventType::kDepart) {
+      TraceEvent raise;
+      raise.type = TraceEventType::kAllocChange;
+      raise.slot = event.slot;
+      raise.session = event.session;
+      raise.a = 0;
+      raise.b = Bandwidth::FromBitsPerSlot(1).raw();
+      raise.c = kChanRegular;
+      auditor.OnEvent({"t", 0}, raise);
+      seeded = true;
+    }
+  }
+  ASSERT_TRUE(seeded);
+  auditor.Finish();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GE(auditor.counts().at("feasibility_churn"), 1);
+}
+
+// Lifecycle sanity: depart/shed without a committed admission is flagged.
+TEST(Auditor, ChurnLifecycleWithoutAdmissionIsCaught) {
+  Auditor auditor(MultiAuditConfig(4, kBo, kDo, /*phased=*/true));
+  TraceEvent depart;
+  depart.type = TraceEventType::kDepart;
+  depart.slot = 3;
+  depart.session = 2;
+  auditor.OnEvent({"t", 0}, depart);
+  auditor.Finish();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GE(auditor.counts().at("feasibility_churn"), 1);
 }
 
 }  // namespace

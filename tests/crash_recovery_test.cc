@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -50,10 +51,13 @@
 #include "obs/tracer.h"
 #include "runner/batch_runner.h"
 #include "runner/crash_plan.h"
+#include "core/admission.h"
 #include "runner/parallel_sweep.h"
+#include "sim/churn.h"
 #include "sim/engine_multi.h"
 #include "sim/engine_single.h"
 #include "state/checkpoint.h"
+#include "traffic/arrivals.h"
 #include "traffic/workload_suite.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
@@ -166,15 +170,63 @@ struct MultiSpec {
   Time every = 64;
   Time crash_at = 257;
 
+  // Session churn: the workload comes from a generated ChurnPlan and the
+  // run goes through an AdmissionController + ChurnDriver whose state
+  // rides in the checkpoint's CHN1 section.
+  bool churned = false;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  AdmissionPolicyKind admission = AdmissionPolicyKind::kGreedy;
+  Time book_ahead = 0;
+  std::int64_t max_pending = 0;
+
   std::string Label() const {
     std::string s = algo + "/" + ToString(kind) + "/k=" + std::to_string(k) +
                     "/seed=" + std::to_string(seed) +
                     (engine == EngineKind::kNaive ? "/naive" : "/event") +
                     "/crash=" + std::to_string(crash_at);
     if (hops > 0) s += "/hops=" + std::to_string(hops);
+    if (churned) {
+      s += std::string("/churn=") + ToString(arrivals) + "+" +
+           ToString(admission);
+    }
     return s;
   }
 };
+
+// Per-attempt churn state: the plan is borrowed by the driver, so both
+// live side by side for the duration of one engine run.
+struct ChurnState {
+  ChurnPlan plan;
+  std::optional<AdmissionController> policy;
+  std::optional<ChurnDriver> driver;
+};
+
+// Resolves the offered traces for a spec; for a churned spec this also
+// overwrites spec.k with the plan's channel count and builds a fresh
+// policy + driver into `churn`.
+std::vector<std::vector<Bits>> MultiTraces(MultiSpec& spec,
+                                           ChurnState& churn) {
+  if (!spec.churned) {
+    return MultiSessionWorkload(spec.kind, spec.k, spec.bo, spec.d_o,
+                                spec.horizon, spec.seed);
+  }
+  ArrivalParams ap;
+  ap.horizon = spec.horizon;
+  ap.offline_bandwidth = spec.bo;
+  ap.offline_delay = spec.d_o;
+  ap.arrival_rate = 0.3;
+  ap.max_book_ahead = spec.book_ahead;
+  ap.seed = spec.seed;
+  churn.plan = GenerateArrivals(spec.arrivals, ap);
+  spec.k = churn.plan.sessions;
+  AdmissionConfig ac;
+  ac.policy = spec.admission;
+  ac.capacity = spec.bo;
+  ac.horizon = spec.horizon;
+  churn.policy.emplace(ac);
+  churn.driver.emplace(churn.plan, *churn.policy, spec.max_pending);
+  return churn.plan.MaterializeTraces();
+}
 
 Bits DeclaredTotal(const MultiSpec& spec) {
   const std::int64_t mult = spec.algo == "phased"       ? 4
@@ -257,9 +309,10 @@ MultiRunResult RunMultiEngine(const MultiSpec& spec,
   return RunMultiSessionEvent(SparseMultiTrace::FromDense(traces), sys, opt);
 }
 
-Artifacts StraightMulti(const MultiSpec& spec) {
-  const std::vector<std::vector<Bits>> traces = MultiSessionWorkload(
-      spec.kind, spec.k, spec.bo, spec.d_o, spec.horizon, spec.seed);
+Artifacts StraightMulti(const MultiSpec& spec_in) {
+  MultiSpec spec = spec_in;
+  ChurnState churn;
+  const std::vector<std::vector<Bits>> traces = MultiTraces(spec, churn);
   RobustMultiSessionAdapter* robust = nullptr;
   std::unique_ptr<MultiSessionSystem> sys = MakeSystem(spec, &robust);
 
@@ -267,6 +320,7 @@ Artifacts StraightMulti(const MultiSpec& spec) {
   Auditor auditor(MakeAuditConfig(spec));
   AuditingSink audit_sink(&auditor, &sink);
   MultiEngineOptions opt = BaseMultiOptions(spec);
+  if (churn.driver.has_value()) opt.churn = &*churn.driver;
   opt.tracer = Tracer(&audit_sink, kAllEvents, kCtx);
   std::string blob;  // straight runs checkpoint too: same journal bytes
   opt.checkpoint.every = spec.every;
@@ -281,21 +335,23 @@ Artifacts StraightMulti(const MultiSpec& spec) {
   return {sink.ToNdjson(), auditor.ReportJson(), ToJson(r)};
 }
 
-Artifacts CrashAndResumeMulti(const MultiSpec& spec,
+Artifacts CrashAndResumeMulti(const MultiSpec& spec_in,
                               bool perturb_restore = false) {
-  const std::vector<std::vector<Bits>> traces = MultiSessionWorkload(
-      spec.kind, spec.k, spec.bo, spec.d_o, spec.horizon, spec.seed);
-
   // Attempt 1: run until the injected crash, keeping the last checkpoint
-  // blob and the torn journal.
+  // blob and the torn journal. Each attempt regenerates its own (seeded,
+  // deterministic) traces and churn state, exactly like a fresh process.
   std::string blob;
   BufferTraceSink sink;
   {
+    MultiSpec spec = spec_in;
+    ChurnState churn;
+    const std::vector<std::vector<Bits>> traces = MultiTraces(spec, churn);
     RobustMultiSessionAdapter* robust = nullptr;
     std::unique_ptr<MultiSessionSystem> sys = MakeSystem(spec, &robust);
     Auditor crash_auditor(MakeAuditConfig(spec));  // dies with the process
     AuditingSink audit_sink(&crash_auditor, &sink);
     MultiEngineOptions opt = BaseMultiOptions(spec);
+    if (churn.driver.has_value()) opt.churn = &*churn.driver;
     opt.tracer = Tracer(&audit_sink, kAllEvents, kCtx);
     opt.checkpoint.every = spec.every;
     opt.checkpoint.capture = &blob;
@@ -313,12 +369,18 @@ Artifacts CrashAndResumeMulti(const MultiSpec& spec,
   }
 
   // Attempt 2: recover. Fresh auditor rebuilt from the truncated journal,
-  // fresh system restored from the blob, journal appended in place.
+  // fresh system restored from the blob, journal appended in place. The
+  // fresh driver's state (and its admission policy's) loads from the
+  // blob's CHN1 section alongside the system state.
+  MultiSpec spec = spec_in;
+  ChurnState churn;
+  const std::vector<std::vector<Bits>> traces = MultiTraces(spec, churn);
   Auditor auditor = RecoverAuditor(MakeAuditConfig(spec), blob, sink);
   RobustMultiSessionAdapter* robust = nullptr;
   std::unique_ptr<MultiSessionSystem> sys = MakeSystem(spec, &robust);
   AuditingSink audit_sink(&auditor, &sink);
   MultiEngineOptions opt = BaseMultiOptions(spec);
+  if (churn.driver.has_value()) opt.churn = &*churn.driver;
   opt.tracer = Tracer(&audit_sink, kAllEvents, kCtx);
   opt.checkpoint.every = spec.every;
   std::string blob2;
@@ -499,6 +561,50 @@ TEST(CrashRecovery, MultiGridIsByteIdentical) {
           spec.plan.loss_rate = 0.05;
           spec.plan.denial_rate = 0.1;
           spec.plan.partial_grant_rate = 0.05;
+          spec.plan.max_jitter = 1;
+          spec.plan.seed = 0xC4A5ULL + static_cast<std::uint64_t>(ctx.key.index);
+        }
+        return CompareMulti(spec);
+      },
+      sweep);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// Churned runs: the checkpoint additionally carries the ChurnDriver's
+// CHN1 section (phase vector, pending set, stats, admission ledger), and
+// the resumed attempt must replay departures/admissions/sheds byte-for-
+// byte against the straight run. One faulted arm exercises the
+// RobustMultiSessionAdapter's departure path under churn.
+TEST(CrashRecovery, ChurnedMultiGridIsByteIdentical) {
+  const std::int64_t count = static_cast<std::int64_t>(kAlgos.size() * 2 * 2);
+  SweepOptions sweep;
+  sweep.jobs = 4;
+  const SweepResult r = ParallelSweep(
+      "crash-recovery-churn", count,
+      [&](const TaskContext& ctx) {
+        std::int64_t idx = ctx.key.index;
+        MultiSpec spec;
+        spec.churned = true;
+        spec.algo = kAlgos[static_cast<std::size_t>(idx) % kAlgos.size()];
+        idx /= static_cast<std::int64_t>(kAlgos.size());
+        spec.engine = idx % 2 == 0 ? EngineKind::kNaive : EngineKind::kEvent;
+        idx /= 2;
+        if (idx % 2 == 0) {
+          // Booked-ahead Poisson arrivals through the slot ledger, with an
+          // overload queue that forces sheds.
+          spec.arrivals = ArrivalProcess::kPoisson;
+          spec.admission = AdmissionPolicyKind::kLedger;
+          spec.book_ahead = 6;
+          spec.max_pending = 4;
+        } else {
+          // Adversarial stream through greedy admission, over a lossy
+          // 2-hop signalling path: departures race in-flight requests.
+          spec.arrivals = ArrivalProcess::kAdversarial;
+          spec.admission = AdmissionPolicyKind::kGreedy;
+          spec.seed = 3;
+          spec.hops = 2;
+          spec.plan.loss_rate = 0.05;
+          spec.plan.denial_rate = 0.1;
           spec.plan.max_jitter = 1;
           spec.plan.seed = 0xC4A5ULL + static_cast<std::uint64_t>(ctx.key.index);
         }

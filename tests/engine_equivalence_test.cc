@@ -18,12 +18,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/admission.h"
 #include "core/combined.h"
 #include "core/multi_continuous.h"
 #include "core/multi_phased.h"
@@ -34,7 +36,9 @@
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
 #include "runner/parallel_sweep.h"
+#include "sim/churn.h"
 #include "sim/engine_multi.h"
+#include "traffic/arrivals.h"
 #include "traffic/workload_suite.h"
 #include "util/fixed_point.h"
 #include "util/types.h"
@@ -55,10 +59,25 @@ struct RunSpec {
   std::int64_t hops = 0;  // > 0 wraps the fault-lane adapter
   FaultPlan plan;
 
+  // Session churn: when `churned`, the workload comes from a generated
+  // ChurnPlan (k is overwritten by the plan's channel count) and the run
+  // goes through an AdmissionController + ChurnDriver, exactly like
+  // `bwsim multi --arrivals`.
+  bool churned = false;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  AdmissionPolicyKind admission = AdmissionPolicyKind::kGreedy;
+  double churn_rate = 0.25;
+  Time book_ahead = 0;
+  std::int64_t max_pending = 0;
+
   std::string Label() const {
     std::string s = algo + "/" + ToString(kind) + "/k=" + std::to_string(k) +
                     "/seed=" + std::to_string(seed);
     if (hops > 0) s += "/hops=" + std::to_string(hops);
+    if (churned) {
+      s += std::string("/churn=") + ToString(arrivals) + "+" +
+           ToString(admission);
+    }
     return s;
   }
 };
@@ -119,9 +138,36 @@ AuditConfig MakeAuditConfig(const RunSpec& spec) {
   return cfg;
 }
 
-RunArtifacts RunOne(const RunSpec& spec, Engine engine) {
-  const std::vector<std::vector<Bits>> traces = MultiSessionWorkload(
-      spec.kind, spec.k, spec.bo, spec.d_o, spec.horizon, spec.seed);
+RunArtifacts RunOne(const RunSpec& spec_in, Engine engine) {
+  RunSpec spec = spec_in;
+  // The plan, policy, and driver live here so they outlive the engine call;
+  // each RunOne builds fresh ones (the driver and policy are stateful).
+  ChurnPlan plan;
+  std::optional<AdmissionController> policy;
+  std::optional<ChurnDriver> driver;
+  std::vector<std::vector<Bits>> traces;
+  if (spec.churned) {
+    ArrivalParams ap;
+    ap.horizon = spec.horizon;
+    ap.offline_bandwidth = spec.bo;
+    ap.offline_delay = spec.d_o;
+    ap.arrival_rate = spec.churn_rate;
+    ap.max_book_ahead = spec.book_ahead;
+    ap.seed = spec.seed;
+    plan = GenerateArrivals(spec.arrivals, ap);
+    spec.k = plan.sessions;
+    traces = plan.MaterializeTraces();
+    AdmissionConfig ac;
+    ac.policy = spec.admission;
+    ac.capacity = spec.bo;
+    ac.horizon = spec.horizon;
+    ac.Validate();
+    policy.emplace(ac);
+    driver.emplace(plan, *policy, spec.max_pending);
+  } else {
+    traces = MultiSessionWorkload(spec.kind, spec.k, spec.bo, spec.d_o,
+                                  spec.horizon, spec.seed);
+  }
 
   std::unique_ptr<MultiSessionSystem> sys = MakeSystem(spec);
   RobustMultiSessionAdapter* robust = nullptr;
@@ -137,6 +183,7 @@ RunArtifacts RunOne(const RunSpec& spec, Engine engine) {
 
   MultiEngineOptions opt;
   opt.drain_slots = 8 * spec.d_o + (spec.hops > 0 ? 64 * spec.hops : 0);
+  if (driver.has_value()) opt.churn = &*driver;
   BufferTraceSink sink;
   Auditor auditor(MakeAuditConfig(spec));
   AuditingSink audit_sink(&auditor, &sink);
@@ -390,6 +437,103 @@ TEST(EngineEquivalenceSoak, FaultedGridStableAcrossJobs) {
         << "sweep artifacts differ between jobs=" << jobs_grid[0]
         << " and jobs=" << jobs_grid[j];
   }
+}
+
+// Session churn (ISSUE 10): dynamic arrivals through the shared
+// ChurnDriver must keep the byte-identity gate — every lifecycle
+// transition (admit, activate, depart, shed) lands at the same point in
+// both engines' traces. Grid: all four algorithm variants x all three
+// arrival processes, admission policies and book-ahead rotated through
+// the cells, at --jobs 4.
+TEST(EngineEquivalence, ChurnedGridIsByteIdentical) {
+  const std::vector<ArrivalProcess> procs = {ArrivalProcess::kPoisson,
+                                             ArrivalProcess::kMmpp,
+                                             ArrivalProcess::kAdversarial};
+  const std::vector<AdmissionPolicyKind> policies = {
+      AdmissionPolicyKind::kGreedy, AdmissionPolicyKind::kThreshold,
+      AdmissionPolicyKind::kLedger};
+  const std::int64_t count =
+      static_cast<std::int64_t>(kAlgos.size() * procs.size() * 2);
+  SweepOptions sweep;
+  sweep.jobs = 4;
+  const SweepResult r = ParallelSweep(
+      "engine-eq-churn", count,
+      [&](const TaskContext& ctx) {
+        std::int64_t idx = ctx.key.index;
+        RunSpec spec;
+        spec.algo = kAlgos[static_cast<std::size_t>(idx) % kAlgos.size()];
+        idx /= static_cast<std::int64_t>(kAlgos.size());
+        spec.churned = true;
+        spec.arrivals = procs[static_cast<std::size_t>(idx) % procs.size()];
+        idx /= static_cast<std::int64_t>(procs.size());
+        spec.seed = static_cast<std::uint64_t>(idx + 1);
+        spec.admission =
+            policies[static_cast<std::size_t>(ctx.key.index) % policies.size()];
+        spec.book_ahead = (ctx.key.index % 2 == 0) ? 0 : 5;
+        spec.max_pending = (ctx.key.index % 3 == 0) ? 0 : 6;
+        spec.bo = 64;
+        spec.d_o = 8;
+        spec.horizon = 400;
+        return CompareEngines(spec);
+      },
+      sweep);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// Churn on top of a degraded control plane: lanes join and leave while
+// requests are lost, denied, and jittered. The adapter forces the event
+// engine's dense fallback; the whole run must still be byte-identical.
+TEST(EngineEquivalence, ChurnedFaultedGridIsByteIdentical) {
+  const std::int64_t count = static_cast<std::int64_t>(kAlgos.size() * 2);
+  SweepOptions sweep;
+  sweep.jobs = 2;
+  const SweepResult r = ParallelSweep(
+      "engine-eq-churn-faulted", count,
+      [&](const TaskContext& ctx) {
+        std::int64_t idx = ctx.key.index;
+        RunSpec spec;
+        spec.algo = kAlgos[static_cast<std::size_t>(idx) % kAlgos.size()];
+        idx /= static_cast<std::int64_t>(kAlgos.size());
+        spec.seed = static_cast<std::uint64_t>(idx + 1);
+        spec.churned = true;
+        spec.arrivals = ArrivalProcess::kPoisson;
+        spec.admission = AdmissionPolicyKind::kThreshold;
+        spec.book_ahead = 4;
+        spec.max_pending = 8;
+        spec.bo = 64;
+        spec.d_o = 8;
+        spec.horizon = 400;
+        spec.hops = 2;
+        spec.plan.loss_rate = 0.1;
+        spec.plan.denial_rate = 0.1;
+        spec.plan.max_jitter = 1;
+        spec.plan.seed = 7;
+        return CompareEngines(spec);
+      },
+      sweep);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// The churned gate cannot depend on the sweep's thread count.
+TEST(EngineEquivalence, ChurnedGridIsByteIdenticalSingleJob) {
+  SweepOptions sweep;
+  sweep.jobs = 1;
+  const SweepResult r = ParallelSweep(
+      "engine-eq-churn-serial", static_cast<std::int64_t>(kAlgos.size()),
+      [&](const TaskContext& ctx) {
+        RunSpec spec;
+        spec.algo = kAlgos[static_cast<std::size_t>(ctx.key.index)];
+        spec.churned = true;
+        spec.arrivals = ArrivalProcess::kAdversarial;
+        spec.admission = AdmissionPolicyKind::kGreedy;
+        spec.seed = 3;
+        spec.bo = 64;
+        spec.d_o = 8;
+        spec.horizon = 400;
+        return CompareEngines(spec);
+      },
+      sweep);
+  EXPECT_TRUE(r.ok()) << r.Summary();
 }
 
 // The event engine's reason to exist: on a churn workload (sessions go

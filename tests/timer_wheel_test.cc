@@ -168,5 +168,60 @@ TEST(TimerWheelTest, PendingCountTracksLiveEntries) {
   EXPECT_EQ(wheel.pending(), 0);
 }
 
+// CancelWhere is the session-departure path: every pending lease whose
+// payload names the departing session is cancelled, whatever bucket or
+// revolution it lives in, and nothing else is touched.
+TEST(TimerWheelTest, CancelWhereDropsOnlyMatchingPayloads) {
+  struct Lease {
+    std::int64_t session;
+    int value;
+  };
+  TimerWheel<Lease> wheel(8);
+  wheel.ScheduleAt(2, {1, 10});
+  wheel.ScheduleAt(5, {2, 20});
+  wheel.ScheduleAt(5, {1, 11});     // same bucket as a survivor
+  wheel.ScheduleAt(2 + 8, {1, 12});  // next revolution, aliased bucket
+  wheel.ScheduleAt(7, {3, 30});
+  EXPECT_EQ(wheel.CancelWhere([](const Lease& l) { return l.session == 1; }),
+            3);
+  EXPECT_EQ(wheel.pending(), 2);
+  std::vector<std::pair<Time, int>> fired;
+  for (Time t = 0; t < 16; ++t) {
+    wheel.PopDue(t, [&](const Lease& l) { fired.push_back({t, l.value}); });
+  }
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{5, 20}));
+  EXPECT_EQ(fired[1], (std::pair<Time, int>{7, 30}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, CancelWhereIsIdempotentAndCountsExactly) {
+  TimerWheel<int> wheel(4);
+  wheel.ScheduleAt(1, 7);
+  wheel.ScheduleAt(9, 7);
+  wheel.ScheduleAt(3, 8);
+  EXPECT_EQ(wheel.CancelWhere([](int v) { return v == 7; }), 2);
+  // Already-cancelled entries still sit in their buckets until the next
+  // scan; a second sweep must not count them again.
+  EXPECT_EQ(wheel.CancelWhere([](int v) { return v == 7; }), 0);
+  EXPECT_EQ(wheel.CancelWhere([](int v) { return v == 99; }), 0);
+  EXPECT_EQ(wheel.pending(), 1);
+  auto fired = DrainAll(wheel, 12);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{3, 8}));
+}
+
+// A cancelled-then-rescheduled payload is a fresh entry: CancelWhere on
+// the old predicate must not kill the new schedule's id.
+TEST(TimerWheelTest, CancelWhereThenRescheduleFiresFresh) {
+  TimerWheel<int> wheel(4);
+  wheel.ScheduleAt(2, 5);
+  EXPECT_EQ(wheel.CancelWhere([](int v) { return v == 5; }), 1);
+  wheel.ScheduleAt(6, 5);
+  auto fired = DrainAll(wheel, 8);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{6, 5}));
+}
+
 }  // namespace
 }  // namespace bwalloc

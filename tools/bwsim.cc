@@ -24,6 +24,21 @@
 //                  RobustMultiSessionAdapter (one fault lane, retry state
 //                  machine, and RESET-style fallback per session) and
 //                  reports merged degraded-mode counters
+//                  session churn (dynamic arrivals; replaces --k/--kind/
+//                  --trace with a generated plan):
+//                  [--arrivals none|poisson|mmpp|adversarial]
+//                  [--admission greedy|threshold|ledger]
+//                  [--admission-threshold 0.85]  (kThreshold: fraction of
+//                  B_O admission may commit, finite, in [0, 1])
+//                  [--book-ahead 0]   (max slots a start may be booked
+//                  ahead of its arrival; finite, >= 0)
+//                  [--max-pending 0]  (overload shedding: max booked-but-
+//                  unstarted reservations, 0 = unbounded)
+//                  [--churn-rate 0.25] (mean session arrivals per slot)
+//                  [--churn-hold 0]    (mean session lifetime, 0 = 4 D_O)
+//                  admission decisions, lifecycle transitions, and
+//                  overload shedding run in the ChurnDriver shared by both
+//                  engines, so churned runs keep the byte-identity gate
 //   bwsim offline  (--workload mixed | --trace file) --bo 64 --do 8
 //                  [--inv-uo 2] [--w 16] [--horizon 4000] [--seed 1]
 //   bwsim tune     (--workload mixed | --trace file) --ba 64 --da 16
@@ -121,6 +136,7 @@
 //
 // Single-session algos: online, modified, online-global, static-peak,
 // static-mean, per-arrival, periodic, ewma.
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -137,6 +153,7 @@
 #include "baseline/per_arrival.h"
 #include "baseline/periodic.h"
 #include "baseline/static_alloc.h"
+#include "core/admission.h"
 #include "core/combined.h"
 #include "core/multi_continuous.h"
 #include "core/multi_phased.h"
@@ -158,10 +175,12 @@
 #include "offline/schedule_io.h"
 #include "runner/batch_runner.h"
 #include "runner/suite.h"
+#include "sim/churn.h"
 #include "sim/engine_multi.h"
 #include "sim/engine_single.h"
 #include "state/checkpoint.h"
 #include "tools/flags.h"
+#include "traffic/arrivals.h"
 #include "traffic/trace_io.h"
 #include "traffic/workload_suite.h"
 
@@ -637,6 +656,13 @@ int RunMulti(Flags& flags) {
   const bool print_profile = flags.Bool("profile", false);
   const bool audit = flags.Bool("audit", false);
   const std::string engine = flags.Str("engine", "naive");
+  const std::string arrivals = flags.Str("arrivals", "none");
+  const std::string admission = flags.Str("admission", "greedy");
+  const double admission_threshold = flags.Double("admission-threshold", 0.85);
+  const double book_ahead = flags.Double("book-ahead", 0.0);
+  const std::int64_t max_pending = flags.Int("max-pending", 0);
+  const double churn_rate = flags.Double("churn-rate", 0.25);
+  const Time churn_hold = flags.Int("churn-hold", 0);
   const telemetry::MonitorOptions mon = ParseTelemetryFlags(flags);
   CheckpointCli ckpt_cli = ParseCheckpointFlags(flags, "multi");
   flags.CheckUnused();
@@ -644,21 +670,76 @@ int RunMulti(Flags& flags) {
   if (engine != "naive" && engine != "event" && engine != "event-perturbed") {
     throw tools::UsageError("flag --engine: naive, event, or event-perturbed");
   }
+  if (arrivals != "none" && arrivals != "poisson" && arrivals != "mmpp" &&
+      arrivals != "adversarial") {
+    throw tools::UsageError(
+        "flag --arrivals: none, poisson, mmpp, or adversarial");
+  }
+  if (admission != "greedy" && admission != "threshold" &&
+      admission != "ledger") {
+    throw tools::UsageError("flag --admission: greedy, threshold, or ledger");
+  }
+  // NaN fails every comparison, so the range checks also reject it.
+  if (!std::isfinite(admission_threshold) ||
+      !(admission_threshold >= 0.0 && admission_threshold <= 1.0)) {
+    throw tools::UsageError(
+        "flag --admission-threshold: must be a finite value in [0, 1]");
+  }
+  if (!std::isfinite(book_ahead) || !(book_ahead >= 0.0)) {
+    throw tools::UsageError("flag --book-ahead: must be a finite value >= 0");
+  }
+  if (!std::isfinite(churn_rate) || !(churn_rate > 0.0)) {
+    throw tools::UsageError("flag --churn-rate: must be a finite value > 0");
+  }
+  if (churn_hold < 0) {
+    throw tools::UsageError("flag --churn-hold: must be >= 0 slots");
+  }
+  if (max_pending < 0) {
+    throw tools::UsageError("flag --max-pending: must be >= 0");
+  }
+  const bool churned = arrivals != "none";
+  if (churned && !trace_path.empty()) {
+    throw tools::UsageError(
+        "flag --trace: incompatible with --arrivals (the churn plan "
+        "generates the offered traffic)");
+  }
 
-  const std::vector<std::vector<Bits>> traces =
-      trace_path.empty()
-          ? MultiSessionWorkload(ParseKind(kind), k, bo, d_o, horizon, seed)
-          : LoadMultiTrace(trace_path);
-  if (static_cast<std::int64_t>(traces.size()) != k) {
-    throw std::invalid_argument("trace file has " +
-                                std::to_string(traces.size()) +
-                                " sessions; --k says " + std::to_string(k));
+  ChurnPlan churn_plan;
+  std::int64_t sessions = k;
+  std::vector<std::vector<Bits>> traces;
+  if (churned) {
+    ArrivalParams ap;
+    ap.horizon = horizon;
+    ap.offline_bandwidth = bo;
+    ap.offline_delay = d_o;
+    ap.arrival_rate = churn_rate;
+    ap.mean_hold = churn_hold;
+    ap.max_book_ahead = static_cast<Time>(std::llround(book_ahead));
+    ap.seed = seed;
+    const ArrivalProcess process = arrivals == "poisson"
+                                       ? ArrivalProcess::kPoisson
+                                   : arrivals == "mmpp"
+                                       ? ArrivalProcess::kMmpp
+                                       : ArrivalProcess::kAdversarial;
+    churn_plan = GenerateArrivals(process, ap);
+    sessions = churn_plan.sessions;
+    traces = churn_plan.MaterializeTraces();
+  } else {
+    traces = trace_path.empty()
+                 ? MultiSessionWorkload(ParseKind(kind), k, bo, d_o, horizon,
+                                        seed)
+                 : LoadMultiTrace(trace_path);
+    if (static_cast<std::int64_t>(traces.size()) != k) {
+      throw std::invalid_argument("trace file has " +
+                                  std::to_string(traces.size()) +
+                                  " sessions; --k says " + std::to_string(k));
+    }
   }
 
   std::unique_ptr<MultiSessionSystem> sys;
   if (algo == "phased" || algo == "continuous") {
     MultiSessionParams p;
-    p.sessions = k;
+    p.sessions = sessions;
     p.offline_bandwidth = bo;
     p.offline_delay = d_o;
     if (algo == "phased") {
@@ -668,7 +749,7 @@ int RunMulti(Flags& flags) {
     }
   } else if (algo == "combined" || algo == "combined-continuous") {
     CombinedParams p;
-    p.sessions = k;
+    p.sessions = sessions;
     p.offline_bandwidth = bo;
     p.offline_delay = d_o;
     p.offline_utilization = Ratio(1, 2);
@@ -699,11 +780,29 @@ int RunMulti(Flags& flags) {
   MultiEngineOptions opt;
   // Retry rounds and backed-off lanes lengthen drains.
   opt.drain_slots = 8 * d_o + (hops > 0 ? 64 * hops : 0);
+  // The admission policy and driver outlive the engine call; the driver
+  // borrows churn_plan, which is function-scoped above.
+  std::optional<AdmissionController> admission_ctl;
+  std::optional<ChurnDriver> churn_driver;
+  if (churned) {
+    AdmissionConfig ac;
+    ac.policy = admission == "greedy"      ? AdmissionPolicyKind::kGreedy
+                : admission == "threshold" ? AdmissionPolicyKind::kThreshold
+                                           : AdmissionPolicyKind::kLedger;
+    ac.capacity = bo;
+    ac.threshold_bp =
+        static_cast<std::int64_t>(std::llround(admission_threshold * 10000.0));
+    ac.horizon = horizon;
+    ac.Validate();
+    admission_ctl.emplace(ac);
+    churn_driver.emplace(churn_plan, *admission_ctl, max_pending);
+    opt.churn = &*churn_driver;
+  }
   BufferTraceSink sink;
   std::optional<Auditor> auditor;
   std::optional<AuditingSink> audit_sink;
   if (audit) {
-    AuditConfig cfg = MultiAuditConfig(k, bo, d_o, algo == "phased");
+    AuditConfig cfg = MultiAuditConfig(sessions, bo, d_o, algo == "phased");
     if (algo == "combined" || algo == "combined-continuous") {
       // Combined allocates 7 B_O (phased inner) / 8 B_O (continuous inner)
       // total; its overflow is folded into the global session, so the
@@ -819,6 +918,19 @@ int RunMulti(Flags& flags) {
         .AddRow({"timeouts", Table::Num(r.faults.timeouts)})
         .AddRow({"retries", Table::Num(r.faults.retries)})
         .AddRow({"fallback drains", Table::Num(r.faults.fallbacks)});
+  }
+  if (r.churn.any()) {
+    const double admitted_fraction =
+        r.churn.offered > 0 ? static_cast<double>(r.churn.admitted) /
+                                  static_cast<double>(r.churn.offered)
+                            : 0.0;
+    table.AddRow({"sessions offered", Table::Num(r.churn.offered)})
+        .AddRow({"sessions admitted", Table::Num(r.churn.admitted)})
+        .AddRow({"sessions rejected", Table::Num(r.churn.rejected)})
+        .AddRow({"sessions shed", Table::Num(r.churn.shed)})
+        .AddRow({"sessions departed", Table::Num(r.churn.departed)})
+        .AddRow({"admitted fraction", Table::Num(admitted_fraction, 3)})
+        .AddRow({"depart dropped (bits)", Table::Num(r.churn.dropped_bits)});
   }
   if (csv) {
     table.PrintCsv(std::cout);

@@ -38,6 +38,13 @@
 #                             # restart path races surface here), and the
 #                             # bwsim checkpoint CLI contract incl. the
 #                             # crash+resume round trips
+#   tools/check.sh churn      # session-churn subset under tsan: the
+#                             # arrival/admission/lifecycle unit tests,
+#                             # the churned engine-equivalence and
+#                             # crash-restore grids (sharded at --jobs 4,
+#                             # so driver/admission state races surface
+#                             # here), and the churn CLI contract incl.
+#                             # the stats round trip
 #   tools/check.sh telemetry  # live-telemetry subset under tsan: the
 #                             # striped shard/hub/watchdog unit tests
 #                             # (incl. the concurrent-writer hammer), the
@@ -82,12 +89,19 @@ case "$mode" in
     sanitize="thread"; dir="${2:-$repo/build-tsan}"
     test_filter=(-R 'CrashRecovery|Checkpoint|Serializer|SupervisedRunner|CrashPlan|bwsim_crash|bwsim_checkpoint|bwsim_cli_rejects_.*checkpoint|bwsim_cli_rejects_.*resume')
     ;;
+  churn)
+    sanitize="thread"; dir="${2:-$repo/build-tsan}"
+    # The wall-clock perf gate compares against native baselines; it is
+    # meaningless (and fails) under the sanitizer slowdown.
+    test_filter=(-R 'Arrivals|Admission|ChurnDriver|Churned|churn|CancelWhere'
+                 -E 'perf_gate')
+    ;;
   telemetry)
     sanitize="thread"; dir="${2:-$repo/build-tsan}"
     test_filter=(-R 'LogHistogram|Snapshot|TelemetryHub|RunMonitor|bwsim_stats|bwsim_batch_jobs4_telemetry|bwsim_health_strict|bwsim_multi_health_strict|bwsim_cli_rejects_stats|bwsim_cli_rejects_strict')
     ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq|runner|crash|telemetry] [build-dir]" >&2
+    echo "usage: tools/check.sh [asan|tsan|trace|audit|faults-multi|engine-eq|runner|crash|churn|telemetry] [build-dir]" >&2
     exit 2
     ;;
 esac

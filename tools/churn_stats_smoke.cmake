@@ -1,0 +1,107 @@
+# Session-churn telemetry and admission-control smoke, at the CLI level.
+#
+# Leg 1: a churned `bwsim multi` run with the snapshot exporter live must
+# surface the lifecycle counters (admitted/rejected/shed/departed) and the
+# arrival-queue-depth gauge in the Prometheus file, and `bwsim
+# stats-summary` must read them back.
+#
+# Leg 2: at the same offered arrival rate, the adversarial stream must
+# force a strictly lower admitted fraction out of greedy admission than
+# the honest Poisson stream — the paper's lower-bound structure showing up
+# in shipped-binary output, not just in-process tests.
+#
+#   cmake -DBWSIM=path/to/bwsim -DOUT_DIR=work/dir -P churn_stats_smoke.cmake
+if(NOT DEFINED BWSIM OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "churn_stats_smoke.cmake: BWSIM and OUT_DIR required")
+endif()
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(stats_file "${OUT_DIR}/churn_stats.prom")
+
+execute_process(
+  COMMAND "${BWSIM}" multi --algo phased --bo 64 --do 8 --horizon 1200
+          --seed 9 --arrivals poisson --admission ledger --book-ahead 6
+          --max-pending 2 --audit true --json false
+          --stats-out "${stats_file}" --stats-every 300
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "churned bwsim multi failed (${exit_code})\n${run_out}\n${err}")
+endif()
+if(NOT run_out MATCHES "admitted fraction")
+  message(FATAL_ERROR "result table lacks the admitted-fraction row:\n${run_out}")
+endif()
+if(NOT EXISTS "${stats_file}")
+  message(FATAL_ERROR "no stats file written by --stats-out")
+endif()
+
+file(READ "${stats_file}" stats_text)
+foreach(metric
+    bwsim_sessions_admitted_total bwsim_sessions_rejected_total
+    bwsim_sessions_shed_total bwsim_sessions_departed_total
+    bwsim_arrival_queue_depth)
+  if(NOT stats_text MATCHES "${metric}")
+    message(FATAL_ERROR "stats file lacks ${metric}:\n${stats_text}")
+  endif()
+endforeach()
+# The run actually churned: the final admitted counter is non-zero.
+if(NOT stats_text MATCHES "bwsim_sessions_admitted_total [1-9]")
+  message(FATAL_ERROR
+    "bwsim_sessions_admitted_total never moved:\n${stats_text}")
+endif()
+
+execute_process(
+  COMMAND "${BWSIM}" stats-summary "${stats_file}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE summary_out
+  ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "bwsim stats-summary failed (${exit_code})\n${summary_out}\n${err}")
+endif()
+foreach(metric bwsim_sessions_admitted_total bwsim_arrival_queue_depth)
+  if(NOT summary_out MATCHES "${metric}")
+    message(FATAL_ERROR "summary lacks ${metric}\n${summary_out}")
+  endif()
+endforeach()
+
+# --- leg 2: adversarial vs honest admitted fraction, from run JSON ---
+function(run_churn process out_var)
+  execute_process(
+    COMMAND "${BWSIM}" multi --algo phased --bo 64 --do 8 --horizon 2000
+            --seed 11 --arrivals ${process} --admission greedy --json true
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "bwsim multi --arrivals ${process} failed (${exit_code})\n${err}")
+  endif()
+  if(NOT out MATCHES "\"offered\":([0-9]+)")
+    message(FATAL_ERROR "${process}: JSON lacks churn.offered:\n${out}")
+  endif()
+  set(offered "${CMAKE_MATCH_1}")
+  if(NOT out MATCHES "\"admitted\":([0-9]+)")
+    message(FATAL_ERROR "${process}: JSON lacks churn.admitted:\n${out}")
+  endif()
+  set(admitted "${CMAKE_MATCH_1}")
+  if(offered EQUAL 0)
+    message(FATAL_ERROR "${process}: zero sessions offered")
+  endif()
+  # Admitted fraction in parts-per-thousand, so integer math suffices.
+  math(EXPR permille "(${admitted} * 1000) / ${offered}")
+  set(${out_var} "${permille}" PARENT_SCOPE)
+endfunction()
+
+run_churn(poisson honest_permille)
+run_churn(adversarial adversarial_permille)
+if(NOT adversarial_permille LESS honest_permille)
+  message(FATAL_ERROR
+    "adversarial stream did not lower the admitted fraction: "
+    "adversarial ${adversarial_permille}permille vs "
+    "poisson ${honest_permille}permille")
+endif()
+message(STATUS
+  "admitted fraction: poisson ${honest_permille}permille, "
+  "adversarial ${adversarial_permille}permille")
